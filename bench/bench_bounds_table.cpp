@@ -1,0 +1,67 @@
+// Experiment E16 — the analytical bounds table: every protocol's
+// worst-case terms side by side (the "Table 1" a full-length version of
+// the paper would print), evaluated at concrete parameters and checked for
+// the asymptotic claims.
+#include <sstream>
+
+#include "analysis/blocking.hpp"
+#include "bench/common.hpp"
+#include "util/table.hpp"
+
+using namespace rwrnlp;
+using namespace rwrnlp::analysis;
+using namespace rwrnlp::sched;
+using bench::check;
+using bench::header;
+
+int main() {
+  const double lr = 1.0, lw = 1.0;
+  header("Worst-case blocking terms (L^r = L^w = 1)");
+  Table table({"protocol", "read acq (m=4)", "write acq (m=4)",
+               "read acq (m=16)", "write acq (m=16)",
+               "spin rel. blk (m=4)", "donation blk (m=4)"});
+  const ProtocolKind kinds[] = {ProtocolKind::RwRnlp,
+                                ProtocolKind::RwRnlpPlaceholders,
+                                ProtocolKind::MutexRnlp,
+                                ProtocolKind::GroupRw,
+                                ProtocolKind::GroupMutex};
+  for (const auto kind : kinds) {
+    BlockingContext c4;
+    c4.m = 4;
+    c4.l_read = lr;
+    c4.l_write = lw;
+    BlockingContext c16 = c4;
+    c16.m = 16;
+    table.add_row({to_string(kind),
+                   Table::num(read_acquisition_bound(kind, c4), 1),
+                   Table::num(write_acquisition_bound(kind, c4), 1),
+                   Table::num(read_acquisition_bound(kind, c16), 1),
+                   Table::num(write_acquisition_bound(kind, c16), 1),
+                   Table::num(spin_release_pi_blocking_bound(kind, c4), 1),
+                   Table::num(donation_pi_blocking_bound(kind, c4), 1)});
+  }
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+
+  // The headline asymptotic claims.
+  BlockingContext c4, c16;
+  c4.m = 4;
+  c4.l_read = c4.l_write = 1;
+  c16.m = 16;
+  c16.l_read = c16.l_write = 1;
+  check(read_acquisition_bound(ProtocolKind::RwRnlp, c4) ==
+            read_acquisition_bound(ProtocolKind::RwRnlp, c16),
+        "R/W RNLP readers are O(1): the bound is independent of m");
+  check(read_acquisition_bound(ProtocolKind::MutexRnlp, c16) >
+            read_acquisition_bound(ProtocolKind::MutexRnlp, c4),
+        "mutex-RNLP 'readers' are O(m): the bound grows with m");
+  check(write_acquisition_bound(ProtocolKind::RwRnlp, c16) ==
+            5.0 * write_acquisition_bound(ProtocolKind::RwRnlp, c4),
+        "R/W RNLP writers are O(m): 15/3 = 5x from m=4 to m=16");
+  check(write_acquisition_bound(ProtocolKind::RwRnlp, c4) ==
+            2 * write_acquisition_bound(ProtocolKind::GroupMutex, c4),
+        "the R/W writer premium: (m-1)(L^r+L^w) = 2x the mutex term when "
+        "L^r = L^w (the price of O(1) readers)");
+  return bench::finish();
+}

@@ -1,0 +1,127 @@
+// Experiment E1 — Fig. 2 of the paper: the five-request running example.
+//
+// Replays the schedule of Fig. 2(a) through the RSM and checks, event for
+// event, the satisfaction times, entitlement transitions, and the
+// queue-state rows of Fig. 2(b).  Also reruns the Sec. 3.4 (placeholder)
+// and Sec. 3.5 (mixing) continuations of the same example.
+#include <sstream>
+
+#include "bench/common.hpp"
+#include "rsm/engine.hpp"
+#include "util/table.hpp"
+
+using namespace rwrnlp;
+using namespace rwrnlp::rsm;
+using bench::check;
+using bench::header;
+
+namespace {
+constexpr ResourceId kLa = 0, kLb = 1, kLc = 2;
+
+ReadShareTable fig2_shares() {
+  ReadShareTable t(3);
+  t.declare_read_request(ResourceSet(3, {kLa, kLb}));
+  t.declare_read_request(ResourceSet(3, {kLc}));
+  return t;
+}
+}  // namespace
+
+int main() {
+  header("Fig. 2: running example, expansion mode (Sec. 3.2)");
+  {
+    EngineOptions opt;
+    opt.validate = true;
+    opt.record_trace = true;
+    Engine e(3, fig2_shares(), opt);
+
+    const RequestId w11 = e.issue_write(1, ResourceSet(3, {kLa, kLb}));
+    check(e.is_satisfied(w11), "t=1: R^w_{1,1} satisfied immediately (W1)");
+
+    const RequestId w21 = e.issue_write(2, ResourceSet(3, {kLa, kLc}));
+    check(e.request(w21).domain == ResourceSet(3, {kLa, kLb, kLc}),
+          "t=2: D_{2,1} expanded to {la, lb, lc} (la ~ lb)");
+    check(e.state(w21) == RequestState::Waiting,
+          "t=2: R^w_{2,1} enqueued, not entitled");
+
+    const RequestId r31 = e.issue_read(3, ResourceSet(3, {kLc}));
+    check(e.is_satisfied(r31), "t=3: R^r_{3,1} cuts ahead (R1)");
+    const RequestId r41 = e.issue_read(4, ResourceSet(3, {kLc}));
+    check(e.is_satisfied(r41), "t=4: R^r_{4,1} joins the read phase");
+    check(e.read_holders(kLc).size() == 2, "t=4: two readers share lc");
+    check(e.write_locked(kLa) && e.write_locked(kLb),
+          "t=4: la, lb write locked while lc is read locked");
+
+    e.complete(5, w11);
+    check(e.state(w21) == RequestState::Entitled,
+          "t=5: R^w_{2,1} becomes entitled");
+    check(e.blockers(w21).size() == 2,
+          "t=[5,6): B(R^w_{2,1}) = {R_{3,1}, R_{4,1}}");
+    e.complete(6, r41);
+    check(e.blockers(w21) == std::vector<RequestId>{r31},
+          "t=[6,8): B(R^w_{2,1}) = {R_{3,1}}");
+
+    const RequestId r51 = e.issue_read(7, ResourceSet(3, {kLa, kLb}));
+    check(e.state(r51) == RequestState::Waiting,
+          "t=7: R^r_{5,1} blocked by the entitled writer");
+
+    e.complete(8, r31);
+    check(e.is_satisfied(w21), "t=8: R^w_{2,1} satisfied (W2)");
+    check(e.state(r51) == RequestState::Entitled,
+          "t=8: R^r_{5,1} entitled (Def. 3)");
+    check(e.write_queue(kLa).empty() && e.write_queue(kLb).empty(),
+          "t=[8,10): write queues drained (Fig. 2(b))");
+
+    e.complete(10, w21);
+    check(e.is_satisfied(r51), "t=10: R^r_{5,1} satisfied (R2)");
+    e.complete(12, r51);
+
+    check(e.request(w21).acquisition_delay() == 6.0,
+          "R^w_{2,1} acquisition delay = 6 (issued 2, satisfied 8)");
+    check(e.request(r51).acquisition_delay() == 3.0,
+          "R^r_{5,1} acquisition delay = 3 (issued 7, satisfied 10)");
+  }
+
+  header("Fig. 2 continuation: placeholders (Sec. 3.4)");
+  {
+    EngineOptions opt;
+    opt.expansion = WriteExpansion::Placeholders;
+    opt.validate = true;
+    Engine e(3, fig2_shares(), opt);
+    const RequestId w11 = e.issue_write(1, ResourceSet(3, {kLb}));
+    const RequestId w21 = e.issue_write(2, ResourceSet(3, {kLa, kLc}));
+    check(e.is_satisfied(w11), "R^w_{1,1} (N={lb}) satisfied at t=1");
+    check(e.is_satisfied(w21),
+          "R^w_{2,1} (N={la,lc}) satisfied at t=2 instead of t=8: the "
+          "placeholder on lb does not lock it");
+    e.complete(5, w11);
+    e.complete(6, w21);
+  }
+
+  header("Fig. 2 continuation: R/W mixing (Sec. 3.5)");
+  {
+    EngineOptions opt;
+    opt.expansion = WriteExpansion::Placeholders;
+    opt.validate = true;
+    ReadShareTable shares(3);
+    shares.declare_read_request(ResourceSet(3, {kLa, kLb}));
+    shares.declare_mixed_request(ResourceSet(3, {kLa, kLb}),
+                                 ResourceSet(3, {kLc}));
+    Engine e(3, shares, opt);
+    const RequestId w11 = e.issue_write(1, ResourceSet(3, {kLa, kLb}));
+    const RequestId m21 =
+        e.issue_mixed(2, ResourceSet(3, {kLa, kLb}), ResourceSet(3, {kLc}));
+    e.complete(5, w11);
+    check(e.is_satisfied(m21), "mixed R^w_{2,1} satisfied");
+    check(e.read_holders(kLa) == std::vector<RequestId>{m21} &&
+              e.write_holder(kLc) == m21,
+          "mixed satisfaction: la, lb read locked; lc write locked");
+    const RequestId r51 = e.issue_read(7, ResourceSet(3, {kLa, kLb}));
+    check(e.is_satisfied(r51),
+          "t=7: R^r_{5,1} satisfied immediately — it shares la, lb with the "
+          "mixed writer in read mode");
+    e.complete(10, m21);
+    e.complete(12, r51);
+  }
+
+  return bench::finish();
+}

@@ -1,0 +1,116 @@
+// Experiment E17 — Sec. 3.7 ablation: incremental locking vs. all-at-once
+// acquisition.
+//
+// The analytical claim is cost-neutrality: "the total duration of
+// acquisition delay across all incremental requests is at most the
+// worst-case acquisition delay previously proven."  The practical benefit
+// is *overlap*: an incremental request starts executing on its first
+// resources while later ones are still held by pre-existing readers,
+// instead of idling until the whole footprint is free.  This harness
+// measures a walker's response time both ways while staggered readers hold
+// the tail of its footprint.
+#include <sstream>
+
+#include "bench/common.hpp"
+#include "sched/simulator.hpp"
+#include "util/table.hpp"
+
+using namespace rwrnlp;
+using namespace rwrnlp::sched;
+using bench::check;
+using bench::header;
+
+namespace {
+
+TaskSystem walker_system(bool incremental, double reader_hold) {
+  constexpr std::size_t kQ = 4;
+  TaskSystem sys;
+  sys.num_processors = 3;
+  sys.cluster_size = 3;
+  sys.num_resources = kQ;
+  // The walker: writes the whole chain l0..l3, 2.0 time units of critical
+  // section, issued at t = 0.5 within each 20-unit period.
+  TaskParams w;
+  w.id = 0;
+  w.period = 20;
+  w.deadline = 20;
+  Segment s;
+  s.compute_before = 0.5;
+  s.cs.reads = ResourceSet(kQ);
+  s.cs.writes = ResourceSet(kQ, {0, 1, 2, 3});
+  s.cs.length = 2.0;
+  s.cs.incremental = incremental;
+  w.segments.push_back(s);
+  w.final_compute = 0.1;
+  sys.tasks.push_back(w);
+  // A reader that grabs the tail resource just before the walker starts
+  // and holds it for `reader_hold`.
+  TaskParams r;
+  r.id = 1;
+  r.period = 20;
+  r.deadline = 20;
+  r.phase = 0.2;
+  Segment rs;
+  rs.compute_before = 0.1;
+  rs.cs.reads = ResourceSet(kQ, {3});
+  rs.cs.writes = ResourceSet(kQ);
+  rs.cs.length = reader_hold;
+  r.segments.push_back(rs);
+  r.final_compute = 0.1;
+  sys.tasks.push_back(r);
+  sys.validate();
+  return sys;
+}
+
+double walker_response(bool incremental, double reader_hold) {
+  TaskSystem sys = walker_system(incremental, reader_hold);
+  ProtocolAdapter proto(ProtocolKind::RwRnlp, sys, true);
+  SimConfig cfg;
+  cfg.horizon = 200;
+  cfg.wait = WaitMode::Spin;
+  Simulator sim(sys, proto, cfg);
+  const SimResult res = sim.run();
+  return res.per_task[0].response_time.max();
+}
+
+}  // namespace
+
+int main() {
+  header("Sec. 3.7: walker response time, incremental vs all-at-once");
+  Table table({"reader holds tail for", "all-at-once resp", "incremental "
+               "resp", "overlap gained"});
+  int wins = 0;
+  for (const double hold : {0.5, 1.0, 1.5}) {
+    const double all = walker_response(false, hold);
+    const double inc = walker_response(true, hold);
+    if (inc <= all + 1e-9) ++wins;
+    table.add_row({Table::num(hold, 1), Table::num(all, 3),
+                   Table::num(inc, 3), Table::num(all - inc, 3)});
+  }
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  check(wins == 3,
+        "hand-over-hand acquisition never hurts and overlaps waiting with "
+        "execution when the tail of the footprint is busy");
+
+  // Cost-neutrality: the summed incremental waits stay within the Thm. 2
+  // bound of the corresponding all-at-once request.
+  {
+    TaskSystem sys = walker_system(true, 1.5);
+    ProtocolAdapter proto(ProtocolKind::RwRnlp, sys, true);
+    SimConfig cfg;
+    cfg.horizon = 200;
+    cfg.wait = WaitMode::Spin;
+    Simulator sim(sys, proto, cfg);
+    const SimResult res = sim.run();
+    const double lr = sys.l_read_max();
+    const double lw = sys.l_write_max();
+    const double bound = 2 * (lr + lw);  // (m-1)(L^r+L^w), m = 3
+    // Per-increment waits: each must be within the request-level bound
+    // (their sum is, a fortiori, within it in this scenario).
+    check(res.per_task[0].write_acq_delay.max() <= bound + 1e-6,
+          "every incremental wait is within the Thm. 2 bound");
+  }
+  return bench::finish();
+}

@@ -1,0 +1,122 @@
+// Experiment E11 — acquisition/release latency microbenchmarks
+// (google-benchmark): uncontended cost of each protocol's lock path, plus
+// the cost of multi-resource requests as the request width grows.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "locks/baselines.hpp"
+#include "locks/spin_rw_rnlp.hpp"
+
+using namespace rwrnlp;
+using namespace rwrnlp::locks;
+
+namespace {
+
+constexpr std::size_t kResources = 16;
+
+ResourceSet prefix_set(std::size_t width) {
+  ResourceSet s(kResources);
+  for (std::size_t i = 0; i < width; ++i)
+    s.set(static_cast<ResourceId>(i));
+  return s;
+}
+
+template <typename MakeLock>
+void uncontended_cycle(benchmark::State& state, MakeLock make, bool write) {
+  auto lock = make();
+  const auto width = static_cast<std::size_t>(state.range(0));
+  const ResourceSet rs = prefix_set(width);
+  const ResourceSet empty(kResources);
+  for (auto _ : state) {
+    const LockToken t =
+        write ? lock->acquire(empty, rs) : lock->acquire(rs, empty);
+    benchmark::DoNotOptimize(t.id);
+    lock->release(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RwRnlp_Read(benchmark::State& state) {
+  uncontended_cycle(
+      state,
+      [] {
+        return std::make_unique<SpinRwRnlp>(
+            kResources, rsm::WriteExpansion::Placeholders);
+      },
+      false);
+}
+void BM_RwRnlp_Write(benchmark::State& state) {
+  uncontended_cycle(
+      state,
+      [] {
+        return std::make_unique<SpinRwRnlp>(
+            kResources, rsm::WriteExpansion::Placeholders);
+      },
+      true);
+}
+void BM_MutexRnlp_Write(benchmark::State& state) {
+  uncontended_cycle(
+      state,
+      [] {
+        return std::make_unique<SpinRwRnlp>(
+            kResources, rsm::WriteExpansion::ExpandDomain, true);
+      },
+      true);
+}
+void BM_GroupRw_Read(benchmark::State& state) {
+  uncontended_cycle(
+      state, [] { return std::make_unique<GroupRwLock>(kResources); },
+      false);
+}
+void BM_GroupMutex(benchmark::State& state) {
+  uncontended_cycle(
+      state, [] { return std::make_unique<GroupMutexLock>(kResources); },
+      true);
+}
+void BM_TwoPhase_Write(benchmark::State& state) {
+  uncontended_cycle(
+      state, [] { return std::make_unique<TwoPhaseLock>(kResources); },
+      true);
+}
+
+void BM_PhaseFair_ReadCycle(benchmark::State& state) {
+  PhaseFairLock l;
+  for (auto _ : state) {
+    l.read_lock();
+    l.read_unlock();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PhaseFair_WriteCycle(benchmark::State& state) {
+  PhaseFairLock l;
+  for (auto _ : state) {
+    l.write_lock();
+    l.write_unlock();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TicketMutex_Cycle(benchmark::State& state) {
+  TicketMutex l;
+  for (auto _ : state) {
+    l.lock();
+    l.unlock();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_RwRnlp_Read)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_RwRnlp_Write)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_MutexRnlp_Write)->Arg(1)->Arg(4);
+BENCHMARK(BM_GroupRw_Read)->Arg(1);
+BENCHMARK(BM_GroupMutex)->Arg(1);
+BENCHMARK(BM_TwoPhase_Write)->Arg(1)->Arg(4)->Arg(16);
+BENCHMARK(BM_PhaseFair_ReadCycle);
+BENCHMARK(BM_PhaseFair_WriteCycle);
+BENCHMARK(BM_TicketMutex_Cycle);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Experiment E9b — additional schedulability sweeps along the dimensions
+// the locking literature standardly reports: critical-section length,
+// resource count, and read ratio (the utilization sweep is
+// bench_sched_study).  All sweeps use the reusable study runner in
+// src/analysis/study.hpp with paired task sets across protocols.
+#include <sstream>
+
+#include "analysis/study.hpp"
+#include "bench/common.hpp"
+#include "util/table.hpp"
+
+using namespace rwrnlp;
+using namespace rwrnlp::analysis;
+using namespace rwrnlp::sched;
+using bench::check;
+using bench::header;
+
+namespace {
+
+StudyConfig base_config() {
+  StudyConfig cfg;
+  cfg.base.num_tasks = 24;
+  cfg.base.num_processors = 8;
+  cfg.base.cluster_size = 8;
+  cfg.base.total_utilization = 0.45 * 8;
+  cfg.base.num_resources = 8;
+  cfg.base.read_ratio = 0.8;
+  cfg.base.access_prob = 0.75;
+  cfg.base.max_nesting = 2;
+  cfg.base.cs_min = 0.05;
+  cfg.base.cs_max = 0.2;
+  cfg.sets_per_point = 50;
+  cfg.seed = 42;
+  return cfg;
+}
+
+void print_result(const StudyResult& res, const std::string& dim) {
+  std::vector<std::string> headers{dim};
+  for (const auto& c : res.curves)
+    headers.push_back(to_string(c.protocol));
+  Table table(headers);
+  for (std::size_t i = 0; i < res.points.size(); ++i) {
+    std::vector<std::string> row{Table::num(res.points[i], 2)};
+    for (const auto& c : res.curves)
+      row.push_back(Table::num(c.acceptance[i], 2));
+    table.add_row(row);
+  }
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+}
+
+}  // namespace
+
+int main() {
+  header("Sweep: critical-section length (m=8, rr=0.8, util=0.45m)");
+  {
+    const auto res =
+        sweep_cs_length(base_config(), {0.05, 0.1, 0.2, 0.4, 0.8});
+    print_result(res, "cs_max");
+    const auto& rw = res.curve(ProtocolKind::RwRnlp);
+    check(rw.acceptance.front() >= rw.acceptance.back(),
+          "longer critical sections reduce schedulability");
+    check(rw.area >= res.curve(ProtocolKind::MutexRnlp).area,
+          "at rr=0.8 the R/W RNLP dominates the mutex RNLP across CS "
+          "lengths");
+  }
+
+  header("Sweep: number of resources (sharing density)");
+  {
+    const auto res =
+        sweep_num_resources(base_config(), {1, 2, 4, 8, 16});
+    print_result(res, "q");
+    // More resources -> sparser conflicts -> fine-grained protocols gain;
+    // the group locks are q-blind (one lock regardless).
+    const auto& rw = res.curve(ProtocolKind::RwRnlp);
+    check(rw.acceptance.back() >= rw.acceptance.front(),
+          "fine-grained locking benefits from sparser sharing");
+    check(rw.area >= res.curve(ProtocolKind::GroupRw).area,
+          "fine-grained beats coarse across the q sweep");
+  }
+
+  header("Sweep: read ratio (the paper's central axis)");
+  {
+    StudyConfig cfg = base_config();
+    cfg.base.cs_max = 0.3;
+    const auto res = sweep_read_ratio(cfg, {0.0, 0.25, 0.5, 0.75, 1.0});
+    print_result(res, "read ratio");
+    const auto& rw = res.curve(ProtocolKind::RwRnlp);
+    const auto& mtx = res.curve(ProtocolKind::MutexRnlp);
+    check(rw.acceptance.back() >= mtx.acceptance.back(),
+          "all-read workloads: R/W RNLP at least matches the mutex RNLP");
+    check(rw.acceptance.back() > rw.acceptance.front(),
+          "the R/W RNLP improves with the read ratio (reader O(1) bound)");
+  }
+  return bench::finish();
+}

@@ -1,0 +1,102 @@
+// Experiment E14 — "to block or not to block, to suspend or spin?" (the
+// question of the paper's reference [9], which motivates its choice of
+// lock-based synchronization): spin-based vs. suspension-based R/W RNLP on
+// the same workloads, measured in the simulator.
+//
+// Expected shape: with short critical sections and spare capacity,
+// spinning wastes little and avoids suspension-induced pi-blocking of high
+// priority jobs; suspension frees processor time that compute-heavy
+// workloads can use, at the cost of donation blocking.  The harness
+// reports mean response times and deadline misses both ways, plus the
+// donation+MPI variant.
+#include <sstream>
+
+#include "bench/common.hpp"
+#include "sched/simulator.hpp"
+#include "tasksys/generator.hpp"
+#include "util/table.hpp"
+
+using namespace rwrnlp;
+using namespace rwrnlp::sched;
+using bench::check;
+using bench::header;
+
+namespace {
+
+struct Outcome {
+  double mean_response = 0;
+  std::size_t misses = 0;
+  std::size_t completed = 0;
+};
+
+Outcome run(const TaskSystem& sys, WaitMode wait,
+            ProgressMechanism progress) {
+  ProtocolAdapter proto(ProtocolKind::RwRnlp, sys,
+                        /*validate=*/false);
+  SimConfig cfg;
+  cfg.horizon = 500;
+  cfg.wait = wait;
+  cfg.progress = progress;
+  cfg.validate = true;
+  Simulator sim(sys, proto, cfg);
+  const SimResult res = sim.run();
+  Outcome out;
+  StatAccumulator acc;
+  for (const auto& tm : res.per_task) {
+    out.misses += tm.deadline_misses;
+    out.completed += tm.jobs_completed;
+    if (!tm.response_time.empty()) acc.add(tm.response_time.mean());
+  }
+  out.mean_response = acc.count() ? acc.mean() : 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  header("Spin vs suspend (vs suspend+MPI): response time and misses");
+  Table table({"utilization", "cs len", "spin: resp/misses",
+               "suspend: resp/misses", "suspend+MPI: resp/misses"});
+  std::size_t spin_completed = 0, susp_completed = 0;
+  for (const double util : {0.35, 0.55}) {
+    for (const double cs : {0.1, 0.6}) {
+      Rng rng(13 + static_cast<std::uint64_t>(util * 100) +
+              static_cast<std::uint64_t>(cs * 10));
+      tasksys::GeneratorConfig gc;
+      gc.num_tasks = 12;
+      gc.num_processors = 4;
+      gc.cluster_size = 4;
+      gc.total_utilization = util * 4;
+      gc.num_resources = 4;
+      gc.read_ratio = 0.5;
+      gc.cs_min = cs / 2;
+      gc.cs_max = cs;
+      const TaskSystem sys = tasksys::generate(rng, gc);
+      const Outcome spin = run(sys, WaitMode::Spin,
+                               ProgressMechanism::Donation);
+      const Outcome susp = run(sys, WaitMode::Suspend,
+                               ProgressMechanism::Donation);
+      const Outcome mpi = run(sys, WaitMode::Suspend,
+                              ProgressMechanism::DonationPlusMpi);
+      spin_completed += spin.completed;
+      susp_completed += susp.completed;
+      auto cell = [](const Outcome& o) {
+        return Table::num(o.mean_response, 2) + " / " +
+               std::to_string(o.misses);
+      };
+      table.add_row({Table::num(util, 2), Table::num(cs, 1), cell(spin),
+                     cell(susp), cell(mpi)});
+    }
+  }
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  check(spin_completed > 0 && susp_completed > 0,
+        "both waiting modes complete work on every configuration");
+  std::printf(
+      "  Interpretation: in this overhead-free model spinning occupies a\n"
+      "  processor for the full acquisition delay while suspension frees\n"
+      "  it; which wins depends on spare capacity and CS length — the\n"
+      "  empirical question of [9] that motivated lock-based designs.\n");
+  return bench::finish();
+}

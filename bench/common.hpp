@@ -1,0 +1,30 @@
+// Shared helpers for the benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+namespace rwrnlp::bench {
+
+inline int g_failures = 0;
+
+inline void check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what.c_str());
+  if (!ok) ++g_failures;
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline int finish() {
+  if (g_failures == 0) {
+    std::printf("\nAll checks passed.\n");
+    return 0;
+  }
+  std::printf("\n%d check(s) FAILED.\n", g_failures);
+  return 1;
+}
+
+}  // namespace rwrnlp::bench

@@ -1,0 +1,77 @@
+// Incremental locking example (Sec. 3.7): a data-structure walk that locks
+// hand-over-hand under the protection of entitlement.
+//
+// A "directory tree" of resources: a job that may traverse the whole tree
+// declares all of it up front (the PCP-like a-priori knowledge), then locks
+// only the nodes it actually visits, acquiring each child as the traversal
+// decides where to go.  Because the request is *entitled* to its declared
+// set from the start, no later-issued conflicting request can slip in
+// between the increments — yet siblings the walk never touches remain
+// available to everyone else, which plain all-at-once locking would forbid.
+//
+// Build & run:   ./build/examples/incremental_walk
+#include <cstdio>
+
+#include "rsm/engine.hpp"
+#include "util/rng.hpp"
+
+using namespace rwrnlp;
+using namespace rwrnlp::rsm;
+
+int main() {
+  // A binary tree of 7 resources: node 0 the root, children of i at
+  // 2i+1 / 2i+2.
+  constexpr std::size_t kNodes = 7;
+  EngineOptions opt;
+  opt.validate = true;
+  opt.record_trace = true;
+  Engine engine(kNodes, opt);
+  Rng rng(2026);
+
+  double t = 0;
+  int walks = 0, contended_grants = 0;
+
+  for (int round = 0; round < 6; ++round) {
+    // A reader parks on a random leaf, simulating unrelated traffic.
+    const ResourceId leaf = static_cast<ResourceId>(3 + rng.next_below(4));
+    const RequestId parked =
+        engine.issue_read(t += 1, ResourceSet(kNodes, {leaf}));
+
+    // The walker declares the whole tree as potentially written, starts at
+    // the root, and descends to one leaf, locking as it goes.
+    ResourceSet whole(kNodes);
+    for (ResourceId n = 0; n < kNodes; ++n) whole.set(n);
+    const RequestId walk = engine.issue_incremental(
+        t += 1, ResourceSet(kNodes), whole, ResourceSet(kNodes, {0}));
+    std::printf("round %d: walker entitled, holds %s (reader parked on l%u)\n",
+                round, engine.holds(walk).to_string().c_str(), leaf);
+
+    ResourceId node = 0;
+    while (2 * node + 1 < kNodes) {
+      const ResourceId child =
+          static_cast<ResourceId>(2 * node + 1 + rng.next_below(2));
+      engine.request_more(t += 1, walk, ResourceSet(kNodes, {child}));
+      if (!engine.holds(walk).test(child)) {
+        // The parked reader holds this leaf; the walker is entitled, so the
+        // leaf comes to it the moment the reader finishes — nothing can
+        // overtake (Cor. 1).
+        ++contended_grants;
+        engine.complete(t += 1, parked);
+        // The grant happened inside the completion invocation.
+      }
+      node = child;
+    }
+    std::printf("         walked to leaf l%u holding %s\n", node,
+                engine.holds(walk).to_string().c_str());
+    engine.complete(t += 1, walk);
+    if (engine.request(parked).state != RequestState::Complete)
+      engine.complete(t += 1, parked);
+    ++walks;
+  }
+
+  std::printf("\n%d walks completed, %d grants had to wait for the parked "
+              "reader\n",
+              walks, contended_grants);
+  std::printf("OK: incremental locking held the traversal invariant\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: protect three shared resources with the R/W RNLP from
+// multiple threads, mixing single- and multi-resource read and write
+// requests.
+//
+// Build & run:   ./build/examples/quickstart
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "locks/spin_rw_rnlp.hpp"
+
+using rwrnlp::ResourceSet;
+using rwrnlp::locks::LockToken;
+using rwrnlp::locks::SpinRwRnlp;
+
+int main() {
+  // Three resources l0, l1, l2.  Declare that {l0, l1} may be read
+  // together (the protocol needs the read-sharing relation a priori; see
+  // Sec. 3.2 of the paper / DESIGN.md).
+  constexpr std::size_t kResources = 3;
+  rwrnlp::rsm::ReadShareTable shares(kResources);
+  shares.declare_read_request(ResourceSet(kResources, {0, 1}));
+
+  SpinRwRnlp lock(kResources, shares,
+                  rwrnlp::rsm::WriteExpansion::Placeholders);
+
+  // Shared state guarded by the protocol.
+  long counters[kResources] = {0, 0, 0};
+  long observed_sum01 = 0;
+
+  std::vector<std::thread> threads;
+  // Writers: each repeatedly writes one resource.
+  for (std::size_t r = 0; r < kResources; ++r) {
+    threads.emplace_back([&, r] {
+      for (int k = 0; k < 20000; ++k) {
+        ResourceSet writes(kResources);
+        writes.set(static_cast<rwrnlp::ResourceId>(r));
+        const LockToken t = lock.acquire(ResourceSet(kResources), writes);
+        ++counters[r];
+        lock.release(t);
+      }
+    });
+  }
+  // A reader that snapshots l0 and l1 together — a fine-grained
+  // multi-resource read request that runs concurrently with writes of l2.
+  threads.emplace_back([&] {
+    for (int k = 0; k < 20000; ++k) {
+      const LockToken t =
+          lock.acquire(ResourceSet(kResources, {0, 1}), ResourceSet(kResources));
+      observed_sum01 = counters[0] + counters[1];
+      lock.release(t);
+    }
+  });
+  for (auto& t : threads) t.join();
+
+  std::printf("final counters: l0=%ld l1=%ld l2=%ld\n", counters[0],
+              counters[1], counters[2]);
+  std::printf("last snapshot of l0+l1: %ld\n", observed_sum01);
+  const bool ok =
+      counters[0] == 20000 && counters[1] == 20000 && counters[2] == 20000;
+  std::printf("%s\n", ok ? "OK: all writes serialized correctly"
+                         : "ERROR: lost updates!");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// Worst-case blocking bounds for the compared protocols.
+//
+// Two layers:
+//
+//  1. *Global (theorem) bounds* — direct transcriptions of the paper's
+//     results: Thm. 1 (readers: L^r_max + L^w_max = O(1)), Thm. 2 (writers:
+//     (m-1)(L^r_max + L^w_max) = O(m)), the spin-mode release pi-blocking
+//     bound m * max(L^r_max, L^w_max) (Sec. 3.3), and the suspension-mode
+//     s-oblivious donation bound L^w_max + (m-1)(L^r_max + L^w_max)
+//     (Sec. 3.8).  Mutex-flavoured baselines (mutex RNLP, group mutex) get
+//     the classic FIFO bound (m-1) * L_max per request.
+//
+//  2. *Contention-aware refinement* — the paper's bounds assume worst-case
+//     sharing ("more information about sharing patterns is required to
+//     derive bounds that reflect parallelism among writers", Sec. 4).  For
+//     the schedulability study we therefore also compute a task-set-aware
+//     refinement: a request's blocking terms are restricted to the critical
+//     sections of tasks that can actually conflict with it under the given
+//     protocol (for a group lock, that is everyone — which is precisely why
+//     fine-grained locking wins).  The refined bound is always capped by
+//     the theorem bound, so it remains sound under the paper's analysis
+//     assumptions.
+#pragma once
+
+#include "sched/protocol.hpp"
+#include "sched/simulator.hpp"
+#include "sched/task.hpp"
+
+namespace rwrnlp::analysis {
+
+/// System-level constants used by the asymptotic (theorem) bounds.
+struct BlockingContext {
+  std::size_t m = 1;     ///< processors
+  double l_read = 0;     ///< L^r_max
+  double l_write = 0;    ///< L^w_max
+
+  double l_max() const { return std::max(l_read, l_write); }
+  static BlockingContext of(const sched::TaskSystem& sys);
+};
+
+/// Thm. 1 / Thm. 2 style per-request acquisition-delay bounds.
+double read_acquisition_bound(sched::ProtocolKind kind,
+                              const BlockingContext& ctx);
+double write_acquisition_bound(sched::ProtocolKind kind,
+                               const BlockingContext& ctx);
+
+/// Spin mode: worst-case pi-blocking suffered by *any* job (even
+/// non-resource-users) due to non-preemptive spinning (Sec. 3.3).
+double spin_release_pi_blocking_bound(sched::ProtocolKind kind,
+                                      const BlockingContext& ctx);
+
+/// Suspension mode: worst-case s-oblivious pi-blocking contributed by
+/// priority donation, affecting all tasks (Sec. 3.8): worst acquisition
+/// delay plus the maximum critical-section length.
+double donation_pi_blocking_bound(sched::ProtocolKind kind,
+                                  const BlockingContext& ctx);
+
+/// Contention-aware per-request bound: the worst-case acquisition delay of
+/// `cs`, issued by `task_idx`, considering only critical sections of other
+/// tasks that can conflict with it under `kind` (capped by the theorem
+/// bound).  This is the bound used to inflate execution costs in the
+/// schedulability study.
+double request_acquisition_bound(sched::ProtocolKind kind,
+                                 const sched::TaskSystem& sys,
+                                 std::size_t task_idx,
+                                 const sched::CriticalSection& cs);
+
+/// Total per-job blocking inflation for task `task_idx`: the sum of its
+/// requests' contention-aware acquisition bounds plus the per-job term of
+/// the progress mechanism (spin: one release-blocking term; suspension:
+/// one donation term).
+double job_blocking_bound(sched::ProtocolKind kind, sched::WaitMode wait,
+                          const sched::TaskSystem& sys,
+                          std::size_t task_idx);
+
+}  // namespace rwrnlp::analysis

@@ -1,0 +1,75 @@
+#include "analysis/schedulability.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rwrnlp::analysis {
+
+const char* to_string(SchedAlgo a) {
+  switch (a) {
+    case SchedAlgo::PartitionedEdf:
+      return "P-EDF";
+    case SchedAlgo::GlobalEdf:
+      return "G-EDF";
+  }
+  return "?";
+}
+
+std::vector<double> inflated_utilizations(const sched::TaskSystem& sys,
+                                          sched::ProtocolKind kind,
+                                          sched::WaitMode wait) {
+  std::vector<double> utils;
+  utils.reserve(sys.tasks.size());
+  for (std::size_t i = 0; i < sys.tasks.size(); ++i) {
+    const auto& t = sys.tasks[i];
+    const double b = job_blocking_bound(kind, wait, sys, i);
+    utils.push_back((t.wcet() + b) / t.period);
+  }
+  return utils;
+}
+
+bool partitioned_edf_first_fit(std::vector<double> utils, std::size_t m) {
+  RWRNLP_REQUIRE(m >= 1, "need at least one processor");
+  std::sort(utils.begin(), utils.end(), std::greater<>());
+  std::vector<double> bins(m, 0.0);
+  for (double u : utils) {
+    if (u > 1.0) return false;
+    bool placed = false;
+    for (double& bin : bins) {
+      if (bin + u <= 1.0 + 1e-12) {
+        bin += u;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return false;
+  }
+  return true;
+}
+
+bool global_edf_gfb(const std::vector<double>& utils, std::size_t m) {
+  RWRNLP_REQUIRE(m >= 1, "need at least one processor");
+  double sum = 0, umax = 0;
+  for (double u : utils) {
+    if (u > 1.0) return false;
+    sum += u;
+    umax = std::max(umax, u);
+  }
+  return sum <= static_cast<double>(m) -
+                    (static_cast<double>(m) - 1.0) * umax + 1e-12;
+}
+
+bool schedulable(const sched::TaskSystem& sys, sched::ProtocolKind kind,
+                 sched::WaitMode wait, SchedAlgo algo) {
+  const std::vector<double> utils = inflated_utilizations(sys, kind, wait);
+  switch (algo) {
+    case SchedAlgo::PartitionedEdf:
+      return partitioned_edf_first_fit(utils, sys.num_processors);
+    case SchedAlgo::GlobalEdf:
+      return global_edf_gfb(utils, sys.num_processors);
+  }
+  return false;
+}
+
+}  // namespace rwrnlp::analysis

@@ -1,0 +1,40 @@
+// Schedulability tests under s-oblivious inflation.
+//
+// Following the standard methodology for suspension-oblivious analysis
+// (Sec. 3.8 and [5]): each task's worst-case blocking is treated as extra
+// computation (e_i' = e_i + b_i), and the inflated task set is fed to an
+// overhead-free schedulability test.  Two tests are provided:
+//
+//  * Partitioned EDF with first-fit-decreasing bin packing (each partition
+//    schedulable iff its inflated utilization is at most 1);
+//  * Global EDF via the GFB density bound
+//    (U_sum <= m - (m-1) * u_max, Goossens/Funk/Baruah).
+#pragma once
+
+#include <vector>
+
+#include "analysis/blocking.hpp"
+#include "sched/simulator.hpp"
+
+namespace rwrnlp::analysis {
+
+enum class SchedAlgo { PartitionedEdf, GlobalEdf };
+
+const char* to_string(SchedAlgo a);
+
+/// Inflated utilization per task: (e_i + b_i) / p_i.
+std::vector<double> inflated_utilizations(const sched::TaskSystem& sys,
+                                          sched::ProtocolKind kind,
+                                          sched::WaitMode wait);
+
+/// First-fit decreasing partitioning onto m unit-capacity processors.
+bool partitioned_edf_first_fit(std::vector<double> utils, std::size_t m);
+
+/// GFB density test for global EDF (implicit deadlines).
+bool global_edf_gfb(const std::vector<double>& utils, std::size_t m);
+
+/// End-to-end: inflate under (kind, wait) and test with `algo`.
+bool schedulable(const sched::TaskSystem& sys, sched::ProtocolKind kind,
+                 sched::WaitMode wait, SchedAlgo algo);
+
+}  // namespace rwrnlp::analysis

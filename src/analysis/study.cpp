@@ -1,0 +1,80 @@
+#include "analysis/study.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rwrnlp::analysis {
+
+const StudyCurve& StudyResult::curve(sched::ProtocolKind kind) const {
+  for (const auto& c : curves)
+    if (c.protocol == kind) return c;
+  RWRNLP_REQUIRE(false, "protocol not part of this study");
+  return curves.front();  // unreachable
+}
+
+StudyResult run_sweep(
+    const StudyConfig& cfg, const std::vector<double>& points,
+    const std::function<void(tasksys::GeneratorConfig&, double)>& apply) {
+  RWRNLP_REQUIRE(!points.empty(), "sweep needs at least one point");
+  RWRNLP_REQUIRE(!cfg.protocols.empty(), "sweep needs at least one protocol");
+  StudyResult result;
+  result.points = points;
+  for (const auto kind : cfg.protocols)
+    result.curves.push_back(StudyCurve{kind, {}, 0});
+
+  Rng rng(cfg.seed);
+  for (const double v : points) {
+    std::vector<int> ok(cfg.protocols.size(), 0);
+    for (int s = 0; s < cfg.sets_per_point; ++s) {
+      tasksys::GeneratorConfig gc = cfg.base;
+      apply(gc, v);
+      const sched::TaskSystem sys = tasksys::generate(rng, gc);
+      for (std::size_t p = 0; p < cfg.protocols.size(); ++p) {
+        if (schedulable(sys, cfg.protocols[p], cfg.wait, cfg.algo)) ++ok[p];
+      }
+    }
+    for (std::size_t p = 0; p < cfg.protocols.size(); ++p) {
+      const double ratio =
+          static_cast<double>(ok[p]) / cfg.sets_per_point;
+      result.curves[p].acceptance.push_back(ratio);
+      result.curves[p].area += ratio;
+    }
+  }
+  return result;
+}
+
+StudyResult sweep_utilization(const StudyConfig& cfg,
+                              const std::vector<double>& normalized_utils) {
+  return run_sweep(cfg, normalized_utils,
+                   [](tasksys::GeneratorConfig& gc, double u) {
+                     gc.total_utilization =
+                         u * static_cast<double>(gc.num_processors);
+                   });
+}
+
+StudyResult sweep_cs_length(const StudyConfig& cfg,
+                            const std::vector<double>& cs_max_values) {
+  return run_sweep(cfg, cs_max_values,
+                   [](tasksys::GeneratorConfig& gc, double cs_max) {
+                     gc.cs_max = cs_max;
+                     gc.cs_min = std::min(gc.cs_min, cs_max / 2);
+                   });
+}
+
+StudyResult sweep_num_resources(const StudyConfig& cfg,
+                                const std::vector<double>& q_values) {
+  return run_sweep(cfg, q_values,
+                   [](tasksys::GeneratorConfig& gc, double q) {
+                     gc.num_resources = static_cast<std::size_t>(q);
+                   });
+}
+
+StudyResult sweep_read_ratio(const StudyConfig& cfg,
+                             const std::vector<double>& ratios) {
+  return run_sweep(cfg, ratios, [](tasksys::GeneratorConfig& gc, double rr) {
+    gc.read_ratio = rr;
+  });
+}
+
+}  // namespace rwrnlp::analysis

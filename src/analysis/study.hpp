@@ -1,0 +1,63 @@
+// Schedulability-study runner: the standard experimental methodology of
+// the multiprocessor real-time locking literature (cf. [4-7,9]) packaged
+// as a reusable API.  A StudyConfig fixes the workload distributions; a
+// sweep varies one dimension (total utilization, critical-section length,
+// resource count, read ratio, ...) and reports, per protocol, the fraction
+// of randomly generated task sets that pass the schedulability test.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/schedulability.hpp"
+#include "tasksys/generator.hpp"
+
+namespace rwrnlp::analysis {
+
+struct StudyConfig {
+  tasksys::GeneratorConfig base;
+  sched::WaitMode wait = sched::WaitMode::Suspend;
+  SchedAlgo algo = SchedAlgo::PartitionedEdf;
+  std::vector<sched::ProtocolKind> protocols = {
+      sched::ProtocolKind::RwRnlp, sched::ProtocolKind::MutexRnlp,
+      sched::ProtocolKind::GroupRw, sched::ProtocolKind::GroupMutex};
+  int sets_per_point = 50;
+  std::uint64_t seed = 1;
+};
+
+struct StudyCurve {
+  sched::ProtocolKind protocol;
+  /// Acceptance ratio per sweep point, in sweep order.
+  std::vector<double> acceptance;
+  /// Sum of acceptance ratios ("area" under the curve) — the scalar used
+  /// to compare protocols across a whole sweep.
+  double area = 0;
+};
+
+struct StudyResult {
+  std::vector<double> points;  ///< the swept values
+  std::vector<StudyCurve> curves;
+
+  const StudyCurve& curve(sched::ProtocolKind kind) const;
+};
+
+/// Runs a sweep: for each value v in `points`, `apply(config, v)` mutates a
+/// copy of the generator config, `sets_per_point` task sets are generated,
+/// and every protocol's acceptance ratio is recorded.  The same task sets
+/// are used for every protocol at a given point (paired comparison).
+StudyResult run_sweep(
+    const StudyConfig& cfg, const std::vector<double>& points,
+    const std::function<void(tasksys::GeneratorConfig&, double)>& apply);
+
+/// Convenience sweeps.
+StudyResult sweep_utilization(const StudyConfig& cfg,
+                              const std::vector<double>& normalized_utils);
+StudyResult sweep_cs_length(const StudyConfig& cfg,
+                            const std::vector<double>& cs_max_values);
+StudyResult sweep_num_resources(const StudyConfig& cfg,
+                                const std::vector<double>& q_values);
+StudyResult sweep_read_ratio(const StudyConfig& cfg,
+                             const std::vector<double>& ratios);
+
+}  // namespace rwrnlp::analysis

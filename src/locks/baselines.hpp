@@ -1,0 +1,117 @@
+// Baseline multi-resource locks compared against the R/W RNLP:
+//
+//  * GroupRwLock — coarse-grained locking: one phase-fair R/W lock guards
+//    every resource (group locking [3] with a reader/writer constraint).
+//  * GroupMutexLock — one FIFO ticket mutex guards everything.
+//  * TwoPhaseLock — fine-grained deadlock-free two-phase locking: one
+//    phase-fair R/W lock per resource, acquired in global index order and
+//    released in reverse.  The classic throughput-oriented baseline; it has
+//    no O(1) reader guarantee (a reader can transitively wait on chains of
+//    writers) but maximizes average concurrency.
+#pragma once
+
+#include <vector>
+
+#include "locks/multi_lock.hpp"
+#include "locks/phase_fair.hpp"
+#include "locks/ticket_mutex.hpp"
+
+namespace rwrnlp::locks {
+
+class GroupRwLock final : public MultiResourceLock {
+ public:
+  explicit GroupRwLock(std::size_t num_resources) : q_(num_resources) {}
+
+  LockToken acquire(const ResourceSet& /*reads*/,
+                    const ResourceSet& writes) override {
+    const bool write = !writes.empty();
+    if (write) {
+      lock_.write_lock();
+    } else {
+      lock_.read_lock();
+    }
+    return LockToken{write ? 1u : 0u, nullptr};
+  }
+
+  void release(LockToken token) override {
+    if (token.id != 0) {
+      lock_.write_unlock();
+    } else {
+      lock_.read_unlock();
+    }
+  }
+
+  std::string name() const override { return "group-rw"; }
+  std::size_t num_resources() const override { return q_; }
+
+ private:
+  std::size_t q_;
+  PhaseFairLock lock_;
+};
+
+class GroupMutexLock final : public MultiResourceLock {
+ public:
+  explicit GroupMutexLock(std::size_t num_resources) : q_(num_resources) {}
+
+  LockToken acquire(const ResourceSet&, const ResourceSet&) override {
+    lock_.lock();
+    return LockToken{};
+  }
+
+  void release(LockToken) override { lock_.unlock(); }
+
+  std::string name() const override { return "group-mutex"; }
+  std::size_t num_resources() const override { return q_; }
+
+ private:
+  std::size_t q_;
+  TicketMutex lock_;
+};
+
+class TwoPhaseLock final : public MultiResourceLock {
+ public:
+  explicit TwoPhaseLock(std::size_t num_resources)
+      : locks_(num_resources) {}
+
+  LockToken acquire(const ResourceSet& reads,
+                    const ResourceSet& writes) override {
+    // Global index order prevents deadlock; write access wins when a
+    // resource appears in both sets.
+    auto* held = new HeldSets{reads, writes};
+    const ResourceSet all = reads | writes;
+    all.for_each([&](ResourceId r) {
+      if (writes.test(r)) {
+        locks_[r].write_lock();
+      } else {
+        locks_[r].read_lock();
+      }
+    });
+    return LockToken{0, held};
+  }
+
+  void release(LockToken token) override {
+    auto* held = static_cast<HeldSets*>(token.data);
+    // Reverse order release.
+    const ResourceSet all = held->reads | held->writes;
+    const auto ids = all.to_vector();
+    for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+      if (held->writes.test(*it)) {
+        locks_[*it].write_unlock();
+      } else {
+        locks_[*it].read_unlock();
+      }
+    }
+    delete held;
+  }
+
+  std::string name() const override { return "two-phase"; }
+  std::size_t num_resources() const override { return locks_.size(); }
+
+ private:
+  struct HeldSets {
+    ResourceSet reads, writes;
+  };
+  std::vector<PhaseFairLock> locks_;
+};
+
+}  // namespace rwrnlp::locks

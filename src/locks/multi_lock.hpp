@@ -1,0 +1,38 @@
+// Common interface for multi-resource locks, so the throughput and latency
+// benchmarks can drive every protocol through the same harness.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/resource_set.hpp"
+
+namespace rwrnlp::locks {
+
+/// Opaque per-acquisition token returned by acquire() and consumed by
+/// release().
+struct LockToken {
+  std::uint64_t id = 0;
+  void* data = nullptr;
+};
+
+/// A lock protecting q resources, acquired with read/write sets.
+/// Implementations must be safe for concurrent use from many threads.
+class MultiResourceLock {
+ public:
+  virtual ~MultiResourceLock() = default;
+
+  /// Blocks until read access to `reads` and write access to `writes` is
+  /// granted (both sets may be used in one call — R/W mixing).
+  virtual LockToken acquire(const ResourceSet& reads,
+                            const ResourceSet& writes) = 0;
+
+  /// Releases everything acquired by the matching acquire().
+  virtual void release(LockToken token) = 0;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t num_resources() const = 0;
+};
+
+}  // namespace rwrnlp::locks

@@ -1,0 +1,70 @@
+// Phase-fair ticket reader/writer lock (PF-T).
+//
+// Implementation of Brandenburg & Anderson's phase-fair ticket lock
+// ("Spin-based reader-writer synchronization for multiprocessor real-time
+// systems", Real-Time Systems 46, 2010, Listing 3): read and write phases
+// alternate whenever both kinds of requests are present, so a reader waits
+// for at most one write phase (O(1)) and writers gain the lock FIFO among
+// themselves (O(m) under P2).  This is the single-resource building block
+// that the R/W RNLP generalizes to fine-grained multi-resource locking.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "locks/ticket_mutex.hpp"
+
+namespace rwrnlp::locks {
+
+class PhaseFairLock {
+ public:
+  void read_lock() {
+    // Snapshot the writer-presence bits; block only while *that* writer
+    // phase persists (readers never wait for more than one write phase).
+    const std::uint32_t w =
+        rin_.fetch_add(kReaderInc, std::memory_order_acquire) & kWriterBits;
+    if (w != 0) {
+      SpinBackoff backoff;
+      while ((rin_.load(std::memory_order_acquire) & kWriterBits) == w)
+        backoff.pause();
+    }
+  }
+
+  void read_unlock() {
+    rout_.fetch_add(kReaderInc, std::memory_order_release);
+  }
+
+  void write_lock() {
+    // FIFO among writers.
+    const std::uint32_t ticket =
+        win_.fetch_add(1, std::memory_order_relaxed);
+    SpinBackoff backoff;
+    while (wout_.load(std::memory_order_acquire) != ticket) backoff.pause();
+    // Announce presence (with the phase id in the low bit) and wait for the
+    // readers that entered before us to drain.
+    const std::uint32_t w = kPresent | (ticket & kPhaseId);
+    const std::uint32_t readers =
+        rin_.fetch_add(w, std::memory_order_acquire) & ~kWriterBits;
+    while (rout_.load(std::memory_order_acquire) != readers) backoff.pause();
+  }
+
+  void write_unlock() {
+    // Clear the writer bits (releasing the blocked readers of this phase),
+    // then pass the writer baton.
+    rin_.fetch_and(~kWriterBits, std::memory_order_release);
+    wout_.fetch_add(1, std::memory_order_release);
+  }
+
+ private:
+  static constexpr std::uint32_t kReaderInc = 0x100;
+  static constexpr std::uint32_t kWriterBits = 0x3;
+  static constexpr std::uint32_t kPresent = 0x2;
+  static constexpr std::uint32_t kPhaseId = 0x1;
+
+  std::atomic<std::uint32_t> rin_{0};
+  std::atomic<std::uint32_t> rout_{0};
+  std::atomic<std::uint32_t> win_{0};
+  std::atomic<std::uint32_t> wout_{0};
+};
+
+}  // namespace rwrnlp::locks

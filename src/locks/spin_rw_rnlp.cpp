@@ -1,0 +1,155 @@
+#include "locks/spin_rw_rnlp.hpp"
+
+#include "util/assert.hpp"
+
+namespace rwrnlp::locks {
+
+rsm::EngineOptions SpinRwRnlp::make_options(rsm::WriteExpansion expansion) {
+  rsm::EngineOptions opt;
+  opt.expansion = expansion;
+  opt.retain_history = false;  // recycle request slots: long-running lock
+  return opt;
+}
+
+SpinRwRnlp::SpinRwRnlp(std::size_t num_resources, rsm::ReadShareTable shares,
+                       rsm::WriteExpansion expansion, bool reads_as_writes)
+    : q_(num_resources),
+      reads_as_writes_(reads_as_writes),
+      engine_(num_resources, std::move(shares), make_options(expansion)) {
+  engine_.set_satisfied_callback([this](rsm::RequestId id, rsm::Time) {
+    // Runs with mutex_ held (inside an invocation).
+    const auto it = waiters_.find(id);
+    if (it != waiters_.end()) {
+      it->second->satisfied.store(true, std::memory_order_release);
+      waiters_.erase(it);
+    }
+  });
+}
+
+SpinRwRnlp::SpinRwRnlp(std::size_t num_resources,
+                       rsm::WriteExpansion expansion, bool reads_as_writes)
+    : SpinRwRnlp(num_resources, rsm::ReadShareTable(num_resources), expansion,
+                 reads_as_writes) {}
+
+LockToken SpinRwRnlp::acquire(const ResourceSet& reads,
+                              const ResourceSet& writes) {
+  Waiter waiter;  // lives on this stack frame until satisfaction
+  rsm::RequestId id;
+  bool satisfied;
+  {
+    mutex_.lock();
+    const double t = static_cast<double>(++logical_time_);
+    if (reads_as_writes_) {
+      ResourceSet all = reads | writes;
+      id = engine_.issue_write(t, all);
+    } else if (writes.empty()) {
+      id = engine_.issue_read(t, reads);
+    } else if (reads.empty()) {
+      id = engine_.issue_write(t, writes);
+    } else {
+      id = engine_.issue_mixed(t, reads, writes);
+    }
+    satisfied = engine_.is_satisfied(id);
+    if (!satisfied) waiters_.emplace(id, &waiter);
+    mutex_.unlock();
+  }
+  if (!satisfied) {
+    // Rule S1: busy-wait (the thread keeps its processor).
+    SpinBackoff backoff;
+    while (!waiter.satisfied.load(std::memory_order_acquire))
+      backoff.pause();
+  }
+  return LockToken{id, nullptr};
+}
+
+void SpinRwRnlp::release(LockToken token) {
+  mutex_.lock();
+  const double t = static_cast<double>(++logical_time_);
+  engine_.complete(t, static_cast<rsm::RequestId>(token.id));
+  mutex_.unlock();
+}
+
+std::string SpinRwRnlp::name() const {
+  return reads_as_writes_ ? "mutex-rnlp" : "rw-rnlp";
+}
+
+SpinRwRnlp::UpgradeToken SpinRwRnlp::acquire_upgradeable(
+    const ResourceSet& resources) {
+  Waiter read_waiter, write_waiter;
+  rsm::UpgradeablePair pair;
+  bool read_done, write_done;
+  {
+    mutex_.lock();
+    const double t = static_cast<double>(++logical_time_);
+    pair = engine_.issue_upgradeable(t, resources);
+    read_done = engine_.is_satisfied(pair.read_part);
+    write_done = engine_.is_satisfied(pair.write_part);
+    if (!read_done && !write_done) {
+      waiters_.emplace(pair.read_part, &read_waiter);
+      waiters_.emplace(pair.write_part, &write_waiter);
+    }
+    mutex_.unlock();
+  }
+  if (!read_done && !write_done) {
+    // Spin until either half is satisfied.
+    SpinBackoff backoff;
+    for (;;) {
+      if (read_waiter.satisfied.load(std::memory_order_acquire)) {
+        read_done = true;
+        break;
+      }
+      if (write_waiter.satisfied.load(std::memory_order_acquire)) {
+        write_done = true;
+        break;
+      }
+      backoff.pause();
+    }
+    // Drop any still-registered entry for the losing half: its Waiter lives
+    // on this stack frame and must not be referenced later.  (The write
+    // half cannot be satisfied while the read half holds its locks, and a
+    // canceled read half never fires, so nothing is lost.)
+    mutex_.lock();
+    waiters_.erase(pair.read_part);
+    waiters_.erase(pair.write_part);
+    mutex_.unlock();
+  }
+  return UpgradeToken{pair, write_done};
+}
+
+void SpinRwRnlp::upgrade(UpgradeToken& token) {
+  RWRNLP_REQUIRE(!token.write_mode, "upgrade() after the write half won");
+  Waiter waiter;
+  bool satisfied;
+  {
+    mutex_.lock();
+    const double t = static_cast<double>(++logical_time_);
+    engine_.finish_read_segment(t, token.pair, /*upgrade=*/true);
+    satisfied = engine_.is_satisfied(token.pair.write_part);
+    if (!satisfied) waiters_.emplace(token.pair.write_part, &waiter);
+    mutex_.unlock();
+  }
+  if (!satisfied) {
+    SpinBackoff backoff;
+    while (!waiter.satisfied.load(std::memory_order_acquire))
+      backoff.pause();
+  }
+  token.write_mode = true;
+}
+
+void SpinRwRnlp::abandon(const UpgradeToken& token) {
+  RWRNLP_REQUIRE(!token.write_mode, "abandon() after the write half won");
+  mutex_.lock();
+  const double t = static_cast<double>(++logical_time_);
+  engine_.finish_read_segment(t, token.pair, /*upgrade=*/false);
+  mutex_.unlock();
+}
+
+void SpinRwRnlp::release_upgraded(const UpgradeToken& token) {
+  RWRNLP_REQUIRE(token.write_mode, "release_upgraded() without write mode");
+  mutex_.lock();
+  const double t = static_cast<double>(++logical_time_);
+  engine_.complete(t, token.pair.write_part);
+  mutex_.unlock();
+}
+
+}  // namespace rwrnlp::locks

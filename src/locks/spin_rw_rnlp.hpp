@@ -1,0 +1,80 @@
+// Concurrent (real-thread) spin-based R/W RNLP.
+//
+// The RSM engine is a sequential state machine whose invocations the paper
+// assumes to be atomic (Rule G4).  This wrapper realizes that assumption in
+// user space: a short internal ticket lock serializes protocol invocations
+// (issue / complete), and waiters spin on a per-request flag that the
+// engine's satisfaction callback sets from within whichever invocation
+// satisfies the request.  Logical time is a monotonically increasing
+// invocation counter.
+//
+// This mirrors how the RNLP family is implemented in LITMUS^RT (protocol
+// state updated under a short spinlock, waiters spinning on private flags);
+// the spinning itself is the paper's Rule S1 progress mechanism, with
+// thread pinning standing in for non-preemptive execution (see DESIGN.md).
+#pragma once
+
+#include <atomic>
+#include <unordered_map>
+
+#include "locks/multi_lock.hpp"
+#include "locks/ticket_mutex.hpp"
+#include "rsm/engine.hpp"
+
+namespace rwrnlp::locks {
+
+class SpinRwRnlp final : public MultiResourceLock {
+ public:
+  /// `reads_as_writes` turns the lock into the original mutex RNLP [19]
+  /// under Assumption 1 (used as a baseline).
+  SpinRwRnlp(std::size_t num_resources, rsm::ReadShareTable shares,
+             rsm::WriteExpansion expansion = rsm::WriteExpansion::ExpandDomain,
+             bool reads_as_writes = false);
+  SpinRwRnlp(std::size_t num_resources,
+             rsm::WriteExpansion expansion = rsm::WriteExpansion::ExpandDomain,
+             bool reads_as_writes = false);
+
+  LockToken acquire(const ResourceSet& reads,
+                    const ResourceSet& writes) override;
+  void release(LockToken token) override;
+  std::string name() const override;
+  std::size_t num_resources() const override { return q_; }
+
+  // --- upgradeable requests (Sec. 3.6), used by the STM layer -------------
+
+  /// Outcome of acquire_upgradeable(): either the optimistic read half was
+  /// satisfied (write_mode == false: the caller runs its read-only segment
+  /// and then calls upgrade() or abandon()) or the write half won the race
+  /// (write_mode == true: the caller holds write locks and finishes with
+  /// release_upgraded()).
+  struct UpgradeToken {
+    rsm::UpgradeablePair pair;
+    bool write_mode = false;
+  };
+
+  UpgradeToken acquire_upgradeable(const ResourceSet& resources);
+  /// Ends the read segment and blocks until the write half is satisfied.
+  /// Data may have changed in between (the paper's Sec. 3.6 caveat): the
+  /// caller must re-read.  Only valid when write_mode == false.
+  void upgrade(UpgradeToken& token);
+  /// Ends the read segment without upgrading.  Only when !write_mode.
+  void abandon(const UpgradeToken& token);
+  /// Releases the write half (after upgrade(), or when write_mode is true).
+  void release_upgraded(const UpgradeToken& token);
+
+ private:
+  struct Waiter {
+    std::atomic<bool> satisfied{false};
+  };
+
+  static rsm::EngineOptions make_options(rsm::WriteExpansion expansion);
+
+  std::size_t q_;
+  bool reads_as_writes_;
+  TicketMutex mutex_;  // serializes engine invocations (Rule G4)
+  rsm::Engine engine_;
+  std::uint64_t logical_time_ = 0;
+  std::unordered_map<rsm::RequestId, Waiter*> waiters_;
+};
+
+}  // namespace rwrnlp::locks

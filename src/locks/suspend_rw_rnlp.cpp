@@ -1,0 +1,59 @@
+#include "locks/suspend_rw_rnlp.hpp"
+
+namespace rwrnlp::locks {
+
+namespace {
+rsm::EngineOptions suspend_options(rsm::WriteExpansion expansion) {
+  rsm::EngineOptions opt;
+  opt.expansion = expansion;
+  opt.retain_history = false;
+  return opt;
+}
+}  // namespace
+
+SuspendRwRnlp::SuspendRwRnlp(std::size_t num_resources,
+                             rsm::ReadShareTable shares,
+                             rsm::WriteExpansion expansion)
+    : q_(num_resources),
+      engine_(num_resources, std::move(shares), suspend_options(expansion)) {
+  engine_.set_satisfied_callback([this](rsm::RequestId id, rsm::Time) {
+    // mutex_ is held by the invoking thread.
+    satisfied_[id] = true;
+  });
+}
+
+SuspendRwRnlp::SuspendRwRnlp(std::size_t num_resources,
+                             rsm::WriteExpansion expansion)
+    : SuspendRwRnlp(num_resources, rsm::ReadShareTable(num_resources),
+                    expansion) {}
+
+LockToken SuspendRwRnlp::acquire(const ResourceSet& reads,
+                                 const ResourceSet& writes) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  const double t = static_cast<double>(++logical_time_);
+  rsm::RequestId id;
+  if (writes.empty()) {
+    id = engine_.issue_read(t, reads);
+  } else if (reads.empty()) {
+    id = engine_.issue_write(t, writes);
+  } else {
+    id = engine_.issue_mixed(t, reads, writes);
+  }
+  if (!engine_.is_satisfied(id)) {
+    cv_.wait(lk, [&] { return satisfied_.count(id) != 0; });
+  }
+  satisfied_.erase(id);
+  return LockToken{id, nullptr};
+}
+
+void SuspendRwRnlp::release(LockToken token) {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    const double t = static_cast<double>(++logical_time_);
+    engine_.complete(t, static_cast<rsm::RequestId>(token.id));
+  }
+  // Completion may have satisfied any number of waiters.
+  cv_.notify_all();
+}
+
+}  // namespace rwrnlp::locks

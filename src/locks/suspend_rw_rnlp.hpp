@@ -1,0 +1,46 @@
+// Suspension-based user-space R/W RNLP (Sec. 3.8 flavour).
+//
+// Same RSM engine as the spin variant, but blocked threads sleep on a
+// per-request condition variable instead of burning cycles — the user-space
+// analogue of the paper's suspension-based protocol (where the kernel
+// scheduler plus priority donation provide Properties P1/P2; in a plain
+// user-space process the OS scheduler stands in, so this variant trades
+// the paper's analytical guarantees for CPU efficiency on oversubscribed
+// hosts).  Useful as the default choice whenever threads outnumber cores.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+
+#include "locks/multi_lock.hpp"
+#include "rsm/engine.hpp"
+
+namespace rwrnlp::locks {
+
+class SuspendRwRnlp final : public MultiResourceLock {
+ public:
+  SuspendRwRnlp(std::size_t num_resources, rsm::ReadShareTable shares,
+                rsm::WriteExpansion expansion =
+                    rsm::WriteExpansion::Placeholders);
+  explicit SuspendRwRnlp(std::size_t num_resources,
+                         rsm::WriteExpansion expansion =
+                             rsm::WriteExpansion::Placeholders);
+
+  LockToken acquire(const ResourceSet& reads,
+                    const ResourceSet& writes) override;
+  void release(LockToken token) override;
+  std::string name() const override { return "rw-rnlp-suspend"; }
+  std::size_t num_resources() const override { return q_; }
+
+ private:
+  std::size_t q_;
+  std::mutex mutex_;                  // guards the engine (Rule G4)
+  std::condition_variable cv_;        // broadcast on any satisfaction
+  rsm::Engine engine_;
+  std::uint64_t logical_time_ = 0;
+  // Requests satisfied but whose waiter has not yet observed it.
+  std::unordered_map<rsm::RequestId, bool> satisfied_;
+};
+
+}  // namespace rwrnlp::locks

@@ -1,0 +1,61 @@
+// Task-fair reader/writer ticket lock (TF-T).
+//
+// The strict-FIFO reader/writer discipline that Brandenburg & Anderson's
+// phase-fair locks (the paper's reference [7]) were designed to improve
+// upon: readers and writers are served strictly in arrival order, with
+// consecutive readers sharing.  Worst-case reader blocking is O(m) — a
+// reader can sit behind an alternation of earlier writers and readers —
+// whereas a phase-fair reader waits at most one write phase (O(1)).
+// Included as the classic baseline so the reader-blocking comparison that
+// motivates phase-fairness (and transitively the R/W RNLP) is reproducible
+// in this repository.
+//
+// Implementation: a ticket pair plus reader-sharing — writers take one
+// ticket each; a reader takes a ticket and, once served, immediately
+// passes the baton to the next ticket holder if that holder is also a
+// reader (tracked with a reader count so the write baton is passed only
+// when all readers of the batch left).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "locks/ticket_mutex.hpp"
+
+namespace rwrnlp::locks {
+
+class TaskFairLock {
+ public:
+  void read_lock() {
+    const std::uint32_t ticket =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    SpinBackoff backoff;
+    while (serving_.load(std::memory_order_acquire) != ticket)
+      backoff.pause();
+    // We are served: admit ourselves as a reader and immediately pass the
+    // baton so a directly following reader shares the lock with us.
+    readers_.fetch_add(1, std::memory_order_acq_rel);
+    serving_.fetch_add(1, std::memory_order_release);
+  }
+
+  void read_unlock() { readers_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  void write_lock() {
+    const std::uint32_t ticket =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    SpinBackoff backoff;
+    while (serving_.load(std::memory_order_acquire) != ticket)
+      backoff.pause();
+    // Wait for the reader batch ahead of us to drain.
+    while (readers_.load(std::memory_order_acquire) != 0) backoff.pause();
+  }
+
+  void write_unlock() { serving_.fetch_add(1, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint32_t> next_{0};
+  std::atomic<std::uint32_t> serving_{0};
+  std::atomic<std::int32_t> readers_{0};
+};
+
+}  // namespace rwrnlp::locks

@@ -1,0 +1,791 @@
+#include "rsm/engine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rwrnlp::rsm {
+
+Engine::Engine(std::size_t num_resources, ReadShareTable shares,
+               EngineOptions options)
+    : options_(options),
+      shares_(std::move(shares)),
+      resources_(num_resources) {
+  RWRNLP_REQUIRE(shares_.num_resources() == num_resources,
+                 "read-share table size (" << shares_.num_resources()
+                                           << ") != resource count ("
+                                           << num_resources << ")");
+}
+
+Engine::Engine(std::size_t num_resources, EngineOptions options)
+    : Engine(num_resources, ReadShareTable(num_resources), options) {}
+
+Request& Engine::req(RequestId id) {
+  RWRNLP_REQUIRE(id < requests_.size(), "bad request id " << id);
+  return requests_[id];
+}
+
+const Request& Engine::creq(RequestId id) const {
+  RWRNLP_REQUIRE(id < requests_.size(), "bad request id " << id);
+  return requests_[id];
+}
+
+const Request& Engine::request(RequestId id) const { return creq(id); }
+
+RequestId Engine::alloc_request() {
+  if (!free_slots_.empty()) {
+    const RequestId id = free_slots_.back();
+    free_slots_.pop_back();
+    requests_[id] = Request{};
+    requests_[id].id = id;
+    return id;
+  }
+  const RequestId id = static_cast<RequestId>(requests_.size());
+  requests_.emplace_back();
+  requests_[id].id = id;
+  return id;
+}
+
+void Engine::maybe_recycle(RequestId id) {
+  if (options_.retain_history) return;
+  const Request& r = creq(id);
+  if (r.incomplete()) return;
+  if (r.partner != kNoRequest && creq(r.partner).incomplete()) return;
+  // A slot must be freed exactly once: finish_read_segment() reaches here
+  // twice for the same pair (once via the canceled write half, once via the
+  // completed read half), so guard both pushes.
+  if (std::find(free_slots_.begin(), free_slots_.end(), id) ==
+      free_slots_.end())
+    free_slots_.push_back(id);
+  if (r.partner != kNoRequest) {
+    if (std::find(free_slots_.begin(), free_slots_.end(), r.partner) ==
+        free_slots_.end())
+      free_slots_.push_back(r.partner);
+  }
+}
+
+void Engine::check_resources(const ResourceSet& rs) const {
+  rs.for_each([&](ResourceId l) {
+    RWRNLP_REQUIRE(l < num_resources(),
+                   "resource l" << l << " outside this engine's universe (q="
+                                << num_resources() << ")");
+  });
+}
+
+void Engine::begin_invocation(Time t) {
+  RWRNLP_REQUIRE(t >= now_, "invocation times must be non-decreasing ("
+                                << t << " < " << now_ << ")");
+  now_ = t;
+}
+
+void Engine::record(Time t, TraceKind kind, const Request& r,
+                    const ResourceSet& rs) {
+  if (!options_.record_trace) return;
+  trace_.push_back(TraceEvent{t, kind, r.id, r.is_write, rs});
+}
+
+// ---------------------------------------------------------------------------
+// Issuance
+// ---------------------------------------------------------------------------
+
+RequestId Engine::issue_common(Time t, Request&& r) {
+  const RequestId id = alloc_request();
+  Request& stored = requests_[id];
+  const RequestId keep_partner = r.partner;
+  r.id = id;
+  r.partner = keep_partner;
+  r.ts = next_ts_++;  // Rule G1 + G4: total issuance order.
+  r.issue_time = t;
+  r.state = RequestState::Waiting;
+  r.held = ResourceSet(num_resources());
+  stored = std::move(r);
+  live_.push_back(id);
+  enqueue(stored);
+  record(t, TraceKind::Issue, stored, stored.domain);
+  return id;
+}
+
+RequestId Engine::issue_read(Time t, const ResourceSet& reads) {
+  RWRNLP_REQUIRE(!reads.empty(), "read request needs at least one resource");
+  check_resources(reads);
+  begin_invocation(t);
+  Request r;
+  r.is_write = false;
+  r.need_read = reads;
+  r.domain = reads;                       // D = N for reads (Sec. 3.2)
+  r.domain_write = ResourceSet(num_resources());
+  r.wanted = r.domain;
+  const RequestId id = issue_common(t, std::move(r));
+  fixpoint(t);
+  if (options_.validate) check_structure();
+  return id;
+}
+
+RequestId Engine::issue_write(Time t, const ResourceSet& writes) {
+  return issue_mixed(t, ResourceSet(num_resources()), writes);
+}
+
+RequestId Engine::issue_mixed(Time t, const ResourceSet& reads,
+                              const ResourceSet& writes) {
+  RWRNLP_REQUIRE(!writes.empty(),
+                 "write/mixed request needs at least one written resource");
+  check_resources(reads);
+  check_resources(writes);
+  begin_invocation(t);
+  Request r;
+  r.is_write = true;
+  r.need_read = reads;
+  r.need_write = writes;
+  ResourceSet needed = reads | writes;
+  const ResourceSet closure = shares_.closure(needed);
+  if (options_.expansion == WriteExpansion::ExpandDomain) {
+    // Sec. 3.2: the write claims the whole read-set closure.  Resources the
+    // request only reads keep read mode; everything else (including the
+    // expansion remainder) is locked for writing.
+    r.domain = closure;
+    r.domain_write = closure - reads;
+  } else {
+    // Sec. 3.4: claim only N; placeholders occupy the closure remainder M.
+    r.domain = needed;
+    r.domain_write = writes;
+    r.placeholders = closure - needed;
+  }
+  r.wanted = r.domain;
+  const RequestId id = issue_common(t, std::move(r));
+  fixpoint(t);
+  if (options_.validate) check_structure();
+  return id;
+}
+
+UpgradeablePair Engine::issue_upgradeable(Time t,
+                                          const ResourceSet& resources) {
+  RWRNLP_REQUIRE(!resources.empty(),
+                 "upgradeable request needs at least one resource");
+  check_resources(resources);
+  begin_invocation(t);
+
+  Request rr;  // R^{u_r}: the optimistic read half.
+  rr.is_write = false;
+  rr.upgrade_read = true;
+  rr.need_read = resources;
+  rr.domain = resources;
+  rr.domain_write = ResourceSet(num_resources());
+  rr.wanted = rr.domain;
+  const RequestId read_id = issue_common(t, std::move(rr));
+
+  Request rw;  // R^{u_w}: the pessimistic write half.
+  rw.is_write = true;
+  rw.upgrade_write = true;
+  rw.need_write = resources;
+  const ResourceSet closure = shares_.closure(resources);
+  if (options_.expansion == WriteExpansion::ExpandDomain) {
+    rw.domain = closure;
+    rw.domain_write = closure;
+  } else {
+    rw.domain = resources;
+    rw.domain_write = resources;
+    rw.placeholders = closure - resources;
+  }
+  rw.wanted = rw.domain;
+  rw.partner = read_id;
+  const RequestId write_id = issue_common(t, std::move(rw));
+  req(read_id).partner = write_id;
+
+  // One atomic invocation issues both halves (Sec. 3.6).  The read half gets
+  // first crack via Rule R1 — *before* the fixpoint can entitle the write
+  // half — so that in an uncontended system the read-only segment runs
+  // optimistically under read locks instead of degenerating to a plain
+  // write.
+  {
+    Request& rhalf = req(read_id);
+    if (!read_conflicts_with_entitled_write(rhalf) && !has_blockers(rhalf)) {
+      satisfy(t, rhalf);
+    }
+  }
+  fixpoint(t);
+  if (options_.validate) check_structure();
+  return UpgradeablePair{read_id, write_id};
+}
+
+RequestId Engine::issue_incremental(Time t, const ResourceSet& potential_reads,
+                                    const ResourceSet& potential_writes,
+                                    const ResourceSet& initial) {
+  begin_invocation(t);
+  Request r;
+  r.incremental = true;
+  r.is_write = !potential_writes.empty();
+  r.need_read = potential_reads;
+  r.need_write = potential_writes;
+  ResourceSet needed = potential_reads | potential_writes;
+  RWRNLP_REQUIRE(!needed.empty(), "incremental request needs resources");
+  check_resources(needed);
+  RWRNLP_REQUIRE(initial.is_subset_of(needed),
+                 "initial subset must be within the declared potential set");
+  if (r.is_write) {
+    const ResourceSet closure = shares_.closure(needed);
+    if (options_.expansion == WriteExpansion::ExpandDomain) {
+      r.domain = closure;
+      r.domain_write = closure - potential_reads;
+    } else {
+      r.domain = needed;
+      r.domain_write = potential_writes;
+      r.placeholders = closure - needed;
+    }
+  } else {
+    r.domain = needed;
+    r.domain_write = ResourceSet(num_resources());
+  }
+  r.wanted = initial;
+  const RequestId id = issue_common(t, std::move(r));
+  fixpoint(t);
+  if (options_.validate) check_structure();
+  return id;
+}
+
+void Engine::request_more(Time t, RequestId id, const ResourceSet& extra) {
+  begin_invocation(t);
+  Request& r = req(id);
+  RWRNLP_REQUIRE(r.incremental, "request_more on non-incremental request");
+  RWRNLP_REQUIRE(r.incomplete(), "request_more on finished request");
+  RWRNLP_REQUIRE(extra.is_subset_of(r.domain),
+                 "incremental extension outside the declared potential set");
+  r.wanted |= extra;
+  if (r.state == RequestState::Satisfied) {
+    // Already holds all of D; nothing to grant.
+    return;
+  }
+  fixpoint(t);
+  if (options_.validate) check_structure();
+}
+
+// ---------------------------------------------------------------------------
+// Completion / upgrade resolution
+// ---------------------------------------------------------------------------
+
+void Engine::complete(Time t, RequestId id) {
+  begin_invocation(t);
+  Request& r = req(id);
+  RWRNLP_REQUIRE(r.state == RequestState::Satisfied ||
+                     (r.incremental && r.state == RequestState::Entitled),
+                 "complete() on request in state " << to_string(r.state));
+  RWRNLP_REQUIRE(!(r.upgrade_read && r.partner != kNoRequest &&
+                   creq(r.partner).incomplete()),
+                 "complete() on an upgradeable read half with a live write "
+                 "half; use finish_read_segment()");
+  unlock_resources(r);                 // Rule G3.
+  if (r.state == RequestState::Entitled) {
+    // Incremental request finishing before claiming all of D: it is still
+    // enqueued (G2 dequeues at satisfaction only); remove it now.
+    dequeue_from_queues(r);
+  }
+  remove_placeholders(r);
+  r.state = RequestState::Complete;
+  r.complete_time = t;
+  live_.erase(std::remove(live_.begin(), live_.end(), id), live_.end());
+  record(t, TraceKind::Complete, r, r.domain);
+  fixpoint(t);
+  maybe_recycle(id);
+  if (options_.validate) check_structure();
+}
+
+void Engine::finish_read_segment(Time t, const UpgradeablePair& pair,
+                                 bool upgrade) {
+  begin_invocation(t);
+  Request& rr = req(pair.read_part);
+  Request& rw = req(pair.write_part);
+  RWRNLP_REQUIRE(rr.upgrade_read && rw.upgrade_write &&
+                     rr.partner == pair.write_part,
+                 "not an upgradeable pair");
+  RWRNLP_REQUIRE(rr.state == RequestState::Satisfied,
+                 "finish_read_segment: read half not satisfied (state "
+                     << to_string(rr.state) << ")");
+  // One atomic invocation: the read half completes; the write half either
+  // proceeds (upgrade) or is withdrawn from all write queues (Sec. 3.6).
+  unlock_resources(rr);
+  rr.state = RequestState::Complete;
+  rr.complete_time = t;
+  live_.erase(std::remove(live_.begin(), live_.end(), pair.read_part),
+              live_.end());
+  record(t, TraceKind::Complete, rr, rr.domain);
+  if (!upgrade && rw.incomplete() && rw.state != RequestState::Satisfied) {
+    cancel_request(t, pair.write_part);
+  }
+  fixpoint(t);
+  maybe_recycle(pair.read_part);
+  if (options_.validate) check_structure();
+}
+
+void Engine::cancel_request(Time t, RequestId id) {
+  Request& r = req(id);
+  RWRNLP_CHECK_MSG(r.state == RequestState::Waiting ||
+                       r.state == RequestState::Entitled,
+                   "cancel of request in state " << to_string(r.state));
+  dequeue_from_queues(r);
+  remove_placeholders(r);
+  r.state = RequestState::Canceled;
+  r.complete_time = t;
+  live_.erase(std::remove(live_.begin(), live_.end(), id), live_.end());
+  record(t, TraceKind::Canceled, r, r.domain);
+  maybe_recycle(id);
+}
+
+// ---------------------------------------------------------------------------
+// Queue and lock bookkeeping
+// ---------------------------------------------------------------------------
+
+void Engine::enqueue(Request& r) {
+  if (r.is_write) {
+    // Rule W1: enqueued in timestamp order; since ts increases monotonically
+    // an append maintains the order.
+    r.domain.for_each([&](ResourceId l) {
+      resources_[l].wq.push_back(WqEntry{r.id, false});
+    });
+    r.placeholders.for_each([&](ResourceId l) {
+      resources_[l].wq.push_back(WqEntry{r.id, true});
+    });
+  } else {
+    // Rule R1: enqueued in every read queue of D.
+    r.domain.for_each(
+        [&](ResourceId l) { resources_[l].rq.push_back(r.id); });
+  }
+}
+
+void Engine::dequeue_from_queues(Request& r) {
+  if (r.is_write) {
+    r.domain.for_each([&](ResourceId l) {
+      auto& wq = resources_[l].wq;
+      wq.erase(std::remove_if(wq.begin(), wq.end(),
+                              [&](const WqEntry& e) {
+                                return e.req == r.id && !e.placeholder;
+                              }),
+               wq.end());
+    });
+  } else {
+    r.domain.for_each([&](ResourceId l) {
+      auto& rq = resources_[l].rq;
+      rq.erase(std::remove(rq.begin(), rq.end(), r.id), rq.end());
+    });
+  }
+}
+
+void Engine::remove_placeholders(Request& r) {
+  r.placeholders.for_each([&](ResourceId l) {
+    auto& wq = resources_[l].wq;
+    wq.erase(std::remove_if(wq.begin(), wq.end(),
+                            [&](const WqEntry& e) {
+                              return e.req == r.id && e.placeholder;
+                            }),
+             wq.end());
+  });
+  r.placeholders = ResourceSet(num_resources());
+}
+
+void Engine::lock_resources(Request& r, const ResourceSet& rs) {
+  rs.for_each([&](ResourceId l) {
+    ResourceInfo& info = resources_[l];
+    if (r.domain_write.test(l)) {
+      RWRNLP_CHECK_MSG(info.write_holder == kNoRequest,
+                       "double write lock on l" << l);
+      RWRNLP_CHECK_MSG(info.read_holders.empty(),
+                       "write lock over readers on l" << l);
+      info.write_holder = r.id;
+    } else {
+      RWRNLP_CHECK_MSG(info.write_holder == kNoRequest,
+                       "read lock over writer on l" << l);
+      info.read_holders.push_back(r.id);
+    }
+  });
+  r.held |= rs;
+}
+
+void Engine::unlock_resources(Request& r) {
+  r.held.for_each([&](ResourceId l) {
+    ResourceInfo& info = resources_[l];
+    if (info.write_holder == r.id) {
+      info.write_holder = kNoRequest;
+    } else {
+      auto& rh = info.read_holders;
+      rh.erase(std::remove(rh.begin(), rh.end(), r.id), rh.end());
+    }
+  });
+  r.held.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Entitlement (Defs. 3 and 4) and blocking sets
+// ---------------------------------------------------------------------------
+
+bool Engine::def4_write_entitled(const Request& w) const {
+  // (a) Headship: w must be E(WQ(l)) for every queue holding a real entry.
+  //     Placeholder entries of *other* requests count (they are exactly what
+  //     keeps later writes from slipping past a not-yet-entitled earlier
+  //     write, Sec. 3.4).
+  bool ok = true;
+  w.domain.for_each([&](ResourceId l) {
+    const auto& wq = resources_[l].wq;
+    if (wq.empty() || wq.front().req != w.id || wq.front().placeholder)
+      ok = false;
+  });
+  if (!ok) return false;
+
+  // (b) No conflicting entitled read request in any RQ(l), l in D.
+  w.domain.for_each([&](ResourceId l) {
+    for (RequestId rid : resources_[l].rq) {
+      const Request& r = creq(rid);
+      if (r.state == RequestState::Entitled && conflicts(r, w)) ok = false;
+    }
+  });
+  if (!ok) return false;
+
+  // (c) No resource in D is write locked (by another request).
+  w.domain.for_each([&](ResourceId l) {
+    const RequestId h = resources_[l].write_holder;
+    if (h != kNoRequest && h != w.id) ok = false;
+  });
+  if (!ok) return false;
+
+  // (d) R/W mixing rule (Sec. 3.5): a write does not become entitled while a
+  //     resource it *requires* is read-locked by a mixed request — such a
+  //     holder is in a write critical section, so counting it as a read
+  //     blocker would break Lemma 5's L^r_max bound.  The paper defines the
+  //     rule over N (it introduces mixing with placeholders, where D = N);
+  //     in expansion mode the candidate will also *write-lock* the closure
+  //     remainder, so the check must cover domain_write as well or the same
+  //     Lemma 5 violation sneaks back in via expansion resources.
+  ResourceSet needed = w.need_read | w.need_write | w.domain_write;
+  needed.for_each([&](ResourceId l) {
+    for (RequestId h : resources_[l].read_holders) {
+      if (h != w.id && creq(h).is_mixed()) ok = false;
+    }
+  });
+  return ok;
+}
+
+bool Engine::def3_read_entitled(const Request& r) const {
+  // (a) Some resource in D is write locked (the read is blocked by a
+  //     *satisfied* writer)...
+  bool some_write_locked = false;
+  r.domain.for_each([&](ResourceId l) {
+    if (resources_[l].write_holder != kNoRequest) some_write_locked = true;
+  });
+  if (!some_write_locked) return false;
+
+  // (b) ...and no E(WQ(l)), l in D, is an entitled write conflicting with r
+  //     (reads concede to entitled writes).
+  bool ok = true;
+  r.domain.for_each([&](ResourceId l) {
+    const auto& wq = resources_[l].wq;
+    if (wq.empty()) return;
+    const WqEntry& head = wq.front();
+    if (head.placeholder) return;  // placeholders are never entitled
+    const Request& w = creq(head.req);
+    if (w.state == RequestState::Entitled && conflicts(r, w)) ok = false;
+  });
+  return ok;
+}
+
+bool Engine::read_conflicts_with_entitled_write(const Request& r) const {
+  for (RequestId id : live_) {
+    const Request& w = creq(id);
+    if (w.is_write && w.state == RequestState::Entitled && conflicts(r, w))
+      return true;
+  }
+  return false;
+}
+
+bool Engine::incremental_pseudo_entitled(const Request& r) const {
+  // An incremental *read* issued while nothing blocks it cannot satisfy
+  // Def. 3 (no resource is write locked), yet it must start blocking
+  // later-issued conflicting writes exactly like an entitled request — this
+  // is the priority-ceiling role of entitlement that Sec. 3.7 leans on.
+  if (!r.incremental || r.is_write) return false;
+  bool write_locked = false;
+  r.domain.for_each([&](ResourceId l) {
+    if (resources_[l].write_holder != kNoRequest) write_locked = true;
+  });
+  if (write_locked) return false;  // Def. 3 branch decides instead.
+  return !read_conflicts_with_entitled_write(r);
+}
+
+void Engine::compute_blockers(const Request& x,
+                              std::vector<RequestId>& out) const {
+  out.clear();
+  auto add = [&](RequestId h) {
+    if (h == x.id) return;
+    if (std::find(out.begin(), out.end(), h) == out.end()) out.push_back(h);
+  };
+  x.domain.for_each([&](ResourceId l) {
+    const ResourceInfo& info = resources_[l];
+    if (info.write_holder != kNoRequest) add(info.write_holder);
+    if (x.domain_write.test(l)) {
+      for (RequestId h : info.read_holders) add(h);
+    }
+  });
+}
+
+bool Engine::has_blockers(const Request& x) const {
+  bool any = false;
+  x.domain.for_each([&](ResourceId l) {
+    const ResourceInfo& info = resources_[l];
+    const RequestId wh = info.write_holder;
+    if (wh != kNoRequest && wh != x.id) any = true;
+    if (x.domain_write.test(l)) {
+      for (RequestId h : info.read_holders)
+        if (h != x.id) any = true;
+    }
+  });
+  return any;
+}
+
+std::vector<RequestId> Engine::blockers(RequestId id) const {
+  std::vector<RequestId> out;
+  compute_blockers(creq(id), out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Transitions
+// ---------------------------------------------------------------------------
+
+void Engine::entitle(Time t, Request& r) {
+  r.state = RequestState::Entitled;
+  r.entitled_time = t;
+  // Sec. 3.4: placeholders are removed when their request becomes entitled.
+  remove_placeholders(r);
+  record(t, TraceKind::Entitled, r, r.domain);
+}
+
+void Engine::satisfy(Time t, Request& r) {
+  r.state = RequestState::Satisfied;
+  r.satisfied_time = t;
+  dequeue_from_queues(r);  // Rule G2.
+  remove_placeholders(r);
+  lock_resources(r, r.domain);
+  record(t, TraceKind::Satisfied, r, r.domain);
+  if (r.upgrade_write && r.partner != kNoRequest) {
+    // The write half won the race: withdraw the optimistic read half
+    // (Sec. 3.6).  The read half cannot be *satisfied* here — its read locks
+    // would have blocked us.
+    Request& partner = req(r.partner);
+    if (partner.state == RequestState::Waiting ||
+        partner.state == RequestState::Entitled) {
+      cancel_request(t, r.partner);
+    }
+  }
+  if (on_satisfied_) on_satisfied_(r.id, t);
+}
+
+bool Engine::try_grant_increments(Time t, Request& r) {
+  ResourceSet pending = r.wanted - r.held;
+  if (pending.empty()) return false;
+  ResourceSet grantable(num_resources());
+  pending.for_each([&](ResourceId l) {
+    const ResourceInfo& info = resources_[l];
+    const RequestId wh = info.write_holder;
+    if (wh != kNoRequest && wh != r.id) return;
+    if (r.domain_write.test(l)) {
+      for (RequestId h : info.read_holders)
+        if (h != r.id) return;
+    }
+    grantable.set(l);
+  });
+  if (grantable.empty()) return false;
+  lock_resources(r, grantable);
+  record(t, TraceKind::GrantedIncrement, r, grantable);
+  if (on_granted_) on_granted_(r.id, grantable, t);
+  if (r.held == r.domain) {
+    // Holds all of D: the request is fully satisfied; Rule G2 dequeues it.
+    r.state = RequestState::Satisfied;
+    r.satisfied_time = t;
+    dequeue_from_queues(r);
+    record(t, TraceKind::Satisfied, r, r.domain);
+    if (on_satisfied_) on_satisfied_(r.id, t);
+  }
+  return true;
+}
+
+void Engine::fixpoint(Time t) {
+  // Writer entitlement first, then reader entitlement, then satisfaction;
+  // iterate to a fixpoint.  The ordering realizes "reads concede to writes
+  // and writes concede to reads": a write that becomes entitled in pass 1
+  // suppresses reader entitlement in pass 2 of the same invocation and
+  // conversely an entitled read suppresses Def. 4.
+  const std::size_t max_rounds = 3 * live_.size() + 8;
+  std::size_t rounds = 0;
+  bool changed = true;
+  while (changed) {
+    RWRNLP_CHECK_MSG(++rounds <= max_rounds, "RSM fixpoint did not converge");
+    changed = false;
+    const std::vector<RequestId> snapshot = live_;
+
+    // Pass 1: Def. 4 (writer entitlement), in timestamp order.
+    for (RequestId id : snapshot) {
+      Request& w = req(id);
+      if (w.is_write && w.state == RequestState::Waiting &&
+          def4_write_entitled(w)) {
+        entitle(t, w);
+        changed = true;
+      }
+    }
+    // Pass 2: Def. 3 (reader entitlement) plus the incremental-read
+    // pseudo-entitlement described above.
+    for (RequestId id : snapshot) {
+      Request& r = req(id);
+      if (!r.is_write && r.state == RequestState::Waiting &&
+          (def3_read_entitled(r) || incremental_pseudo_entitled(r))) {
+        entitle(t, r);
+        changed = true;
+      }
+    }
+    // Pass 3: satisfaction.
+    for (RequestId id : snapshot) {
+      Request& x = req(id);
+      if (x.state == RequestState::Entitled) {
+        if (x.incremental) {
+          // Sec. 3.7: an entitled incremental request locks whatever it
+          // wants as soon as those resources are free.
+          if (try_grant_increments(t, x)) changed = true;
+        } else if (!has_blockers(x)) {
+          satisfy(t, x);  // Rules R2 / W2.
+          changed = true;
+        }
+      } else if (x.state == RequestState::Waiting && !x.is_write &&
+                 !x.incremental) {
+        // Rule R1: a read is satisfied at issuance if it conflicts with no
+        // entitled or satisfied write request.  (Writes get the analogous
+        // W1 treatment through Def. 4 in pass 1, which adds queue headship;
+        // see the header for why.)
+        //
+        // The check runs for *every* waiting read, not only the one issued
+        // by this invocation: in the base protocol a waiting unsatisfied
+        // read is always blocked by an entitled or satisfied writer (the
+        // exhaustiveness argument in the proof of Prop. E8), so this is
+        // equivalent to issuance-only R1 — but when an *entitled write is
+        // canceled* (an abandoned upgrade, Sec. 3.6) the reads it gated
+        // must be re-admitted here or they would wait forever.
+        if (!read_conflicts_with_entitled_write(x) && !has_blockers(x)) {
+          satisfy(t, x);
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::vector<RequestId> Engine::read_queue(ResourceId l) const {
+  RWRNLP_REQUIRE(l < resources_.size(), "resource out of range");
+  return resources_[l].rq;
+}
+
+std::vector<WqEntry> Engine::write_queue(ResourceId l) const {
+  RWRNLP_REQUIRE(l < resources_.size(), "resource out of range");
+  return {resources_[l].wq.begin(), resources_[l].wq.end()};
+}
+
+std::optional<RequestId> Engine::write_holder(ResourceId l) const {
+  RWRNLP_REQUIRE(l < resources_.size(), "resource out of range");
+  const RequestId h = resources_[l].write_holder;
+  if (h == kNoRequest) return std::nullopt;
+  return h;
+}
+
+std::vector<RequestId> Engine::read_holders(ResourceId l) const {
+  RWRNLP_REQUIRE(l < resources_.size(), "resource out of range");
+  return resources_[l].read_holders;
+}
+
+bool Engine::write_locked(ResourceId l) const {
+  return write_holder(l).has_value();
+}
+
+bool Engine::read_locked(ResourceId l) const {
+  RWRNLP_REQUIRE(l < resources_.size(), "resource out of range");
+  return !resources_[l].read_holders.empty();
+}
+
+std::vector<RequestId> Engine::incomplete_requests() const { return live_; }
+
+// ---------------------------------------------------------------------------
+// Structural invariants
+// ---------------------------------------------------------------------------
+
+void Engine::check_structure() const {
+  // Lock-state consistency and R/W exclusion.
+  for (std::size_t l = 0; l < resources_.size(); ++l) {
+    const ResourceInfo& info = resources_[l];
+    if (info.write_holder != kNoRequest) {
+      RWRNLP_CHECK_MSG(info.read_holders.empty(),
+                       "l" << l << " both read and write locked");
+      const Request& w = creq(info.write_holder);
+      RWRNLP_CHECK_MSG(w.held.test(static_cast<ResourceId>(l)),
+                       "write holder does not record l" << l);
+    }
+    for (RequestId h : info.read_holders) {
+      const Request& r = creq(h);
+      RWRNLP_CHECK_MSG(r.held.test(static_cast<ResourceId>(l)),
+                       "read holder does not record l" << l);
+    }
+    // WQ in timestamp order; placeholder entries only for waiting writes.
+    std::uint64_t prev_ts = 0;
+    for (const WqEntry& e : info.wq) {
+      const Request& w = creq(e.req);
+      RWRNLP_CHECK_MSG(w.ts > prev_ts, "WQ(l" << l << ") out of ts order");
+      prev_ts = w.ts;
+      RWRNLP_CHECK_MSG(w.is_write, "non-write in WQ(l" << l << ")");
+      if (e.placeholder) {
+        RWRNLP_CHECK_MSG(w.state == RequestState::Waiting,
+                         "placeholder for non-waiting request in WQ(l" << l
+                                                                       << ")");
+      } else {
+        RWRNLP_CHECK_MSG(w.state == RequestState::Waiting ||
+                             w.state == RequestState::Entitled,
+                         "stale WQ entry in WQ(l" << l << ")");
+      }
+    }
+    prev_ts = 0;
+    for (RequestId rid : info.rq) {
+      const Request& r = creq(rid);
+      RWRNLP_CHECK_MSG(r.ts > prev_ts, "RQ(l" << l << ") out of ts order");
+      prev_ts = r.ts;
+      RWRNLP_CHECK_MSG(!r.is_write, "write in RQ(l" << l << ")");
+      RWRNLP_CHECK_MSG(r.state == RequestState::Waiting ||
+                           r.state == RequestState::Entitled,
+                       "stale RQ entry in RQ(l" << l << ")");
+    }
+  }
+  // Property E10: conflicting read/write requests never both entitled.
+  for (RequestId a : live_) {
+    const Request& ra = creq(a);
+    if (ra.state != RequestState::Entitled) continue;
+    for (RequestId b : live_) {
+      if (b <= a) continue;
+      const Request& rb = creq(b);
+      if (rb.state != RequestState::Entitled) continue;
+      if (ra.is_write == rb.is_write) continue;
+      RWRNLP_CHECK_MSG(!conflicts(ra, rb),
+                       "E10 violated: entitled conflicting pair R"
+                           << a << " / R" << b);
+    }
+  }
+  // Entitled (non-incremental) requests still have their queue entries;
+  // satisfied requests are fully dequeued (Rule G2) and hold all of D.
+  for (RequestId id : live_) {
+    const Request& r = creq(id);
+    if (r.state == RequestState::Satisfied) {
+      RWRNLP_CHECK_MSG(r.held == r.domain,
+                       "satisfied request R" << id << " missing locks");
+      RWRNLP_CHECK_MSG(r.placeholders.empty(),
+                       "satisfied request R" << id << " kept placeholders");
+    }
+    if (r.state == RequestState::Entitled) {
+      RWRNLP_CHECK_MSG(r.placeholders.empty(),
+                       "entitled request R" << id << " kept placeholders");
+    }
+  }
+}
+
+}  // namespace rwrnlp::rsm

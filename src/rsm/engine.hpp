@@ -1,0 +1,244 @@
+// The R/W RNLP request-satisfaction mechanism (RSM).
+//
+// This is a faithful, executable encoding of Sec. 3 of Ward & Anderson,
+// "Multi-Resource Real-Time Reader/Writer Locks for Multiprocessors"
+// (IPDPS 2014):
+//
+//  * Rules G1-G4 (timestamps, dequeue-on-satisfaction, unlock-on-completion,
+//    atomic invocations),
+//  * reader/writer entitlement (Defs. 3 and 4) and satisfaction rules
+//    R1/R2/W1/W2,
+//  * write-domain expansion over read-set closures (Sec. 3.2) or placeholder
+//    requests (Sec. 3.4),
+//  * R/W mixing (Sec. 3.5), read-to-write upgrading (Sec. 3.6), and
+//    incremental locking (Sec. 3.7).
+//
+// The engine is a *pure deterministic state machine*: every locking-protocol
+// invocation (issuance, completion, upgrade resolution, incremental
+// acquisition) is one atomic transition, matching Rule G4.  It knows nothing
+// about scheduling or threads; the discrete-event simulator (src/sched) and
+// the concurrent user-space lock (src/locks) both drive the same engine, so
+// the analyzed protocol and the runnable lock cannot diverge.
+//
+// After each invocation the engine runs an *entitlement/satisfaction
+// fixpoint*: (1) writer entitlement per Def. 4 in timestamp order, (2) reader
+// entitlement per Def. 3, (3) satisfaction of entitled requests with empty
+// blocking sets (R2/W2) plus immediate satisfaction of the just-issued
+// request (R1/W1), repeated until no rule fires.  Because readers concede to
+// *entitled* writers and vice versa, properties E1-E10 of Lemma 2 hold
+// emergently; the test suite verifies them on every transition.
+//
+// Two deliberate clarifications of the paper's prose (documented here because
+// they matter for faithfulness):
+//
+//  1. Rule W1 ("satisfied immediately if it does not conflict with any
+//     entitled or satisfied requests") is implemented as "becomes entitled at
+//     issuance (Def. 4, which adds write-queue headship) with an empty
+//     blocking set".  Without the headship requirement a newly issued write
+//     could overtake an earlier-timestamped waiting write with which it
+//     shares a queue, contradicting the FIFO order that the proof of Lemma 6
+//     relies on.  Under Assumption 1 the two readings coincide whenever the
+//     queues are empty, which is the only case W1's text exercises.
+//
+//  2. The entitlement checks filter on *conflicting* requests (e.g. Def. 4's
+//     "no read request in RQ(l_a) is entitled" is evaluated as "no entitled
+//     read that conflicts with the candidate").  Under Assumption 1 every
+//     queued read on a resource in a write's domain conflicts with it, so the
+//     readings are equivalent; with R/W mixing the conflict-filtered form is
+//     the one that preserves both optimality and property E10.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "rsm/options.hpp"
+#include "rsm/read_shares.hpp"
+#include "rsm/request.hpp"
+#include "rsm/trace.hpp"
+
+namespace rwrnlp::rsm {
+
+/// One entry of a write queue WQ(l): either the request itself or a
+/// placeholder standing in for it (Sec. 3.4).
+struct WqEntry {
+  RequestId req = kNoRequest;
+  bool placeholder = false;
+};
+
+class Engine {
+ public:
+  /// `shares` is the a-priori read-shared relation (Sec. 3.2); its size must
+  /// equal `num_resources`.
+  Engine(std::size_t num_resources, ReadShareTable shares,
+         EngineOptions options = {});
+
+  /// Convenience: trivial read-share relation S(l) = {l}.
+  Engine(std::size_t num_resources, EngineOptions options = {});
+
+  std::size_t num_resources() const { return resources_.size(); }
+  const EngineOptions& options() const { return options_; }
+  const ReadShareTable& shares() const { return shares_; }
+
+  // ------------------------------------------------------------------
+  // Protocol invocations.  `t` is the invocation time; it must be
+  // non-decreasing across invocations (Rule G4 gives ties a total order via
+  // an internal sequence number).
+  // ------------------------------------------------------------------
+
+  /// Issues a read request R^r for `reads` (Rule R1 applies immediately).
+  RequestId issue_read(Time t, const ResourceSet& reads);
+
+  /// Issues a write request R^w for `writes` (Rule W1 applies immediately).
+  RequestId issue_write(Time t, const ResourceSet& writes);
+
+  /// Issues a mixed request (Sec. 3.5): write access to `writes`, read
+  /// access to `reads`.  Classified as a write request.
+  RequestId issue_mixed(Time t, const ResourceSet& reads,
+                        const ResourceSet& writes);
+
+  /// Issues an upgradeable request R^u over `resources` (Sec. 3.6): a read
+  /// half and a write half that cancel each other.  If the *write* half is
+  /// satisfied first the read half is canceled automatically and the job
+  /// runs its whole critical section under write locks.  If the *read* half
+  /// is satisfied first, call finish_read_segment() when the read-only
+  /// segment ends.
+  UpgradeablePair issue_upgradeable(Time t, const ResourceSet& resources);
+
+  /// Ends the read-only segment of an upgradeable request whose read half
+  /// was satisfied first.  With `upgrade == false` the write half is
+  /// canceled and the request is over.  With `upgrade == true` the read
+  /// locks are released and the write half proceeds as an ordinary write
+  /// request (the job re-enters its critical section when it is satisfied).
+  void finish_read_segment(Time t, const UpgradeablePair& pair, bool upgrade);
+
+  /// Issues an incremental request (Sec. 3.7).  `potential_reads` /
+  /// `potential_writes` declare everything the critical section might touch
+  /// (known a priori, like PCP ceilings); `initial` (subset of the union) is
+  /// locked as soon as the request is entitled and those resources are free.
+  RequestId issue_incremental(Time t, const ResourceSet& potential_reads,
+                              const ResourceSet& potential_writes,
+                              const ResourceSet& initial);
+
+  /// Requests additional resources for an incremental request; they are
+  /// granted (possibly immediately) once free.  `extra` must be a subset of
+  /// the declared potential set.
+  void request_more(Time t, RequestId id, const ResourceSet& extra);
+
+  /// Completes a request's critical section (Rule G3): all held resources
+  /// are unlocked.  Valid for satisfied requests and for incremental
+  /// requests that hold at least their wanted subset.
+  void complete(Time t, RequestId id);
+
+  // ------------------------------------------------------------------
+  // Introspection (tests, analysis, trace rendering).
+  // ------------------------------------------------------------------
+
+  const Request& request(RequestId id) const;
+  RequestState state(RequestId id) const { return request(id).state; }
+  bool is_entitled(RequestId id) const {
+    return state(id) == RequestState::Entitled;
+  }
+  bool is_satisfied(RequestId id) const {
+    return state(id) == RequestState::Satisfied;
+  }
+  /// Resources the request currently has locked.
+  const ResourceSet& holds(RequestId id) const { return request(id).held; }
+
+  /// B(R, now): satisfied conflicting resource holders (Sec. 3.2).
+  std::vector<RequestId> blockers(RequestId id) const;
+
+  /// RQ(l): waiting read requests, in timestamp order.
+  std::vector<RequestId> read_queue(ResourceId l) const;
+  /// WQ(l): waiting write entries (including placeholders), timestamp order.
+  std::vector<WqEntry> write_queue(ResourceId l) const;
+
+  std::optional<RequestId> write_holder(ResourceId l) const;
+  std::vector<RequestId> read_holders(ResourceId l) const;
+  bool write_locked(ResourceId l) const;
+  bool read_locked(ResourceId l) const;
+
+  /// Incomplete (issued, not complete/canceled) requests in ts order.
+  std::vector<RequestId> incomplete_requests() const;
+
+  Time now() const { return now_; }
+
+  // ------------------------------------------------------------------
+  // Hooks and instrumentation.
+  // ------------------------------------------------------------------
+
+  /// Invoked inside the invocation that satisfies a request (used by the
+  /// concurrent wrapper to release spinning waiters).
+  void set_satisfied_callback(std::function<void(RequestId, Time)> cb) {
+    on_satisfied_ = std::move(cb);
+  }
+  /// Invoked when an incremental request is granted additional resources.
+  void set_granted_callback(
+      std::function<void(RequestId, const ResourceSet&, Time)> cb) {
+    on_granted_ = std::move(cb);
+  }
+
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+  /// Structural invariant sweep (queues consistent, locks consistent, E10,
+  /// FIFO order, placeholder lifecycle).  Throws InvariantViolation on
+  /// failure.  Runs automatically after every invocation when
+  /// options.validate is set.
+  void check_structure() const;
+
+ private:
+  struct ResourceInfo {
+    std::vector<RequestId> rq;          // RQ(l), ts order
+    std::deque<WqEntry> wq;             // WQ(l), ts order
+    std::vector<RequestId> read_holders;
+    RequestId write_holder = kNoRequest;
+  };
+
+  Request& req(RequestId id);
+  const Request& creq(RequestId id) const;
+
+  void check_resources(const ResourceSet& rs) const;
+  RequestId alloc_request();
+  void maybe_recycle(RequestId id);
+
+  void begin_invocation(Time t);
+  RequestId issue_common(Time t, Request&& r);
+  void enqueue(Request& r);
+  void dequeue_from_queues(Request& r);
+  void remove_placeholders(Request& r);
+  void lock_resources(Request& r, const ResourceSet& rs);
+  void unlock_resources(Request& r);
+  void cancel_request(Time t, RequestId id);
+
+  bool def4_write_entitled(const Request& w) const;
+  bool def3_read_entitled(const Request& r) const;
+  bool incremental_pseudo_entitled(const Request& r) const;
+  bool read_conflicts_with_entitled_write(const Request& r) const;
+  void compute_blockers(const Request& x, std::vector<RequestId>& out) const;
+  bool has_blockers(const Request& x) const;
+
+  void entitle(Time t, Request& r);
+  void satisfy(Time t, Request& r);
+  bool try_grant_increments(Time t, Request& r);
+  void fixpoint(Time t);
+
+  void record(Time t, TraceKind kind, const Request& r,
+              const ResourceSet& rs);
+
+  EngineOptions options_;
+  ReadShareTable shares_;
+  std::vector<ResourceInfo> resources_;
+  std::deque<Request> requests_;     // indexed by RequestId
+  std::vector<RequestId> free_slots_;
+  std::vector<RequestId> live_;      // incomplete requests, ts order
+  std::uint64_t next_ts_ = 1;
+  Time now_ = 0;
+  std::vector<TraceEvent> trace_;
+  std::function<void(RequestId, Time)> on_satisfied_;
+  std::function<void(RequestId, const ResourceSet&, Time)> on_granted_;
+};
+
+}  // namespace rwrnlp::rsm

@@ -1,0 +1,155 @@
+#include "rsm/invariants.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rwrnlp::rsm {
+
+ProtocolObserver::ProtocolObserver(const Engine& engine, ObserverOptions opt)
+    : engine_(engine), opt_(opt) {}
+
+void ProtocolObserver::after_invocation(InvocationKind kind) {
+  ++invocations_;
+  engine_.check_structure();
+
+  std::map<RequestId, Snapshot> cur;
+  bool any_upgrade_live = false;
+  for (RequestId id : engine_.incomplete_requests()) {
+    const Request& r = engine_.request(id);
+    Snapshot s;
+    s.state = r.state;
+    s.ts = r.ts;
+    s.is_write = r.is_write;
+    if (r.state == RequestState::Entitled) s.blockers = engine_.blockers(id);
+    cur.emplace(id, std::move(s));
+    if (r.upgrade_read || r.upgrade_write) any_upgrade_live = true;
+  }
+
+  for (const auto& [id, now] : cur) {
+    const auto it = prev_.find(id);
+    const bool existed = it != prev_.end();
+    const RequestState before =
+        existed ? it->second.state : RequestState::Waiting;
+    const bool newly_issued = !existed;
+
+    // Entitlement persistence: Entitled only moves forward.
+    if (existed && it->second.state == RequestState::Entitled) {
+      RWRNLP_CHECK_MSG(now.state == RequestState::Entitled ||
+                           now.state == RequestState::Satisfied,
+                       "R" << id << " lost entitlement without satisfaction");
+    }
+    // Waiting never jumps straight back; Satisfied never regresses.
+    if (existed && it->second.state == RequestState::Satisfied) {
+      RWRNLP_CHECK_MSG(now.state == RequestState::Satisfied,
+                       "R" << id << " regressed from satisfied");
+    }
+
+    if (opt_.check_e_properties && kind != InvocationKind::Mixed) {
+      const bool newly_entitled =
+          now.state == RequestState::Entitled &&
+          before != RequestState::Entitled;
+      const bool newly_satisfied =
+          now.state == RequestState::Satisfied &&
+          before != RequestState::Satisfied;
+      if (newly_entitled) {
+        if (now.is_write) {
+          // E9: writes are entitled only by write issuance or completion.
+          RWRNLP_CHECK_MSG(kind == InvocationKind::WriteIssue ||
+                               kind == InvocationKind::WriteComplete,
+                           "E9: write R" << id
+                                         << " entitled by a read invocation");
+        } else {
+          // E8: reads are entitled only by read issuance or completion.
+          RWRNLP_CHECK_MSG(kind == InvocationKind::ReadIssue ||
+                               kind == InvocationKind::ReadComplete,
+                           "E8: read R" << id
+                                        << " entitled by a write invocation");
+        }
+      }
+      if (newly_satisfied) {
+        if (now.is_write) {
+          // E2: writes satisfied only by write issuance or read/write
+          // completion.  E4: satisfaction *at* a write issuance is only the
+          // issued request itself.
+          RWRNLP_CHECK_MSG(kind != InvocationKind::ReadIssue,
+                           "E2: write R" << id
+                                         << " satisfied by a read issuance");
+          if (kind == InvocationKind::WriteIssue) {
+            RWRNLP_CHECK_MSG(newly_issued,
+                             "E4: pre-existing write R"
+                                 << id << " satisfied by another's issuance");
+          }
+        } else {
+          // E1: reads satisfied only by read issuance or write completion.
+          // E3: satisfaction at a read issuance is the issued read itself.
+          RWRNLP_CHECK_MSG(kind == InvocationKind::ReadIssue ||
+                               kind == InvocationKind::WriteComplete,
+                           "E1: read R" << id << " satisfied by "
+                                        << static_cast<int>(kind));
+          if (kind == InvocationKind::ReadIssue) {
+            RWRNLP_CHECK_MSG(newly_issued,
+                             "E3: pre-existing read R"
+                                 << id << " satisfied by another's issuance");
+          }
+        }
+      }
+    }
+
+    // Corollaries 1 and 2: while entitled, the blocking set only shrinks.
+    if (opt_.check_corollaries && existed &&
+        it->second.state == RequestState::Entitled &&
+        now.state == RequestState::Entitled) {
+      for (RequestId b : now.blockers) {
+        RWRNLP_CHECK_MSG(
+            std::find(it->second.blockers.begin(), it->second.blockers.end(),
+                      b) != it->second.blockers.end(),
+            "Cor. 1/2: new blocker R" << b << " joined entitled R" << id);
+      }
+    }
+  }
+
+  // Lemma 6: the earliest-timestamped incomplete write request is entitled
+  // or satisfied (base protocol only; upgrade pairs legitimately bend this
+  // while their read half runs, see header).
+  if (opt_.check_lemma6 && !any_upgrade_live) {
+    const Request* earliest = nullptr;
+    for (RequestId id : engine_.incomplete_requests()) {
+      const Request& r = engine_.request(id);
+      if (!r.is_write) continue;
+      if (earliest == nullptr || r.ts < earliest->ts) earliest = &r;
+    }
+    if (earliest != nullptr) {
+      RWRNLP_CHECK_MSG(earliest->state == RequestState::Entitled ||
+                           earliest->state == RequestState::Satisfied,
+                       "Lemma 6: earliest write R" << earliest->id
+                                                   << " is merely waiting");
+    }
+  }
+
+  // FIFO among conflicting writes: a write satisfied this invocation must
+  // not leave an earlier-timestamped *conflicting* incomplete write behind.
+  for (const auto& [id, now] : cur) {
+    if (!now.is_write || now.state != RequestState::Satisfied) continue;
+    const auto it = prev_.find(id);
+    if (it != prev_.end() && it->second.state == RequestState::Satisfied)
+      continue;  // not newly satisfied
+    const Request& w = engine_.request(id);
+    for (RequestId other : engine_.incomplete_requests()) {
+      if (other == id) continue;
+      const Request& o = engine_.request(other);
+      if (!o.is_write || o.state == RequestState::Satisfied) continue;
+      if (o.upgrade_write || w.upgrade_write) continue;
+      if (o.ts < w.ts && conflicts(o, w)) {
+        RWRNLP_CHECK_MSG(false, "write FIFO violated: R"
+                                    << id << " (ts " << w.ts
+                                    << ") satisfied before conflicting R"
+                                    << other << " (ts " << o.ts << ")");
+      }
+    }
+  }
+
+  prev_ = std::move(cur);
+}
+
+}  // namespace rwrnlp::rsm

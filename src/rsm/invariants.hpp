@@ -1,0 +1,72 @@
+// ProtocolObserver: a stateful checker that verifies the R/W RNLP's proven
+// properties *across* invocations — the per-invocation structural checks
+// live in Engine::check_structure().
+//
+// The observer is driven by tests (and by the simulator in validation mode):
+// after every protocol invocation it is told what kind of invocation just
+// happened and inspects the engine, verifying:
+//
+//  * Properties E1-E4, E8, E9 of Lemma 2 (who may be satisfied/entitled by
+//    which invocation kinds),
+//  * Corollaries 1 and 2 (an entitled request's blocking set never grows),
+//  * entitlement persistence (Defs. 3/4: entitled until satisfied),
+//  * Lemma 6 (the earliest-timestamped incomplete write request is entitled
+//    or satisfied),
+//  * timestamp-FIFO satisfaction order among conflicting writes.
+//
+// E8/E9 and Lemma 6 are theorems about the *base* protocol (Assumption 1 +
+// optional placeholders/mixing); upgradeable and incremental requests
+// deliberately bend them (an upgrade pair is two linked requests, an
+// incremental request uses pseudo-entitlement), so those checks can be
+// disabled per-observer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "rsm/engine.hpp"
+
+namespace rwrnlp::rsm {
+
+enum class InvocationKind : std::uint8_t {
+  ReadIssue,
+  WriteIssue,
+  ReadComplete,
+  WriteComplete,
+  Mixed,  ///< Upgrade issuance/resolution, incremental ops: skip E8/E9/E1-E4.
+};
+
+struct ObserverOptions {
+  bool check_e_properties = true;  ///< E1-E4, E8, E9.
+  bool check_lemma6 = true;
+  bool check_corollaries = true;  ///< Cor. 1 and 2.
+};
+
+class ProtocolObserver {
+ public:
+  explicit ProtocolObserver(const Engine& engine, ObserverOptions opt = {});
+
+  /// Inspect the engine after one invocation; throws InvariantViolation on
+  /// any regression.
+  void after_invocation(InvocationKind kind);
+
+  /// Number of invocations observed (handy to report coverage in tests).
+  std::size_t invocations() const { return invocations_; }
+
+ private:
+  struct Snapshot {
+    RequestState state = RequestState::Waiting;
+    std::vector<RequestId> blockers;
+    std::uint64_t ts = 0;
+    bool is_write = false;
+  };
+
+  const Engine& engine_;
+  ObserverOptions opt_;
+  std::map<RequestId, Snapshot> prev_;
+  std::uint64_t last_satisfied_write_ts_ = 0;
+  std::size_t invocations_ = 0;
+};
+
+}  // namespace rwrnlp::rsm

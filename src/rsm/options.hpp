@@ -1,0 +1,32 @@
+// Configuration knobs for the RSM engine, selecting between the protocol
+// variants presented in Sec. 3 of the paper.
+#pragma once
+
+namespace rwrnlp::rsm {
+
+/// How write requests deal with the read-set closure of their needed set.
+enum class WriteExpansion {
+  /// Sec. 3.2 baseline: a write request claims (and, when satisfied, locks)
+  /// the entire closure D = union of S(l) over l in N.
+  ExpandDomain,
+  /// Sec. 3.4 optimization: D = N; placeholder entries occupy the write
+  /// queues of M = closure(N) \ N until the request is entitled/satisfied.
+  Placeholders,
+};
+
+struct EngineOptions {
+  WriteExpansion expansion = WriteExpansion::ExpandDomain;
+
+  /// Run the internal structural invariant checks after every invocation
+  /// (tests set this; it is O(requests x resources) per invocation).
+  bool validate = false;
+
+  /// Keep records of completed requests for post-hoc inspection.  Long-lived
+  /// concurrent locks set this to false so slots are recycled.
+  bool retain_history = true;
+
+  /// Record a trace event stream (see trace.hpp).
+  bool record_trace = false;
+};
+
+}  // namespace rwrnlp::rsm

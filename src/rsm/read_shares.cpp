@@ -1,0 +1,50 @@
+#include "rsm/read_shares.hpp"
+
+#include "util/assert.hpp"
+
+namespace rwrnlp::rsm {
+
+ReadShareTable::ReadShareTable(std::size_t num_resources) {
+  sets_.reserve(num_resources);
+  for (std::size_t l = 0; l < num_resources; ++l) {
+    ResourceSet s(num_resources);
+    s.set(static_cast<ResourceId>(l));
+    sets_.push_back(std::move(s));
+  }
+}
+
+void ReadShareTable::declare_read_request(const ResourceSet& read_set) {
+  read_set.for_each([&](ResourceId l) {
+    RWRNLP_REQUIRE(l < sets_.size(), "resource out of range");
+    sets_[l] |= read_set;
+  });
+}
+
+void ReadShareTable::declare_mixed_request(const ResourceSet& reads,
+                                           const ResourceSet& writes) {
+  ResourceSet needed = reads;
+  needed |= writes;
+  needed.for_each([&](ResourceId l) {
+    RWRNLP_REQUIRE(l < sets_.size(), "resource out of range");
+    sets_[l] |= reads;
+  });
+}
+
+void ReadShareTable::add_share(ResourceId l_a, ResourceId l_b) {
+  RWRNLP_REQUIRE(l_a < sets_.size() && l_b < sets_.size(),
+                 "resource out of range");
+  sets_[l_a].set(l_b);
+}
+
+const ResourceSet& ReadShareTable::read_set(ResourceId l) const {
+  RWRNLP_REQUIRE(l < sets_.size(), "resource out of range");
+  return sets_[l];
+}
+
+ResourceSet ReadShareTable::closure(const ResourceSet& needed) const {
+  ResourceSet out(sets_.size());
+  needed.for_each([&](ResourceId l) { out |= read_set(l); });
+  return out;
+}
+
+}  // namespace rwrnlp::rsm

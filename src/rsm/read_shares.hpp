@@ -1,0 +1,52 @@
+// Read-set table: the static "read shared" relation ~ of Sec. 3.2.
+//
+// Two resources l_a, l_b are read shared (l_a ~ l_b) if some potential request
+// may hold them together with l_b accessed for reading while l_a is in the
+// request's needed set.  S(l_a) = { l_b | l_b ~ l_a } is l_a's *read set*.
+// Write requests must claim the closure of their needed set over S (or
+// enqueue placeholders there) to avoid inconsistent phases.
+//
+// Like the priority ceilings of the PCP, the relation must be known a priori;
+// callers declare every request shape the workload can issue before creating
+// an engine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/resource_set.hpp"
+
+namespace rwrnlp::rsm {
+
+class ReadShareTable {
+ public:
+  /// Creates the reflexive relation: S(l) = {l} for all l.
+  explicit ReadShareTable(std::size_t num_resources);
+
+  std::size_t num_resources() const { return sets_.size(); }
+
+  /// Declares a potential *pure read* request over `read_set`.  The relation
+  /// is symmetric in this case: every member's read set absorbs the whole
+  /// request (Sec. 3.2, footnote 1).
+  void declare_read_request(const ResourceSet& read_set);
+
+  /// Declares a potential *mixed* request (Sec. 3.5, footnote 2): for each
+  /// l_a in needed = reads|writes, S(l_a) |= reads.  Asymmetric in general.
+  void declare_mixed_request(const ResourceSet& reads,
+                             const ResourceSet& writes);
+
+  /// Directly asserts l_b ~ l_a (l_b joins S(l_a)).
+  void add_share(ResourceId l_a, ResourceId l_b);
+
+  /// S(l): all resources read shared with l (always contains l).
+  const ResourceSet& read_set(ResourceId l) const;
+
+  /// Union of S(l) over l in `needed`: the domain a write request must claim
+  /// in expansion mode, and N + M in placeholder mode.
+  ResourceSet closure(const ResourceSet& needed) const;
+
+ private:
+  std::vector<ResourceSet> sets_;
+};
+
+}  // namespace rwrnlp::rsm

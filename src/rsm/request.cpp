@@ -1,0 +1,29 @@
+#include "rsm/request.hpp"
+
+namespace rwrnlp::rsm {
+
+const char* to_string(RequestState s) {
+  switch (s) {
+    case RequestState::Waiting:
+      return "waiting";
+    case RequestState::Entitled:
+      return "entitled";
+    case RequestState::Satisfied:
+      return "satisfied";
+    case RequestState::Complete:
+      return "complete";
+    case RequestState::Canceled:
+      return "canceled";
+  }
+  return "?";
+}
+
+bool conflicts(const Request& a, const Request& b) {
+  // Shared resource written by at least one side.  We compare the lock
+  // footprints the requests will hold when satisfied: write-mode set
+  // `domain_write` against the other side's full domain.
+  return a.domain_write.intersects(b.domain) ||
+         b.domain_write.intersects(a.domain);
+}
+
+}  // namespace rwrnlp::rsm

@@ -1,0 +1,118 @@
+// Request model for the R/W RNLP request-satisfaction mechanism (RSM).
+//
+// Terminology follows Ward & Anderson, "Multi-Resource Real-Time
+// Reader/Writer Locks for Multiprocessors" (IPDPS 2014), Sec. 2-3:
+//
+//  * A job issues a *request* R_{i,k} for a set of resources; the request is
+//    *satisfied* when access is granted to all of them, and *completes* when
+//    its critical section ends.
+//  * N^r / N^w are the resources needed for reading / writing; N = N^r u N^w.
+//  * D is the set of resources the request actually pertains to: for reads
+//    D = N; for writes D is either the read-set closure of N (expansion mode,
+//    Sec. 3.2) or N with placeholders enqueued on the closure remainder M
+//    (placeholder mode, Sec. 3.4).
+//  * A request becomes *entitled* (Defs. 3/4) when it is next in line; it
+//    then blocks all conflicting requests until satisfied.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/resource_set.hpp"
+
+namespace rwrnlp::rsm {
+
+/// Dense handle for a request; indexes the engine's request table.
+using RequestId = std::uint32_t;
+inline constexpr RequestId kNoRequest = std::numeric_limits<RequestId>::max();
+
+/// Continuous time (Sec. 2: "We consider time to be continuous").
+using Time = double;
+inline constexpr Time kNever = -1.0;
+
+enum class RequestState : std::uint8_t {
+  Waiting,    ///< Issued, neither entitled nor satisfied.
+  Entitled,   ///< Next in line (Def. 3/4); blocks all conflicting requests.
+  Satisfied,  ///< Holds all resources in D; critical section in progress.
+  Complete,   ///< Critical section finished; resources released (G3).
+  Canceled,   ///< Removed without being run (upgrade partner cancellation).
+};
+
+const char* to_string(RequestState s);
+
+/// One request record.  Field names mirror the paper's notation.
+struct Request {
+  RequestId id = kNoRequest;
+
+  /// Issuance order; the total order on timestamps guaranteed by Rule G4.
+  std::uint64_t ts = 0;
+
+  /// True for write requests (including mixed requests, which the paper
+  /// classifies as writes whenever N^w is nonempty, Sec. 3.5).
+  bool is_write = false;
+
+  ResourceSet need_read;   ///< N^r
+  ResourceSet need_write;  ///< N^w
+
+  /// D: the resources this request enqueues for and locks when satisfied.
+  ResourceSet domain;
+  /// Subset of `domain` locked in write mode upon satisfaction; the rest is
+  /// locked in read mode (nonempty remainder only for mixed requests).
+  ResourceSet domain_write;
+  /// M: resources whose write queues hold a placeholder for this request
+  /// (placeholder mode only; emptied when the request becomes entitled or
+  /// satisfied, Sec. 3.4).
+  ResourceSet placeholders;
+
+  RequestState state = RequestState::Waiting;
+
+  // --- incremental locking (Sec. 3.7) ---
+  bool incremental = false;
+  /// Resources requested so far via incremental acquisition (<= domain).
+  ResourceSet wanted;
+  /// Resources currently locked.  For satisfied non-incremental requests
+  /// this equals `domain`; for incremental requests it grows over time.
+  ResourceSet held;
+
+  // --- upgradeable requests (Sec. 3.6) ---
+  /// The other half of an upgradeable pair (R^{u_r} <-> R^{u_w}).
+  RequestId partner = kNoRequest;
+  bool upgrade_read = false;   ///< This is the R^{u_r} half.
+  bool upgrade_write = false;  ///< This is the R^{u_w} half.
+
+  // --- instrumentation ---
+  Time issue_time = kNever;
+  Time entitled_time = kNever;
+  Time satisfied_time = kNever;
+  Time complete_time = kNever;
+
+  /// Acquisition delay (Sec. 2): time from issuance to satisfaction.
+  Time acquisition_delay() const {
+    return satisfied_time >= 0 ? satisfied_time - issue_time : kNever;
+  }
+
+  bool incomplete() const {
+    return state == RequestState::Waiting || state == RequestState::Entitled ||
+           state == RequestState::Satisfied;
+  }
+
+  /// A mixed request reads some resources while writing others (Sec. 3.5).
+  bool is_mixed() const { return is_write && !need_read.empty(); }
+
+  /// Effective read-mode footprint once satisfied.
+  ResourceSet lock_read_set() const { return domain - domain_write; }
+};
+
+/// Two requests conflict iff they share a resource that at least one of them
+/// locks in write mode (Sec. 2, resource model).  Placeholders never count.
+bool conflicts(const Request& a, const Request& b);
+
+/// Handle pair for an upgradeable request (Sec. 3.6): the read half runs the
+/// optimistic read-only segment; the write half waits as an ordinary write.
+struct UpgradeablePair {
+  RequestId read_part = kNoRequest;
+  RequestId write_part = kNoRequest;
+};
+
+}  // namespace rwrnlp::rsm

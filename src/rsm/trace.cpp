@@ -1,0 +1,38 @@
+#include "rsm/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace rwrnlp::rsm {
+
+const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::Issue:
+      return "issue";
+    case TraceKind::Entitled:
+      return "entitled";
+    case TraceKind::Satisfied:
+      return "satisfied";
+    case TraceKind::GrantedIncrement:
+      return "granted+";
+    case TraceKind::Complete:
+      return "complete";
+    case TraceKind::Canceled:
+      return "canceled";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const TraceEvent& e) {
+  return os << "t=" << e.time << "  R" << e.request
+            << (e.is_write ? " (write) " : " (read)  ") << to_string(e.kind)
+            << ' ' << e.resources;
+}
+
+std::string format_trace(const std::vector<TraceEvent>& trace) {
+  std::ostringstream os;
+  for (const auto& e : trace) os << e << '\n';
+  return os.str();
+}
+
+}  // namespace rwrnlp::rsm

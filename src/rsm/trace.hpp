@@ -1,0 +1,39 @@
+// Protocol trace: a timestamped log of RSM transitions, sufficient to
+// regenerate the schedule and queue-state views of Fig. 2 in the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rsm/request.hpp"
+
+namespace rwrnlp::rsm {
+
+enum class TraceKind : std::uint8_t {
+  Issue,
+  Entitled,
+  Satisfied,
+  GrantedIncrement,  ///< Incremental request locked additional resources.
+  Complete,
+  Canceled,
+};
+
+const char* to_string(TraceKind k);
+
+struct TraceEvent {
+  Time time = 0;
+  TraceKind kind = TraceKind::Issue;
+  RequestId request = kNoRequest;
+  bool is_write = false;
+  /// Resources concerned (for Issue: domain; for GrantedIncrement: the newly
+  /// locked set; otherwise the request's domain).
+  ResourceSet resources;
+};
+
+std::ostream& operator<<(std::ostream& os, const TraceEvent& e);
+
+/// Renders a trace as "t=4.0  R3 (read) satisfied {l2}" lines.
+std::string format_trace(const std::vector<TraceEvent>& trace);
+
+}  // namespace rwrnlp::rsm

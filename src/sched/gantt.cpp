@@ -1,0 +1,74 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rwrnlp::sched {
+
+char gantt_symbol(IntervalKind k) {
+  switch (k) {
+    case IntervalKind::Compute:
+      return '=';
+    case IntervalKind::Spinning:
+      return 's';
+    case IntervalKind::Critical:
+      return '#';
+    case IntervalKind::SuspendedWait:
+      return 'w';
+  }
+  return '?';
+}
+
+void ScheduleLog::add(int task, double start, double end, IntervalKind kind) {
+  if (end <= start) return;
+  if (!intervals_.empty()) {
+    ScheduleInterval& last = intervals_.back();
+    if (last.task == task && last.kind == kind &&
+        std::abs(last.end - start) < 1e-9) {
+      last.end = end;
+      return;
+    }
+  }
+  intervals_.push_back(ScheduleInterval{task, start, end, kind});
+}
+
+std::string ScheduleLog::render(const TaskSystem& sys, double t0, double t1,
+                                std::size_t cols) const {
+  RWRNLP_REQUIRE(t1 > t0 && cols >= 2, "bad gantt window");
+  const double scale = static_cast<double>(cols) / (t1 - t0);
+  std::vector<std::string> rows(sys.tasks.size(), std::string(cols, '.'));
+  for (const auto& iv : intervals_) {
+    if (iv.task < 0 || static_cast<std::size_t>(iv.task) >= rows.size())
+      continue;
+    const double lo = std::max(iv.start, t0);
+    const double hi = std::min(iv.end, t1);
+    if (hi <= lo) continue;
+    auto col_of = [&](double t) {
+      return static_cast<std::size_t>(
+          std::min<double>(static_cast<double>(cols) - 1,
+                           std::floor((t - t0) * scale)));
+    };
+    const std::size_t a = col_of(lo);
+    // Half-open upper edge: subtract epsilon so an interval ending exactly
+    // on a column boundary does not bleed into the next cell.
+    const std::size_t b = col_of(std::max(lo, hi - 1e-9));
+    for (std::size_t c = a; c <= b; ++c)
+      rows[static_cast<std::size_t>(iv.task)][c] = gantt_symbol(iv.kind);
+  }
+  std::ostringstream os;
+  // Time axis.
+  os << "      t=" << t0 << std::string(cols > 12 ? cols - 8 : 2, ' ')
+     << "t=" << t1 << '\n';
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    os << 'T' << sys.tasks[i].id << (sys.tasks[i].id < 10 ? "    |" : "   |")
+       << rows[i] << "|\n";
+  }
+  os << "      ('=' compute, 's' spin, '#' critical section, 'w' suspended "
+        "wait, '.' idle)\n";
+  return os.str();
+}
+
+}  // namespace rwrnlp::sched

@@ -1,0 +1,49 @@
+// Schedule recording and ASCII Gantt rendering: regenerates Fig. 2(a)-style
+// schedule pictures from simulator runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/task.hpp"
+
+namespace rwrnlp::sched {
+
+enum class IntervalKind : std::uint8_t {
+  Compute,   ///< executing application code on a processor
+  Spinning,  ///< busy-waiting for a resource (Rule S1)
+  Critical,  ///< inside a critical section
+  SuspendedWait,  ///< suspended waiting for a resource
+};
+
+char gantt_symbol(IntervalKind k);
+
+struct ScheduleInterval {
+  int task = 0;
+  double start = 0;
+  double end = 0;
+  IntervalKind kind = IntervalKind::Compute;
+};
+
+class ScheduleLog {
+ public:
+  /// Extends the log by [start, end) for `task`; merges with the previous
+  /// interval when contiguous and of the same kind.
+  void add(int task, double start, double end, IntervalKind kind);
+
+  const std::vector<ScheduleInterval>& intervals() const {
+    return intervals_;
+  }
+  bool empty() const { return intervals_.empty(); }
+
+  /// Renders an ASCII Gantt chart over [t0, t1) with `cols` columns: one
+  /// row per task; '=' compute, 's' spinning, '#' critical section,
+  /// 'w' suspended wait, '.' idle/not pending.
+  std::string render(const TaskSystem& sys, double t0, double t1,
+                     std::size_t cols = 72) const;
+
+ private:
+  std::vector<ScheduleInterval> intervals_;
+};
+
+}  // namespace rwrnlp::sched

@@ -1,0 +1,138 @@
+#include "sched/protocol.hpp"
+
+#include "util/assert.hpp"
+
+namespace rwrnlp::sched {
+
+const char* to_string(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::RwRnlp:
+      return "rw-rnlp";
+    case ProtocolKind::RwRnlpPlaceholders:
+      return "rw-rnlp-ph";
+    case ProtocolKind::MutexRnlp:
+      return "mutex-rnlp";
+    case ProtocolKind::GroupRw:
+      return "group-rw";
+    case ProtocolKind::GroupMutex:
+      return "group-mutex";
+  }
+  return "?";
+}
+
+ProtocolAdapter::ProtocolAdapter(ProtocolKind kind, const TaskSystem& sys,
+                                 bool validate)
+    : kind_(kind), num_resources_(sys.num_resources) {
+  rsm::EngineOptions opt;
+  opt.validate = validate;
+  opt.retain_history = true;
+  switch (kind_) {
+    case ProtocolKind::RwRnlp:
+      opt.expansion = rsm::WriteExpansion::ExpandDomain;
+      break;
+    case ProtocolKind::RwRnlpPlaceholders:
+      opt.expansion = rsm::WriteExpansion::Placeholders;
+      break;
+    default:
+      opt.expansion = rsm::WriteExpansion::ExpandDomain;
+      break;
+  }
+
+  if (kind_ == ProtocolKind::GroupRw || kind_ == ProtocolKind::GroupMutex) {
+    // Coarse-grained: a single lockable entity; no read-share structure.
+    engine_ = std::make_unique<rsm::Engine>(1, opt);
+    return;
+  }
+
+  rsm::ReadShareTable shares(sys.num_resources);
+  if (kind_ != ProtocolKind::MutexRnlp) {
+    // Declare every read / mixed / upgradeable request shape the workload
+    // can issue.
+    for (const auto& t : sys.tasks) {
+      for (const auto& s : t.segments) {
+        if (s.cs.upgradeable || !s.cs.is_write()) {
+          shares.declare_read_request(s.cs.reads);
+        } else if (!s.cs.reads.empty()) {
+          shares.declare_mixed_request(s.cs.reads, s.cs.writes);
+        }
+      }
+    }
+  }
+  engine_ = std::make_unique<rsm::Engine>(sys.num_resources, shares, opt);
+}
+
+rsm::RequestId ProtocolAdapter::issue(double t, const CriticalSection& cs) {
+  if (cs.incremental) {
+    // All-at-once fallback for protocols without incremental support.
+    CriticalSection whole = cs;
+    whole.incremental = false;
+    return issue(t, whole);
+  }
+  if (cs.upgradeable) {
+    // Pessimistic fallback for protocols without upgrade support (or when
+    // the caller chooses not to use the pair API): write the footprint.
+    CriticalSection pess = cs;
+    pess.upgradeable = false;
+    pess.writes = cs.reads;
+    pess.reads = ResourceSet(num_resources_);
+    return issue(t, pess);
+  }
+  switch (kind_) {
+    case ProtocolKind::RwRnlp:
+    case ProtocolKind::RwRnlpPlaceholders:
+      if (cs.is_write()) {
+        if (cs.reads.empty()) return engine_->issue_write(t, cs.writes);
+        return engine_->issue_mixed(t, cs.reads, cs.writes);
+      }
+      return engine_->issue_read(t, cs.reads);
+    case ProtocolKind::MutexRnlp:
+      // Original RNLP: mutex-only fine-grained locking.
+      return engine_->issue_write(t, cs.reads | cs.writes);
+    case ProtocolKind::GroupRw: {
+      // One phase-fair R/W lock over everything.
+      ResourceSet one(1, {0});
+      if (cs.is_write()) return engine_->issue_write(t, one);
+      return engine_->issue_read(t, one);
+    }
+    case ProtocolKind::GroupMutex: {
+      ResourceSet one(1, {0});
+      return engine_->issue_write(t, one);
+    }
+  }
+  RWRNLP_CHECK_MSG(false, "unreachable protocol kind");
+  return rsm::kNoRequest;
+}
+
+rsm::RequestId ProtocolAdapter::issue_incremental(
+    double t, const CriticalSection& cs, const ResourceSet& initial) {
+  RWRNLP_REQUIRE(supports_incremental(),
+                 "protocol " << to_string(kind_)
+                             << " has no incremental locking");
+  RWRNLP_REQUIRE(cs.incremental, "section is not incremental");
+  return engine_->issue_incremental(t, cs.reads, cs.writes, initial);
+}
+
+rsm::UpgradeablePair ProtocolAdapter::issue_upgradeable(
+    double t, const CriticalSection& cs) {
+  RWRNLP_REQUIRE(supports_upgrades(),
+                 "protocol " << to_string(kind_)
+                             << " has no upgradeable requests");
+  RWRNLP_REQUIRE(cs.upgradeable, "section is not upgradeable");
+  return engine_->issue_upgradeable(t, cs.reads);
+}
+
+bool ProtocolAdapter::treated_as_write(const CriticalSection& cs) const {
+  if (cs.upgradeable) return true;  // write-grade worst case (Sec. 3.6)
+  switch (kind_) {
+    case ProtocolKind::RwRnlp:
+    case ProtocolKind::RwRnlpPlaceholders:
+    case ProtocolKind::GroupRw:
+      return cs.is_write();
+    case ProtocolKind::MutexRnlp:
+    case ProtocolKind::GroupMutex:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace rwrnlp::sched

@@ -1,0 +1,750 @@
+#include "sched/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+
+#include "rsm/invariants.hpp"
+#include "util/assert.hpp"
+
+namespace rwrnlp::sched {
+namespace {
+constexpr double kEps = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double SimResult::max_read_acq_delay() const {
+  double v = 0;
+  for (const auto& t : per_task)
+    if (!t.read_acq_delay.empty()) v = std::max(v, t.read_acq_delay.max());
+  return v;
+}
+
+double SimResult::max_write_acq_delay() const {
+  double v = 0;
+  for (const auto& t : per_task)
+    if (!t.write_acq_delay.empty()) v = std::max(v, t.write_acq_delay.max());
+  return v;
+}
+
+double SimResult::max_pi_blocking() const {
+  double v = 0;
+  for (const auto& t : per_task)
+    if (!t.pi_blocking.empty()) v = std::max(v, t.pi_blocking.max());
+  return v;
+}
+
+double SimResult::max_s_oblivious_pi_blocking() const {
+  double v = 0;
+  for (const auto& t : per_task)
+    if (!t.s_oblivious_pi_blocking.empty())
+      v = std::max(v, t.s_oblivious_pi_blocking.max());
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+
+enum class Phase : std::uint8_t {
+  Compute,          // executing a compute chunk (needs a processor)
+  WaitingEligible,  // at an issuance point, gated (suspension mode only)
+  WaitingLock,      // request issued, not yet satisfied
+  InCS,             // critical section executing (needs a processor)
+  FinalCompute,     // trailing compute chunk
+  Done,
+};
+
+struct Simulator::Job {
+  int task = 0;
+  std::size_t cluster = 0;
+  double release = 0;
+  double abs_deadline = 0;
+  double base_prio = 0;  // lower value = higher priority
+  std::size_t seg = 0;
+  Phase phase = Phase::Compute;
+  double remaining = 0;
+  rsm::RequestId req = rsm::kNoRequest;
+  double issue_time = -1;
+  // Upgradeable sections (Sec. 3.6):
+  rsm::UpgradeablePair pair{};
+  bool upgrade_active = false;  // the pair API is in flight
+  bool needs_write = false;     // drawn at issuance with cs.write_prob
+  // 0 = waiting for either half, 1 = read segment running, 2 = waiting for
+  // the upgrade, 3 = write segment (or whole pessimistic CS) running.
+  int upg_stage = 0;
+  // Incremental sections (Sec. 3.7): acquisition order and progress.
+  bool incremental_active = false;
+  std::vector<ResourceId> incr_order;
+  std::size_t incr_next = 0;  // index of the next resource to request
+  double incr_slice = 0;      // critical-section slice per resource
+  int donor = -1;  // index of the job donating its priority to us
+  int donee = -1;  // index of the job we donate to (we are suspended)
+  bool scheduled = false;
+  /// The job's current phase finished its work during the last advance()
+  /// (it may have been preempted at that same instant; the transition must
+  /// still be processed).
+  bool ran_dry = false;
+  // Per-job blocking accumulators (flushed into TaskMetrics at completion).
+  double pib = 0, aware = 0, obliv = 0, sblk = 0;
+
+  bool pending() const { return phase != Phase::Done; }
+  bool has_incomplete_request() const {
+    return phase == Phase::WaitingLock || phase == Phase::InCS;
+  }
+  bool needs_processor_time() const {
+    return phase == Phase::Compute || phase == Phase::InCS ||
+           phase == Phase::FinalCompute;
+  }
+};
+
+class Simulator::Impl {
+ public:
+  Impl(const TaskSystem& sys, ProtocolAdapter& protocol, SimConfig cfg)
+      : sys_(sys), protocol_(protocol), cfg_(cfg), rng_(cfg.seed) {
+    sys_.validate();
+    result_.per_task.resize(sys_.tasks.size());
+    next_release_.resize(sys_.tasks.size());
+    for (std::size_t i = 0; i < sys_.tasks.size(); ++i)
+      next_release_[i] = sys_.tasks[i].phase;
+    protocol_.engine().set_satisfied_callback(
+        [this](rsm::RequestId id, double t) { on_satisfied(id, t); });
+    protocol_.engine().set_granted_callback(
+        [this](rsm::RequestId id, const ResourceSet& granted, double t) {
+          on_granted(id, granted, t);
+        });
+    if (cfg_.deep_validate)
+      observer_ = std::make_unique<rsm::ProtocolObserver>(protocol_.engine());
+  }
+
+  SimResult run() {
+    double t = 0;
+    while (t < cfg_.horizon - kEps) {
+      process_events_at(t);
+      compute_allocation();
+      if (cfg_.validate) check_p1_p2();
+      const double t_next = next_event_after(t);
+      const double dt = t_next - t;
+      if (dt > kEps) {
+        accumulate(dt);
+        if (cfg_.record_schedule) record_schedule(t, t_next);
+        advance(dt);
+      }
+      t = t_next;
+    }
+    result_.sim_time = cfg_.horizon;
+    return std::move(result_);
+  }
+
+ private:
+  const TaskParams& params(const Job& j) const { return sys_.tasks[j.task]; }
+
+  // ---- event processing ---------------------------------------------------
+
+  void process_events_at(double t) {
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      // Releases due now.
+      for (std::size_t i = 0; i < sys_.tasks.size(); ++i) {
+        if (next_release_[i] <= t + kEps) {
+          release_job(static_cast<int>(i), next_release_[i]);
+          double gap = sys_.tasks[i].period;
+          if (cfg_.release_jitter_frac > 0)
+            gap += rng_.uniform(0, cfg_.release_jitter_frac *
+                                       sys_.tasks[i].period);
+          next_release_[i] += gap;
+          progressed = true;
+        }
+      }
+      compute_allocation();
+      // Critical-section completions first (they free resources), then
+      // compute completions / issuances — mirrors Rule G4's total order.
+      for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        Job& job = jobs_[j];
+        if ((job.scheduled || job.ran_dry) && job.phase == Phase::InCS &&
+            job.remaining <= kEps) {
+          job.ran_dry = false;
+          finish_cs(job, t);
+          progressed = true;
+        }
+      }
+      if (progressed) continue;
+      for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        Job& job = jobs_[j];
+        if ((job.scheduled || job.ran_dry) && job.remaining <= kEps &&
+            (job.phase == Phase::Compute ||
+             job.phase == Phase::FinalCompute)) {
+          job.ran_dry = false;
+          finish_compute(job, t);
+          progressed = true;
+        } else if (job.phase == Phase::WaitingEligible &&
+                   gate_open(static_cast<int>(j))) {
+          issue_request(job, t);
+          progressed = true;
+        }
+      }
+      if (progressed) compute_allocation();
+    }
+  }
+
+  void release_job(int task, double t) {
+    const TaskParams& p = sys_.tasks[task];
+    Job j;
+    j.task = task;
+    j.cluster = p.cluster;
+    j.release = t;
+    j.abs_deadline = t + p.deadline;
+    j.base_prio = cfg_.policy == SchedPolicy::Edf
+                      ? j.abs_deadline
+                      : static_cast<double>(p.fixed_priority);
+    if (p.segments.empty()) {
+      j.phase = Phase::FinalCompute;
+      j.remaining = p.final_compute;
+    } else {
+      j.phase = Phase::Compute;
+      j.remaining = p.segments.front().compute_before;
+    }
+    result_.per_task[task].jobs_released++;
+    jobs_.push_back(j);
+  }
+
+  void finish_compute(Job& job, double t) {
+    const TaskParams& p = params(job);
+    if (job.phase == Phase::FinalCompute) {
+      complete_job(job, t);
+      return;
+    }
+    // At an issuance point.
+    const int idx = static_cast<int>(&job - jobs_.data());
+    if (gate_open(idx)) {
+      issue_request(job, t);
+    } else {
+      job.phase = Phase::WaitingEligible;
+    }
+    (void)p;
+  }
+
+  void issue_request(Job& job, double t) {
+    const CriticalSection& cs = params(job).segments[job.seg].cs;
+    job.phase = Phase::WaitingLock;  // on_satisfied may override immediately
+    job.issue_time = t;
+    if (cs.upgradeable && protocol_.supports_upgrades()) {
+      issue_upgradeable(job, cs, t);
+      return;
+    }
+    if (cs.incremental && protocol_.supports_incremental()) {
+      issue_incremental(job, cs, t);
+      return;
+    }
+    const rsm::RequestId id = protocol_.issue(t, cs);
+    if (observer_) {
+      observer_->after_invocation(protocol_.treated_as_write(cs)
+                                      ? rsm::InvocationKind::WriteIssue
+                                      : rsm::InvocationKind::ReadIssue);
+    }
+    job.req = id;
+    req_to_job_[id] = static_cast<int>(&job - jobs_.data());
+    ++result_.requests_issued;
+    if (protocol_.engine().is_satisfied(id) && job.phase == Phase::WaitingLock) {
+      // Callback ran before req_to_job_ was populated (immediate
+      // satisfaction at issuance): enter the critical section now.
+      enter_cs(job, t);
+    }
+  }
+
+  void issue_upgradeable(Job& job, const CriticalSection& cs, double t) {
+    const int idx = static_cast<int>(&job - jobs_.data());
+    job.upgrade_active = true;
+    job.upg_stage = 0;
+    job.needs_write = rng_.chance(cs.write_prob);
+    job.pair = protocol_.issue_upgradeable(t, cs);
+    if (observer_) observer_->after_invocation(rsm::InvocationKind::Mixed);
+    job.req = job.pair.write_part;  // keeps has_incomplete_request() true
+    req_to_job_[job.pair.read_part] = idx;
+    req_to_job_[job.pair.write_part] = idx;
+    ++result_.requests_issued;
+    // Immediate satisfaction of either half at issuance.
+    if (protocol_.engine().is_satisfied(job.pair.read_part)) {
+      start_upgrade_segment(job, t, /*read_segment=*/true);
+    } else if (protocol_.engine().is_satisfied(job.pair.write_part)) {
+      start_upgrade_segment(job, t, /*read_segment=*/false);
+    }
+  }
+
+  /// Enters the decision segment (read half satisfied) or the whole
+  /// pessimistic/write path (write half satisfied or upgrade granted).
+  void start_upgrade_segment(Job& job, double t, bool read_segment) {
+    const CriticalSection& cs = params(job).segments[job.seg].cs;
+    TaskMetrics& m = result_.per_task[job.task];
+    job.phase = Phase::InCS;
+    if (read_segment) {
+      job.upg_stage = 1;
+      job.remaining = cs.length;
+      // The pair is a *write-class* request (write-grade worst case,
+      // Sec. 3.6), so both halves' delays are write samples.
+      m.write_acq_delay.add(t - job.issue_time);
+    } else if (job.upg_stage == 0) {
+      // Write half won outright: whole critical section under write locks.
+      job.upg_stage = 3;
+      job.remaining = cs.length + cs.write_segment_len;
+      m.write_acq_delay.add(t - job.issue_time);
+    } else {
+      // Upgrade granted after the decision segment.
+      job.upg_stage = 3;
+      job.remaining = cs.write_segment_len;
+      m.write_acq_delay.add(t - job.issue_time);
+    }
+  }
+
+  void issue_incremental(Job& job, const CriticalSection& cs, double t) {
+    const int idx = static_cast<int>(&job - jobs_.data());
+    job.incremental_active = true;
+    job.incr_order = (cs.reads | cs.writes).to_vector();
+    job.incr_next = 0;
+    job.incr_slice =
+        cs.length / static_cast<double>(job.incr_order.size());
+    ResourceSet initial(sys_.num_resources);
+    initial.set(job.incr_order.front());
+    const rsm::RequestId id = protocol_.issue_incremental(t, cs, initial);
+    if (observer_) observer_->after_invocation(rsm::InvocationKind::Mixed);
+    job.req = id;
+    req_to_job_[id] = idx;
+    ++result_.requests_issued;
+    if (protocol_.engine().holds(id).test(job.incr_order.front())) {
+      start_incremental_slice(job, t);
+    }
+    // Else: granted later via the granted callback.
+  }
+
+  /// Runs the next critical-section slice (the resource at incr_next has
+  /// just been granted).
+  void start_incremental_slice(Job& job, double t) {
+    TaskMetrics& m = result_.per_task[job.task];
+    const CriticalSection& cs = params(job).segments[job.seg].cs;
+    const bool write_grade = protocol_.treated_as_write(cs);
+    (write_grade ? m.write_acq_delay : m.read_acq_delay)
+        .add(t - job.issue_time);
+    ++job.incr_next;
+    job.phase = Phase::InCS;
+    job.remaining = job.incr_slice;
+  }
+
+  void on_granted(rsm::RequestId id, const ResourceSet& granted, double t) {
+    const auto it = req_to_job_.find(id);
+    if (it == req_to_job_.end()) return;  // grant at issuance; handled there
+    Job& job = jobs_[static_cast<std::size_t>(it->second)];
+    if (!job.incremental_active || job.phase != Phase::WaitingLock) return;
+    if (job.incr_next < job.incr_order.size() &&
+        granted.test(job.incr_order[job.incr_next])) {
+      start_incremental_slice(job, t);
+    }
+  }
+
+  void finish_incremental_slice(Job& job, double t) {
+    if (job.incr_next >= job.incr_order.size()) {
+      // Last slice done: the critical section completes.
+      protocol_.complete(t, job.req);
+      if (observer_) observer_->after_invocation(rsm::InvocationKind::Mixed);
+      req_to_job_.erase(job.req);
+      job.incremental_active = false;
+      job.req = rsm::kNoRequest;
+      if (job.donor >= 0) {
+        jobs_[static_cast<std::size_t>(job.donor)].donee = -1;
+        job.donor = -1;
+      }
+      ++job.seg;
+      const TaskParams& p = params(job);
+      if (job.seg < p.segments.size()) {
+        job.phase = Phase::Compute;
+        job.remaining = p.segments[job.seg].compute_before;
+      } else {
+        job.phase = Phase::FinalCompute;
+        job.remaining = p.final_compute;
+      }
+      return;
+    }
+    // Hand-over-hand: ask for the next resource.
+    const ResourceId next = job.incr_order[job.incr_next];
+    ResourceSet extra(sys_.num_resources);
+    extra.set(next);
+    job.phase = Phase::WaitingLock;
+    job.issue_time = t;  // each increment's wait measured separately
+    protocol_.request_more(t, job.req, extra);
+    if (observer_) observer_->after_invocation(rsm::InvocationKind::Mixed);
+    if (protocol_.engine().holds(job.req).test(next) &&
+        job.phase == Phase::WaitingLock) {
+      start_incremental_slice(job, t);
+    }
+  }
+
+  void on_satisfied(rsm::RequestId id, double t) {
+    const auto it = req_to_job_.find(id);
+    if (it == req_to_job_.end()) return;  // immediate satisfaction; handled
+    Job& job = jobs_[static_cast<std::size_t>(it->second)];
+    if (job.upgrade_active) {
+      start_upgrade_segment(job, t, id == job.pair.read_part);
+      return;
+    }
+    if (job.incremental_active) {
+      // Full-grant satisfaction of an incremental request arrives through
+      // the granted callback; nothing extra to do here.
+      return;
+    }
+    enter_cs(job, t);
+  }
+
+  void enter_cs(Job& job, double t) {
+    const CriticalSection& cs = params(job).segments[job.seg].cs;
+    job.phase = Phase::InCS;
+    // Pessimistic execution of an upgradeable section (protocol without
+    // upgrade support) runs decision + write segment under write locks.
+    job.remaining = cs.length + (cs.upgradeable ? cs.write_segment_len : 0);
+    const double delay = t - job.issue_time;
+    TaskMetrics& m = result_.per_task[job.task];
+    if (protocol_.treated_as_write(cs)) {
+      m.write_acq_delay.add(delay);
+    } else {
+      m.read_acq_delay.add(delay);
+    }
+  }
+
+  void finish_cs(Job& job, double t) {
+    if (job.upgrade_active) {
+      finish_upgrade_segment(job, t);
+      return;
+    }
+    if (job.incremental_active) {
+      finish_incremental_slice(job, t);
+      return;
+    }
+    const bool was_write = protocol_.treated_as_write(
+        params(job).segments[job.seg].cs);
+    protocol_.complete(t, job.req);
+    if (observer_) {
+      observer_->after_invocation(was_write
+                                      ? rsm::InvocationKind::WriteComplete
+                                      : rsm::InvocationKind::ReadComplete);
+    }
+    req_to_job_.erase(job.req);
+    job.req = rsm::kNoRequest;
+    // Release our donor, if any (donation ends when the request completes).
+    if (job.donor >= 0) {
+      jobs_[static_cast<std::size_t>(job.donor)].donee = -1;
+      job.donor = -1;
+    }
+    ++job.seg;
+    const TaskParams& p = params(job);
+    if (job.seg < p.segments.size()) {
+      job.phase = Phase::Compute;
+      job.remaining = p.segments[job.seg].compute_before;
+    } else {
+      job.phase = Phase::FinalCompute;
+      job.remaining = p.final_compute;
+    }
+  }
+
+  void finish_upgrade_segment(Job& job, double t) {
+    if (job.upg_stage == 1) {
+      // Decision segment finished: abandon or upgrade (Sec. 3.6).
+      if (!job.needs_write) {
+        protocol_.finish_read_segment(t, job.pair, /*upgrade=*/false);
+        if (observer_)
+          observer_->after_invocation(rsm::InvocationKind::Mixed);
+        end_upgrade(job, t);
+        return;
+      }
+      job.upg_stage = 2;
+      job.phase = Phase::WaitingLock;
+      job.issue_time = t;  // measure the upgrade wait separately
+      protocol_.finish_read_segment(t, job.pair, /*upgrade=*/true);
+      if (observer_) observer_->after_invocation(rsm::InvocationKind::Mixed);
+      if (protocol_.engine().is_satisfied(job.pair.write_part) &&
+          job.phase == Phase::WaitingLock && job.upg_stage == 2) {
+        start_upgrade_segment(job, t, /*read_segment=*/false);
+      }
+      return;
+    }
+    // Write segment (or the pessimistic whole section) finished.
+    protocol_.complete(t, job.pair.write_part);
+    if (observer_) observer_->after_invocation(rsm::InvocationKind::Mixed);
+    end_upgrade(job, t);
+  }
+
+  void end_upgrade(Job& job, double t) {
+    req_to_job_.erase(job.pair.read_part);
+    req_to_job_.erase(job.pair.write_part);
+    job.upgrade_active = false;
+    job.upg_stage = 0;
+    job.req = rsm::kNoRequest;
+    if (job.donor >= 0) {
+      jobs_[static_cast<std::size_t>(job.donor)].donee = -1;
+      job.donor = -1;
+    }
+    ++job.seg;
+    const TaskParams& p = params(job);
+    if (job.seg < p.segments.size()) {
+      job.phase = Phase::Compute;
+      job.remaining = p.segments[job.seg].compute_before;
+    } else {
+      job.phase = Phase::FinalCompute;
+      job.remaining = p.final_compute;
+    }
+    (void)t;
+  }
+
+  void complete_job(Job& job, double t) {
+    job.phase = Phase::Done;
+    job.scheduled = false;
+    TaskMetrics& m = result_.per_task[job.task];
+    m.jobs_completed++;
+    result_.jobs_completed++;
+    if (t > job.abs_deadline + kEps) m.deadline_misses++;
+    m.response_time.add(t - job.release);
+    m.tardiness.add(std::max(0.0, t - job.abs_deadline));
+    m.pi_blocking.add(job.pib);
+    m.s_aware_pi_blocking.add(job.aware);
+    m.s_oblivious_pi_blocking.add(job.obliv);
+    m.s_blocking.add(job.sblk);
+    // Defensive: a completing job must not leave donation edges behind.
+    if (job.donee >= 0) {
+      jobs_[static_cast<std::size_t>(job.donee)].donor = -1;
+      job.donee = -1;
+    }
+  }
+
+  // ---- progress mechanism and scheduling ----------------------------------
+
+  /// Suspension mode issuance gate (Sec. 3.8 / [6]): a request may be
+  /// issued only while the job has one of the c highest base priorities
+  /// among pending jobs in its cluster, and fewer than c requests are
+  /// already incomplete there (Property P2).
+  bool gate_open(int idx) const {
+    if (cfg_.wait == WaitMode::Spin) return true;
+    const Job& job = jobs_[static_cast<std::size_t>(idx)];
+    std::size_t higher = 0, reqs = 0;
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      const Job& o = jobs_[j];
+      if (!o.pending() || o.cluster != job.cluster) continue;
+      if (o.has_incomplete_request()) ++reqs;
+      if (static_cast<int>(j) != idx && prio_before(o, job)) ++higher;
+    }
+    return higher < sys_.cluster_size && reqs < sys_.cluster_size;
+  }
+
+  /// Base-priority order with deterministic tie-break.
+  bool prio_before(const Job& a, const Job& b) const {
+    if (a.base_prio != b.base_prio) return a.base_prio < b.base_prio;
+    if (a.release != b.release) return a.release < b.release;
+    return a.task < b.task;
+  }
+
+  void compute_allocation() {
+    if (cfg_.wait == WaitMode::Suspend) update_donations();
+    for (std::size_t cl = 0; cl < sys_.num_clusters(); ++cl) {
+      std::vector<int> eligible;
+      for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        Job& job = jobs_[j];
+        if (!job.pending() || job.cluster != cl) continue;
+        job.scheduled = false;
+        if (cfg_.wait == WaitMode::Suspend) {
+          // Suspended: blocked waiters, gated jobs, and donors.
+          if (job.phase == Phase::WaitingLock ||
+              job.phase == Phase::WaitingEligible || job.donee >= 0)
+            continue;
+        }
+        eligible.push_back(static_cast<int>(j));
+      }
+      std::sort(eligible.begin(), eligible.end(), [&](int a, int b) {
+        const Job& ja = jobs_[static_cast<std::size_t>(a)];
+        const Job& jb = jobs_[static_cast<std::size_t>(b)];
+        // Progress mechanism: jobs with incomplete requests first (S1
+        // non-preemptive execution / donated top priority), then base
+        // priority.
+        const bool ra = ja.has_incomplete_request();
+        const bool rb = jb.has_incomplete_request();
+        if (ra != rb) return ra;
+        return prio_before(ja, jb);
+      });
+      const std::size_t limit = std::min<std::size_t>(
+          sys_.cluster_size, eligible.size());
+      for (std::size_t k = 0; k < limit; ++k)
+        jobs_[static_cast<std::size_t>(eligible[k])].scheduled = true;
+    }
+  }
+
+  /// Sticky priority donation: a job with an incomplete request that no
+  /// longer has one of the c highest base priorities in its cluster gets a
+  /// donor — the lowest-priority job among the top-c that is available —
+  /// which suspends until the request completes.
+  void update_donations() {
+    for (std::size_t cl = 0; cl < sys_.num_clusters(); ++cl) {
+      // Pending jobs sorted by base priority.
+      std::vector<int> pending;
+      for (std::size_t j = 0; j < jobs_.size(); ++j)
+        if (jobs_[j].pending() && jobs_[j].cluster == cl)
+          pending.push_back(static_cast<int>(j));
+      std::sort(pending.begin(), pending.end(), [&](int a, int b) {
+        return prio_before(jobs_[static_cast<std::size_t>(a)],
+                           jobs_[static_cast<std::size_t>(b)]);
+      });
+      const std::size_t c = std::min<std::size_t>(sys_.cluster_size,
+                                                  pending.size());
+      auto in_top_c = [&](int idx) {
+        for (std::size_t k = 0; k < c; ++k)
+          if (pending[k] == idx) return true;
+        return false;
+      };
+      for (int idx : pending) {
+        Job& job = jobs_[static_cast<std::size_t>(idx)];
+        if (!job.has_incomplete_request() || job.donor >= 0 ||
+            in_top_c(idx))
+          continue;
+        // With the MPI combination (Sec. 4 / [8]), write requests progress
+        // via priority inheritance — the scheduler already elevates
+        // resource holders — so no donor suspends on their behalf; only
+        // read requests receive donors.
+        if (cfg_.progress == ProgressMechanism::DonationPlusMpi &&
+            job.req != rsm::kNoRequest &&
+            protocol_.engine().request(job.req).is_write)
+          continue;
+        // Pick the lowest-priority top-c job that can donate.
+        for (std::size_t k = c; k-- > 0;) {
+          Job& cand = jobs_[static_cast<std::size_t>(pending[k])];
+          if (cand.has_incomplete_request() || cand.donee >= 0 ||
+              cand.donor >= 0)
+            continue;
+          cand.donee = idx;
+          job.donor = pending[k];
+          break;
+        }
+      }
+    }
+  }
+
+  void check_p1_p2() const {
+    std::vector<std::size_t> reqs(sys_.num_clusters(), 0);
+    for (const Job& job : jobs_) {
+      if (!job.pending()) continue;
+      if (job.has_incomplete_request()) ++reqs[job.cluster];
+      // P1: a resource-holding job is always scheduled.
+      if (job.phase == Phase::InCS) {
+        RWRNLP_CHECK_MSG(job.scheduled,
+                         "P1 violated: task " << job.task
+                                              << " in CS but unscheduled");
+      }
+      // Spin mode: S1 — spinning jobs occupy their processor.
+      if (cfg_.wait == WaitMode::Spin && job.phase == Phase::WaitingLock) {
+        RWRNLP_CHECK_MSG(job.scheduled,
+                         "S1 violated: spinning job unscheduled");
+      }
+    }
+    // P2: at most c incomplete requests per cluster.
+    for (std::size_t cl = 0; cl < sys_.num_clusters(); ++cl) {
+      RWRNLP_CHECK_MSG(reqs[cl] <= sys_.cluster_size,
+                       "P2 violated: " << reqs[cl] << " incomplete requests "
+                                       << "in cluster " << cl);
+    }
+  }
+
+  // ---- time advance and metrics -------------------------------------------
+
+  double next_event_after(double t) const {
+    double t_next = cfg_.horizon;
+    for (double r : next_release_) t_next = std::min(t_next, r);
+    for (const Job& job : jobs_) {
+      if (job.pending() && job.scheduled && job.needs_processor_time())
+        t_next = std::min(t_next, t + std::max(job.remaining, 0.0));
+    }
+    return std::max(t_next, t);
+  }
+
+  void accumulate(double dt) {
+    for (std::size_t cl = 0; cl < sys_.num_clusters(); ++cl) {
+      // Classify jobs in this cluster once.
+      std::vector<int> members;
+      for (std::size_t j = 0; j < jobs_.size(); ++j)
+        if (jobs_[j].pending() && jobs_[j].cluster == cl)
+          members.push_back(static_cast<int>(j));
+      auto is_ready = [&](const Job& o) {
+        if (cfg_.wait == WaitMode::Spin) return true;  // nothing suspends
+        return !(o.phase == Phase::WaitingLock ||
+                 o.phase == Phase::WaitingEligible || o.donee >= 0);
+      };
+      for (int idx : members) {
+        Job& job = jobs_[static_cast<std::size_t>(idx)];
+        // Def. 2: s-blocking — spinning while scheduled.
+        if (cfg_.wait == WaitMode::Spin && job.phase == Phase::WaitingLock &&
+            job.scheduled)
+          job.sblk += dt;
+        if (job.scheduled) continue;
+        std::size_t higher_ready = 0, higher_pending = 0;
+        for (int other : members) {
+          if (other == idx) continue;
+          const Job& o = jobs_[static_cast<std::size_t>(other)];
+          if (!prio_before(o, job)) continue;
+          ++higher_pending;
+          if (is_ready(o)) ++higher_ready;
+        }
+        if (cfg_.wait == WaitMode::Spin) {
+          // Def. 1: ready but not scheduled with < c higher-priority ready
+          // jobs (under spinning every pending job is ready).
+          if (higher_ready < sys_.cluster_size) job.pib += dt;
+        } else {
+          // Def. 5.
+          if (higher_ready < sys_.cluster_size) job.aware += dt;
+          if (higher_pending < sys_.cluster_size) job.obliv += dt;
+        }
+      }
+    }
+  }
+
+  void record_schedule(double t0, double t1) {
+    for (const Job& job : jobs_) {
+      if (!job.pending()) continue;
+      IntervalKind kind;
+      if (job.scheduled && job.phase == Phase::InCS) {
+        kind = IntervalKind::Critical;
+      } else if (job.scheduled && job.phase == Phase::WaitingLock) {
+        kind = IntervalKind::Spinning;
+      } else if (job.scheduled) {
+        kind = IntervalKind::Compute;
+      } else if (job.phase == Phase::WaitingLock ||
+                 job.phase == Phase::WaitingEligible) {
+        kind = IntervalKind::SuspendedWait;
+      } else {
+        continue;  // preempted compute: leave blank
+      }
+      result_.schedule.add(job.task, t0, t1, kind);
+    }
+  }
+
+  void advance(double dt) {
+    for (Job& job : jobs_) {
+      if (job.pending() && job.scheduled && job.needs_processor_time()) {
+        job.remaining -= dt;
+        if (job.remaining <= kEps) job.ran_dry = true;
+      }
+    }
+  }
+
+  const TaskSystem& sys_;
+  ProtocolAdapter& protocol_;
+  SimConfig cfg_;
+  Rng rng_;
+  std::vector<Job> jobs_;
+  std::vector<double> next_release_;
+  std::unordered_map<rsm::RequestId, int> req_to_job_;
+  std::unique_ptr<rsm::ProtocolObserver> observer_;
+  SimResult result_;
+};
+
+Simulator::Simulator(const TaskSystem& sys, ProtocolAdapter& protocol,
+                     SimConfig cfg)
+    : sys_(sys), protocol_(protocol), cfg_(cfg) {}
+
+SimResult Simulator::run() {
+  Impl impl(sys_, protocol_, cfg_);
+  return impl.run();
+}
+
+}  // namespace rwrnlp::sched

@@ -1,0 +1,78 @@
+#include "sched/task.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rwrnlp::sched {
+
+double TaskSystem::l_read_max() const {
+  double l = 0;
+  for (const auto& t : tasks)
+    for (const auto& s : t.segments) {
+      if (s.cs.upgradeable) {
+        // The optimistic decision segment is a read critical section
+        // (footnote 3 of the paper assumes it is bounded by L^r_max).
+        l = std::max(l, s.cs.length);
+      } else if (!s.cs.is_write()) {
+        l = std::max(l, s.cs.length);
+      }
+    }
+  return l;
+}
+
+double TaskSystem::l_write_max() const {
+  double l = 0;
+  for (const auto& t : tasks)
+    for (const auto& s : t.segments) {
+      if (s.cs.upgradeable) {
+        // Pessimistic protocols run the whole section under write locks.
+        l = std::max(l, s.cs.length + s.cs.write_segment_len);
+      } else if (s.cs.is_write()) {
+        l = std::max(l, s.cs.length);
+      }
+    }
+  return l;
+}
+
+void TaskSystem::validate() const {
+  RWRNLP_REQUIRE(num_processors >= 1, "need at least one processor");
+  RWRNLP_REQUIRE(cluster_size >= 1 && cluster_size <= num_processors,
+                 "cluster size must be in [1, m]");
+  RWRNLP_REQUIRE(num_processors % cluster_size == 0,
+                 "m must be divisible by the cluster size");
+  for (const auto& t : tasks) {
+    RWRNLP_REQUIRE(t.period > 0, "task " << t.id << ": period must be > 0");
+    RWRNLP_REQUIRE(t.deadline > 0,
+                   "task " << t.id << ": deadline must be > 0");
+    RWRNLP_REQUIRE(t.cluster < num_clusters(),
+                   "task " << t.id << ": bad cluster " << t.cluster);
+    for (const auto& s : t.segments) {
+      RWRNLP_REQUIRE(s.compute_before >= 0 && s.cs.length > 0,
+                     "task " << t.id << ": bad segment durations");
+      ResourceSet all = s.cs.reads | s.cs.writes;
+      RWRNLP_REQUIRE(!all.empty(),
+                     "task " << t.id << ": critical section locks nothing");
+      RWRNLP_REQUIRE(!(s.cs.upgradeable && s.cs.incremental),
+                     "task " << t.id
+                             << ": a section cannot be both upgradeable and "
+                                "incremental");
+      if (s.cs.upgradeable) {
+        RWRNLP_REQUIRE(!s.cs.reads.empty() && s.cs.writes.empty(),
+                       "task " << t.id
+                               << ": upgradeable sections declare their "
+                                  "footprint via `reads` only");
+        RWRNLP_REQUIRE(s.cs.write_prob >= 0 && s.cs.write_prob <= 1 &&
+                           s.cs.write_segment_len >= 0,
+                       "task " << t.id << ": bad upgradeable parameters");
+      }
+      all.for_each([&](ResourceId l) {
+        RWRNLP_REQUIRE(l < num_resources,
+                       "task " << t.id << ": resource l" << l
+                               << " out of range");
+      });
+    }
+  }
+}
+
+}  // namespace rwrnlp::sched

@@ -1,0 +1,100 @@
+// Sporadic task model (Sec. 2 of the paper).
+//
+// Each task T_i releases jobs with minimum separation p_i; each job executes
+// at most e_i time units and must finish within a relative deadline d_i.
+// Jobs alternate computation segments and critical sections; each critical
+// section names the resources it reads and writes and its duration.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/resource_set.hpp"
+
+namespace rwrnlp::sched {
+
+/// One critical section: the resources it locks and how long it runs once
+/// satisfied.  `reads`/`writes` follow the paper's N^r / N^w notation; a
+/// request with both nonempty is a mixed request (Sec. 3.5).
+///
+/// An *upgradeable* section (Sec. 3.6) runs a read-only decision segment of
+/// `length` over `reads`; with probability `write_prob` (drawn per job) it
+/// then upgrades and runs a write segment of `write_segment_len`.  Under
+/// protocols without upgrade support it degrades to a pessimistic write of
+/// the whole footprint for `length + write_segment_len`.
+struct CriticalSection {
+  ResourceSet reads;
+  ResourceSet writes;
+  double length = 0;
+
+  bool upgradeable = false;
+  double write_prob = 0;
+  double write_segment_len = 0;
+
+  /// An *incremental* section (Sec. 3.7) declares its whole footprint but
+  /// acquires it hand-over-hand: the resources (in ascending index order)
+  /// are requested one at a time, with an equal slice of `length` executed
+  /// after each grant.  Entitlement protects the declared footprint, so
+  /// the slices never deadlock and later-issued conflicting requests never
+  /// overtake.  Ignored when `upgradeable` is set.
+  bool incremental = false;
+
+  bool is_write() const { return !writes.empty(); }
+};
+
+/// A job is a sequence of (compute, critical-section) segments followed by a
+/// final compute chunk.
+struct Segment {
+  double compute_before = 0;
+  CriticalSection cs;
+};
+
+struct TaskParams {
+  int id = 0;
+  double period = 0;        ///< p_i: minimum job separation.
+  double deadline = 0;      ///< d_i: relative deadline.
+  double phase = 0;         ///< release offset of the first job.
+  int fixed_priority = 0;   ///< used by fixed-priority scheduling; lower = higher.
+  std::size_t cluster = 0;  ///< static cluster assignment.
+  std::vector<Segment> segments;
+  double final_compute = 0;
+
+  /// e_i: total execution requirement (compute + critical sections,
+  /// including the write segment of upgradeable sections).
+  double wcet() const {
+    double e = final_compute;
+    for (const auto& s : segments)
+      e += s.compute_before + s.cs.length + s.cs.write_segment_len;
+    return e;
+  }
+  double utilization() const { return period > 0 ? wcet() / period : 0; }
+};
+
+/// A complete task system plus the platform it runs on.
+struct TaskSystem {
+  std::vector<TaskParams> tasks;
+  std::size_t num_resources = 0;
+  std::size_t num_processors = 1;  ///< m
+  std::size_t cluster_size = 1;    ///< c (m/c clusters)
+
+  std::size_t num_clusters() const {
+    return cluster_size == 0 ? 0 : num_processors / cluster_size;
+  }
+  double total_utilization() const {
+    double u = 0;
+    for (const auto& t : tasks) u += t.utilization();
+    return u;
+  }
+  /// Longest read / write critical-section lengths (L^r_max, L^w_max).
+  double l_read_max() const;
+  double l_write_max() const;
+  double l_max() const { return std::max(l_read_max(), l_write_max()); }
+
+  /// Throws std::invalid_argument if structurally inconsistent (bad cluster
+  /// indices, resources out of range, m not divisible by c, ...).
+  void validate() const;
+};
+
+}  // namespace rwrnlp::sched

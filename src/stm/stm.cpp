@@ -1,0 +1,42 @@
+#include "stm/stm.hpp"
+
+namespace rwrnlp::stm {
+
+StmRuntime::StmRuntime() : StmRuntime(Options{}) {}
+
+StmRuntime::StmRuntime(Options options)
+    : options_(options), shares_(options.max_vars) {}
+
+std::uint32_t StmRuntime::register_var() {
+  RWRNLP_REQUIRE(!frozen(), "cannot create vars after the runtime froze");
+  RWRNLP_REQUIRE(next_index_ < options_.max_vars,
+                 "variable limit reached (" << options_.max_vars
+                                            << "); raise Options::max_vars");
+  return next_index_++;
+}
+
+void StmRuntime::declare_transaction(const VarSet& reads,
+                                     const VarSet& writes) {
+  RWRNLP_REQUIRE(!frozen(), "cannot declare transactions after freeze()");
+  if (writes.resources().empty()) {
+    shares_.declare_read_request(reads.resources());
+  } else {
+    // Mixed or pure-write transaction; upgradeable transactions over set S
+    // are covered by declaring S as read-shared with itself.
+    if (!reads.resources().empty())
+      shares_.declare_mixed_request(reads.resources(), writes.resources());
+  }
+}
+
+void StmRuntime::declare_upgradeable(const VarSet& vars) {
+  RWRNLP_REQUIRE(!frozen(), "cannot declare transactions after freeze()");
+  shares_.declare_read_request(vars.resources());
+}
+
+void StmRuntime::freeze() {
+  RWRNLP_REQUIRE(!frozen(), "freeze() called twice");
+  rnlp_ = std::make_unique<locks::SpinRwRnlp>(options_.max_vars, shares_,
+                                              options_.expansion);
+}
+
+}  // namespace rwrnlp::stm

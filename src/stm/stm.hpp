@@ -1,0 +1,199 @@
+// A miniature lock-based software transactional memory whose transaction
+// manager is the R/W RNLP — the application the paper's introduction
+// motivates ("the transaction manager that predictably and efficiently
+// coordinates concurrent read and write accesses ... inherently requires a
+// fine-grained R/W locking protocol").
+//
+// Model: transactional variables (Var<T>) map 1:1 onto protocol resources.
+// Transaction *classes* (their read/write sets) are declared before the
+// runtime is frozen — the same a-priori knowledge the protocol needs for
+// read-set closures (Sec. 3.2) and that the PCP analogy of Sec. 3.7 calls
+// for.  A transaction acquires all of its declared variables in one
+// multi-resource request (mixed when it both reads and writes, Sec. 3.5),
+// runs its body, and releases; because conflicting transactions are
+// serialized by the lock while non-conflicting ones run concurrently, every
+// execution is trivially serializable and — unlike the non-blocking STMs
+// discussed in Sec. 1 — no transaction ever aborts or retries.
+//
+// Upgradeable transactions (Sec. 3.6) optimistically run a read-only
+// decision segment and upgrade to the write segment only when needed; the
+// write segment must re-read its inputs, since other transactions may have
+// run in between.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "locks/spin_rw_rnlp.hpp"
+#include "util/assert.hpp"
+#include "util/resource_set.hpp"
+
+namespace rwrnlp::stm {
+
+class StmRuntime;
+class TxContext;
+
+namespace detail {
+struct VarBase {
+  std::uint32_t index = 0;
+};
+}  // namespace detail
+
+/// A transactional variable holding a T.  Values may only be touched inside
+/// a transaction body through the TxContext.
+template <typename T>
+class Var : public detail::VarBase {
+ public:
+  Var(StmRuntime& runtime, T initial);
+
+ private:
+  friend class TxContext;
+  T value_;
+};
+
+/// A set of variables (a transaction's read or write footprint).
+class VarSet {
+ public:
+  VarSet() = default;
+  explicit VarSet(std::size_t universe) : set_(universe) {}
+
+  template <typename T>
+  VarSet& add(const Var<T>& v) {
+    set_.resize(v.index + 1);
+    set_.set(v.index);
+    return *this;
+  }
+  const ResourceSet& resources() const { return set_; }
+
+ private:
+  ResourceSet set_;
+};
+
+/// Access rights handed to a transaction body.
+class TxContext {
+ public:
+  template <typename T>
+  const T& read(const Var<T>& v) const {
+    RWRNLP_REQUIRE(readable_.test(v.index),
+                   "transaction reads var " << v.index
+                                            << " outside its footprint");
+    return v.value_;
+  }
+
+  template <typename T>
+  void write(Var<T>& v, T value) const {
+    RWRNLP_REQUIRE(writable_.test(v.index),
+                   "transaction writes var " << v.index
+                                             << " outside its footprint");
+    v.value_ = std::move(value);
+  }
+
+ private:
+  friend class StmRuntime;
+  TxContext(ResourceSet readable, ResourceSet writable)
+      : readable_(std::move(readable)), writable_(std::move(writable)) {}
+  ResourceSet readable_;
+  ResourceSet writable_;
+};
+
+class StmRuntime {
+ public:
+  struct Options {
+    std::size_t max_vars = 64;
+    rsm::WriteExpansion expansion = rsm::WriteExpansion::Placeholders;
+  };
+
+  StmRuntime();
+  explicit StmRuntime(Options options);
+
+  std::size_t num_vars() const { return next_index_; }
+
+  /// Declares a transaction class: the variables it may read and write.
+  /// Must be called for every transaction shape before freeze().
+  void declare_transaction(const VarSet& reads, const VarSet& writes);
+
+  /// Declares an upgradeable transaction class over `vars` (its optimistic
+  /// segment reads all of them together).
+  void declare_upgradeable(const VarSet& vars);
+
+  /// Finalizes declarations and constructs the lock.  Called automatically
+  /// by the first transaction if omitted.  Declarations and freezing must
+  /// happen before concurrent transactions start (single-threaded setup).
+  void freeze();
+  bool frozen() const { return rnlp_ != nullptr; }
+
+  /// Runs `body(TxContext&)` with read access to `reads` and write access
+  /// to `writes` (footprints must match a declared class for the protocol's
+  /// a-priori assumptions to hold — enforced here).
+  template <typename Body>
+  auto atomically(const VarSet& reads, const VarSet& writes, Body&& body) {
+    acquire_guard();
+    // Normalize footprints to the runtime's resource universe.
+    ResourceSet r(options_.max_vars), w(options_.max_vars);
+    r |= reads.resources();
+    w |= writes.resources();
+    const locks::LockToken token = rnlp_->acquire(r, w);
+    TxContext ctx(r | w, w);
+    struct Releaser {
+      locks::SpinRwRnlp* lock;
+      locks::LockToken token;
+      ~Releaser() { lock->release(token); }
+    } releaser{rnlp_.get(), token};
+    return body(ctx);
+  }
+
+  /// Upgradeable transaction (Sec. 3.6): `decide(const TxContext&) -> bool`
+  /// runs read-only and returns whether the write segment is needed;
+  /// `commit(TxContext&)` then runs with write access to every variable (it
+  /// must re-read — the state may have changed between the segments).
+  /// Returns true iff the write segment ran.
+  template <typename Decide, typename Commit>
+  bool atomically_upgradeable(const VarSet& vars, Decide&& decide,
+                              Commit&& commit) {
+    acquire_guard();
+    ResourceSet rs(options_.max_vars);
+    rs |= vars.resources();
+    auto token = rnlp_->acquire_upgradeable(rs);
+    if (!token.write_mode) {
+      TxContext read_ctx(rs, ResourceSet(options_.max_vars));
+      const bool need_write = decide(read_ctx);
+      if (!need_write) {
+        rnlp_->abandon(token);
+        return false;
+      }
+      rnlp_->upgrade(token);
+    }
+    TxContext write_ctx(rs, rs);
+    commit(write_ctx);
+    rnlp_->release_upgraded(token);
+    return true;
+  }
+
+  /// The underlying lock (for inspection in tests).
+  const locks::SpinRwRnlp& lock() const {
+    RWRNLP_REQUIRE(frozen(), "runtime not frozen yet");
+    return *rnlp_;
+  }
+
+ private:
+  template <typename T>
+  friend class Var;
+
+  std::uint32_t register_var();
+  void acquire_guard() {
+    if (!frozen()) freeze();
+  }
+
+  Options options_;
+  std::uint32_t next_index_ = 0;
+  rsm::ReadShareTable shares_;
+  std::unique_ptr<locks::SpinRwRnlp> rnlp_;
+};
+
+template <typename T>
+Var<T>::Var(StmRuntime& runtime, T initial) : value_(std::move(initial)) {
+  index = runtime.register_var();
+}
+
+}  // namespace rwrnlp::stm

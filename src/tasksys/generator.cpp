@@ -1,0 +1,123 @@
+#include "tasksys/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rwrnlp::tasksys {
+
+std::vector<double> uunifast(Rng& rng, std::size_t n, double total) {
+  RWRNLP_REQUIRE(n >= 1, "uunifast needs at least one task");
+  RWRNLP_REQUIRE(total > 0 && total <= static_cast<double>(n),
+                 "total utilization " << total << " infeasible for " << n
+                                      << " tasks");
+  std::vector<double> u(n);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    double sum = total;
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const double next =
+          sum * std::pow(rng.uniform01(),
+                         1.0 / static_cast<double>(n - 1 - i));
+      u[i] = sum - next;
+      if (u[i] > 1.0 || u[i] <= 0.0) {
+        ok = false;
+        break;
+      }
+      sum = next;
+    }
+    u[n - 1] = sum;
+    if (ok && u[n - 1] <= 1.0 && u[n - 1] > 0.0) return u;
+  }
+  // Fallback: uniform split (always feasible since total <= n).
+  std::fill(u.begin(), u.end(), total / static_cast<double>(n));
+  return u;
+}
+
+sched::TaskSystem generate(Rng& rng, const GeneratorConfig& cfg) {
+  RWRNLP_REQUIRE(cfg.num_resources >= 1, "need at least one resource");
+  RWRNLP_REQUIRE(cfg.cs_min > 0 && cfg.cs_min <= cfg.cs_max,
+                 "bad critical-section length range");
+  sched::TaskSystem sys;
+  sys.num_resources = cfg.num_resources;
+  sys.num_processors = cfg.num_processors;
+  sys.cluster_size = cfg.cluster_size;
+
+  const std::vector<double> utils =
+      uunifast(rng, cfg.num_tasks, cfg.total_utilization);
+
+  for (std::size_t i = 0; i < cfg.num_tasks; ++i) {
+    sched::TaskParams t;
+    t.id = static_cast<int>(i);
+    t.period = rng.log_uniform(cfg.period_min, cfg.period_max);
+    t.fixed_priority = static_cast<int>(i);
+    t.cluster = i % sys.num_clusters();
+    const double wcet = utils[i] * t.period;
+
+    double cs_budget = 0;
+    std::vector<sched::CriticalSection> sections;
+    if (rng.chance(cfg.access_prob)) {
+      const std::size_t n_req =
+          1 + rng.next_below(cfg.max_requests_per_job);
+      for (std::size_t k = 0; k < n_req; ++k) {
+        sched::CriticalSection cs;
+        cs.length = rng.uniform(cfg.cs_min, cfg.cs_max);
+        if (cs_budget + cs.length > 0.75 * wcet) break;  // keep CS a minority
+        const std::size_t width = 1 + rng.next_below(std::min(
+                                          cfg.max_nesting, cfg.num_resources));
+        ResourceSet rs(cfg.num_resources);
+        for (std::size_t idx : rng.sample_indices(cfg.num_resources, width))
+          rs.set(static_cast<ResourceId>(idx));
+        if (cfg.upgradeable_prob > 0 && rng.chance(cfg.upgradeable_prob)) {
+          // Check-then-maybe-update over the footprint (Sec. 3.6).
+          cs.reads = rs;
+          cs.writes = ResourceSet(cfg.num_resources);
+          cs.upgradeable = true;
+          cs.write_prob = cfg.upgrade_write_prob;
+          cs.write_segment_len = rng.uniform(cfg.cs_min, cfg.cs_max);
+        } else if (rng.chance(cfg.read_ratio)) {
+          cs.reads = rs;
+          cs.writes = ResourceSet(cfg.num_resources);
+        } else if (cfg.mixed_prob > 0 && rs.count() > 1 &&
+                   rng.chance(cfg.mixed_prob)) {
+          // Split: first resource written, rest read.
+          cs.reads = rs;
+          cs.writes = ResourceSet(cfg.num_resources);
+          const ResourceId first = rs.to_vector().front();
+          cs.writes.set(first);
+          cs.reads.reset(first);
+        } else {
+          cs.writes = rs;
+          cs.reads = ResourceSet(cfg.num_resources);
+          if (cfg.incremental_prob > 0 && rs.count() > 1 &&
+              rng.chance(cfg.incremental_prob)) {
+            cs.incremental = true;  // hand-over-hand acquisition (Sec. 3.7)
+          }
+        }
+        cs_budget += cs.length + cs.write_segment_len;
+        sections.push_back(std::move(cs));
+      }
+    }
+
+    // Distribute the remaining computation around the critical sections.
+    const double compute_total = std::max(wcet - cs_budget, 0.01);
+    const std::size_t chunks = sections.size() + 1;
+    const double chunk = compute_total / static_cast<double>(chunks);
+    for (auto& cs : sections) {
+      sched::Segment seg;
+      seg.compute_before = chunk;
+      seg.cs = std::move(cs);
+      t.segments.push_back(std::move(seg));
+    }
+    t.final_compute = chunk;
+    t.deadline = cfg.implicit_deadlines
+                     ? t.period
+                     : rng.uniform(std::max(t.wcet(), 0.05), t.period);
+    sys.tasks.push_back(std::move(t));
+  }
+  sys.validate();
+  return sys;
+}
+
+}  // namespace rwrnlp::tasksys

@@ -1,0 +1,59 @@
+// Random sporadic task-set generation for schedulability studies and
+// randomized simulation, in the style of the experimental setups used in
+// the multiprocessor real-time locking literature (e.g. [4, ch. 4], [5-7]):
+// UUniFast-style utilization partitioning, log-uniform periods, and a
+// configurable resource-sharing pattern (number of resources, access
+// probability, requests per job, nesting depth, read ratio, critical-
+// section lengths).
+#pragma once
+
+#include <cstdint>
+
+#include "sched/task.hpp"
+#include "util/rng.hpp"
+
+namespace rwrnlp::tasksys {
+
+struct GeneratorConfig {
+  std::size_t num_tasks = 8;
+  double total_utilization = 2.0;
+  double period_min = 10.0;
+  double period_max = 100.0;
+  bool implicit_deadlines = true;  ///< d_i = p_i (else d_i in [e_i, p_i])
+
+  std::size_t num_resources = 6;
+  /// Probability that a task uses shared resources at all.
+  double access_prob = 0.8;
+  std::size_t max_requests_per_job = 2;
+  /// Number of resources per request: 1..max_nesting (uniform).
+  std::size_t max_nesting = 3;
+  /// Probability that a request is read-only.
+  double read_ratio = 0.5;
+  /// Probability that a write request also reads some resources (mixed).
+  double mixed_prob = 0.0;
+  /// Probability that a request is an upgradeable check-then-maybe-update
+  /// section (Sec. 3.6); its write segment is needed with `upgrade_write_prob`.
+  double upgradeable_prob = 0.0;
+  double upgrade_write_prob = 0.3;
+  /// Probability that a multi-resource write section acquires its footprint
+  /// incrementally (Sec. 3.7).
+  double incremental_prob = 0.0;
+  /// Critical-section length range (absolute time units).
+  double cs_min = 0.1;
+  double cs_max = 0.5;
+
+  std::size_t num_processors = 4;
+  std::size_t cluster_size = 4;
+};
+
+/// Draws `n` utilizations summing to `total` via UUniFast (Bini & Buttazzo).
+/// Individual values are clamped to (0, 1]; if a draw exceeds 1 the sample
+/// is redrawn (valid for total <= n).
+std::vector<double> uunifast(Rng& rng, std::size_t n, double total);
+
+/// Generates a complete task system.  Critical-section time is carved out
+/// of each task's budget (e_i is preserved); tasks are assigned to clusters
+/// round-robin (the schedulability tests re-partition as needed).
+sched::TaskSystem generate(Rng& rng, const GeneratorConfig& cfg);
+
+}  // namespace rwrnlp::tasksys

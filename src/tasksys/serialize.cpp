@@ -1,0 +1,200 @@
+#include "tasksys/serialize.hpp"
+
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rwrnlp::tasksys {
+
+namespace {
+
+std::string set_to_csv(const ResourceSet& s) {
+  std::string out;
+  s.for_each([&](ResourceId r) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(r);
+  });
+  return out;
+}
+
+ResourceSet csv_to_set(const std::string& csv, std::size_t universe,
+                       int line_no) {
+  ResourceSet s(universe);
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    unsigned long v = 0;
+    bool parsed = true;
+    try {
+      v = std::stoul(item);
+    } catch (const std::exception&) {
+      parsed = false;
+    }
+    RWRNLP_REQUIRE(parsed, "line " << line_no << ": bad resource id '"
+                                   << item << "'");
+    RWRNLP_REQUIRE(v < universe,
+                   "line " << line_no << ": resource " << v
+                           << " out of range");
+    s.set(static_cast<ResourceId>(v));
+  }
+  return s;
+}
+
+/// Parses "key=value key=value ..." into a map.
+std::map<std::string, std::string> parse_kv(const std::string& rest,
+                                            int line_no) {
+  std::map<std::string, std::string> kv;
+  std::stringstream ss(rest);
+  std::string token;
+  while (ss >> token) {
+    const auto eq = token.find('=');
+    RWRNLP_REQUIRE(eq != std::string::npos,
+                   "line " << line_no << ": expected key=value, got '"
+                           << token << "'");
+    kv[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return kv;
+}
+
+double need_num(const std::map<std::string, std::string>& kv,
+                const std::string& key, int line_no) {
+  const auto it = kv.find(key);
+  RWRNLP_REQUIRE(it != kv.end(),
+                 "line " << line_no << ": missing field '" << key << "'");
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    RWRNLP_REQUIRE(false, "line " << line_no << ": bad number for '" << key
+                                  << "'");
+  }
+  return 0;
+}
+
+std::string need_str(const std::map<std::string, std::string>& kv,
+                     const std::string& key, int line_no) {
+  const auto it = kv.find(key);
+  RWRNLP_REQUIRE(it != kv.end(),
+                 "line " << line_no << ": missing field '" << key << "'");
+  return it->second;
+}
+
+}  // namespace
+
+void write_text(std::ostream& os, const sched::TaskSystem& sys) {
+  // 17 significant digits: doubles round-trip exactly.
+  os << std::setprecision(17);
+  os << "taskset v1\n";
+  os << "platform processors=" << sys.num_processors
+     << " cluster=" << sys.cluster_size << " resources=" << sys.num_resources
+     << '\n';
+  for (const auto& t : sys.tasks) {
+    os << "task id=" << t.id << " period=" << t.period
+       << " deadline=" << t.deadline << " phase=" << t.phase
+       << " prio=" << t.fixed_priority << " cluster=" << t.cluster
+       << " final=" << t.final_compute << '\n';
+    for (const auto& seg : t.segments) {
+      os << "cs pre=" << seg.compute_before << " len=" << seg.cs.length
+         << " reads=" << set_to_csv(seg.cs.reads)
+         << " writes=" << set_to_csv(seg.cs.writes);
+      if (seg.cs.upgradeable) {
+        os << " upg=1 wprob=" << seg.cs.write_prob
+           << " wlen=" << seg.cs.write_segment_len;
+      }
+      if (seg.cs.incremental) os << " incr=1";
+      os << '\n';
+    }
+  }
+}
+
+std::string to_text(const sched::TaskSystem& sys) {
+  std::ostringstream os;
+  write_text(os, sys);
+  return os.str();
+}
+
+sched::TaskSystem read_text(std::istream& is) {
+  sched::TaskSystem sys;
+  bool saw_header = false, saw_platform = false;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::stringstream ss(line);
+    std::string word;
+    if (!(ss >> word)) continue;
+    std::string rest;
+    std::getline(ss, rest);
+
+    if (word == "taskset") {
+      RWRNLP_REQUIRE(rest.find("v1") != std::string::npos,
+                     "line " << line_no << ": unsupported taskset version");
+      saw_header = true;
+    } else if (word == "platform") {
+      RWRNLP_REQUIRE(saw_header, "line " << line_no
+                                         << ": 'platform' before header");
+      const auto kv = parse_kv(rest, line_no);
+      sys.num_processors =
+          static_cast<std::size_t>(need_num(kv, "processors", line_no));
+      sys.cluster_size =
+          static_cast<std::size_t>(need_num(kv, "cluster", line_no));
+      sys.num_resources =
+          static_cast<std::size_t>(need_num(kv, "resources", line_no));
+      saw_platform = true;
+    } else if (word == "task") {
+      RWRNLP_REQUIRE(saw_platform,
+                     "line " << line_no << ": 'task' before 'platform'");
+      const auto kv = parse_kv(rest, line_no);
+      sched::TaskParams t;
+      t.id = static_cast<int>(need_num(kv, "id", line_no));
+      t.period = need_num(kv, "period", line_no);
+      t.deadline = need_num(kv, "deadline", line_no);
+      t.phase = need_num(kv, "phase", line_no);
+      t.fixed_priority = static_cast<int>(need_num(kv, "prio", line_no));
+      t.cluster = static_cast<std::size_t>(need_num(kv, "cluster", line_no));
+      t.final_compute = need_num(kv, "final", line_no);
+      sys.tasks.push_back(std::move(t));
+    } else if (word == "cs") {
+      RWRNLP_REQUIRE(!sys.tasks.empty(),
+                     "line " << line_no << ": 'cs' before any 'task'");
+      const auto kv = parse_kv(rest, line_no);
+      sched::Segment seg;
+      seg.compute_before = need_num(kv, "pre", line_no);
+      seg.cs.length = need_num(kv, "len", line_no);
+      seg.cs.reads =
+          csv_to_set(need_str(kv, "reads", line_no), sys.num_resources,
+                     line_no);
+      seg.cs.writes =
+          csv_to_set(need_str(kv, "writes", line_no), sys.num_resources,
+                     line_no);
+      if (kv.count("upg")) {
+        seg.cs.upgradeable = need_num(kv, "upg", line_no) != 0;
+        seg.cs.write_prob = need_num(kv, "wprob", line_no);
+        seg.cs.write_segment_len = need_num(kv, "wlen", line_no);
+      }
+      if (kv.count("incr"))
+        seg.cs.incremental = need_num(kv, "incr", line_no) != 0;
+      sys.tasks.back().segments.push_back(std::move(seg));
+    } else {
+      RWRNLP_REQUIRE(false,
+                     "line " << line_no << ": unknown directive '" << word
+                             << "'");
+    }
+  }
+  RWRNLP_REQUIRE(saw_header, "missing 'taskset v1' header");
+  RWRNLP_REQUIRE(saw_platform, "missing 'platform' line");
+  sys.validate();
+  return sys;
+}
+
+sched::TaskSystem from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_text(is);
+}
+
+}  // namespace rwrnlp::tasksys

@@ -1,0 +1,31 @@
+// Plain-text serialization of task systems, so experiment workloads can be
+// saved, versioned, and replayed exactly.
+//
+// Format (line-oriented, '#' comments):
+//
+//   taskset v1
+//   platform processors=4 cluster=4 resources=6
+//   task id=0 period=10 deadline=10 phase=0 prio=0 cluster=0 final=1.5
+//   cs pre=0.5 len=0.3 reads=1,2 writes=
+//   cs pre=0.2 len=0.1 reads= writes=0
+//   task id=1 ...
+//
+// Every `cs` line belongs to the most recent `task` line, in order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/task.hpp"
+
+namespace rwrnlp::tasksys {
+
+std::string to_text(const sched::TaskSystem& sys);
+void write_text(std::ostream& os, const sched::TaskSystem& sys);
+
+/// Parses the format above; throws std::invalid_argument with a line number
+/// on malformed input.  The result is validate()d before returning.
+sched::TaskSystem from_text(const std::string& text);
+sched::TaskSystem read_text(std::istream& is);
+
+}  // namespace rwrnlp::tasksys

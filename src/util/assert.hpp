@@ -1,0 +1,70 @@
+// Assertion machinery for the rwrnlp library.
+//
+// Library invariants are checked with RWRNLP_CHECK / RWRNLP_CHECK_MSG, which
+// throw InvariantViolation so that tests can assert that a violation is
+// detected (and production callers can choose to catch and report).  User
+// errors (bad arguments to the public API) are reported with
+// RWRNLP_REQUIRE, which throws std::invalid_argument.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rwrnlp {
+
+/// Thrown when an internal protocol invariant is violated.  Seeing this in
+/// the wild indicates a bug in the library (or memory corruption), never a
+/// usage error.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void invariant_failure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw InvariantViolation(os.str());
+}
+
+[[noreturn]] inline void require_failure(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace detail
+}  // namespace rwrnlp
+
+#define RWRNLP_CHECK(expr)                                                 \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::rwrnlp::detail::invariant_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define RWRNLP_CHECK_MSG(expr, msg)                                   \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream rwrnlp_os_;                                  \
+      rwrnlp_os_ << msg;                                              \
+      ::rwrnlp::detail::invariant_failure(#expr, __FILE__, __LINE__,  \
+                                          rwrnlp_os_.str());          \
+    }                                                                 \
+  } while (0)
+
+#define RWRNLP_REQUIRE(expr, msg)                                    \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream rwrnlp_os_;                                 \
+      rwrnlp_os_ << msg;                                             \
+      ::rwrnlp::detail::require_failure(#expr, __FILE__, __LINE__,   \
+                                        rwrnlp_os_.str());           \
+    }                                                                \
+  } while (0)

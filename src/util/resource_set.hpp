@@ -1,0 +1,93 @@
+// ResourceSet: a dynamically sized bitset over resource indices.
+//
+// The R/W RNLP reasons constantly about sets of resources (a request's needed
+// set N, its domain D, read-set closures S(l), lock-holder footprints, ...).
+// ResourceSet packs these into words so that set algebra (union, intersection,
+// subset and disjointness tests) is cheap even when invoked inside the RSM
+// fixpoint on every protocol invocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rwrnlp {
+
+/// Index of a shared resource (l_1 ... l_q in the paper, zero-based here).
+using ResourceId = std::uint32_t;
+
+class ResourceSet {
+ public:
+  ResourceSet() = default;
+  explicit ResourceSet(std::size_t universe);
+  ResourceSet(std::size_t universe, std::initializer_list<ResourceId> ids);
+
+  /// Number of resources in the universe (q).
+  std::size_t universe() const { return universe_; }
+
+  bool test(ResourceId r) const;
+  void set(ResourceId r);
+  void reset(ResourceId r);
+  void clear();
+
+  /// Grows the universe to `universe` (never shrinks; members persist).
+  void resize(std::size_t universe);
+
+  bool empty() const;
+  std::size_t count() const;
+
+  bool intersects(const ResourceSet& other) const;
+  bool is_subset_of(const ResourceSet& other) const;
+  bool operator==(const ResourceSet& other) const;
+  bool operator!=(const ResourceSet& other) const { return !(*this == other); }
+
+  ResourceSet& operator|=(const ResourceSet& other);
+  ResourceSet& operator&=(const ResourceSet& other);
+  /// Set difference: remove every element of `other`.
+  ResourceSet& operator-=(const ResourceSet& other);
+
+  friend ResourceSet operator|(ResourceSet a, const ResourceSet& b) {
+    a |= b;
+    return a;
+  }
+  friend ResourceSet operator&(ResourceSet a, const ResourceSet& b) {
+    a &= b;
+    return a;
+  }
+  friend ResourceSet operator-(ResourceSet a, const ResourceSet& b) {
+    a -= b;
+    return a;
+  }
+
+  /// Elements in ascending order.
+  std::vector<ResourceId> to_vector() const;
+
+  /// Invoke f(ResourceId) for every member in ascending order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        f(static_cast<ResourceId>(w * 64 + static_cast<std::size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Human-readable "{l0, l3, l7}" form (for traces and test failures).
+  std::string to_string() const;
+
+ private:
+  void check_index(ResourceId r) const;
+
+  std::size_t universe_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+std::ostream& operator<<(std::ostream& os, const ResourceSet& s);
+
+}  // namespace rwrnlp

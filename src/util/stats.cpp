@@ -1,0 +1,104 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rwrnlp {
+
+void StatAccumulator::add(double x) {
+  ++count_;
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void StatAccumulator::merge(const StatAccumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StatAccumulator::min() const {
+  RWRNLP_REQUIRE(count_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double StatAccumulator::max() const {
+  RWRNLP_REQUIRE(count_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+double StatAccumulator::mean() const {
+  RWRNLP_REQUIRE(count_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double StatAccumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  dirty_ = true;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (dirty_ || sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+  }
+}
+
+double SampleSet::min() const {
+  RWRNLP_REQUIRE(!samples_.empty(), "min of empty sample set");
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double SampleSet::max() const {
+  RWRNLP_REQUIRE(!samples_.empty(), "max of empty sample set");
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double SampleSet::mean() const {
+  RWRNLP_REQUIRE(!samples_.empty(), "mean of empty sample set");
+  double s = 0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::percentile(double p) const {
+  RWRNLP_REQUIRE(!samples_.empty(), "percentile of empty sample set");
+  RWRNLP_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p out of range: " << p);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+}  // namespace rwrnlp

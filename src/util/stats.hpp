@@ -1,0 +1,56 @@
+// Online statistics accumulators used by the benchmarks and the simulator's
+// blocking/delay metrics.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace rwrnlp {
+
+/// Streaming min/max/mean/variance (Welford) accumulator.
+class StatAccumulator {
+ public:
+  void add(double x);
+  void merge(const StatAccumulator& other);
+
+  std::size_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores all samples; supports exact percentiles.  Use for bounded-size
+/// experiment runs where memory is not a concern.
+class SampleSet {
+ public:
+  void add(double x);
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Exact percentile via nearest-rank on the sorted samples; p in [0,100].
+  double percentile(double p) const;
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace rwrnlp

@@ -1,0 +1,35 @@
+// Console table / CSV rendering for the benchmark harnesses, so every
+// experiment prints rows in the same shape the paper (or EXPERIMENTS.md)
+// reports them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rwrnlp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// All rows must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Render with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rwrnlp

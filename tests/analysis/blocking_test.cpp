@@ -1,0 +1,200 @@
+#include "analysis/blocking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tasksys/generator.hpp"
+
+namespace rwrnlp::analysis {
+namespace {
+
+using sched::ProtocolKind;
+using sched::WaitMode;
+
+BlockingContext ctx_of(std::size_t m, double lr, double lw) {
+  BlockingContext c;
+  c.m = m;
+  c.l_read = lr;
+  c.l_write = lw;
+  return c;
+}
+
+TEST(BlockingBounds, TheoremFormulas) {
+  const BlockingContext c = ctx_of(4, 2.0, 3.0);
+  // Thm. 1: L^r + L^w.
+  EXPECT_DOUBLE_EQ(read_acquisition_bound(ProtocolKind::RwRnlp, c), 5.0);
+  // Thm. 2: (m-1)(L^r + L^w).
+  EXPECT_DOUBLE_EQ(write_acquisition_bound(ProtocolKind::RwRnlp, c), 15.0);
+  // Mutex protocols: (m-1) L_max for every request.
+  EXPECT_DOUBLE_EQ(read_acquisition_bound(ProtocolKind::MutexRnlp, c), 9.0);
+  EXPECT_DOUBLE_EQ(write_acquisition_bound(ProtocolKind::GroupMutex, c), 9.0);
+  // Spin release blocking: m * L_max.
+  EXPECT_DOUBLE_EQ(spin_release_pi_blocking_bound(ProtocolKind::RwRnlp, c),
+                   12.0);
+  // Donation: worst acquisition + L_max = 15 + 3.
+  EXPECT_DOUBLE_EQ(donation_pi_blocking_bound(ProtocolKind::RwRnlp, c), 18.0);
+}
+
+TEST(BlockingBounds, ReadersAreOofOneWritersOofM) {
+  // The asymptotic claim: reader bounds do not grow with m; writer bounds
+  // grow linearly.
+  const double r4 = read_acquisition_bound(ProtocolKind::RwRnlp,
+                                           ctx_of(4, 1, 1));
+  const double r64 = read_acquisition_bound(ProtocolKind::RwRnlp,
+                                            ctx_of(64, 1, 1));
+  EXPECT_DOUBLE_EQ(r4, r64);
+  const double w4 = write_acquisition_bound(ProtocolKind::RwRnlp,
+                                            ctx_of(4, 1, 1));
+  const double w8 = write_acquisition_bound(ProtocolKind::RwRnlp,
+                                            ctx_of(8, 1, 1));
+  EXPECT_NEAR(w8 / w4, 7.0 / 3.0, 1e-12);
+}
+
+sched::TaskSystem two_task_system(bool share) {
+  sched::TaskSystem sys;
+  sys.num_processors = 4;
+  sys.cluster_size = 4;
+  sys.num_resources = 4;
+  for (int i = 0; i < 2; ++i) {
+    sched::TaskParams t;
+    t.id = i;
+    t.period = 10;
+    t.deadline = 10;
+    sched::Segment s;
+    s.compute_before = 1;
+    s.cs.reads = ResourceSet(4);
+    s.cs.writes = ResourceSet(4);
+    // Task 0 writes l0; task 1 writes l0 (share) or l1 (disjoint).
+    s.cs.writes.set(share ? 0 : static_cast<ResourceId>(i));
+    s.cs.length = 1 + i;  // lengths 1 and 2
+    t.segments.push_back(s);
+    t.final_compute = 0.5;
+    sys.tasks.push_back(t);
+  }
+  return sys;
+}
+
+TEST(BlockingBounds, ContentionAwareRefinementDisjointTasksDontBlock) {
+  const auto sys = two_task_system(/*share=*/false);
+  const auto& cs0 = sys.tasks[0].segments[0].cs;
+  EXPECT_DOUBLE_EQ(
+      request_acquisition_bound(ProtocolKind::RwRnlp, sys, 0, cs0), 0.0);
+  // Under the group lock everything conflicts: theorem bound applies.
+  EXPECT_GT(request_acquisition_bound(ProtocolKind::GroupMutex, sys, 0, cs0),
+            0.0);
+}
+
+TEST(BlockingBounds, ContentionAwareRefinementSharedTasksBlock) {
+  const auto sys = two_task_system(/*share=*/true);
+  const auto& cs0 = sys.tasks[0].segments[0].cs;
+  const double b =
+      request_acquisition_bound(ProtocolKind::RwRnlp, sys, 0, cs0);
+  // One conflicting writer task of length 2: refined bound is
+  // 1 * (L^r + lw_c) + lr_c = 1 * (0 + 2) + 0 = 2.
+  EXPECT_DOUBLE_EQ(b, 2.0);
+}
+
+TEST(BlockingBounds, UncontendedReaderHasZeroBound) {
+  auto sys = two_task_system(false);
+  // Make task 0's section a read; no writers touch l0.
+  sys.tasks[0].segments[0].cs.reads = sys.tasks[0].segments[0].cs.writes;
+  sys.tasks[0].segments[0].cs.writes = ResourceSet(4);
+  sys.tasks[1].segments[0].cs.writes = ResourceSet(4, {2});
+  const auto& cs0 = sys.tasks[0].segments[0].cs;
+  EXPECT_DOUBLE_EQ(
+      request_acquisition_bound(ProtocolKind::RwRnlp, sys, 0, cs0), 0.0);
+  // The mutex RNLP treats the read as a write — still no conflicts on l0.
+  EXPECT_DOUBLE_EQ(
+      request_acquisition_bound(ProtocolKind::MutexRnlp, sys, 0, cs0), 0.0);
+}
+
+TEST(BlockingBounds, RefinementNeverExceedsTheorem) {
+  Rng rng(31);
+  tasksys::GeneratorConfig gc;
+  gc.num_tasks = 10;
+  gc.total_utilization = 2.0;
+  gc.num_resources = 6;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto sys = tasksys::generate(rng, gc);
+    const BlockingContext ctx = BlockingContext::of(sys);
+    for (std::size_t i = 0; i < sys.tasks.size(); ++i) {
+      for (const auto& seg : sys.tasks[i].segments) {
+        for (const auto kind :
+             {ProtocolKind::RwRnlp, ProtocolKind::RwRnlpPlaceholders,
+              ProtocolKind::MutexRnlp, ProtocolKind::GroupRw,
+              ProtocolKind::GroupMutex}) {
+          const double refined =
+              request_acquisition_bound(kind, sys, i, seg.cs);
+          const double theorem =
+              seg.cs.is_write() || kind == ProtocolKind::MutexRnlp ||
+                      kind == ProtocolKind::GroupMutex
+                  ? write_acquisition_bound(kind, ctx)
+                  : read_acquisition_bound(kind, ctx);
+          EXPECT_LE(refined, theorem + 1e-9);
+          EXPECT_GE(refined, 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockingBounds, TransitiveConflictsAreCounted) {
+  // Task 0 writes {l0}; task 1 writes {l0, l1}; task 2 writes {l1, l2};
+  // task 0's request can transitively wait for task 2 through task 1.
+  sched::TaskSystem sys;
+  sys.num_processors = 4;
+  sys.cluster_size = 4;
+  sys.num_resources = 3;
+  auto add = [&](int id, std::initializer_list<ResourceId> rs, double len) {
+    sched::TaskParams t;
+    t.id = id;
+    t.period = 10;
+    t.deadline = 10;
+    sched::Segment s;
+    s.compute_before = 1;
+    s.cs.reads = ResourceSet(3);
+    s.cs.writes = ResourceSet(3, rs);
+    s.cs.length = len;
+    t.segments.push_back(s);
+    t.final_compute = 0.1;
+    sys.tasks.push_back(t);
+  };
+  add(0, {0}, 1);
+  add(1, {0, 1}, 1);
+  add(2, {1, 2}, 5);
+  const auto& cs0 = sys.tasks[0].segments[0].cs;
+  const double b =
+      request_acquisition_bound(ProtocolKind::RwRnlp, sys, 0, cs0);
+  // Two reachable writer tasks with lw_c = 5: 2 * (0 + 5) + 0 = 10.
+  EXPECT_DOUBLE_EQ(b, 10.0);
+}
+
+TEST(BlockingBounds, JobBoundAddsProgressMechanismTerm) {
+  const auto sys = two_task_system(true);
+  const BlockingContext ctx = BlockingContext::of(sys);
+  const double spin =
+      job_blocking_bound(ProtocolKind::RwRnlp, WaitMode::Spin, sys, 0);
+  const double susp =
+      job_blocking_bound(ProtocolKind::RwRnlp, WaitMode::Suspend, sys, 0);
+  const double req = request_acquisition_bound(
+      ProtocolKind::RwRnlp, sys, 0, sys.tasks[0].segments[0].cs);
+  // The progress-mechanism term is the min of the paper's global bound and
+  // the worst contention-aware request span in the system.  Here: task 0's
+  // request can wait 2 (behind task 1's CS) and then runs 1 -> span 3;
+  // task 1's request waits 1 and runs 2 -> span 3.
+  const double worst_span = 3.0;
+  EXPECT_DOUBLE_EQ(
+      spin,
+      req + std::min(spin_release_pi_blocking_bound(ProtocolKind::RwRnlp,
+                                                    ctx),
+                     worst_span));
+  EXPECT_DOUBLE_EQ(
+      susp,
+      req + std::min(donation_pi_blocking_bound(ProtocolKind::RwRnlp, ctx),
+                     worst_span));
+  // Both per-job bounds include at least the request's own term.
+  EXPECT_GE(spin, req);
+  EXPECT_GE(susp, req);
+}
+
+}  // namespace
+}  // namespace rwrnlp::analysis

@@ -1,0 +1,153 @@
+#include "analysis/schedulability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/simulator.hpp"
+#include "tasksys/generator.hpp"
+
+namespace rwrnlp::analysis {
+namespace {
+
+using sched::ProtocolKind;
+using sched::WaitMode;
+
+TEST(PartitionedEdf, BasicBinPacking) {
+  EXPECT_TRUE(partitioned_edf_first_fit({0.5, 0.5, 0.5, 0.5}, 2));
+  EXPECT_FALSE(partitioned_edf_first_fit({0.6, 0.6, 0.6, 0.6}, 2));
+  // 0.6-items cannot share a unit bin, so four of them need four bins.
+  EXPECT_FALSE(partitioned_edf_first_fit({0.6, 0.6, 0.6, 0.6}, 3));
+  EXPECT_TRUE(partitioned_edf_first_fit({0.6, 0.6, 0.6, 0.6}, 4));
+  EXPECT_TRUE(partitioned_edf_first_fit({0.6, 0.6, 0.6, 0.4, 0.4, 0.4}, 3));
+  EXPECT_FALSE(partitioned_edf_first_fit({1.1}, 4));  // single task over 1
+  EXPECT_TRUE(partitioned_edf_first_fit({}, 1));
+}
+
+TEST(PartitionedEdf, FirstFitDecreasingPacksTightly) {
+  // FFD handles 0.7/0.3 pairs that naive order might not.
+  EXPECT_TRUE(
+      partitioned_edf_first_fit({0.3, 0.7, 0.3, 0.7}, 2));
+}
+
+TEST(GlobalEdf, GfbBound) {
+  // U <= m - (m-1) u_max.
+  EXPECT_TRUE(global_edf_gfb({0.5, 0.5, 0.5}, 2));    // 1.5 <= 2 - 0.5
+  EXPECT_FALSE(global_edf_gfb({0.9, 0.9}, 2));        // 1.8 > 2 - 0.9
+  EXPECT_TRUE(global_edf_gfb({0.1, 0.1, 0.1, 0.1}, 1));
+  EXPECT_FALSE(global_edf_gfb({1.2}, 4));
+}
+
+TEST(Schedulability, LightIndependentSystemIsSchedulableEverywhere) {
+  Rng rng(3);
+  tasksys::GeneratorConfig gc;
+  gc.num_tasks = 4;
+  gc.total_utilization = 0.8;
+  gc.num_processors = 4;
+  gc.cluster_size = 4;
+  gc.access_prob = 0.0;  // no shared resources at all
+  const auto sys = tasksys::generate(rng, gc);
+  for (const auto kind :
+       {ProtocolKind::RwRnlp, ProtocolKind::MutexRnlp, ProtocolKind::GroupRw,
+        ProtocolKind::GroupMutex}) {
+    // No requests: only the per-job progress-mechanism term, which is zero
+    // because L_max = 0.
+    EXPECT_TRUE(schedulable(sys, kind, WaitMode::Suspend,
+                            SchedAlgo::PartitionedEdf))
+        << to_string(kind);
+  }
+}
+
+TEST(Schedulability, InflationGrowsWithBlocking) {
+  Rng rng(5);
+  tasksys::GeneratorConfig gc;
+  gc.num_tasks = 8;
+  gc.total_utilization = 2.0;
+  gc.num_processors = 4;
+  gc.read_ratio = 1.0;  // all reads
+  gc.access_prob = 1.0;
+  const auto sys = tasksys::generate(rng, gc);
+  const auto rw =
+      inflated_utilizations(sys, ProtocolKind::RwRnlp, WaitMode::Suspend);
+  const auto mtx =
+      inflated_utilizations(sys, ProtocolKind::MutexRnlp, WaitMode::Suspend);
+  // With read-only sharing, the R/W RNLP inflates strictly less than the
+  // mutex RNLP (reads are O(1) vs O(m)) for tasks that touch resources.
+  double rw_sum = 0, mtx_sum = 0;
+  for (double u : rw) rw_sum += u;
+  for (double u : mtx) mtx_sum += u;
+  EXPECT_LT(rw_sum, mtx_sum);
+}
+
+TEST(Schedulability, ReadOnlyWorkloadsFavorTheRwRnlp) {
+  // Sweep a few seeds: count task sets schedulable under each protocol with
+  // a read-only workload; the R/W RNLP must dominate the mutex RNLP.
+  Rng rng(17);
+  int rw_ok = 0, mtx_ok = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    tasksys::GeneratorConfig gc;
+    gc.num_tasks = 10;
+    gc.total_utilization = 2.2;
+    gc.num_processors = 4;
+    gc.read_ratio = 1.0;
+    gc.access_prob = 1.0;
+    gc.cs_min = 0.05;
+    gc.cs_max = 0.3;
+    const auto sys = tasksys::generate(rng, gc);
+    rw_ok += schedulable(sys, ProtocolKind::RwRnlp, WaitMode::Suspend,
+                         SchedAlgo::PartitionedEdf);
+    mtx_ok += schedulable(sys, ProtocolKind::MutexRnlp, WaitMode::Suspend,
+                          SchedAlgo::PartitionedEdf);
+  }
+  EXPECT_GE(rw_ok, mtx_ok);
+  EXPECT_GT(rw_ok, 0);
+}
+
+TEST(Schedulability, AnalysisIsSoundAgainstSimulation) {
+  // For schedulable-by-analysis systems, the simulator must observe no
+  // deadline misses and acquisition delays within the analysis bounds.
+  Rng rng(23);
+  int checked = 0;
+  for (int trial = 0; trial < 12 && checked < 4; ++trial) {
+    tasksys::GeneratorConfig gc;
+    gc.num_tasks = 6;
+    gc.total_utilization = 1.2;
+    gc.num_processors = 4;
+    gc.cluster_size = 4;
+    gc.read_ratio = 0.6;
+    const auto sys = tasksys::generate(rng, gc);
+    if (!schedulable(sys, ProtocolKind::RwRnlp, WaitMode::Spin,
+                     SchedAlgo::GlobalEdf))
+      continue;
+    ++checked;
+    sched::ProtocolAdapter proto(ProtocolKind::RwRnlp, sys, true);
+    sched::SimConfig cfg;
+    cfg.horizon = 300;
+    cfg.wait = WaitMode::Spin;
+    sched::Simulator sim(sys, proto, cfg);
+    const auto res = sim.run();
+    for (std::size_t i = 0; i < sys.tasks.size(); ++i) {
+      EXPECT_EQ(res.per_task[i].deadline_misses, 0u)
+          << "trial " << trial << " task " << i;
+      // The simulator pools delays per task, so compare against the max
+      // bound across the task's sections of each type.
+      double read_bound = 0, write_bound = 0;
+      for (const auto& seg : sys.tasks[i].segments) {
+        const double b = request_acquisition_bound(ProtocolKind::RwRnlp, sys,
+                                                   i, seg.cs);
+        (seg.cs.is_write() ? write_bound : read_bound) =
+            std::max(seg.cs.is_write() ? write_bound : read_bound, b);
+      }
+      if (!res.per_task[i].read_acq_delay.empty()) {
+        EXPECT_LE(res.per_task[i].read_acq_delay.max(), read_bound + 1e-6)
+            << "trial " << trial << " task " << i;
+      }
+      if (!res.per_task[i].write_acq_delay.empty()) {
+        EXPECT_LE(res.per_task[i].write_acq_delay.max(), write_bound + 1e-6)
+            << "trial " << trial << " task " << i;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace rwrnlp::analysis

@@ -1,0 +1,105 @@
+#include "analysis/study.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rwrnlp::analysis {
+namespace {
+
+using sched::ProtocolKind;
+
+StudyConfig small_cfg() {
+  StudyConfig cfg;
+  cfg.base.num_tasks = 8;
+  cfg.base.num_processors = 4;
+  cfg.base.cluster_size = 4;
+  cfg.base.num_resources = 4;
+  cfg.base.read_ratio = 0.7;
+  cfg.base.cs_min = 0.05;
+  cfg.base.cs_max = 0.2;
+  cfg.sets_per_point = 20;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Study, UtilizationSweepIsMonotoneDecreasing) {
+  const auto res = sweep_utilization(small_cfg(), {0.2, 0.5, 0.9});
+  ASSERT_EQ(res.points.size(), 3u);
+  for (const auto& curve : res.curves) {
+    ASSERT_EQ(curve.acceptance.size(), 3u);
+    // More load can only hurt (statistically; with paired sets and a wide
+    // spread this holds deterministically at the extremes).
+    EXPECT_GE(curve.acceptance.front(), curve.acceptance.back());
+    for (double a : curve.acceptance) {
+      EXPECT_GE(a, 0.0);
+      EXPECT_LE(a, 1.0);
+    }
+  }
+}
+
+TEST(Study, AreaAccumulatesAcceptance) {
+  const auto res = sweep_utilization(small_cfg(), {0.2, 0.4});
+  for (const auto& curve : res.curves) {
+    EXPECT_NEAR(curve.area, curve.acceptance[0] + curve.acceptance[1],
+                1e-12);
+  }
+}
+
+TEST(Study, CurveLookup) {
+  const auto res = sweep_utilization(small_cfg(), {0.3});
+  EXPECT_EQ(res.curve(ProtocolKind::RwRnlp).protocol, ProtocolKind::RwRnlp);
+  EXPECT_THROW(
+      [&] {
+        StudyConfig cfg = small_cfg();
+        cfg.protocols = {ProtocolKind::RwRnlp};
+        const auto r2 = sweep_utilization(cfg, {0.3});
+        (void)r2.curve(ProtocolKind::GroupMutex);
+      }(),
+      std::invalid_argument);
+}
+
+TEST(Study, LongerCriticalSectionsHurt) {
+  StudyConfig cfg = small_cfg();
+  cfg.base.total_utilization = 2.0;
+  const auto res = sweep_cs_length(cfg, {0.05, 1.5});
+  for (const auto& curve : res.curves) {
+    EXPECT_GE(curve.acceptance.front(), curve.acceptance.back())
+        << to_string(curve.protocol);
+  }
+}
+
+TEST(Study, ReadRatioHelpsRwProtocolsOnly) {
+  StudyConfig cfg = small_cfg();
+  cfg.base.total_utilization = 2.4;
+  cfg.base.cs_max = 0.4;
+  cfg.sets_per_point = 30;
+  const auto res = sweep_read_ratio(cfg, {0.0, 1.0});
+  // The R/W RNLP benefits from a higher read ratio; the mutex protocols
+  // are read-blind by construction (they treat reads as writes), so their
+  // two points differ only through sampling, which paired sets eliminate —
+  // the generator consumes the same randomness per set either way? (It
+  // does not: read/write choice consumes RNG draws.)  We therefore only
+  // assert the strong directional claim for the R/W RNLP.
+  const auto& rw = res.curve(sched::ProtocolKind::RwRnlp);
+  EXPECT_GE(rw.acceptance[1], rw.acceptance[0]);
+}
+
+TEST(Study, PairedSetsAcrossProtocols) {
+  // All protocols are evaluated on the same generated sets: with zero
+  // resource accesses every protocol must produce the *identical* curve.
+  StudyConfig cfg = small_cfg();
+  cfg.base.access_prob = 0.0;
+  const auto res = sweep_utilization(cfg, {0.4, 0.8});
+  for (std::size_t p = 1; p < res.curves.size(); ++p) {
+    EXPECT_EQ(res.curves[p].acceptance, res.curves[0].acceptance);
+  }
+}
+
+TEST(Study, RejectsEmptyInputs) {
+  StudyConfig cfg = small_cfg();
+  EXPECT_THROW(sweep_utilization(cfg, {}), std::invalid_argument);
+  cfg.protocols.clear();
+  EXPECT_THROW(sweep_utilization(cfg, {0.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rwrnlp::analysis

@@ -1,0 +1,133 @@
+// Concurrency tests for the upgradeable-request API of SpinRwRnlp
+// (Sec. 3.6 at the user-space lock level).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "locks/spin_rw_rnlp.hpp"
+#include "util/rng.hpp"
+
+namespace rwrnlp::locks {
+namespace {
+
+TEST(UpgradeableLock, SingleThreadAbandon) {
+  SpinRwRnlp lock(2);
+  auto tok = lock.acquire_upgradeable(ResourceSet(2, {0, 1}));
+  EXPECT_FALSE(tok.write_mode);
+  lock.abandon(tok);
+  // Everything released: a writer proceeds immediately.
+  const LockToken w = lock.acquire(ResourceSet(2), ResourceSet(2, {0, 1}));
+  lock.release(w);
+}
+
+TEST(UpgradeableLock, SingleThreadUpgrade) {
+  SpinRwRnlp lock(2);
+  auto tok = lock.acquire_upgradeable(ResourceSet(2, {0}));
+  ASSERT_FALSE(tok.write_mode);
+  lock.upgrade(tok);
+  EXPECT_TRUE(tok.write_mode);
+  lock.release_upgraded(tok);
+}
+
+TEST(UpgradeableLock, ApiMisuseRejected) {
+  SpinRwRnlp lock(1);
+  auto tok = lock.acquire_upgradeable(ResourceSet(1, {0}));
+  ASSERT_FALSE(tok.write_mode);
+  EXPECT_THROW(lock.release_upgraded(tok), std::invalid_argument);
+  lock.upgrade(tok);
+  EXPECT_THROW(lock.upgrade(tok), std::invalid_argument);
+  EXPECT_THROW(lock.abandon(tok), std::invalid_argument);
+  lock.release_upgraded(tok);
+}
+
+TEST(UpgradeableLock, ConcurrentCheckThenUpdateInvariant) {
+  // The canonical use: decrement-if-positive.  The commit segment re-reads
+  // (Sec. 3.6 caveat), so the counter never goes negative and the final
+  // value matches the number of successful decrements exactly.
+  SpinRwRnlp lock(1);
+  long counter = 900;
+  std::atomic<long> decrements{0};
+  std::vector<std::thread> threads;
+  for (int ti = 0; ti < 4; ++ti) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < 350; ++k) {
+        auto tok = lock.acquire_upgradeable(ResourceSet(1, {0}));
+        bool need_write;
+        if (tok.write_mode) {
+          need_write = true;  // write half won: we already hold write locks
+        } else {
+          need_write = counter > 0;
+          if (!need_write) {
+            lock.abandon(tok);
+            continue;
+          }
+          lock.upgrade(tok);
+        }
+        if (need_write) {
+          if (counter > 0) {  // re-read under write locks
+            --counter;
+            decrements.fetch_add(1, std::memory_order_relaxed);
+          }
+          lock.release_upgraded(tok);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GE(counter, 0);
+  EXPECT_EQ(counter, 900 - decrements.load());
+}
+
+TEST(UpgradeableLock, MixesWithPlainReadersAndWriters) {
+  SpinRwRnlp lock(3);
+  std::atomic<bool> stop{false};
+  std::atomic<long> ops{0};
+  long cells[3] = {0, 0, 0};
+
+  std::vector<std::thread> threads;
+  // Plain readers and writers churn on all three resources.
+  for (int ti = 0; ti < 2; ++ti) {
+    threads.emplace_back([&, ti] {
+      Rng rng(900 + ti);
+      while (!stop.load(std::memory_order_relaxed)) {
+        ResourceSet rs(3);
+        rs.set(static_cast<ResourceId>(rng.next_below(3)));
+        if (rng.chance(0.5)) {
+          const LockToken t = lock.acquire(rs, ResourceSet(3));
+          lock.release(t);
+        } else {
+          const LockToken t = lock.acquire(ResourceSet(3), rs);
+          rs.for_each([&](ResourceId r) { ++cells[r]; });
+          lock.release(t);
+        }
+        ops.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Upgradeable transactions over all three.
+  std::thread upgrader([&] {
+    Rng rng(901);
+    for (int k = 0; k < 400; ++k) {
+      auto tok = lock.acquire_upgradeable(ResourceSet(3, {0, 1, 2}));
+      if (!tok.write_mode) {
+        if (rng.chance(0.5)) {
+          lock.abandon(tok);
+          continue;
+        }
+        lock.upgrade(tok);
+      }
+      for (long& c : cells) ++c;
+      lock.release_upgraded(tok);
+    }
+    stop.store(true);
+  });
+  upgrader.join();
+  for (auto& t : threads) t.join();
+  EXPECT_GT(ops.load(), 0);
+  EXPECT_GT(cells[0] + cells[1] + cells[2], 0);
+}
+
+}  // namespace
+}  // namespace rwrnlp::locks

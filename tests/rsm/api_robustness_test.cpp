@@ -1,0 +1,120 @@
+// API-misuse and edge-case tests: every invalid call must be rejected with
+// std::invalid_argument and must leave the engine in a usable state.
+#include <gtest/gtest.h>
+
+#include "rsm/engine.hpp"
+
+namespace rwrnlp::rsm {
+namespace {
+
+EngineOptions validated() {
+  EngineOptions o;
+  o.validate = true;
+  return o;
+}
+
+TEST(ApiRobustness, EmptyRequestsRejected) {
+  Engine e(3, validated());
+  EXPECT_THROW(e.issue_read(1, ResourceSet(3)), std::invalid_argument);
+  EXPECT_THROW(e.issue_write(1, ResourceSet(3)), std::invalid_argument);
+  EXPECT_THROW(e.issue_mixed(1, ResourceSet(3, {0}), ResourceSet(3)),
+               std::invalid_argument);
+  EXPECT_THROW(e.issue_upgradeable(1, ResourceSet(3)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      e.issue_incremental(1, ResourceSet(3), ResourceSet(3), ResourceSet(3)),
+      std::invalid_argument);
+  // Engine still works.
+  const RequestId id = e.issue_write(2, ResourceSet(3, {0}));
+  e.complete(3, id);
+}
+
+TEST(ApiRobustness, MismatchedShareTableRejected) {
+  ReadShareTable shares(2);
+  EXPECT_THROW(Engine(3, shares, validated()), std::invalid_argument);
+}
+
+TEST(ApiRobustness, TimeMustNotGoBackwards) {
+  Engine e(1, validated());
+  const RequestId a = e.issue_write(5, ResourceSet(1, {0}));
+  EXPECT_THROW(e.issue_write(4.9, ResourceSet(1, {0})),
+               std::invalid_argument);
+  EXPECT_THROW(e.complete(4.9, a), std::invalid_argument);
+  e.complete(5, a);  // equal times are fine (total order via sequence)
+}
+
+TEST(ApiRobustness, BadRequestIdsRejected) {
+  Engine e(1, validated());
+  EXPECT_THROW(e.complete(1, 42), std::invalid_argument);
+  EXPECT_THROW(e.request(7), std::invalid_argument);
+  EXPECT_THROW(e.blockers(7), std::invalid_argument);
+}
+
+TEST(ApiRobustness, DoubleCompleteRejected) {
+  Engine e(1, validated());
+  const RequestId a = e.issue_write(1, ResourceSet(1, {0}));
+  e.complete(2, a);
+  EXPECT_THROW(e.complete(3, a), std::invalid_argument);
+}
+
+TEST(ApiRobustness, CompleteOfWaitingRequestRejected) {
+  Engine e(1, validated());
+  const RequestId a = e.issue_write(1, ResourceSet(1, {0}));
+  const RequestId b = e.issue_write(2, ResourceSet(1, {0}));
+  EXPECT_THROW(e.complete(3, b), std::invalid_argument);
+  e.complete(3, a);
+  e.complete(4, b);
+}
+
+TEST(ApiRobustness, FinishReadSegmentGuards) {
+  Engine e(1, validated());
+  const auto pair = e.issue_upgradeable(1, ResourceSet(1, {0}));
+  // A non-pair id is rejected.
+  const RequestId w = e.issue_write(2, ResourceSet(1, {0}));
+  UpgradeablePair bogus{w, w};
+  EXPECT_THROW(e.finish_read_segment(3, bogus, true),
+               std::invalid_argument);
+  e.finish_read_segment(3, pair, false);
+  // Finishing twice is rejected (read half already complete).
+  EXPECT_THROW(e.finish_read_segment(4, pair, false),
+               std::invalid_argument);
+  e.complete(4, w);
+}
+
+TEST(ApiRobustness, RequestMoreGuards) {
+  Engine e(2, validated());
+  const RequestId plain = e.issue_write(1, ResourceSet(2, {0}));
+  EXPECT_THROW(e.request_more(2, plain, ResourceSet(2, {1})),
+               std::invalid_argument);  // not incremental
+  e.complete(2, plain);
+  const RequestId inc = e.issue_incremental(
+      3, ResourceSet(2), ResourceSet(2, {0}), ResourceSet(2, {0}));
+  EXPECT_THROW(e.request_more(4, inc, ResourceSet(2, {1})),
+               std::invalid_argument);  // outside declared set
+  e.complete(4, inc);
+  EXPECT_THROW(e.request_more(5, inc, ResourceSet(2, {0})),
+               std::invalid_argument);  // finished
+}
+
+TEST(ApiRobustness, ResourceIndexOutOfRangeRejected) {
+  Engine e(2, validated());
+  EXPECT_THROW(e.issue_read(1, ResourceSet(5, {4})), std::invalid_argument);
+  EXPECT_THROW(e.read_queue(9), std::invalid_argument);
+  EXPECT_THROW(e.write_queue(9), std::invalid_argument);
+  EXPECT_THROW(e.write_holder(9), std::invalid_argument);
+}
+
+TEST(ApiRobustness, EngineUsableAfterManyErrors) {
+  Engine e(2, validated());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_THROW(e.issue_read(1, ResourceSet(2)), std::invalid_argument);
+    EXPECT_THROW(e.complete(1, 999), std::invalid_argument);
+  }
+  const RequestId r = e.issue_read(2, ResourceSet(2, {0, 1}));
+  EXPECT_TRUE(e.is_satisfied(r));
+  e.complete(3, r);
+  e.check_structure();
+}
+
+}  // namespace
+}  // namespace rwrnlp::rsm

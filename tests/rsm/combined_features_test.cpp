@@ -1,0 +1,259 @@
+// The paper notes the Sec. 3.4-3.7 features "can be combined in a real
+// implementation".  These tests drive engines with placeholders + mixing +
+// upgrades + incremental requests simultaneously, with structural
+// validation on every invocation, plus deterministic scenarios for the
+// pairwise interactions.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "rsm/engine.hpp"
+#include "util/rng.hpp"
+
+namespace rwrnlp::rsm {
+namespace {
+
+EngineOptions holders_validated() {
+  EngineOptions o;
+  o.expansion = WriteExpansion::Placeholders;
+  o.validate = true;
+  return o;
+}
+
+TEST(CombinedFeatures, MixedRequestWithPlaceholdersAndSharedReadSets) {
+  // l0 ~ l1 via a read pattern; a mixed request writing l2 and reading l0
+  // must placeholder-enqueue on l1 but never lock it.
+  ReadShareTable shares(3);
+  shares.declare_read_request(ResourceSet(3, {0, 1}));
+  shares.declare_mixed_request(ResourceSet(3, {0}), ResourceSet(3, {2}));
+  Engine e(3, shares, holders_validated());
+  const RequestId m = e.issue_mixed(1, ResourceSet(3, {0}),
+                                    ResourceSet(3, {2}));
+  EXPECT_TRUE(e.is_satisfied(m));
+  EXPECT_FALSE(e.write_locked(1));
+  EXPECT_FALSE(e.read_locked(1));
+  // A reader of {l0, l1} shares l0 with the mixed holder.
+  const RequestId r = e.issue_read(2, ResourceSet(3, {0, 1}));
+  EXPECT_TRUE(e.is_satisfied(r));
+  e.complete(3, m);
+  e.complete(4, r);
+}
+
+TEST(CombinedFeatures, UpgradeableOverSharedReadSetUsesPlaceholders) {
+  ReadShareTable shares(2);
+  shares.declare_read_request(ResourceSet(2, {0, 1}));
+  Engine e(2, shares, holders_validated());
+  // Upgradeable over {l0}: its write half placeholders l1.
+  const auto pair = e.issue_upgradeable(1, ResourceSet(2, {0}));
+  EXPECT_TRUE(e.is_satisfied(pair.read_part));
+  // Write half entitled (B = {read half}); placeholders removed at
+  // entitlement, so a disjoint write to l1 can proceed immediately.
+  const RequestId w = e.issue_write(2, ResourceSet(2, {1}));
+  EXPECT_TRUE(e.is_satisfied(w));
+  e.finish_read_segment(3, pair, true);
+  EXPECT_TRUE(e.is_satisfied(pair.write_part));
+  EXPECT_TRUE(e.write_locked(0));
+  EXPECT_EQ(e.write_holder(1), w);
+  e.complete(4, w);
+  e.complete(5, pair.write_part);
+}
+
+TEST(CombinedFeatures, IncrementalMixedRequest) {
+  // Incremental request with both read-mode and write-mode potential
+  // resources: reads l0 (shared with other readers), writes l1.
+  Engine e(3, holders_validated());
+  const RequestId other = e.issue_read(1, ResourceSet(3, {0}));
+  const RequestId inc = e.issue_incremental(
+      2, /*potential_reads=*/ResourceSet(3, {0}),
+      /*potential_writes=*/ResourceSet(3, {1}),
+      /*initial=*/ResourceSet(3, {0}));
+  // l0 is granted in read mode alongside the existing reader.
+  EXPECT_EQ(e.state(inc), RequestState::Entitled);
+  EXPECT_TRUE(e.holds(inc).test(0));
+  EXPECT_EQ(e.read_holders(0).size(), 2u);
+  e.request_more(3, inc, ResourceSet(3, {1}));
+  EXPECT_EQ(e.state(inc), RequestState::Satisfied);
+  EXPECT_EQ(e.write_holder(1), inc);
+  e.complete(4, inc);
+  e.complete(5, other);
+}
+
+TEST(CombinedFeatures, UpgradeAfterIncrementalCompletes) {
+  Engine e(2, holders_validated());
+  const RequestId inc = e.issue_incremental(
+      1, ResourceSet(2), ResourceSet(2, {0, 1}), ResourceSet(2, {0}));
+  const auto pair = e.issue_upgradeable(2, ResourceSet(2, {0}));
+  // The incremental writer is entitled over {l0, l1}: the upgradeable pair
+  // must wait entirely behind it.
+  EXPECT_EQ(e.state(pair.read_part), RequestState::Waiting);
+  EXPECT_EQ(e.state(pair.write_part), RequestState::Waiting);
+  e.complete(3, inc);
+  // At the drain the write half is entitled first (writer entitlement runs
+  // before reader admission within an invocation), so the *write half*
+  // wins the Sec. 3.6 race and the read half is canceled — the pessimistic
+  // path, still within the write-grade worst case.
+  EXPECT_TRUE(e.is_satisfied(pair.write_part));
+  EXPECT_EQ(e.state(pair.read_part), RequestState::Canceled);
+  e.complete(4, pair.write_part);
+}
+
+// Randomized all-features stress: every invocation validated; liveness at
+// drain; per-kind accounting matches.
+class AllFeaturesStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllFeaturesStress, RandomizedDrive) {
+  constexpr std::size_t kQ = 5;
+  constexpr std::size_t kM = 5;
+  constexpr std::size_t kSteps = 300;
+  Rng rng(GetParam());
+
+  ReadShareTable shares(kQ);
+  std::vector<ResourceSet> read_patterns;
+  for (int i = 0; i < 4; ++i) {
+    ResourceSet p(kQ);
+    for (std::size_t idx : rng.sample_indices(kQ, 1 + rng.next_below(2)))
+      p.set(static_cast<ResourceId>(idx));
+    shares.declare_read_request(p);
+    read_patterns.push_back(p);
+  }
+  // Declare every mixed shape the stress can issue (pattern minus one
+  // written resource) — the a-priori knowledge the protocol requires.
+  for (const auto& p : read_patterns) {
+    for (ResourceId w = 0; w < kQ; ++w) {
+      ResourceSet ws(kQ);
+      ws.set(w);
+      ResourceSet rs = p;
+      rs -= ws;
+      if (!rs.empty()) shares.declare_mixed_request(rs, ws);
+    }
+  }
+  Engine e(kQ, shares, holders_validated());
+
+  struct Live {
+    RequestId id = kNoRequest;
+    UpgradeablePair pair;
+    int kind;  // 0 read, 1 write, 2 mixed, 3 upgradeable, 4 incremental
+    int stage = 0;
+  };
+  std::vector<Live> live;
+  double t = 0;
+  std::size_t issued = 0, finished = 0;
+
+  auto current_satisfied = [&](const Live& l) {
+    switch (l.kind) {
+      case 3: {
+        if (l.stage == 0) {
+          // Either half may win the race (the read half can be canceled).
+          return e.request(l.pair.read_part).state ==
+                     RequestState::Satisfied ||
+                 e.request(l.pair.write_part).state ==
+                     RequestState::Satisfied;
+        }
+        return e.request(l.pair.write_part).state == RequestState::Satisfied;
+      }
+      case 4:
+        return e.request(l.id).state == RequestState::Entitled ||
+               e.request(l.id).state == RequestState::Satisfied;
+      default:
+        return e.request(l.id).state == RequestState::Satisfied;
+    }
+  };
+
+  while (issued < kSteps || !live.empty()) {
+    // Finish one runnable op with some probability, else issue.
+    int runnable = -1;
+    for (std::size_t i = 0; i < live.size(); ++i)
+      if (current_satisfied(live[i])) runnable = static_cast<int>(i);
+    const bool can_issue = issued < kSteps && live.size() < kM;
+    if (runnable >= 0 && (!can_issue || rng.chance(0.55))) {
+      Live l = live[static_cast<std::size_t>(runnable)];
+      t += rng.uniform(0.01, 0.3);
+      if (l.kind == 3 && l.stage == 0) {
+        if (e.request(l.pair.read_part).state == RequestState::Satisfied) {
+          const bool upgrade = rng.chance(0.5);
+          e.finish_read_segment(t, l.pair, upgrade);
+          if (upgrade) {
+            live[static_cast<std::size_t>(runnable)].stage = 1;
+            continue;
+          }
+        } else {
+          // Write half won: complete it.
+          e.complete(t, l.pair.write_part);
+        }
+        live.erase(live.begin() + runnable);
+        ++finished;
+        continue;
+      }
+      if (l.kind == 3) {
+        e.complete(t, l.pair.write_part);
+      } else if (l.kind == 4) {
+        if (rng.chance(0.5) && !e.holds(l.id).test(
+                static_cast<ResourceId>(rng.next_below(kQ)))) {
+          // Ask for one more declared resource sometimes.
+          ResourceSet extra(kQ);
+          const auto want = e.request(l.id).domain.to_vector();
+          extra.set(want[rng.next_below(want.size())]);
+          e.request_more(t, l.id, extra);
+        }
+        e.complete(t, l.id);
+      } else {
+        e.complete(t, l.id);
+      }
+      live.erase(live.begin() + runnable);
+      ++finished;
+      continue;
+    }
+    ASSERT_TRUE(can_issue) << "stalled at t=" << t;
+    t += rng.uniform(0.01, 0.3);
+    Live l;
+    const int kind = static_cast<int>(rng.next_below(5));
+    l.kind = kind;
+    switch (kind) {
+      case 0:
+        l.id = e.issue_read(
+            t, read_patterns[rng.next_below(read_patterns.size())]);
+        break;
+      case 1: {
+        ResourceSet w(kQ);
+        w.set(static_cast<ResourceId>(rng.next_below(kQ)));
+        l.id = e.issue_write(t, w);
+        break;
+      }
+      case 2: {
+        ResourceSet w(kQ), r(kQ);
+        w.set(static_cast<ResourceId>(rng.next_below(kQ)));
+        r = read_patterns[rng.next_below(read_patterns.size())];
+        r -= w;
+        if (r.empty()) {
+          l.kind = 1;
+          l.id = e.issue_write(t, w);
+        } else {
+          l.id = e.issue_mixed(t, r, w);
+        }
+        break;
+      }
+      case 3:
+        l.pair = e.issue_upgradeable(
+            t, read_patterns[rng.next_below(read_patterns.size())]);
+        break;
+      case 4: {
+        ResourceSet pw(kQ);
+        pw.set(static_cast<ResourceId>(rng.next_below(kQ)));
+        ResourceSet initial(kQ);
+        if (rng.chance(0.7)) initial = pw;
+        l.id = e.issue_incremental(t, ResourceSet(kQ), pw, initial);
+        break;
+      }
+    }
+    live.push_back(l);
+    ++issued;
+  }
+  EXPECT_EQ(finished, kSteps);
+  EXPECT_TRUE(e.incomplete_requests().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllFeaturesStress,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace rwrnlp::rsm

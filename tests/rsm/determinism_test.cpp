@@ -1,0 +1,131 @@
+// Determinism and trace tests: identical invocation sequences must produce
+// identical engine behavior (satisfaction order, traces, queue states) —
+// the property that makes simulation results and experiments reproducible.
+#include <gtest/gtest.h>
+
+#include "rsm/engine.hpp"
+#include "util/rng.hpp"
+
+namespace rwrnlp::rsm {
+namespace {
+
+struct Replay {
+  std::vector<TraceEvent> trace;
+  std::vector<double> satisfaction_times;
+};
+
+Replay run_once(std::uint64_t seed) {
+  EngineOptions opt;
+  opt.record_trace = true;
+  opt.validate = true;
+  ReadShareTable shares(4);
+  shares.declare_read_request(ResourceSet(4, {0, 1}));
+  Engine e(4, shares, opt);
+  Rng rng(seed);
+
+  std::vector<RequestId> live;
+  std::vector<RequestId> all;
+  double t = 0;
+  for (int step = 0; step < 300; ++step) {
+    t += 1;
+    if (live.size() < 5 && (live.empty() || rng.chance(0.5))) {
+      ResourceSet rs(4);
+      for (std::size_t idx : rng.sample_indices(4, 1 + rng.next_below(2)))
+        rs.set(static_cast<ResourceId>(idx));
+      const RequestId id = rng.chance(0.5) ? e.issue_read(t, rs)
+                                           : e.issue_write(t, rs);
+      live.push_back(id);
+      all.push_back(id);
+    } else {
+      std::vector<RequestId> sat;
+      for (RequestId id : live)
+        if (e.is_satisfied(id)) sat.push_back(id);
+      const RequestId victim = sat[rng.next_below(sat.size())];
+      e.complete(t, victim);
+      live.erase(std::find(live.begin(), live.end(), victim));
+    }
+  }
+  Replay r;
+  r.trace = e.trace();
+  for (RequestId id : all)
+    r.satisfaction_times.push_back(e.request(id).satisfied_time);
+  return r;
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalTraces) {
+  const Replay a = run_once(424242);
+  const Replay b = run_once(424242);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].kind, b.trace[i].kind) << "event " << i;
+    EXPECT_EQ(a.trace[i].request, b.trace[i].request) << "event " << i;
+    EXPECT_DOUBLE_EQ(a.trace[i].time, b.trace[i].time) << "event " << i;
+  }
+  EXPECT_EQ(a.satisfaction_times, b.satisfaction_times);
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  const Replay a = run_once(1);
+  const Replay b = run_once(2);
+  EXPECT_NE(a.trace.size(), 0u);
+  // Traces differ somewhere (different request mixes).
+  bool differ = a.trace.size() != b.trace.size();
+  for (std::size_t i = 0; !differ && i < a.trace.size(); ++i)
+    differ = a.trace[i].kind != b.trace[i].kind ||
+             a.trace[i].request != b.trace[i].request;
+  EXPECT_TRUE(differ);
+}
+
+TEST(Trace, EventsAreTimeOrderedAndWellFormed) {
+  const Replay a = run_once(77);
+  double prev = -1;
+  for (const auto& ev : a.trace) {
+    EXPECT_GE(ev.time, prev);
+    prev = ev.time;
+    EXPECT_NE(ev.request, kNoRequest);
+  }
+  // Every satisfied event is preceded by an issue of the same request.
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    if (a.trace[i].kind != TraceKind::Satisfied) continue;
+    bool issued = false;
+    for (std::size_t j = 0; j < i; ++j)
+      if (a.trace[j].kind == TraceKind::Issue &&
+          a.trace[j].request == a.trace[i].request)
+        issued = true;
+    EXPECT_TRUE(issued) << "satisfied before issue at event " << i;
+  }
+}
+
+TEST(Trace, FormattingContainsKindsAndResources) {
+  Engine e(2, [] {
+    EngineOptions o;
+    o.record_trace = true;
+    return o;
+  }());
+  const RequestId w = e.issue_write(1, ResourceSet(2, {0}));
+  const RequestId r = e.issue_read(2, ResourceSet(2, {0, 1}));
+  e.complete(3, w);
+  e.complete(4, r);
+  const std::string text = format_trace(e.trace());
+  EXPECT_NE(text.find("issue"), std::string::npos);
+  EXPECT_NE(text.find("satisfied"), std::string::npos);
+  EXPECT_NE(text.find("entitled"), std::string::npos);
+  EXPECT_NE(text.find("complete"), std::string::npos);
+  EXPECT_NE(text.find("{l0, l1}"), std::string::npos);
+  EXPECT_NE(text.find("(write)"), std::string::npos);
+  EXPECT_NE(text.find("(read)"), std::string::npos);
+}
+
+TEST(Trace, ClearTraceEmptiesLog) {
+  EngineOptions o;
+  o.record_trace = true;
+  Engine e(1, o);
+  const RequestId w = e.issue_write(1, ResourceSet(1, {0}));
+  EXPECT_FALSE(e.trace().empty());
+  e.clear_trace();
+  EXPECT_TRUE(e.trace().empty());
+  e.complete(2, w);
+}
+
+}  // namespace
+}  // namespace rwrnlp::rsm

@@ -1,0 +1,340 @@
+// Rule-by-rule unit tests of the RSM on small hand-built scenarios.
+#include "rsm/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rsm/invariants.hpp"
+#include "util/assert.hpp"
+
+namespace rwrnlp::rsm {
+namespace {
+
+EngineOptions validated() {
+  EngineOptions o;
+  o.validate = true;
+  o.record_trace = true;
+  return o;
+}
+
+TEST(EngineBasic, ReadSatisfiedImmediatelyInIdleSystem) {
+  Engine e(4, validated());
+  const RequestId r = e.issue_read(1, ResourceSet(4, {0, 2}));
+  EXPECT_TRUE(e.is_satisfied(r));
+  EXPECT_EQ(e.holds(r), ResourceSet(4, {0, 2}));
+  EXPECT_TRUE(e.read_locked(0));
+  EXPECT_TRUE(e.read_locked(2));
+  EXPECT_FALSE(e.read_locked(1));
+}
+
+TEST(EngineBasic, WriteSatisfiedImmediatelyInIdleSystem) {
+  Engine e(4, validated());
+  const RequestId w = e.issue_write(1, ResourceSet(4, {1, 3}));
+  EXPECT_TRUE(e.is_satisfied(w));
+  EXPECT_EQ(e.write_holder(1), w);
+  EXPECT_EQ(e.write_holder(3), w);
+}
+
+TEST(EngineBasic, ManyConcurrentReadersOnOneResource) {
+  Engine e(1, validated());
+  std::vector<RequestId> readers;
+  for (int i = 0; i < 16; ++i) {
+    readers.push_back(e.issue_read(i + 1, ResourceSet(1, {0})));
+    EXPECT_TRUE(e.is_satisfied(readers.back()));
+  }
+  EXPECT_EQ(e.read_holders(0).size(), 16u);
+  for (int i = 0; i < 16; ++i) e.complete(100 + i, readers[i]);
+  EXPECT_FALSE(e.read_locked(0));
+}
+
+TEST(EngineBasic, WritersAreMutuallyExclusiveAndFifo) {
+  Engine e(1, validated());
+  ProtocolObserver obs(e);
+  const RequestId w1 = e.issue_write(1, ResourceSet(1, {0}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  const RequestId w2 = e.issue_write(2, ResourceSet(1, {0}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  const RequestId w3 = e.issue_write(3, ResourceSet(1, {0}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  EXPECT_TRUE(e.is_satisfied(w1));
+  EXPECT_EQ(e.state(w2), RequestState::Waiting);
+  EXPECT_EQ(e.state(w3), RequestState::Waiting);
+
+  e.complete(4, w1);
+  obs.after_invocation(InvocationKind::WriteComplete);
+  EXPECT_TRUE(e.is_satisfied(w2));
+  EXPECT_EQ(e.state(w3), RequestState::Waiting);
+
+  e.complete(5, w2);
+  obs.after_invocation(InvocationKind::WriteComplete);
+  EXPECT_TRUE(e.is_satisfied(w3));
+  e.complete(6, w3);
+  obs.after_invocation(InvocationKind::WriteComplete);
+}
+
+TEST(EngineBasic, ReaderBlockedByWriterBecomesEntitledThenSatisfied) {
+  Engine e(2, validated());
+  const RequestId w = e.issue_write(1, ResourceSet(2, {0}));
+  const RequestId r = e.issue_read(2, ResourceSet(2, {0, 1}));
+  // Def. 3: l0 is write locked, WQ(l0) and WQ(l1) are empty => entitled.
+  EXPECT_EQ(e.state(r), RequestState::Entitled);
+  EXPECT_EQ(e.blockers(r), std::vector<RequestId>{w});
+  e.complete(3, w);
+  EXPECT_TRUE(e.is_satisfied(r));
+}
+
+TEST(EngineBasic, ReaderCutsAheadOfNonEntitledWriter) {
+  // A reader may overtake a waiting writer that is not entitled (Rule R1);
+  // this is the t = 3 step of the paper's running example in isolation.
+  Engine e(2, validated());
+  const RequestId w1 = e.issue_write(1, ResourceSet(2, {0}));
+  const RequestId w2 = e.issue_write(2, ResourceSet(2, {0, 1}));
+  ASSERT_EQ(e.state(w2), RequestState::Waiting);  // l0 write locked
+  const RequestId r = e.issue_read(3, ResourceSet(2, {1}));
+  EXPECT_TRUE(e.is_satisfied(r));
+  e.complete(4, w1);
+  // Now w2 is entitled; it waits for the reader.
+  EXPECT_EQ(e.state(w2), RequestState::Entitled);
+  EXPECT_EQ(e.blockers(w2), std::vector<RequestId>{r});
+  e.complete(5, r);
+  EXPECT_TRUE(e.is_satisfied(w2));
+  e.complete(6, w2);
+}
+
+TEST(EngineBasic, ReaderDoesNotCutAheadOfEntitledWriter) {
+  // Phase-fairness: once a writer is entitled, later readers wait (reads
+  // concede to writes).
+  Engine e(2, validated());
+  const RequestId r1 = e.issue_read(1, ResourceSet(2, {0}));
+  const RequestId w = e.issue_write(2, ResourceSet(2, {0, 1}));
+  ASSERT_EQ(e.state(w), RequestState::Entitled);  // blocked only by r1
+  const RequestId r2 = e.issue_read(3, ResourceSet(2, {1}));
+  EXPECT_EQ(e.state(r2), RequestState::Waiting);
+  e.complete(4, r1);
+  EXPECT_TRUE(e.is_satisfied(w));
+  // Once the writer is satisfied the reader becomes entitled (Def. 3), just
+  // like R^r_{5,1} at t = 8 in Fig. 2.
+  EXPECT_EQ(e.state(r2), RequestState::Entitled);
+  e.complete(5, w);
+  EXPECT_TRUE(e.is_satisfied(r2));
+  e.complete(6, r2);
+}
+
+TEST(EngineBasic, EntitledWriterBlocksNewReadersEverywhere) {
+  // An entitled writer protects *all* resources in its domain, not only the
+  // ones currently locked — the essence of avoiding inconsistent phases.
+  Engine e(3, validated());
+  const RequestId r1 = e.issue_read(1, ResourceSet(3, {0}));
+  const RequestId w = e.issue_write(2, ResourceSet(3, {0, 1, 2}));
+  ASSERT_EQ(e.state(w), RequestState::Entitled);
+  const RequestId r2 = e.issue_read(3, ResourceSet(3, {2}));
+  EXPECT_EQ(e.state(r2), RequestState::Waiting);
+  e.complete(4, r1);
+  EXPECT_TRUE(e.is_satisfied(w));
+  e.complete(5, w);
+  EXPECT_TRUE(e.is_satisfied(r2));
+  e.complete(6, r2);
+}
+
+TEST(EngineBasic, DisjointRequestsProceedConcurrently) {
+  Engine e(4, validated());
+  const RequestId w1 = e.issue_write(1, ResourceSet(4, {0}));
+  const RequestId w2 = e.issue_write(2, ResourceSet(4, {1}));
+  const RequestId r1 = e.issue_read(3, ResourceSet(4, {2}));
+  const RequestId r2 = e.issue_read(4, ResourceSet(4, {3}));
+  EXPECT_TRUE(e.is_satisfied(w1));
+  EXPECT_TRUE(e.is_satisfied(w2));
+  EXPECT_TRUE(e.is_satisfied(r1));
+  EXPECT_TRUE(e.is_satisfied(r2));
+  e.complete(5, w1);
+  e.complete(5, w2);
+  e.complete(5, r1);
+  e.complete(5, r2);
+}
+
+TEST(EngineBasic, PhaseAlternationOnOneResource) {
+  // With a standing population of readers and writers, satisfaction must
+  // alternate: read phase, one writer, read phase, one writer ...
+  Engine e(1, validated());
+  ProtocolObserver obs(e);
+  const RequestId r1 = e.issue_read(1, ResourceSet(1, {0}));
+  obs.after_invocation(InvocationKind::ReadIssue);
+  const RequestId w1 = e.issue_write(2, ResourceSet(1, {0}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  const RequestId r2 = e.issue_read(3, ResourceSet(1, {0}));
+  obs.after_invocation(InvocationKind::ReadIssue);
+  const RequestId w2 = e.issue_write(4, ResourceSet(1, {0}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  const RequestId r3 = e.issue_read(5, ResourceSet(1, {0}));
+  obs.after_invocation(InvocationKind::ReadIssue);
+
+  ASSERT_TRUE(e.is_satisfied(r1));
+  ASSERT_EQ(e.state(w1), RequestState::Entitled);
+  ASSERT_EQ(e.state(r2), RequestState::Waiting);
+
+  e.complete(6, r1);  // -> write phase: w1
+  obs.after_invocation(InvocationKind::ReadComplete);
+  EXPECT_TRUE(e.is_satisfied(w1));
+  EXPECT_EQ(e.state(r2), RequestState::Entitled);
+
+  e.complete(7, w1);  // -> read phase: r2 AND r3 together
+  obs.after_invocation(InvocationKind::WriteComplete);
+  EXPECT_TRUE(e.is_satisfied(r2));
+  EXPECT_TRUE(e.is_satisfied(r3));
+  EXPECT_EQ(e.state(w2), RequestState::Entitled);
+
+  e.complete(8, r2);
+  obs.after_invocation(InvocationKind::ReadComplete);
+  EXPECT_EQ(e.state(w2), RequestState::Entitled);
+  e.complete(9, r3);  // -> write phase: w2
+  obs.after_invocation(InvocationKind::ReadComplete);
+  EXPECT_TRUE(e.is_satisfied(w2));
+  e.complete(10, w2);
+  obs.after_invocation(InvocationKind::WriteComplete);
+}
+
+TEST(EngineBasic, LaterReadersJoinAnOpenReadPhase) {
+  // While no writer is entitled, new readers are satisfied immediately even
+  // if a read phase is in progress.
+  Engine e(1, validated());
+  const RequestId r1 = e.issue_read(1, ResourceSet(1, {0}));
+  const RequestId r2 = e.issue_read(2, ResourceSet(1, {0}));
+  EXPECT_TRUE(e.is_satisfied(r1));
+  EXPECT_TRUE(e.is_satisfied(r2));
+  e.complete(3, r1);
+  e.complete(3, r2);
+}
+
+TEST(EngineBasic, BlockersForWaitingRequestAreConflictingHolders) {
+  Engine e(2, validated());
+  const RequestId r = e.issue_read(1, ResourceSet(2, {0}));
+  const RequestId w = e.issue_write(2, ResourceSet(2, {0, 1}));
+  EXPECT_EQ(e.blockers(w), std::vector<RequestId>{r});
+  EXPECT_TRUE(e.blockers(r).empty());  // satisfied: nothing blocks it
+  e.complete(3, r);
+  e.complete(4, w);
+}
+
+TEST(EngineBasic, TimesAreRecorded) {
+  Engine e(1, validated());
+  const RequestId w1 = e.issue_write(1, ResourceSet(1, {0}));
+  const RequestId w2 = e.issue_write(2, ResourceSet(1, {0}));
+  e.complete(5, w1);
+  e.complete(9, w2);
+  const Request& q1 = e.request(w1);
+  EXPECT_DOUBLE_EQ(q1.issue_time, 1);
+  EXPECT_DOUBLE_EQ(q1.satisfied_time, 1);
+  EXPECT_DOUBLE_EQ(q1.complete_time, 5);
+  const Request& q2 = e.request(w2);
+  EXPECT_DOUBLE_EQ(q2.issue_time, 2);
+  EXPECT_DOUBLE_EQ(q2.satisfied_time, 5);
+  EXPECT_DOUBLE_EQ(q2.acquisition_delay(), 3);
+}
+
+TEST(EngineBasic, SatisfiedCallbackFires) {
+  Engine e(1, validated());
+  std::vector<std::pair<RequestId, Time>> fired;
+  e.set_satisfied_callback(
+      [&](RequestId id, Time t) { fired.emplace_back(id, t); });
+  const RequestId w1 = e.issue_write(1, ResourceSet(1, {0}));
+  const RequestId w2 = e.issue_write(2, ResourceSet(1, {0}));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].first, w1);
+  e.complete(7, w1);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1].first, w2);
+  EXPECT_DOUBLE_EQ(fired[1].second, 7);
+  e.complete(8, w2);
+}
+
+TEST(EngineBasic, TraceRecordsLifecycle) {
+  Engine e(1, validated());
+  const RequestId w1 = e.issue_write(1, ResourceSet(1, {0}));
+  const RequestId w2 = e.issue_write(2, ResourceSet(1, {0}));
+  e.complete(3, w1);
+  e.complete(4, w2);
+  const auto& tr = e.trace();
+  // w1: issue+entitled+satisfied+complete; w2: issue, then
+  // entitled+satisfied at t=3, complete at t=4.
+  ASSERT_GE(tr.size(), 7u);
+  EXPECT_EQ(tr.front().kind, TraceKind::Issue);
+  EXPECT_EQ(tr.front().request, w1);
+  EXPECT_EQ(tr.back().kind, TraceKind::Complete);
+  EXPECT_EQ(tr.back().request, w2);
+  EXPECT_FALSE(format_trace(tr).empty());
+}
+
+TEST(EngineBasic, ApiErrorsAreRejected) {
+  Engine e(2, validated());
+  EXPECT_THROW(e.issue_read(1, ResourceSet(2)), std::invalid_argument);
+  EXPECT_THROW(e.issue_write(1, ResourceSet(2)), std::invalid_argument);
+  const RequestId w = e.issue_write(1, ResourceSet(2, {0}));
+  EXPECT_THROW(e.issue_write(0.5, ResourceSet(2, {1})),
+               std::invalid_argument);  // time went backwards
+  const RequestId w2 = e.issue_write(2, ResourceSet(2, {0}));
+  EXPECT_THROW(e.complete(3, w2), std::invalid_argument);  // not satisfied
+  e.complete(3, w);
+  EXPECT_THROW(e.complete(4, w), std::invalid_argument);  // already complete
+  e.complete(4, w2);
+}
+
+TEST(EngineBasic, SlotRecyclingWhenHistoryDisabled) {
+  EngineOptions o;
+  o.retain_history = false;
+  Engine e(1, o);
+  const RequestId first = e.issue_write(1, ResourceSet(1, {0}));
+  e.complete(2, first);
+  const RequestId second = e.issue_write(3, ResourceSet(1, {0}));
+  EXPECT_EQ(second, first);  // slot reused
+  e.complete(4, second);
+}
+
+TEST(EngineBasic, HistoryRetainedByDefault) {
+  Engine e(1, validated());
+  const RequestId first = e.issue_write(1, ResourceSet(1, {0}));
+  e.complete(2, first);
+  const RequestId second = e.issue_write(3, ResourceSet(1, {0}));
+  EXPECT_NE(second, first);
+  EXPECT_EQ(e.request(first).state, RequestState::Complete);
+  e.complete(4, second);
+}
+
+TEST(EngineBasic, MultiResourceWriteChainRespectsTimestamps) {
+  // w1 holds l0; w2 waits on {l0,l1}; w3 waits on {l1,l2}.  w3 must not
+  // overtake w2 on l1 even though l1 and l2 are free (FIFO write queues).
+  Engine e(3, validated());
+  ProtocolObserver obs(e);
+  const RequestId w1 = e.issue_write(1, ResourceSet(3, {0}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  const RequestId w2 = e.issue_write(2, ResourceSet(3, {0, 1}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  const RequestId w3 = e.issue_write(3, ResourceSet(3, {1, 2}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  EXPECT_EQ(e.state(w2), RequestState::Waiting);
+  EXPECT_EQ(e.state(w3), RequestState::Waiting);
+  e.complete(4, w1);
+  obs.after_invocation(InvocationKind::WriteComplete);
+  EXPECT_TRUE(e.is_satisfied(w2));
+  EXPECT_EQ(e.state(w3), RequestState::Waiting);
+  e.complete(5, w2);
+  obs.after_invocation(InvocationKind::WriteComplete);
+  EXPECT_TRUE(e.is_satisfied(w3));
+  e.complete(6, w3);
+  obs.after_invocation(InvocationKind::WriteComplete);
+}
+
+TEST(EngineBasic, IncompleteRequestsListedInTimestampOrder) {
+  Engine e(1, validated());
+  const RequestId w1 = e.issue_write(1, ResourceSet(1, {0}));
+  const RequestId w2 = e.issue_write(2, ResourceSet(1, {0}));
+  const RequestId w3 = e.issue_write(3, ResourceSet(1, {0}));
+  EXPECT_EQ(e.incomplete_requests(),
+            (std::vector<RequestId>{w1, w2, w3}));
+  e.complete(4, w1);
+  EXPECT_EQ(e.incomplete_requests(), (std::vector<RequestId>{w2, w3}));
+  e.complete(5, w2);
+  e.complete(6, w3);
+  EXPECT_TRUE(e.incomplete_requests().empty());
+}
+
+}  // namespace
+}  // namespace rwrnlp::rsm

@@ -1,0 +1,195 @@
+// Randomized protocol exerciser shared by the RSM property tests.
+//
+// Drives an Engine the way a compliant progress mechanism would (Properties
+// P1 and P2 of Sec. 3.1): at most `m` requests are incomplete at any time
+// (P2), and every satisfied request completes within its critical-section
+// length, which is bounded by L^r_max / L^w_max (P1: resource holders are
+// always scheduled).  Under these rules, Theorems 1 and 2 must hold for the
+// measured acquisition delays — the tests assert exactly that.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "rsm/engine.hpp"
+#include "rsm/invariants.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace rwrnlp::rsm::testing {
+
+struct ExerciserConfig {
+  std::uint64_t seed = 1;
+  std::size_t m = 4;          // processors (P2 cap on incomplete requests)
+  std::size_t q = 5;          // resources
+  std::size_t steps = 400;    // number of issuances
+  double read_prob = 0.5;     // probability that a request is a read
+  double mixed_prob = 0.0;    // probability that a write is mixed
+  std::size_t max_req_size = 3;
+  double l_read = 2.0;        // L^r_max
+  double l_write = 3.0;       // L^w_max
+  WriteExpansion expansion = WriteExpansion::ExpandDomain;
+  std::size_t num_patterns = 6;  // read-set patterns declared up front
+};
+
+struct ExerciserResult {
+  std::size_t reads_issued = 0;
+  std::size_t writes_issued = 0;
+  double max_read_delay = 0;
+  double max_write_delay = 0;
+  std::size_t invocations = 0;
+};
+
+class Exerciser {
+ public:
+  explicit Exerciser(const ExerciserConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+    // Pre-declare every read-set pattern the run may use (the a-priori
+    // knowledge the protocol requires, Sec. 3.2 / 3.7).
+    ReadShareTable shares(cfg_.q);
+    for (std::size_t i = 0; i < cfg_.num_patterns; ++i) {
+      patterns_.push_back(random_set());
+      shares.declare_read_request(patterns_.back());
+    }
+    if (cfg_.mixed_prob > 0) {
+      for (std::size_t i = 0; i < cfg_.num_patterns; ++i) {
+        ResourceSet reads = random_set();
+        ResourceSet writes = random_set();
+        writes -= reads;
+        if (writes.empty()) writes.set(static_cast<ResourceId>(
+            rng_.next_below(cfg_.q)));
+        shares.declare_mixed_request(reads, writes);
+        mixed_patterns_.emplace_back(reads, writes);
+      }
+    }
+    EngineOptions opt;
+    opt.expansion = cfg_.expansion;
+    opt.validate = true;
+    engine_ = std::make_unique<Engine>(cfg_.q, shares, opt);
+    observer_ = std::make_unique<ProtocolObserver>(*engine_, observer_opts());
+    engine_->set_satisfied_callback([this](RequestId id, Time t) {
+      on_satisfied(id, t);
+    });
+  }
+
+  ExerciserResult run() {
+    std::size_t issued = 0;
+    while (issued < cfg_.steps || !live_.empty()) {
+      const bool can_issue = issued < cfg_.steps && live_.size() < cfg_.m;
+      if (can_issue) {
+        // P1 discipline: every scheduled completion that falls before the
+        // next issuance instant must be processed first — otherwise a
+        // critical section would silently run longer than L^r/L^w and the
+        // premises of Theorems 1/2 would not hold.
+        const double t_next = now_ + rng_.uniform(0.01, 0.8);
+        while (!completions_.empty() &&
+               completions_.begin()->first <= t_next) {
+          process_next_completion();
+        }
+        now_ = std::max(now_, t_next);
+        issue_one(now_);
+        ++issued;
+      } else {
+        // Slots full (P2) or issuance budget spent: the protocol guarantees
+        // progress, so a completion must be pending.
+        RWRNLP_CHECK_MSG(!completions_.empty(),
+                         "no progress: live requests but none satisfied");
+        process_next_completion();
+      }
+    }
+    result_.invocations = observer_->invocations();
+    return result_;
+  }
+
+  const Engine& engine() const { return *engine_; }
+
+ private:
+  static ObserverOptions observer_opts() { return ObserverOptions{}; }
+
+  void process_next_completion() {
+    const auto it = completions_.begin();
+    now_ = std::max(now_, it->first) + 1e-9;
+    const RequestId id = it->second;
+    completions_.erase(it);
+    const bool was_write = engine_->request(id).is_write;
+    engine_->complete(now_, id);
+    observer_->after_invocation(was_write ? InvocationKind::WriteComplete
+                                          : InvocationKind::ReadComplete);
+    live_.erase(std::find(live_.begin(), live_.end(), id));
+  }
+
+  ResourceSet random_set() {
+    const std::size_t size =
+        1 + rng_.next_below(std::min(cfg_.max_req_size, cfg_.q));
+    ResourceSet s(cfg_.q);
+    for (std::size_t idx : rng_.sample_indices(cfg_.q, size))
+      s.set(static_cast<ResourceId>(idx));
+    return s;
+  }
+
+  void issue_one(double t) {
+    if (rng_.chance(cfg_.read_prob)) {
+      // Reads reuse the declared patterns (or subsets thereof) so that the
+      // read-share table really covers everything in flight.
+      const ResourceSet& pat =
+          patterns_[rng_.next_below(patterns_.size())];
+      ResourceSet reads = pat;
+      const RequestId id = engine_->issue_read(t, reads);
+      observer_->after_invocation(InvocationKind::ReadIssue);
+      live_.push_back(id);
+      cs_len_[id] = rng_.uniform(0.1, cfg_.l_read);
+      ++result_.reads_issued;
+      if (engine_->is_satisfied(id)) schedule_completion(id);
+    } else if (!mixed_patterns_.empty() && rng_.chance(cfg_.mixed_prob)) {
+      const auto& [reads, writes] =
+          mixed_patterns_[rng_.next_below(mixed_patterns_.size())];
+      const RequestId id = engine_->issue_mixed(t, reads, writes);
+      observer_->after_invocation(InvocationKind::WriteIssue);
+      live_.push_back(id);
+      cs_len_[id] = rng_.uniform(0.1, cfg_.l_write);
+      ++result_.writes_issued;
+      if (engine_->is_satisfied(id)) schedule_completion(id);
+    } else {
+      const RequestId id = engine_->issue_write(t, random_set());
+      observer_->after_invocation(InvocationKind::WriteIssue);
+      live_.push_back(id);
+      cs_len_[id] = rng_.uniform(0.1, cfg_.l_write);
+      ++result_.writes_issued;
+      if (engine_->is_satisfied(id)) schedule_completion(id);
+    }
+  }
+
+  void on_satisfied(RequestId id, Time t) {
+    const Request& r = engine_->request(id);
+    const double delay = t - r.issue_time;
+    if (r.is_write) {
+      result_.max_write_delay = std::max(result_.max_write_delay, delay);
+    } else {
+      result_.max_read_delay = std::max(result_.max_read_delay, delay);
+    }
+    // Satisfaction during issuance happens before issue_one() has drawn the
+    // critical-section length; in that case issue_one() schedules the
+    // completion itself.
+    if (cs_len_.count(id) != 0) schedule_completion(id);
+  }
+
+  void schedule_completion(RequestId id) {
+    const Request& r = engine_->request(id);
+    completions_.emplace(r.satisfied_time + cs_len_[id], id);
+  }
+
+  ExerciserConfig cfg_;
+  Rng rng_;
+  std::vector<ResourceSet> patterns_;
+  std::vector<std::pair<ResourceSet, ResourceSet>> mixed_patterns_;
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<ProtocolObserver> observer_;
+  std::vector<RequestId> live_;
+  std::multimap<double, RequestId> completions_;
+  std::map<RequestId, double> cs_len_;
+  ExerciserResult result_;
+  double now_ = 0;
+};
+
+}  // namespace rwrnlp::rsm::testing

@@ -1,0 +1,191 @@
+// Tests for incremental locking (Sec. 3.7): a request declares the full set
+// of resources it may need (a priori, like PCP ceilings), is treated as a
+// request for all of them for ordering purposes, and locks subsets as it
+// actually needs them.
+#include <gtest/gtest.h>
+
+#include "rsm/engine.hpp"
+
+namespace rwrnlp::rsm {
+namespace {
+
+EngineOptions validated() {
+  EngineOptions o;
+  o.validate = true;
+  return o;
+}
+
+TEST(Incremental, WriteGrantsInitialSubsetImmediatelyWhenIdle) {
+  Engine e(3, validated());
+  const RequestId w = e.issue_incremental(
+      1, ResourceSet(3), ResourceSet(3, {0, 1, 2}), ResourceSet(3, {0}));
+  EXPECT_EQ(e.state(w), RequestState::Entitled);
+  EXPECT_EQ(e.holds(w), ResourceSet(3, {0}));
+  EXPECT_TRUE(e.write_locked(0));
+  EXPECT_FALSE(e.write_locked(1));
+  e.complete(2, w);
+  EXPECT_FALSE(e.write_locked(0));
+}
+
+TEST(Incremental, RequestMoreGrantsWhenFree) {
+  Engine e(3, validated());
+  const RequestId w = e.issue_incremental(
+      1, ResourceSet(3), ResourceSet(3, {0, 1, 2}), ResourceSet(3, {0}));
+  e.request_more(2, w, ResourceSet(3, {1}));
+  EXPECT_EQ(e.holds(w), ResourceSet(3, {0, 1}));
+  e.request_more(3, w, ResourceSet(3, {2}));
+  // All of D granted: the request counts as satisfied and dequeues.
+  EXPECT_EQ(e.state(w), RequestState::Satisfied);
+  EXPECT_TRUE(e.write_queue(0).empty());
+  e.complete(4, w);
+}
+
+TEST(Incremental, RequestOutsideDeclaredSetRejected) {
+  Engine e(3, validated());
+  const RequestId w = e.issue_incremental(
+      1, ResourceSet(3), ResourceSet(3, {0, 1}), ResourceSet(3, {0}));
+  EXPECT_THROW(e.request_more(2, w, ResourceSet(3, {2})),
+               std::invalid_argument);
+  e.complete(3, w);
+}
+
+TEST(Incremental, EntitlementBlocksLaterConflictingRequests) {
+  // The PCP-like property: while the incremental request is entitled over
+  // D = {l0, l1}, a later write to l1 may not slip in even though l1 is not
+  // yet locked.
+  Engine e(2, validated());
+  const RequestId inc = e.issue_incremental(
+      1, ResourceSet(2), ResourceSet(2, {0, 1}), ResourceSet(2, {0}));
+  ASSERT_EQ(e.state(inc), RequestState::Entitled);
+  const RequestId w2 = e.issue_write(2, ResourceSet(2, {1}));
+  EXPECT_EQ(e.state(w2), RequestState::Waiting);
+  const RequestId r2 = e.issue_read(3, ResourceSet(2, {1}));
+  EXPECT_EQ(e.state(r2), RequestState::Waiting);
+  // The incremental request gets l1 instantly when it asks.
+  e.request_more(4, inc, ResourceSet(2, {1}));
+  EXPECT_EQ(e.holds(inc), ResourceSet(2, {0, 1}));
+  e.complete(5, inc);
+  // Phase fairness: r2 became entitled when the incremental writer locked
+  // l1 (Def. 3), so the read phase runs first, then the queued writer.
+  EXPECT_TRUE(e.is_satisfied(r2));
+  EXPECT_EQ(e.state(w2), RequestState::Entitled);
+  e.complete(6, r2);
+  EXPECT_TRUE(e.is_satisfied(w2));
+  e.complete(7, w2);
+}
+
+TEST(Incremental, GrantWaitsForConflictingHolderThenArrives) {
+  // l1 is read-held when the incremental writer asks for it; the grant
+  // happens at the holder's completion.
+  Engine e(2, validated());
+  const RequestId r = e.issue_read(1, ResourceSet(2, {1}));
+  const RequestId inc = e.issue_incremental(
+      2, ResourceSet(2), ResourceSet(2, {0, 1}), ResourceSet(2, {0}));
+  ASSERT_EQ(e.state(inc), RequestState::Entitled);
+  EXPECT_EQ(e.holds(inc), ResourceSet(2, {0}));
+  e.request_more(3, inc, ResourceSet(2, {1}));
+  EXPECT_EQ(e.holds(inc), ResourceSet(2, {0}));  // still read-held by r
+  e.complete(4, r);
+  EXPECT_EQ(e.holds(inc), ResourceSet(2, {0, 1}));
+  EXPECT_EQ(e.state(inc), RequestState::Satisfied);
+  e.complete(5, inc);
+}
+
+TEST(Incremental, IncrementalReadCoexistsWithOtherReaders) {
+  Engine e(2, validated());
+  const RequestId r1 = e.issue_read(1, ResourceSet(2, {0}));
+  const RequestId inc = e.issue_incremental(
+      2, ResourceSet(2, {0, 1}), ResourceSet(2), ResourceSet(2, {0}));
+  // Incremental read: pseudo-entitled, holds l0 alongside r1.
+  EXPECT_EQ(e.state(inc), RequestState::Entitled);
+  EXPECT_EQ(e.holds(inc), ResourceSet(2, {0}));
+  EXPECT_EQ(e.read_holders(0).size(), 2u);
+  e.request_more(3, inc, ResourceSet(2, {1}));
+  EXPECT_EQ(e.state(inc), RequestState::Satisfied);
+  e.complete(4, r1);
+  e.complete(5, inc);
+}
+
+TEST(Incremental, IncrementalReadBlocksLaterWriterEntitlement) {
+  Engine e(2, validated());
+  const RequestId inc = e.issue_incremental(
+      1, ResourceSet(2, {0, 1}), ResourceSet(2), ResourceSet(2, {0}));
+  ASSERT_EQ(e.state(inc), RequestState::Entitled);
+  const RequestId w = e.issue_write(2, ResourceSet(2, {1}));
+  // l1 is unlocked, but the entitled incremental read over {l0, l1} blocks
+  // the writer's Def. 4 (no conflicting entitled read).
+  EXPECT_EQ(e.state(w), RequestState::Waiting);
+  e.complete(3, inc);
+  EXPECT_TRUE(e.is_satisfied(w));
+  e.complete(4, w);
+}
+
+TEST(Incremental, BlockedInitialSubsetGrantsAtEntitlement) {
+  // The incremental writer is issued while l0 is write-held; once the
+  // holder finishes, the writer becomes entitled and the initial subset is
+  // granted in the same invocation.
+  Engine e(2, validated());
+  const RequestId w0 = e.issue_write(1, ResourceSet(2, {0}));
+  const RequestId inc = e.issue_incremental(
+      2, ResourceSet(2), ResourceSet(2, {0, 1}), ResourceSet(2, {0}));
+  EXPECT_EQ(e.state(inc), RequestState::Waiting);
+  EXPECT_TRUE(e.holds(inc).empty());
+  e.complete(3, w0);
+  EXPECT_EQ(e.state(inc), RequestState::Entitled);
+  EXPECT_EQ(e.holds(inc), ResourceSet(2, {0}));
+  e.complete(4, inc);
+}
+
+TEST(Incremental, TotalDelayAcrossIncrementsBoundedByEntitlementProtection) {
+  // Cor. 1 consequence exercised concretely: once entitled, only the
+  // *pre-existing* holders can delay any increment; requests issued later
+  // never get in the way.
+  Engine e(3, validated());
+  const RequestId r_pre = e.issue_read(1, ResourceSet(3, {2}));
+  const RequestId inc = e.issue_incremental(
+      2, ResourceSet(3), ResourceSet(3, {0, 1, 2}), ResourceSet(3, {0}));
+  ASSERT_EQ(e.state(inc), RequestState::Entitled);
+  // Later arrivals on every resource.
+  const RequestId w_late = e.issue_write(3, ResourceSet(3, {1}));
+  const RequestId r_late = e.issue_read(4, ResourceSet(3, {2}));
+  EXPECT_EQ(e.state(w_late), RequestState::Waiting);
+  EXPECT_EQ(e.state(r_late), RequestState::Waiting);
+  e.request_more(5, inc, ResourceSet(3, {1}));
+  EXPECT_TRUE(e.holds(inc).test(1));  // w_late could not take l1
+  e.request_more(6, inc, ResourceSet(3, {2}));
+  EXPECT_FALSE(e.holds(inc).test(2));  // pre-existing reader still there
+  e.complete(7, r_pre);
+  EXPECT_TRUE(e.holds(inc).test(2));
+  EXPECT_EQ(e.state(inc), RequestState::Satisfied);
+  e.complete(8, inc);
+  EXPECT_TRUE(e.is_satisfied(w_late));
+  e.complete(9, w_late);
+  EXPECT_TRUE(e.is_satisfied(r_late));
+  e.complete(10, r_late);
+}
+
+TEST(Incremental, CompleteWithoutEverTouchingSomeResources) {
+  Engine e(4, validated());
+  const RequestId inc = e.issue_incremental(
+      1, ResourceSet(4), ResourceSet(4, {0, 1, 2, 3}), ResourceSet(4, {1}));
+  EXPECT_EQ(e.holds(inc), ResourceSet(4, {1}));
+  e.complete(2, inc);  // never asked for l0, l2, l3
+  for (ResourceId l = 0; l < 4; ++l) {
+    EXPECT_FALSE(e.write_locked(l));
+    EXPECT_TRUE(e.write_queue(l).empty());
+  }
+}
+
+TEST(Incremental, EmptyInitialSubsetAllowed) {
+  Engine e(2, validated());
+  const RequestId inc = e.issue_incremental(
+      1, ResourceSet(2), ResourceSet(2, {0, 1}), ResourceSet(2));
+  EXPECT_EQ(e.state(inc), RequestState::Entitled);
+  EXPECT_TRUE(e.holds(inc).empty());
+  e.request_more(2, inc, ResourceSet(2, {0}));
+  EXPECT_EQ(e.holds(inc), ResourceSet(2, {0}));
+  e.complete(3, inc);
+}
+
+}  // namespace
+}  // namespace rwrnlp::rsm

@@ -1,0 +1,118 @@
+// Differential test for the mutex-only configuration (the original RNLP
+// under Assumption 1, used as a baseline): against an independently
+// written reference model in which each resource has one FIFO queue
+// ordered by timestamps and a request is satisfied exactly when it heads
+// every queue it is enqueued in and all its resources are free.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "rsm/engine.hpp"
+#include "util/rng.hpp"
+
+namespace rwrnlp::rsm {
+namespace {
+
+class MutexRnlpReference {
+ public:
+  explicit MutexRnlpReference(std::size_t q) : queues_(q) {}
+
+  void issue(RequestId id, const ResourceSet& rs) {
+    need_[id] = rs;
+    rs.for_each([&](ResourceId l) { queues_[l].push_back(id); });
+    settle();
+  }
+
+  void complete(RequestId id) {
+    need_[id].for_each([&](ResourceId l) { locked_[l] = false; });
+    holding_.erase(id);
+    need_.erase(id);
+    settle();
+  }
+
+  std::set<RequestId> satisfied() const { return holding_; }
+
+ private:
+  void settle() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [id, rs] : need_) {
+        if (holding_.count(id)) continue;
+        bool ok = true;
+        rs.for_each([&](ResourceId l) {
+          if (queues_[l].empty() || queues_[l].front() != id) ok = false;
+          if (locked_.count(l) && locked_.at(l)) ok = false;
+        });
+        if (ok) {
+          rs.for_each([&](ResourceId l) {
+            locked_[l] = true;
+            queues_[l].pop_front();
+          });
+          holding_.insert(id);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  std::vector<std::deque<RequestId>> queues_;
+  std::map<ResourceId, bool> locked_;
+  std::map<RequestId, ResourceSet> need_;
+  std::set<RequestId> holding_;
+};
+
+std::set<RequestId> engine_satisfied(const Engine& e) {
+  std::set<RequestId> s;
+  for (RequestId id : e.incomplete_requests())
+    if (e.is_satisfied(id)) s.insert(id);
+  return s;
+}
+
+class MutexDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutexDifferential, EngineMatchesFifoReference) {
+  constexpr std::size_t kQ = 4;
+  EngineOptions opt;
+  opt.validate = true;
+  Engine engine(kQ, opt);
+  MutexRnlpReference ref(kQ);
+  Rng rng(GetParam());
+
+  std::vector<RequestId> live;
+  double t = 0;
+  for (int step = 0; step < 600; ++step) {
+    t += 1;
+    const bool can_issue = live.size() < 6;
+    if (can_issue && (live.empty() || rng.chance(0.55))) {
+      ResourceSet rs(kQ);
+      for (std::size_t idx :
+           rng.sample_indices(kQ, 1 + rng.next_below(3)))
+        rs.set(static_cast<ResourceId>(idx));
+      const RequestId id = engine.issue_write(t, rs);  // mutex: all writes
+      ref.issue(id, rs);
+      live.push_back(id);
+    } else {
+      std::vector<RequestId> sat;
+      for (RequestId id : live)
+        if (engine.is_satisfied(id)) sat.push_back(id);
+      ASSERT_FALSE(sat.empty()) << "liveness failure at step " << step;
+      const RequestId victim = sat[rng.next_below(sat.size())];
+      engine.complete(t, victim);
+      ref.complete(victim);
+      live.erase(std::find(live.begin(), live.end(), victim));
+    }
+    ASSERT_EQ(engine_satisfied(engine), ref.satisfied())
+        << "divergence at step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutexDifferential,
+                         ::testing::Values(5, 10, 15, 20, 25, 30));
+
+}  // namespace
+}  // namespace rwrnlp::rsm

@@ -1,0 +1,100 @@
+// Tests for the ProtocolObserver itself: the checker must flag sequences
+// that violate the Lemma 2 properties.  Since the engine never produces
+// such sequences, we feed the observer *mislabeled* invocation kinds — from
+// its perspective indistinguishable from a buggy protocol — and expect it
+// to throw.
+#include <gtest/gtest.h>
+
+#include "rsm/engine.hpp"
+#include "rsm/invariants.hpp"
+#include "util/assert.hpp"
+
+namespace rwrnlp::rsm {
+namespace {
+
+TEST(Observer, FlagsE9WhenWriteEntitledByAllegedReadInvocation) {
+  Engine e(1, EngineOptions{});
+  ProtocolObserver obs(e);
+  const RequestId r = e.issue_read(1, ResourceSet(1, {0}));
+  obs.after_invocation(InvocationKind::ReadIssue);
+  // A write is issued and becomes entitled — but we claim the invocation
+  // was a read issuance: E9 must fire.
+  e.issue_write(2, ResourceSet(1, {0}));
+  EXPECT_THROW(obs.after_invocation(InvocationKind::ReadIssue),
+               InvariantViolation);
+  (void)r;
+}
+
+TEST(Observer, FlagsE1WhenReadSatisfiedByAllegedWriteIssuance) {
+  Engine e(1, EngineOptions{});
+  ProtocolObserver obs(e);
+  // Read satisfied at issuance, mislabeled as a write issuance: E1 allows
+  // read satisfaction only at read issuance or write completion.
+  e.issue_read(1, ResourceSet(1, {0}));
+  EXPECT_THROW(obs.after_invocation(InvocationKind::WriteIssue),
+               InvariantViolation);
+}
+
+TEST(Observer, FlagsE3WhenPreexistingReadSatisfiedAtReadIssuance) {
+  Engine e(1, EngineOptions{});
+  ProtocolObserver obs(e);
+  const RequestId r1 = e.issue_read(1, ResourceSet(1, {0}));
+  obs.after_invocation(InvocationKind::ReadIssue);
+  const RequestId w = e.issue_write(2, ResourceSet(1, {0}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  const RequestId r2 = e.issue_read(3, ResourceSet(1, {0}));
+  obs.after_invocation(InvocationKind::ReadIssue);
+  ASSERT_EQ(e.state(r2), RequestState::Waiting);
+  // r1 completes; w is satisfied.  Mislabel the invocation as a read
+  // *issuance*: the state change "w newly satisfied" then violates E2/E4
+  // (a pre-existing write satisfied by an alleged read issuance).
+  e.complete(4, r1);
+  EXPECT_THROW(obs.after_invocation(InvocationKind::ReadIssue),
+               InvariantViolation);
+  (void)w;
+}
+
+TEST(Observer, MixedKindSkipsEPropertyChecks) {
+  // The same mislabeling with kind=Mixed must NOT throw (extensions bend
+  // E1-E9 legitimately, so Mixed disables those checks).
+  Engine e(1, EngineOptions{});
+  ProtocolObserver obs(e);
+  e.issue_read(1, ResourceSet(1, {0}));
+  EXPECT_NO_THROW(obs.after_invocation(InvocationKind::Mixed));
+}
+
+TEST(Observer, OptionsDisableChecks) {
+  ObserverOptions opt;
+  opt.check_e_properties = false;
+  Engine e(1, EngineOptions{});
+  ProtocolObserver obs(e, opt);
+  e.issue_read(1, ResourceSet(1, {0}));
+  EXPECT_NO_THROW(obs.after_invocation(InvocationKind::WriteIssue));
+}
+
+TEST(Observer, CountsInvocations) {
+  Engine e(1, EngineOptions{});
+  ProtocolObserver obs(e);
+  const RequestId r = e.issue_read(1, ResourceSet(1, {0}));
+  obs.after_invocation(InvocationKind::ReadIssue);
+  e.complete(2, r);
+  obs.after_invocation(InvocationKind::ReadComplete);
+  EXPECT_EQ(obs.invocations(), 2u);
+}
+
+TEST(Observer, CleanSequencesPass) {
+  Engine e(2, EngineOptions{});
+  ProtocolObserver obs(e);
+  const RequestId r = e.issue_read(1, ResourceSet(2, {0}));
+  obs.after_invocation(InvocationKind::ReadIssue);
+  const RequestId w = e.issue_write(2, ResourceSet(2, {0, 1}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  e.complete(3, r);
+  obs.after_invocation(InvocationKind::ReadComplete);
+  e.complete(4, w);
+  obs.after_invocation(InvocationKind::WriteComplete);
+  EXPECT_EQ(obs.invocations(), 4u);
+}
+
+}  // namespace
+}  // namespace rwrnlp::rsm

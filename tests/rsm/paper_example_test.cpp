@@ -1,0 +1,287 @@
+// Event-for-event replay of the running example of Sec. 3.2 (Fig. 2 of the
+// paper), including the queue-state table of Fig. 2(b), plus the Sec. 3.4
+// (placeholder) and Sec. 3.5 (mixing) continuations of the same example.
+//
+// Note on paper typos (documented in EXPERIMENTS.md): the prose fixes the
+// request sets as N_{1,1} = {l_a, l_b} (write), N_{2,1} = {l_a, l_c} (write,
+// expanded to D = {l_a, l_b, l_c}), N_{3,1} = {l_c} (read), N_{5,1} =
+// {l_a, l_b} (read).  The sentence "both R_{3,1} and R_{4,1} have read
+// locked l_b" is inconsistent with l_b being write-locked by R_{1,1} at that
+// time; the consistent reading (which also matches "l_a and l_b are write
+// locked while l_c is read locked") is that both read requests target l_c,
+// so N_{4,1} = {l_c}.  Likewise "R_{5,1} is issued for l_b and l_c"
+// contradicts the worked Def. 3 application at t = 8, which uses l_a and
+// l_b; we follow the worked application (N_{5,1} = {l_a, l_b}).
+#include <gtest/gtest.h>
+
+#include "rsm/engine.hpp"
+#include "rsm/invariants.hpp"
+
+namespace rwrnlp::rsm {
+namespace {
+
+constexpr ResourceId kLa = 0;
+constexpr ResourceId kLb = 1;
+constexpr ResourceId kLc = 2;
+
+ReadShareTable fig2_shares() {
+  ReadShareTable t(3);
+  // R_{5,1} may read {l_a, l_b} together => l_a ~ l_b.
+  t.declare_read_request(ResourceSet(3, {kLa, kLb}));
+  t.declare_read_request(ResourceSet(3, {kLc}));
+  return t;
+}
+
+class Fig2Test : public ::testing::Test {
+ protected:
+  Fig2Test() : engine_(3, fig2_shares(), make_options()), obs_(engine_) {}
+
+  static EngineOptions make_options() {
+    EngineOptions o;
+    o.expansion = WriteExpansion::ExpandDomain;
+    o.validate = true;
+    o.record_trace = true;
+    return o;
+  }
+
+  Engine engine_;
+  ProtocolObserver obs_;
+};
+
+TEST_F(Fig2Test, FullRunningExample) {
+  // t=1: R^w_{1,1} issued for {l_a, l_b}; satisfied immediately (Rule W1).
+  const RequestId w11 = engine_.issue_write(1, ResourceSet(3, {kLa, kLb}));
+  obs_.after_invocation(InvocationKind::WriteIssue);
+  EXPECT_TRUE(engine_.is_satisfied(w11));
+  EXPECT_EQ(engine_.write_holder(kLa), w11);
+  EXPECT_EQ(engine_.write_holder(kLb), w11);
+  EXPECT_FALSE(engine_.write_locked(kLc));
+
+  // t=2: R^w_{2,1} issued with N = {l_a, l_c}.  Because l_a ~ l_b, the
+  // expanded domain is D = {l_a, l_b, l_c} (Sec. 3.2 example).  It is
+  // enqueued in all three write queues and is neither satisfied (l_a, l_b
+  // are write locked) nor entitled (Def. 4(c) fails).
+  const RequestId w21 = engine_.issue_write(2, ResourceSet(3, {kLa, kLc}));
+  obs_.after_invocation(InvocationKind::WriteIssue);
+  EXPECT_EQ(engine_.request(w21).domain, ResourceSet(3, {kLa, kLb, kLc}));
+  EXPECT_EQ(engine_.state(w21), RequestState::Waiting);
+  for (ResourceId l : {kLa, kLb, kLc}) {
+    const auto wq = engine_.write_queue(l);
+    ASSERT_EQ(wq.size(), 1u) << "WQ(l" << l << ")";
+    EXPECT_EQ(wq[0].req, w21);
+    EXPECT_FALSE(wq[0].placeholder);
+  }
+
+  // t=3: R^r_{3,1} issued for {l_c}; satisfied immediately by Rule R1 —
+  // it "cuts ahead" of the non-entitled R^w_{2,1}.
+  const RequestId r31 = engine_.issue_read(3, ResourceSet(3, {kLc}));
+  obs_.after_invocation(InvocationKind::ReadIssue);
+  EXPECT_TRUE(engine_.is_satisfied(r31));
+  EXPECT_EQ(engine_.read_holders(kLc), std::vector<RequestId>{r31});
+
+  // t=4: R^r_{4,1} issued for {l_c}; also satisfied immediately — two
+  // readers share l_c (reader parallelism) while l_a, l_b stay write locked.
+  const RequestId r41 = engine_.issue_read(4, ResourceSet(3, {kLc}));
+  obs_.after_invocation(InvocationKind::ReadIssue);
+  EXPECT_TRUE(engine_.is_satisfied(r41));
+  EXPECT_EQ(engine_.read_holders(kLc).size(), 2u);
+  EXPECT_TRUE(engine_.write_locked(kLa));
+  EXPECT_TRUE(engine_.write_locked(kLb));
+
+  // t=5: R^w_{1,1} completes; R^w_{2,1} becomes entitled (Def. 4) but stays
+  // blocked by the two satisfied readers: B(R^w_{2,1}) = {R_{3,1}, R_{4,1}}.
+  engine_.complete(5, w11);
+  obs_.after_invocation(InvocationKind::WriteComplete);
+  EXPECT_EQ(engine_.state(w21), RequestState::Entitled);
+  const auto blockers5 = engine_.blockers(w21);
+  EXPECT_EQ(blockers5.size(), 2u);
+  EXPECT_NE(std::find(blockers5.begin(), blockers5.end(), r31),
+            blockers5.end());
+  EXPECT_NE(std::find(blockers5.begin(), blockers5.end(), r41),
+            blockers5.end());
+
+  // t=6: R^r_{4,1} completes; B(R^w_{2,1}) shrinks to {R_{3,1}} (the
+  // monotonic-shrinkage property of Cor. 1).
+  engine_.complete(6, r41);
+  obs_.after_invocation(InvocationKind::ReadComplete);
+  EXPECT_EQ(engine_.state(w21), RequestState::Entitled);
+  EXPECT_EQ(engine_.blockers(w21), std::vector<RequestId>{r31});
+
+  // t=7: R^r_{5,1} issued for {l_a, l_b}.  Not satisfied (conflicts with
+  // the entitled R^w_{2,1}) and not entitled (Def. 3(b): E(WQ(l_a)) is the
+  // entitled R^w_{2,1}).
+  const RequestId r51 = engine_.issue_read(7, ResourceSet(3, {kLa, kLb}));
+  obs_.after_invocation(InvocationKind::ReadIssue);
+  EXPECT_EQ(engine_.state(r51), RequestState::Waiting);
+  EXPECT_EQ(engine_.read_queue(kLa), std::vector<RequestId>{r51});
+  EXPECT_EQ(engine_.read_queue(kLb), std::vector<RequestId>{r51});
+
+  // t=8: R^r_{3,1} completes; R^w_{2,1} is satisfied (Rule W2), locking all
+  // of {l_a, l_b, l_c}; R^r_{5,1} becomes entitled (Def. 3: l_a is write
+  // locked and both write queues are empty).
+  engine_.complete(8, r31);
+  obs_.after_invocation(InvocationKind::ReadComplete);
+  EXPECT_TRUE(engine_.is_satisfied(w21));
+  EXPECT_EQ(engine_.write_holder(kLa), w21);
+  EXPECT_EQ(engine_.write_holder(kLb), w21);
+  EXPECT_EQ(engine_.write_holder(kLc), w21);
+  EXPECT_EQ(engine_.state(r51), RequestState::Entitled);
+  EXPECT_EQ(engine_.blockers(r51), std::vector<RequestId>{w21});
+  // Fig. 2(b): after satisfaction R^w_{2,1} is dequeued from all WQs.
+  for (ResourceId l : {kLa, kLb, kLc})
+    EXPECT_TRUE(engine_.write_queue(l).empty()) << "WQ(l" << l << ")";
+
+  // t=10: R^w_{2,1} completes; R^r_{5,1} is satisfied (Rule R2).
+  engine_.complete(10, w21);
+  obs_.after_invocation(InvocationKind::WriteComplete);
+  EXPECT_TRUE(engine_.is_satisfied(r51));
+  EXPECT_EQ(engine_.read_holders(kLa), std::vector<RequestId>{r51});
+  EXPECT_EQ(engine_.read_holders(kLb), std::vector<RequestId>{r51});
+  // Fig. 2(b), row [10,12]: all queues empty.
+  for (ResourceId l : {kLa, kLb, kLc}) {
+    EXPECT_TRUE(engine_.write_queue(l).empty());
+    EXPECT_TRUE(engine_.read_queue(l).empty());
+  }
+
+  // t=12: R^r_{5,1} completes; system idle again.
+  engine_.complete(12, r51);
+  obs_.after_invocation(InvocationKind::ReadComplete);
+  for (ResourceId l : {kLa, kLb, kLc}) {
+    EXPECT_FALSE(engine_.write_locked(l));
+    EXPECT_FALSE(engine_.read_locked(l));
+  }
+
+  // Acquisition delays measured against the schedule of Fig. 2(a).
+  EXPECT_DOUBLE_EQ(engine_.request(w11).acquisition_delay(), 0.0);
+  EXPECT_DOUBLE_EQ(engine_.request(w21).acquisition_delay(), 6.0);
+  EXPECT_DOUBLE_EQ(engine_.request(r31).acquisition_delay(), 0.0);
+  EXPECT_DOUBLE_EQ(engine_.request(r41).acquisition_delay(), 0.0);
+  EXPECT_DOUBLE_EQ(engine_.request(r51).acquisition_delay(), 3.0);
+}
+
+TEST_F(Fig2Test, QueueStateTableOfFig2b) {
+  // Reproduces the rows of Fig. 2(b) (queue states for l_a and l_b).
+  const RequestId w11 = engine_.issue_write(1, ResourceSet(3, {kLa, kLb}));
+  // Row [0,2): all queues empty (W_{1,1} was satisfied at issuance).
+  EXPECT_TRUE(engine_.write_queue(kLa).empty());
+  EXPECT_TRUE(engine_.write_queue(kLb).empty());
+
+  const RequestId w21 = engine_.issue_write(2, ResourceSet(3, {kLa, kLc}));
+  // Row [2,7): WQ(l_a) = WQ(l_b) = {R^w_{2,1}}, read queues empty.
+  auto expect_row_2_7 = [&] {
+    ASSERT_EQ(engine_.write_queue(kLa).size(), 1u);
+    EXPECT_EQ(engine_.write_queue(kLa)[0].req, w21);
+    ASSERT_EQ(engine_.write_queue(kLb).size(), 1u);
+    EXPECT_EQ(engine_.write_queue(kLb)[0].req, w21);
+    EXPECT_TRUE(engine_.read_queue(kLa).empty());
+    EXPECT_TRUE(engine_.read_queue(kLb).empty());
+  };
+  expect_row_2_7();
+  const RequestId r31 = engine_.issue_read(3, ResourceSet(3, {kLc}));
+  const RequestId r41 = engine_.issue_read(4, ResourceSet(3, {kLc}));
+  expect_row_2_7();
+  engine_.complete(5, w11);
+  engine_.complete(6, r41);
+  expect_row_2_7();
+
+  // Row [7,8): R^r_{5,1} joins RQ(l_b) (and RQ(l_a) — see the typo note in
+  // the file header); WQ unchanged.
+  const RequestId r51 = engine_.issue_read(7, ResourceSet(3, {kLa, kLb}));
+  ASSERT_EQ(engine_.write_queue(kLa).size(), 1u);
+  EXPECT_EQ(engine_.write_queue(kLa)[0].req, w21);
+  EXPECT_EQ(engine_.read_queue(kLb), std::vector<RequestId>{r51});
+
+  // Row [8,10): write queues drain (R^w_{2,1} satisfied), R^r_{5,1} remains
+  // queued while entitled.
+  engine_.complete(8, r31);
+  EXPECT_TRUE(engine_.write_queue(kLa).empty());
+  EXPECT_TRUE(engine_.write_queue(kLb).empty());
+  EXPECT_EQ(engine_.read_queue(kLb), std::vector<RequestId>{r51});
+
+  // Row [10,12]: all queues empty.
+  engine_.complete(10, w21);
+  EXPECT_TRUE(engine_.read_queue(kLa).empty());
+  EXPECT_TRUE(engine_.read_queue(kLb).empty());
+  engine_.complete(12, r51);
+}
+
+// Sec. 3.4 continuation: with placeholders, R^w_{1,1} only needs {l_b} and
+// R^w_{2,1} only needs {l_a, l_c}; R^w_{2,1} is then satisfied already at
+// t = 2 (instead of t = 8), "thereby improving concurrency".
+TEST(Fig2Placeholders, Sec34ExampleSatisfiedAtTimeTwo) {
+  EngineOptions o;
+  o.expansion = WriteExpansion::Placeholders;
+  o.validate = true;
+  Engine engine(3, fig2_shares(), o);
+  ProtocolObserver obs(engine);
+
+  // R^w_{1,1}: N = {l_b}; enqueues a placeholder in WQ(l_a) (l_a ~ l_b) and
+  // is satisfied immediately, removing the placeholder.
+  const RequestId w11 = engine.issue_write(1, ResourceSet(3, {kLb}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  EXPECT_TRUE(engine.is_satisfied(w11));
+  EXPECT_TRUE(engine.write_queue(kLa).empty());
+  EXPECT_EQ(engine.write_holder(kLb), w11);
+  EXPECT_FALSE(engine.write_locked(kLa));  // the concurrency win
+
+  // R^w_{2,1}: N = {l_a, l_c}, placeholder on l_b.  Not blocked by any
+  // conflicting request (R^w_{1,1} holds only l_b) => satisfied at t = 2.
+  const RequestId w21 = engine.issue_write(2, ResourceSet(3, {kLa, kLc}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  EXPECT_TRUE(engine.is_satisfied(w21));
+  EXPECT_EQ(engine.write_holder(kLa), w21);
+  EXPECT_EQ(engine.write_holder(kLc), w21);
+  EXPECT_EQ(engine.write_holder(kLb), w11);
+  // Placeholder removed upon satisfaction.
+  EXPECT_TRUE(engine.write_queue(kLb).empty());
+
+  engine.complete(5, w11);
+  obs.after_invocation(InvocationKind::WriteComplete);
+  engine.complete(6, w21);
+  obs.after_invocation(InvocationKind::WriteComplete);
+}
+
+// Sec. 3.5 continuation: if R^w_{2,1} is a *mixed* request reading
+// {l_a, l_b} and writing {l_c}, then R^r_{5,1} (read of {l_a, l_b}) does not
+// conflict with it and is satisfied immediately at t = 7 by Rule R1.
+TEST(Fig2Mixing, Sec35ExampleReaderSharesWithMixedWriter) {
+  EngineOptions o;
+  o.expansion = WriteExpansion::Placeholders;
+  o.validate = true;
+  ReadShareTable shares(3);
+  shares.declare_read_request(ResourceSet(3, {kLa, kLb}));
+  shares.declare_mixed_request(ResourceSet(3, {kLa, kLb}),
+                               ResourceSet(3, {kLc}));
+  Engine engine(3, shares, o);
+
+  const RequestId w11 = engine.issue_write(1, ResourceSet(3, {kLa, kLb}));
+  const RequestId m21 = engine.issue_mixed(2, ResourceSet(3, {kLa, kLb}),
+                                           ResourceSet(3, {kLc}));
+  const RequestId r31 = engine.issue_read(3, ResourceSet(3, {kLc}));
+  EXPECT_TRUE(engine.is_satisfied(r31));
+  EXPECT_EQ(engine.state(m21), RequestState::Waiting);
+
+  engine.complete(5, w11);
+  EXPECT_EQ(engine.state(m21), RequestState::Entitled);
+
+  // R^r_{3,1} still read-holds l_c, which the mixed request writes.
+  EXPECT_EQ(engine.blockers(m21), std::vector<RequestId>{r31});
+  engine.complete(6, r31);
+  EXPECT_TRUE(engine.is_satisfied(m21));
+  // Mixed satisfaction: l_a, l_b read locked; l_c write locked.
+  EXPECT_EQ(engine.read_holders(kLa), std::vector<RequestId>{m21});
+  EXPECT_EQ(engine.read_holders(kLb), std::vector<RequestId>{m21});
+  EXPECT_EQ(engine.write_holder(kLc), m21);
+
+  // t=7: R^r_{5,1} for {l_a, l_b} does not conflict with the mixed request
+  // (both only read l_a, l_b) => satisfied immediately.
+  const RequestId r51 = engine.issue_read(7, ResourceSet(3, {kLa, kLb}));
+  EXPECT_TRUE(engine.is_satisfied(r51));
+  EXPECT_EQ(engine.read_holders(kLa).size(), 2u);
+
+  engine.complete(10, m21);
+  engine.complete(12, r51);
+}
+
+}  // namespace
+}  // namespace rwrnlp::rsm

@@ -1,0 +1,136 @@
+// Focused tests for the placeholder mechanism of Sec. 3.4: placeholders
+// never lock, block *later* writers from entitlement (preserving Lemma 6's
+// FIFO reasoning), and disappear exactly when their owner becomes entitled
+// or satisfied.
+#include <gtest/gtest.h>
+
+#include "rsm/engine.hpp"
+#include "rsm/invariants.hpp"
+
+namespace rwrnlp::rsm {
+namespace {
+
+ReadShareTable shared01(std::size_t q = 2) {
+  ReadShareTable t(q);
+  t.declare_read_request(ResourceSet(q, {0, 1}));  // l0 ~ l1
+  return t;
+}
+
+EngineOptions holder_mode() {
+  EngineOptions o;
+  o.expansion = WriteExpansion::Placeholders;
+  o.validate = true;
+  return o;
+}
+
+TEST(PlaceholderOrdering, PlaceholderBlocksLaterWriterHeadship) {
+  Engine e(2, shared01(), holder_mode());
+  // W0 holds l0; W1 (needs l0) queues with a placeholder on l1; W2 (needs
+  // l1) must wait behind that placeholder even though l1 is free.
+  const RequestId w0 = e.issue_write(1, ResourceSet(2, {0}));
+  ASSERT_TRUE(e.is_satisfied(w0));
+  const RequestId w1 = e.issue_write(2, ResourceSet(2, {0}));
+  EXPECT_EQ(e.state(w1), RequestState::Waiting);
+  {
+    const auto wq1 = e.write_queue(1);
+    ASSERT_EQ(wq1.size(), 1u);
+    EXPECT_EQ(wq1[0].req, w1);
+    EXPECT_TRUE(wq1[0].placeholder);
+  }
+  const RequestId w2 = e.issue_write(3, ResourceSet(2, {1}));
+  EXPECT_EQ(e.state(w2), RequestState::Waiting)
+      << "W2 must not slip past W1's placeholder (Lemma 6)";
+  EXPECT_FALSE(e.write_locked(1)) << "placeholders never lock";
+
+  // W0 completes: W1 becomes entitled+satisfied; its placeholder vanishes
+  // and W2 becomes the head of WQ(l1) and is satisfied in the same
+  // invocation (they do not conflict).
+  e.complete(4, w0);
+  EXPECT_TRUE(e.is_satisfied(w1));
+  EXPECT_TRUE(e.is_satisfied(w2));
+  EXPECT_EQ(e.write_holder(0), w1);
+  EXPECT_EQ(e.write_holder(1), w2);
+  e.complete(5, w1);
+  e.complete(6, w2);
+}
+
+TEST(PlaceholderOrdering, PlaceholderRemovedAtEntitlement) {
+  Engine e(2, shared01(), holder_mode());
+  // A reader holds l0, so W1 is *entitled* (not satisfied) at issuance:
+  // the placeholder must already be gone, freeing l1's queue.
+  const RequestId r = e.issue_read(1, ResourceSet(2, {0}));
+  const RequestId w1 = e.issue_write(2, ResourceSet(2, {0}));
+  ASSERT_EQ(e.state(w1), RequestState::Entitled);
+  EXPECT_TRUE(e.write_queue(1).empty())
+      << "placeholders are removed when the owner becomes entitled";
+  const RequestId w2 = e.issue_write(3, ResourceSet(2, {1}));
+  EXPECT_TRUE(e.is_satisfied(w2)) << "l1 is free for the later writer";
+  e.complete(4, r);
+  EXPECT_TRUE(e.is_satisfied(w1));
+  e.complete(5, w1);
+  e.complete(6, w2);
+}
+
+TEST(PlaceholderOrdering, ChainedPlaceholdersKeepTimestampOrder) {
+  // Three writers whose needed sets walk a shared chain: satisfaction must
+  // follow timestamps wherever they conflict, with placeholders carrying
+  // the order across the closure.
+  ReadShareTable t(3);
+  t.declare_read_request(ResourceSet(3, {0, 1}));
+  t.declare_read_request(ResourceSet(3, {1, 2}));
+  Engine e(3, t, holder_mode());
+  ProtocolObserver obs(e);
+
+  const RequestId hold = e.issue_write(1, ResourceSet(3, {0}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  const RequestId w1 = e.issue_write(2, ResourceSet(3, {0}));  // ph on l1
+  obs.after_invocation(InvocationKind::WriteIssue);
+  const RequestId w2 = e.issue_write(3, ResourceSet(3, {1}));  // ph on l0,l2
+  obs.after_invocation(InvocationKind::WriteIssue);
+  const RequestId w3 = e.issue_write(4, ResourceSet(3, {2}));  // ph on l1
+  obs.after_invocation(InvocationKind::WriteIssue);
+
+  // Everyone waits behind the chain (w2 behind w1's placeholder, w3 behind
+  // w2's placeholder), even though l1 and l2 are unlocked.
+  EXPECT_EQ(e.state(w1), RequestState::Waiting);
+  EXPECT_EQ(e.state(w2), RequestState::Waiting);
+  EXPECT_EQ(e.state(w3), RequestState::Waiting);
+
+  e.complete(5, hold);
+  obs.after_invocation(InvocationKind::WriteComplete);
+  // The chain unravels in timestamp order within one invocation: w1
+  // entitled+satisfied, then w2, then w3 (pairwise non-conflicting).
+  EXPECT_TRUE(e.is_satisfied(w1));
+  EXPECT_TRUE(e.is_satisfied(w2));
+  EXPECT_TRUE(e.is_satisfied(w3));
+  e.complete(6, w1);
+  obs.after_invocation(InvocationKind::WriteComplete);
+  e.complete(7, w2);
+  obs.after_invocation(InvocationKind::WriteComplete);
+  e.complete(8, w3);
+  obs.after_invocation(InvocationKind::WriteComplete);
+}
+
+TEST(PlaceholderOrdering, ExpansionModeSerializesTheSameChain) {
+  // Under expansion the same chain *locks* the closure, so the three
+  // writers serialize — the concurrency placeholders recover.
+  ReadShareTable t(3);
+  t.declare_read_request(ResourceSet(3, {0, 1}));
+  t.declare_read_request(ResourceSet(3, {1, 2}));
+  EngineOptions o;
+  o.validate = true;
+  Engine e(3, t, o);
+  const RequestId hold = e.issue_write(1, ResourceSet(3, {0}));
+  const RequestId w1 = e.issue_write(2, ResourceSet(3, {0}));
+  const RequestId w2 = e.issue_write(3, ResourceSet(3, {1}));
+  e.complete(4, hold);
+  EXPECT_TRUE(e.is_satisfied(w1));
+  EXPECT_EQ(e.state(w2), RequestState::Waiting)
+      << "expansion write-locks l1, serializing the chain";
+  e.complete(5, w1);
+  EXPECT_TRUE(e.is_satisfied(w2));
+  e.complete(6, w2);
+}
+
+}  // namespace
+}  // namespace rwrnlp::rsm

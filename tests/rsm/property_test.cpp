@@ -1,0 +1,164 @@
+// Randomized property tests: under a P1/P2-compliant driver, verify on every
+// transition the proven properties of the R/W RNLP (E1-E10, Cors. 1-2,
+// Lemma 6, entitlement persistence, structural invariants) and, at the end
+// of each run, the acquisition-delay bounds of Theorems 1 and 2.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/rsm/exerciser.hpp"
+
+namespace rwrnlp::rsm::testing {
+namespace {
+
+struct SweepParam {
+  std::uint64_t seed;
+  std::size_t m;
+  std::size_t q;
+  double read_prob;
+  double mixed_prob;
+  WriteExpansion expansion;
+};
+
+std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  const auto& p = info.param;
+  std::ostringstream os;
+  os << "seed" << p.seed << "_m" << p.m << "_q" << p.q << "_r"
+     << static_cast<int>(p.read_prob * 100) << "_x"
+     << static_cast<int>(p.mixed_prob * 100) << '_'
+     << (p.expansion == WriteExpansion::ExpandDomain ? "expand" : "holder");
+  return os.str();
+}
+
+class RsmPropertySweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RsmPropertySweep, InvariantsAndTheoremBounds) {
+  const SweepParam& p = GetParam();
+  ExerciserConfig cfg;
+  cfg.seed = p.seed;
+  cfg.m = p.m;
+  cfg.q = p.q;
+  cfg.read_prob = p.read_prob;
+  cfg.mixed_prob = p.mixed_prob;
+  cfg.expansion = p.expansion;
+  cfg.steps = 350;
+
+  Exerciser ex(cfg);
+  const ExerciserResult res = ex.run();
+
+  // Every issued request finished (liveness under P1/P2).
+  EXPECT_TRUE(ex.engine().incomplete_requests().empty());
+  EXPECT_GT(res.invocations, cfg.steps);  // issue + completion each
+
+  // Theorem 1: reader acquisition delay <= L^r_max + L^w_max.
+  const double read_bound = cfg.l_read + cfg.l_write;
+  EXPECT_LE(res.max_read_delay, read_bound + 1e-6)
+      << "Thm. 1 violated (m=" << p.m << ", seed=" << p.seed << ")";
+
+  // Theorem 2: writer acquisition delay <= (m-1)(L^r_max + L^w_max).
+  const double write_bound =
+      static_cast<double>(cfg.m - 1) * (cfg.l_read + cfg.l_write);
+  EXPECT_LE(res.max_write_delay, write_bound + 1e-6)
+      << "Thm. 2 violated (m=" << p.m << ", seed=" << p.seed << ")";
+}
+
+std::vector<SweepParam> make_sweep() {
+  std::vector<SweepParam> out;
+  for (const WriteExpansion x :
+       {WriteExpansion::ExpandDomain, WriteExpansion::Placeholders}) {
+    for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+      out.push_back({seed, 4, 5, 0.5, 0.0, x});
+      out.push_back({seed, 2, 3, 0.7, 0.0, x});
+      out.push_back({seed, 8, 6, 0.3, 0.0, x});
+      out.push_back({seed, 6, 4, 0.8, 0.0, x});
+      // Heavy mixing (Sec. 3.5) — writers read some resources.
+      out.push_back({seed, 4, 5, 0.4, 0.6, x});
+    }
+  }
+  // Degenerate shapes.
+  out.push_back({77, 1, 1, 0.5, 0.0, WriteExpansion::ExpandDomain});
+  out.push_back({78, 16, 2, 0.5, 0.0, WriteExpansion::ExpandDomain});
+  out.push_back({79, 3, 12, 0.5, 0.0, WriteExpansion::Placeholders});
+  out.push_back({80, 4, 5, 0.0, 0.0, WriteExpansion::ExpandDomain});  // all W
+  out.push_back({81, 4, 5, 1.0, 0.0, WriteExpansion::ExpandDomain});  // all R
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RsmPropertySweep,
+                         ::testing::ValuesIn(make_sweep()), param_name);
+
+// The worst case of Thm. 2's proof is *achievable*: with m-1 earlier writers
+// each preceded by a fresh read phase, a writer's delay approaches
+// (m-1)(L^r + L^w).  This demonstrates the bound is asymptotically tight.
+TEST(TheoremTightness, WriterDelayApproachesThm2Bound) {
+  constexpr std::size_t kM = 5;
+  constexpr double kLr = 2.0, kLw = 3.0;
+  Engine e(1, EngineOptions{});
+
+  double t = 0;
+  // A reader holds l0; m-1 writers pile up behind it, our writer last.
+  const RequestId r0 = e.issue_read(t, ResourceSet(1, {0}));
+  std::vector<RequestId> writers;
+  for (std::size_t i = 0; i + 1 < kM; ++i) {
+    t += 1e-3;
+    writers.push_back(e.issue_write(t, ResourceSet(1, {0})));
+  }
+  t += 1e-3;
+  const RequestId victim = e.issue_write(t, ResourceSet(1, {0}));
+  const double victim_issue = t;
+
+  // Alternate: reader completes after a full L^r critical section, the next
+  // writer runs L^w, a fresh reader slips in *while the writer runs* (it
+  // becomes entitled and wins the next phase), and so on.
+  RequestId active_reader = r0;
+  double reader_done = 0 + kLr;
+  for (std::size_t i = 0; i + 1 < kM; ++i) {
+    e.complete(reader_done, active_reader);
+    EXPECT_TRUE(e.is_satisfied(writers[i]));
+    const double writer_done = reader_done + kLw;
+    if (i + 2 < kM) {
+      // New reader arrives mid-write-phase; it will be entitled.
+      active_reader =
+          e.issue_read(reader_done + 0.5, ResourceSet(1, {0}));
+      EXPECT_EQ(e.state(active_reader), RequestState::Entitled);
+    }
+    e.complete(writer_done, writers[i]);
+    if (i + 2 < kM) {
+      EXPECT_TRUE(e.is_satisfied(active_reader));
+      reader_done = writer_done + kLr;
+    } else {
+      // Last earlier writer gone: the victim goes next.
+      EXPECT_TRUE(e.is_satisfied(victim));
+      const double delay = e.request(victim).satisfied_time - victim_issue;
+      const double bound = (kM - 1) * (kLr + kLw);
+      EXPECT_LE(delay, bound + 1e-9);
+      EXPECT_GE(delay, bound - (kLr + kLw));  // within one phase of the bound
+      e.complete(writer_done + 1, victim);
+    }
+  }
+}
+
+// Thm. 1 tightness: a reader that arrives just after a writer became
+// entitled waits for one read phase (the writer's blockers) plus one write
+// phase — approaching L^r + L^w.
+TEST(TheoremTightness, ReaderDelayApproachesThm1Bound) {
+  constexpr double kLr = 2.0, kLw = 3.0;
+  Engine e(1, EngineOptions{});
+  const RequestId r0 = e.issue_read(0, ResourceSet(1, {0}));
+  const RequestId w = e.issue_write(0.001, ResourceSet(1, {0}));
+  ASSERT_EQ(e.state(w), RequestState::Entitled);
+  const RequestId victim = e.issue_read(0.002, ResourceSet(1, {0}));
+  ASSERT_EQ(e.state(victim), RequestState::Waiting);
+
+  e.complete(kLr, r0);  // full read phase
+  ASSERT_TRUE(e.is_satisfied(w));
+  e.complete(kLr + kLw, w);  // full write phase
+  ASSERT_TRUE(e.is_satisfied(victim));
+  const double delay = e.request(victim).acquisition_delay();
+  EXPECT_LE(delay, kLr + kLw + 1e-9);
+  EXPECT_GE(delay, kLr + kLw - 0.01);
+  e.complete(kLr + kLw + 1, victim);
+}
+
+}  // namespace
+}  // namespace rwrnlp::rsm::testing

@@ -1,0 +1,75 @@
+#include "rsm/read_shares.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rwrnlp::rsm {
+namespace {
+
+TEST(ReadShareTable, ReflexiveByDefault) {
+  ReadShareTable t(4);
+  for (ResourceId l = 0; l < 4; ++l) {
+    EXPECT_EQ(t.read_set(l), ResourceSet(4, {l})) << "l" << l;
+  }
+}
+
+TEST(ReadShareTable, DeclareReadRequestIsSymmetric) {
+  // The paper's running example: N_{5,1} = {l_a, l_b} implies l_a ~ l_b and
+  // l_b ~ l_a (footnote 1: read sharing is reflexive and symmetric).
+  ReadShareTable t(3);
+  t.declare_read_request(ResourceSet(3, {0, 1}));
+  EXPECT_EQ(t.read_set(0), ResourceSet(3, {0, 1}));
+  EXPECT_EQ(t.read_set(1), ResourceSet(3, {0, 1}));
+  EXPECT_EQ(t.read_set(2), ResourceSet(3, {2}));
+}
+
+TEST(ReadShareTable, ClosureOfWriteNeeds) {
+  // Sec. 3.2 example: N_{2,1} = {l_a, l_c} with l_a ~ l_b forces
+  // D_{2,1} = {l_a, l_b, l_c}.
+  ReadShareTable t(3);
+  t.declare_read_request(ResourceSet(3, {0, 1}));
+  EXPECT_EQ(t.closure(ResourceSet(3, {0, 2})), ResourceSet(3, {0, 1, 2}));
+}
+
+TEST(ReadShareTable, ClosureOfUnrelatedSetIsIdentity) {
+  ReadShareTable t(5);
+  t.declare_read_request(ResourceSet(5, {0, 1}));
+  EXPECT_EQ(t.closure(ResourceSet(5, {2, 3})), ResourceSet(5, {2, 3}));
+}
+
+TEST(ReadShareTable, MixedRequestIsAsymmetric) {
+  // Footnote 2: with mixed requests the relation need not be symmetric.  A
+  // mixed request reading {l0} while writing {l1} puts l0 into S(l1) but
+  // does not put l1 into S(l0).
+  ReadShareTable t(3);
+  t.declare_mixed_request(/*reads=*/ResourceSet(3, {0}),
+                          /*writes=*/ResourceSet(3, {1}));
+  EXPECT_EQ(t.read_set(1), ResourceSet(3, {0, 1}));
+  EXPECT_EQ(t.read_set(0), ResourceSet(3, {0}));
+}
+
+TEST(ReadShareTable, AddShareDirect) {
+  ReadShareTable t(3);
+  t.add_share(2, 0);
+  EXPECT_EQ(t.read_set(2), ResourceSet(3, {0, 2}));
+  EXPECT_EQ(t.read_set(0), ResourceSet(3, {0}));
+}
+
+TEST(ReadShareTable, OverlappingDeclarationsAccumulate) {
+  ReadShareTable t(4);
+  t.declare_read_request(ResourceSet(4, {0, 1}));
+  t.declare_read_request(ResourceSet(4, {1, 2}));
+  EXPECT_EQ(t.read_set(1), ResourceSet(4, {0, 1, 2}));
+  // Read sharing is NOT transitive: S(l0) gains l1 but not l2.
+  EXPECT_EQ(t.read_set(0), ResourceSet(4, {0, 1}));
+  // Closure over {l0} is S(l0) only.
+  EXPECT_EQ(t.closure(ResourceSet(4, {0})), ResourceSet(4, {0, 1}));
+}
+
+TEST(ReadShareTable, OutOfRangeThrows) {
+  ReadShareTable t(2);
+  EXPECT_THROW(t.add_share(0, 5), std::invalid_argument);
+  EXPECT_THROW(t.read_set(2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rwrnlp::rsm

@@ -1,0 +1,250 @@
+// Tests for read-to-write upgrading (Sec. 3.6).
+#include <gtest/gtest.h>
+
+#include "rsm/engine.hpp"
+#include "rsm/invariants.hpp"
+
+namespace rwrnlp::rsm {
+namespace {
+
+EngineOptions validated(WriteExpansion x = WriteExpansion::ExpandDomain) {
+  EngineOptions o;
+  o.expansion = x;
+  o.validate = true;
+  return o;
+}
+
+TEST(Upgrade, ReadHalfRunsOptimisticallyInIdleSystem) {
+  Engine e(2, validated());
+  const auto pair = e.issue_upgradeable(1, ResourceSet(2, {0, 1}));
+  EXPECT_TRUE(e.is_satisfied(pair.read_part));
+  // The write half queues behind its own partner's read locks.
+  EXPECT_NE(e.state(pair.write_part), RequestState::Satisfied);
+  EXPECT_TRUE(e.read_locked(0));
+  EXPECT_FALSE(e.write_locked(0));
+}
+
+TEST(Upgrade, NoUpgradeCancelsWriteHalf) {
+  Engine e(2, validated());
+  const auto pair = e.issue_upgradeable(1, ResourceSet(2, {0, 1}));
+  ASSERT_TRUE(e.is_satisfied(pair.read_part));
+  e.finish_read_segment(2, pair, /*upgrade=*/false);
+  EXPECT_EQ(e.state(pair.read_part), RequestState::Complete);
+  EXPECT_EQ(e.state(pair.write_part), RequestState::Canceled);
+  EXPECT_FALSE(e.read_locked(0));
+  EXPECT_TRUE(e.write_queue(0).empty());
+  EXPECT_TRUE(e.write_queue(1).empty());
+}
+
+TEST(Upgrade, UpgradePathAcquiresWriteLocks) {
+  Engine e(2, validated());
+  const auto pair = e.issue_upgradeable(1, ResourceSet(2, {0, 1}));
+  ASSERT_TRUE(e.is_satisfied(pair.read_part));
+  e.finish_read_segment(2, pair, /*upgrade=*/true);
+  EXPECT_EQ(e.state(pair.read_part), RequestState::Complete);
+  // With nothing else in the system, the write half is satisfied at the same
+  // invocation the read locks are dropped.
+  EXPECT_TRUE(e.is_satisfied(pair.write_part));
+  EXPECT_EQ(e.write_holder(0), pair.write_part);
+  EXPECT_EQ(e.write_holder(1), pair.write_part);
+  e.complete(3, pair.write_part);
+  EXPECT_FALSE(e.write_locked(0));
+}
+
+TEST(Upgrade, UpgradeWaitsForConcurrentReaders) {
+  // A pre-existing reader shares the resource with the optimistic segment;
+  // the upgrade must wait for it (the data may change in between — the
+  // paper warns re-reads may be necessary, which is the application's
+  // business).
+  Engine e(1, validated());
+  const RequestId r2 = e.issue_read(1, ResourceSet(1, {0}));
+  ASSERT_TRUE(e.is_satisfied(r2));
+  const auto pair = e.issue_upgradeable(2, ResourceSet(1, {0}));
+  ASSERT_TRUE(e.is_satisfied(pair.read_part));  // joins the read phase
+
+  e.finish_read_segment(3, pair, /*upgrade=*/true);
+  EXPECT_EQ(e.state(pair.write_part), RequestState::Entitled);
+  EXPECT_EQ(e.blockers(pair.write_part), std::vector<RequestId>{r2});
+  e.complete(4, r2);
+  EXPECT_TRUE(e.is_satisfied(pair.write_part));
+  e.complete(5, pair.write_part);
+}
+
+TEST(Upgrade, ReadHalfEntitledBehindWriteHolderWinsFirst) {
+  // The upgradeable pair is issued while a writer holds l0: the read half
+  // becomes entitled (Def. 3 — blocked by a satisfied writer, and the queue
+  // head, its own write half, is not entitled) and wins the next phase, so
+  // optimism is preserved even under contention.
+  Engine e(1, validated());
+  const RequestId w0 = e.issue_write(1, ResourceSet(1, {0}));
+  const auto pair = e.issue_upgradeable(2, ResourceSet(1, {0}));
+  EXPECT_EQ(e.state(pair.read_part), RequestState::Entitled);
+  EXPECT_EQ(e.state(pair.write_part), RequestState::Waiting);
+  e.complete(3, w0);
+  EXPECT_TRUE(e.is_satisfied(pair.read_part));
+  EXPECT_NE(e.state(pair.write_part), RequestState::Satisfied);
+  e.finish_read_segment(4, pair, /*upgrade=*/false);
+}
+
+TEST(Upgrade, ReadHalfWinsEvenBehindAnEntitledWriter) {
+  // Once the entitled writer ahead of the pair is *satisfied* (and thus
+  // write-locks the resource), Def. 3 entitles the read half — so the read
+  // half still runs first when the writer's phase ends.  Whenever a
+  // conflicting writer is satisfied, the optimistic half wins.
+  Engine e(1, validated());
+  const RequestId r0 = e.issue_read(1, ResourceSet(1, {0}));
+  const RequestId w0 = e.issue_write(2, ResourceSet(1, {0}));
+  ASSERT_EQ(e.state(w0), RequestState::Entitled);
+  const auto pair = e.issue_upgradeable(3, ResourceSet(1, {0}));
+  EXPECT_EQ(e.state(pair.read_part), RequestState::Waiting);
+  EXPECT_EQ(e.state(pair.write_part), RequestState::Waiting);
+  e.complete(4, r0);
+  ASSERT_TRUE(e.is_satisfied(w0));
+  EXPECT_EQ(e.state(pair.read_part), RequestState::Entitled);
+  e.complete(5, w0);
+  EXPECT_TRUE(e.is_satisfied(pair.read_part));
+  e.finish_read_segment(6, pair, /*upgrade=*/false);
+}
+
+TEST(Upgrade, WriteHalfWinsWhenBlockingWriterCancels) {
+  // Sec. 3.6: "If R^{u_w} is satisfied before R^{u_r}, then R^{u_r} is
+  // canceled."  Under Defs. 3/4 this is reachable when the entitled writer
+  // blocking the pair *cancels* instead of being satisfied (here: another
+  // upgrade pair abandons its write half), so no resource is ever write
+  // locked and the read half can never become entitled (Def. 3(a)); the
+  // write half then wins the race when the last read holder completes.
+  Engine e(1, validated());
+  const RequestId r_c = e.issue_read(1, ResourceSet(1, {0}));
+  const auto pair_a = e.issue_upgradeable(2, ResourceSet(1, {0}));
+  ASSERT_TRUE(e.is_satisfied(pair_a.read_part));
+  ASSERT_EQ(e.state(pair_a.write_part), RequestState::Entitled);
+
+  const auto pair_b = e.issue_upgradeable(3, ResourceSet(1, {0}));
+  EXPECT_EQ(e.state(pair_b.read_part), RequestState::Waiting);
+  EXPECT_EQ(e.state(pair_b.write_part), RequestState::Waiting);
+
+  // Pair A abandons its upgrade: its write half cancels, B's write half
+  // becomes entitled while B's read half is still merely waiting.
+  e.finish_read_segment(4, pair_a, /*upgrade=*/false);
+  EXPECT_EQ(e.state(pair_b.write_part), RequestState::Entitled);
+  EXPECT_EQ(e.state(pair_b.read_part), RequestState::Waiting);
+
+  // The last read holder completes: B's write half is satisfied and its
+  // read half canceled.
+  e.complete(5, r_c);
+  EXPECT_TRUE(e.is_satisfied(pair_b.write_part));
+  EXPECT_EQ(e.state(pair_b.read_part), RequestState::Canceled);
+  EXPECT_TRUE(e.read_queue(0).empty());
+  e.complete(6, pair_b.write_part);
+}
+
+TEST(Upgrade, ReadHalfWinsAgainstQueuedWriterWhenNotBlocked) {
+  // Upgradeable issued into an idle resource, then a writer arrives: the
+  // read half already holds its locks, the partner write half is ahead of
+  // the newcomer in the write queue.
+  Engine e(1, validated());
+  const auto pair = e.issue_upgradeable(1, ResourceSet(1, {0}));
+  ASSERT_TRUE(e.is_satisfied(pair.read_part));
+  const RequestId w = e.issue_write(2, ResourceSet(1, {0}));
+  EXPECT_EQ(e.state(w), RequestState::Waiting);
+  // Upgrade: our write half beats w (earlier timestamp).
+  e.finish_read_segment(3, pair, /*upgrade=*/true);
+  EXPECT_TRUE(e.is_satisfied(pair.write_part));
+  EXPECT_EQ(e.state(w), RequestState::Waiting);
+  e.complete(4, pair.write_part);
+  EXPECT_TRUE(e.is_satisfied(w));
+  e.complete(5, w);
+}
+
+TEST(Upgrade, AbandonedUpgradeUnblocksQueuedWriter) {
+  Engine e(1, validated());
+  const auto pair = e.issue_upgradeable(1, ResourceSet(1, {0}));
+  const RequestId w = e.issue_write(2, ResourceSet(1, {0}));
+  ASSERT_EQ(e.state(w), RequestState::Waiting);
+  e.finish_read_segment(3, pair, /*upgrade=*/false);
+  EXPECT_TRUE(e.is_satisfied(w));
+  e.complete(4, w);
+}
+
+TEST(Upgrade, EntitledWriteHalfBlocksNewReaders) {
+  // While the read half holds its locks and the write half is entitled,
+  // newly issued conflicting readers must wait (writer-in-waiting blocks the
+  // next read phase) — this is what gives upgrades write-grade worst-case
+  // blocking but no worse.
+  Engine e(1, validated());
+  const auto pair = e.issue_upgradeable(1, ResourceSet(1, {0}));
+  ASSERT_TRUE(e.is_satisfied(pair.read_part));
+  ASSERT_EQ(e.state(pair.write_part), RequestState::Entitled);
+  const RequestId r2 = e.issue_read(2, ResourceSet(1, {0}));
+  EXPECT_EQ(e.state(r2), RequestState::Waiting);
+  e.finish_read_segment(3, pair, /*upgrade=*/true);
+  ASSERT_TRUE(e.is_satisfied(pair.write_part));
+  e.complete(4, pair.write_part);
+  EXPECT_TRUE(e.is_satisfied(r2));
+  e.complete(5, r2);
+}
+
+TEST(Upgrade, WorksWithPlaceholdersAndReadShares) {
+  // Upgradeable request over {l0}; l0 ~ l1, so the write half enqueues a
+  // placeholder in WQ(l1) (placeholder mode) until it is entitled.
+  ReadShareTable shares(2);
+  shares.declare_read_request(ResourceSet(2, {0, 1}));
+  Engine e(2, shares, validated(WriteExpansion::Placeholders));
+  const RequestId r_other = e.issue_read(1, ResourceSet(2, {0}));
+  const auto pair = e.issue_upgradeable(2, ResourceSet(2, {0}));
+  // Read half shares l0 with r_other.
+  EXPECT_TRUE(e.is_satisfied(pair.read_part));
+  // Write half is entitled (blocked by the two read holders); its
+  // placeholder on l1 is gone (removed at entitlement).
+  EXPECT_EQ(e.state(pair.write_part), RequestState::Entitled);
+  EXPECT_TRUE(e.write_queue(1).empty());
+  e.complete(3, r_other);
+  e.finish_read_segment(4, pair, /*upgrade=*/true);
+  EXPECT_TRUE(e.is_satisfied(pair.write_part));
+  EXPECT_TRUE(e.write_locked(0));
+  EXPECT_FALSE(e.write_locked(1));  // placeholder never locks
+  e.complete(5, pair.write_part);
+}
+
+TEST(Upgrade, CompleteOnReadHalfWithLiveWriteHalfIsRejected) {
+  Engine e(1, validated());
+  const auto pair = e.issue_upgradeable(1, ResourceSet(1, {0}));
+  ASSERT_TRUE(e.is_satisfied(pair.read_part));
+  EXPECT_THROW(e.complete(2, pair.read_part), std::invalid_argument);
+  e.finish_read_segment(3, pair, false);
+}
+
+TEST(Upgrade, AbandonedPairSlotsAreFreedExactlyOnce) {
+  // Regression: finish_read_segment(abandon) recycles both halves through
+  // two maybe_recycle calls; the read slot must not enter the free list
+  // twice or two later requests would share a slot.
+  EngineOptions o;
+  o.retain_history = false;
+  Engine e(2, o);
+  const auto pair = e.issue_upgradeable(1, ResourceSet(2, {0}));
+  e.finish_read_segment(2, pair, /*upgrade=*/false);
+  const RequestId a = e.issue_write(3, ResourceSet(2, {0}));
+  const RequestId b = e.issue_write(4, ResourceSet(2, {1}));
+  EXPECT_NE(a, b);  // distinct slots despite recycling
+  EXPECT_TRUE(e.is_satisfied(a));
+  EXPECT_TRUE(e.is_satisfied(b));
+  e.complete(5, a);
+  e.complete(6, b);
+}
+
+TEST(Upgrade, PairSlotsRecycleTogetherWithoutHistory) {
+  EngineOptions o;
+  o.retain_history = false;
+  Engine e(1, o);
+  const auto p1 = e.issue_upgradeable(1, ResourceSet(1, {0}));
+  e.finish_read_segment(2, p1, true);
+  e.complete(3, p1.write_part);
+  const auto p2 = e.issue_upgradeable(4, ResourceSet(1, {0}));
+  // Both slots were freed; the new pair reuses them.
+  EXPECT_TRUE((p2.read_part == p1.read_part && p2.write_part == p1.write_part) ||
+              (p2.read_part == p1.write_part && p2.write_part == p1.read_part));
+  e.finish_read_segment(5, p2, false);
+}
+
+}  // namespace
+}  // namespace rwrnlp::rsm

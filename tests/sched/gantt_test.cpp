@@ -1,0 +1,118 @@
+#include "sched/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/simulator.hpp"
+
+namespace rwrnlp::sched {
+namespace {
+
+TaskSystem one_task_system() {
+  TaskSystem sys;
+  sys.num_processors = 1;
+  sys.cluster_size = 1;
+  sys.num_resources = 1;
+  TaskParams t;
+  t.id = 0;
+  t.period = 10;
+  t.deadline = 10;
+  t.final_compute = 4;
+  sys.tasks.push_back(t);
+  return sys;
+}
+
+TEST(ScheduleLog, MergesContiguousIntervals) {
+  ScheduleLog log;
+  log.add(0, 0, 1, IntervalKind::Compute);
+  log.add(0, 1, 2, IntervalKind::Compute);
+  ASSERT_EQ(log.intervals().size(), 1u);
+  EXPECT_DOUBLE_EQ(log.intervals()[0].end, 2.0);
+  log.add(0, 2, 3, IntervalKind::Critical);  // kind change: new interval
+  EXPECT_EQ(log.intervals().size(), 2u);
+  log.add(1, 3, 4, IntervalKind::Critical);  // task change: new interval
+  EXPECT_EQ(log.intervals().size(), 3u);
+}
+
+TEST(ScheduleLog, IgnoresEmptyIntervals) {
+  ScheduleLog log;
+  log.add(0, 5, 5, IntervalKind::Compute);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(ScheduleLog, RenderPlacesSymbols) {
+  TaskSystem sys = one_task_system();
+  ScheduleLog log;
+  log.add(0, 0, 5, IntervalKind::Compute);
+  log.add(0, 5, 10, IntervalKind::Critical);
+  const std::string out = log.render(sys, 0, 10, 10);
+  // Row for T0: 5 compute cells then 5 critical cells.
+  EXPECT_NE(out.find("=====#####"), std::string::npos) << out;
+}
+
+TEST(ScheduleLog, RenderWindowClipping) {
+  TaskSystem sys = one_task_system();
+  ScheduleLog log;
+  log.add(0, -5, 20, IntervalKind::Compute);  // exceeds the window
+  const std::string out = log.render(sys, 0, 10, 10);
+  EXPECT_NE(out.find("=========="), std::string::npos);
+}
+
+TEST(ScheduleLog, RejectsBadWindow) {
+  TaskSystem sys = one_task_system();
+  ScheduleLog log;
+  EXPECT_THROW(log.render(sys, 5, 5, 10), std::invalid_argument);
+  EXPECT_THROW(log.render(sys, 0, 10, 1), std::invalid_argument);
+}
+
+TEST(ScheduleLog, SimulatorRecordsExpectedPhases) {
+  // Two contending writers on two processors: the later one records a
+  // spinning interval followed by its critical section.
+  TaskSystem sys;
+  sys.num_processors = 2;
+  sys.cluster_size = 2;
+  sys.num_resources = 1;
+  for (int i = 0; i < 2; ++i) {
+    TaskParams t;
+    t.id = i;
+    t.period = 30;
+    t.deadline = 30;
+    t.phase = static_cast<double>(i);
+    Segment s;
+    s.compute_before = 1;
+    s.cs.reads = ResourceSet(1);
+    s.cs.writes = ResourceSet(1, {0});
+    s.cs.length = 4;
+    t.segments.push_back(s);
+    t.final_compute = 1;
+    sys.tasks.push_back(t);
+  }
+  sys.validate();
+  ProtocolAdapter proto(ProtocolKind::RwRnlp, sys, true);
+  SimConfig cfg;
+  cfg.horizon = 30;
+  cfg.wait = WaitMode::Spin;
+  cfg.record_schedule = true;
+  Simulator sim(sys, proto, cfg);
+  const SimResult res = sim.run();
+
+  bool saw_spin = false, saw_cs = false, saw_compute = false;
+  for (const auto& iv : res.schedule.intervals()) {
+    if (iv.kind == IntervalKind::Spinning) {
+      saw_spin = true;
+      EXPECT_EQ(iv.task, 1);  // only the later writer spins
+      EXPECT_NEAR(iv.start, 2.0, 1e-6);
+      EXPECT_NEAR(iv.end, 5.0, 1e-6);  // until the first CS ends at 1+4
+    }
+    saw_cs |= iv.kind == IntervalKind::Critical;
+    saw_compute |= iv.kind == IntervalKind::Compute;
+  }
+  EXPECT_TRUE(saw_spin);
+  EXPECT_TRUE(saw_cs);
+  EXPECT_TRUE(saw_compute);
+  const std::string picture = res.schedule.render(sys, 0, 12, 48);
+  EXPECT_NE(picture.find('s'), std::string::npos);
+  EXPECT_NE(picture.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rwrnlp::sched

@@ -1,0 +1,127 @@
+// Unit tests of the protocol adapters in isolation.
+#include "sched/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rwrnlp::sched {
+namespace {
+
+TaskSystem tiny_system() {
+  TaskSystem sys;
+  sys.num_processors = 2;
+  sys.cluster_size = 2;
+  sys.num_resources = 3;
+  TaskParams t;
+  t.id = 0;
+  t.period = 10;
+  t.deadline = 10;
+  Segment read_seg;
+  read_seg.compute_before = 1;
+  read_seg.cs.reads = ResourceSet(3, {0, 1});
+  read_seg.cs.writes = ResourceSet(3);
+  read_seg.cs.length = 1;
+  t.segments.push_back(read_seg);
+  Segment write_seg;
+  write_seg.compute_before = 1;
+  write_seg.cs.reads = ResourceSet(3);
+  write_seg.cs.writes = ResourceSet(3, {0, 2});
+  write_seg.cs.length = 1;
+  t.segments.push_back(write_seg);
+  t.final_compute = 1;
+  sys.tasks.push_back(t);
+  return sys;
+}
+
+CriticalSection read_cs() {
+  CriticalSection cs;
+  cs.reads = ResourceSet(3, {0, 1});
+  cs.writes = ResourceSet(3);
+  cs.length = 1;
+  return cs;
+}
+
+CriticalSection write_cs() {
+  CriticalSection cs;
+  cs.reads = ResourceSet(3);
+  cs.writes = ResourceSet(3, {0, 2});
+  cs.length = 1;
+  return cs;
+}
+
+TEST(ProtocolAdapter, RwRnlpBuildsReadShareClosure) {
+  const TaskSystem sys = tiny_system();
+  ProtocolAdapter proto(ProtocolKind::RwRnlp, sys, true);
+  // The declared read request {l0, l1} makes l0 ~ l1; a write touching l0
+  // must expand to {l0, l1} plus its own resources.
+  const auto id = proto.issue(1, write_cs());
+  EXPECT_EQ(proto.engine().request(id).domain, ResourceSet(3, {0, 1, 2}));
+  proto.complete(2, id);
+}
+
+TEST(ProtocolAdapter, PlaceholderVariantKeepsDomainNarrow) {
+  const TaskSystem sys = tiny_system();
+  ProtocolAdapter proto(ProtocolKind::RwRnlpPlaceholders, sys, true);
+  const auto id = proto.issue(1, write_cs());
+  EXPECT_EQ(proto.engine().request(id).domain, ResourceSet(3, {0, 2}));
+  proto.complete(2, id);
+}
+
+TEST(ProtocolAdapter, MutexRnlpTreatsReadsAsWrites) {
+  const TaskSystem sys = tiny_system();
+  ProtocolAdapter proto(ProtocolKind::MutexRnlp, sys, true);
+  EXPECT_TRUE(proto.treated_as_write(read_cs()));
+  const auto r1 = proto.issue(1, read_cs());
+  const auto r2 = proto.issue(2, read_cs());
+  EXPECT_TRUE(proto.engine().is_satisfied(r1));
+  EXPECT_FALSE(proto.engine().is_satisfied(r2));  // readers serialize
+  proto.complete(3, r1);
+  EXPECT_TRUE(proto.engine().is_satisfied(r2));
+  proto.complete(4, r2);
+}
+
+TEST(ProtocolAdapter, GroupRwSharesReadersAcrossDisjointResources) {
+  const TaskSystem sys = tiny_system();
+  ProtocolAdapter proto(ProtocolKind::GroupRw, sys, true);
+  EXPECT_EQ(proto.engine().num_resources(), 1u);
+  const auto r1 = proto.issue(1, read_cs());
+  const auto r2 = proto.issue(2, read_cs());
+  EXPECT_TRUE(proto.engine().is_satisfied(r1));
+  EXPECT_TRUE(proto.engine().is_satisfied(r2));  // R/W group lock: share
+  const auto w = proto.issue(3, write_cs());
+  EXPECT_FALSE(proto.engine().is_satisfied(w));
+  proto.complete(4, r1);
+  proto.complete(5, r2);
+  EXPECT_TRUE(proto.engine().is_satisfied(w));
+  proto.complete(6, w);
+}
+
+TEST(ProtocolAdapter, GroupMutexSerializesEverything) {
+  const TaskSystem sys = tiny_system();
+  ProtocolAdapter proto(ProtocolKind::GroupMutex, sys, true);
+  const auto r1 = proto.issue(1, read_cs());
+  const auto r2 = proto.issue(2, read_cs());
+  EXPECT_TRUE(proto.engine().is_satisfied(r1));
+  EXPECT_FALSE(proto.engine().is_satisfied(r2));
+  proto.complete(3, r1);
+  proto.complete(4, r2);
+}
+
+TEST(ProtocolAdapter, TreatedAsWriteClassification) {
+  const TaskSystem sys = tiny_system();
+  ProtocolAdapter rw(ProtocolKind::RwRnlp, sys);
+  EXPECT_FALSE(rw.treated_as_write(read_cs()));
+  EXPECT_TRUE(rw.treated_as_write(write_cs()));
+  ProtocolAdapter gm(ProtocolKind::GroupMutex, sys);
+  EXPECT_TRUE(gm.treated_as_write(read_cs()));
+}
+
+TEST(ProtocolAdapter, ToStringNames) {
+  EXPECT_STREQ(to_string(ProtocolKind::RwRnlp), "rw-rnlp");
+  EXPECT_STREQ(to_string(ProtocolKind::RwRnlpPlaceholders), "rw-rnlp-ph");
+  EXPECT_STREQ(to_string(ProtocolKind::MutexRnlp), "mutex-rnlp");
+  EXPECT_STREQ(to_string(ProtocolKind::GroupRw), "group-rw");
+  EXPECT_STREQ(to_string(ProtocolKind::GroupMutex), "group-mutex");
+}
+
+}  // namespace
+}  // namespace rwrnlp::sched

@@ -1,0 +1,284 @@
+// Scheduler-conformance tests for the discrete-event simulator.
+#include "sched/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rwrnlp::sched {
+namespace {
+
+TaskParams simple_task(int id, double period, double compute,
+                       double deadline = 0) {
+  TaskParams t;
+  t.id = id;
+  t.period = period;
+  t.deadline = deadline > 0 ? deadline : period;
+  t.final_compute = compute;
+  return t;
+}
+
+TaskParams task_with_cs(int id, double period, double pre, double cs_len,
+                        const ResourceSet& reads, const ResourceSet& writes,
+                        double post = 0.1, double phase = 0) {
+  TaskParams t;
+  t.id = id;
+  t.period = period;
+  t.deadline = period;
+  t.phase = phase;
+  Segment s;
+  s.compute_before = pre;
+  s.cs.reads = reads;
+  s.cs.writes = writes;
+  s.cs.length = cs_len;
+  t.segments.push_back(s);
+  t.final_compute = post;
+  return t;
+}
+
+SimResult run_sim(TaskSystem& sys, ProtocolKind kind, SimConfig cfg) {
+  sys.validate();
+  ProtocolAdapter proto(kind, sys, /*validate=*/true);
+  Simulator sim(sys, proto, cfg);
+  return sim.run();
+}
+
+TEST(SimulatorBasic, SingleTaskCompletesEveryJob) {
+  TaskSystem sys;
+  sys.num_processors = 1;
+  sys.cluster_size = 1;
+  sys.num_resources = 1;
+  sys.tasks.push_back(simple_task(0, 10, 3));
+  SimConfig cfg;
+  cfg.horizon = 100;
+  const SimResult res = run_sim(sys, ProtocolKind::RwRnlp, cfg);
+  EXPECT_EQ(res.per_task[0].jobs_released, 10u);
+  EXPECT_EQ(res.per_task[0].jobs_completed, 10u);
+  EXPECT_EQ(res.per_task[0].deadline_misses, 0u);
+}
+
+TEST(SimulatorBasic, OverloadedProcessorMissesDeadlines) {
+  TaskSystem sys;
+  sys.num_processors = 1;
+  sys.cluster_size = 1;
+  sys.num_resources = 1;
+  sys.tasks.push_back(simple_task(0, 10, 8));
+  sys.tasks.push_back(simple_task(1, 10, 8, 9));  // together U = 1.6
+  SimConfig cfg;
+  cfg.horizon = 100;
+  const SimResult res = run_sim(sys, ProtocolKind::RwRnlp, cfg);
+  EXPECT_GT(res.per_task[0].deadline_misses + res.per_task[1].deadline_misses,
+            0u);
+}
+
+TEST(SimulatorBasic, EdfPrefersEarlierDeadline) {
+  // Two tasks, one processor: the short-deadline task preempts the long one
+  // and never misses, while the long-deadline task absorbs the interference.
+  TaskSystem sys;
+  sys.num_processors = 1;
+  sys.cluster_size = 1;
+  sys.num_resources = 1;
+  sys.tasks.push_back(simple_task(0, 4, 1));    // tight
+  sys.tasks.push_back(simple_task(1, 20, 10));  // long
+  SimConfig cfg;
+  cfg.horizon = 200;
+  const SimResult res = run_sim(sys, ProtocolKind::RwRnlp, cfg);
+  EXPECT_EQ(res.per_task[0].deadline_misses, 0u);
+  EXPECT_EQ(res.per_task[0].jobs_completed, 50u);
+  EXPECT_EQ(res.per_task[1].deadline_misses, 0u);  // U = 0.75, EDF fits
+}
+
+TEST(SimulatorBasic, FixedPriorityRespectsPriorities) {
+  TaskSystem sys;
+  sys.num_processors = 1;
+  sys.cluster_size = 1;
+  sys.num_resources = 1;
+  auto hi = simple_task(0, 10, 4);
+  hi.fixed_priority = 0;
+  auto lo = simple_task(1, 10, 4);
+  lo.fixed_priority = 1;
+  sys.tasks.push_back(hi);
+  sys.tasks.push_back(lo);
+  SimConfig cfg;
+  cfg.horizon = 100;
+  cfg.policy = SchedPolicy::FixedPriority;
+  const SimResult res = run_sim(sys, ProtocolKind::RwRnlp, cfg);
+  EXPECT_EQ(res.per_task[0].deadline_misses, 0u);
+  EXPECT_EQ(res.per_task[1].deadline_misses, 0u);
+}
+
+TEST(SimulatorBasic, TwoProcessorsRunTasksInParallel) {
+  TaskSystem sys;
+  sys.num_processors = 2;
+  sys.cluster_size = 2;
+  sys.num_resources = 1;
+  sys.tasks.push_back(simple_task(0, 10, 9));
+  sys.tasks.push_back(simple_task(1, 10, 9));
+  SimConfig cfg;
+  cfg.horizon = 100;
+  const SimResult res = run_sim(sys, ProtocolKind::RwRnlp, cfg);
+  EXPECT_EQ(res.per_task[0].deadline_misses, 0u);
+  EXPECT_EQ(res.per_task[1].deadline_misses, 0u);
+}
+
+TEST(SimulatorBasic, UncontendedCriticalSectionHasZeroDelay) {
+  TaskSystem sys;
+  sys.num_processors = 1;
+  sys.cluster_size = 1;
+  sys.num_resources = 2;
+  sys.tasks.push_back(task_with_cs(0, 10, 1, 2, ResourceSet(2),
+                                   ResourceSet(2, {0})));
+  SimConfig cfg;
+  cfg.horizon = 100;
+  const SimResult res = run_sim(sys, ProtocolKind::RwRnlp, cfg);
+  EXPECT_EQ(res.per_task[0].jobs_completed, 10u);
+  ASSERT_FALSE(res.per_task[0].write_acq_delay.empty());
+  EXPECT_DOUBLE_EQ(res.per_task[0].write_acq_delay.max(), 0.0);
+}
+
+TEST(SimulatorBasic, SpinBlockingMeasuredUnderContention) {
+  // Two tasks on two processors, same write resource, overlapping phases:
+  // the later one spins (Def. 2).
+  TaskSystem sys;
+  sys.num_processors = 2;
+  sys.cluster_size = 2;
+  sys.num_resources = 1;
+  sys.tasks.push_back(task_with_cs(0, 20, 1.0, 4, ResourceSet(1),
+                                   ResourceSet(1, {0})));
+  sys.tasks.push_back(task_with_cs(1, 20, 1.5, 4, ResourceSet(1),
+                                   ResourceSet(1, {0})));
+  SimConfig cfg;
+  cfg.horizon = 20;  // one job each
+  cfg.wait = WaitMode::Spin;
+  const SimResult res = run_sim(sys, ProtocolKind::RwRnlp, cfg);
+  // Task 1 issued at 1.5 but waits until 5.0 for the lock: 3.5 spinning.
+  ASSERT_FALSE(res.per_task[1].write_acq_delay.empty());
+  EXPECT_NEAR(res.per_task[1].write_acq_delay.max(), 3.5, 1e-6);
+  ASSERT_FALSE(res.per_task[1].s_blocking.empty());
+  EXPECT_NEAR(res.per_task[1].s_blocking.max(), 3.5, 1e-6);
+}
+
+TEST(SimulatorBasic, NonPreemptiveSpinnerCausesPiBlocking) {
+  // One processor: a low-priority job enters a non-preemptive critical
+  // section just before a high-priority job is released (Def. 1 example
+  // from Sec. 2).
+  TaskSystem sys;
+  sys.num_processors = 1;
+  sys.cluster_size = 1;
+  sys.num_resources = 1;
+  // Low-priority (long deadline), CS [1, 6).
+  sys.tasks.push_back(task_with_cs(0, 50, 1, 5, ResourceSet(1),
+                                   ResourceSet(1, {0}), 0.1));
+  // High-priority (short deadline), released at t=2 mid-CS.
+  auto hi = simple_task(1, 50, 1, 10);
+  hi.phase = 2;
+  sys.tasks.push_back(hi);
+  SimConfig cfg;
+  cfg.horizon = 50;
+  cfg.wait = WaitMode::Spin;
+  const SimResult res = run_sim(sys, ProtocolKind::RwRnlp, cfg);
+  // The high-priority job is pi-blocked from its release (t=2) until the
+  // critical section ends (t=6).
+  ASSERT_FALSE(res.per_task[1].pi_blocking.empty());
+  EXPECT_NEAR(res.per_task[1].pi_blocking.max(), 4.0, 1e-6);
+}
+
+TEST(SimulatorBasic, ReadersShareUnderRwRnlpButSerializeUnderMutexRnlp) {
+  // Two readers of the same resource on two processors: under the R/W RNLP
+  // both proceed at once (zero delay); under the mutex RNLP one waits.
+  TaskSystem sys;
+  sys.num_processors = 2;
+  sys.cluster_size = 2;
+  sys.num_resources = 1;
+  sys.tasks.push_back(task_with_cs(0, 20, 1, 4, ResourceSet(1, {0}),
+                                   ResourceSet(1)));
+  sys.tasks.push_back(task_with_cs(1, 20, 1, 4, ResourceSet(1, {0}),
+                                   ResourceSet(1)));
+  SimConfig cfg;
+  cfg.horizon = 20;
+
+  {
+    TaskSystem s = sys;
+    const SimResult res = run_sim(s, ProtocolKind::RwRnlp, cfg);
+    EXPECT_DOUBLE_EQ(res.max_read_acq_delay(), 0.0);
+  }
+  {
+    TaskSystem s = sys;
+    const SimResult res = run_sim(s, ProtocolKind::MutexRnlp, cfg);
+    EXPECT_NEAR(res.max_write_acq_delay(), 4.0, 1e-6);  // reads as writes
+  }
+}
+
+TEST(SimulatorBasic, GroupRwSerializesDisjointWrites) {
+  // Writers of *different* resources: fine-grained locking runs them in
+  // parallel; the group lock serializes them.
+  TaskSystem sys;
+  sys.num_processors = 2;
+  sys.cluster_size = 2;
+  sys.num_resources = 2;
+  sys.tasks.push_back(task_with_cs(0, 20, 1, 4, ResourceSet(2),
+                                   ResourceSet(2, {0})));
+  sys.tasks.push_back(task_with_cs(1, 20, 1, 4, ResourceSet(2),
+                                   ResourceSet(2, {1})));
+  SimConfig cfg;
+  cfg.horizon = 20;
+  {
+    TaskSystem s = sys;
+    const SimResult res = run_sim(s, ProtocolKind::RwRnlp, cfg);
+    EXPECT_DOUBLE_EQ(res.max_write_acq_delay(), 0.0);
+  }
+  {
+    TaskSystem s = sys;
+    const SimResult res = run_sim(s, ProtocolKind::GroupRw, cfg);
+    EXPECT_NEAR(res.max_write_acq_delay(), 4.0, 1e-6);
+  }
+}
+
+TEST(SimulatorBasic, SuspensionModeRunsToCompletion) {
+  TaskSystem sys;
+  sys.num_processors = 2;
+  sys.cluster_size = 2;
+  sys.num_resources = 1;
+  sys.tasks.push_back(task_with_cs(0, 10, 1, 2, ResourceSet(1),
+                                   ResourceSet(1, {0})));
+  sys.tasks.push_back(task_with_cs(1, 10, 1.2, 2, ResourceSet(1),
+                                   ResourceSet(1, {0})));
+  sys.tasks.push_back(simple_task(2, 10, 3));
+  SimConfig cfg;
+  cfg.horizon = 100;
+  cfg.wait = WaitMode::Suspend;
+  const SimResult res = run_sim(sys, ProtocolKind::RwRnlp, cfg);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(res.per_task[i].jobs_completed, 10u) << "task " << i;
+  }
+}
+
+TEST(SimulatorBasic, ClusteredSchedulingKeepsTasksInTheirCluster) {
+  // Two clusters of one processor each: tasks must not migrate across; an
+  // overload in cluster 0 cannot be absorbed by idle cluster 1.
+  TaskSystem sys;
+  sys.num_processors = 2;
+  sys.cluster_size = 1;
+  sys.num_resources = 1;
+  auto a = simple_task(0, 10, 6);
+  auto b = simple_task(1, 10, 6);
+  a.cluster = 0;
+  b.cluster = 0;  // both crammed into cluster 0 (U = 1.2)
+  sys.tasks.push_back(a);
+  sys.tasks.push_back(b);
+  SimConfig cfg;
+  cfg.horizon = 100;
+  const SimResult res = run_sim(sys, ProtocolKind::RwRnlp, cfg);
+  EXPECT_GT(res.per_task[0].deadline_misses + res.per_task[1].deadline_misses,
+            0u);
+}
+
+TEST(SimulatorBasic, ValidationRejectsBadSystems) {
+  TaskSystem sys;
+  sys.num_processors = 3;
+  sys.cluster_size = 2;  // 3 % 2 != 0
+  sys.num_resources = 1;
+  sys.tasks.push_back(simple_task(0, 10, 1));
+  EXPECT_THROW(sys.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rwrnlp::sched

@@ -1,0 +1,276 @@
+// Tests for the lock-based STM built on the R/W RNLP.
+#include "stm/stm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rwrnlp::stm {
+namespace {
+
+TEST(Stm, SingleThreadedReadWrite) {
+  StmRuntime rt;
+  Var<int> x(rt, 1);
+  Var<int> y(rt, 2);
+  VarSet rset, wset;
+  rset.add(x);
+  wset.add(y);
+  rt.declare_transaction(rset, wset);
+
+  const int seen = rt.atomically(rset, wset, [&](TxContext& ctx) {
+    const int v = ctx.read(x);
+    ctx.write(y, v + 10);
+    return v;
+  });
+  EXPECT_EQ(seen, 1);
+
+  VarSet ry;
+  ry.add(y);
+  const int y_val =
+      rt.atomically(ry, VarSet(), [&](TxContext& ctx) { return ctx.read(y); });
+  EXPECT_EQ(y_val, 11);
+}
+
+TEST(Stm, WriteFootprintIsReadable) {
+  StmRuntime rt;
+  Var<int> x(rt, 5);
+  VarSet wset;
+  wset.add(x);
+  rt.declare_transaction(VarSet(), wset);
+  rt.atomically(VarSet(), wset, [&](TxContext& ctx) {
+    ctx.write(x, ctx.read(x) + 1);  // read-modify-write within write set
+    return 0;
+  });
+  VarSet rset;
+  rset.add(x);
+  EXPECT_EQ(rt.atomically(rset, VarSet(),
+                          [&](TxContext& c) { return c.read(x); }),
+            6);
+}
+
+TEST(Stm, FootprintViolationsAreRejected) {
+  StmRuntime rt;
+  Var<int> x(rt, 0);
+  Var<int> y(rt, 0);
+  VarSet rx;
+  rx.add(x);
+  rt.declare_transaction(rx, VarSet());
+  EXPECT_THROW(rt.atomically(rx, VarSet(),
+                             [&](TxContext& ctx) { return ctx.read(y); }),
+               std::invalid_argument);
+  EXPECT_THROW(rt.atomically(rx, VarSet(),
+                             [&](TxContext& ctx) {
+                               ctx.write(x, 1);  // x is read-only here
+                               return 0;
+                             }),
+               std::invalid_argument);
+}
+
+TEST(Stm, DeclarationAfterFreezeRejected) {
+  StmRuntime rt;
+  Var<int> x(rt, 0);
+  VarSet s;
+  s.add(x);
+  rt.freeze();
+  EXPECT_THROW(rt.declare_transaction(s, VarSet()), std::invalid_argument);
+  EXPECT_THROW(rt.freeze(), std::invalid_argument);
+  EXPECT_THROW(Var<int>(rt, 1), std::invalid_argument);
+}
+
+TEST(Stm, VarLimitEnforced) {
+  StmRuntime::Options opt;
+  opt.max_vars = 2;
+  StmRuntime rt(opt);
+  Var<int> a(rt, 0), b(rt, 0);
+  EXPECT_THROW(Var<int>(rt, 0), std::invalid_argument);
+}
+
+TEST(Stm, BankTransfersConserveTotal) {
+  // The classic STM litmus: concurrent transfers between accounts plus
+  // concurrent read-only balance sweeps; every sweep must observe the
+  // invariant total and the final state must conserve it.
+  constexpr int kAccounts = 8;
+  constexpr int kThreads = 4;
+  constexpr int kTransfers = 1200;
+  constexpr long kInitial = 1000;
+
+  StmRuntime::Options opt;
+  opt.max_vars = kAccounts;
+  StmRuntime rt(opt);
+  std::vector<std::unique_ptr<Var<long>>> accounts;
+  for (int i = 0; i < kAccounts; ++i)
+    accounts.push_back(std::make_unique<Var<long>>(rt, kInitial));
+
+  // Declare transaction classes: pairwise transfers and the full sweep.
+  VarSet all;
+  for (auto& a : accounts) all.add(*a);
+  rt.declare_transaction(all, VarSet());  // balance sweep (read everything)
+  for (int i = 0; i < kAccounts; ++i) {
+    for (int j = 0; j < kAccounts; ++j) {
+      if (i == j) continue;
+      VarSet pair;
+      pair.add(*accounts[i]).add(*accounts[j]);
+      rt.declare_transaction(VarSet(), pair);  // transfer writes both
+    }
+  }
+  rt.freeze();
+
+  std::atomic<bool> bad_sweep{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(77 + static_cast<std::uint64_t>(t));
+      for (int k = 0; k < kTransfers; ++k) {
+        if (rng.chance(0.3)) {
+          // Read-only sweep.
+          const long total =
+              rt.atomically(all, VarSet(), [&](TxContext& ctx) {
+                long sum = 0;
+                for (auto& a : accounts) sum += ctx.read(*a);
+                return sum;
+              });
+          if (total != kInitial * kAccounts) bad_sweep.store(true);
+        } else {
+          const std::size_t i = rng.next_below(kAccounts);
+          std::size_t j = rng.next_below(kAccounts);
+          if (j == i) j = (j + 1) % kAccounts;
+          const long amount = static_cast<long>(rng.next_below(50));
+          VarSet pair;
+          pair.add(*accounts[i]).add(*accounts[j]);
+          rt.atomically(VarSet(), pair, [&](TxContext& ctx) {
+            ctx.write(*accounts[i], ctx.read(*accounts[i]) - amount);
+            ctx.write(*accounts[j], ctx.read(*accounts[j]) + amount);
+            return 0;
+          });
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(bad_sweep.load());
+
+  const long total = rt.atomically(all, VarSet(), [&](TxContext& ctx) {
+    long sum = 0;
+    for (auto& a : accounts) sum += ctx.read(*a);
+    return sum;
+  });
+  EXPECT_EQ(total, kInitial * kAccounts);
+}
+
+TEST(Stm, UpgradeableSkipsWriteWhenNotNeeded) {
+  StmRuntime rt;
+  Var<int> x(rt, 5);
+  VarSet s;
+  s.add(x);
+  rt.declare_upgradeable(s);
+
+  const bool wrote = rt.atomically_upgradeable(
+      s, [&](const TxContext& ctx) { return ctx.read(x) > 100; },
+      [&](TxContext& ctx) { ctx.write(x, 0); });
+  EXPECT_FALSE(wrote);
+  VarSet rs;
+  rs.add(x);
+  EXPECT_EQ(rt.atomically(rs, VarSet(),
+                          [&](TxContext& c) { return c.read(x); }),
+            5);
+}
+
+TEST(Stm, UpgradeableWritesWhenNeeded) {
+  StmRuntime rt;
+  Var<int> x(rt, 500);
+  VarSet s;
+  s.add(x);
+  rt.declare_upgradeable(s);
+  const bool wrote = rt.atomically_upgradeable(
+      s, [&](const TxContext& ctx) { return ctx.read(x) > 100; },
+      [&](TxContext& ctx) { ctx.write(x, ctx.read(x) / 2); });
+  EXPECT_TRUE(wrote);
+  VarSet rs;
+  rs.add(x);
+  EXPECT_EQ(rt.atomically(rs, VarSet(),
+                          [&](TxContext& c) { return c.read(x); }),
+            250);
+}
+
+TEST(Stm, ConcurrentUpgradeablesMaintainInvariant) {
+  // Threads decrement a counter only while positive, via upgradeable
+  // transactions.  The commit segment must re-read (Sec. 3.6 caveat): if
+  // it blindly reused the decision-segment value, the counter would go
+  // negative under contention.
+  StmRuntime rt;
+  Var<long> counter(rt, 2000);
+  VarSet s;
+  s.add(counter);
+  rt.declare_upgradeable(s);
+  rt.freeze();
+
+  std::vector<std::thread> threads;
+  std::atomic<long> decrements{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < 400; ++k) {
+        const bool wrote = rt.atomically_upgradeable(
+            s,
+            [&](const TxContext& ctx) { return ctx.read(counter) > 0; },
+            [&](TxContext& ctx) {
+              const long v = ctx.read(counter);  // re-read!
+              if (v > 0) {
+                ctx.write(counter, v - 1);
+                decrements.fetch_add(1);
+              }
+            });
+        (void)wrote;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const long final_val = rt.atomically(s, VarSet(), [&](TxContext& ctx) {
+    return ctx.read(counter);
+  });
+  EXPECT_GE(final_val, 0);
+  EXPECT_EQ(final_val, 2000 - decrements.load());
+}
+
+TEST(Stm, DisjointTransactionsRunConcurrently) {
+  // Two disjoint variables: transactions on them must be able to overlap.
+  StmRuntime rt;
+  Var<int> x(rt, 0);
+  Var<int> y(rt, 0);
+  VarSet sx, sy;
+  sx.add(x);
+  sy.add(y);
+  rt.declare_transaction(VarSet(), sx);
+  rt.declare_transaction(VarSet(), sy);
+  rt.freeze();
+
+  std::atomic<int> inside{0}, peak{0};
+  auto worker = [&](VarSet& s, auto& var) {
+    for (int k = 0; k < 1000; ++k) {
+      rt.atomically(VarSet(), s, [&](TxContext& ctx) {
+        const int now = inside.fetch_add(1) + 1;
+        int p = peak.load();
+        while (now > p && !peak.compare_exchange_weak(p, now)) {
+        }
+        // Yield inside the transaction so the disjoint transaction on the
+        // other variable can interleave even on a single-core host.
+        std::this_thread::yield();
+        ctx.write(var, ctx.read(var) + 1);
+        inside.fetch_sub(1);
+        return 0;
+      });
+    }
+  };
+  std::thread a([&] { worker(sx, x); });
+  std::thread b([&] { worker(sy, y); });
+  a.join();
+  b.join();
+  EXPECT_GE(peak.load(), 2);
+}
+
+}  // namespace
+}  // namespace rwrnlp::stm

@@ -1,0 +1,168 @@
+#include "tasksys/generator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rwrnlp::tasksys {
+namespace {
+
+TEST(UUniFast, SumsToTotal) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto u = uunifast(rng, 8, 3.0);
+    ASSERT_EQ(u.size(), 8u);
+    double sum = 0;
+    for (double x : u) {
+      EXPECT_GT(x, 0.0);
+      EXPECT_LE(x, 1.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 3.0, 1e-9);
+  }
+}
+
+TEST(UUniFast, SingleTask) {
+  Rng rng(5);
+  const auto u = uunifast(rng, 1, 0.7);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_DOUBLE_EQ(u[0], 0.7);
+}
+
+TEST(UUniFast, RejectsInfeasible) {
+  Rng rng(5);
+  EXPECT_THROW(uunifast(rng, 2, 2.5), std::invalid_argument);
+  EXPECT_THROW(uunifast(rng, 2, 0.0), std::invalid_argument);
+}
+
+TEST(Generator, ProducesValidSystems) {
+  Rng rng(42);
+  GeneratorConfig cfg;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto sys = generate(rng, cfg);
+    EXPECT_EQ(sys.tasks.size(), cfg.num_tasks);
+    EXPECT_NO_THROW(sys.validate());
+    // Utilization within a small tolerance of the target (compute floor of
+    // 0.01 can add a little).
+    EXPECT_NEAR(sys.total_utilization(), cfg.total_utilization,
+                0.25 * cfg.total_utilization + 0.2);
+  }
+}
+
+TEST(Generator, PeriodsWithinRange) {
+  Rng rng(7);
+  GeneratorConfig cfg;
+  cfg.period_min = 20;
+  cfg.period_max = 40;
+  const auto sys = generate(rng, cfg);
+  for (const auto& t : sys.tasks) {
+    EXPECT_GE(t.period, 20.0);
+    EXPECT_LE(t.period, 40.0);
+    EXPECT_DOUBLE_EQ(t.deadline, t.period);  // implicit deadlines
+  }
+}
+
+TEST(Generator, ReadRatioExtremes) {
+  Rng rng(11);
+  GeneratorConfig cfg;
+  cfg.read_ratio = 1.0;
+  cfg.access_prob = 1.0;
+  const auto all_reads = generate(rng, cfg);
+  for (const auto& t : all_reads.tasks)
+    for (const auto& s : t.segments) EXPECT_FALSE(s.cs.is_write());
+
+  cfg.read_ratio = 0.0;
+  const auto all_writes = generate(rng, cfg);
+  for (const auto& t : all_writes.tasks)
+    for (const auto& s : t.segments) EXPECT_TRUE(s.cs.is_write());
+}
+
+TEST(Generator, NestingWidthBounded) {
+  Rng rng(13);
+  GeneratorConfig cfg;
+  cfg.max_nesting = 2;
+  cfg.access_prob = 1.0;
+  const auto sys = generate(rng, cfg);
+  for (const auto& t : sys.tasks)
+    for (const auto& s : t.segments)
+      EXPECT_LE((s.cs.reads | s.cs.writes).count(), 2u);
+}
+
+TEST(Generator, MixedRequestsWhenEnabled) {
+  Rng rng(17);
+  GeneratorConfig cfg;
+  cfg.mixed_prob = 1.0;
+  cfg.read_ratio = 0.0;
+  cfg.access_prob = 1.0;
+  cfg.max_nesting = 3;
+  const auto sys = generate(rng, cfg);
+  bool saw_mixed = false;
+  for (const auto& t : sys.tasks)
+    for (const auto& s : t.segments)
+      if (!s.cs.reads.empty() && !s.cs.writes.empty()) saw_mixed = true;
+  EXPECT_TRUE(saw_mixed);
+}
+
+TEST(Generator, CsLengthsWithinRange) {
+  Rng rng(19);
+  GeneratorConfig cfg;
+  cfg.cs_min = 0.2;
+  cfg.cs_max = 0.3;
+  cfg.access_prob = 1.0;
+  const auto sys = generate(rng, cfg);
+  for (const auto& t : sys.tasks)
+    for (const auto& s : t.segments) {
+      EXPECT_GE(s.cs.length, 0.2);
+      EXPECT_LE(s.cs.length, 0.3);
+    }
+}
+
+TEST(Generator, UpgradeableSectionsWhenEnabled) {
+  Rng rng(21);
+  GeneratorConfig cfg;
+  cfg.upgradeable_prob = 1.0;
+  cfg.access_prob = 1.0;
+  const auto sys = generate(rng, cfg);
+  std::size_t upgradeable = 0;
+  for (const auto& t : sys.tasks)
+    for (const auto& s : t.segments) {
+      EXPECT_TRUE(s.cs.upgradeable);
+      EXPECT_TRUE(s.cs.writes.empty());
+      EXPECT_GT(s.cs.write_segment_len, 0.0);
+      ++upgradeable;
+    }
+  EXPECT_GT(upgradeable, 0u);
+  EXPECT_NO_THROW(sys.validate());
+}
+
+TEST(Generator, IncrementalSectionsWhenEnabled) {
+  Rng rng(23);
+  GeneratorConfig cfg;
+  cfg.incremental_prob = 1.0;
+  cfg.read_ratio = 0.0;
+  cfg.access_prob = 1.0;
+  cfg.max_nesting = 3;
+  const auto sys = generate(rng, cfg);
+  bool saw_incremental = false;
+  for (const auto& t : sys.tasks)
+    for (const auto& s : t.segments)
+      if (s.cs.incremental) {
+        saw_incremental = true;
+        EXPECT_GT((s.cs.reads | s.cs.writes).count(), 1u);
+      }
+  EXPECT_TRUE(saw_incremental);
+  EXPECT_NO_THROW(sys.validate());
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  GeneratorConfig cfg;
+  Rng a(99), b(99);
+  const auto s1 = generate(a, cfg);
+  const auto s2 = generate(b, cfg);
+  ASSERT_EQ(s1.tasks.size(), s2.tasks.size());
+  for (std::size_t i = 0; i < s1.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s1.tasks[i].period, s2.tasks[i].period);
+    EXPECT_EQ(s1.tasks[i].segments.size(), s2.tasks[i].segments.size());
+  }
+}
+
+}  // namespace
+}  // namespace rwrnlp::tasksys

@@ -1,0 +1,132 @@
+#include "tasksys/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tasksys/generator.hpp"
+
+namespace rwrnlp::tasksys {
+namespace {
+
+sched::TaskSystem sample_system() {
+  sched::TaskSystem sys;
+  sys.num_processors = 4;
+  sys.cluster_size = 2;
+  sys.num_resources = 3;
+  sched::TaskParams t;
+  t.id = 7;
+  t.period = 12.5;
+  t.deadline = 10;
+  t.phase = 0.25;
+  t.fixed_priority = 3;
+  t.cluster = 1;
+  t.final_compute = 1.75;
+  sched::Segment s1;
+  s1.compute_before = 0.5;
+  s1.cs.reads = ResourceSet(3, {0, 2});
+  s1.cs.writes = ResourceSet(3);
+  s1.cs.length = 0.3;
+  sched::Segment s2;
+  s2.compute_before = 0.1;
+  s2.cs.reads = ResourceSet(3);
+  s2.cs.writes = ResourceSet(3, {1});
+  s2.cs.length = 0.2;
+  t.segments.push_back(s1);
+  t.segments.push_back(s2);
+  sys.tasks.push_back(t);
+  return sys;
+}
+
+void expect_same(const sched::TaskSystem& a, const sched::TaskSystem& b) {
+  EXPECT_EQ(a.num_processors, b.num_processors);
+  EXPECT_EQ(a.cluster_size, b.cluster_size);
+  EXPECT_EQ(a.num_resources, b.num_resources);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    const auto& ta = a.tasks[i];
+    const auto& tb = b.tasks[i];
+    EXPECT_EQ(ta.id, tb.id);
+    EXPECT_DOUBLE_EQ(ta.period, tb.period);
+    EXPECT_DOUBLE_EQ(ta.deadline, tb.deadline);
+    EXPECT_DOUBLE_EQ(ta.phase, tb.phase);
+    EXPECT_EQ(ta.fixed_priority, tb.fixed_priority);
+    EXPECT_EQ(ta.cluster, tb.cluster);
+    EXPECT_DOUBLE_EQ(ta.final_compute, tb.final_compute);
+    ASSERT_EQ(ta.segments.size(), tb.segments.size());
+    for (std::size_t k = 0; k < ta.segments.size(); ++k) {
+      EXPECT_DOUBLE_EQ(ta.segments[k].compute_before,
+                       tb.segments[k].compute_before);
+      EXPECT_DOUBLE_EQ(ta.segments[k].cs.length, tb.segments[k].cs.length);
+      EXPECT_EQ(ta.segments[k].cs.reads, tb.segments[k].cs.reads);
+      EXPECT_EQ(ta.segments[k].cs.writes, tb.segments[k].cs.writes);
+    }
+  }
+}
+
+TEST(Serialize, RoundTripSample) {
+  const auto sys = sample_system();
+  const auto again = from_text(to_text(sys));
+  expect_same(sys, again);
+}
+
+TEST(Serialize, RoundTripGenerated) {
+  Rng rng(123);
+  GeneratorConfig cfg;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto sys = generate(rng, cfg);
+    const auto again = from_text(to_text(sys));
+    expect_same(sys, again);
+  }
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const std::string text = R"(# a workload
+taskset v1
+
+platform processors=1 cluster=1 resources=1
+# the only task
+task id=0 period=10 deadline=10 phase=0 prio=0 cluster=0 final=1
+cs pre=0.5 len=0.2 reads=0 writes=   # trailing comment
+)";
+  const auto sys = from_text(text);
+  ASSERT_EQ(sys.tasks.size(), 1u);
+  EXPECT_EQ(sys.tasks[0].segments.size(), 1u);
+  EXPECT_TRUE(sys.tasks[0].segments[0].cs.reads.test(0));
+}
+
+TEST(Serialize, Errors) {
+  EXPECT_THROW(from_text(""), std::invalid_argument);  // no header
+  EXPECT_THROW(from_text("taskset v2\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("taskset v1\n"), std::invalid_argument);  // no platform
+  EXPECT_THROW(from_text("taskset v1\nbogus x=1\n"), std::invalid_argument);
+  EXPECT_THROW(
+      from_text("taskset v1\nplatform processors=1 cluster=1 resources=1\n"
+                "cs pre=1 len=1 reads= writes=0\n"),
+      std::invalid_argument);  // cs before task
+  EXPECT_THROW(
+      from_text("taskset v1\nplatform processors=1 cluster=1 resources=1\n"
+                "task id=0 period=10 deadline=10 phase=0 prio=0 cluster=0 "
+                "final=1\n"
+                "cs pre=1 len=1 reads=5 writes=\n"),
+      std::invalid_argument);  // resource out of range
+  EXPECT_THROW(
+      from_text("taskset v1\nplatform processors=1 cluster=1 resources=1\n"
+                "task id=0 period=10 deadline=10\n"),
+      std::invalid_argument);  // missing fields
+  EXPECT_THROW(
+      from_text("taskset v1\nplatform processors=1 cluster=1 resources=1\n"
+                "task id=0 period=abc deadline=10 phase=0 prio=0 cluster=0 "
+                "final=1\n"),
+      std::invalid_argument);  // bad number
+}
+
+TEST(Serialize, ParsedSystemIsValidated) {
+  // period <= 0 passes parsing but fails TaskSystem::validate().
+  EXPECT_THROW(
+      from_text("taskset v1\nplatform processors=1 cluster=1 resources=1\n"
+                "task id=0 period=0 deadline=10 phase=0 prio=0 cluster=0 "
+                "final=1\n"),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rwrnlp::tasksys

@@ -1,0 +1,132 @@
+#include "util/resource_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rwrnlp {
+namespace {
+
+TEST(ResourceSet, StartsEmpty) {
+  ResourceSet s(10);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  for (ResourceId r = 0; r < 10; ++r) EXPECT_FALSE(s.test(r));
+}
+
+TEST(ResourceSet, SetResetTest) {
+  ResourceSet s(100);
+  s.set(0);
+  s.set(63);
+  s.set(64);
+  s.set(99);
+  EXPECT_TRUE(s.test(0));
+  EXPECT_TRUE(s.test(63));
+  EXPECT_TRUE(s.test(64));
+  EXPECT_TRUE(s.test(99));
+  EXPECT_FALSE(s.test(1));
+  EXPECT_EQ(s.count(), 4u);
+  s.reset(63);
+  EXPECT_FALSE(s.test(63));
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(ResourceSet, InitializerList) {
+  ResourceSet s(8, {1, 3, 5});
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_TRUE(s.test(1));
+  EXPECT_TRUE(s.test(3));
+  EXPECT_TRUE(s.test(5));
+}
+
+TEST(ResourceSet, OutOfRangeThrows) {
+  ResourceSet s(5);
+  EXPECT_THROW(s.set(5), std::invalid_argument);
+  EXPECT_THROW(s.test(100), std::invalid_argument);
+}
+
+TEST(ResourceSet, UnionIntersectionDifference) {
+  ResourceSet a(10, {1, 2, 3});
+  ResourceSet b(10, {3, 4, 5});
+  EXPECT_EQ((a | b), ResourceSet(10, {1, 2, 3, 4, 5}));
+  EXPECT_EQ((a & b), ResourceSet(10, {3}));
+  EXPECT_EQ((a - b), ResourceSet(10, {1, 2}));
+  EXPECT_EQ((b - a), ResourceSet(10, {4, 5}));
+}
+
+TEST(ResourceSet, IntersectsAndSubset) {
+  ResourceSet a(70, {0, 65});
+  ResourceSet b(70, {65});
+  ResourceSet c(70, {1, 2});
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(b.is_subset_of(a));
+  EXPECT_FALSE(a.is_subset_of(b));
+  EXPECT_TRUE(ResourceSet(70).is_subset_of(b));  // empty set subset of all
+}
+
+TEST(ResourceSet, Equality) {
+  ResourceSet a(10, {1, 2});
+  ResourceSet b(10, {1, 2});
+  ResourceSet c(10, {1});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(ResourceSet, ForEachAscending) {
+  ResourceSet s(130, {129, 0, 64, 7});
+  std::vector<ResourceId> seen;
+  s.for_each([&](ResourceId r) { seen.push_back(r); });
+  EXPECT_EQ(seen, (std::vector<ResourceId>{0, 7, 64, 129}));
+  EXPECT_EQ(s.to_vector(), seen);
+}
+
+TEST(ResourceSet, Clear) {
+  ResourceSet s(10, {1, 2, 3});
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ResourceSet, Printing) {
+  ResourceSet s(10, {0, 2});
+  std::ostringstream os;
+  os << s;
+  EXPECT_EQ(os.str(), "{l0, l2}");
+  EXPECT_EQ(ResourceSet(4).to_string(), "{}");
+}
+
+TEST(ResourceSet, ResizeGrowsAndPreserves) {
+  ResourceSet s(3, {0, 2});
+  s.resize(10);
+  EXPECT_EQ(s.universe(), 10u);
+  EXPECT_TRUE(s.test(0));
+  EXPECT_TRUE(s.test(2));
+  EXPECT_FALSE(s.test(9));
+  s.set(9);
+  EXPECT_TRUE(s.test(9));
+  // Shrinking is a no-op.
+  s.resize(2);
+  EXPECT_EQ(s.universe(), 10u);
+  EXPECT_TRUE(s.test(9));
+}
+
+TEST(ResourceSet, UnionGrowsToLargerUniverse) {
+  ResourceSet small(2, {1});
+  ResourceSet big(100, {64});
+  small |= big;
+  EXPECT_EQ(small.universe(), 100u);
+  EXPECT_TRUE(small.test(1));
+  EXPECT_TRUE(small.test(64));
+}
+
+TEST(ResourceSet, LargeUniverse) {
+  ResourceSet s(1000);
+  for (ResourceId r = 0; r < 1000; r += 37) s.set(r);
+  std::size_t expect = 0;
+  for (ResourceId r = 0; r < 1000; r += 37) ++expect;
+  EXPECT_EQ(s.count(), expect);
+  EXPECT_TRUE(s.test(999 - (999 % 37)));
+}
+
+}  // namespace
+}  // namespace rwrnlp

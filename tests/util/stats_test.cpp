@@ -1,0 +1,88 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rwrnlp {
+namespace {
+
+TEST(StatAccumulator, BasicMoments) {
+  StatAccumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(StatAccumulator, EmptyThrows) {
+  StatAccumulator a;
+  EXPECT_THROW(a.mean(), std::invalid_argument);
+  EXPECT_THROW(a.min(), std::invalid_argument);
+  EXPECT_THROW(a.max(), std::invalid_argument);
+}
+
+TEST(StatAccumulator, SingleSample) {
+  StatAccumulator a;
+  a.add(3.5);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(StatAccumulator, MergeMatchesSequential) {
+  StatAccumulator all, left, right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3;
+    all.add(x);
+    (i < 20 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(StatAccumulator, MergeWithEmpty) {
+  StatAccumulator a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, UnsortedInsertionOrder) {
+  SampleSet s;
+  for (double x : {9.0, 1.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  s.add(0.0);  // resort after more samples
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+}
+
+TEST(SampleSet, GuardsEmptyAndBadPercentile) {
+  SampleSet s;
+  EXPECT_THROW(s.percentile(50), std::invalid_argument);
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW(s.percentile(101), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rwrnlp
