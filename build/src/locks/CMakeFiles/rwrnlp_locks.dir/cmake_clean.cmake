@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwrnlp_locks.dir/spin_rw_rnlp.cpp.o"
+  "CMakeFiles/rwrnlp_locks.dir/spin_rw_rnlp.cpp.o.d"
+  "CMakeFiles/rwrnlp_locks.dir/suspend_rw_rnlp.cpp.o"
+  "CMakeFiles/rwrnlp_locks.dir/suspend_rw_rnlp.cpp.o.d"
+  "librwrnlp_locks.a"
+  "librwrnlp_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwrnlp_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
