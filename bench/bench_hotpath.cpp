@@ -1,0 +1,323 @@
+// Hot-path benchmark: ns/op and allocations/op for the concurrent R/W RNLP.
+//
+// Compares three configurations of the same protocol on identical workloads:
+//
+//   baseline  SpinRwRnlp with the uncontended-read fast path disabled —
+//             every acquire runs the full entitlement/satisfaction fixpoint
+//             under one global ticket lock (the pre-optimization hot path).
+//   fastpath  SpinRwRnlp with the fast path enabled.
+//   sharded   ShardedRwRnlp over kComponents disjoint resource components,
+//             fast path enabled — invocations in different components do not
+//             serialize on a common mutex.
+//
+// Workloads (requests confined to per-thread home components so every
+// configuration can run them): read-only (uncontended), write-heavy, and
+// 90/10 mixed, each at 1/2/4/8 threads.  Reported per run: p50/p99 ns per
+// acquire+release pair and aggregate ops/s.  A single-threaded phase counts
+// heap allocations per steady-state op via a global operator new hook; the
+// engine is expected to be allocation-free once warm.
+//
+// Output: human-readable table on stdout plus machine-readable JSON written
+// to argv[1] (default "BENCH_hotpath.json").
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "locks/sharded_rw_rnlp.hpp"
+#include "locks/spin_rw_rnlp.hpp"
+#include "util/rng.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation-counting operator new hook.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace rwrnlp::bench {
+namespace {
+
+using locks::MultiResourceLock;
+using locks::ShardedRwRnlp;
+using locks::SpinRwRnlp;
+
+constexpr std::size_t kQ = 32;
+constexpr std::size_t kComponents = 4;
+constexpr std::size_t kCompSize = kQ / kComponents;
+
+enum class Workload { ReadOnly, WriteHeavy, Mixed };
+
+const char* to_string(Workload w) {
+  switch (w) {
+    case Workload::ReadOnly: return "read-only";
+    case Workload::WriteHeavy: return "write-heavy";
+    case Workload::Mixed: return "mixed-90-10";
+  }
+  return "?";
+}
+
+struct Op {
+  ResourceSet reads;
+  ResourceSet writes;
+};
+
+/// Pre-generates a thread's request stream: 2-resource sets drawn from the
+/// thread's home component (thread_id % kComponents), so the stream is valid
+/// for both the sharded and unsharded locks and read-only streams never
+/// conflict.
+std::vector<Op> make_ops(std::size_t thread_id, Workload w, std::size_t n,
+                         std::uint64_t seed) {
+  Rng rng(seed ^ (0x9e3779b97f4a7c15ull * (thread_id + 1)));
+  const std::size_t comp = thread_id % kComponents;
+  const ResourceId base = static_cast<ResourceId>(comp * kCompSize);
+  std::vector<Op> ops;
+  ops.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ResourceId a = base + static_cast<ResourceId>(rng.next_below(kCompSize));
+    ResourceId b = base + static_cast<ResourceId>(rng.next_below(kCompSize));
+    if (b == a) b = base + static_cast<ResourceId>((a - base + 1) % kCompSize);
+    ResourceSet rs(kQ, {a, b});
+    Op op{ResourceSet(kQ), ResourceSet(kQ)};
+    const bool write = w == Workload::WriteHeavy ||
+                       (w == Workload::Mixed && rng.chance(0.1));
+    (write ? op.writes : op.reads) = rs;
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+struct RunResult {
+  double p50_ns = 0;
+  double p99_ns = 0;
+  double ops_per_sec = 0;
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = lo + 1 < v.size() ? lo + 1 : lo;
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1 - frac) + v[hi] * frac;
+}
+
+RunResult run_workload(MultiResourceLock& lock, Workload w,
+                       std::size_t threads, std::size_t ops_per_thread) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::vector<Op>> streams;
+  std::vector<std::vector<double>> samples(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    streams.push_back(make_ops(t, w, ops_per_thread, /*seed=*/42));
+    samples[t].reserve(ops_per_thread);
+  }
+  std::atomic<std::size_t> ready{0};
+  std::atomic<bool> go{false};
+  auto body = [&](std::size_t tid) {
+    const std::vector<Op>& ops = streams[tid];
+    std::vector<double>& out = samples[tid];
+    ready.fetch_add(1);
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    for (const Op& op : ops) {
+      const auto t0 = Clock::now();
+      locks::LockToken tok = lock.acquire(op.reads, op.writes);
+      lock.release(tok);
+      const auto t1 = Clock::now();
+      out.push_back(
+          std::chrono::duration<double, std::nano>(t1 - t0).count());
+    }
+  };
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(body, t);
+  while (ready.load() != threads) {
+  }
+  const auto start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  const auto stop = Clock::now();
+
+  std::vector<double> all;
+  all.reserve(threads * ops_per_thread);
+  for (auto& s : samples) all.insert(all.end(), s.begin(), s.end());
+  RunResult r;
+  r.p50_ns = percentile(all, 0.50);
+  r.p99_ns = percentile(all, 0.99);
+  const double secs = std::chrono::duration<double>(stop - start).count();
+  r.ops_per_sec = static_cast<double>(threads * ops_per_thread) / secs;
+  return r;
+}
+
+/// Steady-state allocations per acquire+release, measured single-threaded
+/// after a warm-up that grows every container to its working capacity.
+double measure_allocs_per_op(MultiResourceLock& lock, Workload w) {
+  const std::size_t kWarmup = 4000;
+  const std::size_t kMeasured = 8000;
+  std::vector<Op> ops = make_ops(0, w, kWarmup + kMeasured, /*seed=*/7);
+  for (std::size_t i = 0; i < kWarmup; ++i) {
+    locks::LockToken tok = lock.acquire(ops[i].reads, ops[i].writes);
+    lock.release(tok);
+  }
+  const std::uint64_t before = g_alloc_count.load();
+  for (std::size_t i = kWarmup; i < kWarmup + kMeasured; ++i) {
+    locks::LockToken tok = lock.acquire(ops[i].reads, ops[i].writes);
+    lock.release(tok);
+  }
+  const std::uint64_t after = g_alloc_count.load();
+  return static_cast<double>(after - before) / static_cast<double>(kMeasured);
+}
+
+struct LockConfig {
+  std::string key;
+  std::unique_ptr<MultiResourceLock> (*make)();
+};
+
+std::unique_ptr<MultiResourceLock> make_baseline() {
+  auto lock = std::make_unique<SpinRwRnlp>(kQ);
+  lock->set_read_fast_path(false);
+  return lock;
+}
+
+std::unique_ptr<MultiResourceLock> make_fastpath() {
+  return std::make_unique<SpinRwRnlp>(kQ);
+}
+
+std::unique_ptr<MultiResourceLock> make_sharded() {
+  std::vector<ResourceSet> comps;
+  for (std::size_t c = 0; c < kComponents; ++c) {
+    ResourceSet rs(kQ);
+    for (std::size_t i = 0; i < kCompSize; ++i)
+      rs.set(static_cast<ResourceId>(c * kCompSize + i));
+    comps.push_back(std::move(rs));
+  }
+  return std::make_unique<ShardedRwRnlp>(kQ, std::move(comps));
+}
+
+}  // namespace
+}  // namespace rwrnlp::bench
+
+int main(int argc, char** argv) {
+  using namespace rwrnlp;
+  using namespace rwrnlp::bench;
+
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_hotpath.json";
+  const std::size_t kOps = 20000;
+  const std::size_t kThreadCounts[] = {1, 2, 4, 8};
+  const Workload kWorkloads[] = {Workload::ReadOnly, Workload::WriteHeavy,
+                                 Workload::Mixed};
+  const LockConfig kConfigs[] = {
+      {"baseline", make_baseline},
+      {"fastpath", make_fastpath},
+      {"sharded", make_sharded},
+  };
+
+  std::ostringstream rows;
+  bool first_row = true;
+
+  header("hot path: ns/op (p50/p99) and ops/s");
+  std::printf("  %-12s %-12s %8s %12s %12s %14s\n", "lock", "workload",
+              "threads", "p50 ns", "p99 ns", "ops/s");
+
+  // speedups[workload][threads] for the read-only acceptance check.
+  double readonly_baseline_4t = 0, readonly_fastpath_4t = 0,
+         readonly_sharded_4t = 0;
+
+  for (const LockConfig& cfg : kConfigs) {
+    for (Workload w : kWorkloads) {
+      for (std::size_t threads : kThreadCounts) {
+        auto lock = cfg.make();
+        const RunResult r = run_workload(*lock, w, threads, kOps);
+        std::printf("  %-12s %-12s %8zu %12.1f %12.1f %14.0f\n",
+                    cfg.key.c_str(), to_string(w), threads, r.p50_ns,
+                    r.p99_ns, r.ops_per_sec);
+        if (w == Workload::ReadOnly && threads == 4) {
+          if (cfg.key == "baseline") readonly_baseline_4t = r.ops_per_sec;
+          if (cfg.key == "fastpath") readonly_fastpath_4t = r.ops_per_sec;
+          if (cfg.key == "sharded") readonly_sharded_4t = r.ops_per_sec;
+        }
+        if (!first_row) rows << ",\n";
+        first_row = false;
+        rows << "    {\"lock\": \"" << cfg.key << "\", \"workload\": \""
+             << to_string(w) << "\", \"threads\": " << threads
+             << ", \"p50_ns\": " << r.p50_ns << ", \"p99_ns\": " << r.p99_ns
+             << ", \"ops_per_sec\": " << r.ops_per_sec << "}";
+      }
+    }
+  }
+
+  header("steady-state allocations per op (single-threaded)");
+  std::ostringstream alloc_json;
+  bool first_alloc = true;
+  for (const LockConfig& cfg : kConfigs) {
+    for (Workload w : kWorkloads) {
+      auto lock = cfg.make();
+      const double allocs = measure_allocs_per_op(*lock, w);
+      std::printf("  %-12s %-12s %10.4f allocs/op\n", cfg.key.c_str(),
+                  to_string(w), allocs);
+      check(allocs == 0.0, std::string(cfg.key) + " " + to_string(w) +
+                               ": zero steady-state allocations/op");
+      if (!first_alloc) alloc_json << ",\n";
+      first_alloc = false;
+      alloc_json << "    {\"lock\": \"" << cfg.key << "\", \"workload\": \""
+                 << to_string(w) << "\", \"allocs_per_op\": " << allocs
+                 << "}";
+    }
+  }
+
+  header("uncontended-read speedup vs pre-optimization baseline (4 threads)");
+  const double fastpath_speedup =
+      readonly_baseline_4t > 0 ? readonly_fastpath_4t / readonly_baseline_4t
+                               : 0;
+  const double sharded_speedup =
+      readonly_baseline_4t > 0 ? readonly_sharded_4t / readonly_baseline_4t
+                               : 0;
+  std::printf("  fast path only : %.2fx\n", fastpath_speedup);
+  std::printf("  sharded + fast : %.2fx\n", sharded_speedup);
+  const double best = fastpath_speedup > sharded_speedup ? fastpath_speedup
+                                                         : sharded_speedup;
+  check(best >= 2.0, "uncontended-read throughput >= 2x baseline");
+
+  std::ofstream js(json_path);
+  js << "{\n"
+     << "  \"bench\": \"hotpath\",\n"
+     << "  \"q\": " << kQ << ",\n"
+     << "  \"components\": " << kComponents << ",\n"
+     << "  \"ops_per_thread\": " << kOps << ",\n"
+     << "  \"workloads\": [\n"
+     << rows.str() << "\n  ],\n"
+     << "  \"allocations\": [\n"
+     << alloc_json.str() << "\n  ],\n"
+     << "  \"read_only_speedup_4t\": {\"fastpath\": " << fastpath_speedup
+     << ", \"sharded\": " << sharded_speedup << "}\n"
+     << "}\n";
+  js.close();
+  check(js.good(), "json written to " + json_path);
+
+  return finish();
+}

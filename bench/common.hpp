@@ -1,15 +1,47 @@
 // Shared helpers for the benchmark harnesses.
+//
+// Every bench binary funnels its pass/fail decisions through check() and
+// reports via finish().  finish() returns the process exit code, but a bench
+// that exits some other way (early return, uncaught exception path, a main()
+// that forgets to propagate finish()) used to exit 0 even with failed
+// checks — which silently passes when the binary is driven by ctest or the
+// `bench` target.  check() therefore arms an atexit guard that forces a
+// nonzero exit whenever failures are outstanding at process exit.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 namespace rwrnlp::bench {
 
 inline int g_failures = 0;
+inline bool g_finish_reported = false;
+
+namespace detail {
+
+inline void exit_code_guard() {
+  if (g_failures > 0 && !g_finish_reported) {
+    std::printf("\n%d bench check(s) FAILED (exit forced nonzero).\n",
+                g_failures);
+    std::fflush(stdout);
+    std::_Exit(1);
+  }
+}
+
+inline void arm_exit_guard() {
+  static const bool armed = [] {
+    std::atexit(exit_code_guard);
+    return true;
+  }();
+  (void)armed;
+}
+
+}  // namespace detail
 
 inline void check(bool ok, const std::string& what) {
+  detail::arm_exit_guard();
   std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what.c_str());
   if (!ok) ++g_failures;
 }
@@ -19,6 +51,7 @@ inline void header(const std::string& title) {
 }
 
 inline int finish() {
+  g_finish_reported = true;
   if (g_failures == 0) {
     std::printf("\nAll checks passed.\n");
     return 0;

@@ -93,14 +93,13 @@ class TwoPhaseLock final : public MultiResourceLock {
     auto* held = static_cast<HeldSets*>(token.data);
     // Reverse order release.
     const ResourceSet all = held->reads | held->writes;
-    const auto ids = all.to_vector();
-    for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
-      if (held->writes.test(*it)) {
-        locks_[*it].write_unlock();
+    all.for_each_reverse([&](ResourceId r) {
+      if (held->writes.test(r)) {
+        locks_[r].write_unlock();
       } else {
-        locks_[*it].read_unlock();
+        locks_[r].read_unlock();
       }
-    }
+    });
     delete held;
   }
 

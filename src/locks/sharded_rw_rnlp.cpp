@@ -1,0 +1,121 @@
+#include "locks/sharded_rw_rnlp.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace rwrnlp::locks {
+
+ShardedRwRnlp::ShardedRwRnlp(std::size_t num_resources,
+                             std::vector<ResourceSet> components,
+                             rsm::ReadShareTable shares,
+                             rsm::WriteExpansion expansion)
+    : q_(num_resources),
+      component_sets_(std::move(components)),
+      component_of_(num_resources, UINT32_MAX) {
+  RWRNLP_REQUIRE(shares.num_resources() == num_resources,
+                 "read-share table size (" << shares.num_resources()
+                                           << ") != resource count ("
+                                           << num_resources << ")");
+  // Disjointness + coverage map.
+  for (std::size_t c = 0; c < component_sets_.size(); ++c) {
+    const ResourceSet& rs = component_sets_[c];
+    RWRNLP_REQUIRE(!rs.empty(), "component " << c << " is empty");
+    rs.for_each([&](ResourceId l) {
+      RWRNLP_REQUIRE(l < num_resources,
+                     "component " << c << " resource l" << l
+                                  << " outside universe (q=" << num_resources
+                                  << ")");
+      RWRNLP_REQUIRE(component_of_[l] == UINT32_MAX,
+                     "components overlap on l" << l);
+      component_of_[l] = static_cast<std::uint32_t>(c);
+    });
+  }
+  // Uncovered resources become singleton components.
+  for (ResourceId l = 0; l < num_resources; ++l) {
+    if (component_of_[l] == UINT32_MAX) {
+      component_of_[l] = static_cast<std::uint32_t>(component_sets_.size());
+      component_sets_.push_back(ResourceSet(num_resources, {l}));
+    }
+  }
+  // The partition must be closed under the read-share relation: a write
+  // needing l claims (or placeholders over) closure({l}), and a domain that
+  // crossed components would need two shards' state in one atomic
+  // invocation.  Rejecting such share tables here is what preserves the
+  // per-component Thm. 1/Thm. 2 bounds verbatim.
+  for (std::size_t c = 0; c < component_sets_.size(); ++c) {
+    const ResourceSet closure = shares.closure(component_sets_[c]);
+    RWRNLP_REQUIRE(closure.is_subset_of(component_sets_[c]),
+                   "read-share relation crosses component "
+                       << c << ": closure " << closure.to_string()
+                       << " escapes " << component_sets_[c].to_string());
+  }
+  // Each shard runs over the full (global) resource numbering; it only ever
+  // sees requests confined to its component, so cross-shard state stays
+  // untouched by construction.
+  shards_.reserve(component_sets_.size());
+  for (std::size_t c = 0; c < component_sets_.size(); ++c) {
+    shards_.push_back(std::make_unique<SpinRwRnlp>(
+        num_resources, shares, expansion, /*reads_as_writes=*/false));
+  }
+}
+
+ShardedRwRnlp::ShardedRwRnlp(std::size_t num_resources,
+                             std::vector<ResourceSet> components,
+                             rsm::WriteExpansion expansion)
+    : ShardedRwRnlp(num_resources, std::move(components),
+                    rsm::ReadShareTable(num_resources), expansion) {}
+
+std::size_t ShardedRwRnlp::component_of(ResourceId l) const {
+  RWRNLP_REQUIRE(l < q_, "resource l" << l << " outside universe (q=" << q_
+                                      << ")");
+  return component_of_[l];
+}
+
+const ResourceSet& ShardedRwRnlp::component_resources(std::size_t c) const {
+  RWRNLP_REQUIRE(c < component_sets_.size(), "bad component index " << c);
+  return component_sets_[c];
+}
+
+void ShardedRwRnlp::set_read_fast_path(bool enabled) {
+  for (auto& s : shards_) s->set_read_fast_path(enabled);
+}
+
+SpinRwRnlp& ShardedRwRnlp::route(const ResourceSet& reads,
+                                 const ResourceSet& writes,
+                                 std::size_t* component_out) {
+  const ResourceSet footprint = reads | writes;
+  RWRNLP_REQUIRE(!footprint.empty(), "request needs at least one resource");
+  const ResourceId lead = footprint.first();
+  RWRNLP_REQUIRE(lead < q_, "resource l" << lead << " outside universe (q="
+                                         << q_ << ")");
+  const std::size_t c = component_of_[lead];
+  RWRNLP_REQUIRE(footprint.is_subset_of(component_sets_[c]),
+                 "request " << footprint.to_string()
+                            << " spans multiple components; declare a merged "
+                               "component for this request shape");
+  if (component_out) *component_out = c;
+  return *shards_[c];
+}
+
+LockToken ShardedRwRnlp::acquire(const ResourceSet& reads,
+                                 const ResourceSet& writes) {
+  std::size_t c = 0;
+  SpinRwRnlp& shard = route(reads, writes, &c);
+  LockToken token = shard.acquire(reads, writes);
+  token.data = &shard;  // remembers the owning shard for release()
+  return token;
+}
+
+void ShardedRwRnlp::release(LockToken token) {
+  RWRNLP_REQUIRE(token.data != nullptr, "release of foreign token");
+  static_cast<SpinRwRnlp*>(token.data)->release(token);
+}
+
+std::string ShardedRwRnlp::name() const {
+  std::ostringstream os;
+  os << "sharded-rw-rnlp(" << shards_.size() << ")";
+  return os.str();
+}
+
+}  // namespace rwrnlp::locks

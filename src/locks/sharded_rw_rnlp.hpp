@@ -1,0 +1,74 @@
+// Component-sharded R/W RNLP front end.
+//
+// Under rules G1-G4 two requests interact only if their domains share a
+// resource: every entitlement check (Defs. 3-4), blocking set, and queue in
+// the RSM is local to the resources a request enqueues on.  If the resource
+// universe is partitioned into *components* that are closed under the
+// read-share relation (S(l) stays inside l's component for every l), then
+// requests confined to one component can never interact with requests in
+// another, so the global RSM decomposes exactly into one independent RSM per
+// component — same transitions, same satisfaction order, same Thm. 1/Thm. 2
+// bounds per component (see DESIGN.md §"Hot-path engineering").
+//
+// ShardedRwRnlp exploits that: each component gets its own TicketMutex +
+// engine (a private SpinRwRnlp shard), so protocol invocations touching
+// disjoint components proceed in parallel instead of serializing on one
+// global lock.  The partition is declared statically at construction, which
+// validates that components are pairwise disjoint and closure-respecting;
+// acquire() rejects requests spanning more than one component (such request
+// shapes must be declared differently, e.g. by merging their components).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "locks/multi_lock.hpp"
+#include "locks/spin_rw_rnlp.hpp"
+
+namespace rwrnlp::locks {
+
+class ShardedRwRnlp final : public MultiResourceLock {
+ public:
+  /// `components` are pairwise-disjoint resource sets over `num_resources`;
+  /// resources not covered by any declared component become singleton
+  /// components.  `shares` must respect the partition: closure(C) == C for
+  /// every component C (violations throw std::invalid_argument, since a
+  /// cross-component write domain would need two shards' locks at once).
+  ShardedRwRnlp(std::size_t num_resources,
+                std::vector<ResourceSet> components,
+                rsm::ReadShareTable shares,
+                rsm::WriteExpansion expansion = rsm::WriteExpansion::ExpandDomain);
+  ShardedRwRnlp(std::size_t num_resources,
+                std::vector<ResourceSet> components,
+                rsm::WriteExpansion expansion = rsm::WriteExpansion::ExpandDomain);
+
+  /// Routes to the owning shard.  Throws std::invalid_argument if
+  /// reads|writes spans more than one component.
+  LockToken acquire(const ResourceSet& reads,
+                    const ResourceSet& writes) override;
+  void release(LockToken token) override;
+  std::string name() const override;
+  std::size_t num_resources() const override { return q_; }
+
+  std::size_t num_components() const { return shards_.size(); }
+  std::size_t component_of(ResourceId l) const;
+  const ResourceSet& component_resources(std::size_t c) const;
+
+  /// Direct access to a shard (tests and benchmarks).
+  SpinRwRnlp& shard(std::size_t c) { return *shards_[c]; }
+
+  /// Propagates the fast-path toggle to every shard.
+  void set_read_fast_path(bool enabled);
+
+ private:
+  SpinRwRnlp& route(const ResourceSet& reads, const ResourceSet& writes,
+                    std::size_t* component_out);
+
+  std::size_t q_;
+  std::vector<ResourceSet> component_sets_;
+  std::vector<std::uint32_t> component_of_;  // resource -> component index
+  std::vector<std::unique_ptr<SpinRwRnlp>> shards_;
+};
+
+}  // namespace rwrnlp::locks

@@ -18,12 +18,20 @@ SpinRwRnlp::SpinRwRnlp(std::size_t num_resources, rsm::ReadShareTable shares,
       engine_(num_resources, std::move(shares), make_options(expansion)) {
   engine_.set_satisfied_callback([this](rsm::RequestId id, rsm::Time) {
     // Runs with mutex_ held (inside an invocation).
-    const auto it = waiters_.find(id);
-    if (it != waiters_.end()) {
-      it->second->satisfied.store(true, std::memory_order_release);
-      waiters_.erase(it);
+    if (id < waiters_.size() && waiters_[id] != nullptr) {
+      waiters_[id]->satisfied.store(true, std::memory_order_release);
+      waiters_[id] = nullptr;
     }
   });
+}
+
+void SpinRwRnlp::register_waiter(rsm::RequestId id, Waiter* w) {
+  if (id >= waiters_.size()) waiters_.resize(id + 1, nullptr);
+  waiters_[id] = w;
+}
+
+void SpinRwRnlp::drop_waiter(rsm::RequestId id) {
+  if (id < waiters_.size()) waiters_[id] = nullptr;
 }
 
 SpinRwRnlp::SpinRwRnlp(std::size_t num_resources,
@@ -43,14 +51,18 @@ LockToken SpinRwRnlp::acquire(const ResourceSet& reads,
       ResourceSet all = reads | writes;
       id = engine_.issue_write(t, all);
     } else if (writes.empty()) {
-      id = engine_.issue_read(t, reads);
+      // Uncontended-read fast path: satisfied in one step, no fixpoint
+      // (provably the same outcome as Rule R1; see engine.hpp).
+      id = read_fast_path_ ? engine_.try_issue_read_fast(t, reads)
+                           : rsm::kNoRequest;
+      if (id == rsm::kNoRequest) id = engine_.issue_read(t, reads);
     } else if (reads.empty()) {
       id = engine_.issue_write(t, writes);
     } else {
       id = engine_.issue_mixed(t, reads, writes);
     }
     satisfied = engine_.is_satisfied(id);
-    if (!satisfied) waiters_.emplace(id, &waiter);
+    if (!satisfied) register_waiter(id, &waiter);
     mutex_.unlock();
   }
   if (!satisfied) {
@@ -85,8 +97,8 @@ SpinRwRnlp::UpgradeToken SpinRwRnlp::acquire_upgradeable(
     read_done = engine_.is_satisfied(pair.read_part);
     write_done = engine_.is_satisfied(pair.write_part);
     if (!read_done && !write_done) {
-      waiters_.emplace(pair.read_part, &read_waiter);
-      waiters_.emplace(pair.write_part, &write_waiter);
+      register_waiter(pair.read_part, &read_waiter);
+      register_waiter(pair.write_part, &write_waiter);
     }
     mutex_.unlock();
   }
@@ -109,8 +121,8 @@ SpinRwRnlp::UpgradeToken SpinRwRnlp::acquire_upgradeable(
     // half cannot be satisfied while the read half holds its locks, and a
     // canceled read half never fires, so nothing is lost.)
     mutex_.lock();
-    waiters_.erase(pair.read_part);
-    waiters_.erase(pair.write_part);
+    drop_waiter(pair.read_part);
+    drop_waiter(pair.write_part);
     mutex_.unlock();
   }
   return UpgradeToken{pair, write_done};
@@ -125,7 +137,7 @@ void SpinRwRnlp::upgrade(UpgradeToken& token) {
     const double t = static_cast<double>(++logical_time_);
     engine_.finish_read_segment(t, token.pair, /*upgrade=*/true);
     satisfied = engine_.is_satisfied(token.pair.write_part);
-    if (!satisfied) waiters_.emplace(token.pair.write_part, &waiter);
+    if (!satisfied) register_waiter(token.pair.write_part, &waiter);
     mutex_.unlock();
   }
   if (!satisfied) {

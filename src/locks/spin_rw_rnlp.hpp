@@ -15,7 +15,7 @@
 #pragma once
 
 #include <atomic>
-#include <unordered_map>
+#include <vector>
 
 #include "locks/multi_lock.hpp"
 #include "locks/ticket_mutex.hpp"
@@ -52,6 +52,10 @@ class SpinRwRnlp final : public MultiResourceLock {
     bool write_mode = false;
   };
 
+  /// Enables/disables the uncontended-read fast path (on by default; the
+  /// hot-path benchmark turns it off to measure the full-fixpoint baseline).
+  void set_read_fast_path(bool enabled) { read_fast_path_ = enabled; }
+
   UpgradeToken acquire_upgradeable(const ResourceSet& resources);
   /// Ends the read segment and blocks until the write half is satisfied.
   /// Data may have changed in between (the paper's Sec. 3.6 caveat): the
@@ -69,12 +73,20 @@ class SpinRwRnlp final : public MultiResourceLock {
 
   static rsm::EngineOptions make_options(rsm::WriteExpansion expansion);
 
+  void register_waiter(rsm::RequestId id, Waiter* w);
+  void drop_waiter(rsm::RequestId id);
+
   std::size_t q_;
   bool reads_as_writes_;
+  bool read_fast_path_ = true;
   TicketMutex mutex_;  // serializes engine invocations (Rule G4)
   rsm::Engine engine_;
   std::uint64_t logical_time_ = 0;
-  std::unordered_map<rsm::RequestId, Waiter*> waiters_;
+  // Flat waiter slot table indexed by RequestId.  The engine recycles request
+  // slots (retain_history = false), so ids stay dense and bounded by the peak
+  // number of in-flight requests: after warm-up, registration is two stores
+  // with no hashing and no allocation.  Guarded by mutex_.
+  std::vector<Waiter*> waiters_;
 };
 
 }  // namespace rwrnlp::locks

@@ -15,6 +15,19 @@ Engine::Engine(std::size_t num_resources, ReadShareTable shares,
                  "read-share table size (" << shares_.num_resources()
                                            << ") != resource count ("
                                            << num_resources << ")");
+  // Pre-size every steady-state-mutated container so issue/complete cycles
+  // run allocation-free once warm (capacities only grow past the reserve
+  // under bursts larger than queue_reserve, and then stick).
+  for (ResourceInfo& info : resources_) {
+    info.rq.reserve(options_.queue_reserve);
+    info.wq.reserve(options_.queue_reserve);
+    info.read_holders.reserve(options_.queue_reserve);
+  }
+  fixpoint_snapshot_.reserve(options_.queue_reserve);
+  free_slots_.reserve(options_.queue_reserve);
+  live_.reserve(options_.queue_reserve);
+  if (options_.record_trace && options_.trace_reserve > 0)
+    trace_.reserve(options_.trace_reserve);
 }
 
 Engine::Engine(std::size_t num_resources, EngineOptions options)
@@ -117,6 +130,42 @@ RequestId Engine::issue_read(Time t, const ResourceSet& reads) {
   r.wanted = r.domain;
   const RequestId id = issue_common(t, std::move(r));
   fixpoint(t);
+  if (options_.validate) check_structure();
+  return id;
+}
+
+RequestId Engine::try_issue_read_fast(Time t, const ResourceSet& reads) {
+  RWRNLP_REQUIRE(!reads.empty(), "read request needs at least one resource");
+  check_resources(reads);
+  // Precondition scan: a write request can only conflict with this read on a
+  // resource it write-locks, i.e. one in its domain.  An *entitled* write is
+  // head of WQ(l) for every l in its domain (entries leave a WQ only at
+  // satisfaction, and nothing is ever inserted ahead of an entry); a
+  // *satisfied* conflicting write holds the write lock on some l in `reads`.
+  // Hence empty WQs + no write holders over `reads` rules out every
+  // conflicting entitled-or-satisfied write, which is exactly R1's guard.
+  bool uncontended = true;
+  reads.for_each([&](ResourceId l) {
+    const ResourceInfo& info = resources_[l];
+    if (!info.wq.empty() || info.write_holder != kNoRequest)
+      uncontended = false;
+  });
+  if (!uncontended) return kNoRequest;
+
+  begin_invocation(t);
+  Request r;
+  r.is_write = false;
+  r.need_read = reads;
+  r.domain = reads;
+  r.domain_write = ResourceSet(num_resources());
+  r.wanted = r.domain;
+  const RequestId id = issue_common(t, std::move(r));
+  // R1 fires at issuance; the fixpoint is skipped because an additional
+  // satisfied read cannot flip any other request's entitlement or
+  // satisfaction condition from false to true (Defs. 3/4 and the blocking
+  // sets are all antitone in the read-holder relation), and the previous
+  // invocation already ran its fixpoint to quiescence.
+  satisfy(t, req(id));
   if (options_.validate) check_structure();
   return id;
 }
@@ -616,7 +665,11 @@ void Engine::fixpoint(Time t) {
   while (changed) {
     RWRNLP_CHECK_MSG(++rounds <= max_rounds, "RSM fixpoint did not converge");
     changed = false;
-    const std::vector<RequestId> snapshot = live_;
+    // Reuse the member buffer: assign() into retained capacity, so the
+    // steady-state fixpoint never allocates (satisfaction can erase from
+    // live_ mid-pass, hence the copy).
+    fixpoint_snapshot_.assign(live_.begin(), live_.end());
+    const std::vector<RequestId>& snapshot = fixpoint_snapshot_;
 
     // Pass 1: Def. 4 (writer entitlement), in timestamp order.
     for (RequestId id : snapshot) {
@@ -683,7 +736,7 @@ std::vector<RequestId> Engine::read_queue(ResourceId l) const {
 
 std::vector<WqEntry> Engine::write_queue(ResourceId l) const {
   RWRNLP_REQUIRE(l < resources_.size(), "resource out of range");
-  return {resources_[l].wq.begin(), resources_[l].wq.end()};
+  return resources_[l].wq;
 }
 
 std::optional<RequestId> Engine::write_holder(ResourceId l) const {

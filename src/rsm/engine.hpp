@@ -52,6 +52,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "rsm/options.hpp"
@@ -90,6 +91,20 @@ class Engine {
 
   /// Issues a read request R^r for `reads` (Rule R1 applies immediately).
   RequestId issue_read(Time t, const ResourceSet& reads);
+
+  /// Uncontended-read fast path: if every resource in `reads` has an empty
+  /// write queue and no write holder, issues *and satisfies* the read in one
+  /// step without running the entitlement/satisfaction fixpoint, and returns
+  /// its id.  Otherwise returns kNoRequest and changes nothing; the caller
+  /// falls back to issue_read() with the same `t`.
+  ///
+  /// Equivalence to Rule R1 (see DESIGN.md §"Hot-path engineering"): the
+  /// precondition implies no entitled or satisfied write conflicts with the
+  /// read, so R1 satisfies it at issuance; and satisfying a read can neither
+  /// entitle nor satisfy any other request (all entitlement/satisfaction
+  /// conditions are antitone in the set of read holders), so skipping the
+  /// fixpoint leaves every other request exactly as the slow path would.
+  RequestId try_issue_read_fast(Time t, const ResourceSet& reads);
 
   /// Issues a write request R^w for `writes` (Rule W1 applies immediately).
   RequestId issue_write(Time t, const ResourceSet& writes);
@@ -192,7 +207,7 @@ class Engine {
  private:
   struct ResourceInfo {
     std::vector<RequestId> rq;          // RQ(l), ts order
-    std::deque<WqEntry> wq;             // WQ(l), ts order
+    std::vector<WqEntry> wq;            // WQ(l), ts order
     std::vector<RequestId> read_holders;
     RequestId write_holder = kNoRequest;
   };
@@ -236,6 +251,11 @@ class Engine {
   std::vector<RequestId> live_;      // incomplete requests, ts order
   std::uint64_t next_ts_ = 1;
   Time now_ = 0;
+  // Reusable fixpoint iteration buffer: live_ must be snapshotted per round
+  // (satisfaction may cancel upgrade partners mid-pass), but reallocating
+  // the snapshot on every invocation would put a heap allocation on the
+  // lock's hot path.  fixpoint() is never reentered, so one buffer suffices.
+  std::vector<RequestId> fixpoint_snapshot_;
   std::vector<TraceEvent> trace_;
   std::function<void(RequestId, Time)> on_satisfied_;
   std::function<void(RequestId, const ResourceSet&, Time)> on_granted_;

@@ -2,6 +2,8 @@
 // variants presented in Sec. 3 of the paper.
 #pragma once
 
+#include <cstddef>
+
 namespace rwrnlp::rsm {
 
 /// How write requests deal with the read-set closure of their needed set.
@@ -25,8 +27,17 @@ struct EngineOptions {
   /// concurrent locks set this to false so slots are recycled.
   bool retain_history = true;
 
-  /// Record a trace event stream (see trace.hpp).
+  /// Record a trace event stream (see trace.hpp).  Leave disabled for
+  /// benchmark/production runs: the trace grows by one event per transition
+  /// and is never truncated.
   bool record_trace = false;
+
+  /// Per-resource queue capacity (RQ, WQ, read-holder list) reserved at
+  /// construction, so steady-state enqueue/dequeue never reallocates.
+  std::size_t queue_reserve = 8;
+
+  /// Trace-buffer capacity reserved at construction when record_trace is on.
+  std::size_t trace_reserve = 0;
 };
 
 }  // namespace rwrnlp::rsm

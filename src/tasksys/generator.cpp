@@ -84,7 +84,7 @@ sched::TaskSystem generate(Rng& rng, const GeneratorConfig& cfg) {
           // Split: first resource written, rest read.
           cs.reads = rs;
           cs.writes = ResourceSet(cfg.num_resources);
-          const ResourceId first = rs.to_vector().front();
+          const ResourceId first = rs.first();
           cs.writes.set(first);
           cs.reads.reset(first);
         } else {

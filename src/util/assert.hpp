@@ -68,3 +68,19 @@ namespace detail {
                                         rwrnlp_os_.str());           \
     }                                                                \
   } while (0)
+
+// Hot-path assertion: argument validation on operations invoked inside the
+// RSM fixpoint (per-bit ResourceSet accesses and the like).  Debug builds
+// get the same throwing diagnostics as RWRNLP_REQUIRE; NDEBUG builds compile
+// the check out entirely so the enclosing one-liners inline to straight bit
+// arithmetic.  RWRNLP_ASSERTS_ENABLED lets tests assert on the throwing
+// behaviour only when it exists.
+#if defined(NDEBUG) && !defined(RWRNLP_FORCE_ASSERTS)
+#define RWRNLP_ASSERTS_ENABLED 0
+#define RWRNLP_ASSERT(expr, msg) \
+  do {                           \
+  } while (0)
+#else
+#define RWRNLP_ASSERTS_ENABLED 1
+#define RWRNLP_ASSERT(expr, msg) RWRNLP_REQUIRE(expr, msg)
+#endif

@@ -1,109 +1,9 @@
 #include "util/resource_set.hpp"
 
-#include <algorithm>
 #include <ostream>
 #include <sstream>
 
-#include "util/assert.hpp"
-
 namespace rwrnlp {
-
-ResourceSet::ResourceSet(std::size_t universe)
-    : universe_(universe), words_((universe + 63) / 64, 0) {}
-
-ResourceSet::ResourceSet(std::size_t universe,
-                         std::initializer_list<ResourceId> ids)
-    : ResourceSet(universe) {
-  for (ResourceId r : ids) set(r);
-}
-
-void ResourceSet::check_index(ResourceId r) const {
-  RWRNLP_REQUIRE(r < universe_,
-                 "resource index " << r << " out of range (q=" << universe_
-                                   << ")");
-}
-
-bool ResourceSet::test(ResourceId r) const {
-  check_index(r);
-  return (words_[r / 64] >> (r % 64)) & 1u;
-}
-
-void ResourceSet::set(ResourceId r) {
-  check_index(r);
-  words_[r / 64] |= std::uint64_t{1} << (r % 64);
-}
-
-void ResourceSet::reset(ResourceId r) {
-  check_index(r);
-  words_[r / 64] &= ~(std::uint64_t{1} << (r % 64));
-}
-
-void ResourceSet::clear() { std::fill(words_.begin(), words_.end(), 0); }
-
-bool ResourceSet::empty() const {
-  for (std::uint64_t w : words_)
-    if (w != 0) return false;
-  return true;
-}
-
-std::size_t ResourceSet::count() const {
-  std::size_t n = 0;
-  for (std::uint64_t w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
-  return n;
-}
-
-bool ResourceSet::intersects(const ResourceSet& other) const {
-  const std::size_t n = std::min(words_.size(), other.words_.size());
-  for (std::size_t i = 0; i < n; ++i)
-    if ((words_[i] & other.words_[i]) != 0) return true;
-  return false;
-}
-
-bool ResourceSet::is_subset_of(const ResourceSet& other) const {
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    const std::uint64_t theirs = i < other.words_.size() ? other.words_[i] : 0;
-    if ((words_[i] & ~theirs) != 0) return false;
-  }
-  return true;
-}
-
-bool ResourceSet::operator==(const ResourceSet& other) const {
-  const std::size_t n = std::max(words_.size(), other.words_.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint64_t a = i < words_.size() ? words_[i] : 0;
-    const std::uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
-    if (a != b) return false;
-  }
-  return true;
-}
-
-void ResourceSet::resize(std::size_t universe) {
-  if (universe <= universe_) return;
-  universe_ = universe;
-  words_.resize((universe + 63) / 64, 0);
-}
-
-ResourceSet& ResourceSet::operator|=(const ResourceSet& other) {
-  // The union lives in the larger universe (smaller operands are padded).
-  resize(other.universe_);
-  for (std::size_t i = 0; i < other.words_.size(); ++i)
-    words_[i] |= other.words_[i];
-  return *this;
-}
-
-ResourceSet& ResourceSet::operator&=(const ResourceSet& other) {
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    const std::uint64_t theirs = i < other.words_.size() ? other.words_[i] : 0;
-    words_[i] &= theirs;
-  }
-  return *this;
-}
-
-ResourceSet& ResourceSet::operator-=(const ResourceSet& other) {
-  const std::size_t n = std::min(words_.size(), other.words_.size());
-  for (std::size_t i = 0; i < n; ++i) words_[i] &= ~other.words_[i];
-  return *this;
-}
 
 std::vector<ResourceId> ResourceSet::to_vector() const {
   std::vector<ResourceId> v;

@@ -5,6 +5,14 @@
 // ResourceSet packs these into words so that set algebra (union, intersection,
 // subset and disjointness tests) is cheap even when invoked inside the RSM
 // fixpoint on every protocol invocation.
+//
+// Storage is small-buffer optimized: universes of up to 64 resources (every
+// benchmark and most practical configurations) live in a single inline word,
+// so constructing, copying and destroying the sets that flow through the
+// engine's hot path never touches the heap.  Larger universes spill to a
+// heap-backed word array transparently.  All set operations are defined in
+// this header so they inline into the fixpoint; index validation sits behind
+// RWRNLP_ASSERT and compiles out under NDEBUG.
 #pragma once
 
 #include <cstddef>
@@ -14,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "util/assert.hpp"
+
 namespace rwrnlp {
 
 /// Index of a shared resource (l_1 ... l_q in the paper, zero-based here).
@@ -22,32 +32,128 @@ using ResourceId = std::uint32_t;
 class ResourceSet {
  public:
   ResourceSet() = default;
-  explicit ResourceSet(std::size_t universe);
-  ResourceSet(std::size_t universe, std::initializer_list<ResourceId> ids);
+  explicit ResourceSet(std::size_t universe) : universe_(universe) {
+    if (universe_ > kInlineBits) big_.resize(num_words(), 0);
+  }
+  ResourceSet(std::size_t universe, std::initializer_list<ResourceId> ids)
+      : ResourceSet(universe) {
+    for (ResourceId r : ids) set(r);
+  }
 
   /// Number of resources in the universe (q).
   std::size_t universe() const { return universe_; }
 
-  bool test(ResourceId r) const;
-  void set(ResourceId r);
-  void reset(ResourceId r);
-  void clear();
+  bool test(ResourceId r) const {
+    check_index(r);
+    return (words()[r / 64] >> (r % 64)) & 1u;
+  }
+  void set(ResourceId r) {
+    check_index(r);
+    words()[r / 64] |= std::uint64_t{1} << (r % 64);
+  }
+  void reset(ResourceId r) {
+    check_index(r);
+    words()[r / 64] &= ~(std::uint64_t{1} << (r % 64));
+  }
+  void clear() {
+    word0_ = 0;
+    for (std::uint64_t& w : big_) w = 0;
+  }
 
   /// Grows the universe to `universe` (never shrinks; members persist).
-  void resize(std::size_t universe);
+  void resize(std::size_t universe) {
+    if (universe <= universe_) return;
+    const std::size_t words_needed = (universe + 63) / 64;
+    if (universe > kInlineBits) {
+      if (big_.empty()) {
+        big_.assign(words_needed, 0);
+        big_[0] = word0_;
+      } else {
+        big_.resize(words_needed, 0);
+      }
+    }
+    universe_ = universe;
+  }
 
-  bool empty() const;
-  std::size_t count() const;
+  bool empty() const {
+    const std::uint64_t* w = words();
+    for (std::size_t i = 0, n = num_words(); i < n; ++i)
+      if (w[i] != 0) return false;
+    return true;
+  }
 
-  bool intersects(const ResourceSet& other) const;
-  bool is_subset_of(const ResourceSet& other) const;
-  bool operator==(const ResourceSet& other) const;
+  std::size_t count() const {
+    std::size_t n = 0;
+    const std::uint64_t* w = words();
+    for (std::size_t i = 0, nw = num_words(); i < nw; ++i)
+      n += static_cast<std::size_t>(__builtin_popcountll(w[i]));
+    return n;
+  }
+
+  bool intersects(const ResourceSet& other) const {
+    const std::size_t na = num_words(), nb = other.num_words();
+    const std::size_t n = na < nb ? na : nb;
+    const std::uint64_t* a = words();
+    const std::uint64_t* b = other.words();
+    for (std::size_t i = 0; i < n; ++i)
+      if ((a[i] & b[i]) != 0) return true;
+    return false;
+  }
+
+  bool is_subset_of(const ResourceSet& other) const {
+    const std::uint64_t* a = words();
+    const std::uint64_t* b = other.words();
+    const std::size_t nb = other.num_words();
+    for (std::size_t i = 0, na = num_words(); i < na; ++i) {
+      const std::uint64_t theirs = i < nb ? b[i] : 0;
+      if ((a[i] & ~theirs) != 0) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const ResourceSet& other) const {
+    const std::uint64_t* a = words();
+    const std::uint64_t* b = other.words();
+    const std::size_t na = num_words(), nb = other.num_words();
+    const std::size_t n = na > nb ? na : nb;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t wa = i < na ? a[i] : 0;
+      const std::uint64_t wb = i < nb ? b[i] : 0;
+      if (wa != wb) return false;
+    }
+    return true;
+  }
   bool operator!=(const ResourceSet& other) const { return !(*this == other); }
 
-  ResourceSet& operator|=(const ResourceSet& other);
-  ResourceSet& operator&=(const ResourceSet& other);
+  ResourceSet& operator|=(const ResourceSet& other) {
+    // The union lives in the larger universe (smaller operands are padded).
+    resize(other.universe_);
+    std::uint64_t* a = words();
+    const std::uint64_t* b = other.words();
+    for (std::size_t i = 0, n = other.num_words(); i < n; ++i) a[i] |= b[i];
+    return *this;
+  }
+
+  ResourceSet& operator&=(const ResourceSet& other) {
+    std::uint64_t* a = words();
+    const std::uint64_t* b = other.words();
+    const std::size_t nb = other.num_words();
+    for (std::size_t i = 0, na = num_words(); i < na; ++i) {
+      const std::uint64_t theirs = i < nb ? b[i] : 0;
+      a[i] &= theirs;
+    }
+    return *this;
+  }
+
   /// Set difference: remove every element of `other`.
-  ResourceSet& operator-=(const ResourceSet& other);
+  ResourceSet& operator-=(const ResourceSet& other) {
+    std::uint64_t* a = words();
+    const std::uint64_t* b = other.words();
+    const std::size_t na = num_words(), nb = other.num_words();
+    const std::size_t n = na < nb ? na : nb;
+    for (std::size_t i = 0; i < n; ++i) a[i] &= ~b[i];
+    return *this;
+  }
 
   friend ResourceSet operator|(ResourceSet a, const ResourceSet& b) {
     a |= b;
@@ -65,15 +171,41 @@ class ResourceSet {
   /// Elements in ascending order.
   std::vector<ResourceId> to_vector() const;
 
+  /// Smallest member.  Precondition: !empty() (returns universe() otherwise).
+  ResourceId first() const {
+    const std::uint64_t* w = words();
+    for (std::size_t i = 0, n = num_words(); i < n; ++i)
+      if (w[i] != 0)
+        return static_cast<ResourceId>(i * 64 +
+                                       static_cast<std::size_t>(
+                                           __builtin_ctzll(w[i])));
+    return static_cast<ResourceId>(universe_);
+  }
+
   /// Invoke f(ResourceId) for every member in ascending order.
   template <typename F>
   void for_each(F&& f) const {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      std::uint64_t bits = words_[w];
+    const std::uint64_t* w = words();
+    for (std::size_t i = 0, n = num_words(); i < n; ++i) {
+      std::uint64_t bits = w[i];
       while (bits != 0) {
         const int b = __builtin_ctzll(bits);
-        f(static_cast<ResourceId>(w * 64 + static_cast<std::size_t>(b)));
+        f(static_cast<ResourceId>(i * 64 + static_cast<std::size_t>(b)));
         bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Invoke f(ResourceId) for every member in descending order.
+  template <typename F>
+  void for_each_reverse(F&& f) const {
+    const std::uint64_t* w = words();
+    for (std::size_t i = num_words(); i-- > 0;) {
+      std::uint64_t bits = w[i];
+      while (bits != 0) {
+        const int b = 63 - __builtin_clzll(bits);
+        f(static_cast<ResourceId>(i * 64 + static_cast<std::size_t>(b)));
+        bits &= ~(std::uint64_t{1} << b);
       }
     }
   }
@@ -82,10 +214,25 @@ class ResourceSet {
   std::string to_string() const;
 
  private:
-  void check_index(ResourceId r) const;
+  static constexpr std::size_t kInlineBits = 64;
+
+  std::size_t num_words() const { return (universe_ + 63) / 64; }
+  const std::uint64_t* words() const {
+    return universe_ <= kInlineBits ? &word0_ : big_.data();
+  }
+  std::uint64_t* words() {
+    return universe_ <= kInlineBits ? &word0_ : big_.data();
+  }
+
+  void check_index([[maybe_unused]] ResourceId r) const {
+    RWRNLP_ASSERT(r < universe_, "resource index "
+                                     << r << " out of range (q=" << universe_
+                                     << ")");
+  }
 
   std::size_t universe_ = 0;
-  std::vector<std::uint64_t> words_;
+  std::uint64_t word0_ = 0;
+  std::vector<std::uint64_t> big_;  // used only when universe_ > kInlineBits
 };
 
 std::ostream& operator<<(std::ostream& os, const ResourceSet& s);

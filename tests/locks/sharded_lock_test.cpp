@@ -1,0 +1,100 @@
+// ShardedRwRnlp front-end behaviour: partition validation at construction,
+// request routing, cross-component rejection, and concurrent use.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "locks/sharded_rw_rnlp.hpp"
+
+namespace rwrnlp::locks {
+namespace {
+
+std::vector<ResourceSet> two_components(std::size_t q) {
+  ResourceSet lo(q), hi(q);
+  for (ResourceId l = 0; l < q / 2; ++l) lo.set(l);
+  for (ResourceId l = static_cast<ResourceId>(q / 2); l < q; ++l) hi.set(l);
+  return {lo, hi};
+}
+
+TEST(ShardedRwRnlp, RoutesAndReleasesPerComponent) {
+  ShardedRwRnlp lock(8, two_components(8));
+  EXPECT_EQ(lock.num_components(), 2u);
+  EXPECT_EQ(lock.component_of(0), 0u);
+  EXPECT_EQ(lock.component_of(7), 1u);
+  EXPECT_EQ(lock.name(), "sharded-rw-rnlp(2)");
+
+  LockToken r = lock.acquire(ResourceSet(8, {0, 1}), ResourceSet(8));
+  LockToken w = lock.acquire(ResourceSet(8), ResourceSet(8, {5}));
+  // Both shards hold simultaneously; write in component 1 does not block
+  // the read in component 0.
+  EXPECT_TRUE(lock.shard(0).num_resources() == 8);
+  lock.release(w);
+  lock.release(r);
+}
+
+TEST(ShardedRwRnlp, RejectsCrossComponentRequests) {
+  ShardedRwRnlp lock(8, two_components(8));
+  EXPECT_THROW(lock.acquire(ResourceSet(8, {1, 6}), ResourceSet(8)),
+               std::invalid_argument);
+  EXPECT_THROW(lock.acquire(ResourceSet(8, {1}), ResourceSet(8, {6})),
+               std::invalid_argument);
+  EXPECT_THROW(lock.acquire(ResourceSet(8), ResourceSet(8)),
+               std::invalid_argument);
+}
+
+TEST(ShardedRwRnlp, RejectsOverlappingComponents) {
+  std::vector<ResourceSet> comps = {ResourceSet(4, {0, 1}),
+                                    ResourceSet(4, {1, 2})};
+  EXPECT_THROW(ShardedRwRnlp(4, comps), std::invalid_argument);
+}
+
+TEST(ShardedRwRnlp, RejectsShareTableCrossingComponents) {
+  // A declared read request spanning both components makes every write to
+  // its members claim a cross-component closure: invalid partition.
+  rsm::ReadShareTable shares(8);
+  shares.declare_read_request(ResourceSet(8, {1, 6}));
+  EXPECT_THROW(ShardedRwRnlp(8, two_components(8), std::move(shares)),
+               std::invalid_argument);
+}
+
+TEST(ShardedRwRnlp, AcceptsShareTableInsideComponents) {
+  rsm::ReadShareTable shares(8);
+  shares.declare_read_request(ResourceSet(8, {0, 2}));
+  shares.declare_read_request(ResourceSet(8, {5, 6, 7}));
+  ShardedRwRnlp lock(8, two_components(8), std::move(shares));
+  LockToken t = lock.acquire(ResourceSet(8), ResourceSet(8, {5}));
+  lock.release(t);
+}
+
+TEST(ShardedRwRnlp, UncoveredResourcesBecomeSingletons) {
+  std::vector<ResourceSet> comps = {ResourceSet(5, {0, 1})};
+  ShardedRwRnlp lock(5, comps);
+  EXPECT_EQ(lock.num_components(), 4u);  // {0,1} + three singletons
+  EXPECT_EQ(lock.component_of(0), lock.component_of(1));
+  EXPECT_NE(lock.component_of(2), lock.component_of(3));
+  EXPECT_EQ(lock.component_resources(lock.component_of(4)),
+            ResourceSet(5, {4}));
+  LockToken t = lock.acquire(ResourceSet(5), ResourceSet(5, {3}));
+  lock.release(t);
+}
+
+TEST(ShardedRwRnlp, ConcurrentDisjointComponentsMakeProgress) {
+  ShardedRwRnlp lock(8, two_components(8));
+  constexpr int kOps = 500;
+  auto worker = [&](ResourceId a, ResourceId b) {
+    for (int i = 0; i < kOps; ++i) {
+      LockToken t = (i % 3 == 0)
+                        ? lock.acquire(ResourceSet(8), ResourceSet(8, {a, b}))
+                        : lock.acquire(ResourceSet(8, {a, b}), ResourceSet(8));
+      lock.release(t);
+    }
+  };
+  std::thread t1(worker, 0, 2);
+  std::thread t2(worker, 4, 6);
+  t1.join();
+  t2.join();
+}
+
+}  // namespace
+}  // namespace rwrnlp::locks

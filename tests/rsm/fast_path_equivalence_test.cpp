@@ -1,0 +1,138 @@
+// Proves the uncontended-read fast path (Engine::try_issue_read_fast) is
+// observationally equivalent to Rule R1 as run by the full fixpoint: on
+// replayed random workloads, an engine that always attempts the fast path
+// first produces byte-identical traces (hence identical satisfaction order)
+// to an engine that only uses the ordinary issue_read() slow path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rsm/engine.hpp"
+#include "util/rng.hpp"
+
+namespace rwrnlp::rsm {
+namespace {
+
+constexpr std::size_t kQ = 8;
+
+EngineOptions traced_options(WriteExpansion expansion) {
+  EngineOptions o;
+  o.expansion = expansion;
+  o.validate = true;
+  o.record_trace = true;
+  return o;
+}
+
+ResourceSet random_set(Rng& rng, std::size_t max_size) {
+  ResourceSet rs(kQ);
+  const std::size_t n = 1 + rng.next_below(max_size);
+  for (std::size_t i = 0; i < n; ++i)
+    rs.set(static_cast<ResourceId>(rng.next_below(kQ)));
+  return rs;
+}
+
+/// Issues a read on `fast` via the fast path (falling back to the slow path
+/// when contended) and on `slow` via the slow path only; returns the common
+/// request id.
+RequestId issue_read_both(Engine& fast, Engine& slow, Time t,
+                          const ResourceSet& rs) {
+  RequestId fid = fast.try_issue_read_fast(t, rs);
+  if (fid == kNoRequest) fid = fast.issue_read(t, rs);
+  const RequestId sid = slow.issue_read(t, rs);
+  EXPECT_EQ(fid, sid);
+  return fid;
+}
+
+TEST(FastPathEquivalence, UncontendedReadIsSatisfiedWithoutFixpoint) {
+  Engine e(kQ, traced_options(WriteExpansion::ExpandDomain));
+  const RequestId id = e.try_issue_read_fast(1.0, ResourceSet(kQ, {0, 3}));
+  ASSERT_NE(id, kNoRequest);
+  EXPECT_TRUE(e.is_satisfied(id));
+  EXPECT_EQ(e.read_holders(0), std::vector<RequestId>{id});
+  EXPECT_EQ(e.read_holders(3), std::vector<RequestId>{id});
+  ASSERT_EQ(e.trace().size(), 2u);
+  EXPECT_EQ(e.trace()[0].kind, TraceKind::Issue);
+  EXPECT_EQ(e.trace()[1].kind, TraceKind::Satisfied);
+}
+
+TEST(FastPathEquivalence, DeclinesWhenWriterQueuedOrHolding) {
+  Engine e(kQ);
+  // Satisfied writer on l1: fast path must decline reads touching l1...
+  const RequestId w = e.issue_write(1.0, ResourceSet(kQ, {1}));
+  ASSERT_TRUE(e.is_satisfied(w));
+  EXPECT_EQ(e.try_issue_read_fast(2.0, ResourceSet(kQ, {0, 1})), kNoRequest);
+  // ...but still admit disjoint reads.
+  EXPECT_NE(e.try_issue_read_fast(3.0, ResourceSet(kQ, {0, 2})), kNoRequest);
+  // A *queued* (unsatisfied) writer also blocks the fast path on its whole
+  // domain, satisfied or not.
+  const RequestId w2 = e.issue_write(4.0, ResourceSet(kQ, {1, 5}));
+  EXPECT_FALSE(e.is_satisfied(w2));
+  EXPECT_EQ(e.try_issue_read_fast(5.0, ResourceSet(kQ, {5})), kNoRequest);
+}
+
+class FastPathReplay : public ::testing::TestWithParam<WriteExpansion> {};
+
+TEST_P(FastPathReplay, RandomWorkloadsProduceIdenticalTraces) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Engine fast(kQ, traced_options(GetParam()));
+    Engine slow(kQ, traced_options(GetParam()));
+    Rng rng(seed);
+    std::vector<RequestId> live;
+    Time t = 0;
+    for (int op = 0; op < 200; ++op) {
+      t += 1.0;
+      const std::uint64_t kind = rng.next_below(10);
+      if (kind < 5) {  // read (the fast-path candidate)
+        live.push_back(issue_read_both(fast, slow, t, random_set(rng, 3)));
+      } else if (kind < 7) {  // write
+        const ResourceSet rs = random_set(rng, 2);
+        const RequestId f = fast.issue_write(t, rs);
+        const RequestId s = slow.issue_write(t, rs);
+        ASSERT_EQ(f, s);
+        live.push_back(f);
+      } else if (kind < 8) {  // mixed (reads and writes kept disjoint)
+        const ResourceSet writes = random_set(rng, 2);
+        ResourceSet reads = random_set(rng, 2);
+        reads -= writes;
+        const RequestId f = reads.empty() ? fast.issue_write(t, writes)
+                                          : fast.issue_mixed(t, reads, writes);
+        const RequestId s = reads.empty() ? slow.issue_write(t, writes)
+                                          : slow.issue_mixed(t, reads, writes);
+        ASSERT_EQ(f, s);
+        live.push_back(f);
+      } else if (!live.empty()) {  // complete a random satisfied request
+        const std::size_t pick = rng.next_below(live.size());
+        const RequestId id = live[pick];
+        if (fast.is_satisfied(id)) {
+          fast.complete(t, id);
+          slow.complete(t, id);
+          live.erase(live.begin() + pick);
+        }
+      }
+    }
+    // Drain: complete everything in satisfaction order.
+    while (!live.empty()) {
+      t += 1.0;
+      bool progressed = false;
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (fast.is_satisfied(live[i])) {
+          fast.complete(t, live[i]);
+          slow.complete(t, live[i]);
+          live.erase(live.begin() + i);
+          progressed = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(progressed) << "deadlock in replay, seed " << seed;
+    }
+    EXPECT_EQ(format_trace(fast.trace()), format_trace(slow.trace()))
+        << "trace divergence at seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothExpansionModes, FastPathReplay,
+                         ::testing::Values(WriteExpansion::ExpandDomain,
+                                           WriteExpansion::Placeholders));
+
+}  // namespace
+}  // namespace rwrnlp::rsm

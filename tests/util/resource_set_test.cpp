@@ -40,9 +40,15 @@ TEST(ResourceSet, InitializerList) {
 }
 
 TEST(ResourceSet, OutOfRangeThrows) {
+  // Bounds checks live behind RWRNLP_ASSERT: debug builds throw, NDEBUG
+  // builds compile them out of the hot path entirely.
+#if RWRNLP_ASSERTS_ENABLED
   ResourceSet s(5);
   EXPECT_THROW(s.set(5), std::invalid_argument);
   EXPECT_THROW(s.test(100), std::invalid_argument);
+#else
+  GTEST_SKIP() << "index asserts compiled out (NDEBUG)";
+#endif
 }
 
 TEST(ResourceSet, UnionIntersectionDifference) {
@@ -126,6 +132,55 @@ TEST(ResourceSet, LargeUniverse) {
   for (ResourceId r = 0; r < 1000; r += 37) ++expect;
   EXPECT_EQ(s.count(), expect);
   EXPECT_TRUE(s.test(999 - (999 % 37)));
+}
+
+TEST(ResourceSet, ForEachReverseDescending) {
+  ResourceSet s(130, {129, 0, 64, 7});
+  std::vector<ResourceId> seen;
+  s.for_each_reverse([&](ResourceId r) { seen.push_back(r); });
+  EXPECT_EQ(seen, (std::vector<ResourceId>{129, 64, 7, 0}));
+
+  ResourceSet small(10, {3, 8});
+  seen.clear();
+  small.for_each_reverse([&](ResourceId r) { seen.push_back(r); });
+  EXPECT_EQ(seen, (std::vector<ResourceId>{8, 3}));
+}
+
+TEST(ResourceSet, First) {
+  EXPECT_EQ(ResourceSet(10, {7, 3, 9}).first(), 3u);
+  EXPECT_EQ(ResourceSet(200, {190}).first(), 190u);
+  EXPECT_EQ(ResourceSet(10).first(), 10u);  // empty -> universe()
+}
+
+TEST(ResourceSet, InlineToHeapResizeCrossesWordBoundary) {
+  // Regression for the small-buffer optimization: growing a <=64-resource
+  // (inline) set past 64 must migrate the inline word into heap storage.
+  ResourceSet s(64, {0, 63});
+  s.resize(65);
+  EXPECT_TRUE(s.test(0));
+  EXPECT_TRUE(s.test(63));
+  EXPECT_FALSE(s.test(64));
+  s.set(64);
+  EXPECT_EQ(s.count(), 3u);
+  s.resize(300);
+  s.set(299);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_TRUE(s.test(63));
+  EXPECT_TRUE(s.test(64));
+}
+
+TEST(ResourceSet, MixedInlineAndHeapOperands) {
+  ResourceSet small(64, {1, 63});
+  ResourceSet big(128, {63, 100});
+  EXPECT_TRUE(small.intersects(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  ResourceSet u = small | big;
+  EXPECT_EQ(u.universe(), 128u);
+  EXPECT_EQ(u.count(), 3u);
+  ResourceSet d = big - small;
+  EXPECT_EQ(d, ResourceSet(128, {100}));
+  ResourceSet i = big & small;
+  EXPECT_EQ(i, ResourceSet(128, {63}));
 }
 
 }  // namespace
