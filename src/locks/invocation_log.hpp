@@ -1,0 +1,53 @@
+// Invocation log: the second half of the schedule-testing seam.
+//
+// The lock front ends serialize RSM invocations under their internal mutex;
+// with a log installed they also append one record per invocation, in the
+// exact order the engine applied them.  The schedule-exploration oracle
+// (src/testing/oracle.hpp) replays that sequence through a *fresh* engine
+// and demands byte-identical behaviour — if a data race or a broken fast
+// path ever lets the concurrent wrapper diverge from the pure state
+// machine, the replay disagrees and the failing schedule is reported.
+//
+// Recording costs one branch per invocation when no log is installed; the
+// pointer is only ever set by tests.
+#pragma once
+
+#include <vector>
+
+#include "rsm/request.hpp"
+#include "util/resource_set.hpp"
+
+namespace rwrnlp::locks {
+
+enum class InvocationKind : std::uint8_t {
+  IssueRead,      ///< Engine::issue_read
+  IssueReadFast,  ///< Engine::try_issue_read_fast, and it accepted
+  IssueWrite,     ///< Engine::issue_write
+  IssueMixed,     ///< Engine::issue_mixed
+  Complete,       ///< Engine::complete
+};
+
+inline const char* to_string(InvocationKind k) {
+  switch (k) {
+    case InvocationKind::IssueRead: return "issue-read";
+    case InvocationKind::IssueReadFast: return "issue-read-fast";
+    case InvocationKind::IssueWrite: return "issue-write";
+    case InvocationKind::IssueMixed: return "issue-mixed";
+    case InvocationKind::Complete: return "complete";
+  }
+  return "?";
+}
+
+struct InvocationRecord {
+  InvocationKind kind = InvocationKind::IssueRead;
+  rsm::Time t = 0;                  ///< logical invocation time
+  rsm::RequestId id = rsm::kNoRequest;
+  bool satisfied_at_invocation = false;  ///< satisfied when the call returned
+  bool is_write = false;            ///< classification (Complete: of the completed request)
+  ResourceSet reads;
+  ResourceSet writes;
+};
+
+using InvocationLog = std::vector<InvocationRecord>;
+
+}  // namespace rwrnlp::locks

@@ -46,38 +46,69 @@ LockToken SpinRwRnlp::acquire(const ResourceSet& reads,
   bool satisfied;
   {
     mutex_.lock();
+    sched_yield_point(YieldPoint::EngineInvoke);
     const double t = static_cast<double>(++logical_time_);
+    InvocationKind kind;
     if (reads_as_writes_) {
       ResourceSet all = reads | writes;
       id = engine_.issue_write(t, all);
+      kind = InvocationKind::IssueWrite;
     } else if (writes.empty()) {
       // Uncontended-read fast path: satisfied in one step, no fixpoint
       // (provably the same outcome as Rule R1; see engine.hpp).
       id = read_fast_path_ ? engine_.try_issue_read_fast(t, reads)
                            : rsm::kNoRequest;
-      if (id == rsm::kNoRequest) id = engine_.issue_read(t, reads);
+      kind = InvocationKind::IssueReadFast;
+      if (id == rsm::kNoRequest) {
+        id = engine_.issue_read(t, reads);
+        kind = InvocationKind::IssueRead;
+      }
     } else if (reads.empty()) {
       id = engine_.issue_write(t, writes);
+      kind = InvocationKind::IssueWrite;
     } else {
       id = engine_.issue_mixed(t, reads, writes);
+      kind = InvocationKind::IssueMixed;
     }
     satisfied = engine_.is_satisfied(id);
+    if (invocation_log_ != nullptr) {
+      const bool as_write = reads_as_writes_ && !(reads | writes).empty();
+      invocation_log_->push_back(InvocationRecord{
+          kind, static_cast<rsm::Time>(logical_time_), id, satisfied,
+          kind != InvocationKind::IssueRead &&
+              kind != InvocationKind::IssueReadFast,
+          as_write ? ResourceSet(q_) : reads,
+          as_write ? (reads | writes) : writes});
+    }
     if (!satisfied) register_waiter(id, &waiter);
     mutex_.unlock();
   }
   if (!satisfied) {
-    // Rule S1: busy-wait (the thread keeps its processor).
-    SpinBackoff backoff;
-    while (!waiter.satisfied.load(std::memory_order_acquire))
-      backoff.pause();
+    if (!sched_wait(YieldPoint::SatisfactionWait, [&] {
+          return waiter.satisfied.load(std::memory_order_acquire);
+        })) {
+      // Rule S1: busy-wait (the thread keeps its processor).
+      SpinBackoff backoff;
+      while (!waiter.satisfied.load(std::memory_order_acquire))
+        backoff.pause();
+    }
   }
   return LockToken{id, nullptr};
 }
 
 void SpinRwRnlp::release(LockToken token) {
+  sched_yield_point(YieldPoint::Release);
   mutex_.lock();
+  sched_yield_point(YieldPoint::EngineInvoke);
   const double t = static_cast<double>(++logical_time_);
-  engine_.complete(t, static_cast<rsm::RequestId>(token.id));
+  const rsm::RequestId id = static_cast<rsm::RequestId>(token.id);
+  const bool was_write = engine_.request(id).is_write;
+  engine_.complete(t, id);
+  if (invocation_log_ != nullptr) {
+    invocation_log_->push_back(InvocationRecord{
+        InvocationKind::Complete, static_cast<rsm::Time>(logical_time_), id,
+        false, was_write, ResourceSet(q_), ResourceSet(q_)});
+  }
   mutex_.unlock();
 }
 
@@ -104,18 +135,19 @@ SpinRwRnlp::UpgradeToken SpinRwRnlp::acquire_upgradeable(
   }
   if (!read_done && !write_done) {
     // Spin until either half is satisfied.
-    SpinBackoff backoff;
-    for (;;) {
-      if (read_waiter.satisfied.load(std::memory_order_acquire)) {
-        read_done = true;
-        break;
-      }
-      if (write_waiter.satisfied.load(std::memory_order_acquire)) {
-        write_done = true;
-        break;
-      }
-      backoff.pause();
+    if (!sched_wait(YieldPoint::SatisfactionWait, [&] {
+          return read_waiter.satisfied.load(std::memory_order_acquire) ||
+                 write_waiter.satisfied.load(std::memory_order_acquire);
+        })) {
+      SpinBackoff backoff;
+      while (!read_waiter.satisfied.load(std::memory_order_acquire) &&
+             !write_waiter.satisfied.load(std::memory_order_acquire))
+        backoff.pause();
     }
+    if (read_waiter.satisfied.load(std::memory_order_acquire))
+      read_done = true;
+    else
+      write_done = true;
     // Drop any still-registered entry for the losing half: its Waiter lives
     // on this stack frame and must not be referenced later.  (The write
     // half cannot be satisfied while the read half holds its locks, and a
@@ -141,9 +173,13 @@ void SpinRwRnlp::upgrade(UpgradeToken& token) {
     mutex_.unlock();
   }
   if (!satisfied) {
-    SpinBackoff backoff;
-    while (!waiter.satisfied.load(std::memory_order_acquire))
-      backoff.pause();
+    if (!sched_wait(YieldPoint::SatisfactionWait, [&] {
+          return waiter.satisfied.load(std::memory_order_acquire);
+        })) {
+      SpinBackoff backoff;
+      while (!waiter.satisfied.load(std::memory_order_acquire))
+        backoff.pause();
+    }
   }
   token.write_mode = true;
 }

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <vector>
 
+#include "locks/invocation_log.hpp"
 #include "locks/multi_lock.hpp"
 #include "locks/ticket_mutex.hpp"
 #include "rsm/engine.hpp"
@@ -56,6 +57,17 @@ class SpinRwRnlp final : public MultiResourceLock {
   /// hot-path benchmark turns it off to measure the full-fixpoint baseline).
   void set_read_fast_path(bool enabled) { read_fast_path_ = enabled; }
 
+  // --- schedule-testing seam (src/testing) --------------------------------
+
+  /// Installs (or clears) an invocation log; every engine invocation is
+  /// appended under the internal mutex, in engine order.  Test-only.
+  void set_invocation_log(InvocationLog* log) { invocation_log_ = log; }
+
+  /// Direct engine access for the schedule-exploration oracle (to enable
+  /// trace recording and read the live trace).  Test-only: any invocation
+  /// made through this reference bypasses the wrapper's serialization.
+  rsm::Engine& engine_for_test() { return engine_; }
+
   UpgradeToken acquire_upgradeable(const ResourceSet& resources);
   /// Ends the read segment and blocks until the write half is satisfied.
   /// Data may have changed in between (the paper's Sec. 3.6 caveat): the
@@ -87,6 +99,7 @@ class SpinRwRnlp final : public MultiResourceLock {
   // number of in-flight requests: after warm-up, registration is two stores
   // with no hashing and no allocation.  Guarded by mutex_.
   std::vector<Waiter*> waiters_;
+  InvocationLog* invocation_log_ = nullptr;  // guarded by mutex_
 };
 
 }  // namespace rwrnlp::locks

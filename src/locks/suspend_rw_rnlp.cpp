@@ -1,5 +1,7 @@
 #include "locks/suspend_rw_rnlp.hpp"
 
+#include "locks/yield_point.hpp"
+
 namespace rwrnlp::locks {
 
 namespace {
@@ -18,7 +20,11 @@ SuspendRwRnlp::SuspendRwRnlp(std::size_t num_resources,
       engine_(num_resources, std::move(shares), suspend_options(expansion)) {
   engine_.set_satisfied_callback([this](rsm::RequestId id, rsm::Time) {
     // mutex_ is held by the invoking thread.
-    satisfied_[id] = true;
+    satisfied_.insert(id);
+    // Only a satisfaction that someone is *sleeping on* warrants waking the
+    // condition variable; anything else (the issuing thread's own request,
+    // a cooperative-scheduler waiter) is consumed without a broadcast.
+    if (waiting_.count(id) != 0) wake_pending_ = true;
   });
 }
 
@@ -29,31 +35,106 @@ SuspendRwRnlp::SuspendRwRnlp(std::size_t num_resources,
 
 LockToken SuspendRwRnlp::acquire(const ResourceSet& reads,
                                  const ResourceSet& writes) {
+  // Schedule-test seam.  The yield sits *before* the mutex: no virtual
+  // thread ever parks while holding mutex_, so the running thread always
+  // acquires it without blocking in the OS.
+  sched_yield_point(YieldPoint::EngineInvoke);
+  rsm::RequestId id;
+  bool satisfied;
+  bool wake = false;
   std::unique_lock<std::mutex> lk(mutex_);
   const double t = static_cast<double>(++logical_time_);
-  rsm::RequestId id;
+  InvocationKind kind;
   if (writes.empty()) {
     id = engine_.issue_read(t, reads);
+    kind = InvocationKind::IssueRead;
   } else if (reads.empty()) {
     id = engine_.issue_write(t, writes);
+    kind = InvocationKind::IssueWrite;
   } else {
     id = engine_.issue_mixed(t, reads, writes);
+    kind = InvocationKind::IssueMixed;
   }
-  if (!engine_.is_satisfied(id)) {
-    cv_.wait(lk, [&] { return satisfied_.count(id) != 0; });
+  satisfied = engine_.is_satisfied(id);
+  if (invocation_log_ != nullptr) {
+    invocation_log_->push_back(InvocationRecord{
+        kind, static_cast<rsm::Time>(logical_time_), id, satisfied,
+        kind != InvocationKind::IssueRead, reads, writes});
+  }
+  if (!satisfied) {
+    lk.unlock();
+    if (sched_wait(YieldPoint::SatisfactionWait, [&] {
+          std::lock_guard<std::mutex> g(mutex_);
+          return satisfied_.count(id) != 0;
+        })) {
+      lk.lock();
+    } else {
+      lk.lock();
+      waiting_.insert(id);
+      while (satisfied_.count(id) == 0) {
+        cv_.wait(lk);
+        ++wakeup_count_;
+      }
+      waiting_.erase(id);
+    }
   }
   satisfied_.erase(id);
+  // The issuing invocation itself may (in principle) have satisfied other
+  // blocked requests; propagate the broadcast just like release() does.
+  wake = wake_pending_;
+  wake_pending_ = false;
+  if (wake) ++notify_count_;
+  lk.unlock();
+  if (wake) cv_.notify_all();
   return LockToken{id, nullptr};
 }
 
 void SuspendRwRnlp::release(LockToken token) {
+  sched_yield_point(YieldPoint::Release);
+  bool wake;
   {
     std::lock_guard<std::mutex> lk(mutex_);
     const double t = static_cast<double>(++logical_time_);
-    engine_.complete(t, static_cast<rsm::RequestId>(token.id));
+    const rsm::RequestId id = static_cast<rsm::RequestId>(token.id);
+    const bool was_write = engine_.request(id).is_write;
+    engine_.complete(t, id);
+    if (invocation_log_ != nullptr) {
+      invocation_log_->push_back(InvocationRecord{
+          InvocationKind::Complete, static_cast<rsm::Time>(logical_time_), id,
+          false, was_write, ResourceSet(q_), ResourceSet(q_)});
+    }
+    wake = wake_pending_;
+    wake_pending_ = false;
+    if (wake) ++notify_count_;
   }
-  // Completion may have satisfied any number of waiters.
-  cv_.notify_all();
+  // Broadcast only when the completion satisfied a sleeping waiter; a
+  // release that unblocks nobody costs no wakeups (the herd stays asleep).
+  if (wake) cv_.notify_all();
+}
+
+std::uint64_t SuspendRwRnlp::wakeup_count() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return wakeup_count_;
+}
+
+std::uint64_t SuspendRwRnlp::notify_count() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return notify_count_;
+}
+
+std::size_t SuspendRwRnlp::pending_satisfied_count() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return satisfied_.size();
+}
+
+std::size_t SuspendRwRnlp::blocked_waiters() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return waiting_.size();
+}
+
+void SuspendRwRnlp::set_invocation_log(InvocationLog* log) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  invocation_log_ = log;
 }
 
 }  // namespace rwrnlp::locks

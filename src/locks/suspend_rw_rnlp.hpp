@@ -1,18 +1,25 @@
 // Suspension-based user-space R/W RNLP (Sec. 3.8 flavour).
 //
 // Same RSM engine as the spin variant, but blocked threads sleep on a
-// per-request condition variable instead of burning cycles — the user-space
-// analogue of the paper's suspension-based protocol (where the kernel
-// scheduler plus priority donation provide Properties P1/P2; in a plain
-// user-space process the OS scheduler stands in, so this variant trades
-// the paper's analytical guarantees for CPU efficiency on oversubscribed
-// hosts).  Useful as the default choice whenever threads outnumber cores.
+// condition variable instead of burning cycles — the user-space analogue of
+// the paper's suspension-based protocol (where the kernel scheduler plus
+// priority donation provide Properties P1/P2; in a plain user-space process
+// the OS scheduler stands in, so this variant trades the paper's analytical
+// guarantees for CPU efficiency on oversubscribed hosts).  Useful as the
+// default choice whenever threads outnumber cores.
+//
+// Wakeup discipline: a completion broadcasts on the condition variable only
+// when it actually satisfied a *blocked* request.  Releases that satisfy
+// nobody (the common case under read-mostly workloads) wake no one, so a
+// herd of unrelated waiters is never stampeded through the mutex just to
+// re-check a predicate that cannot have changed for them.
 #pragma once
 
 #include <condition_variable>
 #include <mutex>
-#include <unordered_map>
+#include <unordered_set>
 
+#include "locks/invocation_log.hpp"
 #include "locks/multi_lock.hpp"
 #include "rsm/engine.hpp"
 
@@ -33,14 +40,47 @@ class SuspendRwRnlp final : public MultiResourceLock {
   std::string name() const override { return "rw-rnlp-suspend"; }
   std::size_t num_resources() const override { return q_; }
 
+  // --- observability (tests) ----------------------------------------------
+
+  /// Times a sleeping waiter returned from cv wait (includes spurious
+  /// wakeups; excludes the initial blocking).  With the targeted-broadcast
+  /// discipline this stays proportional to the number of satisfactions, not
+  /// the number of releases.
+  std::uint64_t wakeup_count() const;
+  /// Broadcasts actually issued (releases that satisfied a blocked waiter).
+  std::uint64_t notify_count() const;
+  /// Requests marked satisfied whose waiter has not yet consumed the mark.
+  /// Zero whenever the lock is idle — the regression guard against unbounded
+  /// growth of the satisfied set.
+  std::size_t pending_satisfied_count() const;
+  /// Waiters currently blocked on the condition variable.
+  std::size_t blocked_waiters() const;
+
+  // --- schedule-testing seam (src/testing) --------------------------------
+
+  /// Installs (or clears) an invocation log; records are appended under the
+  /// internal mutex, in engine order.  Test-only.
+  void set_invocation_log(InvocationLog* log);
+  /// Direct engine access for the schedule-exploration oracle.  Test-only.
+  rsm::Engine& engine_for_test() { return engine_; }
+
  private:
   std::size_t q_;
-  std::mutex mutex_;                  // guards the engine (Rule G4)
-  std::condition_variable cv_;        // broadcast on any satisfaction
+  mutable std::mutex mutex_;    // guards the engine (Rule G4) + all state below
+  std::condition_variable cv_;  // broadcast when a blocked waiter is satisfied
   rsm::Engine engine_;
   std::uint64_t logical_time_ = 0;
   // Requests satisfied but whose waiter has not yet observed it.
-  std::unordered_map<rsm::RequestId, bool> satisfied_;
+  std::unordered_set<rsm::RequestId> satisfied_;
+  // Requests with a waiter asleep on cv_.
+  std::unordered_set<rsm::RequestId> waiting_;
+  // Set by the satisfaction callback when a member of waiting_ becomes
+  // satisfied; consumed (and reset) by the invoking thread, which broadcasts
+  // after dropping the mutex.
+  bool wake_pending_ = false;
+  std::uint64_t wakeup_count_ = 0;
+  std::uint64_t notify_count_ = 0;
+  InvocationLog* invocation_log_ = nullptr;
 };
 
 }  // namespace rwrnlp::locks

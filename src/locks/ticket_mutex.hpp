@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "locks/yield_point.hpp"
+
 namespace rwrnlp::locks {
 
 /// Pause hint for spin loops.
@@ -42,6 +44,13 @@ class TicketMutex {
   void lock() {
     const std::uint32_t ticket =
         next_.fetch_add(1, std::memory_order_relaxed);
+    // Schedule-test seam: under the virtual scheduler the spin becomes a
+    // cooperative wait (otherwise a preempted spinner would hang the
+    // serialized schedule).  Compiles to nothing in production builds.
+    if (sched_wait(YieldPoint::TicketAcquire, [&] {
+          return serving_.load(std::memory_order_acquire) == ticket;
+        }))
+      return;
     SpinBackoff backoff;
     while (serving_.load(std::memory_order_acquire) != ticket)
       backoff.pause();

@@ -1,0 +1,118 @@
+// Yield-point instrumentation seam for systematic concurrency testing.
+//
+// The concurrent lock front ends (SpinRwRnlp, ShardedRwRnlp, SuspendRwRnlp)
+// realize the paper's Rule G4 (atomic protocol invocations) with a short
+// internal mutex, and their correctness must hold over *every* interleaving
+// of those invocations.  Wall-clock stress tests sample a vanishingly small,
+// non-reproducible slice of that schedule space; the schedule-exploration
+// harness in src/testing/ instead runs the lock's threads *cooperatively*,
+// serializing them through the yield points declared here and choosing at
+// each point which thread runs next (CHESS-style systematic concurrency
+// testing; Musuvathi & Qadeer, PLDI 2007).
+//
+// The seam is compiled in only under the RWRNLP_SCHED_TEST CMake option.
+// Without it, sched_yield_point() is an empty inline function and
+// sched_wait() returns false without evaluating anything, so production
+// builds pay literally zero cost.  With it, each call checks a thread-local
+// hook pointer (one TLS load + branch when no scheduler is installed).
+//
+// Yield-point map (where the lock code yields control):
+//
+//   TicketAcquire    - waiting for the lock's internal mutex (the ticket
+//                      spinlock of the spin variants, the std::mutex of the
+//                      suspension variant).  Every protocol invocation is
+//                      preceded by one of these, so the *order in which
+//                      threads enter the RSM* is a scheduling decision.
+//   EngineInvoke     - internal mutex held, about to invoke the RSM engine.
+//                      Exposes the "holding the short lock, invocation not
+//                      yet applied" window.
+//   SatisfactionWait - request issued but not satisfied; the thread is
+//                      spinning (spin variants) or would sleep on the
+//                      condition variable (suspension variant).  Under the
+//                      scheduler this becomes a cooperative wait on the
+//                      satisfaction predicate.
+//   Release          - about to run the completion invocation (Rule G3).
+//   Start            - virtual-thread startup (emitted by the scheduler
+//                      itself, never by lock code).
+#pragma once
+
+#include <cstdint>
+
+#ifdef RWRNLP_SCHED_TEST
+#include <functional>
+#include <utility>
+#endif
+
+namespace rwrnlp::locks {
+
+enum class YieldPoint : std::uint8_t {
+  Start,
+  TicketAcquire,
+  EngineInvoke,
+  SatisfactionWait,
+  Release,
+};
+
+inline const char* to_string(YieldPoint p) {
+  switch (p) {
+    case YieldPoint::Start: return "start";
+    case YieldPoint::TicketAcquire: return "ticket-acquire";
+    case YieldPoint::EngineInvoke: return "engine-invoke";
+    case YieldPoint::SatisfactionWait: return "satisfaction-wait";
+    case YieldPoint::Release: return "release";
+  }
+  return "?";
+}
+
+#ifdef RWRNLP_SCHED_TEST
+
+/// Installed per *OS thread* by the virtual scheduler.  A yield hands
+/// control back to the scheduler; a wait parks the thread until the
+/// scheduler observes the predicate true (the predicate is only evaluated
+/// while every virtual thread is suspended, so it may read state that is
+/// otherwise guarded by the lock's internal mutex).
+class ScheduleHook {
+ public:
+  virtual ~ScheduleHook() = default;
+  virtual void yield(YieldPoint p) = 0;
+  virtual void wait_until(YieldPoint p, const std::function<bool()>& pred) = 0;
+};
+
+inline ScheduleHook*& schedule_hook_slot() {
+  thread_local ScheduleHook* hook = nullptr;
+  return hook;
+}
+
+/// Installs (or clears, with nullptr) the calling thread's hook.
+inline void install_schedule_hook(ScheduleHook* h) { schedule_hook_slot() = h; }
+
+/// Yields to the virtual scheduler, if one is driving this thread.
+inline void sched_yield_point(YieldPoint p) {
+  if (ScheduleHook* h = schedule_hook_slot()) h->yield(p);
+}
+
+/// Cooperative wait: returns true if a scheduler handled the wait (the
+/// predicate is then guaranteed true), false when the caller must fall back
+/// to its native waiting mechanism (spin / condition variable).
+template <typename Pred>
+inline bool sched_wait(YieldPoint p, Pred&& pred) {
+  if (ScheduleHook* h = schedule_hook_slot()) {
+    const std::function<bool()> f = std::forward<Pred>(pred);
+    h->wait_until(p, f);
+    return true;
+  }
+  return false;
+}
+
+#else  // !RWRNLP_SCHED_TEST — zero-cost no-ops.
+
+inline void sched_yield_point(YieldPoint) {}
+
+template <typename Pred>
+inline bool sched_wait(YieldPoint, Pred&&) {
+  return false;
+}
+
+#endif  // RWRNLP_SCHED_TEST
+
+}  // namespace rwrnlp::locks

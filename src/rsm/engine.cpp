@@ -150,6 +150,9 @@ RequestId Engine::try_issue_read_fast(Time t, const ResourceSet& reads) {
     if (!info.wq.empty() || info.write_holder != kNoRequest)
       uncontended = false;
   });
+#ifdef RWRNLP_SCHED_TEST
+  if (test_force_read_fast_) uncontended = true;  // fault injection
+#endif
   if (!uncontended) return kNoRequest;
 
   begin_invocation(t);

@@ -197,6 +197,17 @@ class Engine {
 
   const std::vector<TraceEvent>& trace() const { return trace_; }
   void clear_trace() { trace_.clear(); }
+  /// Turns trace recording on/off at runtime (the schedule-exploration
+  /// oracle enables it on engines constructed without it).
+  void set_trace_recording(bool on) { options_.record_trace = on; }
+
+#ifdef RWRNLP_SCHED_TEST
+  /// Fault-injection hook (schedule-testing builds only): makes
+  /// try_issue_read_fast() skip its R1 precondition and satisfy the read
+  /// unconditionally — a deliberate protocol violation that the replay
+  /// oracle must detect.  Never set outside tests.
+  void test_set_force_read_fast(bool on) { test_force_read_fast_ = on; }
+#endif
 
   /// Structural invariant sweep (queues consistent, locks consistent, E10,
   /// FIFO order, placeholder lifecycle).  Throws InvariantViolation on
@@ -259,6 +270,9 @@ class Engine {
   std::vector<TraceEvent> trace_;
   std::function<void(RequestId, Time)> on_satisfied_;
   std::function<void(RequestId, const ResourceSet&, Time)> on_granted_;
+#ifdef RWRNLP_SCHED_TEST
+  bool test_force_read_fast_ = false;
+#endif
 };
 
 }  // namespace rwrnlp::rsm

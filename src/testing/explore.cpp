@@ -1,0 +1,105 @@
+#include "testing/explore.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace rwrnlp::testing {
+
+namespace {
+
+/// Runs one schedule under `strategy`; returns the failure description ("":
+/// passed) and, optionally, the decision trace.
+std::string run_once(const ScenarioFactory& factory,
+                     ScheduleStrategy& strategy, const ExploreOptions& opt,
+                     std::vector<std::size_t>* choices_out) {
+  strategy.begin_schedule();
+  ScenarioRun scenario = factory();
+  VirtualScheduler::Options vopt;
+  vopt.max_decisions = opt.max_decisions;
+  VirtualScheduler sched(strategy, vopt);
+  VirtualScheduler::RunResult rr = sched.run(std::move(scenario.bodies));
+  if (choices_out != nullptr) *choices_out = std::move(rr.choices);
+  if (rr.deadlocked) return "deadlock: no runnable virtual thread";
+  if (!rr.error.empty()) return rr.error;
+  if (scenario.check) {
+    try {
+      scenario.check();
+    } catch (const std::exception& e) {
+      return e.what();
+    }
+  }
+  return "";
+}
+
+void trim_trailing_zeros(std::vector<std::size_t>& choices) {
+  while (!choices.empty() && choices.back() == 0) choices.pop_back();
+}
+
+/// Shrinks a failing decision sequence; every accepted transformation is
+/// re-verified, so the returned token still fails.
+std::vector<std::size_t> minimize(const ScenarioFactory& factory,
+                                  std::vector<std::size_t> choices,
+                                  const ExploreOptions& opt) {
+  std::size_t budget = opt.minimize_budget;
+  const auto still_fails = [&](const std::vector<std::size_t>& c) {
+    if (budget == 0) return false;  // out of replays: be conservative
+    --budget;
+    ReplayStrategy rs(c);
+    return !run_once(factory, rs, opt, nullptr).empty();
+  };
+
+  // Pass 1: shortest failing prefix (the tail defaults to choice 0).
+  for (std::size_t len = 0; len < choices.size(); ++len) {
+    std::vector<std::size_t> prefix(choices.begin(),
+                                    choices.begin() + static_cast<long>(len));
+    if (still_fails(prefix)) {
+      choices = std::move(prefix);
+      break;
+    }
+  }
+  trim_trailing_zeros(choices);
+
+  // Pass 2: greedy zeroing of the surviving nonzero choices.
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (choices[i] == 0) continue;
+    std::vector<std::size_t> candidate = choices;
+    candidate[i] = 0;
+    if (still_fails(candidate)) choices = std::move(candidate);
+  }
+  trim_trailing_zeros(choices);
+  return choices;
+}
+
+}  // namespace
+
+ExploreResult explore(const ScenarioFactory& factory,
+                      ScheduleStrategy& strategy, ExploreOptions opt) {
+  ExploreResult res;
+  for (;;) {
+    std::vector<std::size_t> choices;
+    const std::string err = run_once(factory, strategy, opt, &choices);
+    ++res.schedules;
+    res.max_decisions_seen = std::max(res.max_decisions_seen, choices.size());
+    if (!err.empty()) {
+      res.failure_found = true;
+      res.failure = err;
+      res.original_token = format_replay_token(choices);
+      res.token = format_replay_token(minimize(factory, choices, opt));
+      return res;
+    }
+    if (res.schedules >= opt.max_schedules) return res;
+    if (!strategy.advance()) {
+      res.exhausted = true;
+      return res;
+    }
+  }
+}
+
+std::string replay(const ScenarioFactory& factory, const std::string& token,
+                   ExploreOptions opt) {
+  ReplayStrategy rs(parse_replay_token(token));
+  return run_once(factory, rs, opt, nullptr);
+}
+
+}  // namespace rwrnlp::testing

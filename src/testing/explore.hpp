@@ -1,0 +1,64 @@
+// Schedule exploration driver: strategy loop, failure capture, and
+// schedule minimization.
+//
+// A scenario is handed in as a *factory* because every schedule needs a
+// fresh lock instance (and a fresh oracle closure over it); the factory is
+// invoked once per run.  The post-run `check` hook is where the replay
+// oracle (testing/oracle.hpp) and any scenario-specific assertions live —
+// anything it throws fails the schedule exactly like an exception escaping
+// a virtual thread.
+//
+// When a schedule fails, the driver first records its full decision trace,
+// then shrinks it: (1) find the shortest failing prefix (decisions past the
+// prefix default to choice 0, i.e. "never preempt"), then (2) greedily zero
+// the remaining nonzero choices.  Both passes only keep transformations
+// verified to still fail, so the minimized token always reproduces the
+// failure; the pass is capped by `minimize_budget` replays.
+#pragma once
+
+#ifndef RWRNLP_SCHED_TEST
+#error "explore.hpp requires the RWRNLP_SCHED_TEST build option"
+#endif
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "testing/virtual_scheduler.hpp"
+
+namespace rwrnlp::testing {
+
+struct ScenarioRun {
+  std::vector<std::function<void()>> bodies;  ///< one per virtual thread
+  std::function<void()> check;  ///< post-run oracle; throws to fail
+};
+
+using ScenarioFactory = std::function<ScenarioRun()>;
+
+struct ExploreOptions {
+  std::size_t max_schedules = 200000;
+  std::size_t max_decisions = 20000;
+  std::size_t minimize_budget = 2000;  ///< replays spent shrinking a failure
+};
+
+struct ExploreResult {
+  std::size_t schedules = 0;
+  std::size_t max_decisions_seen = 0;
+  bool exhausted = false;  ///< the strategy ran out (full coverage for DFS)
+  bool failure_found = false;
+  std::string failure;         ///< description of the first failure
+  std::string token;           ///< minimized replay token
+  std::string original_token;  ///< the failing schedule as first found
+};
+
+/// Runs schedules from `strategy` until a failure, exhaustion, or the
+/// schedule budget; on failure the result carries a minimized replay token.
+ExploreResult explore(const ScenarioFactory& factory,
+                      ScheduleStrategy& strategy, ExploreOptions opt = {});
+
+/// Re-runs a single schedule from a replay token.  Returns the failure
+/// description, or "" when the schedule passes.
+std::string replay(const ScenarioFactory& factory, const std::string& token,
+                   ExploreOptions opt = {});
+
+}  // namespace rwrnlp::testing

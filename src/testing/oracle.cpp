@@ -1,0 +1,170 @@
+#include "testing/oracle.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/blocking.hpp"
+#include "rsm/invariants.hpp"
+#include "rsm/trace.hpp"
+#include "util/assert.hpp"
+
+namespace rwrnlp::testing {
+
+namespace {
+
+struct Footprint {
+  ResourceSet reads;
+  ResourceSet writes;
+  bool is_write = false;
+  std::size_t conflicting_completions = 0;
+};
+
+bool footprints_conflict(const Footprint& a, const Footprint& b) {
+  return a.writes.intersects(b.reads) || a.writes.intersects(b.writes) ||
+         b.writes.intersects(a.reads);
+}
+
+}  // namespace
+
+void verify_replay(const rsm::Engine& live, const locks::InvocationLog& log,
+                   const OracleOptions& opt) {
+  rsm::EngineOptions eopt;
+  eopt.expansion = live.options().expansion;
+  eopt.validate = true;
+  eopt.record_trace = true;
+  // Must match the lock front ends: with recycling off the oracle would
+  // allocate fresh ids where the live engine reused slots.
+  eopt.retain_history = false;
+  rsm::Engine oracle(live.num_resources(), live.shares(), eopt);
+
+  rsm::ObserverOptions oopt;
+  oopt.check_e_properties = opt.check_e_properties;
+  rsm::ProtocolObserver observer(oracle, oopt);
+
+  const std::size_t m = opt.num_threads;
+  // The strict discrete caps are sound only for two-thread scenarios (see
+  // the header / DESIGN.md §8).
+  const bool strict = m == 2;
+  const analysis::BlockingContext ctx{m, 1.0, 1.0};
+  const sched::ProtocolKind kind =
+      live.options().expansion == rsm::WriteExpansion::Placeholders
+          ? sched::ProtocolKind::RwRnlpPlaceholders
+          : sched::ProtocolKind::RwRnlp;
+  const double read_units = analysis::read_acquisition_bound(kind, ctx);
+  const double write_units = analysis::write_acquisition_bound(kind, ctx);
+  const double loose_cap =
+      static_cast<double>((m > 0 ? m - 1 : 0) * opt.ops_per_thread);
+
+  std::unordered_map<rsm::RequestId, Footprint> footprints;
+  std::vector<rsm::RequestId> pending;  // issued, not yet satisfied
+
+  for (const locks::InvocationRecord& rec : log) {
+    rsm::RequestId rid = rsm::kNoRequest;
+    rsm::InvocationKind okind = rsm::InvocationKind::ReadIssue;
+    switch (rec.kind) {
+      case locks::InvocationKind::IssueRead:
+        rid = oracle.issue_read(rec.t, rec.reads);
+        okind = rsm::InvocationKind::ReadIssue;
+        break;
+      case locks::InvocationKind::IssueReadFast:
+        rid = oracle.try_issue_read_fast(rec.t, rec.reads);
+        RWRNLP_CHECK_MSG(
+            rid != rsm::kNoRequest,
+            "replay divergence: live lock took the uncontended-read fast "
+            "path for "
+                << rec.reads.to_string()
+                << " but the R1 precondition does not hold in the replayed "
+                   "state (request "
+                << rec.id << ", t=" << rec.t << ")");
+        okind = rsm::InvocationKind::ReadIssue;
+        break;
+      case locks::InvocationKind::IssueWrite:
+        rid = oracle.issue_write(rec.t, rec.writes);
+        okind = rsm::InvocationKind::WriteIssue;
+        break;
+      case locks::InvocationKind::IssueMixed:
+        rid = oracle.issue_mixed(rec.t, rec.reads, rec.writes);
+        okind = rsm::InvocationKind::Mixed;
+        break;
+      case locks::InvocationKind::Complete:
+        oracle.complete(rec.t, rec.id);
+        okind = rec.is_write ? rsm::InvocationKind::WriteComplete
+                             : rsm::InvocationKind::ReadComplete;
+        break;
+    }
+
+    if (rec.kind != locks::InvocationKind::Complete) {
+      RWRNLP_CHECK_MSG(rid == rec.id,
+                       "replay divergence: live lock assigned request id "
+                           << rec.id << " but the oracle assigned " << rid
+                           << " (t=" << rec.t << ")");
+      RWRNLP_CHECK_MSG(
+          oracle.is_satisfied(rid) == rec.satisfied_at_invocation,
+          "replay divergence: request "
+              << rid << " was "
+              << (rec.satisfied_at_invocation ? "" : "not ")
+              << "satisfied at issuance in the live run but the oracle "
+              << (rec.satisfied_at_invocation ? "disagrees" : "satisfied it")
+              << " (t=" << rec.t << ")");
+      footprints[rid] =
+          Footprint{rec.reads, rec.writes, rec.is_write, 0};
+      if (!rec.satisfied_at_invocation) pending.push_back(rid);
+    } else {
+      // Count this completion against every request still waiting that it
+      // conflicts with — the discrete shadow of the Thm. 1/2 wait windows.
+      const Footprint& done = footprints.at(rec.id);
+      for (rsm::RequestId pid : pending)
+        if (footprints_conflict(footprints.at(pid), done))
+          ++footprints[pid].conflicting_completions;
+    }
+
+    observer.after_invocation(okind);
+
+    // Finalize satisfactions *after* accounting the completing invocation:
+    // the wait window of a request closed by this invocation includes it.
+    pending.erase(
+        std::remove_if(
+            pending.begin(), pending.end(),
+            [&](rsm::RequestId pid) {
+              if (!oracle.is_satisfied(pid)) return false;
+              if (opt.check_bounds) {
+                const Footprint& f = footprints.at(pid);
+                const double n =
+                    static_cast<double>(f.conflicting_completions);
+                if (strict) {
+                  RWRNLP_CHECK_MSG(
+                      f.conflicting_completions <= 1,
+                      "bound violation (m=2 strict cap): request "
+                          << pid << " waited through "
+                          << f.conflicting_completions
+                          << " conflicting completions");
+                  const double cap = f.is_write ? write_units : read_units;
+                  RWRNLP_CHECK_MSG(
+                      n <= cap + 1e-9,
+                      "bound violation: request "
+                          << pid << " waited through " << n
+                          << " unit critical sections, Thm. "
+                          << (f.is_write ? 2 : 1) << " allows " << cap);
+                } else {
+                  RWRNLP_CHECK_MSG(
+                      n <= loose_cap + 1e-9,
+                      "bound violation ((m-1)*ops cap): request "
+                          << pid << " waited through " << n
+                          << " conflicting completions, cap " << loose_cap);
+                }
+              }
+              return true;
+            }),
+        pending.end());
+  }
+
+  RWRNLP_CHECK_MSG(
+      rsm::format_trace(live.trace()) == rsm::format_trace(oracle.trace()),
+      "replay divergence: live event trace differs from the oracle's "
+      "(live "
+          << live.trace().size() << " events, oracle "
+          << oracle.trace().size() << ")");
+}
+
+}  // namespace rwrnlp::testing

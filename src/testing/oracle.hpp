@@ -1,0 +1,47 @@
+// Replay oracle: validates a concurrent run against the sequential RSM.
+//
+// The instrumented lock front ends record every engine invocation (in the
+// exact serialization order of their internal mutex) into an InvocationLog.
+// After a schedule finishes, verify_replay() pushes that sequence through a
+// *fresh* engine and demands that the live lock behaved byte-identically to
+// the pure state machine:
+//
+//  1. Equivalence — every replayed issue must yield the same RequestId and
+//     the same satisfied-at-invocation outcome, the uncontended-read fast
+//     path must be admissible wherever the live lock took it, and the full
+//     event trace (rsm/trace.hpp) must compare byte-identical.
+//  2. Protocol properties — a ProtocolObserver checks Lemma 2's
+//     E-properties, Lemma 6, and Corollaries 1/2 across the replayed
+//     sequence.
+//  3. Acquisition-delay caps — a discrete shadow of Thms. 1/2: each
+//     request's count of conflicting completions during its wait window is
+//     capped.  For two-thread scenarios the cap is strict (<= 1, and within
+//     the unit-length bound from analysis::blocking); with more threads
+//     only the trivially sound (m-1) * ops_per_thread cap is applied,
+//     because the theorems bound cumulative *durations* under Property P1,
+//     not completion counts under adversarial schedules (DESIGN.md §8; the
+//     timing-faithful theorem checks live in
+//     tests/analysis/bound_conformance_test.cpp).
+//
+// Any divergence throws InvariantViolation, failing the schedule.
+#pragma once
+
+#include "locks/invocation_log.hpp"
+#include "rsm/engine.hpp"
+
+namespace rwrnlp::testing {
+
+struct OracleOptions {
+  std::size_t num_threads = 2;    ///< virtual threads in the scenario (m)
+  std::size_t ops_per_thread = 1; ///< lock sections per thread
+  bool check_bounds = true;
+  bool check_e_properties = true;
+};
+
+/// Replays `log` through a fresh engine configured like `live` and runs the
+/// three check layers above.  `live` must have been recording its trace
+/// from construction (Engine::set_trace_recording before any operation).
+void verify_replay(const rsm::Engine& live, const locks::InvocationLog& log,
+                   const OracleOptions& opt = {});
+
+}  // namespace rwrnlp::testing

@@ -1,0 +1,38 @@
+#include "testing/strategy.hpp"
+
+#include <stdexcept>
+
+namespace rwrnlp::testing {
+
+std::string format_replay_token(const std::vector<std::size_t>& choices) {
+  if (choices.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i != 0) out += '.';
+    out += std::to_string(choices[i]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> parse_replay_token(const std::string& token) {
+  std::vector<std::size_t> choices;
+  if (token.empty() || token == "-") return choices;
+  std::size_t pos = 0;
+  while (pos <= token.size()) {
+    const std::size_t dot = token.find('.', pos);
+    const std::string part =
+        token.substr(pos, dot == std::string::npos ? dot : dot - pos);
+    if (part.empty())
+      throw std::invalid_argument("malformed replay token: '" + token + "'");
+    std::size_t consumed = 0;
+    const unsigned long v = std::stoul(part, &consumed);
+    if (consumed != part.size())
+      throw std::invalid_argument("malformed replay token: '" + token + "'");
+    choices.push_back(static_cast<std::size_t>(v));
+    if (dot == std::string::npos) break;
+    pos = dot + 1;
+  }
+  return choices;
+}
+
+}  // namespace rwrnlp::testing

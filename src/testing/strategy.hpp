@@ -1,0 +1,171 @@
+// Schedule-selection strategies for the virtual scheduler.
+//
+// A strategy answers one question, repeatedly: "`num_options` virtual
+// threads are runnable — which one runs next?"  Options are presented in a
+// canonical order with the *currently running* thread first (when it is
+// runnable), so choice 0 always means "keep going" and every nonzero choice
+// at such a point is a preemption.  A full schedule is therefore described
+// exactly by the sequence of choices made at decision points (points with a
+// single runnable thread are forced and not recorded), which doubles as the
+// replay token of a failing run.
+//
+// Strategies:
+//  * ExhaustiveStrategy        — depth-first enumeration of every schedule
+//    (complete for terminating scenarios; use on small configurations).
+//  * PreemptionBoundedStrategy — exhaustive over schedules with at most k
+//    preemptions (the CHESS insight: most concurrency bugs manifest with
+//    very few preemptions, and the bounded space is polynomially smaller).
+//  * RandomStrategy            — seeded random walks for larger scenarios.
+//  * ReplayStrategy            — deterministically re-runs one schedule from
+//    a recorded token (choices beyond the token default to 0).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rwrnlp::testing {
+
+/// Compact textual form of a decision sequence: choices joined by '.'
+/// ("2.0.1"); the empty sequence renders as "-".  Trailing zeros may be
+/// omitted — replay defaults unspecified decisions to choice 0.
+std::string format_replay_token(const std::vector<std::size_t>& choices);
+std::vector<std::size_t> parse_replay_token(const std::string& token);
+
+class ScheduleStrategy {
+ public:
+  virtual ~ScheduleStrategy() = default;
+
+  /// Called before each schedule (including the first).
+  virtual void begin_schedule() = 0;
+
+  /// Picks one of [0, num_options).  `current_runnable` says whether option
+  /// 0 is the currently running thread (so nonzero = preemption).
+  virtual std::size_t choose(std::size_t num_options,
+                             bool current_runnable) = 0;
+
+  /// Moves to the next schedule; false when the strategy is exhausted.
+  virtual bool advance() = 0;
+};
+
+/// Depth-first systematic enumeration, optionally preemption-bounded.
+/// advance() increments the deepest decision that still has an untried
+/// option and discards everything below it; the prefix above is replayed
+/// verbatim on the next run (scenarios are deterministic given the choice
+/// sequence, so the prefix reproduces the same decision points).
+class DfsStrategy : public ScheduleStrategy {
+ public:
+  static constexpr std::size_t kUnbounded = static_cast<std::size_t>(-1);
+
+  explicit DfsStrategy(std::size_t preemption_budget = kUnbounded)
+      : budget_(preemption_budget) {}
+
+  void begin_schedule() override {
+    cursor_ = 0;
+    preemptions_used_ = 0;
+  }
+
+  std::size_t choose(std::size_t num_options, bool current_runnable) override {
+    if (cursor_ < stack_.size()) {
+      const std::size_t c = stack_[cursor_++].chosen;
+      if (current_runnable && c != 0) ++preemptions_used_;
+      return c < num_options ? c : 0;
+    }
+    // A fresh decision point: try option 0 first (continue the current
+    // thread when possible — the fewest-preemptions schedule).  When the
+    // preemption budget is spent and the current thread can run, the
+    // decision is forced (limit 1), so advance() will never flip it.
+    std::size_t limit = num_options;
+    if (current_runnable && preemptions_used_ >= budget_) limit = 1;
+    stack_.push_back(Node{0, limit});
+    ++cursor_;
+    return 0;
+  }
+
+  bool advance() override {
+    while (!stack_.empty()) {
+      Node& n = stack_.back();
+      if (n.chosen + 1 < n.limit) {
+        ++n.chosen;
+        return true;
+      }
+      stack_.pop_back();
+    }
+    return false;
+  }
+
+ private:
+  struct Node {
+    std::size_t chosen;
+    std::size_t limit;
+  };
+
+  std::size_t budget_;
+  std::vector<Node> stack_;
+  std::size_t cursor_ = 0;
+  std::size_t preemptions_used_ = 0;
+};
+
+class ExhaustiveStrategy final : public DfsStrategy {
+ public:
+  ExhaustiveStrategy() : DfsStrategy(kUnbounded) {}
+};
+
+class PreemptionBoundedStrategy final : public DfsStrategy {
+ public:
+  explicit PreemptionBoundedStrategy(std::size_t max_preemptions)
+      : DfsStrategy(max_preemptions) {}
+};
+
+/// Seeded random walks: schedule i draws its choices from Rng(seed, i), so
+/// a (seed, num_schedules) pair names a reproducible experiment.
+class RandomStrategy final : public ScheduleStrategy {
+ public:
+  RandomStrategy(std::uint64_t seed, std::size_t num_schedules)
+      : seed_(seed), num_schedules_(num_schedules) {}
+
+  void begin_schedule() override {
+    SplitMix64 mix(seed_ + 0x51ed2701u * static_cast<std::uint64_t>(run_));
+    rng_ = Rng(mix.next());
+  }
+
+  std::size_t choose(std::size_t num_options, bool) override {
+    return static_cast<std::size_t>(rng_.next_below(num_options));
+  }
+
+  bool advance() override { return ++run_ < num_schedules_; }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t num_schedules_;
+  std::size_t run_ = 0;
+  Rng rng_{0};
+};
+
+/// Replays a recorded decision sequence; decisions past the end take the
+/// default (option 0).  A single run: advance() is always false.
+class ReplayStrategy final : public ScheduleStrategy {
+ public:
+  explicit ReplayStrategy(std::vector<std::size_t> choices)
+      : choices_(std::move(choices)) {}
+
+  void begin_schedule() override { cursor_ = 0; }
+
+  std::size_t choose(std::size_t num_options, bool) override {
+    const std::size_t c =
+        cursor_ < choices_.size() ? choices_[cursor_] : std::size_t{0};
+    ++cursor_;
+    return c < num_options ? c : 0;
+  }
+
+  bool advance() override { return false; }
+
+ private:
+  std::vector<std::size_t> choices_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace rwrnlp::testing

@@ -1,0 +1,167 @@
+#include "testing/virtual_scheduler.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace rwrnlp::testing {
+
+struct VirtualScheduler::WorkerHook final : locks::ScheduleHook {
+  VirtualScheduler* sched;
+  std::size_t index;
+
+  WorkerHook(VirtualScheduler* s, std::size_t i) : sched(s), index(i) {}
+
+  void yield(locks::YieldPoint) override {
+    sched->worker_yield(index, nullptr);
+  }
+  void wait_until(locks::YieldPoint,
+                  const std::function<bool()>& pred) override {
+    sched->worker_yield(index, &pred);
+  }
+};
+
+void VirtualScheduler::worker_yield(std::size_t idx,
+                                    const std::function<bool()>* pred) {
+  std::unique_lock<std::mutex> lk(m_);
+  Thread& th = threads_[idx];
+  th.state = pred != nullptr ? State::ParkedWaiting : State::ParkedRunnable;
+  th.pred = pred;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return th.granted || abort_; });
+  th.pred = nullptr;
+  if (!th.granted) {  // woken by abort_: unwind this virtual thread
+    th.state = State::Running;
+    lk.unlock();
+    throw ScheduleAbort{};
+  }
+  th.granted = false;
+  th.state = State::Running;
+}
+
+void VirtualScheduler::worker_main(std::size_t idx,
+                                   const std::function<void()>& body) {
+  WorkerHook hook(this, idx);
+  locks::install_schedule_hook(&hook);
+  try {
+    worker_yield(idx, nullptr);  // park at Start: first step is a decision
+    body();
+  } catch (const ScheduleAbort&) {
+    // Teardown unwind: not an error.
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lk(m_);
+    if (threads_[idx].error.empty()) threads_[idx].error = e.what();
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(m_);
+    if (threads_[idx].error.empty())
+      threads_[idx].error = "non-standard exception in virtual thread";
+  }
+  locks::install_schedule_hook(nullptr);
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    threads_[idx].state = State::Finished;
+  }
+  cv_.notify_all();
+}
+
+VirtualScheduler::RunResult VirtualScheduler::run(
+    std::vector<std::function<void()>> bodies) {
+  const std::size_t n = bodies.size();
+  RunResult res;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    threads_.assign(n, Thread{});
+    abort_ = false;
+    current_ = 0;
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers.emplace_back(
+        [this, i, &bodies] { worker_main(i, bodies[i]); });
+
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    bool stop = false;
+    while (!stop) {
+      // Quiescence barrier: no decision is taken while any virtual thread
+      // is between yield points (this is what makes runs deterministic).
+      cv_.wait(lk, [&] {
+        return std::all_of(threads_.begin(), threads_.end(),
+                           [](const Thread& t) {
+                             return t.state != State::Running;
+                           });
+      });
+
+      for (const Thread& t : threads_) {
+        if (!t.error.empty()) {
+          res.error = t.error;
+          stop = true;
+          break;
+        }
+      }
+      if (stop) break;
+
+      if (std::all_of(threads_.begin(), threads_.end(), [](const Thread& t) {
+            return t.state == State::Finished;
+          }))
+        break;  // clean completion
+
+      // Predicate pass: promote blocked threads whose condition now holds.
+      // All threads are parked, so predicates may safely read lock-internal
+      // state (including locking the suspension variant's mutex).
+      std::vector<std::size_t> options;
+      for (std::size_t i = 0; i < n; ++i) {
+        Thread& t = threads_[i];
+        if (t.state == State::ParkedWaiting && (*t.pred)()) {
+          t.state = State::ParkedRunnable;
+          t.pred = nullptr;
+        }
+        if (t.state == State::ParkedRunnable) options.push_back(i);
+      }
+      if (options.empty()) {
+        res.deadlocked = true;
+        break;
+      }
+
+      // Canonical option order: current thread first (choice 0 = continue).
+      auto it = std::find(options.begin(), options.end(), current_);
+      const bool current_runnable = it != options.end();
+      if (current_runnable) std::rotate(options.begin(), it, it + 1);
+
+      std::size_t choice = 0;
+      if (options.size() > 1) {
+        if (res.choices.size() >= opt_.max_decisions) {
+          res.error = "schedule exceeded the decision budget (" +
+                      std::to_string(opt_.max_decisions) + ")";
+          break;
+        }
+        choice = strategy_.choose(options.size(), current_runnable);
+        if (choice >= options.size()) choice = 0;
+        res.choices.push_back(choice);
+      }
+
+      const std::size_t pick = options[choice];
+      current_ = pick;
+      threads_[pick].state = State::Running;
+      threads_[pick].granted = true;
+      cv_.notify_all();
+    }
+
+    // Teardown: unwind every still-parked thread and wait them out.
+    abort_ = true;
+    cv_.notify_all();
+    cv_.wait(lk, [&] {
+      return std::all_of(threads_.begin(), threads_.end(),
+                         [](const Thread& t) {
+                           return t.state == State::Finished;
+                         });
+    });
+  }
+
+  for (std::thread& w : workers) w.join();
+  return res;
+}
+
+}  // namespace rwrnlp::testing

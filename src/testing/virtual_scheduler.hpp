@@ -1,0 +1,110 @@
+// VirtualScheduler: cooperative serialization of instrumented lock code.
+//
+// Each scenario body runs on a real std::thread, but the threads only make
+// progress one at a time: every yield point declared in
+// locks/yield_point.hpp parks the thread and hands control to the
+// scheduler, which (a) waits until *every* virtual thread is parked,
+// (b) evaluates the wait predicates of blocked threads, and (c) asks the
+// active ScheduleStrategy which runnable thread to resume.  The result is a
+// fully deterministic interleaving of the lock's protocol invocations,
+// chosen by the strategy rather than by the OS — the CHESS model of
+// systematic concurrency testing.
+//
+// Guarantees and conventions:
+//  * Decision points exist only where >= 2 threads are runnable; forced
+//    steps are not recorded.  The recorded choice sequence is the replay
+//    token of the run.
+//  * Options are ordered with the currently running thread first, then the
+//    remaining runnable threads by index — so choice 0 means "no
+//    preemption" wherever that is possible.
+//  * Wait predicates are evaluated only while all virtual threads are
+//    parked, so they may inspect state that the lock otherwise guards with
+//    its internal mutex.  They must be *sticky*: once true, they stay true
+//    until their own thread runs (true for satisfaction flags and ticket
+//    turns).
+//  * If no thread is runnable but some are unfinished, the run is reported
+//    as a deadlock; the first exception escaping a body is reported as an
+//    error.  Either way every thread is unwound (via ScheduleAbort) and
+//    joined before run() returns, so a failing schedule never leaks
+//    threads.
+//
+// Memory visibility: all handoffs go through one scheduler mutex, so the
+// mutations a thread made before parking happen-before the next thread's
+// resumption — the serialized execution is sequentially consistent.
+#pragma once
+
+#ifndef RWRNLP_SCHED_TEST
+#error "virtual_scheduler.hpp requires the RWRNLP_SCHED_TEST build option"
+#endif
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "locks/yield_point.hpp"
+#include "testing/strategy.hpp"
+
+namespace rwrnlp::testing {
+
+/// Thrown into parked virtual threads to unwind them at teardown (after a
+/// deadlock, an error, or a budget stop).  Deliberately not a
+/// std::exception so lock/engine code cannot accidentally swallow it.
+struct ScheduleAbort {};
+
+class VirtualScheduler {
+ public:
+  struct Options {
+    /// Hard cap on recorded decisions per run (guards against scenarios
+    /// that diverge, e.g. a livelocking retry loop).
+    std::size_t max_decisions = 20000;
+  };
+
+  struct RunResult {
+    std::vector<std::size_t> choices;  ///< decision trace (replay token body)
+    bool deadlocked = false;
+    std::string error;  ///< first exception escaping a body ("" if none)
+    bool failed() const { return deadlocked || !error.empty(); }
+  };
+
+  explicit VirtualScheduler(ScheduleStrategy& strategy)
+      : VirtualScheduler(strategy, Options{}) {}
+  VirtualScheduler(ScheduleStrategy& strategy, Options opt)
+      : strategy_(strategy), opt_(opt) {}
+
+  /// Runs one schedule of `bodies` (one virtual thread each) to completion;
+  /// never throws for scenario-level failures (see RunResult).
+  RunResult run(std::vector<std::function<void()>> bodies);
+
+ private:
+  enum class State : std::uint8_t {
+    Running,         // between a grant and the next yield point
+    ParkedRunnable,  // at a plain yield point, ready to resume
+    ParkedWaiting,   // at a wait point, blocked on its predicate
+    Finished,
+  };
+
+  struct WorkerHook;
+
+  struct Thread {
+    State state = State::Running;
+    bool granted = false;
+    const std::function<bool()>* pred = nullptr;
+    std::string error;
+  };
+
+  void worker_main(std::size_t idx, const std::function<void()>& body);
+  void worker_yield(std::size_t idx, const std::function<bool()>* pred);
+
+  ScheduleStrategy& strategy_;
+  Options opt_;
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::vector<Thread> threads_;  // guarded by m_
+  bool abort_ = false;           // guarded by m_
+  std::size_t current_ = 0;      // last-granted thread index
+};
+
+}  // namespace rwrnlp::testing

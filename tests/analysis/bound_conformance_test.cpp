@@ -1,0 +1,140 @@
+// Conformance of measured acquisition delays to the analysis-layer bounds.
+//
+// The RSM property tests already assert Theorems 1/2 against constants
+// inlined in the test; here the randomized exerciser workloads are checked
+// against the *analysis module's own* bound functions
+// (analysis::read/write_acquisition_bound), closing the loop between the
+// measured engine behaviour and the numbers the schedulability study feeds
+// into its inflation terms.  A sweep over seeds, processor counts, mixed
+// shares, and both write-expansion strategies; every run must stay within
+// Thm. 1 (reads) and Thm. 2 (writes).
+#include <gtest/gtest.h>
+
+#include "analysis/blocking.hpp"
+#include "sched/protocol.hpp"
+#include "tests/rsm/exerciser.hpp"
+
+namespace rwrnlp::analysis {
+namespace {
+
+using rsm::testing::Exerciser;
+using rsm::testing::ExerciserConfig;
+using rsm::testing::ExerciserResult;
+
+sched::ProtocolKind kind_of(rsm::WriteExpansion exp) {
+  return exp == rsm::WriteExpansion::Placeholders
+             ? sched::ProtocolKind::RwRnlpPlaceholders
+             : sched::ProtocolKind::RwRnlp;
+}
+
+/// Runs one exerciser workload and asserts its measured delays against the
+/// analysis bounds for the matching protocol kind.
+void expect_conformant(const ExerciserConfig& cfg) {
+  Exerciser ex(cfg);
+  const ExerciserResult res = ex.run();
+  ASSERT_GT(res.reads_issued + res.writes_issued, 0u);
+
+  const BlockingContext ctx{cfg.m, cfg.l_read, cfg.l_write};
+  const sched::ProtocolKind kind = kind_of(cfg.expansion);
+  const double read_bound = read_acquisition_bound(kind, ctx);
+  const double write_bound = write_acquisition_bound(kind, ctx);
+  // Theorem 1: reader acquisition delay <= L^r_max + L^w_max.
+  EXPECT_LE(res.max_read_delay, read_bound + 1e-9)
+      << "seed=" << cfg.seed << " m=" << cfg.m << " q=" << cfg.q
+      << " expansion=" << static_cast<int>(cfg.expansion);
+  // Theorem 2: writer acquisition delay <= (m-1)(L^r_max + L^w_max).
+  EXPECT_LE(res.max_write_delay, write_bound + 1e-9)
+      << "seed=" << cfg.seed << " m=" << cfg.m << " q=" << cfg.q
+      << " expansion=" << static_cast<int>(cfg.expansion);
+}
+
+TEST(BoundConformance, SeedSweepExpandDomain) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    ExerciserConfig cfg;
+    cfg.seed = seed;
+    cfg.expansion = rsm::WriteExpansion::ExpandDomain;
+    expect_conformant(cfg);
+  }
+}
+
+TEST(BoundConformance, SeedSweepPlaceholders) {
+  for (std::uint64_t seed = 101; seed <= 112; ++seed) {
+    ExerciserConfig cfg;
+    cfg.seed = seed;
+    cfg.expansion = rsm::WriteExpansion::Placeholders;
+    expect_conformant(cfg);
+  }
+}
+
+TEST(BoundConformance, ProcessorCountSweep) {
+  for (const std::size_t m : {2u, 3u, 6u, 8u}) {
+    for (const rsm::WriteExpansion exp : {rsm::WriteExpansion::ExpandDomain,
+                                          rsm::WriteExpansion::Placeholders}) {
+      ExerciserConfig cfg;
+      cfg.seed = 900 + m;
+      cfg.m = m;
+      cfg.q = 6;
+      cfg.steps = 500;
+      cfg.expansion = exp;
+      expect_conformant(cfg);
+    }
+  }
+}
+
+TEST(BoundConformance, WriteHeavyWorkloads) {
+  for (std::uint64_t seed = 40; seed <= 45; ++seed) {
+    ExerciserConfig cfg;
+    cfg.seed = seed;
+    cfg.read_prob = 0.2;  // mostly writers: stresses the Thm. 2 side
+    cfg.m = 6;
+    cfg.steps = 600;
+    expect_conformant(cfg);
+  }
+}
+
+TEST(BoundConformance, MixedRequestWorkloads) {
+  for (std::uint64_t seed = 70; seed <= 75; ++seed) {
+    ExerciserConfig cfg;
+    cfg.seed = seed;
+    cfg.mixed_prob = 0.5;  // mixed requests count as writers for Thm. 2
+    cfg.m = 5;
+    cfg.steps = 500;
+    expect_conformant(cfg);
+  }
+}
+
+TEST(BoundConformance, HighContentionSingleResource) {
+  // Everything funnels through one resource: the tightest practical squeeze
+  // on both theorem bounds.
+  for (std::uint64_t seed = 200; seed <= 205; ++seed) {
+    ExerciserConfig cfg;
+    cfg.seed = seed;
+    cfg.q = 1;
+    cfg.max_req_size = 1;
+    cfg.num_patterns = 2;
+    cfg.m = 4;
+    cfg.steps = 400;
+    expect_conformant(cfg);
+  }
+}
+
+// The suspension-mode donation bound and spin-mode release bound are
+// monotone consequences of the acquisition bounds; sanity-check the
+// analysis module keeps them ordered the way Sec. 3.3 / 3.8 require.
+TEST(BoundConformance, DerivedBoundsDominateAcquisition) {
+  for (const std::size_t m : {2u, 4u, 8u}) {
+    const BlockingContext ctx{m, 2.0, 3.0};
+    for (const sched::ProtocolKind kind :
+         {sched::ProtocolKind::RwRnlp,
+          sched::ProtocolKind::RwRnlpPlaceholders}) {
+      EXPECT_GE(donation_pi_blocking_bound(kind, ctx),
+                write_acquisition_bound(kind, ctx));
+      EXPECT_GE(write_acquisition_bound(kind, ctx),
+                read_acquisition_bound(kind, ctx) * (m > 1 ? 1.0 : 0.0));
+      EXPECT_GT(spin_release_pi_blocking_bound(kind, ctx), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rwrnlp::analysis

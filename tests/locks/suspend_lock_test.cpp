@@ -1,0 +1,221 @@
+// SuspendRwRnlp-specific behaviour: satisfied-set hygiene (no unbounded
+// growth), reader/writer mixing under suspension, oversubscription, and the
+// targeted-wakeup discipline (a release that satisfies nobody must not
+// stampede unrelated waiters through the mutex).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "locks/suspend_rw_rnlp.hpp"
+#include "util/rng.hpp"
+
+namespace rwrnlp::locks {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Polls until `cond` holds (or ~2 s elapse); suspension tests need to wait
+/// for another thread to actually park on the condition variable.
+template <typename Cond>
+bool eventually(Cond&& cond) {
+  for (int i = 0; i < 2000; ++i) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return cond();
+}
+
+TEST(SuspendRwRnlp, BasicAcquireReleaseSingleThread) {
+  SuspendRwRnlp lock(3);
+  const LockToken r = lock.acquire(ResourceSet(3, {0, 1}), ResourceSet(3));
+  lock.release(r);
+  const LockToken w = lock.acquire(ResourceSet(3), ResourceSet(3, {2}));
+  lock.release(w);
+  const LockToken m = lock.acquire(ResourceSet(3, {0}), ResourceSet(3, {1}));
+  lock.release(m);
+  EXPECT_EQ(lock.pending_satisfied_count(), 0u);
+  EXPECT_EQ(lock.blocked_waiters(), 0u);
+  // Nobody ever slept, so nobody was ever woken.
+  EXPECT_EQ(lock.notify_count(), 0u);
+  EXPECT_EQ(lock.wakeup_count(), 0u);
+}
+
+TEST(SuspendRwRnlp, ReadersShareWhileWriterExcludes) {
+  SuspendRwRnlp lock(2);
+  std::atomic<int> readers{0};
+  std::atomic<int> peak{0};
+  std::atomic<bool> writer_overlap{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < 150; ++k) {
+        const LockToken t = lock.acquire(ResourceSet(2, {0}), ResourceSet(2));
+        const int now = readers.fetch_add(1) + 1;
+        int p = peak.load();
+        while (now > p && !peak.compare_exchange_weak(p, now)) {
+        }
+        std::this_thread::yield();
+        readers.fetch_sub(1);
+        lock.release(t);
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int k = 0; k < 60; ++k) {
+      const LockToken t = lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+      if (readers.load() != 0) writer_overlap.store(true);
+      std::this_thread::yield();
+      if (readers.load() != 0) writer_overlap.store(true);
+      lock.release(t);
+    }
+  });
+  for (auto& t : threads) t.join();
+  writer.join();
+  EXPECT_GE(peak.load(), 2);  // readers truly shared
+  EXPECT_FALSE(writer_overlap.load());
+  EXPECT_EQ(lock.pending_satisfied_count(), 0u);
+}
+
+TEST(SuspendRwRnlp, MixedRequestAllowsConcurrentReaderOnReadPart) {
+  SuspendRwRnlp lock(4);
+  const LockToken a = lock.acquire(ResourceSet(4, {0}), ResourceSet(4, {1}));
+  std::atomic<bool> joined{false};
+  std::thread t([&] {
+    const LockToken b = lock.acquire(ResourceSet(4, {0}), ResourceSet(4));
+    joined.store(true);
+    lock.release(b);
+  });
+  t.join();  // the plain reader of l0 must not block behind the mixed hold
+  EXPECT_TRUE(joined.load());
+  lock.release(a);
+  EXPECT_EQ(lock.pending_satisfied_count(), 0u);
+}
+
+TEST(SuspendRwRnlp, OversubscribedRandomWorkloadCompletes) {
+  constexpr std::size_t kResources = 4;
+  SuspendRwRnlp lock(kResources);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int num_threads = static_cast<int>(hw != 0 ? 2 * hw : 8);
+  constexpr int kIters = 300;
+  std::atomic<long> completed{0};
+  std::vector<std::thread> threads;
+  for (int ti = 0; ti < num_threads; ++ti) {
+    threads.emplace_back([&, ti] {
+      Rng rng(77 + static_cast<std::uint64_t>(ti));
+      for (int k = 0; k < kIters; ++k) {
+        const std::size_t width = 1 + rng.next_below(2);
+        ResourceSet rs(kResources);
+        for (std::size_t idx : rng.sample_indices(kResources, width))
+          rs.set(static_cast<ResourceId>(idx));
+        ResourceSet reads(kResources), writes(kResources);
+        (rng.chance(0.7) ? reads : writes) = rs;
+        const LockToken tok = lock.acquire(reads, writes);
+        lock.release(tok);
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(completed.load(), static_cast<long>(num_threads) * kIters);
+  EXPECT_EQ(lock.pending_satisfied_count(), 0u);
+  EXPECT_EQ(lock.blocked_waiters(), 0u);
+}
+
+// Regression: every satisfied_ entry is consumed by its waiter — the set
+// must not accumulate entries across many operations (it once could, for
+// requests satisfied at issuance whose marks were never erased).
+TEST(SuspendRwRnlp, SatisfiedSetDoesNotGrowAcross10kOps) {
+  SuspendRwRnlp lock(2);
+  std::atomic<long> done{0};
+  std::vector<std::thread> threads;
+  for (int ti = 0; ti < 2; ++ti) {
+    threads.emplace_back([&, ti] {
+      Rng rng(5 + static_cast<std::uint64_t>(ti));
+      for (int k = 0; k < 5000; ++k) {
+        ResourceSet rs(2, {static_cast<ResourceId>(rng.next_below(2))});
+        ResourceSet none(2);
+        const bool read = rng.chance(0.8);
+        const LockToken tok =
+            read ? lock.acquire(rs, none) : lock.acquire(none, rs);
+        lock.release(tok);
+        done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(done.load(), 10000);
+  EXPECT_EQ(lock.pending_satisfied_count(), 0u);
+}
+
+// The thundering-herd fix: releases that satisfy no blocked waiter must not
+// broadcast.  One reader parks behind a write hold on l0; one hundred
+// unrelated read sections on l1 come and go; only the final write release
+// (which actually satisfies the parked reader) may wake anyone.
+TEST(SuspendRwRnlp, ReleasesThatSatisfyNobodyWakeNobody) {
+  SuspendRwRnlp lock(2);
+  const LockToken w = lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+
+  std::atomic<bool> reader_done{false};
+  std::thread reader([&] {
+    const LockToken r = lock.acquire(ResourceSet(2, {0}), ResourceSet(2));
+    reader_done.store(true);
+    lock.release(r);
+  });
+  ASSERT_TRUE(eventually([&] { return lock.blocked_waiters() == 1; }));
+  EXPECT_EQ(lock.notify_count(), 0u);
+
+  for (int k = 0; k < 100; ++k) {
+    const LockToken r1 = lock.acquire(ResourceSet(2, {1}), ResourceSet(2));
+    lock.release(r1);
+  }
+  // A naive notify_all-per-release would have broadcast 100 times by now.
+  EXPECT_EQ(lock.notify_count(), 0u);
+  EXPECT_FALSE(reader_done.load());
+
+  lock.release(w);  // satisfies the parked reader -> exactly one broadcast
+  reader.join();
+  EXPECT_TRUE(reader_done.load());
+  EXPECT_EQ(lock.notify_count(), 1u);
+  EXPECT_GE(lock.wakeup_count(), 1u);
+  EXPECT_EQ(lock.pending_satisfied_count(), 0u);
+  EXPECT_EQ(lock.blocked_waiters(), 0u);
+}
+
+// Writers on the same resource serialize in FIFO order under suspension.
+TEST(SuspendRwRnlp, WritersSerializeFifo) {
+  SuspendRwRnlp lock(1);
+  std::vector<int> order;
+  std::mutex order_mu;
+  const LockToken w0 = lock.acquire(ResourceSet(1), ResourceSet(1, {0}));
+  std::thread t1([&] {
+    const LockToken w = lock.acquire(ResourceSet(1), ResourceSet(1, {0}));
+    {
+      std::lock_guard<std::mutex> g(order_mu);
+      order.push_back(1);
+    }
+    lock.release(w);
+  });
+  ASSERT_TRUE(eventually([&] { return lock.blocked_waiters() == 1; }));
+  std::thread t2([&] {
+    const LockToken w = lock.acquire(ResourceSet(1), ResourceSet(1, {0}));
+    {
+      std::lock_guard<std::mutex> g(order_mu);
+      order.push_back(2);
+    }
+    lock.release(w);
+  });
+  ASSERT_TRUE(eventually([&] { return lock.blocked_waiters() == 2; }));
+  lock.release(w0);
+  t1.join();
+  t2.join();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);  // timestamp order, not wakeup luck
+  EXPECT_EQ(order[1], 2);
+}
+
+}  // namespace
+}  // namespace rwrnlp::locks

@@ -1,0 +1,447 @@
+// Systematic schedule exploration of the concurrent lock front ends.
+//
+// These tests drive the virtual scheduler (src/testing) over small lock
+// configurations: exhaustive enumeration proves every interleaving of the
+// 2-thread scenarios equivalent to the sequential RSM (trace-identical,
+// E-properties intact, acquisition delays within the discrete Thm. 1/2
+// caps); preemption-bounded and random strategies cover larger configs; and
+// a deliberately injected protocol violation (Engine::test_set_force_read_fast)
+// demonstrates the detect -> minimize -> replay pipeline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "locks/sharded_rw_rnlp.hpp"
+#include "locks/spin_rw_rnlp.hpp"
+#include "locks/suspend_rw_rnlp.hpp"
+#include "locks/yield_point.hpp"
+#include "testing/explore.hpp"
+#include "testing/oracle.hpp"
+
+namespace rwrnlp::testing {
+namespace {
+
+struct Op {
+  bool write;
+  std::vector<ResourceId> res;
+};
+
+ResourceSet make_set(std::size_t q, const std::vector<ResourceId>& ids) {
+  ResourceSet s(q);
+  for (ResourceId r : ids) s.set(r);
+  return s;
+}
+
+// ---------------------------------------------------------------- spin ----
+
+struct SpinState {
+  locks::SpinRwRnlp lock;
+  locks::InvocationLog log;
+  std::atomic<bool> flag{false};
+  SpinState(std::size_t q, rsm::WriteExpansion exp) : lock(q, exp) {}
+};
+
+/// Scenario: each thread performs its ops (acquire + release); the post-run
+/// check replays the invocation log through the oracle.
+ScenarioFactory spin_factory(std::size_t q,
+                             std::vector<std::vector<Op>> per_thread,
+                             rsm::WriteExpansion exp) {
+  return [=] {
+    auto st = std::make_shared<SpinState>(q, exp);
+    st->lock.engine_for_test().set_trace_recording(true);
+    st->lock.set_invocation_log(&st->log);
+    ScenarioRun run;
+    std::size_t max_ops = 0;
+    for (const std::vector<Op>& ops : per_thread) {
+      max_ops = std::max(max_ops, ops.size());
+      run.bodies.push_back([st, ops, q] {
+        for (const Op& op : ops) {
+          const ResourceSet rs = make_set(q, op.res);
+          const ResourceSet none(q);
+          const locks::LockToken tok = op.write ? st->lock.acquire(none, rs)
+                                                : st->lock.acquire(rs, none);
+          st->lock.release(tok);
+        }
+      });
+    }
+    OracleOptions oo;
+    oo.num_threads = per_thread.size();
+    oo.ops_per_thread = max_ops;
+    run.check = [st, oo] {
+      verify_replay(st->lock.engine_for_test(), st->log, oo);
+    };
+    return run;
+  };
+}
+
+// ------------------------------------------------------------- suspend ----
+
+struct SuspendState {
+  locks::SuspendRwRnlp lock;
+  locks::InvocationLog log;
+  explicit SuspendState(std::size_t q) : lock(q) {}
+};
+
+ScenarioFactory suspend_factory(std::size_t q,
+                                std::vector<std::vector<Op>> per_thread) {
+  return [=] {
+    auto st = std::make_shared<SuspendState>(q);
+    st->lock.engine_for_test().set_trace_recording(true);
+    st->lock.set_invocation_log(&st->log);
+    ScenarioRun run;
+    std::size_t max_ops = 0;
+    for (const std::vector<Op>& ops : per_thread) {
+      max_ops = std::max(max_ops, ops.size());
+      run.bodies.push_back([st, ops, q] {
+        for (const Op& op : ops) {
+          const ResourceSet rs = make_set(q, op.res);
+          const ResourceSet none(q);
+          const locks::LockToken tok = op.write ? st->lock.acquire(none, rs)
+                                                : st->lock.acquire(rs, none);
+          st->lock.release(tok);
+        }
+      });
+    }
+    OracleOptions oo;
+    oo.num_threads = per_thread.size();
+    oo.ops_per_thread = max_ops;
+    run.check = [st, oo] {
+      verify_replay(st->lock.engine_for_test(), st->log, oo);
+    };
+    return run;
+  };
+}
+
+// ---------------------------------------------------------------- tests ---
+
+TEST(ReplayToken, RoundTrip) {
+  EXPECT_EQ(format_replay_token({}), "-");
+  EXPECT_TRUE(parse_replay_token("-").empty());
+  EXPECT_TRUE(parse_replay_token("").empty());
+  const std::vector<std::size_t> choices{0, 2, 1, 10};
+  EXPECT_EQ(format_replay_token(choices), "0.2.1.10");
+  EXPECT_EQ(parse_replay_token("0.2.1.10"), choices);
+  EXPECT_EQ(parse_replay_token(format_replay_token(choices)), choices);
+  EXPECT_THROW(parse_replay_token("1..2"), std::invalid_argument);
+  EXPECT_THROW(parse_replay_token("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_replay_token("1.x"), std::invalid_argument);
+}
+
+// The acceptance scenario: exhaustive exploration of a two-thread /
+// two-resource SpinRwRnlp configuration.  Every schedule must replay
+// byte-identically through the oracle, preserve the E-properties, and
+// respect the strict m=2 delay caps.
+TEST(Explorer, ExhaustiveSpinTwoThreadsTwoResources) {
+  for (const rsm::WriteExpansion exp :
+       {rsm::WriteExpansion::ExpandDomain, rsm::WriteExpansion::Placeholders}) {
+    ExhaustiveStrategy strategy;
+    ExploreOptions opt;
+    opt.max_schedules = 100000;
+    const ExploreResult res =
+        explore(spin_factory(2,
+                             {{Op{true, {0}}},          // A: write l0
+                              {Op{false, {0, 1}}}},     // B: read {l0, l1}
+                             exp),
+                strategy, opt);
+    EXPECT_FALSE(res.failure_found)
+        << "expansion=" << static_cast<int>(exp) << ": " << res.failure
+        << " (token " << res.token << ")";
+    EXPECT_TRUE(res.exhausted) << "state space not fully enumerated";
+    EXPECT_GT(res.schedules, 10u);  // the sweep really branched
+  }
+}
+
+// Same shape with write/write contention, exercising entitlement hand-off.
+TEST(Explorer, ExhaustiveSpinWriterPair) {
+  ExhaustiveStrategy strategy;
+  ExploreOptions opt;
+  opt.max_schedules = 100000;
+  const ExploreResult res =
+      explore(spin_factory(2,
+                           {{Op{true, {0}}},   // A: write l0
+                            {Op{true, {0}}}},  // B: write l0
+                           rsm::WriteExpansion::ExpandDomain),
+              strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GT(res.schedules, 10u);
+}
+
+// The suspension variant under the same exhaustive microscope (its yield
+// points sit before the mutex, and its waiters park on a predicate over
+// the satisfied set instead of a spin flag).
+TEST(Explorer, ExhaustiveSuspendLock) {
+  ExhaustiveStrategy strategy;
+  ExploreOptions opt;
+  opt.max_schedules = 100000;
+  const ExploreResult res =
+      explore(suspend_factory(2,
+                              {{Op{true, {0}}},          // A: write l0
+                               {Op{false, {0, 1}}}}),    // B: read {l0, l1}
+              strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GT(res.schedules, 5u);
+}
+
+// Three threads, three-way contention: exhaustive would be large, so bound
+// the preemption count (the CHESS observation: shallow-preemption schedules
+// find almost all bugs) and sweep that subspace.
+TEST(Explorer, PreemptionBoundedThreeThreads) {
+  PreemptionBoundedStrategy strategy(1);
+  ExploreOptions opt;
+  opt.max_schedules = 100000;
+  const ExploreResult res =
+      explore(spin_factory(2,
+                           {{Op{true, {0}}},       // A: write l0
+                            {Op{false, {0, 1}}},   // B: read {l0, l1}
+                            {Op{true, {1}}}},      // C: write l1
+                           rsm::WriteExpansion::Placeholders),
+              strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_GT(res.schedules, 10u);
+}
+
+// Random walks over the sharded front end.  Shards have independent
+// engines, so the single-engine replay oracle does not apply; the check
+// here is the census: per-resource reader/writer exclusion instrumented in
+// the critical sections.
+TEST(Explorer, RandomWalkShardedCensus) {
+  struct ShardState {
+    locks::ShardedRwRnlp lock;
+    std::atomic<int> census[2];
+    std::atomic<bool> violation{false};
+    ShardState()
+        : lock(2, {ResourceSet(2, {0}), ResourceSet(2, {1})}) {
+      census[0] = 0;
+      census[1] = 0;
+    }
+    void enter(ResourceId r, bool write) {
+      if (write) {
+        int expected = 0;
+        if (!census[r].compare_exchange_strong(expected, -1))
+          violation.store(true);
+      } else {
+        if (census[r].fetch_add(1) < 0) violation.store(true);
+      }
+    }
+    void exit(ResourceId r, bool write) {
+      if (write) {
+        census[r].store(0);
+      } else {
+        census[r].fetch_sub(1);
+      }
+    }
+  };
+  const ScenarioFactory factory = [] {
+    auto st = std::make_shared<ShardState>();
+    const auto section = [st](bool write, ResourceId r) {
+      const ResourceSet rs(2, {r});
+      const ResourceSet none(2);
+      const locks::LockToken tok =
+          write ? st->lock.acquire(none, rs) : st->lock.acquire(rs, none);
+      st->enter(r, write);
+      st->exit(r, write);
+      st->lock.release(tok);
+    };
+    ScenarioRun run;
+    run.bodies.push_back([section] {
+      section(true, 0);
+      section(false, 1);
+    });
+    run.bodies.push_back([section] {
+      section(false, 0);
+      section(true, 1);
+    });
+    run.check = [st] {
+      if (st->violation.load())
+        throw std::logic_error("census: reader/writer exclusion violated");
+    };
+    return run;
+  };
+  RandomStrategy strategy(/*seed=*/42, /*num_schedules=*/40);
+  const ExploreResult res = explore(factory, strategy);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_EQ(res.schedules, 40u);
+}
+
+// Deadlocked schedules are detected, not hung: a virtual thread waiting on
+// a predicate that never turns true leaves no runnable thread.
+TEST(Explorer, DeadlockIsReportedNotHung) {
+  const ScenarioFactory factory = [] {
+    ScenarioRun run;
+    run.bodies.push_back([] {
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait,
+                        [] { return false; });
+    });
+    return run;
+  };
+  ExhaustiveStrategy strategy;
+  ExploreOptions opt;
+  opt.max_schedules = 1;
+  const ExploreResult res = explore(factory, strategy, opt);
+  ASSERT_TRUE(res.failure_found);
+  EXPECT_NE(res.failure.find("deadlock"), std::string::npos) << res.failure;
+}
+
+// Fault injection, part 1: force the uncontended-read fast path while a
+// writer *holds* the resource.  The live engine's own locking invariant
+// ("read lock over writer") trips on every schedule; the explorer catches
+// it, minimizes the schedule, and the token replays deterministically.
+TEST(Explorer, InjectedFastPathOverHolderIsCaughtAndReplayable) {
+  const ScenarioFactory factory = [] {
+    auto st =
+        std::make_shared<SpinState>(2, rsm::WriteExpansion::ExpandDomain);
+    st->lock.engine_for_test().set_trace_recording(true);
+    st->lock.set_invocation_log(&st->log);
+    st->lock.engine_for_test().test_set_force_read_fast(true);
+    ScenarioRun run;
+    run.bodies.push_back([st] {  // writer: hold l0 until the reader issued
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait,
+                        [st] { return st->flag.load(); });
+      st->lock.release(tok);
+    });
+    run.bodies.push_back([st] {  // reader: forced fast path over the holder
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait, [st] {
+        return st->lock.engine_for_test().write_locked(0);
+      });
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(2, {0}), ResourceSet(2));
+      st->flag.store(true);
+      st->lock.release(tok);
+    });
+    OracleOptions oo;
+    oo.num_threads = 2;
+    run.check = [st, oo] {
+      verify_replay(st->lock.engine_for_test(), st->log, oo);
+    };
+    return run;
+  };
+
+  ExhaustiveStrategy strategy;
+  const ExploreResult res = explore(factory, strategy);
+  ASSERT_TRUE(res.failure_found);
+  EXPECT_EQ(res.schedules, 1u);  // manifests on the very first schedule
+  EXPECT_NE(res.failure.find("read lock over writer"), std::string::npos)
+      << res.failure;
+
+  // The minimized token reproduces the failure, deterministically.
+  const std::string replay1 = replay(factory, res.token);
+  const std::string replay2 = replay(factory, res.token);
+  EXPECT_FALSE(replay1.empty());
+  EXPECT_EQ(replay1, replay2);
+  EXPECT_EQ(replay1, res.failure);
+  // And the un-minimized original token fails as well.
+  EXPECT_FALSE(replay(factory, res.original_token).empty());
+}
+
+// Fault injection, part 2: force the fast path past an *entitled* (not yet
+// satisfied) writer.  The live engine stays structurally consistent — no
+// per-invocation check fires — so only the replay oracle can notice that
+// the fast-path precondition did not hold.  Exhaustive search must find
+// interleavings where it does.
+TEST(Explorer, InjectedFastPathPastEntitledWriterIsCaughtByOracle) {
+  const ScenarioFactory factory = [] {
+    auto st =
+        std::make_shared<SpinState>(2, rsm::WriteExpansion::ExpandDomain);
+    st->lock.engine_for_test().set_trace_recording(true);
+    st->lock.set_invocation_log(&st->log);
+    st->lock.engine_for_test().test_set_force_read_fast(true);
+    ScenarioRun run;
+    run.bodies.push_back([st] {  // A: read-hold l0 until B queued behind it
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(2, {0}), ResourceSet(2));
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait, [st] {
+        return !st->lock.engine_for_test().write_queue(0).empty();
+      });
+      st->lock.release(tok);
+    });
+    run.bodies.push_back([st] {  // B: writer, entitled behind A's read hold
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait, [st] {
+        return !st->lock.engine_for_test().read_holders(0).empty();
+      });
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+      st->lock.release(tok);
+    });
+    run.bodies.push_back([st] {  // C: forced fast read past the queued writer
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait, [st] {
+        return !st->lock.engine_for_test().write_queue(0).empty();
+      });
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(2, {0}), ResourceSet(2));
+      st->lock.release(tok);
+    });
+    OracleOptions oo;
+    oo.num_threads = 3;
+    run.check = [st, oo] {
+      verify_replay(st->lock.engine_for_test(), st->log, oo);
+    };
+    return run;
+  };
+
+  ExhaustiveStrategy strategy;
+  const ExploreResult res = explore(factory, strategy);
+  ASSERT_TRUE(res.failure_found) << "exhaustive search missed the injected "
+                                    "violation after "
+                                 << res.schedules << " schedules";
+  // Replay is deterministic for both tokens.
+  const std::string replay1 = replay(factory, res.token);
+  EXPECT_FALSE(replay1.empty());
+  EXPECT_EQ(replay1, replay(factory, res.token));
+  EXPECT_EQ(replay1, res.failure);
+  EXPECT_FALSE(replay(factory, res.original_token).empty());
+}
+
+// Control experiment: the same three-thread scenario *without* the fault
+// hook passes its full exhaustive sweep — the harness flags the injected
+// bug, not the scenario shape.
+TEST(Explorer, EntitledWriterScenarioPassesWithoutInjection) {
+  const ScenarioFactory factory = [] {
+    auto st =
+        std::make_shared<SpinState>(2, rsm::WriteExpansion::ExpandDomain);
+    st->lock.engine_for_test().set_trace_recording(true);
+    st->lock.set_invocation_log(&st->log);
+    ScenarioRun run;
+    run.bodies.push_back([st] {
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(2, {0}), ResourceSet(2));
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait, [st] {
+        return !st->lock.engine_for_test().write_queue(0).empty();
+      });
+      st->lock.release(tok);
+    });
+    run.bodies.push_back([st] {
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait, [st] {
+        return !st->lock.engine_for_test().read_holders(0).empty();
+      });
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+      st->lock.release(tok);
+    });
+    OracleOptions oo;
+    oo.num_threads = 2;
+    run.check = [st, oo] {
+      verify_replay(st->lock.engine_for_test(), st->log, oo);
+    };
+    return run;
+  };
+  ExhaustiveStrategy strategy;
+  ExploreOptions opt;
+  opt.max_schedules = 100000;
+  const ExploreResult res = explore(factory, strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_TRUE(res.exhausted);
+}
+
+}  // namespace
+}  // namespace rwrnlp::testing
