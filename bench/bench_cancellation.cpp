@@ -1,0 +1,370 @@
+// Cancellation-path benchmark: cost and hygiene of timed acquisition under
+// contention.
+//
+// Workloads run SpinRwRnlp and SuspendRwRnlp over a small resource pool with
+// every thread using try_lock_for; a timeout sweep ({50us, 200us, 1ms})
+// moves the operating point from "most requests abandon" to "most requests
+// are granted".  A separate shedding phase caps incomplete requests at the
+// P2 ceiling (m) and measures the fail-fast rejection rate.
+//
+// Reported per run: grant/timeout/shed rates and p50/p99 latency of the
+// *abandonment* path (issue -> deadline -> Engine::cancel -> return) next to
+// the grant path — the cancellation fixpoint is on the former, so its tail
+// is the robustness-layer overhead a real-time system would budget for.
+//
+// Checks: under the shortest timeout and full contention at least one
+// request times out (the sweep really exercises cancellation); every
+// configuration ends with zero incomplete requests and zero resources held
+// (cancels leave no residue); shedding rejects at least one request at the
+// m ceiling.
+//
+// Output: human-readable table on stdout plus machine-readable JSON written
+// to argv[1] (default "BENCH_cancellation.json").
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "locks/health.hpp"
+#include "locks/spin_rw_rnlp.hpp"
+#include "locks/suspend_rw_rnlp.hpp"
+#include "locks/ticket_mutex.hpp"
+#include "util/rng.hpp"
+
+namespace rwrnlp::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kQ = 4;             // resources (heavy overlap by design)
+constexpr std::size_t kThreads = 4;       // m (1 hog + kTimedThreads)
+constexpr std::size_t kTimedThreads = 3;  // threads using try_lock_for
+constexpr std::size_t kOpsPerThread = 1000;
+constexpr auto kHogHold = std::chrono::microseconds(100);
+
+void busy_wait(std::chrono::nanoseconds d) {
+  const auto end = Clock::now() + d;
+  while (Clock::now() < end) locks::cpu_relax();
+}
+
+struct RunResult {
+  std::uint64_t grants = 0;
+  std::uint64_t timeouts = 0;
+  double grant_p50_ns = 0, grant_p99_ns = 0;
+  double abandon_p50_ns = 0, abandon_p99_ns = 0;
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(i, v.size() - 1)];
+}
+
+// One hog thread cycles a blocking full-pool write lock with a kHogHold
+// critical section, so requests deadlined shorter than the hold reliably
+// abandon; the timed threads loop try_lock_for over random footprints (25%
+// writers on 1-2 resources, 75% readers).  Returns per-path latency
+// distributions over the timed threads only.
+RunResult run_workload(locks::MultiResourceLock& lock,
+                       std::chrono::nanoseconds timeout) {
+  std::atomic<std::uint64_t> grants{0}, timeouts{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> grant_ns(kTimedThreads),
+      abandon_ns(kTimedThreads);
+  std::thread hog([&] {
+    ResourceSet all(kQ);
+    for (std::size_t l = 0; l < kQ; ++l) all.set(l);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const locks::LockToken tok = lock.acquire(ResourceSet(kQ), all);
+      busy_wait(kHogHold);
+      lock.release(tok);
+      busy_wait(kHogHold);  // contention window for the timed threads
+    }
+  });
+  std::vector<std::thread> threads;
+  threads.reserve(kTimedThreads);
+  for (std::size_t tid = 0; tid < kTimedThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      Rng rng(0x5EED + static_cast<std::uint64_t>(tid));
+      auto& mine_g = grant_ns[tid];
+      auto& mine_a = abandon_ns[tid];
+      mine_g.reserve(kOpsPerThread);
+      mine_a.reserve(kOpsPerThread);
+      for (std::size_t k = 0; k < kOpsPerThread; ++k) {
+        ResourceSet reads(kQ);
+        ResourceSet writes(kQ);
+        const std::size_t a = static_cast<std::size_t>(rng.next_below(kQ));
+        if (rng.next_below(4) == 0) {
+          writes.set(a);
+          const std::size_t b = static_cast<std::size_t>(rng.next_below(kQ));
+          if (b != a) writes.set(b);
+        } else {
+          reads.set(a);
+        }
+        const auto t0 = Clock::now();
+        auto tok = lock.try_lock_for(reads, writes, timeout);
+        if (tok) {
+          for (int spin = 0; spin < 64; ++spin) locks::cpu_relax();
+          lock.release(*tok);
+          mine_g.push_back(static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - t0)
+                  .count()));
+          grants.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          mine_a.push_back(static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - t0)
+                  .count()));
+          timeouts.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  hog.join();
+
+  RunResult r;
+  r.grants = grants.load();
+  r.timeouts = timeouts.load();
+  std::vector<double> all_g, all_a;
+  for (auto& v : grant_ns) all_g.insert(all_g.end(), v.begin(), v.end());
+  for (auto& v : abandon_ns) all_a.insert(all_a.end(), v.begin(), v.end());
+  r.grant_p50_ns = percentile(all_g, 0.50);
+  r.grant_p99_ns = percentile(all_g, 0.99);
+  r.abandon_p50_ns = percentile(all_a, 0.50);
+  r.abandon_p99_ns = percentile(all_a, 0.99);
+  return r;
+}
+
+// Forced-abandonment phase: the main thread keeps a full-pool write hold
+// for the whole phase, so every timed request from the worker must expire
+// and take the cancellation path.  Deterministic on any core count (the
+// random sweep above depends on the OS scheduler and can see zero timeouts
+// on a single-CPU host); this phase is where the abandonment-path latency
+// and the timeouts-under-contention check come from.
+RunResult run_forced_abandonment(locks::MultiResourceLock& lock) {
+  constexpr std::size_t kForcedOps = 200;
+  ResourceSet all(kQ);
+  for (std::size_t l = 0; l < kQ; ++l) all.set(l);
+  const locks::LockToken held = lock.acquire(ResourceSet(kQ), all);
+  RunResult r;
+  std::vector<double> lat;
+  lat.reserve(kForcedOps);
+  std::thread worker([&] {
+    for (std::size_t k = 0; k < kForcedOps; ++k) {
+      ResourceSet read(kQ);
+      read.set(k % kQ);
+      const auto t0 = Clock::now();
+      auto tok = lock.try_lock_for(read, ResourceSet(kQ),
+                                   std::chrono::microseconds(50));
+      if (tok) {
+        lock.release(*tok);  // impossible while the pool is held; count it
+        ++r.grants;
+      } else {
+        lat.push_back(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 t0)
+                .count()));
+        ++r.timeouts;
+      }
+    }
+  });
+  worker.join();
+  lock.release(held);
+  r.abandon_p50_ns = percentile(lat, 0.50);
+  r.abandon_p99_ns = percentile(lat, 0.99);
+  return r;
+}
+
+// Shedding phase: ceiling = m, one long-lived holder per resource plus
+// timed requesters; counts fail-fast rejections.
+std::uint64_t run_shedding(locks::MultiResourceLock& lock,
+                           locks::SpinRwRnlp* spin,
+                           locks::SuspendRwRnlp* susp) {
+  locks::RobustnessOptions opt;
+  opt.max_incomplete = kThreads;
+  if (spin != nullptr) spin->set_robustness_options(opt);
+  if (susp != nullptr) susp->set_robustness_options(opt);
+
+  // Saturate the ceiling with writers on distinct resources (all satisfied,
+  // all incomplete), then hammer with timed requests that must be shed.
+  std::vector<locks::LockToken> held;
+  for (std::size_t l = 0; l < kThreads; ++l) {
+    ResourceSet w(kQ);
+    w.set(l % kQ);
+    // Distinct resources up to kQ; duplicates would block, so stop there.
+    if (l >= kQ) break;
+    held.push_back(lock.acquire(ResourceSet(kQ), w));
+  }
+  for (int k = 0; k < 100; ++k) {
+    ResourceSet r(kQ);
+    r.set(static_cast<std::size_t>(k) % kQ);
+    auto tok = lock.try_lock_for(r, ResourceSet(kQ),
+                                 std::chrono::microseconds(10));
+    if (tok) lock.release(*tok);
+  }
+  for (const locks::LockToken& tok : held) lock.release(tok);
+  const locks::HealthReport hr =
+      spin != nullptr ? spin->health_report() : susp->health_report();
+  // Turn shedding back off so later phases reuse the lock unimpeded.
+  if (spin != nullptr) spin->set_robustness_options({});
+  if (susp != nullptr) susp->set_robustness_options({});
+  return hr.shed;
+}
+
+}  // namespace
+}  // namespace rwrnlp::bench
+
+int main(int argc, char** argv) {
+  using namespace rwrnlp;
+  using namespace rwrnlp::bench;
+
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_cancellation.json";
+  const std::chrono::nanoseconds kTimeouts[] = {
+      std::chrono::microseconds(50), std::chrono::microseconds(200),
+      std::chrono::milliseconds(1)};
+
+  std::ostringstream rows;
+  bool first_row = true;
+
+  header("timed acquisition under contention: grant/timeout split, latency");
+  std::printf("  %-8s %10s %8s %8s %12s %12s %12s %12s\n", "lock",
+              "timeout", "grants", "t/outs", "grant p50", "grant p99",
+              "abandon p50", "abandon p99");
+
+  for (const char* key : {"spin", "suspend"}) {
+    const bool is_spin = std::string(key) == "spin";
+    for (const auto timeout : kTimeouts) {
+      // Fresh lock per operating point so health counters are per-run.
+      std::unique_ptr<locks::SpinRwRnlp> spin;
+      std::unique_ptr<locks::SuspendRwRnlp> susp;
+      locks::MultiResourceLock* lock;
+      if (is_spin) {
+        spin = std::make_unique<locks::SpinRwRnlp>(kQ);
+        lock = spin.get();
+      } else {
+        susp = std::make_unique<locks::SuspendRwRnlp>(kQ);
+        lock = susp.get();
+      }
+      const RunResult r = run_workload(*lock, timeout);
+      const double us = static_cast<double>(timeout.count()) / 1000.0;
+      std::printf("  %-8s %8.0fus %8llu %8llu %11.0fns %11.0fns %11.0fns "
+                  "%11.0fns\n",
+                  key, us, static_cast<unsigned long long>(r.grants),
+                  static_cast<unsigned long long>(r.timeouts), r.grant_p50_ns,
+                  r.grant_p99_ns, r.abandon_p50_ns, r.abandon_p99_ns);
+
+      const locks::HealthReport hr =
+          is_spin ? spin->health_report() : susp->health_report();
+      check(hr.incomplete == 0,
+            std::string(key) + " @" + std::to_string(timeout.count()) +
+                "ns: zero incomplete requests after the run");
+      check(hr.timeouts == hr.canceled,
+            std::string(key) + ": every timeout performed exactly one "
+                               "engine-level cancel");
+      check(r.grants + r.timeouts == kTimedThreads * kOpsPerThread,
+            std::string(key) + ": every op ended in a grant or a timeout");
+
+      if (!first_row) rows << ",\n";
+      first_row = false;
+      rows << "    {\"lock\": \"" << key
+           << "\", \"timeout_ns\": " << timeout.count()
+           << ", \"grants\": " << r.grants
+           << ", \"timeouts\": " << r.timeouts
+           << ", \"grant_p50_ns\": " << r.grant_p50_ns
+           << ", \"grant_p99_ns\": " << r.grant_p99_ns
+           << ", \"abandon_p50_ns\": " << r.abandon_p50_ns
+           << ", \"abandon_p99_ns\": " << r.abandon_p99_ns << "}";
+    }
+  }
+  header("forced abandonment: timed requests against a pinned full-pool hold");
+  std::ostringstream forced_json;
+  bool first_forced = true;
+  for (const char* key : {"spin", "suspend"}) {
+    const bool is_spin = std::string(key) == "spin";
+    std::unique_ptr<locks::SpinRwRnlp> spin;
+    std::unique_ptr<locks::SuspendRwRnlp> susp;
+    locks::MultiResourceLock* lock;
+    if (is_spin) {
+      spin = std::make_unique<locks::SpinRwRnlp>(kQ);
+      lock = spin.get();
+    } else {
+      susp = std::make_unique<locks::SuspendRwRnlp>(kQ);
+      lock = susp.get();
+    }
+    const RunResult r = run_forced_abandonment(*lock);
+    std::printf("  %-8s %8llu timeouts, abandon p50 %8.0fns p99 %8.0fns\n",
+                key, static_cast<unsigned long long>(r.timeouts),
+                r.abandon_p50_ns, r.abandon_p99_ns);
+    check(r.timeouts > 0 && r.grants == 0,
+          std::string(key) +
+              ": every request against the pinned hold timed out");
+    const locks::HealthReport hr =
+        is_spin ? spin->health_report() : susp->health_report();
+    check(hr.incomplete == 0, std::string(key) +
+                                  ": zero incomplete requests after the "
+                                  "forced-abandonment phase");
+    check(hr.timeouts == hr.canceled,
+          std::string(key) + ": forced timeouts all canceled at the engine");
+    if (!first_forced) forced_json << ",\n";
+    first_forced = false;
+    forced_json << "    {\"lock\": \"" << key
+                << "\", \"timeouts\": " << r.timeouts
+                << ", \"abandon_p50_ns\": " << r.abandon_p50_ns
+                << ", \"abandon_p99_ns\": " << r.abandon_p99_ns << "}";
+  }
+
+  header("load shedding at the P2 ceiling (max_incomplete = m)");
+  std::ostringstream shed_json;
+  bool first_shed = true;
+  for (const char* key : {"spin", "suspend"}) {
+    std::unique_ptr<locks::SpinRwRnlp> spin;
+    std::unique_ptr<locks::SuspendRwRnlp> susp;
+    locks::MultiResourceLock* lock;
+    if (std::string(key) == "spin") {
+      spin = std::make_unique<locks::SpinRwRnlp>(kQ);
+      lock = spin.get();
+    } else {
+      susp = std::make_unique<locks::SuspendRwRnlp>(kQ);
+      lock = susp.get();
+    }
+    const std::uint64_t shed = run_shedding(*lock, spin.get(), susp.get());
+    std::printf("  %-8s %6llu requests shed at the ceiling\n", key,
+                static_cast<unsigned long long>(shed));
+    check(shed > 0, std::string(key) +
+                        ": shedding rejected at least one request at the "
+                        "m ceiling");
+    if (!first_shed) shed_json << ",\n";
+    first_shed = false;
+    shed_json << "    {\"lock\": \"" << key << "\", \"shed\": " << shed
+              << "}";
+  }
+
+  std::ofstream js(json_path);
+  js << "{\n  \"bench\": \"cancellation\",\n"
+     << "  \"q\": " << kQ << ",\n  \"threads\": " << kThreads
+     << ",\n  \"ops_per_thread\": " << kOpsPerThread << ",\n"
+     << "  \"runs\": [\n"
+     << rows.str() << "\n  ],\n"
+     << "  \"forced_abandonment\": [\n"
+     << forced_json.str() << "\n  ],\n"
+     << "  \"shedding\": [\n"
+     << shed_json.str() << "\n  ]\n}\n";
+  js.close();
+  check(js.good(), "json written to " + json_path);
+
+  return finish();
+}

@@ -1,0 +1,152 @@
+// Robustness layer shared by the R/W RNLP front ends: health reporting,
+// a stuck-holder watchdog, and the load-shedding policy.
+//
+// The paper's analysis assumes every critical section terminates within its
+// declared length and that at most m requests are ever incomplete (P2, one
+// per processor).  A production deployment needs to *observe* violations of
+// both assumptions instead of silently wedging:
+//
+//  * health_report() on each front end snapshots counters (acquisitions,
+//    timeouts, engine-level cancels, shed requests), current queue depths,
+//    and — when a stuck budget is configured — every satisfied holder whose
+//    critical section has outlived the budget.
+//  * Watchdog runs a background thread that polls a probe on a fixed period
+//    and hands each HealthReport to a user sink, so stuck holders surface
+//    without any cooperation from the stuck thread.
+//  * RobustnessOptions::max_incomplete turns on load shedding: new requests
+//    are failed fast (OverloadShed from acquire(), std::nullopt from the
+//    timed calls) while the engine already tracks that many incomplete
+//    requests.  P2 makes m the natural ceiling — more than m incomplete
+//    requests means some client is issuing concurrent requests from one
+//    processor or leaking tokens, and admitting more work only deepens the
+//    queues every bound is computed from.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "rsm/request.hpp"
+
+namespace rwrnlp::locks {
+
+/// Knobs for the robustness layer; all default to "off".
+struct RobustnessOptions {
+  /// Critical-section age budget: health_report() lists every satisfied
+  /// holder older than this as stuck.  Zero disables the check.
+  std::chrono::nanoseconds stuck_budget{0};
+  /// Load-shedding ceiling on incomplete requests (0 = no shedding).  The
+  /// paper's P2 bound of m (one request per processor) is the natural
+  /// setting.  On the sharded front end the ceiling applies per component,
+  /// matching the per-component analysis.
+  std::size_t max_incomplete = 0;
+};
+
+/// Thrown by a blocking acquire() that the load-shedding policy rejected.
+/// The timed calls report the same condition as std::nullopt instead.
+class OverloadShed : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A satisfied holder whose critical section has outlived the stuck budget.
+struct StuckHolder {
+  rsm::RequestId id = rsm::kNoRequest;
+  bool is_write = false;
+  std::chrono::nanoseconds age{0};  ///< time since satisfaction
+};
+
+/// Point-in-time health snapshot of one front end (or, via merge(), of all
+/// shards of the sharded front end).
+struct HealthReport {
+  std::uint64_t acquired = 0;  ///< successful acquisitions (tokens handed out)
+  std::uint64_t timeouts = 0;  ///< timed calls that gave up at their deadline
+  std::uint64_t canceled = 0;  ///< Engine::cancel invocations performed
+  std::uint64_t shed = 0;      ///< requests rejected by load shedding
+  std::size_t incomplete = 0;  ///< incomplete requests right now (P2: <= m)
+  std::size_t max_read_queue_depth = 0;   ///< deepest RQ(l) right now
+  std::size_t max_write_queue_depth = 0;  ///< deepest WQ(l) right now
+  std::vector<StuckHolder> stuck;
+
+  void merge(const HealthReport& o) {
+    acquired += o.acquired;
+    timeouts += o.timeouts;
+    canceled += o.canceled;
+    shed += o.shed;
+    incomplete += o.incomplete;
+    max_read_queue_depth =
+        std::max(max_read_queue_depth, o.max_read_queue_depth);
+    max_write_queue_depth =
+        std::max(max_write_queue_depth, o.max_write_queue_depth);
+    stuck.insert(stuck.end(), o.stuck.begin(), o.stuck.end());
+  }
+};
+
+/// Background health poller: calls `probe` every `period` and hands the
+/// result to `on_report`.  Construction starts the thread; destruction (or
+/// stop()) joins it.  The probe runs on the watchdog thread, so it must be
+/// safe to call concurrently with lock traffic — the front ends'
+/// health_report() is (it takes the same internal mutex as the protocol
+/// invocations, briefly).
+class Watchdog {
+ public:
+  struct Options {
+    std::chrono::milliseconds period{100};
+  };
+
+  Watchdog(std::function<HealthReport()> probe,
+           std::function<void(const HealthReport&)> on_report)
+      : Watchdog(std::move(probe), std::move(on_report), Options()) {}
+
+  Watchdog(std::function<HealthReport()> probe,
+           std::function<void(const HealthReport&)> on_report, Options opt)
+      : probe_(std::move(probe)),
+        on_report_(std::move(on_report)),
+        opt_(opt),
+        thread_([this] { run(); }) {}
+
+  ~Watchdog() { stop(); }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Idempotent; blocks until the poller thread has exited.  Not safe to
+  /// call from the probe/sink callbacks (self-join).
+  void stop() {
+    {
+      std::lock_guard<std::mutex> g(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lk(m_);
+    while (!stop_) {
+      if (cv_.wait_for(lk, opt_.period, [this] { return stop_; })) break;
+      lk.unlock();
+      on_report_(probe_());
+      lk.lock();
+    }
+  }
+
+  std::function<HealthReport()> probe_;
+  std::function<void(const HealthReport&)> on_report_;
+  Options opt_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace rwrnlp::locks

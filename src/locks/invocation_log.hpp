@@ -25,6 +25,7 @@ enum class InvocationKind : std::uint8_t {
   IssueWrite,     ///< Engine::issue_write
   IssueMixed,     ///< Engine::issue_mixed
   Complete,       ///< Engine::complete
+  Cancel,         ///< Engine::cancel (timed acquisition gave up)
 };
 
 inline const char* to_string(InvocationKind k) {
@@ -34,6 +35,7 @@ inline const char* to_string(InvocationKind k) {
     case InvocationKind::IssueWrite: return "issue-write";
     case InvocationKind::IssueMixed: return "issue-mixed";
     case InvocationKind::Complete: return "complete";
+    case InvocationKind::Cancel: return "cancel";
   }
   return "?";
 }

@@ -2,8 +2,10 @@
 // benchmarks can drive every protocol through the same harness.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "util/resource_set.hpp"
@@ -27,6 +29,29 @@ class MultiResourceLock {
   /// granted (both sets may be used in one call — R/W mixing).
   virtual LockToken acquire(const ResourceSet& reads,
                             const ResourceSet& writes) = 0;
+
+  /// Timed acquisition: like acquire(), but gives up at `deadline` and
+  /// returns std::nullopt after *withdrawing the request* (nothing is held,
+  /// no successor waits on it).  The timeout-vs-grant race is resolved in
+  /// the grant's favour: if satisfaction lands after the deadline but
+  /// before the withdrawal takes effect, the lock is reported as acquired
+  /// and must be released — a timed call never leaks a held lock either
+  /// way.  The base implementation (protocols without cancellation support)
+  /// ignores the deadline and blocks like acquire().
+  virtual std::optional<LockToken> try_lock_until(
+      const ResourceSet& reads, const ResourceSet& writes,
+      std::chrono::steady_clock::time_point deadline) {
+    (void)deadline;
+    return acquire(reads, writes);
+  }
+
+  /// Relative-timeout convenience over try_lock_until().
+  std::optional<LockToken> try_lock_for(const ResourceSet& reads,
+                                        const ResourceSet& writes,
+                                        std::chrono::nanoseconds timeout) {
+    return try_lock_until(reads, writes,
+                          std::chrono::steady_clock::now() + timeout);
+  }
 
   /// Releases everything acquired by the matching acquire().
   virtual void release(LockToken token) = 0;

@@ -81,6 +81,16 @@ void ShardedRwRnlp::set_read_fast_path(bool enabled) {
   for (auto& s : shards_) s->set_read_fast_path(enabled);
 }
 
+void ShardedRwRnlp::set_robustness_options(const RobustnessOptions& opt) {
+  for (auto& s : shards_) s->set_robustness_options(opt);
+}
+
+HealthReport ShardedRwRnlp::health_report() const {
+  HealthReport hr;
+  for (const auto& s : shards_) hr.merge(s->health_report());
+  return hr;
+}
+
 SpinRwRnlp& ShardedRwRnlp::route(const ResourceSet& reads,
                                  const ResourceSet& writes,
                                  std::size_t* component_out) {
@@ -104,6 +114,16 @@ LockToken ShardedRwRnlp::acquire(const ResourceSet& reads,
   SpinRwRnlp& shard = route(reads, writes, &c);
   LockToken token = shard.acquire(reads, writes);
   token.data = &shard;  // remembers the owning shard for release()
+  return token;
+}
+
+std::optional<LockToken> ShardedRwRnlp::try_lock_until(
+    const ResourceSet& reads, const ResourceSet& writes,
+    std::chrono::steady_clock::time_point deadline) {
+  std::size_t c = 0;
+  SpinRwRnlp& shard = route(reads, writes, &c);
+  std::optional<LockToken> token = shard.try_lock_until(reads, writes, deadline);
+  if (token) token->data = &shard;  // remembers the owning shard
   return token;
 }
 

@@ -47,9 +47,22 @@ class ShardedRwRnlp final : public MultiResourceLock {
   /// reads|writes spans more than one component.
   LockToken acquire(const ResourceSet& reads,
                     const ResourceSet& writes) override;
+  /// Timed acquisition, delegated to the owning shard (same routing rules
+  /// and the same timeout-vs-grant semantics as SpinRwRnlp).
+  std::optional<LockToken> try_lock_until(
+      const ResourceSet& reads, const ResourceSet& writes,
+      std::chrono::steady_clock::time_point deadline) override;
   void release(LockToken token) override;
   std::string name() const override;
   std::size_t num_resources() const override { return q_; }
+
+  /// Propagates robustness knobs to every shard.  Note that the
+  /// load-shedding ceiling then applies *per component*, matching the
+  /// per-component decomposition of the P2 bound.
+  void set_robustness_options(const RobustnessOptions& opt);
+  /// Merged health snapshot across all shards (counters summed, queue
+  /// depths maxed, stuck lists concatenated).
+  HealthReport health_report() const;
 
   std::size_t num_components() const { return shards_.size(); }
   std::size_t component_of(ResourceId l) const;

@@ -18,6 +18,10 @@ SpinRwRnlp::SpinRwRnlp(std::size_t num_resources, rsm::ReadShareTable shares,
       engine_(num_resources, std::move(shares), make_options(expansion)) {
   engine_.set_satisfied_callback([this](rsm::RequestId id, rsm::Time) {
     // Runs with mutex_ held (inside an invocation).
+    if (robust_.stuck_budget.count() > 0) {
+      if (id >= hold_since_.size()) hold_since_.resize(id + 1);
+      hold_since_[id] = std::chrono::steady_clock::now();
+    }
     if (id < waiters_.size() && waiters_[id] != nullptr) {
       waiters_[id]->satisfied.store(true, std::memory_order_release);
       waiters_[id] = nullptr;
@@ -39,50 +43,66 @@ SpinRwRnlp::SpinRwRnlp(std::size_t num_resources,
     : SpinRwRnlp(num_resources, rsm::ReadShareTable(num_resources), expansion,
                  reads_as_writes) {}
 
+rsm::RequestId SpinRwRnlp::issue_request(const ResourceSet& reads,
+                                         const ResourceSet& writes,
+                                         Waiter* waiter, bool* satisfied_out) {
+  mutex_.lock();
+  sched_yield_point(YieldPoint::EngineInvoke);
+  if (robust_.max_incomplete != 0 &&
+      engine_.incomplete_count() >= robust_.max_incomplete) {
+    mutex_.unlock();
+    shed_count_.fetch_add(1, std::memory_order_relaxed);
+    *satisfied_out = false;
+    return rsm::kNoRequest;
+  }
+  const double t = static_cast<double>(++logical_time_);
+  rsm::RequestId id;
+  InvocationKind kind;
+  if (reads_as_writes_) {
+    ResourceSet all = reads | writes;
+    id = engine_.issue_write(t, all);
+    kind = InvocationKind::IssueWrite;
+  } else if (writes.empty()) {
+    // Uncontended-read fast path: satisfied in one step, no fixpoint
+    // (provably the same outcome as Rule R1; see engine.hpp).
+    id = read_fast_path_ ? engine_.try_issue_read_fast(t, reads)
+                         : rsm::kNoRequest;
+    kind = InvocationKind::IssueReadFast;
+    if (id == rsm::kNoRequest) {
+      id = engine_.issue_read(t, reads);
+      kind = InvocationKind::IssueRead;
+    }
+  } else if (reads.empty()) {
+    id = engine_.issue_write(t, writes);
+    kind = InvocationKind::IssueWrite;
+  } else {
+    id = engine_.issue_mixed(t, reads, writes);
+    kind = InvocationKind::IssueMixed;
+  }
+  const bool satisfied = engine_.is_satisfied(id);
+  if (invocation_log_ != nullptr) {
+    const bool as_write = reads_as_writes_ && !(reads | writes).empty();
+    invocation_log_->push_back(InvocationRecord{
+        kind, static_cast<rsm::Time>(logical_time_), id, satisfied,
+        kind != InvocationKind::IssueRead &&
+            kind != InvocationKind::IssueReadFast,
+        as_write ? ResourceSet(q_) : reads,
+        as_write ? (reads | writes) : writes});
+  }
+  if (!satisfied) register_waiter(id, waiter);
+  mutex_.unlock();
+  *satisfied_out = satisfied;
+  return id;
+}
+
 LockToken SpinRwRnlp::acquire(const ResourceSet& reads,
                               const ResourceSet& writes) {
   Waiter waiter;  // lives on this stack frame until satisfaction
-  rsm::RequestId id;
   bool satisfied;
-  {
-    mutex_.lock();
-    sched_yield_point(YieldPoint::EngineInvoke);
-    const double t = static_cast<double>(++logical_time_);
-    InvocationKind kind;
-    if (reads_as_writes_) {
-      ResourceSet all = reads | writes;
-      id = engine_.issue_write(t, all);
-      kind = InvocationKind::IssueWrite;
-    } else if (writes.empty()) {
-      // Uncontended-read fast path: satisfied in one step, no fixpoint
-      // (provably the same outcome as Rule R1; see engine.hpp).
-      id = read_fast_path_ ? engine_.try_issue_read_fast(t, reads)
-                           : rsm::kNoRequest;
-      kind = InvocationKind::IssueReadFast;
-      if (id == rsm::kNoRequest) {
-        id = engine_.issue_read(t, reads);
-        kind = InvocationKind::IssueRead;
-      }
-    } else if (reads.empty()) {
-      id = engine_.issue_write(t, writes);
-      kind = InvocationKind::IssueWrite;
-    } else {
-      id = engine_.issue_mixed(t, reads, writes);
-      kind = InvocationKind::IssueMixed;
-    }
-    satisfied = engine_.is_satisfied(id);
-    if (invocation_log_ != nullptr) {
-      const bool as_write = reads_as_writes_ && !(reads | writes).empty();
-      invocation_log_->push_back(InvocationRecord{
-          kind, static_cast<rsm::Time>(logical_time_), id, satisfied,
-          kind != InvocationKind::IssueRead &&
-              kind != InvocationKind::IssueReadFast,
-          as_write ? ResourceSet(q_) : reads,
-          as_write ? (reads | writes) : writes});
-    }
-    if (!satisfied) register_waiter(id, &waiter);
-    mutex_.unlock();
-  }
+  const rsm::RequestId id = issue_request(reads, writes, &waiter, &satisfied);
+  if (id == rsm::kNoRequest)
+    throw OverloadShed(
+        "rw-rnlp: load shedding — incomplete-request ceiling reached (P2)");
   if (!satisfied) {
     if (!sched_wait(YieldPoint::SatisfactionWait, [&] {
           return waiter.satisfied.load(std::memory_order_acquire);
@@ -93,7 +113,98 @@ LockToken SpinRwRnlp::acquire(const ResourceSet& reads,
         backoff.pause();
     }
   }
+  acquired_count_.fetch_add(1, std::memory_order_relaxed);
   return LockToken{id, nullptr};
+}
+
+std::optional<LockToken> SpinRwRnlp::try_lock_until(
+    const ResourceSet& reads, const ResourceSet& writes,
+    std::chrono::steady_clock::time_point deadline) {
+  using Clock = std::chrono::steady_clock;
+  Waiter waiter;
+  bool satisfied;
+  const rsm::RequestId id = issue_request(reads, writes, &waiter, &satisfied);
+  if (id == rsm::kNoRequest) return std::nullopt;  // load shedding
+  if (!satisfied) {
+    // Under the virtual scheduler wall clocks are meaningless: an
+    // already-expired deadline (e.g. time_point{}) times out
+    // deterministically without waiting, every other deadline waits for
+    // satisfaction cooperatively.  Native builds check the clock inside the
+    // backoff loop.
+    bool expired = Clock::now() >= deadline;
+    if (!expired) {
+      if (!sched_wait(YieldPoint::SatisfactionWait, [&] {
+            return waiter.satisfied.load(std::memory_order_acquire);
+          })) {
+        SpinBackoff backoff;
+        while (!waiter.satisfied.load(std::memory_order_acquire)) {
+          if (Clock::now() >= deadline) {
+            expired = true;
+            break;
+          }
+          backoff.pause();
+        }
+      }
+    }
+    if (expired && !waiter.satisfied.load(std::memory_order_acquire)) {
+      // The deadline passed with the flag still clear.  The grant may still
+      // land while we reacquire the mutex; the flag re-check under the
+      // mutex resolves the race in the grant's favour (the satisfaction
+      // callback runs under the same mutex, so after lock() the flag is
+      // final until we act).
+      sched_yield_point(YieldPoint::Cancel);
+      mutex_.lock();
+      sched_yield_point(YieldPoint::EngineInvoke);
+      if (!waiter.satisfied.load(std::memory_order_acquire)) {
+        const double t = static_cast<double>(++logical_time_);
+        const bool was_write = engine_.request(id).is_write;
+        engine_.cancel(t, id);
+        drop_waiter(id);
+        if (invocation_log_ != nullptr) {
+          invocation_log_->push_back(InvocationRecord{
+              InvocationKind::Cancel, static_cast<rsm::Time>(logical_time_),
+              id, false, was_write, ResourceSet(q_), ResourceSet(q_)});
+        }
+        mutex_.unlock();
+        timeout_count_.fetch_add(1, std::memory_order_relaxed);
+        cancel_count_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      mutex_.unlock();  // grant won the race: report as acquired
+    }
+  }
+  acquired_count_.fetch_add(1, std::memory_order_relaxed);
+  return LockToken{id, nullptr};
+}
+
+HealthReport SpinRwRnlp::health_report() const {
+  HealthReport hr;
+  hr.acquired = acquired_count_.load(std::memory_order_relaxed);
+  hr.timeouts = timeout_count_.load(std::memory_order_relaxed);
+  hr.canceled = cancel_count_.load(std::memory_order_relaxed);
+  hr.shed = shed_count_.load(std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+  mutex_.lock();
+  hr.incomplete = engine_.incomplete_count();
+  for (std::size_t l = 0; l < q_; ++l) {
+    hr.max_read_queue_depth =
+        std::max(hr.max_read_queue_depth, engine_.read_queue_depth(l));
+    hr.max_write_queue_depth =
+        std::max(hr.max_write_queue_depth, engine_.write_queue_depth(l));
+  }
+  if (robust_.stuck_budget.count() > 0) {
+    for (rsm::RequestId id : engine_.incomplete_requests()) {
+      if (!engine_.is_satisfied(id) || id >= hold_since_.size()) continue;
+      const auto age = now - hold_since_[id];
+      if (age > robust_.stuck_budget) {
+        hr.stuck.push_back(StuckHolder{
+            id, engine_.request(id).is_write,
+            std::chrono::duration_cast<std::chrono::nanoseconds>(age)});
+      }
+    }
+  }
+  mutex_.unlock();
+  return hr;
 }
 
 void SpinRwRnlp::release(LockToken token) {

@@ -15,8 +15,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <optional>
 #include <vector>
 
+#include "locks/health.hpp"
 #include "locks/invocation_log.hpp"
 #include "locks/multi_lock.hpp"
 #include "locks/ticket_mutex.hpp"
@@ -37,9 +40,27 @@ class SpinRwRnlp final : public MultiResourceLock {
 
   LockToken acquire(const ResourceSet& reads,
                     const ResourceSet& writes) override;
+  /// Timed acquisition with RSM-level cancellation on timeout: the waiter
+  /// spins with bounded exponential backoff until satisfaction or the
+  /// deadline; on expiry it re-enters the internal mutex and *re-checks* the
+  /// satisfaction flag before invoking Engine::cancel — a grant that landed
+  /// meanwhile wins and the call reports the lock as acquired.
+  std::optional<LockToken> try_lock_until(
+      const ResourceSet& reads, const ResourceSet& writes,
+      std::chrono::steady_clock::time_point deadline) override;
   void release(LockToken token) override;
   std::string name() const override;
   std::size_t num_resources() const override { return q_; }
+
+  // --- robustness layer (health.hpp) --------------------------------------
+
+  /// Installs watchdog/shedding knobs.  Not thread-safe against concurrent
+  /// acquisitions: configure before traffic starts.
+  void set_robustness_options(const RobustnessOptions& opt) { robust_ = opt; }
+  /// Snapshot of counters, queue depths and (with a stuck budget set) every
+  /// satisfied holder whose critical section has outlived the budget.  Safe
+  /// to call from any thread, including a Watchdog probe.
+  HealthReport health_report() const;
 
   // --- upgradeable requests (Sec. 3.6), used by the STM layer -------------
 
@@ -88,10 +109,18 @@ class SpinRwRnlp final : public MultiResourceLock {
   void register_waiter(rsm::RequestId id, Waiter* w);
   void drop_waiter(rsm::RequestId id);
 
+  /// Issues the request under the internal mutex (choosing the invocation
+  /// kind exactly like acquire()), appends the log record, and registers
+  /// `waiter` when unsatisfied.  Returns kNoRequest iff load shedding
+  /// rejected the request.  `*satisfied_out` reports R1/W1 satisfaction.
+  rsm::RequestId issue_request(const ResourceSet& reads,
+                               const ResourceSet& writes, Waiter* waiter,
+                               bool* satisfied_out);
+
   std::size_t q_;
   bool reads_as_writes_;
   bool read_fast_path_ = true;
-  TicketMutex mutex_;  // serializes engine invocations (Rule G4)
+  mutable TicketMutex mutex_;  // serializes engine invocations (Rule G4)
   rsm::Engine engine_;
   std::uint64_t logical_time_ = 0;
   // Flat waiter slot table indexed by RequestId.  The engine recycles request
@@ -100,6 +129,17 @@ class SpinRwRnlp final : public MultiResourceLock {
   // with no hashing and no allocation.  Guarded by mutex_.
   std::vector<Waiter*> waiters_;
   InvocationLog* invocation_log_ = nullptr;  // guarded by mutex_
+  // Robustness layer.  hold_since_[id] is the satisfaction wall-clock of the
+  // request currently occupying slot id (stale entries of recycled slots are
+  // ignored because health_report() only consults satisfied incomplete
+  // requests).  Guarded by mutex_; counters are atomics so the hot paths
+  // can bump them outside the mutex.
+  RobustnessOptions robust_;
+  std::vector<std::chrono::steady_clock::time_point> hold_since_;
+  std::atomic<std::uint64_t> acquired_count_{0};
+  std::atomic<std::uint64_t> timeout_count_{0};
+  std::atomic<std::uint64_t> cancel_count_{0};
+  std::atomic<std::uint64_t> shed_count_{0};
 };
 
 }  // namespace rwrnlp::locks

@@ -20,6 +20,8 @@ SuspendRwRnlp::SuspendRwRnlp(std::size_t num_resources,
       engine_(num_resources, std::move(shares), suspend_options(expansion)) {
   engine_.set_satisfied_callback([this](rsm::RequestId id, rsm::Time) {
     // mutex_ is held by the invoking thread.
+    if (robust_.stuck_budget.count() > 0)
+      hold_since_[id] = std::chrono::steady_clock::now();
     satisfied_.insert(id);
     // Only a satisfaction that someone is *sleeping on* warrants waking the
     // condition variable; anything else (the issuing thread's own request,
@@ -33,17 +35,18 @@ SuspendRwRnlp::SuspendRwRnlp(std::size_t num_resources,
     : SuspendRwRnlp(num_resources, rsm::ReadShareTable(num_resources),
                     expansion) {}
 
-LockToken SuspendRwRnlp::acquire(const ResourceSet& reads,
-                                 const ResourceSet& writes) {
-  // Schedule-test seam.  The yield sits *before* the mutex: no virtual
-  // thread ever parks while holding mutex_, so the running thread always
-  // acquires it without blocking in the OS.
-  sched_yield_point(YieldPoint::EngineInvoke);
-  rsm::RequestId id;
-  bool satisfied;
-  bool wake = false;
-  std::unique_lock<std::mutex> lk(mutex_);
+rsm::RequestId SuspendRwRnlp::issue_locked(const ResourceSet& reads,
+                                           const ResourceSet& writes,
+                                           bool* satisfied_out) {
+  // Caller holds mutex_.
+  if (robust_.max_incomplete != 0 &&
+      engine_.incomplete_count() >= robust_.max_incomplete) {
+    ++shed_count_;
+    *satisfied_out = false;
+    return rsm::kNoRequest;
+  }
   const double t = static_cast<double>(++logical_time_);
+  rsm::RequestId id;
   InvocationKind kind;
   if (writes.empty()) {
     id = engine_.issue_read(t, reads);
@@ -55,12 +58,30 @@ LockToken SuspendRwRnlp::acquire(const ResourceSet& reads,
     id = engine_.issue_mixed(t, reads, writes);
     kind = InvocationKind::IssueMixed;
   }
-  satisfied = engine_.is_satisfied(id);
+  const bool satisfied = engine_.is_satisfied(id);
   if (invocation_log_ != nullptr) {
     invocation_log_->push_back(InvocationRecord{
         kind, static_cast<rsm::Time>(logical_time_), id, satisfied,
         kind != InvocationKind::IssueRead, reads, writes});
   }
+  *satisfied_out = satisfied;
+  return id;
+}
+
+LockToken SuspendRwRnlp::acquire(const ResourceSet& reads,
+                                 const ResourceSet& writes) {
+  // Schedule-test seam.  The yield sits *before* the mutex: no virtual
+  // thread ever parks while holding mutex_, so the running thread always
+  // acquires it without blocking in the OS.
+  sched_yield_point(YieldPoint::EngineInvoke);
+  bool satisfied;
+  bool wake = false;
+  std::unique_lock<std::mutex> lk(mutex_);
+  const rsm::RequestId id = issue_locked(reads, writes, &satisfied);
+  if (id == rsm::kNoRequest)
+    throw OverloadShed(
+        "rw-rnlp-suspend: load shedding — incomplete-request ceiling "
+        "reached (P2)");
   if (!satisfied) {
     lk.unlock();
     if (sched_wait(YieldPoint::SatisfactionWait, [&] {
@@ -79,6 +100,7 @@ LockToken SuspendRwRnlp::acquire(const ResourceSet& reads,
     }
   }
   satisfied_.erase(id);
+  ++acquired_count_;
   // The issuing invocation itself may (in principle) have satisfied other
   // blocked requests; propagate the broadcast just like release() does.
   wake = wake_pending_;
@@ -87,6 +109,111 @@ LockToken SuspendRwRnlp::acquire(const ResourceSet& reads,
   lk.unlock();
   if (wake) cv_.notify_all();
   return LockToken{id, nullptr};
+}
+
+std::optional<LockToken> SuspendRwRnlp::try_lock_until(
+    const ResourceSet& reads, const ResourceSet& writes,
+    std::chrono::steady_clock::time_point deadline) {
+  using Clock = std::chrono::steady_clock;
+  sched_yield_point(YieldPoint::EngineInvoke);
+  bool satisfied;
+  std::unique_lock<std::mutex> lk(mutex_);
+  const rsm::RequestId id = issue_locked(reads, writes, &satisfied);
+  if (id == rsm::kNoRequest) return std::nullopt;  // load shedding
+  bool timed_out = false;
+  if (!satisfied) {
+    // Under the virtual scheduler wall clocks are meaningless: an
+    // already-expired deadline times out deterministically without
+    // sleeping, every other deadline waits for satisfaction cooperatively.
+    if (Clock::now() < deadline) {
+      lk.unlock();
+      if (sched_wait(YieldPoint::SatisfactionWait, [&] {
+            std::lock_guard<std::mutex> g(mutex_);
+            return satisfied_.count(id) != 0;
+          })) {
+        lk.lock();
+      } else {
+        lk.lock();
+        waiting_.insert(id);
+        while (satisfied_.count(id) == 0) {
+          if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;
+          ++wakeup_count_;
+        }
+        waiting_.erase(id);
+      }
+    }
+    // Resolve the timeout-vs-grant race: reopen the mutex so a pending
+    // grant can land, then decide under the mutex.  Satisfaction only ever
+    // happens under mutex_, so the re-check is final: if the mark is
+    // present the grant won and the lock is acquired; otherwise the
+    // request is withdrawn atomically (Engine::cancel) and nothing is
+    // held.
+    lk.unlock();
+    sched_yield_point(YieldPoint::Cancel);
+    lk.lock();
+    if (satisfied_.count(id) == 0) {
+      const double t = static_cast<double>(++logical_time_);
+      const bool was_write = engine_.request(id).is_write;
+      engine_.cancel(t, id);
+      if (invocation_log_ != nullptr) {
+        invocation_log_->push_back(InvocationRecord{
+            InvocationKind::Cancel, static_cast<rsm::Time>(logical_time_),
+            id, false, was_write, ResourceSet(q_), ResourceSet(q_)});
+      }
+      ++timeout_count_;
+      ++cancel_count_;
+      timed_out = true;
+    }
+  }
+  if (!timed_out) {
+    satisfied_.erase(id);
+    ++acquired_count_;
+  }
+  // Either outcome may have satisfied other blocked requests (the cancel's
+  // fixpoint promotes successors); propagate the broadcast.
+  const bool wake = wake_pending_;
+  wake_pending_ = false;
+  if (wake) ++notify_count_;
+  lk.unlock();
+  if (wake) cv_.notify_all();
+  if (timed_out) return std::nullopt;
+  return LockToken{id, nullptr};
+}
+
+void SuspendRwRnlp::set_robustness_options(const RobustnessOptions& opt) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  robust_ = opt;
+}
+
+HealthReport SuspendRwRnlp::health_report() const {
+  HealthReport hr;
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lk(mutex_);
+  hr.acquired = acquired_count_;
+  hr.timeouts = timeout_count_;
+  hr.canceled = cancel_count_;
+  hr.shed = shed_count_;
+  hr.incomplete = engine_.incomplete_count();
+  for (std::size_t l = 0; l < q_; ++l) {
+    hr.max_read_queue_depth =
+        std::max(hr.max_read_queue_depth, engine_.read_queue_depth(l));
+    hr.max_write_queue_depth =
+        std::max(hr.max_write_queue_depth, engine_.write_queue_depth(l));
+  }
+  if (robust_.stuck_budget.count() > 0) {
+    for (rsm::RequestId id : engine_.incomplete_requests()) {
+      if (!engine_.is_satisfied(id)) continue;
+      const auto it = hold_since_.find(id);
+      if (it == hold_since_.end()) continue;
+      const auto age = now - it->second;
+      if (age > robust_.stuck_budget) {
+        hr.stuck.push_back(StuckHolder{
+            id, engine_.request(id).is_write,
+            std::chrono::duration_cast<std::chrono::nanoseconds>(age)});
+      }
+    }
+  }
+  return hr;
 }
 
 void SuspendRwRnlp::release(LockToken token) {

@@ -15,10 +15,14 @@
 // re-check a predicate that cannot have changed for them.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
+#include <unordered_map>
 #include <unordered_set>
 
+#include "locks/health.hpp"
 #include "locks/invocation_log.hpp"
 #include "locks/multi_lock.hpp"
 #include "rsm/engine.hpp"
@@ -36,9 +40,24 @@ class SuspendRwRnlp final : public MultiResourceLock {
 
   LockToken acquire(const ResourceSet& reads,
                     const ResourceSet& writes) override;
+  /// Timed acquisition: sleeps on the condition variable until satisfaction
+  /// or the deadline, then withdraws the request with Engine::cancel under
+  /// the internal mutex.  Satisfaction only ever happens under that mutex,
+  /// so the final re-check makes a late grant win — the call then reports
+  /// the lock as acquired instead of leaking a held token.
+  std::optional<LockToken> try_lock_until(
+      const ResourceSet& reads, const ResourceSet& writes,
+      std::chrono::steady_clock::time_point deadline) override;
   void release(LockToken token) override;
   std::string name() const override { return "rw-rnlp-suspend"; }
   std::size_t num_resources() const override { return q_; }
+
+  // --- robustness layer (health.hpp) --------------------------------------
+
+  /// Installs watchdog/shedding knobs.  Configure before traffic starts.
+  void set_robustness_options(const RobustnessOptions& opt);
+  /// Counter/queue-depth/stuck-holder snapshot; Watchdog-probe safe.
+  HealthReport health_report() const;
 
   // --- observability (tests) ----------------------------------------------
 
@@ -65,6 +84,11 @@ class SuspendRwRnlp final : public MultiResourceLock {
   rsm::Engine& engine_for_test() { return engine_; }
 
  private:
+  /// Shed-check + issue + log under mutex_ (held by the caller).  Returns
+  /// kNoRequest iff load shedding rejected the request.
+  rsm::RequestId issue_locked(const ResourceSet& reads,
+                              const ResourceSet& writes, bool* satisfied_out);
+
   std::size_t q_;
   mutable std::mutex mutex_;    // guards the engine (Rule G4) + all state below
   std::condition_variable cv_;  // broadcast when a blocked waiter is satisfied
@@ -81,6 +105,17 @@ class SuspendRwRnlp final : public MultiResourceLock {
   std::uint64_t wakeup_count_ = 0;
   std::uint64_t notify_count_ = 0;
   InvocationLog* invocation_log_ = nullptr;
+  // Robustness layer (all guarded by mutex_).  hold_since_ maps a request
+  // slot to its satisfaction wall-clock; entries of recycled slots are
+  // overwritten at the next satisfaction and ignored in between because
+  // health_report() only consults satisfied incomplete requests.
+  RobustnessOptions robust_;
+  std::unordered_map<rsm::RequestId, std::chrono::steady_clock::time_point>
+      hold_since_;
+  std::uint64_t acquired_count_ = 0;
+  std::uint64_t timeout_count_ = 0;
+  std::uint64_t cancel_count_ = 0;
+  std::uint64_t shed_count_ = 0;
 };
 
 }  // namespace rwrnlp::locks

@@ -32,6 +32,10 @@
 //                      scheduler this becomes a cooperative wait on the
 //                      satisfaction predicate.
 //   Release          - about to run the completion invocation (Rule G3).
+//   Cancel           - a timed acquisition's deadline has expired and the
+//                      thread is about to re-enter the internal mutex to
+//                      resolve the timeout-vs-grant race (withdraw the
+//                      request, or discover it was granted meanwhile).
 //   Start            - virtual-thread startup (emitted by the scheduler
 //                      itself, never by lock code).
 #pragma once
@@ -51,6 +55,7 @@ enum class YieldPoint : std::uint8_t {
   EngineInvoke,
   SatisfactionWait,
   Release,
+  Cancel,
 };
 
 inline const char* to_string(YieldPoint p) {
@@ -60,6 +65,7 @@ inline const char* to_string(YieldPoint p) {
     case YieldPoint::EngineInvoke: return "engine-invoke";
     case YieldPoint::SatisfactionWait: return "satisfaction-wait";
     case YieldPoint::Release: return "release";
+    case YieldPoint::Cancel: return "cancel";
   }
   return "?";
 }

@@ -372,6 +372,10 @@ void Engine::cancel_request(Time t, RequestId id) {
   RWRNLP_CHECK_MSG(r.state == RequestState::Waiting ||
                        r.state == RequestState::Entitled,
                    "cancel of request in state " << to_string(r.state));
+  // An entitled incremental request may already hold part of its potential
+  // set (Sec. 3.7 grants resources before satisfaction); release those
+  // grants or the locks leak.  No-op for every other kind of request.
+  unlock_resources(r);
   dequeue_from_queues(r);
   remove_placeholders(r);
   r.state = RequestState::Canceled;
@@ -379,6 +383,39 @@ void Engine::cancel_request(Time t, RequestId id) {
   live_.erase(std::remove(live_.begin(), live_.end(), id), live_.end());
   record(t, TraceKind::Canceled, r, r.domain);
   maybe_recycle(id);
+}
+
+void Engine::cancel(Time t, RequestId id) {
+  begin_invocation(t);
+  Request& r = req(id);
+  RWRNLP_REQUIRE(r.state == RequestState::Waiting ||
+                     r.state == RequestState::Entitled,
+                 "cancel() on request R"
+                     << id << " in state " << to_string(r.state)
+                     << " (only issued-but-unsatisfied requests are "
+                        "cancelable; a satisfied holder must complete())");
+  // An upgradeable pair is one logical request (Sec. 3.6): withdrawing
+  // either half withdraws both.  Once either half is satisfied the job is
+  // inside (or past) its read segment and must resolve the pair via
+  // finish_read_segment()/complete() instead.
+  if (r.partner != kNoRequest) {
+    const Request& p = creq(r.partner);
+    RWRNLP_REQUIRE(p.state == RequestState::Waiting ||
+                       p.state == RequestState::Entitled,
+                   "cancel() on upgradeable half R"
+                       << id << " whose partner R" << r.partner << " is "
+                       << to_string(p.state)
+                       << "; resolve the pair via finish_read_segment()");
+    cancel_request(t, r.partner);
+  }
+  cancel_request(t, id);
+  // Rule G4: the whole removal plus its consequences is one atomic
+  // invocation — the fixpoint promotes successors (an abandoned WQ headship
+  // re-opens Def. 4 for the next write; reads gated on the canceled
+  // entitled write re-enter via Def. 3) exactly as if the request had never
+  // existed.
+  fixpoint(t);
+  if (options_.validate) check_structure();
 }
 
 // ---------------------------------------------------------------------------
@@ -764,6 +801,16 @@ bool Engine::read_locked(ResourceId l) const {
 }
 
 std::vector<RequestId> Engine::incomplete_requests() const { return live_; }
+
+std::size_t Engine::read_queue_depth(ResourceId l) const {
+  RWRNLP_REQUIRE(l < resources_.size(), "resource out of range");
+  return resources_[l].rq.size();
+}
+
+std::size_t Engine::write_queue_depth(ResourceId l) const {
+  RWRNLP_REQUIRE(l < resources_.size(), "resource out of range");
+  return resources_[l].wq.size();
+}
 
 // ---------------------------------------------------------------------------
 // Structural invariants

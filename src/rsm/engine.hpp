@@ -147,6 +147,25 @@ class Engine {
   /// requests that hold at least their wanted subset.
   void complete(Time t, RequestId id);
 
+  /// Cancels an issued-but-unsatisfied request in one atomic invocation
+  /// (Rule G4 style): the request is dequeued from every RQ/WQ it occupies
+  /// *including placeholder entries*, any partial grants of an entitled
+  /// incremental request are unlocked, a Canceled trace event is emitted,
+  /// and the entitlement/satisfaction fixpoint is re-run so successors are
+  /// promoted exactly as if the request had never been issued.
+  ///
+  /// Only Waiting or Entitled requests are cancelable: an unsatisfied
+  /// request's critical section has not started, so withdrawing it has no
+  /// side effects to undo.  A *satisfied* request holds resources and may
+  /// have mutated the protected state — the only legal exit is complete().
+  /// Canceling a satisfied/complete/already-canceled request throws
+  /// std::invalid_argument and changes nothing.
+  ///
+  /// An upgradeable pair (Sec. 3.6) is one logical request: canceling
+  /// either half withdraws both, and is rejected once either half is
+  /// satisfied (use finish_read_segment()/complete() instead).
+  void cancel(Time t, RequestId id);
+
   // ------------------------------------------------------------------
   // Introspection (tests, analysis, trace rendering).
   // ------------------------------------------------------------------
@@ -177,6 +196,16 @@ class Engine {
 
   /// Incomplete (issued, not complete/canceled) requests in ts order.
   std::vector<RequestId> incomplete_requests() const;
+
+  /// Number of incomplete requests — P2 says this never exceeds m under
+  /// correct operation.  O(1); used by the load-shedding policy and the
+  /// health probe without copying incomplete_requests().
+  std::size_t incomplete_count() const { return live_.size(); }
+
+  /// |RQ(l)| / |WQ(l)| without materializing the queue contents (the WQ
+  /// depth counts placeholder entries, matching write_queue()).
+  std::size_t read_queue_depth(ResourceId l) const;
+  std::size_t write_queue_depth(ResourceId l) const;
 
   Time now() const { return now_; }
 

@@ -45,7 +45,11 @@ void ProtocolObserver::after_invocation(InvocationKind kind) {
                        "R" << id << " regressed from satisfied");
     }
 
-    if (opt_.check_e_properties && kind != InvocationKind::Mixed) {
+    // Cancel invocations are excluded from the per-kind E-property
+    // attribution for the same reason Mixed ones are: a cancel may promote
+    // successors of either class in one step (see InvocationKind::Cancel).
+    if (opt_.check_e_properties && kind != InvocationKind::Mixed &&
+        kind != InvocationKind::Cancel) {
       const bool newly_entitled =
           now.state == RequestState::Entitled &&
           before != RequestState::Entitled;

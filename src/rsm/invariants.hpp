@@ -35,6 +35,12 @@ enum class InvocationKind : std::uint8_t {
   ReadComplete,
   WriteComplete,
   Mixed,  ///< Upgrade issuance/resolution, incremental ops: skip E8/E9/E1-E4.
+  Cancel,  ///< Engine::cancel.  Like a completion it may entitle/satisfy
+           ///< successors of either class (an abandoned WQ headship promotes
+           ///< the next write, a canceled entitled write re-admits reads), so
+           ///< the per-kind E1-E4/E8/E9 attribution does not apply; every
+           ///< cross-invocation check (persistence, Cor. 1/2, Lemma 6, write
+           ///< FIFO) still runs.
 };
 
 struct ObserverOptions {

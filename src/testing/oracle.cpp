@@ -92,9 +92,33 @@ void verify_replay(const rsm::Engine& live, const locks::InvocationLog& log,
         okind = rec.is_write ? rsm::InvocationKind::WriteComplete
                              : rsm::InvocationKind::ReadComplete;
         break;
+      case locks::InvocationKind::Cancel: {
+        oracle.cancel(rec.t, rec.id);
+        okind = rsm::InvocationKind::Cancel;
+        // A canceled request must be gone for good: not incomplete, not a
+        // holder of anything.  (Checked before any slot recycling can reuse
+        // the id — cancel itself can only free this slot.)
+        RWRNLP_CHECK_MSG(
+            oracle.request(rec.id).state == rsm::RequestState::Canceled,
+            "replay divergence: canceled request "
+                << rec.id << " is in state "
+                << rsm::to_string(oracle.request(rec.id).state)
+                << " after replaying the cancel (t=" << rec.t << ")");
+        RWRNLP_CHECK_MSG(oracle.holds(rec.id).empty(),
+                         "canceled request " << rec.id
+                                             << " still holds resources "
+                                             << oracle.holds(rec.id).to_string()
+                                             << " (t=" << rec.t << ")");
+        // The canceled request leaves the bound accounting: it has no
+        // satisfaction to check a wait window against.
+        pending.erase(std::remove(pending.begin(), pending.end(), rec.id),
+                      pending.end());
+        break;
+      }
     }
 
-    if (rec.kind != locks::InvocationKind::Complete) {
+    if (rec.kind != locks::InvocationKind::Complete &&
+        rec.kind != locks::InvocationKind::Cancel) {
       RWRNLP_CHECK_MSG(rid == rec.id,
                        "replay divergence: live lock assigned request id "
                            << rec.id << " but the oracle assigned " << rid
@@ -110,9 +134,12 @@ void verify_replay(const rsm::Engine& live, const locks::InvocationLog& log,
       footprints[rid] =
           Footprint{rec.reads, rec.writes, rec.is_write, 0};
       if (!rec.satisfied_at_invocation) pending.push_back(rid);
-    } else {
+    } else if (rec.kind == locks::InvocationKind::Complete) {
       // Count this completion against every request still waiting that it
       // conflicts with — the discrete shadow of the Thm. 1/2 wait windows.
+      // Cancels are deliberately not counted: a canceled request never ran
+      // a critical section, so it cannot consume any survivor's Thm. 1/2
+      // budget.
       const Footprint& done = footprints.at(rec.id);
       for (rsm::RequestId pid : pending)
         if (footprints_conflict(footprints.at(pid), done))

@@ -1,0 +1,198 @@
+// Cancellation stress: a random subset of threads acquires with tiny
+// timeouts (try_lock_for) under heavy read/write contention while the rest
+// block normally.  Afterwards the run must leave zero incomplete requests
+// and no holder on any resource, and the recorded invocation log — cancels
+// included — must replay byte-identically through a fresh validating engine
+// (verify_replay), with survivors inside the discrete Thm. 1/2 shadow caps.
+//
+// Set RWRNLP_CANCEL_FAULTS=1 in the environment to scale the iteration
+// counts ~4x (used by the CI fault-injection leg).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "locks/invocation_log.hpp"
+#include "locks/spin_rw_rnlp.hpp"
+#include "locks/suspend_rw_rnlp.hpp"
+#include "testing/oracle.hpp"
+
+namespace rwrnlp::locks {
+namespace {
+
+using namespace std::chrono_literals;
+
+int fault_scale() {
+  const char* env = std::getenv("RWRNLP_CANCEL_FAULTS");
+  return (env != nullptr && env[0] != '\0' && env[0] != '0') ? 4 : 1;
+}
+
+void expect_engine_drained(rsm::Engine& engine, std::size_t q) {
+  EXPECT_EQ(engine.incomplete_count(), 0u);
+  for (ResourceId l = 0; l < q; ++l) {
+    EXPECT_TRUE(engine.read_holders(l).empty()) << "resource " << l;
+    EXPECT_FALSE(engine.write_locked(l)) << "resource " << l;
+    EXPECT_TRUE(engine.write_queue(l).empty()) << "resource " << l;
+    EXPECT_EQ(engine.read_queue_depth(l), 0u) << "resource " << l;
+  }
+}
+
+// Two threads, one resource, strict oracle caps: thread 0 holds-and-releases
+// the write lock in a loop; thread 1 races timed writes with a deadline so
+// short that many of them cancel.  Every cancel lands in the invocation log
+// and must replay cleanly under the strict (m = 2) bound accounting —
+// canceled requests never ran a critical section, so they must not consume
+// the survivor's blocking budget.
+TEST(CancelStress, StrictTwoThreadTimedWrites) {
+  const int iters = 60 * fault_scale();
+  SpinRwRnlp lock(1);
+  InvocationLog log;
+  lock.engine_for_test().set_trace_recording(true);
+  lock.set_invocation_log(&log);
+
+  std::atomic<std::uint64_t> grants{0};
+  std::thread holder([&] {
+    for (int k = 0; k < iters; ++k) {
+      const LockToken tok = lock.acquire(ResourceSet(1), ResourceSet(1, {0}));
+      std::this_thread::sleep_for(50us);
+      lock.release(tok);
+    }
+  });
+  std::thread timed([&] {
+    for (int k = 0; k < iters; ++k) {
+      auto tok = lock.try_lock_for(ResourceSet(1), ResourceSet(1, {0}), 20us);
+      if (tok) {
+        ++grants;
+        lock.release(*tok);
+      }
+    }
+  });
+  holder.join();
+  timed.join();
+
+  const HealthReport hr = lock.health_report();
+  EXPECT_EQ(hr.acquired, static_cast<std::uint64_t>(iters) + grants.load());
+  EXPECT_EQ(hr.timeouts, hr.canceled);
+  expect_engine_drained(lock.engine_for_test(), 1);
+
+  testing::OracleOptions oo;
+  oo.num_threads = 2;
+  oo.ops_per_thread = static_cast<std::size_t>(iters);
+  testing::verify_replay(lock.engine_for_test(), log, oo);
+}
+
+// Heavy mixed contention on a spin lock: m = 4 threads over 3 resources; a
+// random per-operation coin decides reader vs writer and timed vs blocking,
+// so an unpredictable subset of requests abandons mid-queue.  Loose caps
+// apply (> 2 threads), but the byte-equal trace replay and the E-property /
+// persistence / Lemma 6 observer run over every cancel.
+TEST(CancelStress, RandomTimedSubsetUnderContentionSpin) {
+  const int iters = 40 * fault_scale();
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kResources = 3;
+  SpinRwRnlp lock(kResources);
+  InvocationLog log;
+  lock.engine_for_test().set_trace_recording(true);
+  lock.set_invocation_log(&log);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      std::mt19937 rng(static_cast<unsigned>(0xC0FFEE + tid));
+      std::uniform_int_distribution<int> coin(0, 3);
+      std::uniform_int_distribution<std::size_t> pick(0, kResources - 1);
+      for (int k = 0; k < iters; ++k) {
+        const std::size_t a = pick(rng);
+        const std::size_t b = pick(rng);
+        ResourceSet reads(kResources);
+        ResourceSet writes(kResources);
+        if (coin(rng) == 0) {
+          writes.set(a);
+          if (b != a) writes.set(b);
+        } else {
+          reads.set(a);
+        }
+        const bool timed = coin(rng) < 2;
+        if (timed) {
+          auto tok = lock.try_lock_for(reads, writes, 30us);
+          if (tok) {
+            std::this_thread::sleep_for(10us);
+            lock.release(*tok);
+          }
+        } else {
+          const LockToken tok = lock.acquire(reads, writes);
+          std::this_thread::sleep_for(10us);
+          lock.release(tok);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  expect_engine_drained(lock.engine_for_test(), kResources);
+
+  testing::OracleOptions oo;
+  oo.num_threads = kThreads;
+  oo.ops_per_thread = static_cast<std::size_t>(iters);
+  testing::verify_replay(lock.engine_for_test(), log, oo);
+}
+
+// Same shape on the suspension-based front end, where the timeout path goes
+// through the condition variable (wait_until) instead of a spin loop, and a
+// cancel's fixpoint must still wake any newly satisfied sleepers.
+TEST(CancelStress, RandomTimedSubsetUnderContentionSuspend) {
+  const int iters = 30 * fault_scale();
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kResources = 2;
+  SuspendRwRnlp lock(kResources);
+  InvocationLog log;
+  lock.engine_for_test().set_trace_recording(true);
+  lock.set_invocation_log(&log);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      std::mt19937 rng(static_cast<unsigned>(0xBEEF + tid));
+      std::uniform_int_distribution<int> coin(0, 3);
+      std::uniform_int_distribution<std::size_t> pick(0, kResources - 1);
+      for (int k = 0; k < iters; ++k) {
+        ResourceSet reads(kResources);
+        ResourceSet writes(kResources);
+        if (coin(rng) == 0) {
+          writes.set(pick(rng));
+        } else {
+          reads.set(pick(rng));
+        }
+        if (coin(rng) < 2) {
+          auto tok = lock.try_lock_for(reads, writes, 50us);
+          if (tok) {
+            std::this_thread::sleep_for(10us);
+            lock.release(*tok);
+          }
+        } else {
+          const LockToken tok = lock.acquire(reads, writes);
+          std::this_thread::sleep_for(10us);
+          lock.release(tok);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(lock.blocked_waiters(), 0u);
+  expect_engine_drained(lock.engine_for_test(), kResources);
+
+  testing::OracleOptions oo;
+  oo.num_threads = kThreads;
+  oo.ops_per_thread = static_cast<std::size_t>(iters);
+  testing::verify_replay(lock.engine_for_test(), log, oo);
+}
+
+}  // namespace
+}  // namespace rwrnlp::locks

@@ -104,6 +104,176 @@ TEST(ApiRobustness, ResourceIndexOutOfRangeRejected) {
   EXPECT_THROW(e.write_holder(9), std::invalid_argument);
 }
 
+// --- cancel() edge cases ---------------------------------------------------
+
+TEST(ApiRobustness, CancelOfUnknownIdRejected) {
+  Engine e(1, validated());
+  EXPECT_THROW(e.cancel(1, 42), std::invalid_argument);
+  // Engine still works.
+  const RequestId a = e.issue_write(2, ResourceSet(1, {0}));
+  e.complete(3, a);
+}
+
+TEST(ApiRobustness, DoubleCancelRejected) {
+  Engine e(1, validated());
+  const RequestId a = e.issue_write(1, ResourceSet(1, {0}));
+  const RequestId b = e.issue_write(2, ResourceSet(1, {0}));
+  e.cancel(3, b);
+  EXPECT_EQ(e.state(b), RequestState::Canceled);
+  EXPECT_THROW(e.cancel(4, b), std::invalid_argument);
+  e.complete(5, a);
+}
+
+TEST(ApiRobustness, CancelAfterSatisfactionRejected) {
+  Engine e(1, validated());
+  const RequestId a = e.issue_write(1, ResourceSet(1, {0}));
+  ASSERT_TRUE(e.is_satisfied(a));
+  // A satisfied request holds resources and may have side effects; the only
+  // legal exit is complete().
+  EXPECT_THROW(e.cancel(2, a), std::invalid_argument);
+  EXPECT_TRUE(e.is_satisfied(a));  // unchanged
+  e.complete(3, a);
+  EXPECT_THROW(e.cancel(4, a), std::invalid_argument);  // complete: same
+}
+
+TEST(ApiRobustness, CancelOfQueuedWritePromotesSuccessor) {
+  Engine e(1, validated());
+  const RequestId a = e.issue_write(1, ResourceSet(1, {0}));
+  const RequestId b = e.issue_write(2, ResourceSet(1, {0}));
+  const RequestId c = e.issue_write(3, ResourceSet(1, {0}));
+  ASSERT_EQ(e.state(b), RequestState::Waiting);
+  e.cancel(4, b);
+  // b vanished from WQ(0); c slides forward as if b had never been issued.
+  EXPECT_EQ(e.state(b), RequestState::Canceled);
+  const auto wq = e.write_queue(0);
+  ASSERT_EQ(wq.size(), 1u);
+  EXPECT_EQ(wq[0].req, c);
+  e.complete(5, a);
+  EXPECT_TRUE(e.is_satisfied(c));
+  e.complete(6, c);
+  EXPECT_EQ(e.incomplete_count(), 0u);
+}
+
+TEST(ApiRobustness, CancelOfEntitledWriteReadmitsReads) {
+  Engine e(1, validated());
+  const RequestId r0 = e.issue_read(1, ResourceSet(1, {0}));
+  ASSERT_TRUE(e.is_satisfied(r0));
+  const RequestId w = e.issue_write(2, ResourceSet(1, {0}));
+  ASSERT_EQ(e.state(w), RequestState::Entitled);
+  // A later read concedes to the entitled write...
+  const RequestId r1 = e.issue_read(3, ResourceSet(1, {0}));
+  ASSERT_EQ(e.state(r1), RequestState::Waiting);
+  // ...until the write abandons its WQ headship: the fixpoint then admits
+  // the read in the same invocation, as if the write had never existed.
+  e.cancel(4, w);
+  EXPECT_EQ(e.state(w), RequestState::Canceled);
+  EXPECT_TRUE(e.is_satisfied(r1));
+  e.complete(5, r0);
+  e.complete(6, r1);
+  EXPECT_EQ(e.incomplete_count(), 0u);
+}
+
+TEST(ApiRobustness, CancelOfUpgradeHalfCancelsBothHalves) {
+  Engine e(1, validated());
+  // Make both halves wait behind a satisfied writer.
+  const RequestId w = e.issue_write(1, ResourceSet(1, {0}));
+  const auto pair = e.issue_upgradeable(2, ResourceSet(1, {0}));
+  ASSERT_FALSE(e.is_satisfied(pair.read_part));
+  ASSERT_FALSE(e.is_satisfied(pair.write_part));
+  e.cancel(3, pair.read_part);
+  EXPECT_EQ(e.state(pair.read_part), RequestState::Canceled);
+  EXPECT_EQ(e.state(pair.write_part), RequestState::Canceled);
+  e.complete(4, w);
+  EXPECT_EQ(e.incomplete_count(), 0u);
+}
+
+TEST(ApiRobustness, CancelOfUpgradeHalfWithSatisfiedPartnerRejected) {
+  Engine e(1, validated());
+  const auto pair = e.issue_upgradeable(1, ResourceSet(1, {0}));
+  // Uncontended: the read half is satisfied at issuance, the write half
+  // waits behind its read locks.  The pair must resolve via
+  // finish_read_segment(), not cancel().
+  ASSERT_TRUE(e.is_satisfied(pair.read_part));
+  EXPECT_THROW(e.cancel(2, pair.write_part), std::invalid_argument);
+  e.finish_read_segment(3, pair, /*upgrade=*/false);
+  EXPECT_EQ(e.incomplete_count(), 0u);
+}
+
+TEST(ApiRobustness, CancelOfPlaceholderBearingWriterUnderPlaceholders) {
+  EngineOptions o;
+  o.expansion = WriteExpansion::Placeholders;
+  o.validate = true;
+  ReadShareTable shares(2);
+  shares.declare_read_request(ResourceSet(2, {0, 1}));  // l0 ~ l1
+  Engine e(2, shares, o);
+  // W0 holds l0; W1 (needs l0) queues with a placeholder on l1; W2 (needs
+  // l1) waits behind that placeholder even though l1 is free (Sec. 3.4).
+  const RequestId w0 = e.issue_write(1, ResourceSet(2, {0}));
+  ASSERT_TRUE(e.is_satisfied(w0));
+  const RequestId w1 = e.issue_write(2, ResourceSet(2, {0}));
+  ASSERT_EQ(e.state(w1), RequestState::Waiting);
+  {
+    const auto wq1 = e.write_queue(1);
+    ASSERT_EQ(wq1.size(), 1u);
+    EXPECT_TRUE(wq1[0].placeholder);
+  }
+  const RequestId w2 = e.issue_write(3, ResourceSet(2, {1}));
+  ASSERT_EQ(e.state(w2), RequestState::Waiting);
+  // Canceling W1 must scrub its placeholder from WQ(l1) too — W2 becomes
+  // head of a placeholder-free queue and is satisfied by the same
+  // invocation's fixpoint.
+  e.cancel(4, w1);
+  EXPECT_EQ(e.state(w1), RequestState::Canceled);
+  EXPECT_TRUE(e.is_satisfied(w2));
+  EXPECT_EQ(e.write_queue(0).size(), 0u);
+  e.complete(5, w0);
+  e.complete(6, w2);
+  EXPECT_EQ(e.incomplete_count(), 0u);
+}
+
+TEST(ApiRobustness, CancelReleasesIncrementalPartialGrants) {
+  Engine e(2, validated());
+  // Reader holds l1, so the incremental write (potential {l0,l1}, initial
+  // {l0}) becomes entitled and is granted l0 but cannot be satisfied.
+  const RequestId r = e.issue_read(1, ResourceSet(2, {1}));
+  ASSERT_TRUE(e.is_satisfied(r));
+  const RequestId inc = e.issue_incremental(
+      2, ResourceSet(2), ResourceSet(2, {0, 1}), ResourceSet(2, {0}));
+  e.request_more(3, inc, ResourceSet(2, {1}));
+  ASSERT_EQ(e.state(inc), RequestState::Entitled);
+  ASSERT_TRUE(e.holds(inc).test(0));  // partial grant
+  // Cancel must release the partial grant: a later writer of l0 gets it.
+  e.cancel(4, inc);
+  EXPECT_EQ(e.state(inc), RequestState::Canceled);
+  EXPECT_TRUE(e.holds(inc).empty());
+  EXPECT_FALSE(e.write_locked(0));
+  const RequestId w = e.issue_write(5, ResourceSet(2, {0}));
+  EXPECT_TRUE(e.is_satisfied(w));
+  e.complete(6, r);
+  e.complete(7, w);
+  EXPECT_EQ(e.incomplete_count(), 0u);
+}
+
+TEST(ApiRobustness, CancelPathIsDeterministic) {
+  // Byte-equal trace replay: the same invocation sequence (with cancels)
+  // applied to two validating engines yields identical event traces.
+  EngineOptions o = validated();
+  o.record_trace = true;
+  auto run = [&](Engine& e) {
+    const RequestId a = e.issue_write(1, ResourceSet(2, {0}));
+    const RequestId b = e.issue_write(2, ResourceSet(2, {0}));
+    e.issue_read(3, ResourceSet(2, {1}));
+    e.cancel(4, b);
+    e.complete(5, a);
+    (void)b;
+  };
+  Engine e1(2, o), e2(2, o);
+  run(e1);
+  run(e2);
+  EXPECT_EQ(format_trace(e1.trace()), format_trace(e2.trace()));
+  EXPECT_FALSE(format_trace(e1.trace()).empty());
+}
+
 TEST(ApiRobustness, EngineUsableAfterManyErrors) {
   Engine e(2, validated());
   for (int i = 0; i < 50; ++i) {

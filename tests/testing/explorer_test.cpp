@@ -9,7 +9,9 @@
 // demonstrates the detect -> minimize -> replay pipeline.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -441,6 +443,168 @@ TEST(Explorer, EntitledWriterScenarioPassesWithoutInjection) {
   EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
                                   << ")";
   EXPECT_TRUE(res.exhausted);
+}
+
+// ------------------------------------------------- cancellation faults ----
+
+// Cancellation as fault injection: thread B withdraws a queued writer
+// (try_lock_until with an already-expired deadline) while holder A decides —
+// at every reachable yield point — when to release.  Exhaustive exploration
+// covers both outcomes of the timeout-vs-grant race: schedules where A
+// releases before B's cancel resolves (the grant wins and B must report the
+// lock as acquired) and schedules where the cancel goes through (B must
+// vanish from every queue).  Each schedule replays its log — Cancel records
+// included — through the validating oracle, and must leave the engine fully
+// drained: a canceled request may never linger as a holder or queue entry.
+TEST(Explorer, CancellationAtEveryYieldPointSpin) {
+  const ScenarioFactory factory = [] {
+    auto st =
+        std::make_shared<SpinState>(1, rsm::WriteExpansion::ExpandDomain);
+    st->lock.engine_for_test().set_trace_recording(true);
+    st->lock.set_invocation_log(&st->log);
+    ScenarioRun run;
+    run.bodies.push_back([st] {  // A: hold l0 until B's request is issued
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(1), ResourceSet(1, {0}));
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait,
+                        [st] { return st->log.size() >= 2; });
+      st->lock.release(tok);
+    });
+    run.bodies.push_back([st] {  // B: timed write, deadline already expired
+      auto tok =
+          st->lock.try_lock_until(ResourceSet(1), ResourceSet(1, {0}),
+                                  std::chrono::steady_clock::time_point{});
+      if (tok) st->lock.release(*tok);
+    });
+    OracleOptions oo;
+    oo.num_threads = 2;
+    run.check = [st, oo] {
+      verify_replay(st->lock.engine_for_test(), st->log, oo);
+      rsm::Engine& eng = st->lock.engine_for_test();
+      if (eng.incomplete_count() != 0)
+        throw std::logic_error("canceled/completed requests leaked: engine "
+                               "not drained after the schedule");
+      if (!eng.read_holders(0).empty() || eng.write_locked(0) ||
+          !eng.write_queue(0).empty())
+        throw std::logic_error("resource still held or queued on after the "
+                               "schedule (cancel left residue)");
+    };
+    return run;
+  };
+  ExhaustiveStrategy strategy;
+  ExploreOptions opt;
+  opt.max_schedules = 100000;
+  const ExploreResult res = explore(factory, strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GT(res.schedules, 5u);  // the cancel path really branched
+}
+
+// The suspension front end resolves the same race through its condition
+// variable and an unconditional Cancel yield point after the wait.
+TEST(Explorer, CancellationAtEveryYieldPointSuspend) {
+  const ScenarioFactory factory = [] {
+    auto st = std::make_shared<SuspendState>(1);
+    st->lock.engine_for_test().set_trace_recording(true);
+    st->lock.set_invocation_log(&st->log);
+    ScenarioRun run;
+    run.bodies.push_back([st] {
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(1), ResourceSet(1, {0}));
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait,
+                        [st] { return st->log.size() >= 2; });
+      st->lock.release(tok);
+    });
+    run.bodies.push_back([st] {
+      auto tok =
+          st->lock.try_lock_until(ResourceSet(1), ResourceSet(1, {0}),
+                                  std::chrono::steady_clock::time_point{});
+      if (tok) st->lock.release(*tok);
+    });
+    OracleOptions oo;
+    oo.num_threads = 2;
+    run.check = [st, oo] {
+      verify_replay(st->lock.engine_for_test(), st->log, oo);
+      if (st->lock.engine_for_test().incomplete_count() != 0)
+        throw std::logic_error("engine not drained after the schedule");
+    };
+    return run;
+  };
+  ExhaustiveStrategy strategy;
+  ExploreOptions opt;
+  opt.max_schedules = 100000;
+  const ExploreResult res = explore(factory, strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GT(res.schedules, 5u);
+}
+
+// Fault injection, part 3: a protocol violation *after* a cancellation.  B
+// cancels a queued writer; only then does C take the forced read fast path
+// over A's write hold, tripping the live invariant.  The minimized schedule
+// must therefore thread the needle through the cancel — proving that
+// detect -> minimize -> replay round-trips deterministically even when the
+// reproduction depends on a Cancel invocation in the log.
+TEST(Explorer, InjectedViolationAfterCancellationIsReplayable) {
+  const ScenarioFactory factory = [] {
+    auto st =
+        std::make_shared<SpinState>(1, rsm::WriteExpansion::ExpandDomain);
+    st->lock.engine_for_test().set_trace_recording(true);
+    st->lock.set_invocation_log(&st->log);
+    st->lock.engine_for_test().test_set_force_read_fast(true);
+    const auto canceled = [st] {
+      return std::any_of(st->log.begin(), st->log.end(),
+                         [](const locks::InvocationRecord& r) {
+                           return r.kind == locks::InvocationKind::Cancel;
+                         });
+    };
+    ScenarioRun run;
+    run.bodies.push_back([st] {  // A: hold l0 until C got through
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(1), ResourceSet(1, {0}));
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait,
+                        [st] { return st->flag.load(); });
+      st->lock.release(tok);
+    });
+    run.bodies.push_back([st] {  // B: queued writer, withdrawn by timeout
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait, [st] {
+        return st->lock.engine_for_test().write_locked(0);
+      });
+      auto tok =
+          st->lock.try_lock_until(ResourceSet(1), ResourceSet(1, {0}),
+                                  std::chrono::steady_clock::time_point{});
+      if (tok) st->lock.release(*tok);
+    });
+    run.bodies.push_back([st, canceled] {  // C: forced fast read over holder
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait, canceled);
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(1, {0}), ResourceSet(1));
+      st->flag.store(true);
+      st->lock.release(tok);
+    });
+    OracleOptions oo;
+    oo.num_threads = 3;
+    run.check = [st, oo] {
+      verify_replay(st->lock.engine_for_test(), st->log, oo);
+    };
+    return run;
+  };
+
+  ExhaustiveStrategy strategy;
+  const ExploreResult res = explore(factory, strategy);
+  ASSERT_TRUE(res.failure_found) << "search missed the injected violation "
+                                    "behind the cancellation after "
+                                 << res.schedules << " schedules";
+  EXPECT_NE(res.failure.find("read lock over writer"), std::string::npos)
+      << res.failure;
+  const std::string replay1 = replay(factory, res.token);
+  const std::string replay2 = replay(factory, res.token);
+  EXPECT_FALSE(replay1.empty());
+  EXPECT_EQ(replay1, replay2);
+  EXPECT_EQ(replay1, res.failure);
+  EXPECT_FALSE(replay(factory, res.original_token).empty());
 }
 
 }  // namespace
