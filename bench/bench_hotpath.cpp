@@ -1,24 +1,35 @@
 // Hot-path benchmark: ns/op and allocations/op for the concurrent R/W RNLP.
 //
-// Compares three configurations of the same protocol on identical workloads:
+// Compares five configurations of the same protocol on identical workloads:
 //
-//   baseline  SpinRwRnlp with the uncontended-read fast path disabled —
-//             every acquire runs the full entitlement/satisfaction fixpoint
-//             under one global ticket lock (the pre-optimization hot path).
-//   fastpath  SpinRwRnlp with the fast path enabled.
-//   sharded   ShardedRwRnlp over kComponents disjoint resource components,
-//             fast path enabled — invocations in different components do not
-//             serialize on a common mutex.
+//   baseline   SpinRwRnlp with the uncontended-read fast path disabled —
+//              every acquire runs the full entitlement/satisfaction fixpoint
+//              under one global ticket lock (the pre-optimization hot path).
+//   fastpath   SpinRwRnlp with the fast path enabled.
+//   combined   SpinRwRnlp routing invocations through the flat-combining
+//              broker: contending threads publish to per-thread slots and
+//              the mutex winner applies the whole batch in one critical
+//              section (Engine::apply_batch).
+//   sharded    ShardedRwRnlp over kComponents disjoint resource components,
+//              fast path enabled — invocations in different components do
+//              not serialize on a common mutex.
+//   sharded-combined  the two composed: per-component broker + engine.
 //
 // Workloads (requests confined to per-thread home components so every
 // configuration can run them): read-only (uncontended), write-heavy, and
-// 90/10 mixed, each at 1/2/4/8 threads.  Reported per run: p50/p99 ns per
-// acquire+release pair and aggregate ops/s.  A single-threaded phase counts
-// heap allocations per steady-state op via a global operator new hook; the
-// engine is expected to be allocation-free once warm.
+// 90/10 mixed, each at 1/2/4/8 threads.  Measurement fidelity: every bench
+// thread is pinned to a core (bench/common.hpp), each thread runs a warm-up
+// stream before the timed section, and every (lock, workload, threads) cell
+// is the median-throughput trial of three runs on a fresh lock.  Reported
+// per cell: p50/p99 ns per acquire+release pair and aggregate ops/s.  A
+// single-threaded phase counts heap allocations per steady-state op via a
+// global operator new hook; the engine is expected to be allocation-free
+// once warm.
 //
 // Output: human-readable table on stdout plus machine-readable JSON written
-// to argv[1] (default "BENCH_hotpath.json").
+// to argv[1] (default "BENCH_hotpath.json"); tools/bench_check.py compares
+// two such files.  argv[2]/argv[3] override ops-per-thread and trial count
+// for quick CI runs (e.g. `bench_hotpath out.json 2000 1`).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -131,15 +142,25 @@ double percentile(std::vector<double>& v, double p) {
 RunResult run_workload(MultiResourceLock& lock, Workload w,
                        std::size_t threads, std::size_t ops_per_thread) {
   using Clock = std::chrono::steady_clock;
+  // Warm-up sized to grow every container (engine slot tables, waiter
+  // vectors, broker slot cache) to working capacity before the clock starts.
+  const std::size_t warmup = std::min<std::size_t>(2000, ops_per_thread);
   std::vector<std::vector<Op>> streams;
+  std::vector<std::vector<Op>> warm_streams;
   std::vector<std::vector<double>> samples(threads);
   for (std::size_t t = 0; t < threads; ++t) {
     streams.push_back(make_ops(t, w, ops_per_thread, /*seed=*/42));
+    warm_streams.push_back(make_ops(t, w, warmup, /*seed=*/1337));
     samples[t].reserve(ops_per_thread);
   }
   std::atomic<std::size_t> ready{0};
   std::atomic<bool> go{false};
   auto body = [&](std::size_t tid) {
+    pin_to_core(tid);
+    for (const Op& op : warm_streams[tid]) {
+      locks::LockToken tok = lock.acquire(op.reads, op.writes);
+      lock.release(tok);
+    }
     const std::vector<Op>& ops = streams[tid];
     std::vector<double>& out = samples[tid];
     ready.fetch_add(1);
@@ -208,7 +229,13 @@ std::unique_ptr<MultiResourceLock> make_fastpath() {
   return std::make_unique<SpinRwRnlp>(kQ);
 }
 
-std::unique_ptr<MultiResourceLock> make_sharded() {
+std::unique_ptr<MultiResourceLock> make_combined() {
+  return std::make_unique<SpinRwRnlp>(kQ, rsm::WriteExpansion::ExpandDomain,
+                                      /*reads_as_writes=*/false,
+                                      /*combining=*/true);
+}
+
+std::vector<ResourceSet> make_components() {
   std::vector<ResourceSet> comps;
   for (std::size_t c = 0; c < kComponents; ++c) {
     ResourceSet rs(kQ);
@@ -216,7 +243,35 @@ std::unique_ptr<MultiResourceLock> make_sharded() {
       rs.set(static_cast<ResourceId>(c * kCompSize + i));
     comps.push_back(std::move(rs));
   }
-  return std::make_unique<ShardedRwRnlp>(kQ, std::move(comps));
+  return comps;
+}
+
+std::unique_ptr<MultiResourceLock> make_sharded() {
+  return std::make_unique<ShardedRwRnlp>(kQ, make_components());
+}
+
+std::unique_ptr<MultiResourceLock> make_sharded_combined() {
+  return std::make_unique<ShardedRwRnlp>(kQ, make_components(),
+                                         rsm::WriteExpansion::ExpandDomain,
+                                         /*combining=*/true);
+}
+
+/// Median-of-`trials` by throughput, each trial on a freshly built lock so
+/// no trial inherits another's cache/queue state.  The p50/p99 reported are
+/// the median trial's, keeping the row internally consistent.
+RunResult run_trials(const LockConfig& cfg, Workload w, std::size_t threads,
+                     std::size_t ops_per_thread, std::size_t trials) {
+  std::vector<RunResult> results;
+  results.reserve(trials);
+  for (std::size_t i = 0; i < trials; ++i) {
+    auto lock = cfg.make();
+    results.push_back(run_workload(*lock, w, threads, ops_per_thread));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const RunResult& a, const RunResult& b) {
+              return a.ops_per_sec < b.ops_per_sec;
+            });
+  return results[results.size() / 2];
 }
 
 }  // namespace
@@ -227,39 +282,55 @@ int main(int argc, char** argv) {
   using namespace rwrnlp::bench;
 
   const std::string json_path = argc > 1 ? argv[1] : "BENCH_hotpath.json";
-  const std::size_t kOps = 20000;
+  const std::size_t kOps =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 20000;
+  const std::size_t kTrials =
+      argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 3;
   const std::size_t kThreadCounts[] = {1, 2, 4, 8};
   const Workload kWorkloads[] = {Workload::ReadOnly, Workload::WriteHeavy,
                                  Workload::Mixed};
   const LockConfig kConfigs[] = {
       {"baseline", make_baseline},
       {"fastpath", make_fastpath},
+      {"combined", make_combined},
       {"sharded", make_sharded},
+      {"sharded-combined", make_sharded_combined},
   };
 
   std::ostringstream rows;
   bool first_row = true;
 
-  header("hot path: ns/op (p50/p99) and ops/s");
-  std::printf("  %-12s %-12s %8s %12s %12s %14s\n", "lock", "workload",
+  header("hot path: ns/op (p50/p99) and ops/s, median of " +
+         std::to_string(kTrials) + " trial(s)");
+  std::printf("  %-17s %-12s %8s %12s %12s %14s\n", "lock", "workload",
               "threads", "p50 ns", "p99 ns", "ops/s");
 
-  // speedups[workload][threads] for the read-only acceptance check.
+  // Cells retained for the acceptance checks and the speedup summary.
   double readonly_baseline_4t = 0, readonly_fastpath_4t = 0,
          readonly_sharded_4t = 0;
+  // ops_per_sec at 8 threads, keyed [workload][uncombined? 0 : 1] for the
+  // spin lock and its sharded composition.
+  double spin_8t[3][2] = {};
+  double sharded_8t[3][2] = {};
 
   for (const LockConfig& cfg : kConfigs) {
-    for (Workload w : kWorkloads) {
+    for (std::size_t wi = 0; wi < 3; ++wi) {
+      const Workload w = kWorkloads[wi];
       for (std::size_t threads : kThreadCounts) {
-        auto lock = cfg.make();
-        const RunResult r = run_workload(*lock, w, threads, kOps);
-        std::printf("  %-12s %-12s %8zu %12.1f %12.1f %14.0f\n",
+        const RunResult r = run_trials(cfg, w, threads, kOps, kTrials);
+        std::printf("  %-17s %-12s %8zu %12.1f %12.1f %14.0f\n",
                     cfg.key.c_str(), to_string(w), threads, r.p50_ns,
                     r.p99_ns, r.ops_per_sec);
         if (w == Workload::ReadOnly && threads == 4) {
           if (cfg.key == "baseline") readonly_baseline_4t = r.ops_per_sec;
           if (cfg.key == "fastpath") readonly_fastpath_4t = r.ops_per_sec;
           if (cfg.key == "sharded") readonly_sharded_4t = r.ops_per_sec;
+        }
+        if (threads == 8) {
+          if (cfg.key == "fastpath") spin_8t[wi][0] = r.ops_per_sec;
+          if (cfg.key == "combined") spin_8t[wi][1] = r.ops_per_sec;
+          if (cfg.key == "sharded") sharded_8t[wi][0] = r.ops_per_sec;
+          if (cfg.key == "sharded-combined") sharded_8t[wi][1] = r.ops_per_sec;
         }
         if (!first_row) rows << ",\n";
         first_row = false;
@@ -269,6 +340,35 @@ int main(int argc, char** argv) {
              << ", \"ops_per_sec\": " << r.ops_per_sec << "}";
       }
     }
+  }
+
+  header("flat combining vs classic path at 8 threads (ops/s ratio)");
+  for (std::size_t wi = 0; wi < 3; ++wi) {
+    const double spin_ratio =
+        spin_8t[wi][0] > 0 ? spin_8t[wi][1] / spin_8t[wi][0] : 0;
+    const double sharded_ratio =
+        sharded_8t[wi][0] > 0 ? sharded_8t[wi][1] / sharded_8t[wi][0] : 0;
+    std::printf("  %-12s combined/fastpath %.2fx   sharded-combined/sharded %.2fx\n",
+                to_string(kWorkloads[wi]), spin_ratio, sharded_ratio);
+  }
+  {
+    // Sanity check (not a hard perf gate — absolute ratios are
+    // machine-dependent; tools/bench_check.py does the regression gating):
+    // the combined spin lock actually combined work under contention.
+    auto lock = make_combined();
+    const RunResult r =
+        run_workload(*lock, Workload::WriteHeavy, /*threads=*/8, 2000);
+    (void)r;
+    const auto hr =
+        static_cast<SpinRwRnlp*>(lock.get())->health_report();
+    check(hr.combined_invocations > 0,
+          "combining broker processed invocations under contention");
+    std::printf("  combiner stats: %llu batches, %llu invocations, "
+                "%llu handoffs, max batch %zu\n",
+                static_cast<unsigned long long>(hr.batches_combined),
+                static_cast<unsigned long long>(hr.combined_invocations),
+                static_cast<unsigned long long>(hr.combiner_handoffs),
+                hr.max_batch_combined);
   }
 
   header("steady-state allocations per op (single-threaded)");
@@ -309,6 +409,7 @@ int main(int argc, char** argv) {
      << "  \"q\": " << kQ << ",\n"
      << "  \"components\": " << kComponents << ",\n"
      << "  \"ops_per_thread\": " << kOps << ",\n"
+     << "  \"trials\": " << kTrials << ",\n"
      << "  \"workloads\": [\n"
      << rows.str() << "\n  ],\n"
      << "  \"allocations\": [\n"

@@ -14,7 +14,32 @@
 #include <iostream>
 #include <string>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
 namespace rwrnlp::bench {
+
+/// Pins the calling thread to `core` (modulo the number of online CPUs), so
+/// bench threads stop migrating between cores mid-run — migration both
+/// perturbs the timed loop and stands in poorly for the paper's model, where
+/// each request is issued by a processor-pinned job.  Best-effort: a no-op
+/// off Linux or when the container forbids affinity changes, because a bench
+/// must degrade to "noisier numbers", never to "fails to run".
+inline void pin_to_core(std::size_t core) {
+#if defined(__linux__)
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  if (n <= 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(core % static_cast<std::size_t>(n)), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
 
 inline int g_failures = 0;
 inline bool g_finish_reported = false;

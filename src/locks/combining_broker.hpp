@@ -1,0 +1,264 @@
+// Flat-combining invocation broker for the RSM front ends.
+//
+// Rule G4 serializes every protocol invocation, and the front ends realize
+// that serialization with one short internal mutex.  Under heavy traffic the
+// mutex hand-off itself dominates: every invocation pays a full
+// lock-transfer (cache-line migration + wakeup) even though the invocation
+// body is a few hundred nanoseconds.  Flat combining (Hendler, Incze,
+// Shavit, Tzafrir, SPAA 2010) removes the per-invocation hand-off: each
+// thread *publishes* its invocation into a cache-line-padded announcement
+// slot, and whichever thread wins the mutex becomes the *combiner*, scans
+// the slot table, and applies every pending invocation — in shared-clock
+// order — through Engine::apply_batch() under the single mutex acquisition.
+// The serialization the paper requires is untouched (the combiner applies
+// invocations one at a time, each as an atomic transition at its own
+// timestamp); only the number of mutex transfers per invocation drops, from
+// 1 to 1/batch-size.
+//
+// Ordering: every publish draws a ticket from a shared atomic clock; the
+// combiner sorts its collected batch by ticket, so two invocations that
+// land in the same batch are applied in the order they were drawn.  Across
+// batches the engine's own monotone timestamps (assigned by the front end
+// under the mutex, Rule G1) define the serialization, exactly as on the
+// classic path: a publish that misses the current batch serializes after
+// it, which is a legal outcome of the original mutex race too.
+//
+// The broker is policy-free: it knows nothing about waiters, logs, or load
+// shedding.  The front end passes an `apply` callable that receives the
+// ts-sorted pending slots with the mutex held and runs the engine batch
+// plus its own bookkeeping (BatchSink).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "locks/ticket_mutex.hpp"
+#include "locks/yield_point.hpp"
+#include "rsm/engine.hpp"
+
+namespace rwrnlp::locks {
+
+/// Per-request satisfaction flag the spin front ends busy-wait on.  A full
+/// cache line each, so a spinning waiter's polling never invalidates a
+/// neighbouring waiter's line (false-sharing audit, PR 4).
+struct alignas(64) SatisfactionFlag {
+  std::atomic<bool> satisfied{false};
+};
+static_assert(sizeof(SatisfactionFlag) == 64 && alignof(SatisfactionFlag) == 64,
+              "satisfaction flags must own their cache line");
+
+/// Combiner observability, surfaced through HealthReport.  Mutated only
+/// with the front end's mutex held; read under the same mutex.
+struct CombinerStats {
+  std::uint64_t batches = 0;        ///< combine passes executed
+  std::uint64_t invocations = 0;    ///< invocations applied via batches
+  std::uint64_t handoffs = 0;       ///< batches that served another thread
+  std::size_t max_batch = 0;        ///< largest single batch
+};
+
+namespace detail {
+
+/// Monotone id for broker instances; never reused, so a stale thread-local
+/// cache entry can never alias a new broker that landed at the same address.
+inline std::uint64_t next_broker_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Small per-thread (broker-uid -> slot index) cache.  A thread that uses
+/// more than kEntries combined locks concurrently evicts round-robin and
+/// re-claims on return; the slot it abandoned stays claimed (the table is
+/// a lifetime-of-the-broker resource), which at worst pushes later threads
+/// onto the classic path.
+struct SlotCache {
+  static constexpr std::size_t kEntries = 4;
+  struct Entry {
+    std::uint64_t uid = 0;
+    std::uint32_t index = 0;
+  };
+  std::array<Entry, kEntries> entries{};
+  std::size_t next_victim = 0;
+};
+
+inline SlotCache& tl_slot_cache() {
+  thread_local SlotCache cache;
+  return cache;
+}
+
+}  // namespace detail
+
+/// `Mutex` is the front end's internal mutex (TicketMutex or std::mutex).
+/// It must provide try_lock()/unlock(); if it also provides
+/// appears_unlocked() the publish loop uses it as its wakeup hint under the
+/// virtual scheduler, otherwise the broker's own combiner-active flag
+/// serves (sound for the suspension variant because no code path parks a
+/// virtual thread while holding a std::mutex — see YieldPoint docs).
+template <typename Mutex>
+class CombiningBroker {
+ public:
+  static constexpr std::size_t kSlots = 64;
+
+  /// One announcement slot.  Exactly the slot owner writes inv/seq before
+  /// publishing (phase Idle->Pending, release) and reads results after the
+  /// combiner retires it (phase ->Done, release); the phase transitions
+  /// carry all the ordering.
+  struct alignas(64) Slot {
+    std::atomic<std::uint32_t> phase{kIdle};
+    std::atomic<bool> claimed{false};
+    std::uint64_t seq = 0;
+    bool shed = false;  ///< out: the front end's sink vetoed the invocation
+    rsm::Invocation inv;
+    SatisfactionFlag waiter;  ///< spin front ends park here post-batch
+  };
+  static_assert(alignof(Slot) == 64, "announcement slots must be line-aligned");
+  static_assert(sizeof(Slot) % 64 == 0,
+                "announcement slots must not tail-share a cache line");
+
+  CombiningBroker() : uid_(detail::next_broker_uid()) {}
+  CombiningBroker(const CombiningBroker&) = delete;
+  CombiningBroker& operator=(const CombiningBroker&) = delete;
+
+  /// Returns this thread's announcement slot, claiming one on first use;
+  /// nullptr when all kSlots are taken (the caller falls back to the
+  /// classic mutex path, which is always legal).
+  Slot* claim_slot() {
+    detail::SlotCache& cache = detail::tl_slot_cache();
+    for (const auto& e : cache.entries)
+      if (e.uid == uid_) return &slots_[e.index];
+    for (std::uint32_t i = 0; i < kSlots; ++i) {
+      if (slots_[i].claimed.load(std::memory_order_relaxed)) continue;
+      if (!slots_[i].claimed.exchange(true, std::memory_order_acq_rel)) {
+        // Claims are first-fit and never released, so the claimed set is
+        // always a prefix; publish the new high-water mark so combine()
+        // scans only live slots (a 1-thread broker scans 1 line, not 64).
+        std::uint32_t hwm = claimed_hwm_.load(std::memory_order_relaxed);
+        while (hwm < i + 1 &&
+               !claimed_hwm_.compare_exchange_weak(hwm, i + 1,
+                                                   std::memory_order_release,
+                                                   std::memory_order_relaxed)) {
+        }
+        auto& victim = cache.entries[cache.next_victim];
+        cache.next_victim = (cache.next_victim + 1) % detail::SlotCache::kEntries;
+        victim.uid = uid_;
+        victim.index = i;
+        return &slots_[i];
+      }
+    }
+    return nullptr;
+  }
+
+  /// Publishes `slot` (whose inv the caller has filled in) and returns once
+  /// it has been applied — by this thread or by another combiner.  `apply`
+  /// is invoked with `mutex` held and the ts-sorted pending slots; it must
+  /// apply every one of them and retire() each slot — vetoed ones included —
+  /// as soon as that slot's invocation is fully processed and before
+  /// touching the next one.  Retirement must be per-slot, not end-of-batch:
+  /// a publisher whose request is *promoted* by a later invocation of the
+  /// same batch (satisfied callback mid-batch) may wake, finish its critical
+  /// section, and republish the same slot for its release while the combiner
+  /// is still working; an end-of-batch retire loop would mark that fresh
+  /// publication Done without ever applying it, silently losing the
+  /// invocation.
+  template <typename Apply>
+  void submit(Mutex& mutex, Slot* slot, Apply&& apply) {
+    slot->seq = clock_.fetch_add(1, std::memory_order_relaxed);
+    sched_yield_point(YieldPoint::CombinePublish);
+    slot->phase.store(kPending, std::memory_order_release);
+    SpinBackoff backoff;
+    for (;;) {
+      if (slot->phase.load(std::memory_order_acquire) == kDone) break;
+      if (mutex.try_lock()) {
+        combiner_active_.store(true, std::memory_order_release);
+        combine(std::forward<Apply>(apply));
+        combiner_active_.store(false, std::memory_order_release);
+        mutex.unlock();
+        // Our slot was Pending before the try_lock, so either this combine
+        // pass collected it or an earlier combiner already retired it.
+        break;
+      }
+      // Schedule-test seam: park until served or until combining looks
+      // possible again.  The hint may be stale either way — the loop
+      // re-checks everything — but it must never be *permanently* stuck
+      // false while the mutex is free, hence appears_unlocked() when the
+      // mutex can tell us (a TicketMutex holder may legally park at a yield
+      // point, leaving combiner_active_ false while the mutex is held).
+      if (sched_wait(YieldPoint::CombineWait, [&] {
+            if (slot->phase.load(std::memory_order_acquire) == kDone)
+              return true;
+            if constexpr (requires(Mutex& m) { m.appears_unlocked(); }) {
+              return mutex.appears_unlocked();
+            } else {
+              return !combiner_active_.load(std::memory_order_acquire);
+            }
+          })) {
+        continue;
+      }
+      backoff.pause();
+    }
+    slot->phase.store(kIdle, std::memory_order_relaxed);
+  }
+
+  /// Retires one slot: publishes the results written into it (id, satisfied,
+  /// shed) to its owner and releases the owner from its submit() loop.  The
+  /// owner may republish the slot immediately, so the caller must not touch
+  /// the slot afterwards.
+  static void retire(Slot* slot) {
+    slot->phase.store(kDone, std::memory_order_release);
+  }
+
+  /// Mutated under the front end's mutex only; read it under the same.
+  const CombinerStats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::uint32_t kIdle = 0;
+  static constexpr std::uint32_t kPending = 1;
+  static constexpr std::uint32_t kDone = 2;
+
+  template <typename Apply>
+  void combine(Apply&& apply) {
+    Slot* pending[kSlots];
+    std::size_t n = 0;
+    // A stale (too-small) high-water mark can only miss a slot whose owner
+    // is still in its submit() loop; that owner retries try_lock and
+    // combines for itself, the same race as a publish that lands just after
+    // a combiner's scan.  No pending slot is ever missed permanently.
+    const std::uint32_t live = claimed_hwm_.load(std::memory_order_acquire);
+    for (std::uint32_t i = 0; i < live; ++i) {
+      Slot& s = slots_[i];
+      if (s.phase.load(std::memory_order_acquire) == kPending)
+        pending[n++] = &s;
+    }
+    if (n == 0) return;  // another combiner served us between check and lock
+    // Insertion sort by publish ticket: batches are small and nearly sorted
+    // (slots are scanned in claim order), so this beats std::sort's
+    // dispatch overhead and allocates nothing.
+    for (std::size_t i = 1; i < n; ++i) {
+      Slot* s = pending[i];
+      std::size_t j = i;
+      while (j > 0 && pending[j - 1]->seq > s->seq) {
+        pending[j] = pending[j - 1];
+        --j;
+      }
+      pending[j] = s;
+    }
+    // apply retires each slot (retire()) as it finishes with it; by the
+    // time it returns, every slot in pending[] may already belong to a new
+    // publication, so it must not be touched here.
+    apply(pending, n);
+    stats_.batches += 1;
+    stats_.invocations += n;
+    if (n > 1) stats_.handoffs += 1;
+    if (n > stats_.max_batch) stats_.max_batch = n;
+  }
+
+  std::atomic<std::uint64_t> clock_{0};
+  std::atomic<bool> combiner_active_{false};
+  std::atomic<std::uint32_t> claimed_hwm_{0};  // claimed slots are [0, hwm)
+  std::uint64_t uid_;
+  CombinerStats stats_;
+  std::array<Slot, kSlots> slots_;
+};
+
+}  // namespace rwrnlp::locks

@@ -74,6 +74,14 @@ struct HealthReport {
   std::size_t incomplete = 0;  ///< incomplete requests right now (P2: <= m)
   std::size_t max_read_queue_depth = 0;   ///< deepest RQ(l) right now
   std::size_t max_write_queue_depth = 0;  ///< deepest WQ(l) right now
+  // Flat-combining observability (all zero when combining is off): how many
+  // combine passes ran, how many invocations went through them, how many
+  // passes applied another thread's invocation (i.e. actually saved a mutex
+  // hand-off), and the largest single batch.
+  std::uint64_t batches_combined = 0;
+  std::uint64_t combined_invocations = 0;
+  std::uint64_t combiner_handoffs = 0;
+  std::size_t max_batch_combined = 0;
   std::vector<StuckHolder> stuck;
 
   void merge(const HealthReport& o) {
@@ -86,6 +94,10 @@ struct HealthReport {
         std::max(max_read_queue_depth, o.max_read_queue_depth);
     max_write_queue_depth =
         std::max(max_write_queue_depth, o.max_write_queue_depth);
+    batches_combined += o.batches_combined;
+    combined_invocations += o.combined_invocations;
+    combiner_handoffs += o.combiner_handoffs;
+    max_batch_combined = std::max(max_batch_combined, o.max_batch_combined);
     stuck.insert(stuck.end(), o.stuck.begin(), o.stuck.end());
   }
 };

@@ -9,7 +9,7 @@ namespace rwrnlp::locks {
 ShardedRwRnlp::ShardedRwRnlp(std::size_t num_resources,
                              std::vector<ResourceSet> components,
                              rsm::ReadShareTable shares,
-                             rsm::WriteExpansion expansion)
+                             rsm::WriteExpansion expansion, bool combining)
     : q_(num_resources),
       component_sets_(std::move(components)),
       component_of_(num_resources, UINT32_MAX) {
@@ -56,15 +56,16 @@ ShardedRwRnlp::ShardedRwRnlp(std::size_t num_resources,
   shards_.reserve(component_sets_.size());
   for (std::size_t c = 0; c < component_sets_.size(); ++c) {
     shards_.push_back(std::make_unique<SpinRwRnlp>(
-        num_resources, shares, expansion, /*reads_as_writes=*/false));
+        num_resources, shares, expansion, /*reads_as_writes=*/false,
+        combining));
   }
 }
 
 ShardedRwRnlp::ShardedRwRnlp(std::size_t num_resources,
                              std::vector<ResourceSet> components,
-                             rsm::WriteExpansion expansion)
+                             rsm::WriteExpansion expansion, bool combining)
     : ShardedRwRnlp(num_resources, std::move(components),
-                    rsm::ReadShareTable(num_resources), expansion) {}
+                    rsm::ReadShareTable(num_resources), expansion, combining) {}
 
 std::size_t ShardedRwRnlp::component_of(ResourceId l) const {
   RWRNLP_REQUIRE(l < q_, "resource l" << l << " outside universe (q=" << q_

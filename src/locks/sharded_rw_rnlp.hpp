@@ -35,13 +35,22 @@ class ShardedRwRnlp final : public MultiResourceLock {
   /// components.  `shares` must respect the partition: closure(C) == C for
   /// every component C (violations throw std::invalid_argument, since a
   /// cross-component write domain would need two shards' locks at once).
+  /// `combining` enables the flat-combining broker *per shard* (each
+  /// component's SpinRwRnlp gets its own broker, so combining never crosses
+  /// the component boundary the decomposition argument relies on).
   ShardedRwRnlp(std::size_t num_resources,
                 std::vector<ResourceSet> components,
                 rsm::ReadShareTable shares,
-                rsm::WriteExpansion expansion = rsm::WriteExpansion::ExpandDomain);
+                rsm::WriteExpansion expansion = rsm::WriteExpansion::ExpandDomain,
+                bool combining = false);
   ShardedRwRnlp(std::size_t num_resources,
                 std::vector<ResourceSet> components,
-                rsm::WriteExpansion expansion = rsm::WriteExpansion::ExpandDomain);
+                rsm::WriteExpansion expansion = rsm::WriteExpansion::ExpandDomain,
+                bool combining = false);
+
+  bool combining_enabled() const {
+    return !shards_.empty() && shards_.front()->combining_enabled();
+  }
 
   /// Routes to the owning shard.  Throws std::invalid_argument if
   /// reads|writes spans more than one component.

@@ -12,10 +12,12 @@ rsm::EngineOptions SpinRwRnlp::make_options(rsm::WriteExpansion expansion) {
 }
 
 SpinRwRnlp::SpinRwRnlp(std::size_t num_resources, rsm::ReadShareTable shares,
-                       rsm::WriteExpansion expansion, bool reads_as_writes)
+                       rsm::WriteExpansion expansion, bool reads_as_writes,
+                       bool combining)
     : q_(num_resources),
       reads_as_writes_(reads_as_writes),
       engine_(num_resources, std::move(shares), make_options(expansion)) {
+  if (combining) broker_ = std::make_unique<Broker>();
   engine_.set_satisfied_callback([this](rsm::RequestId id, rsm::Time) {
     // Runs with mutex_ held (inside an invocation).
     if (robust_.stuck_budget.count() > 0) {
@@ -39,9 +41,127 @@ void SpinRwRnlp::drop_waiter(rsm::RequestId id) {
 }
 
 SpinRwRnlp::SpinRwRnlp(std::size_t num_resources,
-                       rsm::WriteExpansion expansion, bool reads_as_writes)
+                       rsm::WriteExpansion expansion, bool reads_as_writes,
+                       bool combining)
     : SpinRwRnlp(num_resources, rsm::ReadShareTable(num_resources), expansion,
-                 reads_as_writes) {}
+                 reads_as_writes, combining) {}
+
+// ---------------------------------------------------------------------------
+// Flat-combining path
+// ---------------------------------------------------------------------------
+
+/// BatchSink run by whichever thread combines a batch (mutex_ held).  It is
+/// the combined counterpart of issue_request()/release(): same load-shedding
+/// gate, same logical-clock assignment, same log records, same waiter
+/// registration — just executed by the combiner on behalf of the publisher.
+struct SpinRwRnlp::CombineSink final : rsm::BatchSink {
+  SpinRwRnlp& fe;
+  Broker::Slot* const* slots;
+  CombineSink(SpinRwRnlp& f, Broker::Slot* const* s) : fe(f), slots(s) {}
+
+  bool before(rsm::Invocation& inv, std::size_t i) override {
+    // Combiner preemption point (spin variant only: TicketMutex waits stay
+    // cooperative under the virtual scheduler, so parking the combiner here
+    // cannot OS-block other virtual threads).
+    sched_yield_point(YieldPoint::CombineApply);
+    const bool is_issue = inv.kind != rsm::Invocation::Kind::Complete &&
+                          inv.kind != rsm::Invocation::Kind::Cancel;
+    if (is_issue && fe.robust_.max_incomplete != 0 &&
+        fe.engine_.incomplete_count() >= fe.robust_.max_incomplete) {
+      slots[i]->shed = true;
+      fe.counters_.shed.fetch_add(1, std::memory_order_relaxed);
+      Broker::retire(slots[i]);  // vetoed: the engine never touches it again
+      return false;
+    }
+    inv.t = static_cast<double>(++fe.logical_time_);
+    return true;
+  }
+
+  void after(rsm::Invocation& inv, std::size_t i) override {
+    // Retirement (the last statement of every branch) must be per-slot and
+    // immediate: a publisher promoted by a *later* invocation of this very
+    // batch may wake, run its critical section, and republish this slot for
+    // its release while the batch is still being applied — so after the
+    // retire() the slot is off limits.
+    if (inv.kind == rsm::Invocation::Kind::Complete) {
+      if (fe.invocation_log_ != nullptr) {
+        fe.invocation_log_->push_back(InvocationRecord{
+            InvocationKind::Complete, inv.t, inv.id, false,
+            fe.engine_.request(inv.id).is_write, ResourceSet(fe.q_),
+            ResourceSet(fe.q_)});
+      }
+      Broker::retire(slots[i]);
+      return;
+    }
+    if (inv.kind == rsm::Invocation::Kind::Cancel) {  // not routed
+      Broker::retire(slots[i]);
+      return;
+    }
+    if (fe.invocation_log_ != nullptr) {
+      InvocationKind kind = InvocationKind::IssueRead;
+      if (inv.kind == rsm::Invocation::Kind::IssueWrite)
+        kind = InvocationKind::IssueWrite;
+      else if (inv.kind == rsm::Invocation::Kind::IssueMixed)
+        kind = InvocationKind::IssueMixed;
+      fe.invocation_log_->push_back(
+          InvocationRecord{kind, inv.t, inv.id, inv.satisfied,
+                           kind != InvocationKind::IssueRead, inv.reads,
+                           inv.writes});
+    }
+    if (!inv.satisfied) fe.register_waiter(inv.id, &slots[i]->waiter);
+    Broker::retire(slots[i]);
+  }
+};
+
+void SpinRwRnlp::submit_combined(Broker::Slot* slot) {
+  broker_->submit(mutex_, slot,
+                  [this](Broker::Slot* const* slots, std::size_t n) {
+                    rsm::Invocation* invs[Broker::kSlots];
+                    for (std::size_t i = 0; i < n; ++i)
+                      invs[i] = &slots[i]->inv;
+                    CombineSink sink(*this, slots);
+                    engine_.apply_batch(invs, n, &sink);
+                  });
+}
+
+LockToken SpinRwRnlp::acquire_combined(const ResourceSet& reads,
+                                       const ResourceSet& writes,
+                                       Broker::Slot* slot) {
+  rsm::Invocation& inv = slot->inv;
+  if (reads_as_writes_) {
+    inv.kind = rsm::Invocation::Kind::IssueWrite;
+    inv.reads = ResourceSet(q_);
+    inv.writes = reads | writes;
+  } else {
+    inv.reads = reads;
+    inv.writes = writes;
+    if (writes.empty())
+      inv.kind = rsm::Invocation::Kind::IssueRead;
+    else if (reads.empty())
+      inv.kind = rsm::Invocation::Kind::IssueWrite;
+    else
+      inv.kind = rsm::Invocation::Kind::IssueMixed;
+  }
+  inv.id = rsm::kNoRequest;
+  inv.satisfied = false;
+  slot->shed = false;
+  slot->waiter.satisfied.store(false, std::memory_order_relaxed);
+  submit_combined(slot);
+  if (slot->shed)
+    throw OverloadShed(
+        "rw-rnlp: load shedding — incomplete-request ceiling reached (P2)");
+  if (!inv.satisfied) {
+    if (!sched_wait(YieldPoint::SatisfactionWait, [&] {
+          return slot->waiter.satisfied.load(std::memory_order_acquire);
+        })) {
+      SpinBackoff backoff;
+      while (!slot->waiter.satisfied.load(std::memory_order_acquire))
+        backoff.pause();
+    }
+  }
+  counters_.acquired.fetch_add(1, std::memory_order_relaxed);
+  return LockToken{inv.id, nullptr};
+}
 
 rsm::RequestId SpinRwRnlp::issue_request(const ResourceSet& reads,
                                          const ResourceSet& writes,
@@ -51,7 +171,7 @@ rsm::RequestId SpinRwRnlp::issue_request(const ResourceSet& reads,
   if (robust_.max_incomplete != 0 &&
       engine_.incomplete_count() >= robust_.max_incomplete) {
     mutex_.unlock();
-    shed_count_.fetch_add(1, std::memory_order_relaxed);
+    counters_.shed.fetch_add(1, std::memory_order_relaxed);
     *satisfied_out = false;
     return rsm::kNoRequest;
   }
@@ -97,6 +217,44 @@ rsm::RequestId SpinRwRnlp::issue_request(const ResourceSet& reads,
 
 LockToken SpinRwRnlp::acquire(const ResourceSet& reads,
                               const ResourceSet& writes) {
+  if (broker_ != nullptr) {
+    // The uncontended-read fast path composes with combining: when the
+    // mutex is free there is nothing to combine *with*, so take it and run
+    // the one-step R1 check directly (exactly the classic fast path — same
+    // shed gate, same log record).  A failed try_lock or a conflicted read
+    // falls through to the broker, where batching pays off.
+    if (read_fast_path_ && !reads_as_writes_ && writes.empty() &&
+        mutex_.try_lock()) {
+      sched_yield_point(YieldPoint::EngineInvoke);
+      if (robust_.max_incomplete != 0 &&
+          engine_.incomplete_count() >= robust_.max_incomplete) {
+        mutex_.unlock();
+        counters_.shed.fetch_add(1, std::memory_order_relaxed);
+        throw OverloadShed(
+            "rw-rnlp: load shedding — incomplete-request ceiling reached "
+            "(P2)");
+      }
+      const double t = static_cast<double>(++logical_time_);
+      const rsm::RequestId id = engine_.try_issue_read_fast(t, reads);
+      if (id != rsm::kNoRequest) {
+        if (invocation_log_ != nullptr) {
+          invocation_log_->push_back(InvocationRecord{
+              InvocationKind::IssueReadFast,
+              static_cast<rsm::Time>(logical_time_), id, true, false, reads,
+              ResourceSet(q_)});
+        }
+        mutex_.unlock();
+        counters_.acquired.fetch_add(1, std::memory_order_relaxed);
+        return LockToken{id, nullptr};
+      }
+      mutex_.unlock();
+    }
+    // Flat-combining path; falls through to the classic path only if every
+    // announcement slot is taken (always legal — the two paths serialize
+    // through the same mutex).
+    if (Broker::Slot* slot = broker_->claim_slot())
+      return acquire_combined(reads, writes, slot);
+  }
   Waiter waiter;  // lives on this stack frame until satisfaction
   bool satisfied;
   const rsm::RequestId id = issue_request(reads, writes, &waiter, &satisfied);
@@ -113,7 +271,7 @@ LockToken SpinRwRnlp::acquire(const ResourceSet& reads,
         backoff.pause();
     }
   }
-  acquired_count_.fetch_add(1, std::memory_order_relaxed);
+  counters_.acquired.fetch_add(1, std::memory_order_relaxed);
   return LockToken{id, nullptr};
 }
 
@@ -166,26 +324,34 @@ std::optional<LockToken> SpinRwRnlp::try_lock_until(
               id, false, was_write, ResourceSet(q_), ResourceSet(q_)});
         }
         mutex_.unlock();
-        timeout_count_.fetch_add(1, std::memory_order_relaxed);
-        cancel_count_.fetch_add(1, std::memory_order_relaxed);
+        counters_.timeouts.fetch_add(1, std::memory_order_relaxed);
+        counters_.cancels.fetch_add(1, std::memory_order_relaxed);
         return std::nullopt;
       }
       mutex_.unlock();  // grant won the race: report as acquired
     }
   }
-  acquired_count_.fetch_add(1, std::memory_order_relaxed);
+  counters_.acquired.fetch_add(1, std::memory_order_relaxed);
   return LockToken{id, nullptr};
 }
 
 HealthReport SpinRwRnlp::health_report() const {
   HealthReport hr;
-  hr.acquired = acquired_count_.load(std::memory_order_relaxed);
-  hr.timeouts = timeout_count_.load(std::memory_order_relaxed);
-  hr.canceled = cancel_count_.load(std::memory_order_relaxed);
-  hr.shed = shed_count_.load(std::memory_order_relaxed);
+  hr.acquired = counters_.acquired.load(std::memory_order_relaxed);
+  hr.timeouts = counters_.timeouts.load(std::memory_order_relaxed);
+  hr.canceled = counters_.cancels.load(std::memory_order_relaxed);
+  hr.shed = counters_.shed.load(std::memory_order_relaxed);
   const auto now = std::chrono::steady_clock::now();
   mutex_.lock();
   hr.incomplete = engine_.incomplete_count();
+  if (broker_ != nullptr) {
+    // Combiner stats mutate only under mutex_, which we hold.
+    const CombinerStats& cs = broker_->stats();
+    hr.batches_combined = cs.batches;
+    hr.combined_invocations = cs.invocations;
+    hr.combiner_handoffs = cs.handoffs;
+    hr.max_batch_combined = cs.max_batch;
+  }
   for (std::size_t l = 0; l < q_; ++l) {
     hr.max_read_queue_depth =
         std::max(hr.max_read_queue_depth, engine_.read_queue_depth(l));
@@ -209,6 +375,17 @@ HealthReport SpinRwRnlp::health_report() const {
 
 void SpinRwRnlp::release(LockToken token) {
   sched_yield_point(YieldPoint::Release);
+  if (broker_ != nullptr) {
+    if (Broker::Slot* slot = broker_->claim_slot()) {
+      rsm::Invocation& inv = slot->inv;
+      inv.kind = rsm::Invocation::Kind::Complete;
+      inv.id = static_cast<rsm::RequestId>(token.id);
+      inv.satisfied = false;
+      slot->shed = false;
+      submit_combined(slot);
+      return;
+    }
+  }
   mutex_.lock();
   sched_yield_point(YieldPoint::EngineInvoke);
   const double t = static_cast<double>(++logical_time_);

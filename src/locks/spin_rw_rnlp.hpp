@@ -16,9 +16,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "locks/combining_broker.hpp"
 #include "locks/health.hpp"
 #include "locks/invocation_log.hpp"
 #include "locks/multi_lock.hpp"
@@ -30,13 +32,22 @@ namespace rwrnlp::locks {
 class SpinRwRnlp final : public MultiResourceLock {
  public:
   /// `reads_as_writes` turns the lock into the original mutex RNLP [19]
-  /// under Assumption 1 (used as a baseline).
+  /// under Assumption 1 (used as a baseline).  `combining` routes
+  /// acquire()/release() through the flat-combining broker
+  /// (combining_broker.hpp): invocations are published to per-thread slots
+  /// and whichever thread wins the internal mutex applies the whole pending
+  /// batch via Engine::apply_batch().  Off by default so the classic
+  /// one-invocation-per-mutex-transfer path stays available for A/B runs;
+  /// either way the protocol semantics are identical (the equivalence tests
+  /// replay both through the same sequential oracle).
   SpinRwRnlp(std::size_t num_resources, rsm::ReadShareTable shares,
              rsm::WriteExpansion expansion = rsm::WriteExpansion::ExpandDomain,
-             bool reads_as_writes = false);
+             bool reads_as_writes = false, bool combining = false);
   SpinRwRnlp(std::size_t num_resources,
              rsm::WriteExpansion expansion = rsm::WriteExpansion::ExpandDomain,
-             bool reads_as_writes = false);
+             bool reads_as_writes = false, bool combining = false);
+
+  bool combining_enabled() const { return broker_ != nullptr; }
 
   LockToken acquire(const ResourceSet& reads,
                     const ResourceSet& writes) override;
@@ -100,14 +111,23 @@ class SpinRwRnlp final : public MultiResourceLock {
   void release_upgraded(const UpgradeToken& token);
 
  private:
-  struct Waiter {
-    std::atomic<bool> satisfied{false};
-  };
+  // Per-request satisfaction flag, one cache line each (false-sharing
+  // audit: a spinning waiter must not share its polled line with another
+  // waiter, the mutex, or the counters).
+  using Waiter = SatisfactionFlag;
+  using Broker = CombiningBroker<TicketMutex>;
+
+  struct CombineSink;
+  friend struct CombineSink;
 
   static rsm::EngineOptions make_options(rsm::WriteExpansion expansion);
 
   void register_waiter(rsm::RequestId id, Waiter* w);
   void drop_waiter(rsm::RequestId id);
+
+  LockToken acquire_combined(const ResourceSet& reads,
+                             const ResourceSet& writes, Broker::Slot* slot);
+  void submit_combined(Broker::Slot* slot);
 
   /// Issues the request under the internal mutex (choosing the invocation
   /// kind exactly like acquire()), appends the log record, and registers
@@ -136,10 +156,21 @@ class SpinRwRnlp final : public MultiResourceLock {
   // can bump them outside the mutex.
   RobustnessOptions robust_;
   std::vector<std::chrono::steady_clock::time_point> hold_since_;
-  std::atomic<std::uint64_t> acquired_count_{0};
-  std::atomic<std::uint64_t> timeout_count_{0};
-  std::atomic<std::uint64_t> cancel_count_{0};
-  std::atomic<std::uint64_t> shed_count_{0};
+  // Flat-combining broker; null when combining is off.  Heap-allocated so
+  // the (large, line-aligned) slot table is only paid for when enabled.
+  std::unique_ptr<Broker> broker_;
+  // Counters bumped with relaxed atomics outside the mutex: give them a
+  // dedicated cache line so those stores never contend with mutex_ or
+  // engine state (false-sharing audit).
+  struct alignas(64) Counters {
+    std::atomic<std::uint64_t> acquired{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<std::uint64_t> cancels{0};
+    std::atomic<std::uint64_t> shed{0};
+  };
+  static_assert(sizeof(Counters) == 64 && alignof(Counters) == 64,
+                "hot counters must fill exactly one cache line");
+  Counters counters_;
 };
 
 }  // namespace rwrnlp::locks

@@ -15,9 +15,10 @@ rsm::EngineOptions suspend_options(rsm::WriteExpansion expansion) {
 
 SuspendRwRnlp::SuspendRwRnlp(std::size_t num_resources,
                              rsm::ReadShareTable shares,
-                             rsm::WriteExpansion expansion)
+                             rsm::WriteExpansion expansion, bool combining)
     : q_(num_resources),
       engine_(num_resources, std::move(shares), suspend_options(expansion)) {
+  if (combining) broker_ = std::make_unique<Broker>();
   engine_.set_satisfied_callback([this](rsm::RequestId id, rsm::Time) {
     // mutex_ is held by the invoking thread.
     if (robust_.stuck_budget.count() > 0)
@@ -31,9 +32,138 @@ SuspendRwRnlp::SuspendRwRnlp(std::size_t num_resources,
 }
 
 SuspendRwRnlp::SuspendRwRnlp(std::size_t num_resources,
-                             rsm::WriteExpansion expansion)
+                             rsm::WriteExpansion expansion, bool combining)
     : SuspendRwRnlp(num_resources, rsm::ReadShareTable(num_resources),
-                    expansion) {}
+                    expansion, combining) {}
+
+// ---------------------------------------------------------------------------
+// Flat-combining path
+// ---------------------------------------------------------------------------
+
+/// Combined counterpart of issue_locked()/release() (the combiner holds
+/// mutex_): same shed gate, clock, and log records.  Waiter handoff stays on
+/// the satisfied_/waiting_/cv machinery — the satisfaction callback runs
+/// inside apply_batch and marks satisfied_ exactly as on the classic path.
+struct SuspendRwRnlp::CombineSink final : rsm::BatchSink {
+  SuspendRwRnlp& fe;
+  Broker::Slot* const* slots;
+  CombineSink(SuspendRwRnlp& f, Broker::Slot* const* s) : fe(f), slots(s) {}
+
+  bool before(rsm::Invocation& inv, std::size_t i) override {
+    // Deliberately no yield point here: the combiner holds a std::mutex,
+    // and parking a virtual thread that holds one OS-blocks every other
+    // virtual thread that touches the lock (see YieldPoint::CombineApply).
+    const bool is_issue = inv.kind != rsm::Invocation::Kind::Complete &&
+                          inv.kind != rsm::Invocation::Kind::Cancel;
+    if (is_issue && fe.robust_.max_incomplete != 0 &&
+        fe.engine_.incomplete_count() >= fe.robust_.max_incomplete) {
+      slots[i]->shed = true;
+      ++fe.shed_count_;
+      Broker::retire(slots[i]);  // vetoed: the engine never touches it again
+      return false;
+    }
+    inv.t = static_cast<double>(++fe.logical_time_);
+    return true;
+  }
+
+  void after(rsm::Invocation& inv, std::size_t i) override {
+    // Per-slot retirement, exactly like the spin sink: a satisfied-at-issue
+    // publisher wakes as soon as its slot turns Done and may republish it
+    // for the release while this batch is still running, so the slot is off
+    // limits after retire().  (Promoted waiters additionally need mutex_,
+    // which the combiner holds until the batch ends — but satisfied-at-issue
+    // publishers return from submit() with no further locking.)
+    if (fe.invocation_log_ != nullptr) {
+      if (inv.kind == rsm::Invocation::Kind::Complete) {
+        fe.invocation_log_->push_back(InvocationRecord{
+            InvocationKind::Complete, inv.t, inv.id, false,
+            fe.engine_.request(inv.id).is_write, ResourceSet(fe.q_),
+            ResourceSet(fe.q_)});
+      } else if (inv.kind != rsm::Invocation::Kind::Cancel) {  // not routed
+        InvocationKind kind = InvocationKind::IssueRead;
+        if (inv.kind == rsm::Invocation::Kind::IssueWrite)
+          kind = InvocationKind::IssueWrite;
+        else if (inv.kind == rsm::Invocation::Kind::IssueMixed)
+          kind = InvocationKind::IssueMixed;
+        fe.invocation_log_->push_back(
+            InvocationRecord{kind, inv.t, inv.id, inv.satisfied,
+                             kind != InvocationKind::IssueRead, inv.reads,
+                             inv.writes});
+      }
+    }
+    Broker::retire(slots[i]);
+  }
+};
+
+void SuspendRwRnlp::submit_combined(Broker::Slot* slot) {
+  bool wake = false;
+  broker_->submit(
+      mutex_, slot, [this, &wake](Broker::Slot* const* slots, std::size_t n) {
+        rsm::Invocation* invs[Broker::kSlots];
+        for (std::size_t i = 0; i < n; ++i) invs[i] = &slots[i]->inv;
+        CombineSink sink(*this, slots);
+        engine_.apply_batch(invs, n, &sink);
+        // Propagate the batch's wakeups exactly like a classic invoking
+        // thread: consume wake_pending_ under the mutex, broadcast after
+        // dropping it (the broker unlocks before submit() returns).
+        if (wake_pending_) {
+          wake_pending_ = false;
+          ++notify_count_;
+          wake = true;
+        }
+      });
+  if (wake) cv_.notify_all();
+}
+
+LockToken SuspendRwRnlp::acquire_combined(const ResourceSet& reads,
+                                          const ResourceSet& writes,
+                                          Broker::Slot* slot) {
+  rsm::Invocation& inv = slot->inv;
+  inv.reads = reads;
+  inv.writes = writes;
+  if (writes.empty())
+    inv.kind = rsm::Invocation::Kind::IssueRead;
+  else if (reads.empty())
+    inv.kind = rsm::Invocation::Kind::IssueWrite;
+  else
+    inv.kind = rsm::Invocation::Kind::IssueMixed;
+  inv.id = rsm::kNoRequest;
+  inv.satisfied = false;
+  slot->shed = false;
+  submit_combined(slot);
+  if (slot->shed)
+    throw OverloadShed(
+        "rw-rnlp-suspend: load shedding — incomplete-request ceiling "
+        "reached (P2)");
+  const rsm::RequestId id = inv.id;
+  std::unique_lock<std::mutex> lk(mutex_);
+  if (satisfied_.count(id) == 0) {
+    // Not yet satisfied (neither at its invocation nor by a later batch).
+    lk.unlock();
+    if (sched_wait(YieldPoint::SatisfactionWait, [&] {
+          std::lock_guard<std::mutex> g(mutex_);
+          return satisfied_.count(id) != 0;
+        })) {
+      lk.lock();
+    } else {
+      lk.lock();
+      waiting_.insert(id);
+      while (satisfied_.count(id) == 0) {
+        cv_.wait(lk);
+        ++wakeup_count_;
+      }
+      waiting_.erase(id);
+    }
+  }
+  satisfied_.erase(id);
+  ++acquired_count_;
+  const bool wake = wake_pending_;
+  wake_pending_ = false;
+  if (wake) ++notify_count_;
+  lk.unlock();
+  if (wake) cv_.notify_all();
+  return LockToken{id, nullptr};
+}
 
 rsm::RequestId SuspendRwRnlp::issue_locked(const ResourceSet& reads,
                                            const ResourceSet& writes,
@@ -74,6 +204,10 @@ LockToken SuspendRwRnlp::acquire(const ResourceSet& reads,
   // thread ever parks while holding mutex_, so the running thread always
   // acquires it without blocking in the OS.
   sched_yield_point(YieldPoint::EngineInvoke);
+  if (broker_ != nullptr) {
+    if (Broker::Slot* slot = broker_->claim_slot())
+      return acquire_combined(reads, writes, slot);
+  }
   bool satisfied;
   bool wake = false;
   std::unique_lock<std::mutex> lk(mutex_);
@@ -194,6 +328,13 @@ HealthReport SuspendRwRnlp::health_report() const {
   hr.canceled = cancel_count_;
   hr.shed = shed_count_;
   hr.incomplete = engine_.incomplete_count();
+  if (broker_ != nullptr) {
+    const CombinerStats& cs = broker_->stats();
+    hr.batches_combined = cs.batches;
+    hr.combined_invocations = cs.invocations;
+    hr.combiner_handoffs = cs.handoffs;
+    hr.max_batch_combined = cs.max_batch;
+  }
   for (std::size_t l = 0; l < q_; ++l) {
     hr.max_read_queue_depth =
         std::max(hr.max_read_queue_depth, engine_.read_queue_depth(l));
@@ -218,6 +359,17 @@ HealthReport SuspendRwRnlp::health_report() const {
 
 void SuspendRwRnlp::release(LockToken token) {
   sched_yield_point(YieldPoint::Release);
+  if (broker_ != nullptr) {
+    if (Broker::Slot* slot = broker_->claim_slot()) {
+      rsm::Invocation& inv = slot->inv;
+      inv.kind = rsm::Invocation::Kind::Complete;
+      inv.id = static_cast<rsm::RequestId>(token.id);
+      inv.satisfied = false;
+      slot->shed = false;
+      submit_combined(slot);
+      return;
+    }
+  }
   bool wake;
   {
     std::lock_guard<std::mutex> lk(mutex_);

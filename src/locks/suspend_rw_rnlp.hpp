@@ -17,11 +17,13 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "locks/combining_broker.hpp"
 #include "locks/health.hpp"
 #include "locks/invocation_log.hpp"
 #include "locks/multi_lock.hpp"
@@ -31,12 +33,20 @@ namespace rwrnlp::locks {
 
 class SuspendRwRnlp final : public MultiResourceLock {
  public:
+  /// `combining` routes acquire()/release() through the flat-combining
+  /// broker (combining_broker.hpp); see SpinRwRnlp for the contract.  The
+  /// suspension variant's combiner never yields mid-batch under the virtual
+  /// scheduler — it holds a real std::mutex (see YieldPoint::CombineApply).
   SuspendRwRnlp(std::size_t num_resources, rsm::ReadShareTable shares,
                 rsm::WriteExpansion expansion =
-                    rsm::WriteExpansion::Placeholders);
+                    rsm::WriteExpansion::Placeholders,
+                bool combining = false);
   explicit SuspendRwRnlp(std::size_t num_resources,
                          rsm::WriteExpansion expansion =
-                             rsm::WriteExpansion::Placeholders);
+                             rsm::WriteExpansion::Placeholders,
+                         bool combining = false);
+
+  bool combining_enabled() const { return broker_ != nullptr; }
 
   LockToken acquire(const ResourceSet& reads,
                     const ResourceSet& writes) override;
@@ -84,10 +94,19 @@ class SuspendRwRnlp final : public MultiResourceLock {
   rsm::Engine& engine_for_test() { return engine_; }
 
  private:
+  using Broker = CombiningBroker<std::mutex>;
+
+  struct CombineSink;
+  friend struct CombineSink;
+
   /// Shed-check + issue + log under mutex_ (held by the caller).  Returns
   /// kNoRequest iff load shedding rejected the request.
   rsm::RequestId issue_locked(const ResourceSet& reads,
                               const ResourceSet& writes, bool* satisfied_out);
+
+  LockToken acquire_combined(const ResourceSet& reads,
+                             const ResourceSet& writes, Broker::Slot* slot);
+  void submit_combined(Broker::Slot* slot);
 
   std::size_t q_;
   mutable std::mutex mutex_;    // guards the engine (Rule G4) + all state below
@@ -112,6 +131,8 @@ class SuspendRwRnlp final : public MultiResourceLock {
   RobustnessOptions robust_;
   std::unordered_map<rsm::RequestId, std::chrono::steady_clock::time_point>
       hold_since_;
+  // Flat-combining broker; null when combining is off.
+  std::unique_ptr<Broker> broker_;
   std::uint64_t acquired_count_ = 0;
   std::uint64_t timeout_count_ = 0;
   std::uint64_t cancel_count_ = 0;

@@ -65,7 +65,12 @@ class TicketMutex {
   }
 
   bool try_lock() {
-    std::uint32_t cur = serving_.load(std::memory_order_relaxed);
+    // Acquire on serving_: the CAS below can only succeed when this load
+    // saw the latest unlock()'s release increment (serving_ == next_ only
+    // then), so it is this load — not the CAS on next_, whose last write
+    // was another locker's non-releasing RMW — that synchronizes-with the
+    // previous critical section.
+    std::uint32_t cur = serving_.load(std::memory_order_acquire);
     return next_.compare_exchange_strong(cur, cur + 1,
                                          std::memory_order_acquire,
                                          std::memory_order_relaxed);
@@ -75,9 +80,21 @@ class TicketMutex {
     serving_.fetch_add(1, std::memory_order_release);
   }
 
+  /// Racy availability hint for the flat-combining publish loop: true when
+  /// the mutex *looked* free at some instant.  A false positive costs one
+  /// failed try_lock(); a false negative costs one more backoff round.
+  /// Never use as a correctness condition.
+  bool appears_unlocked() const {
+    return serving_.load(std::memory_order_acquire) ==
+           next_.load(std::memory_order_acquire);
+  }
+
  private:
-  std::atomic<std::uint32_t> next_{0};
-  std::atomic<std::uint32_t> serving_{0};
+  // Separate cache lines: lock() hammers next_ with fetch_add while waiters
+  // poll serving_; sharing a line would make every arrival invalidate every
+  // spinner.
+  alignas(64) std::atomic<std::uint32_t> next_{0};
+  alignas(64) std::atomic<std::uint32_t> serving_{0};
 };
 
 }  // namespace rwrnlp::locks

@@ -36,6 +36,22 @@
 //                      thread is about to re-enter the internal mutex to
 //                      resolve the timeout-vs-grant race (withdraw the
 //                      request, or discover it was granted meanwhile).
+//   CombinePublish   - a flat-combining participant has filled its
+//                      announcement slot but not yet made it visible;
+//                      exposes the "invocation drawn but unpublished"
+//                      window (a combiner scanning now must not see it).
+//   CombineWait      - slot published; waiting for a combiner to apply it
+//                      (or for the internal mutex to look free so the
+//                      thread can become the combiner itself).
+//   CombineApply     - the combiner holds the internal mutex mid-batch,
+//                      about to apply the next collected invocation.
+//                      Preempting here is the "combiner preempted
+//                      mid-batch" scenario: other participants keep
+//                      spinning on slots that stay pending.  Only the spin
+//                      front end yields here — the suspension variant's
+//                      internal mutex is a real std::mutex, and parking a
+//                      virtual thread that holds it would OS-block every
+//                      other virtual thread that touches the lock.
 //   Start            - virtual-thread startup (emitted by the scheduler
 //                      itself, never by lock code).
 #pragma once
@@ -56,6 +72,9 @@ enum class YieldPoint : std::uint8_t {
   SatisfactionWait,
   Release,
   Cancel,
+  CombinePublish,
+  CombineWait,
+  CombineApply,
 };
 
 inline const char* to_string(YieldPoint p) {
@@ -66,6 +85,9 @@ inline const char* to_string(YieldPoint p) {
     case YieldPoint::SatisfactionWait: return "satisfaction-wait";
     case YieldPoint::Release: return "release";
     case YieldPoint::Cancel: return "cancel";
+    case YieldPoint::CombinePublish: return "combine-publish";
+    case YieldPoint::CombineWait: return "combine-wait";
+    case YieldPoint::CombineApply: return "combine-apply";
   }
   return "?";
 }

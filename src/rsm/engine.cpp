@@ -419,6 +419,216 @@ void Engine::cancel(Time t, RequestId id) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched invocations (the flat-combining engine half)
+// ---------------------------------------------------------------------------
+//
+// A combiner applies a whole batch of invocations under one mutex
+// acquisition.  The naive reading of "batched fixpoint" — apply all N
+// invocations structurally, then run ONE fixpoint — is UNSOUND, and it is
+// worth recording the counterexample:
+//
+//   batch = [ issue_read R over {l0} at t1, issue_write W over {l0} at t2 ]
+//
+//   Sequential: R's invocation satisfies R via Rule R1 (no entitled or
+//   satisfied writer exists).  W's invocation then entitles W (Def. 4) but
+//   W stays blocked behind the satisfied reader.
+//
+//   Deferred:   at the single end-of-batch fixpoint R is still Waiting, so
+//   pass 1 entitles W first (nothing suppresses Def. 4), and the entitled W
+//   then suppresses R's R1/Def. 3.  W is satisfied, R waits — the OPPOSITE
+//   grant decision, and a divergent trace.
+//
+// The deferral reordered the protocol's concession handshake: R1 is an
+// *at-issuance* rule, so it must be evaluated against the state that held
+// at that request's invocation, not at the end of the batch.
+//
+// apply_batch therefore applies every invocation at its own timestamp and
+// gets its speedup the sound way: by replacing the full fixpoint scan with
+// O(footprint) *targeted transitions* wherever a locality argument proves
+// the full fixpoint could fire nothing else.
+//
+// Issuance-locality lemma: the fixpoint run by an issuance invocation can
+// only transition the issued request itself.  Proof sketch — the previous
+// invocation left the engine fixpoint-quiescent, and issuing X appends X
+// (and its placeholders) to queue *tails*:
+//   * Def. 4 for another write w depends on WQ headship, entitled
+//     conflicting reads, write locks, and mixed read holders.  A tail
+//     append changes no headship, no locks, no holder set, and a Waiting X
+//     is not entitled — every input is unchanged, so w stays non-entitled.
+//   * Def. 3 / pseudo-entitlement for another read r depends on write
+//     locks and entitled conflicting writes — unchanged likewise.
+//   * R2/W2/R1 for another request depend on blocking sets (lock holders)
+//     and entitled writes — unchanged, until X itself transitions.
+//   * X transitioning can only *suppress* others: an entitled X restricts
+//     Def. 4(b)/Def. 3(b)/R1, a satisfied X adds lock holders, and every
+//     entitlement/satisfaction condition is antitone in both.  The one
+//     enabling edge a satisfaction has — dequeuing X makes its WQ/RQ
+//     successors heads — is neutralized because satisfaction write-locks
+//     exactly those resources (Def. 4(c) fails for the new head), and X's
+//     placeholder removal at entitlement only erases *tail* entries that
+//     were appended by this same invocation.
+// Hence deciding X's own entitlement/satisfaction in rule order (Def. 4 /
+// Def. 3 first, then W2 / R1) IS the fixpoint of an issuance invocation.
+//
+// Read-release no-op lemma: completing a satisfied non-incremental,
+// non-partnered read R whose held resources all have EMPTY write queues
+// runs a vacuous fixpoint.  Proof sketch — the completion only removes R
+// from read-holder sets (R left every RQ at satisfaction, Rule G2):
+//   * a write that could newly pass Def. 4 or W2 because R's hold vanished
+//     conflicts with R on some l in R.held, and Def. 4(a)/Rule W1 put that
+//     write (or its placeholder) in WQ(l) — contradiction with WQ(l) empty;
+//   * reads/Def. 3 and R1 never depend on read holders;
+//   * an entitled incremental request blocked on l in R.held in write mode
+//     sits in WQ(l) too (G2 dequeues at *full* satisfaction), and one
+//     blocked in read mode is blocked by write holders, which R is not.
+// Write completions, contended read completions, incremental/partnered
+// completions, and cancels are the genuine promotion points and run the
+// full fixpoint.
+//
+// Under EngineOptions::validate both lemmas are checked at runtime: the
+// skipped fixpoint is actually run and must report quiescence.
+
+void Engine::assert_fixpoint_quiescent(Time t, const char* what) {
+  if (!options_.validate) return;
+  RWRNLP_CHECK_MSG(!fixpoint(t),
+                   "batched invocation diverged from the sequential fixpoint ("
+                       << what << ")");
+}
+
+RequestId Engine::batch_issue_read(Time t, const ResourceSet& reads) {
+  RWRNLP_REQUIRE(!reads.empty(), "read request needs at least one resource");
+  check_resources(reads);
+  begin_invocation(t);
+  Request r;
+  r.is_write = false;
+  r.need_read = reads;
+  r.domain = reads;
+  r.domain_write = ResourceSet(num_resources());
+  r.wanted = r.domain;
+  const RequestId id = issue_common(t, std::move(r));
+  // Targeted transitions in fixpoint rule order (issuance-locality lemma):
+  // Def. 3 before R1, exactly as pass 2 precedes pass 3.  An entitled read
+  // is never satisfiable in the same invocation — Def. 3(a) requires a
+  // write-locked resource in its domain, i.e. a blocker.
+  Request& stored = req(id);
+  if (def3_read_entitled(stored)) {
+    entitle(t, stored);
+  } else if (!read_conflicts_with_entitled_write(stored) &&
+             !has_blockers(stored)) {
+    satisfy(t, stored);  // Rule R1.
+  }
+  assert_fixpoint_quiescent(t, "issue_read");
+  if (options_.validate) check_structure();
+  return id;
+}
+
+RequestId Engine::batch_issue_write(Time t, const ResourceSet& reads,
+                                    const ResourceSet& writes) {
+  RWRNLP_REQUIRE(!writes.empty(),
+                 "write/mixed request needs at least one written resource");
+  check_resources(reads);
+  check_resources(writes);
+  begin_invocation(t);
+  Request r;
+  r.is_write = true;
+  r.need_read = reads;
+  r.need_write = writes;
+  ResourceSet needed = reads | writes;
+  const ResourceSet closure = shares_.closure(needed);
+  if (options_.expansion == WriteExpansion::ExpandDomain) {
+    r.domain = closure;
+    r.domain_write = closure - reads;
+  } else {
+    r.domain = needed;
+    r.domain_write = writes;
+    r.placeholders = closure - needed;
+  }
+  r.wanted = r.domain;
+  const RequestId id = issue_common(t, std::move(r));
+  // Targeted transitions (issuance-locality lemma): Def. 4, then W2.  The
+  // placeholders entitle() removes are tail entries appended by this very
+  // invocation, so their removal promotes no other write to headship.
+  Request& stored = req(id);
+  if (def4_write_entitled(stored)) {
+    entitle(t, stored);
+    if (!has_blockers(stored)) satisfy(t, stored);  // Rules W1/W2.
+  }
+  assert_fixpoint_quiescent(t, "issue_write");
+  if (options_.validate) check_structure();
+  return id;
+}
+
+void Engine::batch_complete(Time t, RequestId id) {
+  begin_invocation(t);
+  Request& r = req(id);
+  RWRNLP_REQUIRE(r.state == RequestState::Satisfied ||
+                     (r.incremental && r.state == RequestState::Entitled),
+                 "complete() on request in state " << to_string(r.state));
+  RWRNLP_REQUIRE(!(r.upgrade_read && r.partner != kNoRequest &&
+                   creq(r.partner).incomplete()),
+                 "complete() on an upgradeable read half with a live write "
+                 "half; use finish_read_segment()");
+  // Read-release no-op lemma precondition, evaluated before any mutation:
+  // a plain satisfied read whose held resources all have empty WQs cannot
+  // promote anything by leaving.
+  bool quiet = r.state == RequestState::Satisfied && !r.is_write &&
+               !r.incremental && r.partner == kNoRequest;
+  if (quiet) {
+    r.held.for_each([&](ResourceId l) {
+      if (!resources_[l].wq.empty()) quiet = false;
+    });
+  }
+  unlock_resources(r);  // Rule G3.
+  if (r.state == RequestState::Entitled) {
+    dequeue_from_queues(r);
+  }
+  remove_placeholders(r);
+  r.state = RequestState::Complete;
+  r.complete_time = t;
+  live_.erase(std::remove(live_.begin(), live_.end(), id), live_.end());
+  record(t, TraceKind::Complete, r, r.domain);
+  if (quiet) {
+    assert_fixpoint_quiescent(t, "contention-free read completion");
+  } else {
+    fixpoint(t);
+  }
+  maybe_recycle(id);
+  if (options_.validate) check_structure();
+}
+
+void Engine::apply_batch(Invocation* const* invs, std::size_t n,
+                         BatchSink* sink) {
+  for (std::size_t i = 0; i < n; ++i) {
+    Invocation& inv = *invs[i];
+    if (sink && !sink->before(inv, i)) continue;
+    switch (inv.kind) {
+      case Invocation::Kind::IssueRead:
+        inv.id = batch_issue_read(inv.t, inv.reads);
+        inv.satisfied = is_satisfied(inv.id);
+        break;
+      case Invocation::Kind::IssueWrite:
+        inv.id =
+            batch_issue_write(inv.t, ResourceSet(num_resources()), inv.writes);
+        inv.satisfied = is_satisfied(inv.id);
+        break;
+      case Invocation::Kind::IssueMixed:
+        inv.id = batch_issue_write(inv.t, inv.reads, inv.writes);
+        inv.satisfied = is_satisfied(inv.id);
+        break;
+      case Invocation::Kind::Complete:
+        batch_complete(inv.t, inv.id);
+        inv.satisfied = false;
+        break;
+      case Invocation::Kind::Cancel:
+        cancel(inv.t, inv.id);
+        inv.satisfied = false;
+        break;
+    }
+    if (sink) sink->after(inv, i);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Queue and lock bookkeeping
 // ---------------------------------------------------------------------------
 
@@ -518,6 +728,17 @@ bool Engine::def4_write_entitled(const Request& w) const {
   if (!ok) return false;
 
   // (b) No conflicting entitled read request in any RQ(l), l in D.
+  //     NOTE (Lemma 6 erratum): this clause can defer the entitlement of
+  //     the *earliest-timestamped* write — the entitled read may carry a
+  //     LATER timestamp (it was entitled off a satisfied write disjoint
+  //     from w while w's own resource was still locked by w's queue
+  //     predecessor).  Lemma 6 as literally stated in the paper is
+  //     therefore false; the provable variant the checker enforces allows
+  //     exactly this bounded deferral (see ProtocolObserver and
+  //     tests/rsm/lemma6_erratum_test.cpp).  The deferral cannot move to
+  //     the satisfaction step instead: an entitled write conflicting with
+  //     an entitled read would break Property E10, and E10 is what caps a
+  //     reader's wait at one write phase (Thm. 1).
   w.domain.for_each([&](ResourceId l) {
     for (RequestId rid : resources_[l].rq) {
       const Request& r = creq(rid);
@@ -693,12 +914,16 @@ bool Engine::try_grant_increments(Time t, Request& r) {
   return true;
 }
 
-void Engine::fixpoint(Time t) {
+bool Engine::fixpoint(Time t) {
   // Writer entitlement first, then reader entitlement, then satisfaction;
   // iterate to a fixpoint.  The ordering realizes "reads concede to writes
   // and writes concede to reads": a write that becomes entitled in pass 1
   // suppresses reader entitlement in pass 2 of the same invocation and
   // conversely an entitled read suppresses Def. 4.
+  //
+  // Returns whether any transition fired: the batched invocation paths use
+  // a quiescent fixpoint as their validate-mode oracle (see apply_batch).
+  bool any_fired = false;
   const std::size_t max_rounds = 3 * live_.size() + 8;
   std::size_t rounds = 0;
   bool changed = true;
@@ -762,7 +987,9 @@ void Engine::fixpoint(Time t) {
         }
       }
     }
+    any_fired = any_fired || changed;
   }
+  return any_fired;
 }
 
 // ---------------------------------------------------------------------------

@@ -69,6 +69,49 @@ struct WqEntry {
   bool placeholder = false;
 };
 
+/// One queued protocol invocation for Engine::apply_batch().  The
+/// flat-combining front ends (locks/combining_broker.hpp) publish these in
+/// per-thread announcement slots; whichever thread wins the front end's
+/// mutex applies the whole pending batch in timestamp order.
+struct Invocation {
+  enum class Kind : std::uint8_t {
+    IssueRead,   ///< Engine read issuance (Rule R1 semantics)
+    IssueWrite,  ///< Engine write issuance (Rule W1 / Def. 4 semantics)
+    IssueMixed,  ///< Sec. 3.5 mixed issuance
+    Complete,    ///< Rule G3 completion of `id`
+    Cancel,      ///< Atomic withdrawal of `id` (see Engine::cancel)
+  };
+  Kind kind = Kind::IssueRead;
+  Time t = 0;                 ///< invocation time; set by the combiner
+  RequestId id = kNoRequest;  ///< in: Complete/Cancel target; out: issued id
+  ResourceSet reads;
+  ResourceSet writes;
+  bool satisfied = false;  ///< out: satisfied when its invocation returned
+};
+
+/// Per-invocation hooks for Engine::apply_batch(), implemented by the lock
+/// front ends.  before() runs with the engine quiescent, prior to applying
+/// the invocation: it assigns the invocation time (the front end owns the
+/// logical clock) and may veto the invocation entirely (load shedding), in
+/// which case the engine skips it and neither hook sees it again.  after()
+/// runs once the invocation has been applied and the engine is quiescent
+/// again — the place to register waiters and append invocation-log records
+/// before the *next* invocation in the batch can satisfy the request.
+class BatchSink {
+ public:
+  virtual ~BatchSink() = default;
+  /// Return false to skip the invocation (the engine leaves inv untouched).
+  virtual bool before(Invocation& inv, std::size_t index) {
+    (void)inv;
+    (void)index;
+    return true;
+  }
+  virtual void after(Invocation& inv, std::size_t index) {
+    (void)inv;
+    (void)index;
+  }
+};
+
 class Engine {
  public:
   /// `shares` is the a-priori read-shared relation (Sec. 3.2); its size must
@@ -165,6 +208,36 @@ class Engine {
   /// either half withdraws both, and is rejected once either half is
   /// satisfied (use finish_read_segment()/complete() instead).
   void cancel(Time t, RequestId id);
+
+  /// Applies a timestamp-ordered batch of invocations (issue/complete/
+  /// cancel) in one call — the engine half of the flat-combining broker
+  /// (locks/combining_broker.hpp).  `invs` are applied strictly in array
+  /// order; `sink->before()` assigns each invocation's time (and may veto
+  /// it), `sink->after()` observes each applied invocation while the engine
+  /// is quiescent, before the next one is applied.
+  ///
+  /// The batch reaches *exactly* the state and trace that the equivalent
+  /// sequence of issue_read()/issue_write()/issue_mixed()/complete()/
+  /// cancel() calls would.  The speedup does not come from deferring the
+  /// fixpoint to the end of the batch — that would be unsound (see the
+  /// proof-sketch comment in engine.cpp) — but from replacing the full
+  /// fixpoint with *targeted transitions* where a locality argument proves
+  /// the fixpoint could not fire anything else:
+  ///
+  ///  * issuances decide only the issued request's own entitlement/
+  ///    satisfaction (the issuance-locality lemma),
+  ///  * read completions whose released resources have empty write queues
+  ///    skip the fixpoint entirely (the read-release no-op lemma),
+  ///  * write completions, contended read completions, and cancels — the
+  ///    genuine promotion points — still run the full fixpoint.
+  ///
+  /// Under EngineOptions::validate every skipped/targeted path is followed
+  /// by a real fixpoint that must fire nothing (the oracle check demanded
+  /// by the batching design).
+  ///
+  /// Upgradeable and incremental requests are not routable through batches
+  /// (the front ends keep them on the classic mutex path).
+  void apply_batch(Invocation* const* invs, std::size_t n, BatchSink* sink);
 
   // ------------------------------------------------------------------
   // Introspection (tests, analysis, trace rendering).
@@ -278,7 +351,15 @@ class Engine {
   void entitle(Time t, Request& r);
   void satisfy(Time t, Request& r);
   bool try_grant_increments(Time t, Request& r);
-  void fixpoint(Time t);
+  /// Returns true iff any transition fired — the batched paths use this as
+  /// their validate-mode oracle ("the fixpoint I skipped is a no-op").
+  bool fixpoint(Time t);
+
+  RequestId batch_issue_read(Time t, const ResourceSet& reads);
+  RequestId batch_issue_write(Time t, const ResourceSet& reads,
+                              const ResourceSet& writes);
+  void batch_complete(Time t, RequestId id);
+  void assert_fixpoint_quiescent(Time t, const char* what);
 
   void record(Time t, TraceKind kind, const Request& r,
               const ResourceSet& rs);

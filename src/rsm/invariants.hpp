@@ -10,8 +10,12 @@
 //    which invocation kinds),
 //  * Corollaries 1 and 2 (an entitled request's blocking set never grows),
 //  * entitlement persistence (Defs. 3/4: entitled until satisfied),
-//  * Lemma 6 (the earliest-timestamped incomplete write request is entitled
-//    or satisfied),
+//  * Lemma 6, in its corrected form: the earliest-timestamped incomplete
+//    write request is entitled or satisfied, or deferred only by Def. 4's
+//    read-side concessions (a conflicting entitled read, or a mixed read
+//    holder).  The paper's literal statement omits the deferral cases and
+//    is falsified by a four-invocation counterexample — see the comment in
+//    invariants.cpp and tests/rsm/lemma6_erratum_test.cpp,
 //  * timestamp-FIFO satisfaction order among conflicting writes.
 //
 // E8/E9 and Lemma 6 are theorems about the *base* protocol (Assumption 1 +

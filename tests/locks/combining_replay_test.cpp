@@ -1,0 +1,152 @@
+// Byte-equal oracle replay of flat-combined runs.
+//
+// The combining broker batches invocations, but the invocation log a
+// combined front end records must still describe a legal *sequential*
+// protocol history: replaying it through a fresh validating engine has to
+// reproduce the live engine's trace byte-for-byte, with every E-property
+// and delay cap intact (testing/oracle.hpp).  These tests run identical
+// random workloads through a combined and an uncombined lock and push both
+// logs through verify_replay — the combined front end earns exactly the
+// same certificate as the classic one.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "locks/invocation_log.hpp"
+#include "locks/spin_rw_rnlp.hpp"
+#include "locks/suspend_rw_rnlp.hpp"
+#include "testing/oracle.hpp"
+
+namespace rwrnlp::locks {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::size_t kResources = 4;
+constexpr std::size_t kThreads = 4;
+constexpr int kIters = 60;
+
+void expect_engine_drained(rsm::Engine& engine, std::size_t q) {
+  EXPECT_EQ(engine.incomplete_count(), 0u);
+  for (ResourceId l = 0; l < q; ++l) {
+    EXPECT_TRUE(engine.read_holders(l).empty()) << "resource " << l;
+    EXPECT_FALSE(engine.write_locked(l)) << "resource " << l;
+    EXPECT_TRUE(engine.write_queue(l).empty()) << "resource " << l;
+    EXPECT_EQ(engine.read_queue_depth(l), 0u) << "resource " << l;
+  }
+}
+
+/// Random mixed workload (reads, writes, mixed requests, and a timed subset
+/// that cancels under contention) against any front end.
+template <typename Lock>
+void run_workload(Lock& lock, unsigned seed_base) {
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      std::mt19937 rng(seed_base + static_cast<unsigned>(tid));
+      std::uniform_int_distribution<int> coin(0, 5);
+      std::uniform_int_distribution<std::size_t> pick(0, kResources - 1);
+      for (int k = 0; k < kIters; ++k) {
+        ResourceSet reads(kResources);
+        ResourceSet writes(kResources);
+        const int c = coin(rng);
+        if (c < 3) {
+          reads.set(pick(rng));
+          reads.set(pick(rng));
+        } else if (c < 5) {
+          writes.set(pick(rng));
+        } else {  // mixed, disjoint by construction
+          const std::size_t w = pick(rng);
+          writes.set(w);
+          const std::size_t r = pick(rng);
+          if (r != w) reads.set(r);
+        }
+        if (coin(rng) == 0) {  // timed: some of these cancel
+          auto tok = lock.try_lock_for(reads, writes, 30us);
+          if (tok) {
+            std::this_thread::sleep_for(5us);
+            lock.release(*tok);
+          }
+        } else {
+          const LockToken tok = lock.acquire(reads, writes);
+          std::this_thread::sleep_for(5us);
+          lock.release(tok);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+testing::OracleOptions oracle_options() {
+  testing::OracleOptions oo;
+  oo.num_threads = kThreads;
+  oo.ops_per_thread = kIters;
+  return oo;
+}
+
+void run_spin_replay(bool combining, unsigned seed) {
+  SpinRwRnlp lock(kResources, rsm::WriteExpansion::ExpandDomain,
+                  /*reads_as_writes=*/false, combining);
+  InvocationLog log;
+  lock.engine_for_test().set_trace_recording(true);
+  lock.set_invocation_log(&log);
+  run_workload(lock, seed);
+  EXPECT_EQ(lock.combining_enabled(), combining);
+  expect_engine_drained(lock.engine_for_test(), kResources);
+  testing::verify_replay(lock.engine_for_test(), log, oracle_options());
+}
+
+// Control: the same workload through the classic (uncombined) front end.
+TEST(CombiningReplay, SpinUncombinedControlReplays) {
+  run_spin_replay(/*combining=*/false, 0xC0DE);
+}
+
+TEST(CombiningReplay, SpinCombinedReplays) {
+  run_spin_replay(/*combining=*/true, 0xC0DE);
+}
+
+TEST(CombiningReplay, SpinCombinedPlaceholdersReplay) {
+  SpinRwRnlp lock(kResources, rsm::WriteExpansion::Placeholders,
+                  /*reads_as_writes=*/false, /*combining=*/true);
+  InvocationLog log;
+  lock.engine_for_test().set_trace_recording(true);
+  lock.set_invocation_log(&log);
+  run_workload(lock, 0xFACE);
+  expect_engine_drained(lock.engine_for_test(), kResources);
+  testing::verify_replay(lock.engine_for_test(), log, oracle_options());
+}
+
+// Fast path off: every invocation (reads included) goes through the broker,
+// so the replay certifies the pure apply_batch pipeline.
+TEST(CombiningReplay, SpinCombinedNoFastPathReplay) {
+  SpinRwRnlp lock(kResources, rsm::WriteExpansion::ExpandDomain,
+                  /*reads_as_writes=*/false, /*combining=*/true);
+  lock.set_read_fast_path(false);
+  InvocationLog log;
+  lock.engine_for_test().set_trace_recording(true);
+  lock.set_invocation_log(&log);
+  run_workload(lock, 0xBEAD);
+  expect_engine_drained(lock.engine_for_test(), kResources);
+  testing::verify_replay(lock.engine_for_test(), log, oracle_options());
+}
+
+TEST(CombiningReplay, SuspendCombinedReplay) {
+  SuspendRwRnlp lock(kResources, rsm::WriteExpansion::ExpandDomain,
+                     /*combining=*/true);
+  InvocationLog log;
+  lock.engine_for_test().set_trace_recording(true);
+  lock.set_invocation_log(&log);
+  run_workload(lock, 0xF00D);
+  EXPECT_EQ(lock.blocked_waiters(), 0u);
+  expect_engine_drained(lock.engine_for_test(), kResources);
+  testing::verify_replay(lock.engine_for_test(), log, oracle_options());
+}
+
+}  // namespace
+}  // namespace rwrnlp::locks

@@ -1,0 +1,270 @@
+// Flat-combining front-end tests (real threads, no virtual scheduler):
+// mutual-exclusion census stress on all three combined front ends, the
+// load-shedding gate on the combined path, and the combiner observability
+// counters surfaced through HealthReport.  The byte-equal oracle replay of
+// combined runs lives in combining_replay_test.cpp (it needs the
+// schedule-testing library); the engine-level batch semantics live in
+// tests/rsm/batch_equivalence_test.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "locks/sharded_rw_rnlp.hpp"
+#include "locks/spin_rw_rnlp.hpp"
+#include "locks/suspend_rw_rnlp.hpp"
+#include "util/rng.hpp"
+
+namespace rwrnlp::locks {
+namespace {
+
+constexpr std::size_t kQ = 8;
+
+struct SharedState {
+  std::atomic<int> writers[kQ] = {};
+  std::atomic<int> readers[kQ] = {};
+  std::atomic<bool> violated{false};
+  // Plain cells for TSan: written under write locks, compared under read
+  // locks.  A protocol bug shows up as a torn pair or a TSan race report.
+  std::uint64_t cells[kQ][2] = {};
+
+  void enter_write(const ResourceSet& writes) {
+    writes.for_each([&](ResourceId l) {
+      if (writers[l].fetch_add(1) != 0 || readers[l].load() != 0)
+        violated = true;
+      ++cells[l][0];
+      ++cells[l][1];
+    });
+  }
+  void exit_write(const ResourceSet& writes) {
+    writes.for_each([&](ResourceId l) { writers[l].fetch_sub(1); });
+  }
+  void enter_read(const ResourceSet& reads) {
+    reads.for_each([&](ResourceId l) {
+      readers[l].fetch_add(1);
+      if (writers[l].load() != 0) violated = true;
+      if (cells[l][0] != cells[l][1]) violated = true;
+    });
+  }
+  void exit_read(const ResourceSet& reads) {
+    reads.for_each([&](ResourceId l) { readers[l].fetch_sub(1); });
+  }
+};
+
+ResourceSet random_set(Rng& rng, std::size_t q, ResourceId base,
+                       std::size_t span, std::size_t max_size) {
+  ResourceSet rs(q);
+  const std::size_t n = 1 + rng.next_below(max_size);
+  for (std::size_t i = 0; i < n; ++i)
+    rs.set(base + static_cast<ResourceId>(rng.next_below(span)));
+  return rs;
+}
+
+void worker(MultiResourceLock& lock, SharedState& st, std::uint64_t seed,
+            ResourceId base, std::size_t span, int ops) {
+  Rng rng(seed);
+  const std::size_t q = lock.num_resources();
+  for (int i = 0; i < ops; ++i) {
+    const std::uint64_t kind = rng.next_below(10);
+    if (kind < 5) {  // read
+      const ResourceSet rs = random_set(rng, q, base, span, 3);
+      LockToken t = lock.acquire(rs, ResourceSet(q));
+      st.enter_read(rs);
+      st.exit_read(rs);
+      lock.release(t);
+    } else if (kind < 8) {  // write
+      const ResourceSet rs = random_set(rng, q, base, span, 2);
+      LockToken t = lock.acquire(ResourceSet(q), rs);
+      st.enter_write(rs);
+      st.exit_write(rs);
+      lock.release(t);
+    } else {  // mixed (disjoint read and write sets)
+      const ResourceSet writes = random_set(rng, q, base, span, 2);
+      ResourceSet reads = random_set(rng, q, base, span, 2);
+      reads -= writes;
+      LockToken t = lock.acquire(reads, writes);
+      st.enter_read(reads);
+      st.enter_write(writes);
+      st.exit_write(writes);
+      st.exit_read(reads);
+      lock.release(t);
+    }
+  }
+}
+
+void expect_census_clean(const SharedState& st) {
+  EXPECT_FALSE(st.violated.load()) << "mutual exclusion violated";
+  for (std::size_t l = 0; l < kQ; ++l) {
+    EXPECT_EQ(st.writers[l].load(), 0);
+    EXPECT_EQ(st.readers[l].load(), 0);
+    EXPECT_EQ(st.cells[l][0], st.cells[l][1]);
+  }
+}
+
+TEST(CombiningSpinStress, MixedReadersWriters) {
+  SpinRwRnlp lock(kQ, rsm::WriteExpansion::ExpandDomain,
+                  /*reads_as_writes=*/false, /*combining=*/true);
+  ASSERT_TRUE(lock.combining_enabled());
+  SharedState st;
+  std::vector<std::thread> pool;
+  for (int i = 0; i < 6; ++i)
+    pool.emplace_back([&, i] {
+      worker(lock, st, 4000 + static_cast<std::uint64_t>(i), 0, kQ, 800);
+    });
+  for (auto& t : pool) t.join();
+  expect_census_clean(st);
+  const HealthReport hr = lock.health_report();
+  EXPECT_EQ(hr.incomplete, 0u);
+  EXPECT_GT(hr.batches_combined, 0u);
+  EXPECT_GT(hr.combined_invocations, 0u);
+  EXPECT_GE(hr.combined_invocations, hr.batches_combined);
+  EXPECT_GE(hr.max_batch_combined, 1u);
+}
+
+// Same census under the Placeholders expansion mode and with the read fast
+// path disabled, so every single invocation funnels through the broker.
+TEST(CombiningSpinStress, AllTrafficThroughBroker) {
+  SpinRwRnlp lock(kQ, rsm::WriteExpansion::Placeholders,
+                  /*reads_as_writes=*/false, /*combining=*/true);
+  lock.set_read_fast_path(false);
+  SharedState st;
+  std::vector<std::thread> pool;
+  for (int i = 0; i < 4; ++i)
+    pool.emplace_back([&, i] {
+      worker(lock, st, 5000 + static_cast<std::uint64_t>(i), 0, kQ, 600);
+    });
+  for (auto& t : pool) t.join();
+  expect_census_clean(st);
+  const HealthReport hr = lock.health_report();
+  // acquire + release per op, all via apply_batch.
+  EXPECT_EQ(hr.combined_invocations, 2 * hr.acquired);
+}
+
+TEST(CombiningSuspendStress, MixedReadersWriters) {
+  SuspendRwRnlp lock(kQ, rsm::WriteExpansion::ExpandDomain,
+                     /*combining=*/true);
+  ASSERT_TRUE(lock.combining_enabled());
+  SharedState st;
+  std::vector<std::thread> pool;
+  for (int i = 0; i < 6; ++i)
+    pool.emplace_back([&, i] {
+      worker(lock, st, 6000 + static_cast<std::uint64_t>(i), 0, kQ, 500);
+    });
+  for (auto& t : pool) t.join();
+  expect_census_clean(st);
+  EXPECT_EQ(lock.blocked_waiters(), 0u);
+  EXPECT_EQ(lock.pending_satisfied_count(), 0u);
+  const HealthReport hr = lock.health_report();
+  EXPECT_EQ(hr.incomplete, 0u);
+  EXPECT_GT(hr.batches_combined, 0u);
+  EXPECT_GT(hr.combined_invocations, 0u);
+}
+
+TEST(CombiningShardedStress, PerComponentWorkers) {
+  ResourceSet lo(kQ), hi(kQ);
+  for (ResourceId l = 0; l < 4; ++l) lo.set(l);
+  for (ResourceId l = 4; l < 8; ++l) hi.set(l);
+  ShardedRwRnlp lock(kQ, {lo, hi}, rsm::WriteExpansion::ExpandDomain,
+                     /*combining=*/true);
+  ASSERT_TRUE(lock.combining_enabled());
+  SharedState st;
+  std::vector<std::thread> pool;
+  for (int i = 0; i < 4; ++i) {
+    const ResourceId base = (i % 2 == 0) ? 0 : 4;
+    pool.emplace_back([&, i, base] {
+      worker(lock, st, 7000 + static_cast<std::uint64_t>(i), base, 4, 600);
+    });
+  }
+  for (auto& t : pool) t.join();
+  expect_census_clean(st);
+  const HealthReport hr = lock.health_report();
+  EXPECT_EQ(hr.incomplete, 0u);
+  EXPECT_GT(hr.batches_combined, 0u);  // merged across shards
+}
+
+// Load shedding must gate the combined path exactly like the classic one:
+// the sink vetoes the publication (no engine state is touched) and the
+// publisher's acquire throws OverloadShed.
+TEST(CombiningOverloadShed, CombinedIssueSheds) {
+  SpinRwRnlp lock(kQ, rsm::WriteExpansion::ExpandDomain,
+                  /*reads_as_writes=*/false, /*combining=*/true);
+  RobustnessOptions opt;
+  opt.max_incomplete = 1;
+  lock.set_robustness_options(opt);
+  const LockToken held = lock.acquire(ResourceSet(kQ), ResourceSet(kQ, {0}));
+  EXPECT_THROW(lock.acquire(ResourceSet(kQ), ResourceSet(kQ, {1})),
+               OverloadShed);
+  const HealthReport during = lock.health_report();
+  EXPECT_EQ(during.shed, 1u);
+  EXPECT_EQ(during.incomplete, 1u);  // the vetoed request never issued
+  lock.release(held);
+  const LockToken again = lock.acquire(ResourceSet(kQ), ResourceSet(kQ, {1}));
+  lock.release(again);
+}
+
+// The suspension variant's combined path sheds the same way.
+TEST(CombiningOverloadShed, SuspendCombinedIssueSheds) {
+  SuspendRwRnlp lock(kQ, rsm::WriteExpansion::ExpandDomain,
+                     /*combining=*/true);
+  RobustnessOptions opt;
+  opt.max_incomplete = 1;
+  lock.set_robustness_options(opt);
+  const LockToken held = lock.acquire(ResourceSet(kQ), ResourceSet(kQ, {0}));
+  EXPECT_THROW(lock.acquire(ResourceSet(kQ), ResourceSet(kQ, {1})),
+               OverloadShed);
+  lock.release(held);
+  const LockToken again = lock.acquire(ResourceSet(kQ), ResourceSet(kQ, {1}));
+  lock.release(again);
+}
+
+// Single-threaded smoke: with nobody to combine with, every submit is a
+// batch of one applied by its own publisher, and results flow back through
+// the slot (satisfied-at-issue, ids, waiter flag untouched).
+TEST(CombiningBroker, SelfCombiningSingleThread) {
+  SpinRwRnlp lock(kQ, rsm::WriteExpansion::ExpandDomain,
+                  /*reads_as_writes=*/false, /*combining=*/true);
+  lock.set_read_fast_path(false);  // keep reads on the broker too
+  for (int i = 0; i < 100; ++i) {
+    const LockToken r =
+        lock.acquire(ResourceSet(kQ, {0, 1}), ResourceSet(kQ));
+    lock.release(r);
+    const LockToken w =
+        lock.acquire(ResourceSet(kQ), ResourceSet(kQ, {1, 2}));
+    lock.release(w);
+  }
+  const HealthReport hr = lock.health_report();
+  EXPECT_EQ(hr.acquired, 200u);
+  EXPECT_EQ(hr.combined_invocations, 400u);  // 200 issues + 200 completes
+  EXPECT_EQ(hr.incomplete, 0u);
+  EXPECT_EQ(hr.max_batch_combined, 1u);
+  EXPECT_EQ(hr.combiner_handoffs, 0u);
+}
+
+// reads_as_writes (the mutex-RNLP baseline) through the combined path:
+// reads must contend like writes.
+TEST(CombiningBroker, ReadsAsWritesCombine) {
+  SpinRwRnlp lock(kQ, rsm::WriteExpansion::ExpandDomain,
+                  /*reads_as_writes=*/true, /*combining=*/true);
+  SharedState st;
+  std::vector<std::thread> pool;
+  for (int i = 0; i < 4; ++i)
+    pool.emplace_back([&, i] {
+      Rng rng(8000 + static_cast<std::uint64_t>(i));
+      for (int k = 0; k < 400; ++k) {
+        const ResourceSet rs = random_set(rng, kQ, 0, kQ, 2);
+        // Issued as a read, but the baseline treats it as a write: the
+        // census may therefore demand writer-exclusivity.
+        LockToken t = lock.acquire(rs, ResourceSet(kQ));
+        st.enter_write(rs);
+        st.exit_write(rs);
+        lock.release(t);
+      }
+    });
+  for (auto& t : pool) t.join();
+  expect_census_clean(st);
+}
+
+}  // namespace
+}  // namespace rwrnlp::locks

@@ -1,0 +1,318 @@
+// Equivalence of Engine::apply_batch with the classic one-invocation-at-a-
+// time API.
+//
+// The flat-combining broker batches invocations, and apply_batch's contract
+// (engine.hpp) is that a batch reaches *exactly* the state and trace of the
+// equivalent sequence of sequential invocations.  These tests pin that
+// contract down:
+//
+//  * the counterexample that makes naive end-of-batch deferral unsound is
+//    exercised explicitly (a read and a conflicting write in one batch);
+//  * randomized mixed workloads (reads / writes / mixed / completes /
+//    cancels), chopped into random batch sizes, must produce byte-identical
+//    traces against a sequentially driven twin engine, under both write
+//    expansion modes and with full invariant validation on;
+//  * a BatchSink veto (the front ends' load-shedding hook) must skip the
+//    vetoed invocation and apply the rest untouched.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rsm/engine.hpp"
+#include "util/rng.hpp"
+
+namespace rwrnlp::rsm {
+namespace {
+
+constexpr std::size_t kQ = 8;
+
+EngineOptions traced_options(WriteExpansion expansion) {
+  EngineOptions o;
+  o.expansion = expansion;
+  o.validate = true;
+  o.record_trace = true;
+  return o;
+}
+
+Invocation issue_read_inv(Time t, const ResourceSet& reads) {
+  Invocation inv;
+  inv.kind = Invocation::Kind::IssueRead;
+  inv.t = t;
+  inv.reads = reads;
+  return inv;
+}
+
+Invocation issue_write_inv(Time t, const ResourceSet& writes) {
+  Invocation inv;
+  inv.kind = Invocation::Kind::IssueWrite;
+  inv.t = t;
+  inv.writes = writes;
+  return inv;
+}
+
+void apply(Engine& e, std::vector<Invocation>& batch, BatchSink* sink = nullptr) {
+  std::vector<Invocation*> ptrs;
+  for (Invocation& inv : batch) ptrs.push_back(&inv);
+  e.apply_batch(ptrs.data(), ptrs.size(), sink);
+}
+
+// The soundness counterexample from engine.cpp: batching [read l0, write l0]
+// and deferring all transitions to one end-of-batch fixpoint would entitle
+// the write first (it is the earliest-ts head of WQ(l0) at fixpoint time)
+// and satisfy the WRONG request.  apply_batch must instead satisfy the read
+// at its own timestamp and leave the write entitled-but-blocked, exactly
+// like the sequential engine.
+TEST(BatchEquivalence, DeferralCounterexampleReadThenWrite) {
+  for (const WriteExpansion exp :
+       {WriteExpansion::ExpandDomain, WriteExpansion::Placeholders}) {
+    Engine seq(kQ, traced_options(exp));
+    const RequestId r = seq.issue_read(1.0, ResourceSet(kQ, {0}));
+    const RequestId w = seq.issue_write(2.0, ResourceSet(kQ, {0}));
+    ASSERT_TRUE(seq.is_satisfied(r));
+    ASSERT_FALSE(seq.is_satisfied(w));
+
+    Engine bat(kQ, traced_options(exp));
+    std::vector<Invocation> batch{
+        issue_read_inv(1.0, ResourceSet(kQ, {0})),
+        issue_write_inv(2.0, ResourceSet(kQ, {0})),
+    };
+    apply(bat, batch);
+    EXPECT_EQ(batch[0].id, r);
+    EXPECT_EQ(batch[1].id, w);
+    EXPECT_TRUE(batch[0].satisfied);
+    EXPECT_FALSE(batch[1].satisfied);
+    EXPECT_EQ(format_trace(bat.trace()), format_trace(seq.trace()));
+  }
+}
+
+// A whole acquire/release round trip in one batch: issue read, issue
+// conflicting write, complete the read (promoting the write), complete the
+// write.  Exercises both the contended-completion fixpoint and the
+// contention-free completion fast path inside a single apply_batch call.
+TEST(BatchEquivalence, CompletesInsideOneBatch) {
+  Engine seq(kQ, traced_options(WriteExpansion::ExpandDomain));
+  const RequestId r = seq.issue_read(1.0, ResourceSet(kQ, {2, 3}));
+  const RequestId w = seq.issue_write(2.0, ResourceSet(kQ, {3}));
+  seq.complete(3.0, r);
+  ASSERT_TRUE(seq.is_satisfied(w));
+  seq.complete(4.0, w);
+
+  Engine bat(kQ, traced_options(WriteExpansion::ExpandDomain));
+  std::vector<Invocation> batch{
+      issue_read_inv(1.0, ResourceSet(kQ, {2, 3})),
+      issue_write_inv(2.0, ResourceSet(kQ, {3})),
+  };
+  apply(bat, batch);
+  Invocation complete_r;
+  complete_r.kind = Invocation::Kind::Complete;
+  complete_r.t = 3.0;
+  complete_r.id = batch[0].id;
+  Invocation complete_w;
+  complete_w.kind = Invocation::Kind::Complete;
+  complete_w.t = 4.0;
+  complete_w.id = batch[1].id;
+  std::vector<Invocation> batch2{complete_r, complete_w};
+  apply(bat, batch2);
+  EXPECT_EQ(format_trace(bat.trace()), format_trace(seq.trace()));
+}
+
+class BatchReplay : public ::testing::TestWithParam<WriteExpansion> {};
+
+// Random mixed workloads chopped into random batch sizes.  Every candidate
+// invocation is first applied to the sequential twin (which both keeps the
+// two engines in lock-step and lets the generator pick only *legal*
+// completes/cancels), then the recorded batch goes through apply_batch on
+// the batched engine.  Traces, request ids, and satisfied-at-issue outcomes
+// must match exactly; validation is on, so every batched invocation also
+// passes the engine's internal invariant sweep and — in validate mode — the
+// assert_fixpoint_quiescent oracle that re-runs the full fixpoint after
+// each targeted transition.
+TEST_P(BatchReplay, RandomBatchesMatchSequential) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    Engine seq(kQ, traced_options(GetParam()));
+    Engine bat(kQ, traced_options(GetParam()));
+    Rng rng(seed);
+    std::vector<RequestId> live;
+    Time t = 0;
+    for (int round = 0; round < 60; ++round) {
+      const std::size_t batch_size = 1 + rng.next_below(5);
+      std::vector<Invocation> batch;
+      // Sequential twin's outcome per issuance, recorded at generation time:
+      // a later invocation in the same batch may complete or promote an
+      // earlier one, so post-batch is_satisfied() is NOT the satisfied-at-
+      // issue value apply_batch must report.
+      std::vector<std::pair<RequestId, bool>> expected;
+      for (std::size_t i = 0; i < batch_size; ++i) {
+        t += 1.0;
+        const std::uint64_t kind = rng.next_below(10);
+        Invocation inv;
+        inv.t = t;
+        if (kind < 4) {  // read
+          ResourceSet rs(kQ);
+          const std::size_t n = 1 + rng.next_below(3);
+          for (std::size_t j = 0; j < n; ++j)
+            rs.set(static_cast<ResourceId>(rng.next_below(kQ)));
+          inv.kind = Invocation::Kind::IssueRead;
+          inv.reads = rs;
+          live.push_back(seq.issue_read(t, rs));
+        } else if (kind < 6) {  // write
+          ResourceSet rs(kQ, {static_cast<ResourceId>(rng.next_below(kQ))});
+          inv.kind = Invocation::Kind::IssueWrite;
+          inv.writes = rs;
+          live.push_back(seq.issue_write(t, rs));
+        } else if (kind < 7) {  // mixed, reads and writes disjoint
+          ResourceSet writes(kQ,
+                             {static_cast<ResourceId>(rng.next_below(kQ))});
+          ResourceSet reads(kQ,
+                            {static_cast<ResourceId>(rng.next_below(kQ))});
+          reads -= writes;
+          if (reads.empty()) {
+            inv.kind = Invocation::Kind::IssueWrite;
+            inv.writes = writes;
+            live.push_back(seq.issue_write(t, writes));
+          } else {
+            inv.kind = Invocation::Kind::IssueMixed;
+            inv.reads = reads;
+            inv.writes = writes;
+            live.push_back(seq.issue_mixed(t, reads, writes));
+          }
+        } else if (kind < 9) {  // complete a satisfied request, if any
+          RequestId victim = kNoRequest;
+          for (std::size_t j = 0; j < live.size(); ++j) {
+            const std::size_t idx = (j + rng.next_below(live.size())) %
+                                    live.size();
+            if (seq.is_satisfied(live[idx])) {
+              victim = live[idx];
+              live.erase(live.begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+              break;
+            }
+          }
+          if (victim == kNoRequest) continue;
+          inv.kind = Invocation::Kind::Complete;
+          inv.id = victim;
+          seq.complete(t, victim);
+        } else {  // cancel an unsatisfied request, if any
+          RequestId victim = kNoRequest;
+          for (std::size_t j = 0; j < live.size(); ++j) {
+            const std::size_t idx = (j + rng.next_below(live.size())) %
+                                    live.size();
+            if (!seq.is_satisfied(live[idx])) {
+              victim = live[idx];
+              live.erase(live.begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+              break;
+            }
+          }
+          if (victim == kNoRequest) continue;
+          inv.kind = Invocation::Kind::Cancel;
+          inv.id = victim;
+          seq.cancel(t, victim);
+        }
+        if (inv.kind != Invocation::Kind::Complete &&
+            inv.kind != Invocation::Kind::Cancel)
+          expected.emplace_back(live.back(), seq.is_satisfied(live.back()));
+        else
+          expected.emplace_back(kNoRequest, false);
+        batch.push_back(inv);
+      }
+      apply(bat, batch);
+      // Issued ids and satisfied-at-issue outcomes must line up with the
+      // sequential twin's.
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Invocation& inv = batch[i];
+        if (inv.kind == Invocation::Kind::Complete ||
+            inv.kind == Invocation::Kind::Cancel)
+          continue;
+        ASSERT_EQ(inv.id, expected[i].first);
+        EXPECT_EQ(inv.satisfied, expected[i].second);
+      }
+    }
+    // Drain both engines and do the byte-level comparison.
+    while (!live.empty()) {
+      t += 1.0;
+      bool progressed = false;
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (seq.is_satisfied(live[i])) {
+          seq.complete(t, live[i]);
+          Invocation inv;
+          inv.kind = Invocation::Kind::Complete;
+          inv.t = t;
+          inv.id = live[i];
+          std::vector<Invocation> batch{inv};
+          apply(bat, batch);
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+          progressed = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(progressed) << "deadlock in drain, seed " << seed;
+    }
+    EXPECT_EQ(format_trace(bat.trace()), format_trace(seq.trace()))
+        << "trace divergence at seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothExpansions, BatchReplay,
+                         ::testing::Values(WriteExpansion::ExpandDomain,
+                                           WriteExpansion::Placeholders));
+
+// A sink veto (load shedding in the front ends) must skip exactly the
+// vetoed invocation: nothing is issued for it, and the rest of the batch
+// applies as if it were never there.
+TEST(BatchEquivalence, SinkVetoSkipsInvocation) {
+  struct VetoSecond final : BatchSink {
+    bool before(Invocation& inv, std::size_t index) override {
+      (void)inv;
+      return index != 1;
+    }
+  };
+  Engine seq(kQ, traced_options(WriteExpansion::ExpandDomain));
+  const RequestId a = seq.issue_read(1.0, ResourceSet(kQ, {0}));
+  const RequestId c = seq.issue_read(3.0, ResourceSet(kQ, {2}));
+
+  Engine bat(kQ, traced_options(WriteExpansion::ExpandDomain));
+  std::vector<Invocation> batch{
+      issue_read_inv(1.0, ResourceSet(kQ, {0})),
+      issue_write_inv(2.0, ResourceSet(kQ, {1})),  // vetoed
+      issue_read_inv(3.0, ResourceSet(kQ, {2})),
+  };
+  VetoSecond sink;
+  apply(bat, batch, &sink);
+  EXPECT_EQ(batch[0].id, a);
+  EXPECT_EQ(batch[1].id, kNoRequest);  // never issued
+  EXPECT_EQ(batch[2].id, c);
+  EXPECT_EQ(format_trace(bat.trace()), format_trace(seq.trace()));
+}
+
+// The sink's before/after hooks see invocations in batch order and after()
+// observes the filled-in results (the front ends hang their logging and
+// waiter registration off exactly this).
+TEST(BatchEquivalence, SinkSeesResultsInOrder) {
+  struct Recorder final : BatchSink {
+    std::vector<std::size_t> before_idx, after_idx;
+    std::vector<bool> after_satisfied;
+    bool before(Invocation& inv, std::size_t index) override {
+      (void)inv;
+      before_idx.push_back(index);
+      return true;
+    }
+    void after(Invocation& inv, std::size_t index) override {
+      after_idx.push_back(index);
+      after_satisfied.push_back(inv.satisfied);
+    }
+  };
+  Engine bat(kQ, traced_options(WriteExpansion::ExpandDomain));
+  std::vector<Invocation> batch{
+      issue_write_inv(1.0, ResourceSet(kQ, {0})),
+      issue_write_inv(2.0, ResourceSet(kQ, {0})),  // queued behind the first
+  };
+  Recorder sink;
+  apply(bat, batch, &sink);
+  EXPECT_EQ(sink.before_idx, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(sink.after_idx, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(sink.after_satisfied, (std::vector<bool>{true, false}));
+}
+
+}  // namespace
+}  // namespace rwrnlp::rsm

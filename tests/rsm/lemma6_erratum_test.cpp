@@ -1,0 +1,98 @@
+// Lemma 6 erratum: the earliest-timestamped incomplete write request is NOT
+// always entitled or satisfied, contrary to the paper's literal statement.
+//
+// The four-invocation counterexample (pure reads/writes, no placeholders,
+// no cancellation, no mixing):
+//
+//   ts1  W_a = write{l3}    satisfied immediately, holds l3
+//   ts2  W_1 = write{l3}    queued behind W_a in WQ(l3)
+//   ts3  W_b = write{l2}    satisfied immediately, holds l2
+//   ts4  R   = read{l2,l3}  blocked by satisfied writes on both resources;
+//                           WQ(l3)'s head W_1 is not entitled (l3 locked),
+//                           so Def. 3 makes R ENTITLED
+//
+// When W_a completes, W_1 becomes the earliest incomplete write, at the
+// head of WQ(l3) with l3 unlocked — yet the entitled R (a LATER timestamp)
+// suppresses Def. 4(b), leaving W_1 merely Waiting.  No protocol choice
+// rescues the naive lemma here: entitling W_1 would create a conflicting
+// entitled pair (Property E10), and satisfying W_1 would stretch R's wait
+// across two full write phases (breaking Thm. 1) while growing an entitled
+// request's blocker set (breaking Cor. 2).  The deferral is bounded — R is
+// blocked only by satisfied writes, so it resolves within one write phase
+// plus one read phase — which is all Thm. 2's accounting needs.
+//
+// These tests pin (a) the counterexample itself, step by step, under the
+// full ProtocolObserver (whose Lemma 6 check accepts exactly this
+// deferral), and (b) the resolution: once the deferring read drains, the
+// earliest write is promoted and every request completes.
+#include <gtest/gtest.h>
+
+#include "rsm/engine.hpp"
+#include "rsm/invariants.hpp"
+
+namespace rwrnlp::rsm {
+namespace {
+
+class Lemma6ErratumTest : public ::testing::TestWithParam<WriteExpansion> {};
+
+TEST_P(Lemma6ErratumTest, EarliestWriteDeferredByLaterEntitledRead) {
+  EngineOptions opt;
+  opt.expansion = GetParam();
+  opt.validate = true;
+  Engine e(4, opt);
+  ProtocolObserver obs(e);
+
+  const RequestId wa = e.issue_write(1, ResourceSet(4, {3}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  EXPECT_TRUE(e.is_satisfied(wa));
+
+  const RequestId w1 = e.issue_write(2, ResourceSet(4, {3}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  EXPECT_EQ(e.state(w1), RequestState::Waiting);
+
+  const RequestId wb = e.issue_write(3, ResourceSet(4, {2}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  EXPECT_TRUE(e.is_satisfied(wb));
+
+  const RequestId r = e.issue_read(4, ResourceSet(4, {2, 3}));
+  obs.after_invocation(InvocationKind::ReadIssue);
+  EXPECT_EQ(e.state(r), RequestState::Entitled);
+
+  // The erratum moment: W_a completes, leaving w1 the earliest incomplete
+  // write — at the head of WQ(l3), nothing write-locked in its domain —
+  // and STILL merely waiting, because the later-timestamped entitled read
+  // suppresses Def. 4(b).  The observer's corrected Lemma 6 accepts this
+  // (and only this) deferral.
+  e.complete(5, wa);
+  obs.after_invocation(InvocationKind::WriteComplete);
+  EXPECT_EQ(e.state(w1), RequestState::Waiting);
+  EXPECT_EQ(e.state(r), RequestState::Entitled);
+  ASSERT_FALSE(e.write_queue(3).empty());
+  EXPECT_EQ(e.write_queue(3).front().req, w1);
+  EXPECT_FALSE(e.write_holder(3).has_value());
+
+  // Resolution, phase-fair: the read goes first (Thm. 1's single write
+  // phase of waiting), then the deferred write is promoted.
+  e.complete(6, wb);
+  obs.after_invocation(InvocationKind::WriteComplete);
+  EXPECT_TRUE(e.is_satisfied(r));
+  // The deferral ends the moment r stops being *entitled*: Def. 4(b) no
+  // longer applies, so w1 is entitled at once (blocked only by the read
+  // holder r), exactly as Cor. 2 demands.
+  EXPECT_EQ(e.state(w1), RequestState::Entitled);
+
+  e.complete(7, r);
+  obs.after_invocation(InvocationKind::ReadComplete);
+  EXPECT_TRUE(e.is_satisfied(w1));
+
+  e.complete(8, w1);
+  obs.after_invocation(InvocationKind::WriteComplete);
+  EXPECT_EQ(e.incomplete_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothExpansions, Lemma6ErratumTest,
+                         ::testing::Values(WriteExpansion::ExpandDomain,
+                                           WriteExpansion::Placeholders));
+
+}  // namespace
+}  // namespace rwrnlp::rsm

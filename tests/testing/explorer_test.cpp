@@ -42,16 +42,20 @@ struct SpinState {
   locks::SpinRwRnlp lock;
   locks::InvocationLog log;
   std::atomic<bool> flag{false};
-  SpinState(std::size_t q, rsm::WriteExpansion exp) : lock(q, exp) {}
+  SpinState(std::size_t q, rsm::WriteExpansion exp, bool combining = false)
+      : lock(q, exp, /*reads_as_writes=*/false, combining) {}
 };
 
 /// Scenario: each thread performs its ops (acquire + release); the post-run
-/// check replays the invocation log through the oracle.
+/// check replays the invocation log through the oracle.  With `combining`
+/// the flat-combining broker is in front of the engine, adding the
+/// CombinePublish / CombineWait / CombineApply yield points to the explored
+/// space — including schedules where the combiner is preempted mid-batch.
 ScenarioFactory spin_factory(std::size_t q,
                              std::vector<std::vector<Op>> per_thread,
-                             rsm::WriteExpansion exp) {
+                             rsm::WriteExpansion exp, bool combining = false) {
   return [=] {
-    auto st = std::make_shared<SpinState>(q, exp);
+    auto st = std::make_shared<SpinState>(q, exp, combining);
     st->lock.engine_for_test().set_trace_recording(true);
     st->lock.set_invocation_log(&st->log);
     ScenarioRun run;
@@ -83,13 +87,15 @@ ScenarioFactory spin_factory(std::size_t q,
 struct SuspendState {
   locks::SuspendRwRnlp lock;
   locks::InvocationLog log;
-  explicit SuspendState(std::size_t q) : lock(q) {}
+  explicit SuspendState(std::size_t q, bool combining = false)
+      : lock(q, rsm::WriteExpansion::ExpandDomain, combining) {}
 };
 
 ScenarioFactory suspend_factory(std::size_t q,
-                                std::vector<std::vector<Op>> per_thread) {
+                                std::vector<std::vector<Op>> per_thread,
+                                bool combining = false) {
   return [=] {
-    auto st = std::make_shared<SuspendState>(q);
+    auto st = std::make_shared<SuspendState>(q, combining);
     st->lock.engine_for_test().set_trace_recording(true);
     st->lock.set_invocation_log(&st->log);
     ScenarioRun run;
@@ -443,6 +449,92 @@ TEST(Explorer, EntitledWriterScenarioPassesWithoutInjection) {
   EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
                                   << ")";
   EXPECT_TRUE(res.exhausted);
+}
+
+// ----------------------------------------------------- flat combining ----
+
+// Exhaustive sweep of the combined spin front end: the broker's publish /
+// wait / apply interleavings are part of the schedule space, and every
+// schedule must still replay byte-identically through the sequential
+// oracle.  This covers combiner hand-off (B's invocation applied by A) in
+// both directions, self-combining, and the publish-just-after-scan race.
+TEST(ExplorerCombining, ExhaustiveSpinReadWriteContention) {
+  for (const rsm::WriteExpansion exp :
+       {rsm::WriteExpansion::ExpandDomain, rsm::WriteExpansion::Placeholders}) {
+    ExhaustiveStrategy strategy;
+    ExploreOptions opt;
+    opt.max_schedules = 400000;
+    const ExploreResult res =
+        explore(spin_factory(2,
+                             {{Op{true, {0}}},          // A: write l0
+                              {Op{false, {0, 1}}}},     // B: read {l0, l1}
+                             exp, /*combining=*/true),
+                strategy, opt);
+    EXPECT_FALSE(res.failure_found)
+        << "expansion=" << static_cast<int>(exp) << ": " << res.failure
+        << " (token " << res.token << ")";
+    EXPECT_TRUE(res.exhausted) << "state space not fully enumerated";
+    EXPECT_GT(res.schedules, 10u);
+  }
+}
+
+// Writer/writer contention through the broker: entitlement hand-off where
+// the satisfying Complete and the waiting Issue may land in one batch.
+TEST(ExplorerCombining, ExhaustiveSpinWriterPair) {
+  ExhaustiveStrategy strategy;
+  ExploreOptions opt;
+  opt.max_schedules = 400000;
+  const ExploreResult res =
+      explore(spin_factory(2,
+                           {{Op{true, {0}}},   // A: write l0
+                            {Op{true, {0}}}},  // B: write l0
+                           rsm::WriteExpansion::ExpandDomain,
+                           /*combining=*/true),
+              strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GT(res.schedules, 10u);
+}
+
+// Three threads, preemption-bounded: specifically covers the combiner
+// preempted *mid-batch* (the spin combiner yields at CombineApply before
+// each invocation it applies), with a third thread publishing into — or
+// spinning against — the half-finished batch.
+TEST(ExplorerCombining, PreemptionBoundedCombinerMidBatch) {
+  PreemptionBoundedStrategy strategy(1);
+  ExploreOptions opt;
+  opt.max_schedules = 400000;
+  const ExploreResult res =
+      explore(spin_factory(2,
+                           {{Op{true, {0}}},       // A: write l0
+                            {Op{false, {0, 1}}},   // B: read {l0, l1}
+                            {Op{true, {1}}}},      // C: write l1
+                           rsm::WriteExpansion::Placeholders,
+                           /*combining=*/true),
+              strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_GT(res.schedules, 10u);
+}
+
+// The suspension variant's combined path under exhaustive exploration (its
+// combiner runs under std::mutex and never parks mid-batch; the wakeup of
+// batch-satisfied waiters goes through the shared condition variable).
+TEST(ExplorerCombining, ExhaustiveSuspendLock) {
+  ExhaustiveStrategy strategy;
+  ExploreOptions opt;
+  opt.max_schedules = 400000;
+  const ExploreResult res =
+      explore(suspend_factory(2,
+                              {{Op{true, {0}}},          // A: write l0
+                               {Op{false, {0, 1}}}},     // B: read {l0, l1}
+                              /*combining=*/true),
+              strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GT(res.schedules, 5u);
 }
 
 // ------------------------------------------------- cancellation faults ----

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Bench regression gate for BENCH_hotpath.json-style reports.
+
+Compares a fresh benchmark report against a baseline (typically the
+committed BENCH_hotpath.json) and fails if throughput regressed by more
+than the threshold at ANY (lock, workload, threads) point:
+
+    fresh_ops_per_sec < baseline_ops_per_sec * (1 - threshold)
+
+Points present in the baseline but missing from the fresh report are
+failures too (a silently dropped configuration is the worst regression).
+Points only in the fresh report (new lock configs) are reported but never
+fail the gate.
+
+Usage:
+    tools/bench_check.py BASELINE.json FRESH.json [--threshold 0.30]
+
+Exit code 0 = no regression, 1 = regression or missing point, 2 = bad input.
+
+Caveats: ops_per_sec across *machines* is not comparable — use this to
+compare runs from the same host (e.g. a short pre-change run vs a short
+post-change run in the same CI job), and keep the threshold loose enough
+to absorb scheduler noise at contended thread counts.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_points(path):
+    """Returns {(lock, workload, threads): ops_per_sec} from a bench report."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_check: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = doc.get("workloads")
+    if not isinstance(rows, list) or not rows:
+        print(f"bench_check: {path} has no 'workloads' array", file=sys.stderr)
+        sys.exit(2)
+    points = {}
+    for row in rows:
+        try:
+            key = (row["lock"], row["workload"], int(row["threads"]))
+            points[key] = float(row["ops_per_sec"])
+        except (KeyError, TypeError, ValueError) as e:
+            print(f"bench_check: malformed row {row!r} in {path}: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return points
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline bench JSON")
+    ap.add_argument("fresh", help="fresh bench JSON to gate")
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="max allowed fractional regression (default 0.30)")
+    args = ap.parse_args()
+    if not 0.0 <= args.threshold < 1.0:
+        print("bench_check: --threshold must be in [0, 1)", file=sys.stderr)
+        return 2
+
+    base = load_points(args.baseline)
+    fresh = load_points(args.fresh)
+
+    failures = []
+    for key in sorted(base):
+        lock, workload, threads = key
+        name = f"{lock}/{workload}/{threads}t"
+        if key not in fresh:
+            failures.append(f"MISSING  {name}: in baseline but not in fresh "
+                            "report")
+            continue
+        floor = base[key] * (1.0 - args.threshold)
+        if fresh[key] < floor:
+            ratio = fresh[key] / base[key] if base[key] > 0 else float("inf")
+            failures.append(
+                f"REGRESS  {name}: {fresh[key]:,.0f} ops/s vs baseline "
+                f"{base[key]:,.0f} ({ratio:.2f}x, floor {floor:,.0f})")
+        else:
+            ratio = fresh[key] / base[key] if base[key] > 0 else float("inf")
+            print(f"ok       {name}: {fresh[key]:,.0f} ops/s "
+                  f"({ratio:.2f}x baseline)")
+
+    for key in sorted(set(fresh) - set(base)):
+        lock, workload, threads = key
+        print(f"new      {lock}/{workload}/{threads}t: {fresh[key]:,.0f} "
+              "ops/s (no baseline, not gated)")
+
+    if failures:
+        print(f"\nbench_check: {len(failures)} failure(s) at threshold "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench_check: all {len(base)} baseline points within "
+          f"{args.threshold:.0%} — no regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
