@@ -1,6 +1,6 @@
 // Hot-path benchmark: ns/op and allocations/op for the concurrent R/W RNLP.
 //
-// Compares five configurations of the same protocol on identical workloads:
+// Compares seven configurations of the same protocol on identical workloads:
 //
 //   baseline   SpinRwRnlp with the uncontended-read fast path disabled —
 //              every acquire runs the full entitlement/satisfaction fixpoint
@@ -10,10 +10,20 @@
 //              broker: contending threads publish to per-thread slots and
 //              the mutex winner applies the whole batch in one critical
 //              section (Engine::apply_batch).
+//   readfast   combined + the distributed reader indicator: read-only
+//              requests publish into a striped per-resource indicator and
+//              complete without touching the mutex or a broker slot at all;
+//              writers raise presence over their guard domain and sweep the
+//              stripes before entering admission (DESIGN.md §11).
 //   sharded    ShardedRwRnlp over kComponents disjoint resource components,
 //              fast path enabled — invocations in different components do
 //              not serialize on a common mutex.
 //   sharded-combined  the two composed: per-component broker + engine.
+//   sharded-readfast  sharded + per-shard reader indicators + the global
+//              cross-shard announcement board: slow-path acquisitions from
+//              every component are published to one board and the global
+//              mutex winner applies each component's sub-batch in a single
+//              combiner tour.
 //
 // Workloads (requests confined to per-thread home components so every
 // configuration can run them): read-only (uncontended), write-heavy, and
@@ -30,6 +40,8 @@
 // to argv[1] (default "BENCH_hotpath.json"); tools/bench_check.py compares
 // two such files.  argv[2]/argv[3] override ops-per-thread and trial count
 // for quick CI runs (e.g. `bench_hotpath out.json 2000 1`).
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -235,6 +247,14 @@ std::unique_ptr<MultiResourceLock> make_combined() {
                                       /*combining=*/true);
 }
 
+std::unique_ptr<MultiResourceLock> make_readfast() {
+  auto lock = std::make_unique<SpinRwRnlp>(kQ, rsm::WriteExpansion::ExpandDomain,
+                                           /*reads_as_writes=*/false,
+                                           /*combining=*/true);
+  lock->enable_reader_indicator();
+  return lock;
+}
+
 std::vector<ResourceSet> make_components() {
   std::vector<ResourceSet> comps;
   for (std::size_t c = 0; c < kComponents; ++c) {
@@ -254,6 +274,13 @@ std::unique_ptr<MultiResourceLock> make_sharded_combined() {
   return std::make_unique<ShardedRwRnlp>(kQ, make_components(),
                                          rsm::WriteExpansion::ExpandDomain,
                                          /*combining=*/true);
+}
+
+std::unique_ptr<MultiResourceLock> make_sharded_readfast() {
+  auto lock = std::make_unique<ShardedRwRnlp>(kQ, make_components());
+  lock->enable_reader_indicators();
+  lock->enable_cross_shard_combining();
+  return lock;
 }
 
 /// Median-of-`trials` by throughput, each trial on a freshly built lock so
@@ -293,8 +320,10 @@ int main(int argc, char** argv) {
       {"baseline", make_baseline},
       {"fastpath", make_fastpath},
       {"combined", make_combined},
+      {"readfast", make_readfast},
       {"sharded", make_sharded},
       {"sharded-combined", make_sharded_combined},
+      {"sharded-readfast", make_sharded_readfast},
   };
 
   std::ostringstream rows;
@@ -305,13 +334,25 @@ int main(int argc, char** argv) {
   std::printf("  %-17s %-12s %8s %12s %12s %14s\n", "lock", "workload",
               "threads", "p50 ns", "p99 ns", "ops/s");
 
-  // Cells retained for the acceptance checks and the speedup summary.
-  double readonly_baseline_4t = 0, readonly_fastpath_4t = 0,
-         readonly_sharded_4t = 0;
-  // ops_per_sec at 8 threads, keyed [workload][uncombined? 0 : 1] for the
-  // spin lock and its sharded composition.
-  double spin_8t[3][2] = {};
-  double sharded_8t[3][2] = {};
+  // Every measured cell, keyed by (lock, workload, threads).  The summary
+  // sections below look rows up by key instead of capturing them into
+  // positional arrays inside the measurement loop — positional capture
+  // silently mislabels cells when the config list is reordered or a config
+  // is skipped.
+  struct Cell {
+    std::string lock;
+    Workload w;
+    std::size_t threads;
+    RunResult r;
+  };
+  std::vector<Cell> cells;
+  auto ops_at = [&cells](const char* lock, Workload w,
+                         std::size_t threads) -> double {
+    for (const Cell& c : cells)
+      if (c.threads == threads && c.w == w && c.lock == lock)
+        return c.r.ops_per_sec;
+    return 0;
+  };
 
   for (const LockConfig& cfg : kConfigs) {
     for (std::size_t wi = 0; wi < 3; ++wi) {
@@ -321,17 +362,7 @@ int main(int argc, char** argv) {
         std::printf("  %-17s %-12s %8zu %12.1f %12.1f %14.0f\n",
                     cfg.key.c_str(), to_string(w), threads, r.p50_ns,
                     r.p99_ns, r.ops_per_sec);
-        if (w == Workload::ReadOnly && threads == 4) {
-          if (cfg.key == "baseline") readonly_baseline_4t = r.ops_per_sec;
-          if (cfg.key == "fastpath") readonly_fastpath_4t = r.ops_per_sec;
-          if (cfg.key == "sharded") readonly_sharded_4t = r.ops_per_sec;
-        }
-        if (threads == 8) {
-          if (cfg.key == "fastpath") spin_8t[wi][0] = r.ops_per_sec;
-          if (cfg.key == "combined") spin_8t[wi][1] = r.ops_per_sec;
-          if (cfg.key == "sharded") sharded_8t[wi][0] = r.ops_per_sec;
-          if (cfg.key == "sharded-combined") sharded_8t[wi][1] = r.ops_per_sec;
-        }
+        cells.push_back({cfg.key, w, threads, r});
         if (!first_row) rows << ",\n";
         first_row = false;
         rows << "    {\"lock\": \"" << cfg.key << "\", \"workload\": \""
@@ -343,13 +374,27 @@ int main(int argc, char** argv) {
   }
 
   header("flat combining vs classic path at 8 threads (ops/s ratio)");
-  for (std::size_t wi = 0; wi < 3; ++wi) {
-    const double spin_ratio =
-        spin_8t[wi][0] > 0 ? spin_8t[wi][1] / spin_8t[wi][0] : 0;
+  for (const Workload w : kWorkloads) {
+    const double spin = ops_at("fastpath", w, 8);
+    const double sharded = ops_at("sharded", w, 8);
+    const double spin_ratio = spin > 0 ? ops_at("combined", w, 8) / spin : 0;
     const double sharded_ratio =
-        sharded_8t[wi][0] > 0 ? sharded_8t[wi][1] / sharded_8t[wi][0] : 0;
+        sharded > 0 ? ops_at("sharded-combined", w, 8) / sharded : 0;
     std::printf("  %-12s combined/fastpath %.2fx   sharded-combined/sharded %.2fx\n",
-                to_string(kWorkloads[wi]), spin_ratio, sharded_ratio);
+                to_string(w), spin_ratio, sharded_ratio);
+  }
+
+  header("reader indicator vs broker read path at 8 threads (ops/s ratio)");
+  for (const Workload w : kWorkloads) {
+    const double combined = ops_at("combined", w, 8);
+    const double sharded_combined = ops_at("sharded-combined", w, 8);
+    const double spin_ratio =
+        combined > 0 ? ops_at("readfast", w, 8) / combined : 0;
+    const double sharded_ratio =
+        sharded_combined > 0 ? ops_at("sharded-readfast", w, 8) / sharded_combined
+                             : 0;
+    std::printf("  %-12s readfast/combined %.2fx   sharded-readfast/sharded-combined %.2fx\n",
+                to_string(w), spin_ratio, sharded_ratio);
   }
   {
     // Sanity check (not a hard perf gate — absolute ratios are
@@ -369,6 +414,44 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(hr.combined_invocations),
                 static_cast<unsigned long long>(hr.combiner_handoffs),
                 hr.max_batch_combined);
+  }
+  {
+    // Same spirit for the reader indicator: under a read-heavy contended
+    // run the mutex-free grant path must actually carry traffic, and the
+    // writers present must have swept the stripes at least once.
+    auto lock = make_readfast();
+    const RunResult r =
+        run_workload(*lock, Workload::Mixed, /*threads=*/8, 2000);
+    (void)r;
+    const auto hr = static_cast<SpinRwRnlp*>(lock.get())->health_report();
+    check(hr.indicator_fast_hits > 0,
+          "reader indicator granted mutex-free reads under contention");
+    check(hr.indicator_sweeps > 0,
+          "writers swept the indicator before admission");
+    std::printf("  indicator stats: %llu fast hits, %llu retractions, "
+                "%llu sweeps\n",
+                static_cast<unsigned long long>(hr.indicator_fast_hits),
+                static_cast<unsigned long long>(hr.indicator_retractions),
+                static_cast<unsigned long long>(hr.indicator_sweeps));
+  }
+  {
+    // And for the cross-shard board: a write-heavy run over all components
+    // must route slow-path acquisitions through the global announcement
+    // board, i.e. the merged health report shows combined batches even
+    // though every shard was built with per-shard combining off.
+    auto lock = make_sharded_readfast();
+    const RunResult r =
+        run_workload(*lock, Workload::WriteHeavy, /*threads=*/8, 2000);
+    (void)r;
+    const auto hr = static_cast<ShardedRwRnlp*>(lock.get())->health_report();
+    check(hr.batches_combined > 0,
+          "cross-shard board dispatched batches under contention");
+    std::printf("  cross-shard stats: %llu batches, %llu invocations, "
+                "max batch %zu, %llu sweeps\n",
+                static_cast<unsigned long long>(hr.batches_combined),
+                static_cast<unsigned long long>(hr.combined_invocations),
+                hr.max_batch_combined,
+                static_cast<unsigned long long>(hr.indicator_sweeps));
   }
 
   header("steady-state allocations per op (single-threaded)");
@@ -391,23 +474,40 @@ int main(int argc, char** argv) {
   }
 
   header("uncontended-read speedup vs pre-optimization baseline (4 threads)");
-  const double fastpath_speedup =
-      readonly_baseline_4t > 0 ? readonly_fastpath_4t / readonly_baseline_4t
-                               : 0;
-  const double sharded_speedup =
-      readonly_baseline_4t > 0 ? readonly_sharded_4t / readonly_baseline_4t
-                               : 0;
+  const double readonly_baseline_4t = ops_at("baseline", Workload::ReadOnly, 4);
+  auto speedup_4t = [&](const char* key) {
+    return readonly_baseline_4t > 0
+               ? ops_at(key, Workload::ReadOnly, 4) / readonly_baseline_4t
+               : 0;
+  };
+  const double fastpath_speedup = speedup_4t("fastpath");
+  const double readfast_speedup = speedup_4t("readfast");
+  const double sharded_speedup = speedup_4t("sharded");
   std::printf("  fast path only : %.2fx\n", fastpath_speedup);
+  std::printf("  indicator      : %.2fx\n", readfast_speedup);
   std::printf("  sharded + fast : %.2fx\n", sharded_speedup);
-  const double best = fastpath_speedup > sharded_speedup ? fastpath_speedup
-                                                         : sharded_speedup;
-  check(best >= 2.0, "uncontended-read throughput >= 2x baseline");
+  // Machine shape matters for every ratio above: on a single-core host all
+  // "contention" is preemption and readers cannot actually run in parallel,
+  // so the >= 2x parallel-read-scaling claim is untestable there (and
+  // cross-file comparisons are only valid between runs with the same cpu
+  // count — tools/bench_check.py refuses to gate across differing "cpus").
+  const long cpus = sysconf(_SC_NPROCESSORS_ONLN);
+  std::printf("  host cpus: %ld\n", cpus);
+  const double best = std::max({fastpath_speedup, readfast_speedup,
+                                sharded_speedup});
+  if (cpus >= 2) {
+    check(best >= 2.0, "uncontended-read throughput >= 2x baseline");
+  } else {
+    std::printf("  [skip] >= 2x-baseline check needs parallel readers "
+                "(host has %ld cpu)\n", cpus);
+  }
 
   std::ofstream js(json_path);
   js << "{\n"
      << "  \"bench\": \"hotpath\",\n"
      << "  \"q\": " << kQ << ",\n"
      << "  \"components\": " << kComponents << ",\n"
+     << "  \"cpus\": " << cpus << ",\n"
      << "  \"ops_per_thread\": " << kOps << ",\n"
      << "  \"trials\": " << kTrials << ",\n"
      << "  \"workloads\": [\n"
@@ -415,6 +515,7 @@ int main(int argc, char** argv) {
      << "  \"allocations\": [\n"
      << alloc_json.str() << "\n  ],\n"
      << "  \"read_only_speedup_4t\": {\"fastpath\": " << fastpath_speedup
+     << ", \"readfast\": " << readfast_speedup
      << ", \"sharded\": " << sharded_speedup << "}\n"
      << "}\n";
   js.close();

@@ -108,6 +108,8 @@ class CombiningBroker {
     std::atomic<std::uint32_t> phase{kIdle};
     std::atomic<bool> claimed{false};
     std::uint64_t seq = 0;
+    std::uint32_t tag = 0;  ///< front-end routing tag (cross-shard combiner:
+                            ///< which shard this invocation belongs to)
     bool shed = false;  ///< out: the front end's sink vetoed the invocation
     rsm::Invocation inv;
     SatisfactionFlag waiter;  ///< spin front ends park here post-batch

@@ -82,6 +82,14 @@ struct HealthReport {
   std::uint64_t combined_invocations = 0;
   std::uint64_t combiner_handoffs = 0;
   std::size_t max_batch_combined = 0;
+  // Distributed reader-indicator observability (all zero when the indicator
+  // is off): reads granted entirely through the indicator (no engine mutex,
+  // no broker slot), publishes retracted because a writer raised
+  // writer-present in the publish/re-check window, and writer revocation
+  // sweeps run (one per writer acquisition over a guard domain).
+  std::uint64_t indicator_fast_hits = 0;
+  std::uint64_t indicator_retractions = 0;
+  std::uint64_t indicator_sweeps = 0;
   std::vector<StuckHolder> stuck;
 
   void merge(const HealthReport& o) {
@@ -98,6 +106,9 @@ struct HealthReport {
     combined_invocations += o.combined_invocations;
     combiner_handoffs += o.combiner_handoffs;
     max_batch_combined = std::max(max_batch_combined, o.max_batch_combined);
+    indicator_fast_hits += o.indicator_fast_hits;
+    indicator_retractions += o.indicator_retractions;
+    indicator_sweeps += o.indicator_sweeps;
     stuck.insert(stuck.end(), o.stuck.begin(), o.stuck.end());
   }
 };

@@ -22,6 +22,9 @@ namespace rwrnlp::locks {
 enum class InvocationKind : std::uint8_t {
   IssueRead,      ///< Engine::issue_read
   IssueReadFast,  ///< Engine::try_issue_read_fast, and it accepted
+  IssueReadIndicator,  ///< reader-indicator fast grant (R1-equivalent; the
+                       ///< engine call is try_issue_read_fast, reached
+                       ///< without broker slot or mutex contention)
   IssueWrite,     ///< Engine::issue_write
   IssueMixed,     ///< Engine::issue_mixed
   Complete,       ///< Engine::complete
@@ -32,6 +35,7 @@ inline const char* to_string(InvocationKind k) {
   switch (k) {
     case InvocationKind::IssueRead: return "issue-read";
     case InvocationKind::IssueReadFast: return "issue-read-fast";
+    case InvocationKind::IssueReadIndicator: return "issue-read-indicator";
     case InvocationKind::IssueWrite: return "issue-write";
     case InvocationKind::IssueMixed: return "issue-mixed";
     case InvocationKind::Complete: return "complete";

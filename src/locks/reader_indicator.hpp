@@ -1,0 +1,266 @@
+// Distributed reader indicator: the mutex-free read fast path.
+//
+// Even with the uncontended-read engine fast path (PR 1) and the flat-
+// combining broker (PR 4), a read-only request must still win the front
+// end's TicketMutex or a broker slot before `Engine::try_issue_read_fast`
+// can fire — one shared cache line (the ticket clock) per acquisition, which
+// caps read-only scaling at the line-transfer rate.  This header removes
+// that last shared write from the uncontended read path with a BRAVO/SNZI-
+// style distributed indicator (Dice & Kogan, USENIX ATC 2019; Ellen et al.,
+// PPoPP 2007; LEFT-RS in PAPERS.md is the multi-resource design reference):
+//
+//  * readers publish presence into a cache-line-striped per-resource counter
+//    cell (one stripe per thread group, so concurrent readers touch
+//    *different* lines), re-check a per-resource writer-present counter, and
+//    — when no writer is active on any requested resource — are granted
+//    without touching the engine mutex or a broker slot;
+//  * a reader that loses the publish/re-check race *retracts* its stripe
+//    increments and falls back to the classic slow path, leaving no trace —
+//    which is what makes the fast grant provably equivalent to Rule R1
+//    (DESIGN.md §11);
+//  * writers raise writer-present over their *guard domain* — the read-set
+//    closure of their needed set, which equals the engine footprint their
+//    write queues will occupy in both expansion modes — then sweep the
+//    stripes until every in-flight fast reader has drained, and only then
+//    enter admission (mutex or broker).  Revocation is thus writer-side
+//    work, off the reader hot path entirely.
+//
+// Memory-ordering argument (the store-buffering / Dekker core):
+// publish is `fetch_add(cell, seq_cst)` followed by a seq_cst load of
+// writer-present; arrival is `fetch_add(writer_present, seq_cst)` followed
+// by seq_cst sweep loads of the cells.  In the single total order S that
+// seq_cst guarantees, one side's increment precedes the other side's load,
+// so either the reader observes the writer (and retracts) or the writer's
+// sweep observes the reader (and waits for it to exit).  Corollary: once a
+// writer's sweep has observed a cell at zero, any *later* increment of that
+// cell is by a reader whose own re-check is ordered after the writer's
+// arrival in S — that reader retracts, never holds — so the sweep may wait
+// out each cell one at a time without revisiting earlier cells.
+//
+// Grant bookkeeping lives in per-thread claimed GrantSlots (same claim
+// discipline as the combining broker's announcement slots, with a separate
+// thread-local cache so indicator claims never evict broker claims); the
+// slot pointer rides in LockToken::data under the reserved token id
+// kIndicatorToken.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "locks/combining_broker.hpp"
+#include "locks/ticket_mutex.hpp"
+#include "locks/yield_point.hpp"
+#include "rsm/request.hpp"
+#include "util/resource_set.hpp"
+
+namespace rwrnlp::locks {
+
+/// Reserved LockToken::id marking a token granted by the indicator fast
+/// path; LockToken::data then points at the GrantSlot, not at a shard.
+inline constexpr std::uint64_t kIndicatorToken = ~std::uint64_t{0};
+
+namespace detail {
+
+/// Indicator slot claims use their own thread-local cache: sharing the
+/// broker cache would make a thread that touches (broker + indicator) x
+/// shards thrash the 4 entries and leak slots on every eviction.
+inline SlotCache& tl_indicator_cache() {
+  thread_local SlotCache cache;
+  return cache;
+}
+
+/// Monotone per-thread id, used to spread threads over indicator stripes.
+inline std::uint32_t tl_stripe_seed() {
+  static std::atomic<std::uint32_t> counter{0};
+  thread_local const std::uint32_t seed =
+      counter.fetch_add(1, std::memory_order_relaxed);
+  return seed;
+}
+
+}  // namespace detail
+
+class ReaderIndicator {
+ public:
+  /// Stripes per resource.  Each stripe cell owns a cache line, so up to
+  /// kStripes concurrent readers of one resource publish without a single
+  /// contended line; more threads share stripes (still correct, just
+  /// occasionally sharing a line).
+  static constexpr std::uint32_t kStripes = 8;
+  /// Grant slots (= max concurrently *held* fast grants; excess readers
+  /// fall back to the slow path, which is always legal).
+  static constexpr std::uint32_t kSlots = 64;
+
+  /// One held fast grant.  in_use/stripe/engine_id/owner/reads are touched
+  /// only by the owning thread (claimed is the cross-thread claim bit, same
+  /// protocol as the broker slots).
+  struct alignas(64) GrantSlot {
+    std::atomic<bool> claimed{false};
+    bool in_use = false;
+    std::uint32_t stripe = 0;
+    rsm::RequestId engine_id = rsm::kNoRequest;  ///< set in log mode only
+    void* owner = nullptr;  ///< the front end that granted (sharded routing)
+    ResourceSet reads;      ///< published footprint, needed for exit()
+  };
+  static_assert(sizeof(GrantSlot) % 64 == 0 && alignof(GrantSlot) == 64,
+                "grant slots must own whole cache lines");
+
+  explicit ReaderIndicator(std::size_t q)
+      : q_(q),
+        uid_(detail::next_broker_uid()),
+        cells_(q * kStripes),
+        writers_(q) {}
+
+  ReaderIndicator(const ReaderIndicator&) = delete;
+  ReaderIndicator& operator=(const ReaderIndicator&) = delete;
+
+  /// Reader fast path: publish into this thread's stripe on every resource
+  /// in `reads`, re-check writer-present, and return the grant slot on
+  /// success.  Returns nullptr when the fast path must not be taken (no
+  /// slot, slot busy, writer visible); `*retracted` is set only when the
+  /// publish actually had to be rolled back (a writer arrived inside the
+  /// publish/re-check window) — the caller counts those separately from
+  /// plain declines.
+  GrantSlot* try_enter(const ResourceSet& reads, bool* retracted) {
+    *retracted = false;
+    GrantSlot* g = claim_grant_slot();
+    if (g == nullptr || g->in_use) return nullptr;
+    // Uncounted pre-check: declining before publishing costs the writer
+    // nothing and keeps retraction (the expensive, counted case) rare.
+    if (writer_visible(reads, std::memory_order_relaxed)) return nullptr;
+    const std::uint32_t stripe = g->stripe;
+    reads.for_each([&](ResourceId l) {
+      cell(l, stripe).fetch_add(1, std::memory_order_seq_cst);
+    });
+    sched_yield_point(YieldPoint::IndicatorPublish);
+    if (writer_visible(reads, std::memory_order_seq_cst)) {
+      reads.for_each([&](ResourceId l) {
+        cell(l, stripe).fetch_sub(1, std::memory_order_seq_cst);
+      });
+      *retracted = true;
+      return nullptr;
+    }
+    g->in_use = true;
+    g->engine_id = rsm::kNoRequest;
+    g->owner = nullptr;
+    g->reads = reads;
+    return g;
+  }
+
+  /// Reader exit: withdraw the published presence.  Release ordering makes
+  /// the critical section happen-before any writer sweep that observes the
+  /// cell at zero.
+  void exit(GrantSlot* g) {
+    const std::uint32_t stripe = g->stripe;
+    g->reads.for_each([&](ResourceId l) {
+      cell(l, stripe).fetch_sub(1, std::memory_order_release);
+    });
+    g->engine_id = rsm::kNoRequest;
+    g->owner = nullptr;
+    g->in_use = false;
+  }
+
+  /// Writer-side revocation, called BEFORE the writer enters admission
+  /// (mutex or broker) — sweeping with the engine mutex held would deadlock
+  /// against a log-mode fast reader that needs the mutex to record its
+  /// grant.  `domain` must cover the engine footprint of the request (the
+  /// read-set closure of its needed set).
+  void writer_arrive(const ResourceSet& domain) {
+    domain.for_each([&](ResourceId l) {
+      writers_[l].count.fetch_add(1, std::memory_order_seq_cst);
+    });
+  }
+
+  /// Waits until every in-flight fast reader on `domain` has drained.  Per
+  /// the corollary above, each cell is waited out once, in order.
+  void writer_sweep(const ResourceSet& domain) {
+    domain.for_each([&](ResourceId l) {
+      for (std::uint32_t s = 0; s < kStripes; ++s) {
+        std::atomic<std::uint64_t>& c = cell(l, s);
+        if (c.load(std::memory_order_seq_cst) == 0) continue;
+        if (sched_wait(YieldPoint::IndicatorSweep, [&c] {
+              return c.load(std::memory_order_acquire) == 0;
+            })) {
+          continue;
+        }
+        SpinBackoff backoff;
+        while (c.load(std::memory_order_seq_cst) != 0) backoff.pause();
+      }
+    });
+  }
+
+  /// Lowered at the writer's COMPLETION (not at issuance: the engine grant
+  /// keeps readers of the domain queued, but a fast reader checks only
+  /// writer-present, so the flag must stay up for the whole hold).
+  void writer_depart(const ResourceSet& domain) {
+    domain.for_each([&](ResourceId l) {
+      writers_[l].count.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  /// True when any resource in `s` currently has a writer arrived (racy
+  /// hint outside the proof; callers use it only to decline).
+  bool writer_visible(const ResourceSet& s, std::memory_order order) const {
+    bool seen = false;
+    s.for_each([&](ResourceId l) {
+      if (writers_[l].count.load(order) != 0) seen = true;
+    });
+    return seen;
+  }
+
+  /// Census for tests: total published presence across all cells (zero when
+  /// no fast grant is held and no publish is in flight).
+  std::uint64_t published_total() const {
+    std::uint64_t n = 0;
+    for (const Cell& c : cells_) n += c.count.load(std::memory_order_acquire);
+    return n;
+  }
+
+  std::size_t num_resources() const { return q_; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> count{0};
+  };
+  static_assert(sizeof(Cell) == 64, "stripe cells must own their cache line");
+
+  std::atomic<std::uint64_t>& cell(ResourceId l, std::uint32_t stripe) {
+    return cells_[static_cast<std::size_t>(l) * kStripes + stripe].count;
+  }
+  const std::atomic<std::uint64_t>& cell(ResourceId l,
+                                         std::uint32_t stripe) const {
+    return cells_[static_cast<std::size_t>(l) * kStripes + stripe].count;
+  }
+
+  /// Same first-fit / never-released claim discipline as the broker slots
+  /// (see CombiningBroker::claim_slot), against the indicator's own
+  /// thread-local cache.
+  GrantSlot* claim_grant_slot() {
+    detail::SlotCache& cache = detail::tl_indicator_cache();
+    for (const auto& e : cache.entries)
+      if (e.uid == uid_) return &slots_[e.index];
+    for (std::uint32_t i = 0; i < kSlots; ++i) {
+      if (slots_[i].claimed.load(std::memory_order_relaxed)) continue;
+      if (!slots_[i].claimed.exchange(true, std::memory_order_acq_rel)) {
+        slots_[i].stripe = detail::tl_stripe_seed() % kStripes;
+        auto& victim = cache.entries[cache.next_victim];
+        cache.next_victim =
+            (cache.next_victim + 1) % detail::SlotCache::kEntries;
+        victim.uid = uid_;
+        victim.index = i;
+        return &slots_[i];
+      }
+    }
+    return nullptr;
+  }
+
+  std::size_t q_;
+  std::uint64_t uid_;
+  std::vector<Cell> cells_;    ///< [l * kStripes + stripe]
+  std::vector<Cell> writers_;  ///< writer-present count per resource
+  std::array<GrantSlot, kSlots> slots_;
+};
+
+}  // namespace rwrnlp::locks

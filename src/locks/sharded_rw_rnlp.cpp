@@ -1,5 +1,6 @@
 #include "locks/sharded_rw_rnlp.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/assert.hpp"
@@ -82,6 +83,14 @@ void ShardedRwRnlp::set_read_fast_path(bool enabled) {
   for (auto& s : shards_) s->set_read_fast_path(enabled);
 }
 
+void ShardedRwRnlp::enable_reader_indicators() {
+  for (auto& s : shards_) s->enable_reader_indicator();
+}
+
+void ShardedRwRnlp::enable_cross_shard_combining() {
+  if (global_broker_ == nullptr) global_broker_ = std::make_unique<Broker>();
+}
+
 void ShardedRwRnlp::set_robustness_options(const RobustnessOptions& opt) {
   for (auto& s : shards_) s->set_robustness_options(opt);
 }
@@ -89,6 +98,17 @@ void ShardedRwRnlp::set_robustness_options(const RobustnessOptions& opt) {
 HealthReport ShardedRwRnlp::health_report() const {
   HealthReport hr;
   for (const auto& s : shards_) hr.merge(s->health_report());
+  hr.acquired += cross_acquired_.load(std::memory_order_relaxed);
+  if (global_broker_ != nullptr) {
+    // Global combiner stats mutate only under global_mutex_, which we hold.
+    global_mutex_.lock();
+    const CombinerStats& cs = global_broker_->stats();
+    hr.batches_combined += cs.batches;
+    hr.combined_invocations += cs.invocations;
+    hr.combiner_handoffs += cs.handoffs;
+    hr.max_batch_combined = std::max(hr.max_batch_combined, cs.max_batch);
+    global_mutex_.unlock();
+  }
   return hr;
 }
 
@@ -113,9 +133,106 @@ LockToken ShardedRwRnlp::acquire(const ResourceSet& reads,
                                  const ResourceSet& writes) {
   std::size_t c = 0;
   SpinRwRnlp& shard = route(reads, writes, &c);
+  if (global_broker_ != nullptr) {
+    // Read-only requests try the shard's indicator first: a fast grant
+    // needs neither a broker slot nor any mutex.
+    if (shard.reader_indicator_enabled() &&
+        !shard.classifies_as_writer(reads, writes)) {
+      LockToken tok;
+      if (shard.try_indicator_acquire(reads, &tok))
+        return tok;  // token.data is the grant slot — must NOT be overwritten
+    }
+    if (Broker::Slot* slot = global_broker_->claim_slot())
+      return acquire_cross(shard, c, reads, writes, slot);
+    // Announcement board full: fall through to the shard-local path (always
+    // legal — both paths serialize through the shard's mutex).
+  }
   LockToken token = shard.acquire(reads, writes);
-  token.data = &shard;  // remembers the owning shard for release()
+  // Remember the owning shard for release() — except for indicator grants,
+  // whose data field is the grant slot (the slot's owner points back at the
+  // shard).
+  if (token.id != kIndicatorToken) token.data = &shard;
   return token;
+}
+
+LockToken ShardedRwRnlp::acquire_cross(SpinRwRnlp& shard, std::size_t c,
+                                       const ResourceSet& reads,
+                                       const ResourceSet& writes,
+                                       Broker::Slot* slot) {
+  // Writer-side indicator revocation, strictly before the slot becomes
+  // visible: once published, a combiner may apply the invocation at any
+  // moment, and the sweep must have quiesced in-flight fast readers before
+  // the engine sees the write (same discipline as SpinRwRnlp::acquire).
+  ResourceSet guard;
+  bool guarded = false;
+  if (shard.reader_indicator_enabled() &&
+      shard.classifies_as_writer(reads, writes)) {
+    guard = shard.guard_domain(reads, writes);
+    shard.indicator()->writer_arrive(guard);
+    shard.indicator()->writer_sweep(guard);
+    shard.count_indicator_sweep();
+    guarded = true;
+  }
+  rsm::Invocation& inv = slot->inv;
+  inv.reads = reads;
+  inv.writes = writes;
+  if (writes.empty())
+    inv.kind = rsm::Invocation::Kind::IssueRead;
+  else if (reads.empty())
+    inv.kind = rsm::Invocation::Kind::IssueWrite;
+  else
+    inv.kind = rsm::Invocation::Kind::IssueMixed;
+  inv.id = rsm::kNoRequest;
+  inv.satisfied = false;
+  slot->shed = false;
+  slot->tag = static_cast<std::uint32_t>(c);
+  slot->waiter.satisfied.store(false, std::memory_order_relaxed);
+  submit_cross(slot);
+  if (slot->shed) {
+    // No token was produced, so the matching depart happens here (the
+    // success path transfers it to release() via the shard).
+    if (guarded) shard.indicator()->writer_depart(guard);
+    throw OverloadShed(
+        "rw-rnlp: load shedding — incomplete-request ceiling reached (P2)");
+  }
+  if (!inv.satisfied) {
+    if (!sched_wait(YieldPoint::SatisfactionWait, [&] {
+          return slot->waiter.satisfied.load(std::memory_order_acquire);
+        })) {
+      SpinBackoff backoff;
+      while (!slot->waiter.satisfied.load(std::memory_order_acquire))
+        backoff.pause();
+    }
+  }
+  cross_acquired_.fetch_add(1, std::memory_order_relaxed);
+  return LockToken{inv.id, &shard};
+}
+
+void ShardedRwRnlp::submit_cross(Broker::Slot* slot) {
+  global_broker_->submit(
+      global_mutex_, slot, [this](Broker::Slot* const* slots, std::size_t n) {
+        // Partition the ts-ordered batch by component tag with a stable
+        // scan: each shard receives its invocations in global ticket order,
+        // which is exactly the order a per-shard combiner would have chosen
+        // — so cross-shard combining is trace-equivalent per component.
+        // Tags of not-yet-applied slots are stable (their publishers are
+        // blocked in submit/wait); applied slots are skipped via done[],
+        // never re-read.
+        bool done[Broker::kSlots] = {};
+        for (std::size_t i = 0; i < n; ++i) {
+          if (done[i]) continue;
+          const std::uint32_t tag = slots[i]->tag;
+          Broker::Slot* run[Broker::kSlots];
+          std::size_t cnt = 0;
+          for (std::size_t j = i; j < n; ++j) {
+            if (!done[j] && slots[j]->tag == tag) {
+              done[j] = true;
+              run[cnt++] = slots[j];
+            }
+          }
+          shards_[tag]->apply_published_slots(run, cnt);
+        }
+      });
 }
 
 std::optional<LockToken> ShardedRwRnlp::try_lock_until(
@@ -130,6 +247,14 @@ std::optional<LockToken> ShardedRwRnlp::try_lock_until(
 
 void ShardedRwRnlp::release(LockToken token) {
   RWRNLP_REQUIRE(token.data != nullptr, "release of foreign token");
+  if (token.id == kIndicatorToken) {
+    // Indicator grants carry the grant slot in data; the slot's owner field
+    // points back at the issuing shard.
+    auto* g = static_cast<ReaderIndicator::GrantSlot*>(token.data);
+    RWRNLP_REQUIRE(g->owner != nullptr, "release of foreign indicator token");
+    static_cast<SpinRwRnlp*>(g->owner)->release(token);
+    return;
+  }
   static_cast<SpinRwRnlp*>(token.data)->release(token);
 }
 

@@ -19,6 +19,7 @@
 // shapes must be declared differently, e.g. by merging their components).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -50,6 +51,32 @@ class ShardedRwRnlp final : public MultiResourceLock {
 
   bool combining_enabled() const {
     return !shards_.empty() && shards_.front()->combining_enabled();
+  }
+
+  /// Enables the distributed reader indicator on every shard (see
+  /// SpinRwRnlp::enable_reader_indicator): read-only requests routed to a
+  /// shard are granted mutex-free through that shard's indicator.  Not
+  /// thread-safe against traffic: configure before the first acquisition.
+  void enable_reader_indicators();
+  bool reader_indicators_enabled() const {
+    return !shards_.empty() && shards_.front()->reader_indicator_enabled();
+  }
+
+  /// Enables the cross-shard combining broker.  Slow-path acquisitions from
+  /// *all* components are published to one global announcement board tagged
+  /// with their component index; whichever thread wins the global mutex
+  /// partitions the ts-ordered batch by tag and applies each sub-batch
+  /// against the owning shard in a single Engine::apply_batch pass — so
+  /// write-queue fixpoints for independent components are coalesced into
+  /// one combiner tour instead of one mutex tour per shard, and the
+  /// combiner thread amortizes its cache misses across components.  The
+  /// per-component RSM decomposition is untouched: tagged sub-batches never
+  /// mix shards, and per-shard ticket order is preserved (the partition is
+  /// a stable scan).  Not thread-safe against traffic: configure before
+  /// the first acquisition.
+  void enable_cross_shard_combining();
+  bool cross_shard_combining_enabled() const {
+    return global_broker_ != nullptr;
   }
 
   /// Routes to the owning shard.  Throws std::invalid_argument if
@@ -84,13 +111,29 @@ class ShardedRwRnlp final : public MultiResourceLock {
   void set_read_fast_path(bool enabled);
 
  private:
+  using Broker = CombiningBroker<TicketMutex>;
+
   SpinRwRnlp& route(const ResourceSet& reads, const ResourceSet& writes,
                     std::size_t* component_out);
+
+  LockToken acquire_cross(SpinRwRnlp& shard, std::size_t c,
+                          const ResourceSet& reads, const ResourceSet& writes,
+                          Broker::Slot* slot);
+  void submit_cross(Broker::Slot* slot);
 
   std::size_t q_;
   std::vector<ResourceSet> component_sets_;
   std::vector<std::uint32_t> component_of_;  // resource -> component index
   std::vector<std::unique_ptr<SpinRwRnlp>> shards_;
+  // Cross-shard combining state; broker null when disabled (the default).
+  // The global mutex serializes only combiner election and batch dispatch —
+  // protocol state stays per shard, and the lock order is strictly
+  // global -> shard.
+  mutable TicketMutex global_mutex_;
+  std::unique_ptr<Broker> global_broker_;
+  // Acquisitions completed through the cross-shard path (the shard-local
+  // `acquired` counters only see shard-entered acquisitions).
+  std::atomic<std::uint64_t> cross_acquired_{0};
 };
 
 }  // namespace rwrnlp::locks

@@ -46,6 +46,76 @@ SpinRwRnlp::SpinRwRnlp(std::size_t num_resources,
     : SpinRwRnlp(num_resources, rsm::ReadShareTable(num_resources), expansion,
                  reads_as_writes, combining) {}
 
+void SpinRwRnlp::enable_reader_indicator() {
+  if (indicator_ == nullptr)
+    indicator_ = std::make_unique<ReaderIndicator>(q_);
+}
+
+// ---------------------------------------------------------------------------
+// Reader-indicator fast path
+// ---------------------------------------------------------------------------
+
+bool SpinRwRnlp::try_indicator_acquire(const ResourceSet& reads,
+                                       LockToken* out) {
+  if (indicator_ == nullptr || reads.empty()) return false;
+  bool retracted = false;
+  ReaderIndicator::GrantSlot* g = indicator_->try_enter(reads, &retracted);
+  if (g == nullptr) {
+    if (retracted)
+      counters_.indicator_retractions.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  g->owner = this;
+  if (invocation_log_ != nullptr) {
+    // Log mode: the grant must appear in engine order for byte-equal
+    // replay, so run the one-step R1 issue under the mutex.  The indicator
+    // invariant (every writer whose guard domain intersects `reads` is
+    // either pre-engine, sweep-blocked on our published cell, or departed)
+    // makes the R1 precondition HOLD here — a kNoRequest return is a
+    // protocol violation, not a fallback.
+    mutex_.lock();
+    sched_yield_point(YieldPoint::EngineInvoke);
+    const double t = static_cast<double>(++logical_time_);
+    const rsm::RequestId id = engine_.try_issue_read_fast(t, reads);
+    RWRNLP_CHECK_MSG(
+        id != rsm::kNoRequest,
+        "reader indicator granted "
+            << reads.to_string()
+            << " but the engine's R1 precondition fails — a writer entered "
+               "admission without raising/sweeping writer-present");
+    g->engine_id = id;
+    invocation_log_->push_back(InvocationRecord{
+        InvocationKind::IssueReadIndicator,
+        static_cast<rsm::Time>(logical_time_), id, true, false, reads,
+        ResourceSet(q_)});
+    mutex_.unlock();
+  }
+  counters_.indicator_fast_hits.fetch_add(1, std::memory_order_relaxed);
+  counters_.acquired.fetch_add(1, std::memory_order_relaxed);
+  *out = LockToken{kIndicatorToken, g};
+  return true;
+}
+
+void SpinRwRnlp::release_indicator(ReaderIndicator::GrantSlot* g) {
+  sched_yield_point(YieldPoint::Release);
+  if (g->engine_id != rsm::kNoRequest) {
+    // Log mode: complete the engine-visible grant before withdrawing the
+    // published presence, so a sweeping writer that proceeds on our zeroed
+    // cell finds the engine already clear of this reader.
+    mutex_.lock();
+    sched_yield_point(YieldPoint::EngineInvoke);
+    const double t = static_cast<double>(++logical_time_);
+    engine_.complete(t, g->engine_id);
+    if (invocation_log_ != nullptr) {
+      invocation_log_->push_back(InvocationRecord{
+          InvocationKind::Complete, static_cast<rsm::Time>(logical_time_),
+          g->engine_id, false, false, ResourceSet(q_), ResourceSet(q_)});
+    }
+    mutex_.unlock();
+  }
+  indicator_->exit(g);
+}
+
 // ---------------------------------------------------------------------------
 // Flat-combining path
 // ---------------------------------------------------------------------------
@@ -90,6 +160,16 @@ struct SpinRwRnlp::CombineSink final : rsm::BatchSink {
             fe.engine_.request(inv.id).is_write, ResourceSet(fe.q_),
             ResourceSet(fe.q_)});
       }
+      // Writer guard depart on behalf of the publisher: looking the request
+      // up requires the mutex (the deque grows concurrently), and we hold
+      // it — the releasing thread does not.  depart() is a handful of
+      // atomic decrements, safe under the mutex.
+      if (fe.indicator_ != nullptr) {
+        const rsm::Request& r = fe.engine_.request(inv.id);
+        if (r.is_write)
+          fe.indicator_->writer_depart(
+              fe.guard_domain(r.need_read, r.need_write));
+      }
       Broker::retire(slots[i]);
       return;
     }
@@ -122,6 +202,22 @@ void SpinRwRnlp::submit_combined(Broker::Slot* slot) {
                     CombineSink sink(*this, slots);
                     engine_.apply_batch(invs, n, &sink);
                   });
+}
+
+void SpinRwRnlp::apply_published_slots(Broker::Slot* const* slots,
+                                       std::size_t n) {
+  // Cross-shard combiner entry: the caller (the global combiner, holding
+  // the sharded front end's global mutex) hands us the seq-ordered slots
+  // tagged for this shard; we apply them under our own mutex with the same
+  // sink as the local combining path.  Lock order is strictly global ->
+  // shard, and no thread waits for satisfaction while holding either, so
+  // the nesting cannot deadlock.
+  mutex_.lock();
+  rsm::Invocation* invs[Broker::kSlots];
+  for (std::size_t i = 0; i < n; ++i) invs[i] = &slots[i]->inv;
+  CombineSink sink(*this, slots);
+  engine_.apply_batch(invs, n, &sink);
+  mutex_.unlock();
 }
 
 LockToken SpinRwRnlp::acquire_combined(const ResourceSet& reads,
@@ -217,6 +313,36 @@ rsm::RequestId SpinRwRnlp::issue_request(const ResourceSet& reads,
 
 LockToken SpinRwRnlp::acquire(const ResourceSet& reads,
                               const ResourceSet& writes) {
+  if (indicator_ != nullptr) {
+    if (!classifies_as_writer(reads, writes)) {
+      // Mutex-free read fast path.  A decline/retract leaves no visible
+      // protocol state, so falling through to the slow path below is
+      // exactly the classic acquisition.
+      if (read_fast_path_) {
+        LockToken tok;
+        if (try_indicator_acquire(reads, &tok)) return tok;
+      }
+    } else {
+      // Writer-side revocation BEFORE admission (sweeping with the mutex
+      // held would deadlock against a log-mode fast reader that needs the
+      // mutex to record its grant).  The matching depart runs at release();
+      // exception paths (load shedding) never produced a token, so depart
+      // here.
+      const ResourceSet guard = guard_domain(reads, writes);
+      writer_guard_enter(guard);
+      try {
+        return acquire_slow(reads, writes);
+      } catch (...) {
+        indicator_->writer_depart(guard);
+        throw;
+      }
+    }
+  }
+  return acquire_slow(reads, writes);
+}
+
+LockToken SpinRwRnlp::acquire_slow(const ResourceSet& reads,
+                                   const ResourceSet& writes) {
   if (broker_ != nullptr) {
     // The uncontended-read fast path composes with combining: when the
     // mutex is free there is nothing to combine *with*, so take it and run
@@ -276,6 +402,30 @@ LockToken SpinRwRnlp::acquire(const ResourceSet& reads,
 }
 
 std::optional<LockToken> SpinRwRnlp::try_lock_until(
+    const ResourceSet& reads, const ResourceSet& writes,
+    std::chrono::steady_clock::time_point deadline) {
+  if (indicator_ != nullptr && classifies_as_writer(reads, writes)) {
+    // Same writer guard as acquire().  The sweep may block past the
+    // deadline — acceptable for the timed API for the same reason the
+    // internal mutex acquisition may: pre-issue waits are bounded by other
+    // threads' short protocol sections (here: fast readers' critical
+    // sections), not by lock-hold times of conflicting writers.
+    const ResourceSet guard = guard_domain(reads, writes);
+    writer_guard_enter(guard);
+    try {
+      std::optional<LockToken> tok =
+          try_lock_until_slow(reads, writes, deadline);
+      if (!tok) indicator_->writer_depart(guard);  // shed or timed out
+      return tok;
+    } catch (...) {
+      indicator_->writer_depart(guard);
+      throw;
+    }
+  }
+  return try_lock_until_slow(reads, writes, deadline);
+}
+
+std::optional<LockToken> SpinRwRnlp::try_lock_until_slow(
     const ResourceSet& reads, const ResourceSet& writes,
     std::chrono::steady_clock::time_point deadline) {
   using Clock = std::chrono::steady_clock;
@@ -341,6 +491,12 @@ HealthReport SpinRwRnlp::health_report() const {
   hr.timeouts = counters_.timeouts.load(std::memory_order_relaxed);
   hr.canceled = counters_.cancels.load(std::memory_order_relaxed);
   hr.shed = counters_.shed.load(std::memory_order_relaxed);
+  hr.indicator_fast_hits =
+      counters_.indicator_fast_hits.load(std::memory_order_relaxed);
+  hr.indicator_retractions =
+      counters_.indicator_retractions.load(std::memory_order_relaxed);
+  hr.indicator_sweeps =
+      counters_.indicator_sweeps.load(std::memory_order_relaxed);
   const auto now = std::chrono::steady_clock::now();
   mutex_.lock();
   hr.incomplete = engine_.incomplete_count();
@@ -374,22 +530,42 @@ HealthReport SpinRwRnlp::health_report() const {
 }
 
 void SpinRwRnlp::release(LockToken token) {
+  if (token.id == kIndicatorToken) {
+    release_indicator(static_cast<ReaderIndicator::GrantSlot*>(token.data));
+    return;
+  }
   sched_yield_point(YieldPoint::Release);
+  const rsm::RequestId id = static_cast<rsm::RequestId>(token.id);
   if (broker_ != nullptr) {
     if (Broker::Slot* slot = broker_->claim_slot()) {
       rsm::Invocation& inv = slot->inv;
       inv.kind = rsm::Invocation::Kind::Complete;
-      inv.id = static_cast<rsm::RequestId>(token.id);
+      inv.id = id;
       inv.satisfied = false;
       slot->shed = false;
+      // Writer guard depart happens inside the combiner's sink: looking
+      // the request up to recover its guard domain requires the mutex
+      // (the request deque grows concurrently), which the combiner holds
+      // and this thread may never take.
       submit_combined(slot);
       return;
     }
   }
+  ResourceSet guard;
+  bool guarded = false;
   mutex_.lock();
   sched_yield_point(YieldPoint::EngineInvoke);
   const double t = static_cast<double>(++logical_time_);
-  const rsm::RequestId id = static_cast<rsm::RequestId>(token.id);
+  // Recover the writer guard domain under the mutex (request lookup walks
+  // the deque, which concurrent issuance grows); depart after the
+  // completion is applied, outside the critical section.
+  if (indicator_ != nullptr) {
+    const rsm::Request& r = engine_.request(id);
+    if (r.is_write) {
+      guard = guard_domain(r.need_read, r.need_write);
+      guarded = true;
+    }
+  }
   const bool was_write = engine_.request(id).is_write;
   engine_.complete(t, id);
   if (invocation_log_ != nullptr) {
@@ -398,6 +574,7 @@ void SpinRwRnlp::release(LockToken token) {
         false, was_write, ResourceSet(q_), ResourceSet(q_)});
   }
   mutex_.unlock();
+  if (guarded) indicator_->writer_depart(guard);
 }
 
 std::string SpinRwRnlp::name() const {
@@ -406,6 +583,12 @@ std::string SpinRwRnlp::name() const {
 
 SpinRwRnlp::UpgradeToken SpinRwRnlp::acquire_upgradeable(
     const ResourceSet& resources) {
+  // The write half is writer-classified from issuance (it occupies write
+  // queues immediately), so the whole upgradeable lifetime sits inside a
+  // writer guard: arrive/sweep before the issuing mutex section, depart in
+  // abandon()/release_upgraded().
+  if (indicator_ != nullptr)
+    writer_guard_enter(guard_domain(resources, resources));
   Waiter read_waiter, write_waiter;
   rsm::UpgradeablePair pair;
   bool read_done, write_done;
@@ -475,17 +658,35 @@ void SpinRwRnlp::upgrade(UpgradeToken& token) {
 void SpinRwRnlp::abandon(const UpgradeToken& token) {
   RWRNLP_REQUIRE(!token.write_mode, "abandon() after the write half won");
   mutex_.lock();
+  // Recompute the guard domain from the still-live request before the
+  // invocation retires the slot (the needed sets are immutable until then).
+  ResourceSet guard;
+  bool guarded = false;
+  if (indicator_ != nullptr) {
+    const rsm::Request& w = engine_.request(token.pair.write_part);
+    guard = guard_domain(w.need_read, w.need_write);
+    guarded = true;
+  }
   const double t = static_cast<double>(++logical_time_);
   engine_.finish_read_segment(t, token.pair, /*upgrade=*/false);
   mutex_.unlock();
+  if (guarded) indicator_->writer_depart(guard);
 }
 
 void SpinRwRnlp::release_upgraded(const UpgradeToken& token) {
   RWRNLP_REQUIRE(token.write_mode, "release_upgraded() without write mode");
   mutex_.lock();
+  ResourceSet guard;
+  bool guarded = false;
+  if (indicator_ != nullptr) {
+    const rsm::Request& w = engine_.request(token.pair.write_part);
+    guard = guard_domain(w.need_read, w.need_write);
+    guarded = true;
+  }
   const double t = static_cast<double>(++logical_time_);
   engine_.complete(t, token.pair.write_part);
   mutex_.unlock();
+  if (guarded) indicator_->writer_depart(guard);
 }
 
 }  // namespace rwrnlp::locks

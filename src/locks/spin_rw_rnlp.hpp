@@ -24,6 +24,7 @@
 #include "locks/health.hpp"
 #include "locks/invocation_log.hpp"
 #include "locks/multi_lock.hpp"
+#include "locks/reader_indicator.hpp"
 #include "locks/ticket_mutex.hpp"
 #include "rsm/engine.hpp"
 
@@ -48,6 +49,53 @@ class SpinRwRnlp final : public MultiResourceLock {
              bool reads_as_writes = false, bool combining = false);
 
   bool combining_enabled() const { return broker_ != nullptr; }
+
+  /// Enables the distributed reader-indicator fast path
+  /// (reader_indicator.hpp): read-only requests are granted without the
+  /// engine mutex or a broker slot, and every writer-classified request
+  /// raises writer-present over its guard domain and sweeps the stripes
+  /// before entering admission.  Not thread-safe against traffic: configure
+  /// before the first acquisition, like set_robustness_options().
+  void enable_reader_indicator();
+  bool reader_indicator_enabled() const { return indicator_ != nullptr; }
+  ReaderIndicator* indicator() { return indicator_.get(); }
+
+  /// Attempts the indicator fast path for a read-only footprint; on success
+  /// fills `*out` with a kIndicatorToken token releasable through release().
+  /// Returns false (leaving protocol state untouched — a retracted publish
+  /// is invisible) when the fast path must not or cannot be taken.  Public
+  /// because ShardedRwRnlp routes its read fast path here.
+  bool try_indicator_acquire(const ResourceSet& reads, LockToken* out);
+
+  /// The indicator guard domain of a request: the read-set closure of its
+  /// needed set, which equals the engine footprint its queues occupy in
+  /// both expansion modes.  Mutex-free (the share table is immutable after
+  /// construction); used by the sharded composition's cross-shard path.
+  ResourceSet guard_domain(const ResourceSet& reads,
+                           const ResourceSet& writes) const {
+    return engine_.shares().closure(reads | writes);
+  }
+
+  /// True when `reads`/`writes` will be issued as a writer-classified
+  /// request (and must therefore arrive/sweep/depart on the indicator).
+  bool classifies_as_writer(const ResourceSet& reads,
+                            const ResourceSet& writes) const {
+    return reads_as_writes_ ? !(reads | writes).empty() : !writes.empty();
+  }
+
+  /// Applies a ts-sorted run of published broker slots against this front
+  /// end's engine under its own mutex — the per-shard half of the
+  /// cross-shard combiner (ShardedRwRnlp::enable_cross_shard_combining).
+  /// Same sink as the local combining path: shed gate, log records, waiter
+  /// registration, per-slot retirement.
+  void apply_published_slots(CombiningBroker<TicketMutex>::Slot* const* slots,
+                             std::size_t n);
+
+  /// Bumps the writer-sweep counter (the sharded cross path runs the sweep
+  /// itself but the per-shard counters live here).
+  void count_indicator_sweep() {
+    counters_.indicator_sweeps.fetch_add(1, std::memory_order_relaxed);
+  }
 
   LockToken acquire(const ResourceSet& reads,
                     const ResourceSet& writes) override;
@@ -129,6 +177,21 @@ class SpinRwRnlp final : public MultiResourceLock {
                              const ResourceSet& writes, Broker::Slot* slot);
   void submit_combined(Broker::Slot* slot);
 
+  LockToken acquire_slow(const ResourceSet& reads, const ResourceSet& writes);
+  std::optional<LockToken> try_lock_until_slow(
+      const ResourceSet& reads, const ResourceSet& writes,
+      std::chrono::steady_clock::time_point deadline);
+  void release_indicator(ReaderIndicator::GrantSlot* g);
+
+  /// Writer-side indicator revocation: raise writer-present over `guard`
+  /// and quiesce in-flight fast readers.  Must run BEFORE admission (mutex
+  /// or broker slot); the matching writer_depart runs at completion.
+  void writer_guard_enter(const ResourceSet& guard) {
+    indicator_->writer_arrive(guard);
+    indicator_->writer_sweep(guard);
+    counters_.indicator_sweeps.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Issues the request under the internal mutex (choosing the invocation
   /// kind exactly like acquire()), appends the log record, and registers
   /// `waiter` when unsatisfied.  Returns kNoRequest iff load shedding
@@ -159,6 +222,9 @@ class SpinRwRnlp final : public MultiResourceLock {
   // Flat-combining broker; null when combining is off.  Heap-allocated so
   // the (large, line-aligned) slot table is only paid for when enabled.
   std::unique_ptr<Broker> broker_;
+  // Distributed reader indicator; null when disabled (the default).  Also
+  // heap-allocated: the striped cell table is kStripes lines per resource.
+  std::unique_ptr<ReaderIndicator> indicator_;
   // Counters bumped with relaxed atomics outside the mutex: give them a
   // dedicated cache line so those stores never contend with mutex_ or
   // engine state (false-sharing audit).
@@ -167,6 +233,9 @@ class SpinRwRnlp final : public MultiResourceLock {
     std::atomic<std::uint64_t> timeouts{0};
     std::atomic<std::uint64_t> cancels{0};
     std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> indicator_fast_hits{0};
+    std::atomic<std::uint64_t> indicator_retractions{0};
+    std::atomic<std::uint64_t> indicator_sweeps{0};
   };
   static_assert(sizeof(Counters) == 64 && alignof(Counters) == 64,
                 "hot counters must fill exactly one cache line");

@@ -1,6 +1,7 @@
 #include "locks/suspend_rw_rnlp.hpp"
 
 #include "locks/yield_point.hpp"
+#include "util/assert.hpp"
 
 namespace rwrnlp::locks {
 
@@ -35,6 +36,81 @@ SuspendRwRnlp::SuspendRwRnlp(std::size_t num_resources,
                              rsm::WriteExpansion expansion, bool combining)
     : SuspendRwRnlp(num_resources, rsm::ReadShareTable(num_resources),
                     expansion, combining) {}
+
+void SuspendRwRnlp::enable_reader_indicator() {
+  if (indicator_ == nullptr)
+    indicator_ = std::make_unique<ReaderIndicator>(q_);
+}
+
+// ---------------------------------------------------------------------------
+// Reader-indicator fast path
+// ---------------------------------------------------------------------------
+
+bool SuspendRwRnlp::try_indicator_acquire(const ResourceSet& reads,
+                                          LockToken* out) {
+  if (indicator_ == nullptr || reads.empty()) return false;
+  bool retracted = false;
+  ReaderIndicator::GrantSlot* g = indicator_->try_enter(reads, &retracted);
+  if (g == nullptr) {
+    if (retracted)
+      indicator_retractions_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  g->owner = this;
+  // Log mode only (see SpinRwRnlp::try_indicator_acquire): the grant must
+  // appear in engine order for byte-equal replay.  In production the grant
+  // never touches the mutex — that is the whole fast path.  (Reading the
+  // log pointer unlocked is fine: it is configured before traffic, like
+  // set_robustness_options.)
+  if (invocation_log_ != nullptr) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    const double t = static_cast<double>(++logical_time_);
+    const rsm::RequestId id = engine_.try_issue_read_fast(t, reads);
+    RWRNLP_CHECK_MSG(
+        id != rsm::kNoRequest,
+        "reader indicator granted "
+            << reads.to_string()
+            << " but the engine's R1 precondition fails — a writer entered "
+               "admission without raising/sweeping writer-present");
+    g->engine_id = id;
+    invocation_log_->push_back(InvocationRecord{
+        InvocationKind::IssueReadIndicator,
+        static_cast<rsm::Time>(logical_time_), id, true, false, reads,
+        ResourceSet(q_)});
+    // The one-step R1 issue satisfied exactly this request; consume the
+    // mark here (nobody sleeps on it, so no broadcast is owed).
+    satisfied_.erase(id);
+  }
+  indicator_fast_hits_.fetch_add(1, std::memory_order_relaxed);
+  indicator_acquired_.fetch_add(1, std::memory_order_relaxed);
+  *out = LockToken{kIndicatorToken, g};
+  return true;
+}
+
+void SuspendRwRnlp::release_indicator(ReaderIndicator::GrantSlot* g) {
+  sched_yield_point(YieldPoint::Release);
+  if (g->engine_id != rsm::kNoRequest) {
+    // Log mode: retire the engine-visible grant before withdrawing the
+    // published presence, then propagate any broadcast the completion's
+    // fixpoint produced.
+    bool wake;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      const double t = static_cast<double>(++logical_time_);
+      engine_.complete(t, g->engine_id);
+      if (invocation_log_ != nullptr) {
+        invocation_log_->push_back(InvocationRecord{
+            InvocationKind::Complete, static_cast<rsm::Time>(logical_time_),
+            g->engine_id, false, false, ResourceSet(q_), ResourceSet(q_)});
+      }
+      wake = wake_pending_;
+      wake_pending_ = false;
+      if (wake) ++notify_count_;
+    }
+    if (wake) cv_.notify_all();
+  }
+  indicator_->exit(g);
+}
 
 // ---------------------------------------------------------------------------
 // Flat-combining path
@@ -73,6 +149,18 @@ struct SuspendRwRnlp::CombineSink final : rsm::BatchSink {
     // limits after retire().  (Promoted waiters additionally need mutex_,
     // which the combiner holds until the batch ends — but satisfied-at-issue
     // publishers return from submit() with no further locking.)
+    if (inv.kind == rsm::Invocation::Kind::Complete &&
+        fe.indicator_ != nullptr) {
+      // Writer guard depart on behalf of the publisher: recovering the
+      // guard domain requires the request lookup, which is only safe
+      // under mutex_ (the deque grows concurrently) — held here, never
+      // by the releasing thread on this path.  depart() is a handful of
+      // atomic decrements, safe under the mutex.
+      const rsm::Request& r = fe.engine_.request(inv.id);
+      if (r.is_write)
+        fe.indicator_->writer_depart(
+            fe.guard_domain(r.need_read, r.need_write));
+    }
     if (fe.invocation_log_ != nullptr) {
       if (inv.kind == rsm::Invocation::Kind::Complete) {
         fe.invocation_log_->push_back(InvocationRecord{
@@ -200,6 +288,28 @@ rsm::RequestId SuspendRwRnlp::issue_locked(const ResourceSet& reads,
 
 LockToken SuspendRwRnlp::acquire(const ResourceSet& reads,
                                  const ResourceSet& writes) {
+  if (indicator_ != nullptr) {
+    if (!classifies_as_writer(reads, writes)) {
+      LockToken tok;
+      if (try_indicator_acquire(reads, &tok)) return tok;
+    } else {
+      // Writer-side revocation BEFORE the mutex (same discipline and same
+      // depart contract as SpinRwRnlp::acquire).
+      const ResourceSet guard = guard_domain(reads, writes);
+      writer_guard_enter(guard);
+      try {
+        return acquire_slow(reads, writes);
+      } catch (...) {
+        indicator_->writer_depart(guard);
+        throw;
+      }
+    }
+  }
+  return acquire_slow(reads, writes);
+}
+
+LockToken SuspendRwRnlp::acquire_slow(const ResourceSet& reads,
+                                      const ResourceSet& writes) {
   // Schedule-test seam.  The yield sits *before* the mutex: no virtual
   // thread ever parks while holding mutex_, so the running thread always
   // acquires it without blocking in the OS.
@@ -246,6 +356,27 @@ LockToken SuspendRwRnlp::acquire(const ResourceSet& reads,
 }
 
 std::optional<LockToken> SuspendRwRnlp::try_lock_until(
+    const ResourceSet& reads, const ResourceSet& writes,
+    std::chrono::steady_clock::time_point deadline) {
+  if (indicator_ != nullptr && classifies_as_writer(reads, writes)) {
+    // Same writer guard as acquire(); the sweep may run past the deadline
+    // for the same reason the internal mutex acquisition may.
+    const ResourceSet guard = guard_domain(reads, writes);
+    writer_guard_enter(guard);
+    try {
+      std::optional<LockToken> tok =
+          try_lock_until_slow(reads, writes, deadline);
+      if (!tok) indicator_->writer_depart(guard);  // shed or timed out
+      return tok;
+    } catch (...) {
+      indicator_->writer_depart(guard);
+      throw;
+    }
+  }
+  return try_lock_until_slow(reads, writes, deadline);
+}
+
+std::optional<LockToken> SuspendRwRnlp::try_lock_until_slow(
     const ResourceSet& reads, const ResourceSet& writes,
     std::chrono::steady_clock::time_point deadline) {
   using Clock = std::chrono::steady_clock;
@@ -322,8 +453,14 @@ void SuspendRwRnlp::set_robustness_options(const RobustnessOptions& opt) {
 HealthReport SuspendRwRnlp::health_report() const {
   HealthReport hr;
   const auto now = std::chrono::steady_clock::now();
+  hr.indicator_fast_hits =
+      indicator_fast_hits_.load(std::memory_order_relaxed);
+  hr.indicator_retractions =
+      indicator_retractions_.load(std::memory_order_relaxed);
+  hr.indicator_sweeps = indicator_sweeps_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lk(mutex_);
-  hr.acquired = acquired_count_;
+  hr.acquired = acquired_count_ +
+                indicator_acquired_.load(std::memory_order_relaxed);
   hr.timeouts = timeout_count_;
   hr.canceled = cancel_count_;
   hr.shed = shed_count_;
@@ -358,6 +495,10 @@ HealthReport SuspendRwRnlp::health_report() const {
 }
 
 void SuspendRwRnlp::release(LockToken token) {
+  if (token.id == kIndicatorToken) {
+    release_indicator(static_cast<ReaderIndicator::GrantSlot*>(token.data));
+    return;
+  }
   sched_yield_point(YieldPoint::Release);
   if (broker_ != nullptr) {
     if (Broker::Slot* slot = broker_->claim_slot()) {
@@ -366,15 +507,30 @@ void SuspendRwRnlp::release(LockToken token) {
       inv.id = static_cast<rsm::RequestId>(token.id);
       inv.satisfied = false;
       slot->shed = false;
+      // Writer guard depart happens inside the combiner's sink: the
+      // request lookup that recovers the guard domain needs mutex_,
+      // which the combiner holds and this thread may never take.
       submit_combined(slot);
       return;
     }
   }
+  ResourceSet guard;
+  bool guarded = false;
   bool wake;
   {
     std::lock_guard<std::mutex> lk(mutex_);
     const double t = static_cast<double>(++logical_time_);
     const rsm::RequestId id = static_cast<rsm::RequestId>(token.id);
+    // Recover the writer guard domain under the mutex (the request
+    // lookup walks the deque, which concurrent issuance grows); depart
+    // after the completion is applied, outside the critical section.
+    if (indicator_ != nullptr) {
+      const rsm::Request& r = engine_.request(id);
+      if (r.is_write) {
+        guard = guard_domain(r.need_read, r.need_write);
+        guarded = true;
+      }
+    }
     const bool was_write = engine_.request(id).is_write;
     engine_.complete(t, id);
     if (invocation_log_ != nullptr) {
@@ -389,6 +545,7 @@ void SuspendRwRnlp::release(LockToken token) {
   // Broadcast only when the completion satisfied a sleeping waiter; a
   // release that unblocks nobody costs no wakeups (the herd stays asleep).
   if (wake) cv_.notify_all();
+  if (guarded) indicator_->writer_depart(guard);
 }
 
 std::uint64_t SuspendRwRnlp::wakeup_count() const {

@@ -15,6 +15,7 @@
 // re-check a predicate that cannot have changed for them.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <memory>
@@ -27,6 +28,7 @@
 #include "locks/health.hpp"
 #include "locks/invocation_log.hpp"
 #include "locks/multi_lock.hpp"
+#include "locks/reader_indicator.hpp"
 #include "rsm/engine.hpp"
 
 namespace rwrnlp::locks {
@@ -47,6 +49,32 @@ class SuspendRwRnlp final : public MultiResourceLock {
                          bool combining = false);
 
   bool combining_enabled() const { return broker_ != nullptr; }
+
+  /// Enables the distributed reader-indicator fast path (see SpinRwRnlp and
+  /// reader_indicator.hpp): read-only requests complete without touching the
+  /// std::mutex at all — particularly valuable here, where an uncontended
+  /// mutex acquisition can still cost a futex round trip.  Configure before
+  /// the first acquisition.
+  void enable_reader_indicator();
+  bool reader_indicator_enabled() const { return indicator_ != nullptr; }
+  ReaderIndicator* indicator() { return indicator_.get(); }
+
+  /// Attempts the indicator fast path for a read-only footprint; see
+  /// SpinRwRnlp::try_indicator_acquire for the contract.
+  bool try_indicator_acquire(const ResourceSet& reads, LockToken* out);
+
+  /// The indicator guard domain (read-share closure of the needed set);
+  /// equals the engine queue footprint in both expansion modes.
+  ResourceSet guard_domain(const ResourceSet& reads,
+                           const ResourceSet& writes) const {
+    return engine_.shares().closure(reads | writes);
+  }
+
+  bool classifies_as_writer(const ResourceSet& reads,
+                            const ResourceSet& writes) const {
+    (void)reads;
+    return !writes.empty();
+  }
 
   LockToken acquire(const ResourceSet& reads,
                     const ResourceSet& writes) override;
@@ -108,6 +136,20 @@ class SuspendRwRnlp final : public MultiResourceLock {
                              const ResourceSet& writes, Broker::Slot* slot);
   void submit_combined(Broker::Slot* slot);
 
+  LockToken acquire_slow(const ResourceSet& reads, const ResourceSet& writes);
+  std::optional<LockToken> try_lock_until_slow(
+      const ResourceSet& reads, const ResourceSet& writes,
+      std::chrono::steady_clock::time_point deadline);
+  void release_indicator(ReaderIndicator::GrantSlot* g);
+
+  /// Writer-side indicator revocation; must run BEFORE the mutex/broker
+  /// (see SpinRwRnlp::writer_guard_enter), departs at completion.
+  void writer_guard_enter(const ResourceSet& guard) {
+    indicator_->writer_arrive(guard);
+    indicator_->writer_sweep(guard);
+    indicator_sweeps_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   std::size_t q_;
   mutable std::mutex mutex_;    // guards the engine (Rule G4) + all state below
   std::condition_variable cv_;  // broadcast when a blocked waiter is satisfied
@@ -133,10 +175,19 @@ class SuspendRwRnlp final : public MultiResourceLock {
       hold_since_;
   // Flat-combining broker; null when combining is off.
   std::unique_ptr<Broker> broker_;
+  // Distributed reader indicator; null when disabled (the default).
+  std::unique_ptr<ReaderIndicator> indicator_;
   std::uint64_t acquired_count_ = 0;
   std::uint64_t timeout_count_ = 0;
   std::uint64_t cancel_count_ = 0;
   std::uint64_t shed_count_ = 0;
+  // Indicator counters are atomics, unlike the mutex-guarded counts above:
+  // the fast path must not touch mutex_ (that is its whole point), and
+  // writer sweeps run before the mutex is taken.
+  std::atomic<std::uint64_t> indicator_fast_hits_{0};
+  std::atomic<std::uint64_t> indicator_retractions_{0};
+  std::atomic<std::uint64_t> indicator_sweeps_{0};
+  std::atomic<std::uint64_t> indicator_acquired_{0};
 };
 
 }  // namespace rwrnlp::locks

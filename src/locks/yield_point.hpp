@@ -52,6 +52,14 @@
 //                      internal mutex is a real std::mutex, and parking a
 //                      virtual thread that holds it would OS-block every
 //                      other virtual thread that touches the lock.
+//   IndicatorPublish - a read-only request has published into its reader-
+//                      indicator stripe but not yet re-checked the
+//                      writer-present flags; exposes the publish/re-check
+//                      window a concurrent writer arrival must force into
+//                      the retract path.
+//   IndicatorSweep   - a writer has raised writer-present on its guard
+//                      domain and is waiting for a stripe cell to drain to
+//                      zero (quiescing in-flight fast readers).
 //   Start            - virtual-thread startup (emitted by the scheduler
 //                      itself, never by lock code).
 #pragma once
@@ -75,6 +83,8 @@ enum class YieldPoint : std::uint8_t {
   CombinePublish,
   CombineWait,
   CombineApply,
+  IndicatorPublish,
+  IndicatorSweep,
 };
 
 inline const char* to_string(YieldPoint p) {
@@ -88,6 +98,8 @@ inline const char* to_string(YieldPoint p) {
     case YieldPoint::CombinePublish: return "combine-publish";
     case YieldPoint::CombineWait: return "combine-wait";
     case YieldPoint::CombineApply: return "combine-apply";
+    case YieldPoint::IndicatorPublish: return "indicator-publish";
+    case YieldPoint::IndicatorSweep: return "indicator-sweep";
   }
   return "?";
 }

@@ -470,20 +470,30 @@ void Engine::cancel(Time t, RequestId id) {
 // Hence deciding X's own entitlement/satisfaction in rule order (Def. 4 /
 // Def. 3 first, then W2 / R1) IS the fixpoint of an issuance invocation.
 //
-// Read-release no-op lemma: completing a satisfied non-incremental,
-// non-partnered read R whose held resources all have EMPTY write queues
-// runs a vacuous fixpoint.  Proof sketch — the completion only removes R
-// from read-holder sets (R left every RQ at satisfaction, Rule G2):
-//   * a write that could newly pass Def. 4 or W2 because R's hold vanished
-//     conflicts with R on some l in R.held, and Def. 4(a)/Rule W1 put that
-//     write (or its placeholder) in WQ(l) — contradiction with WQ(l) empty;
-//   * reads/Def. 3 and R1 never depend on read holders;
-//   * an entitled incremental request blocked on l in R.held in write mode
-//     sits in WQ(l) too (G2 dequeues at *full* satisfaction), and one
-//     blocked in read mode is blocked by write holders, which R is not.
-// Write completions, contended read completions, incremental/partnered
-// completions, and cancels are the genuine promotion points and run the
-// full fixpoint.
+// Release no-op lemma: completing a satisfied non-incremental,
+// non-partnered request X runs a vacuous fixpoint when, for every resource
+// l in X.held,
+//   * WQ(l) is empty, and
+//   * (for writes) RQ(l) is empty too.
+// Proof sketch — the completion only removes X from the holder sets (X left
+// every queue at satisfaction, Rule G2, and a Satisfied request has no
+// placeholder entries left — entitle() scrubbed them):
+//   * a write that could newly pass Def. 4 or W2 because X's hold vanished
+//     conflicts with X on some l in X.held, and Def. 4(a)/Rule W1 keep that
+//     write (or its placeholder) in WQ(l) until satisfaction —
+//     contradiction with WQ(l) empty;
+//   * a read that could newly pass Def. 3 or R1/R2 was blocked by a WRITE
+//     lock (reads are never blocked by read holders, and Def. 3(a) needs a
+//     write-locked resource) — so the enabling l has X as write holder,
+//     l is in X.held, and Rule R1 keeps that read in RQ(l) until
+//     satisfaction — contradiction with RQ(l) empty;
+//   * an entitled incremental request blocked on l in X.held sits in the
+//     queue for its requested mode on l likewise (G2 dequeues at *full*
+//     satisfaction), so the same emptiness contradictions apply.
+// For a read X the RQ condition is unnecessary (a read hold never blocks
+// another read), so reads keep the original WQ-only test.  Contended
+// completions, incremental/partnered completions, and cancels are the
+// genuine promotion points and run the full fixpoint.
 //
 // Under EngineOptions::validate both lemmas are checked at runtime: the
 // skipped fixpoint is actually run and must report quiescence.
@@ -568,14 +578,17 @@ void Engine::batch_complete(Time t, RequestId id) {
                    creq(r.partner).incomplete()),
                  "complete() on an upgradeable read half with a live write "
                  "half; use finish_read_segment()");
-  // Read-release no-op lemma precondition, evaluated before any mutation:
-  // a plain satisfied read whose held resources all have empty WQs cannot
-  // promote anything by leaving.
-  bool quiet = r.state == RequestState::Satisfied && !r.is_write &&
-               !r.incremental && r.partner == kNoRequest;
+  // Release no-op lemma precondition, evaluated before any mutation: a
+  // plain satisfied request whose held resources have empty write queues
+  // (and, for writes, empty read queues too) cannot promote anything by
+  // leaving.
+  bool quiet = r.state == RequestState::Satisfied && !r.incremental &&
+               r.partner == kNoRequest;
   if (quiet) {
+    const bool check_rq = r.is_write;
     r.held.for_each([&](ResourceId l) {
       if (!resources_[l].wq.empty()) quiet = false;
+      if (check_rq && !resources_[l].rq.empty()) quiet = false;
     });
   }
   unlock_resources(r);  // Rule G3.
@@ -588,7 +601,7 @@ void Engine::batch_complete(Time t, RequestId id) {
   live_.erase(std::remove(live_.begin(), live_.end(), id), live_.end());
   record(t, TraceKind::Complete, r, r.domain);
   if (quiet) {
-    assert_fixpoint_quiescent(t, "contention-free read completion");
+    assert_fixpoint_quiescent(t, "contention-free completion");
   } else {
     fixpoint(t);
   }

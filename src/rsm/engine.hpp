@@ -226,10 +226,13 @@ class Engine {
   ///
   ///  * issuances decide only the issued request's own entitlement/
   ///    satisfaction (the issuance-locality lemma),
-  ///  * read completions whose released resources have empty write queues
-  ///    skip the fixpoint entirely (the read-release no-op lemma),
-  ///  * write completions, contended read completions, and cancels — the
-  ///    genuine promotion points — still run the full fixpoint.
+  ///  * completions whose released resources have empty write queues (and,
+  ///    for writes, empty read queues too) skip the fixpoint entirely
+  ///    (the release no-op lemma — this is the batched-writer-admission
+  ///    half: a cross-shard combiner draining write-heavy batches pays one
+  ///    full fixpoint only at genuinely contended completions),
+  ///  * contended completions and cancels — the genuine promotion points —
+  ///    still run the full fixpoint.
   ///
   /// Under EngineOptions::validate every skipped/targeted path is followed
   /// by a real fixpoint that must fire nothing (the oracle check demanded

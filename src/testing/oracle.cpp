@@ -79,6 +79,19 @@ void verify_replay(const rsm::Engine& live, const locks::InvocationLog& log,
                 << rec.id << ", t=" << rec.t << ")");
         okind = rsm::InvocationKind::ReadIssue;
         break;
+      case locks::InvocationKind::IssueReadIndicator:
+        rid = oracle.try_issue_read_fast(rec.t, rec.reads);
+        RWRNLP_CHECK_MSG(
+            rid != rsm::kNoRequest,
+            "replay divergence: live lock granted "
+                << rec.reads.to_string()
+                << " through the reader indicator but the R1 precondition "
+                   "does not hold in the replayed state — a writer raised "
+                   "writer-present without sweeping, or a sweep let a "
+                   "conflicting reader through (request "
+                << rec.id << ", t=" << rec.t << ")");
+        okind = rsm::InvocationKind::ReadIssue;
+        break;
       case locks::InvocationKind::IssueWrite:
         rid = oracle.issue_write(rec.t, rec.writes);
         okind = rsm::InvocationKind::WriteIssue;

@@ -1,0 +1,155 @@
+// Byte-equal oracle replay of reader-indicator runs.
+//
+// With an invocation log installed, indicator fast grants are issued through
+// the engine under the mutex (as IssueReadIndicator records) so the log is a
+// complete sequential history.  Replaying it through a fresh validating
+// engine must reproduce the live trace byte-for-byte — and every
+// IssueReadIndicator must satisfy the engine's own R1 precondition at its
+// point in the history, which is exactly the R1-equivalence claim of
+// DESIGN.md §11: a writer that could falsify it is either pre-engine
+// (sweep-blocked on the reader's published cell) or already departed.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "locks/invocation_log.hpp"
+#include "locks/spin_rw_rnlp.hpp"
+#include "locks/suspend_rw_rnlp.hpp"
+#include "testing/oracle.hpp"
+
+namespace rwrnlp::locks {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr std::size_t kResources = 4;
+constexpr std::size_t kThreads = 4;
+constexpr int kIters = 60;
+
+void expect_engine_drained(rsm::Engine& engine, std::size_t q) {
+  EXPECT_EQ(engine.incomplete_count(), 0u);
+  for (ResourceId l = 0; l < q; ++l) {
+    EXPECT_TRUE(engine.read_holders(l).empty()) << "resource " << l;
+    EXPECT_FALSE(engine.write_locked(l)) << "resource " << l;
+    EXPECT_TRUE(engine.write_queue(l).empty()) << "resource " << l;
+    EXPECT_EQ(engine.read_queue_depth(l), 0u) << "resource " << l;
+  }
+}
+
+/// Read-heavy mixed workload: most requests are read-only (indicator
+/// candidates), with enough writers that sweeps, retractions, and fallbacks
+/// all occur.  A timed subset exercises the writer guard's timeout depart.
+template <typename Lock>
+void run_workload(Lock& lock, unsigned seed_base) {
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&, tid] {
+      std::mt19937 rng(seed_base + static_cast<unsigned>(tid));
+      std::uniform_int_distribution<int> coin(0, 7);
+      std::uniform_int_distribution<std::size_t> pick(0, kResources - 1);
+      for (int k = 0; k < kIters; ++k) {
+        ResourceSet reads(kResources);
+        ResourceSet writes(kResources);
+        const int c = coin(rng);
+        if (c < 5) {
+          reads.set(pick(rng));
+          reads.set(pick(rng));
+        } else if (c < 7) {
+          writes.set(pick(rng));
+        } else {  // mixed, disjoint by construction
+          const std::size_t w = pick(rng);
+          writes.set(w);
+          const std::size_t r = pick(rng);
+          if (r != w) reads.set(r);
+        }
+        if (!writes.empty() && coin(rng) == 0) {  // timed writer
+          auto tok = lock.try_lock_for(reads, writes, 30us);
+          if (tok) {
+            std::this_thread::sleep_for(5us);
+            lock.release(*tok);
+          }
+        } else {
+          const LockToken tok = lock.acquire(reads, writes);
+          std::this_thread::sleep_for(5us);
+          lock.release(tok);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+testing::OracleOptions oracle_options() {
+  testing::OracleOptions oo;
+  oo.num_threads = kThreads;
+  oo.ops_per_thread = kIters;
+  return oo;
+}
+
+TEST(IndicatorReplay, SpinIndicatorReplaysByteEqual) {
+  SpinRwRnlp lock(kResources);
+  lock.enable_reader_indicator();
+  InvocationLog log;
+  lock.engine_for_test().set_trace_recording(true);
+  lock.set_invocation_log(&log);
+  run_workload(lock, 0xD1CE);
+  expect_engine_drained(lock.engine_for_test(), kResources);
+  // The indicator really carried traffic in this run.
+  EXPECT_GT(lock.health_report().indicator_fast_hits, 0u);
+  testing::verify_replay(lock.engine_for_test(), log, oracle_options());
+}
+
+TEST(IndicatorReplay, SpinIndicatorWithCombiningReplays) {
+  SpinRwRnlp lock(kResources, rsm::WriteExpansion::ExpandDomain,
+                  /*reads_as_writes=*/false, /*combining=*/true);
+  lock.enable_reader_indicator();
+  InvocationLog log;
+  lock.engine_for_test().set_trace_recording(true);
+  lock.set_invocation_log(&log);
+  run_workload(lock, 0xA11E);
+  expect_engine_drained(lock.engine_for_test(), kResources);
+  testing::verify_replay(lock.engine_for_test(), log, oracle_options());
+}
+
+TEST(IndicatorReplay, SpinIndicatorPlaceholdersReplay) {
+  SpinRwRnlp lock(kResources, rsm::WriteExpansion::Placeholders);
+  lock.enable_reader_indicator();
+  InvocationLog log;
+  lock.engine_for_test().set_trace_recording(true);
+  lock.set_invocation_log(&log);
+  run_workload(lock, 0xBEE5);
+  expect_engine_drained(lock.engine_for_test(), kResources);
+  testing::verify_replay(lock.engine_for_test(), log, oracle_options());
+}
+
+TEST(IndicatorReplay, SuspendIndicatorReplays) {
+  SuspendRwRnlp lock(kResources, rsm::WriteExpansion::ExpandDomain);
+  lock.enable_reader_indicator();
+  InvocationLog log;
+  lock.engine_for_test().set_trace_recording(true);
+  lock.set_invocation_log(&log);
+  run_workload(lock, 0xFEED);
+  EXPECT_EQ(lock.blocked_waiters(), 0u);
+  expect_engine_drained(lock.engine_for_test(), kResources);
+  testing::verify_replay(lock.engine_for_test(), log, oracle_options());
+}
+
+// Control: identical workload and seed through the classic front end — the
+// indicator changes the concurrency structure, never the protocol history's
+// legality.
+TEST(IndicatorReplay, ClassicControlReplays) {
+  SpinRwRnlp lock(kResources);
+  InvocationLog log;
+  lock.engine_for_test().set_trace_recording(true);
+  lock.set_invocation_log(&log);
+  run_workload(lock, 0xD1CE);
+  expect_engine_drained(lock.engine_for_test(), kResources);
+  testing::verify_replay(lock.engine_for_test(), log, oracle_options());
+}
+
+}  // namespace
+}  // namespace rwrnlp::locks

@@ -1,0 +1,341 @@
+// Distributed reader-indicator fast path (reader_indicator.hpp).
+//
+// Functional coverage for the mutex-free read path on all three front ends:
+// fast grants and their counters, writer-present revocation (publish vs
+// sweep), retract-and-fallback, the writer guard on the classic / combined /
+// timed / upgradeable paths, and the sharded composition with cross-shard
+// combining.  The multi-threaded tests double as the TSan stress surface
+// (CI leg tsan-readfast): readers publish/retract against concurrently
+// sweeping writers while a seqlock-style invariant checks exclusion.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "locks/reader_indicator.hpp"
+#include "locks/sharded_rw_rnlp.hpp"
+#include "locks/spin_rw_rnlp.hpp"
+#include "locks/suspend_rw_rnlp.hpp"
+
+namespace rwrnlp::locks {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ------------------------------------------------------------- raw layer ---
+
+TEST(ReaderIndicator, PublishExitCensus) {
+  ReaderIndicator ind(4);
+  EXPECT_EQ(ind.published_total(), 0u);
+  bool retracted = false;
+  ReaderIndicator::GrantSlot* g =
+      ind.try_enter(ResourceSet(4, {0, 2}), &retracted);
+  ASSERT_NE(g, nullptr);
+  EXPECT_FALSE(retracted);
+  EXPECT_EQ(ind.published_total(), 2u);  // one cell per published resource
+  ind.exit(g);
+  EXPECT_EQ(ind.published_total(), 0u);
+}
+
+TEST(ReaderIndicator, WriterPresenceDeclinesEntry) {
+  ReaderIndicator ind(4);
+  const ResourceSet guard(4, {1});
+  ind.writer_arrive(guard);
+  ind.writer_sweep(guard);  // nothing published: returns immediately
+  bool retracted = false;
+  EXPECT_EQ(ind.try_enter(ResourceSet(4, {1}), &retracted), nullptr);
+  // Disjoint resources are unaffected by the writer.
+  ReaderIndicator::GrantSlot* g =
+      ind.try_enter(ResourceSet(4, {0}), &retracted);
+  ASSERT_NE(g, nullptr);
+  ind.exit(g);
+  ind.writer_depart(guard);
+  g = ind.try_enter(ResourceSet(4, {1}), &retracted);
+  ASSERT_NE(g, nullptr);
+  ind.exit(g);
+}
+
+TEST(ReaderIndicator, SweepWaitsForPublishedReader) {
+  ReaderIndicator ind(2);
+  bool retracted = false;
+  ReaderIndicator::GrantSlot* g =
+      ind.try_enter(ResourceSet(2, {0}), &retracted);
+  ASSERT_NE(g, nullptr);
+  const ResourceSet guard(2, {0});
+  ind.writer_arrive(guard);
+  std::atomic<bool> swept{false};
+  std::thread writer([&] {
+    ind.writer_sweep(guard);
+    swept.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(2ms);
+  EXPECT_FALSE(swept.load(std::memory_order_acquire));
+  ind.exit(g);  // reader leaves: the sweep must now complete
+  writer.join();
+  EXPECT_TRUE(swept.load(std::memory_order_acquire));
+  ind.writer_depart(guard);
+}
+
+// ------------------------------------------------------------ spin lock ----
+
+TEST(IndicatorSpin, FastGrantBypassesEngineAndCounts) {
+  SpinRwRnlp lock(4);
+  lock.enable_reader_indicator();
+  EXPECT_TRUE(lock.reader_indicator_enabled());
+  const LockToken tok = lock.acquire(ResourceSet(4, {0, 1}), ResourceSet(4));
+  EXPECT_EQ(tok.id, kIndicatorToken);
+  // Production grants are engine-invisible: exclusion is enforced at the
+  // indicator layer, not by engine queues.
+  EXPECT_EQ(lock.engine_for_test().incomplete_count(), 0u);
+  lock.release(tok);
+  const HealthReport hr = lock.health_report();
+  EXPECT_EQ(hr.indicator_fast_hits, 1u);
+  EXPECT_EQ(hr.acquired, 1u);
+}
+
+TEST(IndicatorSpin, WriterSweepCountsAndReadFallsBack) {
+  SpinRwRnlp lock(4);
+  lock.enable_reader_indicator();
+  const LockToken w = lock.acquire(ResourceSet(4), ResourceSet(4, {2}));
+  EXPECT_NE(w.id, kIndicatorToken);
+  // Reader overlapping the writer's guard domain: declined at the pre-check
+  // (writer present), served through the classic engine path instead.
+  const LockToken r = lock.acquire(ResourceSet(4, {3}), ResourceSet(4));
+  EXPECT_EQ(r.id, kIndicatorToken);  // disjoint resource: still fast
+  lock.release(r);
+  lock.release(w);
+  const HealthReport hr = lock.health_report();
+  EXPECT_GE(hr.indicator_sweeps, 1u);
+  // After the writer departs, the same footprint is fast again.
+  const LockToken r2 = lock.acquire(ResourceSet(4, {2}), ResourceSet(4));
+  EXPECT_EQ(r2.id, kIndicatorToken);
+  lock.release(r2);
+}
+
+TEST(IndicatorSpin, TimedWriterDepartsOnTimeout) {
+  SpinRwRnlp lock(2);
+  lock.enable_reader_indicator();
+  std::atomic<bool> holder_ready{false};
+  std::atomic<bool> timed_done{false};
+  std::thread holder([&] {
+    const LockToken tok = lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+    holder_ready.store(true, std::memory_order_release);
+    while (!timed_done.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    lock.release(tok);
+  });
+  while (!holder_ready.load(std::memory_order_acquire))
+    std::this_thread::yield();
+  // Timed writer against the held resource, deadline already expired: the
+  // request is withdrawn and — critically — its writer-present mark must be
+  // withdrawn with it.
+  const auto expired = std::chrono::steady_clock::now() - 1ms;
+  EXPECT_FALSE(
+      lock.try_lock_until(ResourceSet(2), ResourceSet(2, {0}), expired)
+          .has_value());
+  timed_done.store(true, std::memory_order_release);
+  holder.join();
+  // Both writers gone: the fast path must work again.
+  const LockToken r = lock.acquire(ResourceSet(2, {0}), ResourceSet(2));
+  EXPECT_EQ(r.id, kIndicatorToken);
+  lock.release(r);
+}
+
+TEST(IndicatorSpin, UpgradeableQuartetGuards) {
+  SpinRwRnlp lock(2);
+  lock.enable_reader_indicator();
+  // abandon() path.
+  SpinRwRnlp::UpgradeToken u1 =
+      lock.acquire_upgradeable(ResourceSet(2, {0}));
+  if (u1.write_mode) {
+    lock.release_upgraded(u1);
+  } else {
+    lock.abandon(u1);
+  }
+  // upgrade() + release_upgraded() path.
+  SpinRwRnlp::UpgradeToken u2 =
+      lock.acquire_upgradeable(ResourceSet(2, {0}));
+  if (!u2.write_mode) lock.upgrade(u2);
+  lock.release_upgraded(u2);
+  // The guard departed both times: read fast path must succeed.
+  const LockToken r = lock.acquire(ResourceSet(2, {0}), ResourceSet(2));
+  EXPECT_EQ(r.id, kIndicatorToken);
+  lock.release(r);
+  EXPECT_GE(lock.health_report().indicator_sweeps, 2u);
+}
+
+// Seqlock-style exclusion invariant under reader/writer pressure: every
+// writer makes its per-resource counter odd for the critical section, and a
+// reader observing an odd counter on a resource it read-holds proves a
+// writer ran inside a reader's critical section.  This is the primary TSan
+// stress surface for the publish/re-check vs arrive/sweep race.
+template <typename Lock>
+void run_exclusion_stress(Lock& lock, std::size_t q, int iters,
+                          int num_readers, int num_writers) {
+  std::vector<std::atomic<std::uint64_t>> seq(q);
+  for (auto& s : seq) s.store(0);
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < num_readers; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < iters; ++k) {
+        const std::size_t a = static_cast<std::size_t>(t + k) % q;
+        const std::size_t b = static_cast<std::size_t>(t + 3 * k + 1) % q;
+        ResourceSet reads(q, {a});
+        reads.set(b);
+        const LockToken tok = lock.acquire(reads, ResourceSet(q));
+        if ((seq[a].load(std::memory_order_relaxed) & 1) != 0 ||
+            (seq[b].load(std::memory_order_relaxed) & 1) != 0)
+          violation.store(true, std::memory_order_relaxed);
+        lock.release(tok);
+      }
+    });
+  }
+  for (int t = 0; t < num_writers; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < iters; ++k) {
+        const std::size_t w = static_cast<std::size_t>(5 * t + 7 * k) % q;
+        const LockToken tok =
+            lock.acquire(ResourceSet(q), ResourceSet(q, {w}));
+        seq[w].fetch_add(1, std::memory_order_relaxed);  // now odd
+        seq[w].fetch_add(1, std::memory_order_relaxed);  // even again
+        lock.release(tok);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation.load()) << "writer ran inside a reader's section";
+}
+
+TEST(IndicatorSpin, ExclusionStress) {
+  SpinRwRnlp lock(4);
+  lock.enable_reader_indicator();
+  run_exclusion_stress(lock, 4, 400, 3, 2);
+  const HealthReport hr = lock.health_report();
+  EXPECT_GT(hr.indicator_sweeps, 0u);
+  EXPECT_EQ(lock.engine_for_test().incomplete_count(), 0u);
+}
+
+TEST(IndicatorSpin, ExclusionStressWithCombining) {
+  SpinRwRnlp lock(4, rsm::WriteExpansion::ExpandDomain,
+                  /*reads_as_writes=*/false, /*combining=*/true);
+  lock.enable_reader_indicator();
+  run_exclusion_stress(lock, 4, 400, 3, 2);
+  EXPECT_EQ(lock.engine_for_test().incomplete_count(), 0u);
+}
+
+TEST(IndicatorSpin, ReadOnlyPhaseIsAllFastHits) {
+  SpinRwRnlp lock(4);
+  lock.enable_reader_indicator();
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kIters; ++k) {
+        const LockToken tok = lock.acquire(
+            ResourceSet(4, {static_cast<std::size_t>(t + k) % 4}),
+            ResourceSet(4));
+        lock.release(tok);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // No writer ever arrived: every single acquisition must have taken the
+  // mutex-free path (modulo grant-slot exhaustion, impossible at 4 threads).
+  const HealthReport hr = lock.health_report();
+  EXPECT_EQ(hr.indicator_fast_hits, 4u * kIters);
+  EXPECT_EQ(hr.indicator_retractions, 0u);
+  EXPECT_EQ(hr.indicator_sweeps, 0u);
+}
+
+// --------------------------------------------------------- suspend lock ----
+
+TEST(IndicatorSuspend, FastGrantAndCounters) {
+  SuspendRwRnlp lock(4);
+  lock.enable_reader_indicator();
+  const LockToken tok = lock.acquire(ResourceSet(4, {1}), ResourceSet(4));
+  EXPECT_EQ(tok.id, kIndicatorToken);
+  lock.release(tok);
+  const HealthReport hr = lock.health_report();
+  EXPECT_EQ(hr.indicator_fast_hits, 1u);
+  EXPECT_EQ(hr.acquired, 1u);
+  EXPECT_EQ(lock.pending_satisfied_count(), 0u);
+}
+
+TEST(IndicatorSuspend, ExclusionStress) {
+  SuspendRwRnlp lock(4);
+  lock.enable_reader_indicator();
+  run_exclusion_stress(lock, 4, 300, 3, 2);
+  EXPECT_EQ(lock.engine_for_test().incomplete_count(), 0u);
+  EXPECT_EQ(lock.blocked_waiters(), 0u);
+}
+
+// --------------------------------------------------------- sharded lock ----
+
+TEST(IndicatorSharded, CrossShardCombiningStress) {
+  ShardedRwRnlp lock(4, {ResourceSet(4, {0, 1}), ResourceSet(4, {2, 3})});
+  lock.enable_reader_indicators();
+  lock.enable_cross_shard_combining();
+  EXPECT_TRUE(lock.reader_indicators_enabled());
+  EXPECT_TRUE(lock.cross_shard_combining_enabled());
+
+  std::vector<std::atomic<std::uint64_t>> seq(4);
+  for (auto& s : seq) s.store(0);
+  std::atomic<bool> violation{false};
+  constexpr int kIters = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kIters; ++k) {
+        // Stay inside one component per request (routing requirement):
+        // component = (t + k) % 2, resources {2c, 2c+1}.
+        const std::size_t c = static_cast<std::size_t>(t + k) % 2;
+        const std::size_t l0 = 2 * c, l1 = 2 * c + 1;
+        if ((t + k) % 3 == 0) {  // writer
+          const LockToken tok =
+              lock.acquire(ResourceSet(4), ResourceSet(4, {l0}));
+          seq[l0].fetch_add(1, std::memory_order_relaxed);
+          seq[l0].fetch_add(1, std::memory_order_relaxed);
+          lock.release(tok);
+        } else {  // reader over both component resources
+          ResourceSet reads(4, {l0});
+          reads.set(l1);
+          const LockToken tok = lock.acquire(reads, ResourceSet(4));
+          if ((seq[l0].load(std::memory_order_relaxed) & 1) != 0 ||
+              (seq[l1].load(std::memory_order_relaxed) & 1) != 0)
+            violation.store(true, std::memory_order_relaxed);
+          lock.release(tok);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation.load()) << "cross-shard exclusion violated";
+  for (std::size_t c = 0; c < lock.num_components(); ++c)
+    EXPECT_EQ(lock.shard(c).engine_for_test().incomplete_count(), 0u);
+  const HealthReport hr = lock.health_report();
+  EXPECT_GT(hr.indicator_fast_hits, 0u);
+  EXPECT_GT(hr.indicator_sweeps, 0u);
+  // Writers went through the global board: the cross combiner really ran.
+  EXPECT_GT(hr.batches_combined, 0u);
+  EXPECT_EQ(hr.acquired, 6u * kIters);
+}
+
+TEST(IndicatorSharded, IndicatorTokenRoutesThroughOwningShard) {
+  ShardedRwRnlp lock(4, {ResourceSet(4, {0, 1}), ResourceSet(4, {2, 3})});
+  lock.enable_reader_indicators();
+  // Without cross-shard combining: the shard path must not clobber the
+  // grant-slot pointer in the token.
+  const LockToken r0 = lock.acquire(ResourceSet(4, {0}), ResourceSet(4));
+  const LockToken r1 = lock.acquire(ResourceSet(4, {3}), ResourceSet(4));
+  EXPECT_EQ(r0.id, kIndicatorToken);
+  EXPECT_EQ(r1.id, kIndicatorToken);
+  lock.release(r0);
+  lock.release(r1);
+  EXPECT_EQ(lock.health_report().indicator_fast_hits, 2u);
+}
+
+}  // namespace
+}  // namespace rwrnlp::locks

@@ -699,5 +699,223 @@ TEST(Explorer, InjectedViolationAfterCancellationIsReplayable) {
   EXPECT_FALSE(replay(factory, res.original_token).empty());
 }
 
+// ------------------------------------------------- reader indicator ------
+
+// Exhaustive sweep of the indicator-enabled spin front end over the
+// canonical writer/reader collision.  The IndicatorPublish yield point sits
+// between a reader's stripe publish and its writer-present re-check, and
+// IndicatorSweep parks the writer while stripes drain — so the enumerated
+// space contains, among others, the exact race the design section proves
+// safe: the writer arrives *between* publish and re-check, the reader
+// retracts, and its acquisition falls back to the slow path.  Every
+// schedule must replay byte-identically (retracted publishes leave no log
+// record at all — that is the R1-equivalence claim), and the aggregate
+// counters prove both the fast-grant and the retract outcome were actually
+// reached.
+TEST(ExplorerIndicator, ExhaustiveRetractRaceReplaysByteEqual) {
+  auto fast_hits = std::make_shared<std::atomic<std::uint64_t>>(0);
+  auto retractions = std::make_shared<std::atomic<std::uint64_t>>(0);
+  const ScenarioFactory factory = [fast_hits, retractions] {
+    auto st =
+        std::make_shared<SpinState>(2, rsm::WriteExpansion::ExpandDomain);
+    st->lock.enable_reader_indicator();
+    st->lock.engine_for_test().set_trace_recording(true);
+    st->lock.set_invocation_log(&st->log);
+    ScenarioRun run;
+    run.bodies.push_back([st] {  // A: write l0 (arrive -> sweep -> admit)
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+      st->lock.release(tok);
+    });
+    run.bodies.push_back([st] {  // B: read {l0, l1} through the indicator
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(2, {0, 1}), ResourceSet(2));
+      st->lock.release(tok);
+    });
+    OracleOptions oo;
+    oo.num_threads = 2;
+    oo.ops_per_thread = 1;
+    run.check = [st, oo, fast_hits, retractions] {
+      verify_replay(st->lock.engine_for_test(), st->log, oo);
+      const locks::HealthReport hr = st->lock.health_report();
+      fast_hits->fetch_add(hr.indicator_fast_hits);
+      retractions->fetch_add(hr.indicator_retractions);
+      rsm::Engine& eng = st->lock.engine_for_test();
+      if (eng.incomplete_count() != 0)
+        throw std::logic_error("engine not drained after the schedule");
+      if (st->lock.indicator()->published_total() != 0)
+        throw std::logic_error("indicator cell leaked after the schedule");
+    };
+    return run;
+  };
+  ExhaustiveStrategy strategy;
+  ExploreOptions opt;
+  opt.max_schedules = 400000;
+  const ExploreResult res = explore(factory, strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_TRUE(res.exhausted) << "state space not fully enumerated";
+  EXPECT_GT(res.schedules, 10u);
+  // Both outcomes of the publish/re-check window were explored: schedules
+  // where the reader won (fast grant) and schedules where the writer's
+  // arrival forced a retract + slow-path fallback.
+  EXPECT_GT(fast_hits->load(), 0u);
+  EXPECT_GT(retractions->load(), 0u);
+}
+
+// The same collision on the suspension variant (futex-backed slow path,
+// same indicator layer).
+TEST(ExplorerIndicator, ExhaustiveSuspendRetractRace) {
+  auto retractions = std::make_shared<std::atomic<std::uint64_t>>(0);
+  const ScenarioFactory factory = [retractions] {
+    auto st = std::make_shared<SuspendState>(2);
+    st->lock.enable_reader_indicator();
+    st->lock.engine_for_test().set_trace_recording(true);
+    st->lock.set_invocation_log(&st->log);
+    ScenarioRun run;
+    run.bodies.push_back([st] {
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+      st->lock.release(tok);
+    });
+    run.bodies.push_back([st] {
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(2, {0, 1}), ResourceSet(2));
+      st->lock.release(tok);
+    });
+    OracleOptions oo;
+    oo.num_threads = 2;
+    oo.ops_per_thread = 1;
+    run.check = [st, oo, retractions] {
+      verify_replay(st->lock.engine_for_test(), st->log, oo);
+      retractions->fetch_add(
+          st->lock.health_report().indicator_retractions);
+    };
+    return run;
+  };
+  ExhaustiveStrategy strategy;
+  ExploreOptions opt;
+  opt.max_schedules = 400000;
+  const ExploreResult res = explore(factory, strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GT(retractions->load(), 0u);
+}
+
+// Writer pair racing one indicator reader: covers sweeps overlapping
+// (two writers parked at IndicatorSweep on the same stripe) and the
+// depart-then-sweep hand-off between consecutive writers.
+TEST(ExplorerIndicator, PreemptionBoundedWriterPairWithReader) {
+  PreemptionBoundedStrategy strategy(1);
+  ExploreOptions opt;
+  opt.max_schedules = 400000;
+  auto fast_hits = std::make_shared<std::atomic<std::uint64_t>>(0);
+  const ScenarioFactory factory = [fast_hits] {
+    auto st =
+        std::make_shared<SpinState>(2, rsm::WriteExpansion::Placeholders);
+    st->lock.enable_reader_indicator();
+    st->lock.engine_for_test().set_trace_recording(true);
+    st->lock.set_invocation_log(&st->log);
+    ScenarioRun run;
+    run.bodies.push_back([st] {
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+      st->lock.release(tok);
+    });
+    run.bodies.push_back([st] {
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+      st->lock.release(tok);
+    });
+    run.bodies.push_back([st] {
+      const locks::LockToken tok =
+          st->lock.acquire(ResourceSet(2, {0}), ResourceSet(2));
+      st->lock.release(tok);
+    });
+    OracleOptions oo;
+    oo.num_threads = 3;
+    oo.ops_per_thread = 1;
+    run.check = [st, oo, fast_hits] {
+      verify_replay(st->lock.engine_for_test(), st->log, oo);
+      fast_hits->fetch_add(st->lock.health_report().indicator_fast_hits);
+    };
+    return run;
+  };
+  const ExploreResult res = explore(factory, strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_GT(res.schedules, 10u);
+  EXPECT_GT(fast_hits->load(), 0u);
+}
+
+// Cross-shard combining under random walks: writers from both components
+// share one global announcement board; the census invariant (per-resource
+// reader/writer exclusion) must hold on every schedule, and each shard's
+// engine must drain.
+TEST(ExplorerIndicator, RandomWalkCrossShardCombiningCensus) {
+  struct XState {
+    locks::ShardedRwRnlp lock;
+    std::atomic<int> census[2];
+    std::atomic<bool> violation{false};
+    XState() : lock(2, {ResourceSet(2, {0}), ResourceSet(2, {1})}) {
+      lock.enable_reader_indicators();
+      lock.enable_cross_shard_combining();
+      census[0] = 0;
+      census[1] = 0;
+    }
+    void enter(ResourceId r, bool write) {
+      if (write) {
+        int expected = 0;
+        if (!census[r].compare_exchange_strong(expected, -1))
+          violation.store(true);
+      } else {
+        if (census[r].fetch_add(1) < 0) violation.store(true);
+      }
+    }
+    void exit(ResourceId r, bool write) {
+      if (write) {
+        census[r].store(0);
+      } else {
+        census[r].fetch_sub(1);
+      }
+    }
+  };
+  const ScenarioFactory factory = [] {
+    auto st = std::make_shared<XState>();
+    const auto section = [st](bool write, ResourceId r) {
+      const ResourceSet rs(2, {r});
+      const ResourceSet none(2);
+      const locks::LockToken tok =
+          write ? st->lock.acquire(none, rs) : st->lock.acquire(rs, none);
+      st->enter(r, write);
+      st->exit(r, write);
+      st->lock.release(tok);
+    };
+    ScenarioRun run;
+    run.bodies.push_back([section] {
+      section(true, 0);
+      section(false, 1);
+    });
+    run.bodies.push_back([section] {
+      section(false, 0);
+      section(true, 1);
+    });
+    run.check = [st] {
+      if (st->violation.load())
+        throw std::logic_error("census: reader/writer exclusion violated");
+      for (std::size_t c = 0; c < st->lock.num_components(); ++c)
+        if (st->lock.shard(c).engine_for_test().incomplete_count() != 0)
+          throw std::logic_error("shard engine not drained");
+    };
+    return run;
+  };
+  RandomStrategy strategy(/*seed=*/7, /*num_schedules=*/40);
+  const ExploreResult res = explore(factory, strategy);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_EQ(res.schedules, 40u);
+}
+
 }  // namespace
 }  // namespace rwrnlp::testing

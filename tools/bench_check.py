@@ -2,25 +2,34 @@
 """Bench regression gate for BENCH_hotpath.json-style reports.
 
 Compares a fresh benchmark report against a baseline (typically the
-committed BENCH_hotpath.json) and fails if throughput regressed by more
-than the threshold at ANY (lock, workload, threads) point:
+committed BENCH_hotpath.json) and fails if, at ANY (lock, workload,
+threads) point:
 
-    fresh_ops_per_sec < baseline_ops_per_sec * (1 - threshold)
+  * throughput regressed by more than --threshold:
+        fresh_ops_per_sec < baseline_ops_per_sec * (1 - threshold)
+  * tail latency regressed by more than --p99-threshold:
+        fresh_p99_ns > baseline_p99_ns * (1 + p99_threshold)
+    (only when both reports carry p99_ns for the point — older baselines
+    without tail data skip the tail gate rather than fail it).
 
 Points present in the baseline but missing from the fresh report are
 failures too (a silently dropped configuration is the worst regression).
 Points only in the fresh report (new lock configs) are reported but never
 fail the gate.
 
+After the point-by-point listing a per-config delta table summarizes the
+worst throughput and tail movement for each lock config, so a regression
+confined to one front end is visible at a glance.
+
 Usage:
-    tools/bench_check.py BASELINE.json FRESH.json [--threshold 0.30]
+    tools/bench_check.py BASELINE.json FRESH.json \
+        [--threshold 0.30] [--p99-threshold 0.30]
 
-Exit code 0 = no regression, 1 = regression or missing point, 2 = bad input.
-
-Caveats: ops_per_sec across *machines* is not comparable — use this to
-compare runs from the same host (e.g. a short pre-change run vs a short
-post-change run in the same CI job), and keep the threshold loose enough
-to absorb scheduler noise at contended thread counts.
+Exit code 0 = no regression, 1 = regression or missing point, 2 = bad
+input (including reports from hosts with different cpu counts — ops/s
+and tail latencies across machine shapes are not comparable, so gating
+them would be noise; regenerate the baseline on the current host
+instead).
 """
 
 import argparse
@@ -28,8 +37,8 @@ import json
 import sys
 
 
-def load_points(path):
-    """Returns {(lock, workload, threads): ops_per_sec} from a bench report."""
+def load_report(path):
+    """Returns ({(lock, workload, threads): (ops_per_sec, p99_ns|None)}, cpus|None)."""
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -44,12 +53,15 @@ def load_points(path):
     for row in rows:
         try:
             key = (row["lock"], row["workload"], int(row["threads"]))
-            points[key] = float(row["ops_per_sec"])
+            p99 = row.get("p99_ns")
+            points[key] = (float(row["ops_per_sec"]),
+                           float(p99) if p99 is not None else None)
         except (KeyError, TypeError, ValueError) as e:
             print(f"bench_check: malformed row {row!r} in {path}: {e}",
                   file=sys.stderr)
             sys.exit(2)
-    return points
+    cpus = doc.get("cpus")
+    return points, (int(cpus) if cpus is not None else None)
 
 
 def main():
@@ -57,16 +69,46 @@ def main():
     ap.add_argument("baseline", help="baseline bench JSON")
     ap.add_argument("fresh", help="fresh bench JSON to gate")
     ap.add_argument("--threshold", type=float, default=0.30,
-                    help="max allowed fractional regression (default 0.30)")
+                    help="max allowed fractional ops/s regression "
+                         "(default 0.30)")
+    ap.add_argument("--p99-threshold", type=float, default=0.30,
+                    help="max allowed fractional p99 latency increase "
+                         "(default 0.30)")
     args = ap.parse_args()
     if not 0.0 <= args.threshold < 1.0:
         print("bench_check: --threshold must be in [0, 1)", file=sys.stderr)
         return 2
+    if args.p99_threshold < 0.0:
+        print("bench_check: --p99-threshold must be >= 0", file=sys.stderr)
+        return 2
 
-    base = load_points(args.baseline)
-    fresh = load_points(args.fresh)
+    base, base_cpus = load_report(args.baseline)
+    fresh, fresh_cpus = load_report(args.fresh)
+
+    if base_cpus is not None and fresh_cpus is not None:
+        if base_cpus != fresh_cpus:
+            print(f"bench_check: baseline ran on {base_cpus} cpu(s) but "
+                  f"fresh report ran on {fresh_cpus} — cross-machine "
+                  "numbers are not gateable; regenerate the baseline on "
+                  "this host", file=sys.stderr)
+            return 2
+    elif base_cpus is None or fresh_cpus is None:
+        print("bench_check: warning: report(s) lack a 'cpus' field; "
+              "cannot confirm both ran on the same machine shape",
+              file=sys.stderr)
 
     failures = []
+    # Per-config worst-case movement: config -> [worst ops ratio, worst p99
+    # ratio (fresh/base, higher is worse), #points].
+    deltas = {}
+
+    def note(lock, ops_ratio, p99_ratio):
+        d = deltas.setdefault(lock, [float("inf"), 0.0, 0])
+        d[0] = min(d[0], ops_ratio)
+        if p99_ratio is not None:
+            d[1] = max(d[1], p99_ratio)
+        d[2] += 1
+
     for key in sorted(base):
         lock, workload, threads = key
         name = f"{lock}/{workload}/{threads}t"
@@ -74,30 +116,56 @@ def main():
             failures.append(f"MISSING  {name}: in baseline but not in fresh "
                             "report")
             continue
-        floor = base[key] * (1.0 - args.threshold)
-        if fresh[key] < floor:
-            ratio = fresh[key] / base[key] if base[key] > 0 else float("inf")
+        base_ops, base_p99 = base[key]
+        fresh_ops, fresh_p99 = fresh[key]
+        ops_ratio = fresh_ops / base_ops if base_ops > 0 else float("inf")
+        p99_ratio = (fresh_p99 / base_p99
+                     if base_p99 and fresh_p99 is not None else None)
+        note(lock, ops_ratio, p99_ratio)
+
+        ok = True
+        if fresh_ops < base_ops * (1.0 - args.threshold):
             failures.append(
-                f"REGRESS  {name}: {fresh[key]:,.0f} ops/s vs baseline "
-                f"{base[key]:,.0f} ({ratio:.2f}x, floor {floor:,.0f})")
-        else:
-            ratio = fresh[key] / base[key] if base[key] > 0 else float("inf")
-            print(f"ok       {name}: {fresh[key]:,.0f} ops/s "
-                  f"({ratio:.2f}x baseline)")
+                f"REGRESS  {name}: {fresh_ops:,.0f} ops/s vs baseline "
+                f"{base_ops:,.0f} ({ops_ratio:.2f}x, floor "
+                f"{base_ops * (1.0 - args.threshold):,.0f})")
+            ok = False
+        if p99_ratio is not None and \
+                fresh_p99 > base_p99 * (1.0 + args.p99_threshold):
+            failures.append(
+                f"TAIL     {name}: p99 {fresh_p99:,.0f} ns vs baseline "
+                f"{base_p99:,.0f} ({p99_ratio:.2f}x, ceiling "
+                f"{base_p99 * (1.0 + args.p99_threshold):,.0f})")
+            ok = False
+        if ok:
+            tail = f", p99 {p99_ratio:.2f}x" if p99_ratio is not None else ""
+            print(f"ok       {name}: {fresh_ops:,.0f} ops/s "
+                  f"({ops_ratio:.2f}x baseline{tail})")
 
     for key in sorted(set(fresh) - set(base)):
         lock, workload, threads = key
-        print(f"new      {lock}/{workload}/{threads}t: {fresh[key]:,.0f} "
-              "ops/s (no baseline, not gated)")
+        print(f"new      {lock}/{workload}/{threads}t: "
+              f"{fresh[key][0]:,.0f} ops/s (no baseline, not gated)")
+
+    if deltas:
+        print("\nper-config worst deltas (fresh/baseline):")
+        print(f"  {'config':<18} {'worst ops':>10} {'worst p99':>10} "
+              f"{'points':>7}")
+        for lock in sorted(deltas):
+            worst_ops, worst_p99, n = deltas[lock]
+            p99_s = f"{worst_p99:.2f}x" if worst_p99 > 0 else "n/a"
+            print(f"  {lock:<18} {worst_ops:>9.2f}x {p99_s:>10} {n:>7}")
 
     if failures:
-        print(f"\nbench_check: {len(failures)} failure(s) at threshold "
-              f"{args.threshold:.0%}:", file=sys.stderr)
+        print(f"\nbench_check: {len(failures)} failure(s) at thresholds "
+              f"ops {args.threshold:.0%} / p99 {args.p99_threshold:.0%}:",
+              file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
     print(f"\nbench_check: all {len(base)} baseline points within "
-          f"{args.threshold:.0%} — no regression")
+          f"ops {args.threshold:.0%} / p99 {args.p99_threshold:.0%} — "
+          "no regression")
     return 0
 
 
