@@ -1,11 +1,14 @@
 // Hot-path benchmark: ns/op and allocations/op for the concurrent R/W RNLP.
 //
-// Compares seven configurations of the same protocol on identical workloads:
+// Compares eight configurations of the same protocol on identical workloads:
 //
 //   baseline   SpinRwRnlp with the uncontended-read fast path disabled —
 //              every acquire runs the full entitlement/satisfaction fixpoint
 //              under one global ticket lock (the pre-optimization hot path).
 //   fastpath   SpinRwRnlp with the fast path enabled.
+//   adaptive   AdaptiveRwRnlp: the same fast path over the spin-then-park
+//              wait policy (bounded pre-park spin, then the cv path) — the
+//              new matrix cell, benchmarked against its pure-spin sibling.
 //   combined   SpinRwRnlp routing invocations through the flat-combining
 //              broker: contending threads publish to per-thread slots and
 //              the mutex winner applies the whole batch in one critical
@@ -241,6 +244,10 @@ std::unique_ptr<MultiResourceLock> make_fastpath() {
   return std::make_unique<SpinRwRnlp>(kQ);
 }
 
+std::unique_ptr<MultiResourceLock> make_adaptive() {
+  return std::make_unique<locks::AdaptiveRwRnlp>(kQ);
+}
+
 std::unique_ptr<MultiResourceLock> make_combined() {
   return std::make_unique<SpinRwRnlp>(kQ, rsm::WriteExpansion::ExpandDomain,
                                       /*reads_as_writes=*/false,
@@ -319,6 +326,7 @@ int main(int argc, char** argv) {
   const LockConfig kConfigs[] = {
       {"baseline", make_baseline},
       {"fastpath", make_fastpath},
+      {"adaptive", make_adaptive},
       {"combined", make_combined},
       {"readfast", make_readfast},
       {"sharded", make_sharded},

@@ -45,6 +45,11 @@ namespace rwrnlp::locks {
 /// neighbouring waiter's line (false-sharing audit, PR 4).
 struct alignas(64) SatisfactionFlag {
   std::atomic<bool> satisfied{false};
+  /// Set while the owner sleeps on its front end's condition variable, so
+  /// the satisfaction callback knows whether a broadcast is owed.  Written
+  /// and read only under the owning front end's mutex; spin-policy cells
+  /// never touch it.
+  bool sleeping = false;
 };
 static_assert(sizeof(SatisfactionFlag) == 64 && alignof(SatisfactionFlag) == 64,
               "satisfaction flags must own their cache line");

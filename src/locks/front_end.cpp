@@ -1,0 +1,28 @@
+// Explicit instantiations of the enabled front-end matrix cells.
+//
+// Everything in FrontEnd is header-defined (the policies select code with
+// `if constexpr`, so each cell needs its own instantiation anyway); this TU
+// exists to (a) keep rwrnlp_locks a non-empty static library and (b) compile
+// every enabled cell once, so a template error in any cell breaks the
+// library build instead of whichever test happens to instantiate it first.
+// Tests may still implicitly instantiate additional cells — the header
+// deliberately carries no `extern template` declarations.
+#include "locks/front_end.hpp"
+
+namespace rwrnlp::locks {
+
+// WaitPolicy x PathPolicy over the flat topology.
+template class FrontEnd<SpinWaitPolicy, path::Classic, topo::Flat>;
+template class FrontEnd<SpinWaitPolicy, path::Fast, topo::Flat>;
+template class FrontEnd<SpinWaitPolicy, path::Combining, topo::Flat>;
+template class FrontEnd<SuspendWaitPolicy, path::Classic, topo::Flat>;
+template class FrontEnd<SuspendWaitPolicy, path::Fast, topo::Flat>;
+template class FrontEnd<SuspendWaitPolicy, path::Combining, topo::Flat>;
+template class FrontEnd<AdaptiveWaitPolicy, path::Fast, topo::Flat>;
+template class FrontEnd<AdaptiveWaitPolicy, path::Combining, topo::Flat>;
+
+// Sharded topology cells.
+template class FrontEnd<SpinWaitPolicy, path::Fast, topo::Sharded>;
+template class FrontEnd<SuspendWaitPolicy, path::Classic, topo::Sharded>;
+
+}  // namespace rwrnlp::locks

@@ -1,0 +1,1869 @@
+// Policy-based R/W RNLP front-end matrix.
+//
+// The paper presents one protocol; the repo used to carry three hand-written
+// concurrent wrappers around the RSM engine (SpinRwRnlp, SuspendRwRnlp,
+// ShardedRwRnlp) that each re-implemented wakeup, cancel/timeout, health,
+// combining, and reader-indicator wiring.  Those axes are orthogonal, so the
+// three classes are now cells of one template:
+//
+//   FrontEnd<WaitPolicy, PathPolicy, TopologyPolicy>
+//
+//  * WaitPolicy — how an unsatisfied request waits for its satisfaction
+//    flag: SpinWaitPolicy (Rule S1 busy-wait on a TicketMutex-serialized
+//    engine), SuspendWaitPolicy (condition-variable sleep under std::mutex,
+//    the Sec. 3.8 flavour), or AdaptiveWaitPolicy (bounded spin, then
+//    sleep).  The policy also fixes where the schedule-test yield points
+//    sit: a TicketMutex holder may park at a yield point, so spin cells
+//    yield *inside* the mutex; a std::mutex holder must never park, so
+//    suspension cells yield *before* it (see YieldPoint docs).
+//  * PathPolicy — the compile-time default for the issue path: Classic
+//    (full fixpoint for every issue), Fast (uncontended-read one-step R1
+//    fast path), Combining (fast path + flat-combining broker by default).
+//    All cells share one runtime code path; the policy only picks initial
+//    values, so A/B toggles (set_read_fast_path, the combining ctor flag)
+//    keep working on every cell.
+//  * TopologyPolicy — Flat (one engine) or Sharded (one engine per
+//    read-share-closed component, cross-shard combining optional).
+//
+// The historical classes are type aliases over the matrix (SpinRwRnlp,
+// SuspendRwRnlp, ShardedRwRnlp below) and keep their exact public API and —
+// for the spin cells — their exact invocation traces: the matrix
+// conformance suite (tests/matrix_conformance_test.cpp) replays every cell's
+// log through the RSM oracle and checks the spin cells byte-equal against
+// pre-refactor golden logs.  AdaptiveRwRnlp is the proof that a new cell is
+// a type alias, not a reimplementation.
+//
+// Wakeup discipline (cv cells): the satisfaction callback runs inside an
+// engine invocation with the internal mutex held; it raises wake_pending_
+// only when the satisfied request's waiter is actually *sleeping* on the
+// condition variable.  Whichever thread performed the invocation consumes
+// the flag before unlocking and broadcasts after — releases that satisfy
+// nobody wake no one, exactly the old SuspendRwRnlp discipline.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "locks/combining_broker.hpp"
+#include "locks/health.hpp"
+#include "locks/invocation_log.hpp"
+#include "locks/multi_lock.hpp"
+#include "locks/reader_indicator.hpp"
+#include "locks/ticket_mutex.hpp"
+#include "locks/yield_point.hpp"
+#include "rsm/engine.hpp"
+#include "util/assert.hpp"
+
+namespace rwrnlp::locks {
+
+// ---------------------------------------------------------------------------
+// Wait policies
+// ---------------------------------------------------------------------------
+
+/// Rule S1 busy-waiting on per-request satisfaction flags; the engine is
+/// serialized by a short TicketMutex.  Exposes the reads-as-writes baseline
+/// (the original mutex RNLP [19]) through its constructor.
+struct SpinWaitPolicy {
+  using Mutex = TicketMutex;
+  static constexpr bool kUsesCv = false;
+  static constexpr bool kYieldBeforeMutex = false;
+  static constexpr bool kCombinerYield = true;
+  static constexpr bool kExposesReadsAsWrites = true;
+  static constexpr rsm::WriteExpansion kDefaultExpansion =
+      rsm::WriteExpansion::ExpandDomain;
+  static constexpr const char* kNameSuffix = "";
+  static constexpr int kSpinBudget = 0;
+};
+
+/// Suspension-based waiting (Sec. 3.8 flavour): blocked threads sleep on a
+/// condition variable under a std::mutex; targeted broadcasts only when a
+/// sleeping waiter was satisfied.
+struct SuspendWaitPolicy {
+  using Mutex = std::mutex;
+  static constexpr bool kUsesCv = true;
+  static constexpr bool kYieldBeforeMutex = true;
+  static constexpr bool kCombinerYield = false;
+  static constexpr bool kExposesReadsAsWrites = false;
+  static constexpr rsm::WriteExpansion kDefaultExpansion =
+      rsm::WriteExpansion::Placeholders;
+  static constexpr const char* kNameSuffix = "-suspend";
+  static constexpr int kSpinBudget = 0;
+};
+
+/// Adaptive spin-then-suspend: a bounded busy-wait (kSpinBudget backoff
+/// pauses) catches short protocol sections, then the waiter parks on the
+/// condition variable like the suspension cell.  Exists to prove a new
+/// matrix cell is a policy + alias, not a fourth front-end class.
+struct AdaptiveWaitPolicy {
+  using Mutex = std::mutex;
+  static constexpr bool kUsesCv = true;
+  static constexpr bool kYieldBeforeMutex = true;
+  static constexpr bool kCombinerYield = false;
+  static constexpr bool kExposesReadsAsWrites = false;
+  static constexpr rsm::WriteExpansion kDefaultExpansion =
+      rsm::WriteExpansion::ExpandDomain;
+  static constexpr const char* kNameSuffix = "-adaptive";
+  static constexpr int kSpinBudget = 128;
+};
+
+// ---------------------------------------------------------------------------
+// Path policies (compile-time defaults only; every knob stays runtime-
+// togglable so existing A/B benchmarks keep working on any cell)
+// ---------------------------------------------------------------------------
+
+namespace path {
+/// Full fixpoint for every issuance; no broker.
+struct Classic {
+  static constexpr bool kEngineReadFast = false;
+  static constexpr bool kCombining = false;
+};
+/// Uncontended-read one-step R1 fast path (try_issue_read_fast).
+struct Fast {
+  static constexpr bool kEngineReadFast = true;
+  static constexpr bool kCombining = false;
+};
+/// Fast path + flat-combining broker enabled by default.
+struct Combining {
+  static constexpr bool kEngineReadFast = true;
+  static constexpr bool kCombining = true;
+};
+}  // namespace path
+
+// ---------------------------------------------------------------------------
+// Topology policies
+// ---------------------------------------------------------------------------
+
+namespace topo {
+struct Flat {};
+struct Sharded {};
+}  // namespace topo
+
+template <class Wait, class Path, class Topo>
+class FrontEnd;
+
+// ---------------------------------------------------------------------------
+// Flat topology: one engine, one internal mutex
+// ---------------------------------------------------------------------------
+
+template <class Wait, class Path>
+class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
+ public:
+  using Mutex = typename Wait::Mutex;
+  using Waiter = SatisfactionFlag;
+  using Broker = CombiningBroker<Mutex>;
+
+  // --- construction (requires-gated so each alias keeps its historical
+  // --- signature exactly) -------------------------------------------------
+
+  FrontEnd(std::size_t num_resources, rsm::ReadShareTable shares,
+           rsm::WriteExpansion expansion = Wait::kDefaultExpansion,
+           bool reads_as_writes = false, bool combining = Path::kCombining)
+    requires(Wait::kExposesReadsAsWrites)
+      : FrontEnd(CtorTag{}, num_resources, std::move(shares), expansion,
+                 reads_as_writes, combining) {}
+  FrontEnd(std::size_t num_resources,
+           rsm::WriteExpansion expansion = Wait::kDefaultExpansion,
+           bool reads_as_writes = false, bool combining = Path::kCombining)
+    requires(Wait::kExposesReadsAsWrites)
+      : FrontEnd(CtorTag{}, num_resources,
+                 rsm::ReadShareTable(num_resources), expansion,
+                 reads_as_writes, combining) {}
+  FrontEnd(std::size_t num_resources, rsm::ReadShareTable shares,
+           rsm::WriteExpansion expansion = Wait::kDefaultExpansion,
+           bool combining = Path::kCombining)
+    requires(!Wait::kExposesReadsAsWrites)
+      : FrontEnd(CtorTag{}, num_resources, std::move(shares), expansion,
+                 /*reads_as_writes=*/false, combining) {}
+  explicit FrontEnd(std::size_t num_resources,
+                    rsm::WriteExpansion expansion = Wait::kDefaultExpansion,
+                    bool combining = Path::kCombining)
+    requires(!Wait::kExposesReadsAsWrites)
+      : FrontEnd(CtorTag{}, num_resources,
+                 rsm::ReadShareTable(num_resources), expansion,
+                 /*reads_as_writes=*/false, combining) {}
+
+  bool combining_enabled() const { return broker_ != nullptr; }
+
+  /// Enables the distributed reader-indicator fast path
+  /// (reader_indicator.hpp).  Configure before the first acquisition.
+  void enable_reader_indicator() {
+    if (indicator_ == nullptr)
+      indicator_ = std::make_unique<ReaderIndicator>(q_);
+  }
+  bool reader_indicator_enabled() const { return indicator_ != nullptr; }
+  ReaderIndicator* indicator() { return indicator_.get(); }
+
+  /// The indicator guard domain of a request: the read-set closure of its
+  /// needed set, which equals the engine footprint its queues occupy in
+  /// both expansion modes.  Mutex-free (the share table is immutable).
+  ResourceSet guard_domain(const ResourceSet& reads,
+                           const ResourceSet& writes) const {
+    return engine_.shares().closure(reads | writes);
+  }
+
+  /// True when `reads`/`writes` will be issued as a writer-classified
+  /// request (and must therefore arrive/sweep/depart on the indicator).
+  bool classifies_as_writer(const ResourceSet& reads,
+                            const ResourceSet& writes) const {
+    return reads_as_writes_ ? !(reads | writes).empty() : !writes.empty();
+  }
+
+  /// Bumps the writer-sweep counter (the sharded cross path runs the sweep
+  /// itself but the per-shard counters live here).
+  void count_indicator_sweep() {
+    counters_.indicator_sweeps.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Enables/disables the uncontended-read fast path *and* the indicator
+  /// fast-path attempt (the historical SpinRwRnlp gated both on one flag).
+  void set_read_fast_path(bool enabled) {
+    read_fast_path_ = enabled;
+    indicator_fast_path_ = enabled;
+  }
+
+  /// Installs watchdog/shedding knobs.  Configure before traffic starts.
+  void set_robustness_options(const RobustnessOptions& opt) {
+    std::lock_guard<Mutex> lk(mutex_);
+    robust_ = opt;
+  }
+
+  /// Installs (or clears) an invocation log; every engine invocation is
+  /// appended under the internal mutex, in engine order.  Test-only.
+  void set_invocation_log(InvocationLog* log) {
+    std::lock_guard<Mutex> lk(mutex_);
+    invocation_log_ = log;
+  }
+
+  /// Direct engine access for the schedule-exploration oracle.  Test-only.
+  rsm::Engine& engine_for_test() { return engine_; }
+
+  std::string name() const override {
+    return std::string(reads_as_writes_ ? "mutex-rnlp" : "rw-rnlp") +
+           Wait::kNameSuffix;
+  }
+  std::size_t num_resources() const override { return q_; }
+
+  // --- observability (identical counter semantics on every cell; the cv
+  // --- counters stay zero on spin cells) ----------------------------------
+
+  /// Times a sleeping waiter returned from cv wait (includes spurious
+  /// wakeups; excludes the initial blocking).
+  std::uint64_t wakeup_count() const {
+    std::lock_guard<Mutex> lk(mutex_);
+    return wakeup_count_;
+  }
+  /// Broadcasts actually issued (invocations that satisfied a sleeper).
+  std::uint64_t notify_count() const {
+    std::lock_guard<Mutex> lk(mutex_);
+    return notify_count_;
+  }
+  /// Engine satisfactions not yet consumed by their acquirer.  Zero
+  /// whenever the lock is idle — the regression guard against leaks.
+  std::size_t pending_satisfied_count() const {
+    return static_cast<std::size_t>(
+        pending_satisfied_.load(std::memory_order_relaxed));
+  }
+  /// Waiters currently asleep on the condition variable.
+  std::size_t blocked_waiters() const {
+    std::lock_guard<Mutex> lk(mutex_);
+    return blocked_waiters_;
+  }
+
+  // --- acquisition / release ----------------------------------------------
+
+  LockToken acquire(const ResourceSet& reads,
+                    const ResourceSet& writes) override {
+    if (indicator_ != nullptr) {
+      if (!classifies_as_writer(reads, writes)) {
+        // Mutex-free read fast path.  A decline/retract leaves no visible
+        // protocol state, so falling through to the slow path below is
+        // exactly the classic acquisition.
+        if (indicator_fast_path_) {
+          LockToken tok;
+          if (try_indicator_acquire(reads, &tok)) return tok;
+        }
+      } else {
+        // Writer-side revocation BEFORE admission (sweeping with the mutex
+        // held would deadlock against a log-mode fast reader that needs the
+        // mutex to record its grant).  The matching depart runs at
+        // release(); exception paths (load shedding) never produced a
+        // token, so depart here.
+        const ResourceSet guard = guard_domain(reads, writes);
+        writer_guard_enter(guard);
+        try {
+          return acquire_slow(reads, writes);
+        } catch (...) {
+          indicator_->writer_depart(guard);
+          throw;
+        }
+      }
+    }
+    return acquire_slow(reads, writes);
+  }
+
+  /// Timed acquisition with RSM-level cancellation on timeout: the waiter
+  /// waits (policy-appropriately) until satisfaction or the deadline; on
+  /// expiry it re-enters the internal mutex and *re-checks* the
+  /// satisfaction flag before invoking Engine::cancel — a grant that landed
+  /// meanwhile wins and the call reports the lock as acquired.
+  std::optional<LockToken> try_lock_until(
+      const ResourceSet& reads, const ResourceSet& writes,
+      std::chrono::steady_clock::time_point deadline) override {
+    if (indicator_ != nullptr && classifies_as_writer(reads, writes)) {
+      // Same writer guard as acquire().  The sweep may block past the
+      // deadline — acceptable for the timed API for the same reason the
+      // internal mutex acquisition may: pre-issue waits are bounded by
+      // other threads' short protocol sections (here: fast readers'
+      // critical sections), not by lock-hold times of conflicting writers.
+      const ResourceSet guard = guard_domain(reads, writes);
+      writer_guard_enter(guard);
+      try {
+        std::optional<LockToken> tok =
+            try_lock_until_slow(reads, writes, deadline);
+        if (!tok) indicator_->writer_depart(guard);  // shed or timed out
+        return tok;
+      } catch (...) {
+        indicator_->writer_depart(guard);
+        throw;
+      }
+    }
+    return try_lock_until_slow(reads, writes, deadline);
+  }
+
+  void release(LockToken token) override {
+    if (token.id == kIndicatorToken) {
+      release_indicator(static_cast<ReaderIndicator::GrantSlot*>(token.data));
+      return;
+    }
+    sched_yield_point(YieldPoint::Release);
+    const rsm::RequestId id = static_cast<rsm::RequestId>(token.id);
+    if (broker_ != nullptr) {
+      if (typename Broker::Slot* slot = broker_->claim_slot()) {
+        rsm::Invocation& inv = slot->inv;
+        inv.kind = rsm::Invocation::Kind::Complete;
+        inv.id = id;
+        inv.satisfied = false;
+        slot->shed = false;
+        // Writer guard depart happens inside the combiner's sink: looking
+        // the request up to recover its guard domain requires the mutex
+        // (the deque grows concurrently), which the combiner holds and
+        // this thread may never take.
+        submit_combined(slot);
+        return;
+      }
+    }
+    ResourceSet guard;
+    bool guarded = false;
+    mutex_.lock();
+    if constexpr (!Wait::kYieldBeforeMutex)
+      sched_yield_point(YieldPoint::EngineInvoke);
+    const double t = static_cast<double>(++logical_time_);
+    // Recover the writer guard domain under the mutex (request lookup walks
+    // the deque, which concurrent issuance grows); depart after the
+    // completion is applied, outside the critical section.
+    if (indicator_ != nullptr) {
+      const rsm::Request& r = engine_.request(id);
+      if (r.is_write) {
+        guard = guard_domain(r.need_read, r.need_write);
+        guarded = true;
+      }
+    }
+    const bool was_write = engine_.request(id).is_write;
+    engine_.complete(t, id);
+    if (invocation_log_ != nullptr) {
+      invocation_log_->push_back(InvocationRecord{
+          InvocationKind::Complete, static_cast<rsm::Time>(logical_time_), id,
+          false, was_write, ResourceSet(q_), ResourceSet(q_)});
+    }
+    const bool wake = consume_wake_locked();
+    mutex_.unlock();
+    broadcast(wake);
+    if (guarded) indicator_->writer_depart(guard);
+  }
+
+  /// Snapshot of counters, queue depths and (with a stuck budget set) every
+  /// satisfied holder whose critical section has outlived the budget.  Safe
+  /// to call from any thread, including a Watchdog probe.  Counter
+  /// semantics are identical on every matrix cell: `acquired` counts every
+  /// successful acquisition including indicator fast-path grants, and the
+  /// broker counters come from this cell's own broker.
+  HealthReport health_report() const {
+    HealthReport hr;
+    hr.acquired = counters_.acquired.load(std::memory_order_relaxed);
+    hr.timeouts = counters_.timeouts.load(std::memory_order_relaxed);
+    hr.canceled = counters_.cancels.load(std::memory_order_relaxed);
+    hr.shed = counters_.shed.load(std::memory_order_relaxed);
+    hr.indicator_fast_hits =
+        counters_.indicator_fast_hits.load(std::memory_order_relaxed);
+    hr.indicator_retractions =
+        counters_.indicator_retractions.load(std::memory_order_relaxed);
+    hr.indicator_sweeps =
+        counters_.indicator_sweeps.load(std::memory_order_relaxed);
+    const auto now = std::chrono::steady_clock::now();
+    mutex_.lock();
+    hr.incomplete = engine_.incomplete_count();
+    if (broker_ != nullptr) {
+      // Combiner stats mutate only under mutex_, which we hold.
+      const CombinerStats& cs = broker_->stats();
+      hr.batches_combined = cs.batches;
+      hr.combined_invocations = cs.invocations;
+      hr.combiner_handoffs = cs.handoffs;
+      hr.max_batch_combined = cs.max_batch;
+    }
+    for (std::size_t l = 0; l < q_; ++l) {
+      hr.max_read_queue_depth =
+          std::max(hr.max_read_queue_depth, engine_.read_queue_depth(l));
+      hr.max_write_queue_depth =
+          std::max(hr.max_write_queue_depth, engine_.write_queue_depth(l));
+    }
+    if (robust_.stuck_budget.count() > 0) {
+      for (rsm::RequestId id : engine_.incomplete_requests()) {
+        if (!engine_.is_satisfied(id) || id >= hold_since_.size()) continue;
+        const auto age = now - hold_since_[id];
+        if (age > robust_.stuck_budget) {
+          hr.stuck.push_back(StuckHolder{
+              id, engine_.request(id).is_write,
+              std::chrono::duration_cast<std::chrono::nanoseconds>(age)});
+        }
+      }
+    }
+    mutex_.unlock();
+    return hr;
+  }
+
+  // --- upgradeable requests (Sec. 3.6), used by the STM layer -------------
+
+  /// Outcome of acquire_upgradeable(): either the optimistic read half was
+  /// satisfied (write_mode == false: the caller runs its read-only segment
+  /// and then calls upgrade() or abandon()) or the write half won the race
+  /// (write_mode == true: the caller holds write locks and finishes with
+  /// release_upgraded()).
+  struct UpgradeToken {
+    rsm::UpgradeablePair pair;
+    bool write_mode = false;
+  };
+
+  UpgradeToken acquire_upgradeable(const ResourceSet& resources) {
+    // The write half is writer-classified from issuance (it occupies write
+    // queues immediately), so the whole upgradeable lifetime sits inside a
+    // writer guard: arrive/sweep before the issuing mutex section, depart
+    // in abandon()/release_upgraded().
+    if (indicator_ != nullptr)
+      writer_guard_enter(guard_domain(resources, resources));
+    Waiter read_waiter, write_waiter;
+    rsm::UpgradeablePair pair;
+    bool read_done, write_done;
+    {
+      mutex_.lock();
+      const double t = static_cast<double>(++logical_time_);
+      pair = engine_.issue_upgradeable(t, resources);
+      read_done = engine_.is_satisfied(pair.read_part);
+      write_done = engine_.is_satisfied(pair.write_part);
+      if (!read_done && !write_done) {
+        register_waiter(pair.read_part, &read_waiter);
+        register_waiter(pair.write_part, &write_waiter);
+      }
+      const bool wake = consume_wake_locked();
+      mutex_.unlock();
+      broadcast(wake);
+    }
+    if (!read_done && !write_done) {
+      wait_either(read_waiter, write_waiter);
+      if (read_waiter.satisfied.load(std::memory_order_acquire))
+        read_done = true;
+      else
+        write_done = true;
+      // Drop any still-registered entry for the losing half: its Waiter
+      // lives on this stack frame and must not be referenced later.  (The
+      // write half cannot be satisfied while the read half holds its locks,
+      // and a canceled read half never fires, so nothing is lost.)
+      mutex_.lock();
+      drop_waiter(pair.read_part);
+      drop_waiter(pair.write_part);
+      mutex_.unlock();
+    }
+    // Exactly one half was satisfied on every path to here.
+    pending_satisfied_.fetch_sub(1, std::memory_order_relaxed);
+    return UpgradeToken{pair, write_done};
+  }
+
+  /// Ends the read segment and blocks until the write half is satisfied.
+  /// Data may have changed in between (the paper's Sec. 3.6 caveat): the
+  /// caller must re-read.  Only valid when write_mode == false.
+  void upgrade(UpgradeToken& token) {
+    RWRNLP_REQUIRE(!token.write_mode, "upgrade() after the write half won");
+    Waiter waiter;
+    bool satisfied;
+    {
+      mutex_.lock();
+      const double t = static_cast<double>(++logical_time_);
+      engine_.finish_read_segment(t, token.pair, /*upgrade=*/true);
+      satisfied = engine_.is_satisfied(token.pair.write_part);
+      if (!satisfied) register_waiter(token.pair.write_part, &waiter);
+      const bool wake = consume_wake_locked();
+      mutex_.unlock();
+      broadcast(wake);
+    }
+    if (!satisfied) wait_satisfaction(waiter);
+    pending_satisfied_.fetch_sub(1, std::memory_order_relaxed);
+    token.write_mode = true;
+  }
+
+  /// Ends the read segment without upgrading.  Only when !write_mode.
+  void abandon(const UpgradeToken& token) {
+    RWRNLP_REQUIRE(!token.write_mode, "abandon() after the write half won");
+    mutex_.lock();
+    // Recompute the guard domain from the still-live request before the
+    // invocation retires the slot (the needed sets are immutable until
+    // then).
+    ResourceSet guard;
+    bool guarded = false;
+    if (indicator_ != nullptr) {
+      const rsm::Request& w = engine_.request(token.pair.write_part);
+      guard = guard_domain(w.need_read, w.need_write);
+      guarded = true;
+    }
+    const double t = static_cast<double>(++logical_time_);
+    engine_.finish_read_segment(t, token.pair, /*upgrade=*/false);
+    const bool wake = consume_wake_locked();
+    mutex_.unlock();
+    broadcast(wake);
+    if (guarded) indicator_->writer_depart(guard);
+  }
+
+  /// Releases the write half (after upgrade(), or when write_mode is true).
+  void release_upgraded(const UpgradeToken& token) {
+    RWRNLP_REQUIRE(token.write_mode, "release_upgraded() without write mode");
+    mutex_.lock();
+    ResourceSet guard;
+    bool guarded = false;
+    if (indicator_ != nullptr) {
+      const rsm::Request& w = engine_.request(token.pair.write_part);
+      guard = guard_domain(w.need_read, w.need_write);
+      guarded = true;
+    }
+    const double t = static_cast<double>(++logical_time_);
+    engine_.complete(t, token.pair.write_part);
+    const bool wake = consume_wake_locked();
+    mutex_.unlock();
+    broadcast(wake);
+    if (guarded) indicator_->writer_depart(guard);
+  }
+
+  // --- incremental requests (Sec. 3.7) ------------------------------------
+
+  /// Issues an incremental request and blocks until `initial` (a subset of
+  /// potential_reads | potential_writes) is held.  Grow the held set with
+  /// request_more(); finish with release_incremental().  Incremental
+  /// requests stay on the classic mutex path (their grant events are not
+  /// batch-routable) and produce no invocation-log records (the replay
+  /// oracle models only the classic kinds).
+  LockToken acquire_incremental(const ResourceSet& potential_reads,
+                                const ResourceSet& potential_writes,
+                                const ResourceSet& initial) {
+    if (indicator_ != nullptr &&
+        classifies_as_writer(potential_reads, potential_writes)) {
+      const ResourceSet guard =
+          guard_domain(potential_reads, potential_writes);
+      writer_guard_enter(guard);
+      try {
+        return acquire_incremental_slow(potential_reads, potential_writes,
+                                        initial);
+      } catch (...) {
+        indicator_->writer_depart(guard);
+        throw;
+      }
+    }
+    return acquire_incremental_slow(potential_reads, potential_writes,
+                                    initial);
+  }
+
+  /// Timed incremental acquisition: on expiry the whole request — including
+  /// any partial grant it is already holding as an entitled request — is
+  /// withdrawn atomically with Engine::cancel.  The same grant-wins re-check
+  /// as try_lock_until applies.
+  std::optional<LockToken> try_incremental_until(
+      const ResourceSet& potential_reads, const ResourceSet& potential_writes,
+      const ResourceSet& initial,
+      std::chrono::steady_clock::time_point deadline) {
+    if (indicator_ != nullptr &&
+        classifies_as_writer(potential_reads, potential_writes)) {
+      const ResourceSet guard =
+          guard_domain(potential_reads, potential_writes);
+      writer_guard_enter(guard);
+      try {
+        std::optional<LockToken> tok = try_incremental_until_slow(
+            potential_reads, potential_writes, initial, deadline);
+        if (!tok) indicator_->writer_depart(guard);  // shed or timed out
+        return tok;
+      } catch (...) {
+        indicator_->writer_depart(guard);
+        throw;
+      }
+    }
+    return try_incremental_until_slow(potential_reads, potential_writes,
+                                      initial, deadline);
+  }
+
+  /// Requests additional resources (a subset of the declared potential set)
+  /// for a held incremental token and blocks until the grown wanted set is
+  /// held.
+  void request_more(const LockToken& token, const ResourceSet& extra) {
+    const rsm::RequestId id = static_cast<rsm::RequestId>(token.id);
+    Waiter waiter;
+    if constexpr (Wait::kYieldBeforeMutex)
+      sched_yield_point(YieldPoint::EngineInvoke);
+    mutex_.lock();
+    if constexpr (!Wait::kYieldBeforeMutex)
+      sched_yield_point(YieldPoint::EngineInvoke);
+    const double t = static_cast<double>(++logical_time_);
+    engine_.request_more(t, id, extra);
+    const ResourceSet want = engine_.request(id).wanted;
+    const bool done = want.is_subset_of(engine_.holds(id));
+    if (!done) inc_waiters_.insert_or_assign(id, IncWait{&waiter, want});
+    const bool wake = consume_wake_locked();
+    mutex_.unlock();
+    broadcast(wake);
+    if (!done) wait_satisfaction(waiter);
+  }
+
+  /// Completes an incremental request: every held resource is unlocked.
+  void release_incremental(LockToken token) {
+    sched_yield_point(YieldPoint::Release);
+    const rsm::RequestId id = static_cast<rsm::RequestId>(token.id);
+    ResourceSet guard;
+    bool guarded = false;
+    mutex_.lock();
+    if constexpr (!Wait::kYieldBeforeMutex)
+      sched_yield_point(YieldPoint::EngineInvoke);
+    const double t = static_cast<double>(++logical_time_);
+    if (indicator_ != nullptr) {
+      const rsm::Request& r = engine_.request(id);
+      if (r.is_write) {
+        guard = guard_domain(r.need_read, r.need_write);
+        guarded = true;
+      }
+    }
+    if (id < inc_live_.size()) inc_live_[id] = 0;
+    engine_.complete(t, id);
+    const bool wake = consume_wake_locked();
+    mutex_.unlock();
+    broadcast(wake);
+    if (guarded) indicator_->writer_depart(guard);
+  }
+
+  // --- hooks for the sharded topology / tests -----------------------------
+
+  /// Attempts the indicator fast path for a read-only footprint; on success
+  /// fills `*out` with a kIndicatorToken token releasable through
+  /// release().  Returns false (leaving protocol state untouched — a
+  /// retracted publish is invisible) when the fast path must not or cannot
+  /// be taken.  Public because the sharded topology routes its read fast
+  /// path here.
+  bool try_indicator_acquire(const ResourceSet& reads, LockToken* out) {
+    if (indicator_ == nullptr || reads.empty()) return false;
+    bool retracted = false;
+    ReaderIndicator::GrantSlot* g = indicator_->try_enter(reads, &retracted);
+    if (g == nullptr) {
+      if (retracted)
+        counters_.indicator_retractions.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      return false;
+    }
+    g->owner = this;
+    if (invocation_log_ != nullptr) {
+      // Log mode: the grant must appear in engine order for byte-equal
+      // replay, so run the one-step R1 issue under the mutex.  The
+      // indicator invariant (every writer whose guard domain intersects
+      // `reads` is either pre-engine, sweep-blocked on our published cell,
+      // or departed) makes the R1 precondition HOLD here — a kNoRequest
+      // return is a protocol violation, not a fallback.
+      mutex_.lock();
+      if constexpr (!Wait::kYieldBeforeMutex)
+        sched_yield_point(YieldPoint::EngineInvoke);
+      const double t = static_cast<double>(++logical_time_);
+      const rsm::RequestId id = engine_.try_issue_read_fast(t, reads);
+      RWRNLP_CHECK_MSG(
+          id != rsm::kNoRequest,
+          "reader indicator granted "
+              << reads.to_string()
+              << " but the engine's R1 precondition fails — a writer entered "
+                 "admission without raising/sweeping writer-present");
+      g->engine_id = id;
+      invocation_log_->push_back(InvocationRecord{
+          InvocationKind::IssueReadIndicator,
+          static_cast<rsm::Time>(logical_time_), id, true, false, reads,
+          ResourceSet(q_)});
+      // The one-step issue satisfied exactly this request; consume the
+      // satisfaction here (nobody waits on it, so no broadcast is owed for
+      // it — but the invocation section still drains wake_pending_).
+      pending_satisfied_.fetch_sub(1, std::memory_order_relaxed);
+      const bool wake = consume_wake_locked();
+      mutex_.unlock();
+      broadcast(wake);
+    }
+    counters_.indicator_fast_hits.fetch_add(1, std::memory_order_relaxed);
+    counters_.acquired.fetch_add(1, std::memory_order_relaxed);
+    *out = LockToken{kIndicatorToken, g};
+    return true;
+  }
+
+  /// Applies a ts-sorted run of published broker slots against this front
+  /// end's engine under its own mutex — the per-shard half of the
+  /// cross-shard combiner.  Same sink as the local combining path: shed
+  /// gate, log records, waiter registration, per-slot retirement.
+  void apply_published_slots(typename Broker::Slot* const* slots,
+                             std::size_t n) {
+    // Cross-shard combiner entry: the caller (the global combiner, holding
+    // the sharded front end's global mutex) hands us the seq-ordered slots
+    // tagged for this shard; we apply them under our own mutex with the
+    // same sink as the local combining path.  Lock order is strictly
+    // global -> shard, and no thread waits for satisfaction while holding
+    // either, so the nesting cannot deadlock.
+    mutex_.lock();
+    rsm::Invocation* invs[Broker::kSlots];
+    for (std::size_t i = 0; i < n; ++i) invs[i] = &slots[i]->inv;
+    CombineSink sink(*this, slots);
+    engine_.apply_batch(invs, n, &sink);
+    const bool wake = consume_wake_locked();
+    mutex_.unlock();
+    broadcast(wake);
+  }
+
+  /// Completes a cross-shard acquisition on behalf of the sharded topology:
+  /// waits (policy-appropriately) for the published slot's waiter flag and
+  /// consumes the satisfaction.  The cross path's acquired counter lives in
+  /// the sharded front end, so this does not bump counters_.acquired.
+  void finish_cross_acquire(typename Broker::Slot* slot) {
+    if (!slot->inv.satisfied) wait_satisfaction(slot->waiter);
+    pending_satisfied_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// The OverloadShed message for this cell (P2 ceiling).
+  std::string shed_message() const {
+    return name() + ": load shedding — incomplete-request ceiling reached "
+                    "(P2)";
+  }
+
+ private:
+  struct CtorTag {};
+
+  FrontEnd(CtorTag, std::size_t num_resources, rsm::ReadShareTable shares,
+           rsm::WriteExpansion expansion, bool reads_as_writes,
+           bool combining)
+      : q_(num_resources),
+        reads_as_writes_(reads_as_writes),
+        read_fast_path_(Path::kEngineReadFast),
+        engine_(num_resources, std::move(shares), make_options(expansion)) {
+    if (combining) broker_ = std::make_unique<Broker>();
+    engine_.set_satisfied_callback([this](rsm::RequestId id, rsm::Time) {
+      // Runs with mutex_ held (inside an invocation).
+      if (robust_.stuck_budget.count() > 0) {
+        if (id >= hold_since_.size()) hold_since_.resize(id + 1);
+        hold_since_[id] = std::chrono::steady_clock::now();
+      }
+      if (id < inc_live_.size() && inc_live_[id] != 0) {
+        // Incremental requests are tracked by grant target, not by the
+        // Satisfied state (full satisfaction == the whole potential set).
+        finish_inc_wait(id);
+        return;
+      }
+      pending_satisfied_.fetch_add(1, std::memory_order_relaxed);
+      if (id < waiters_.size() && waiters_[id] != nullptr) {
+        if constexpr (Wait::kUsesCv) {
+          if (waiters_[id]->sleeping) wake_pending_ = true;
+        }
+        waiters_[id]->satisfied.store(true, std::memory_order_release);
+        waiters_[id] = nullptr;
+      }
+    });
+    engine_.set_granted_callback(
+        [this](rsm::RequestId id, const ResourceSet&, rsm::Time) {
+          // Partial grant of an incremental request (mutex_ held): the
+          // waiter may only need a subset of the potential set.
+          if (id < inc_live_.size() && inc_live_[id] != 0)
+            finish_inc_wait(id);
+        });
+  }
+
+  static rsm::EngineOptions make_options(rsm::WriteExpansion expansion) {
+    rsm::EngineOptions opt;
+    opt.expansion = expansion;
+    opt.retain_history = false;  // recycle request slots: long-running lock
+    return opt;
+  }
+
+  void register_waiter(rsm::RequestId id, Waiter* w) {
+    if (id >= waiters_.size()) waiters_.resize(id + 1, nullptr);
+    waiters_[id] = w;
+  }
+
+  void drop_waiter(rsm::RequestId id) {
+    if (id < waiters_.size()) waiters_[id] = nullptr;
+  }
+
+  /// Consumes wake_pending_ (mutex_ held); the caller broadcasts after
+  /// unlocking iff this returns true.  Constant-false on spin cells.
+  bool consume_wake_locked() {
+    if constexpr (Wait::kUsesCv) {
+      if (wake_pending_) {
+        wake_pending_ = false;
+        ++notify_count_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void broadcast(bool wake) {
+    if constexpr (Wait::kUsesCv) {
+      if (wake) cv_.notify_all();
+    } else {
+      (void)wake;
+    }
+  }
+
+  /// Writer-side indicator revocation: raise writer-present over `guard`
+  /// and quiesce in-flight fast readers.  Must run BEFORE admission (mutex
+  /// or broker slot); the matching writer_depart runs at completion.
+  void writer_guard_enter(const ResourceSet& guard) {
+    indicator_->writer_arrive(guard);
+    indicator_->writer_sweep(guard);
+    counters_.indicator_sweeps.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Completes a grant-target wait of a live incremental request if its
+  /// target is now held (mutex_ held, called from the engine callbacks).
+  void finish_inc_wait(rsm::RequestId id) {
+    auto it = inc_waiters_.find(id);
+    if (it == inc_waiters_.end()) return;
+    if (!it->second.target.is_subset_of(engine_.holds(id))) return;
+    if constexpr (Wait::kUsesCv) {
+      if (it->second.waiter->sleeping) wake_pending_ = true;
+    }
+    it->second.waiter->satisfied.store(true, std::memory_order_release);
+    inc_waiters_.erase(it);
+  }
+
+  // --- wait machinery (the WaitPolicy axis) -------------------------------
+
+  void wait_satisfaction(Waiter& w) {
+    if (sched_wait(YieldPoint::SatisfactionWait, [&] {
+          return w.satisfied.load(std::memory_order_acquire);
+        }))
+      return;
+    if constexpr (!Wait::kUsesCv) {
+      // Rule S1: busy-wait (the thread keeps its processor).
+      SpinBackoff backoff;
+      while (!w.satisfied.load(std::memory_order_acquire)) backoff.pause();
+    } else {
+      // Adaptive pre-park spin: short protocol sections resolve within the
+      // budget and skip the futex round trip entirely (zero-budget policies
+      // park immediately).
+      for (int i = 0; i < Wait::kSpinBudget; ++i) {
+        if (w.satisfied.load(std::memory_order_acquire)) return;
+        cpu_relax();
+      }
+      std::unique_lock<Mutex> lk(mutex_);
+      if (w.satisfied.load(std::memory_order_acquire)) return;
+      ++blocked_waiters_;
+      w.sleeping = true;
+      while (!w.satisfied.load(std::memory_order_acquire)) {
+        cv_.wait(lk);
+        ++wakeup_count_;
+      }
+      w.sleeping = false;
+      --blocked_waiters_;
+    }
+  }
+
+  void wait_either(Waiter& a, Waiter& b) {
+    if (sched_wait(YieldPoint::SatisfactionWait, [&] {
+          return a.satisfied.load(std::memory_order_acquire) ||
+                 b.satisfied.load(std::memory_order_acquire);
+        }))
+      return;
+    if constexpr (!Wait::kUsesCv) {
+      SpinBackoff backoff;
+      while (!a.satisfied.load(std::memory_order_acquire) &&
+             !b.satisfied.load(std::memory_order_acquire))
+        backoff.pause();
+    } else {
+      for (int i = 0; i < Wait::kSpinBudget; ++i) {
+        if (a.satisfied.load(std::memory_order_acquire) ||
+            b.satisfied.load(std::memory_order_acquire))
+          return;
+        cpu_relax();
+      }
+      std::unique_lock<Mutex> lk(mutex_);
+      if (a.satisfied.load(std::memory_order_acquire) ||
+          b.satisfied.load(std::memory_order_acquire))
+        return;
+      ++blocked_waiters_;
+      a.sleeping = true;
+      b.sleeping = true;
+      while (!a.satisfied.load(std::memory_order_acquire) &&
+             !b.satisfied.load(std::memory_order_acquire)) {
+        cv_.wait(lk);
+        ++wakeup_count_;
+      }
+      a.sleeping = false;
+      b.sleeping = false;
+      --blocked_waiters_;
+    }
+  }
+
+  /// Waits for `w` until `deadline`.  Returns true when the caller must run
+  /// the cancel-resolution protocol (re-check the flag under the mutex and
+  /// cancel if still unsatisfied).  Spin cells resolve only when the
+  /// deadline expired with the flag still clear; cv cells always resolve —
+  /// a cv wakeup and the deadline race inherently, and the resolution
+  /// section is where that race is settled (this also pins the Cancel yield
+  /// point's position for the schedule explorer, matching the historical
+  /// suspension front end).
+  bool wait_until_deadline(Waiter& w,
+                           std::chrono::steady_clock::time_point deadline) {
+    using Clock = std::chrono::steady_clock;
+    // Under the virtual scheduler wall clocks are meaningless: an already-
+    // expired deadline (e.g. time_point{}) times out deterministically
+    // without waiting, every other deadline waits for satisfaction
+    // cooperatively.  Native builds check the clock inside the wait loop.
+    bool expired = Clock::now() >= deadline;
+    if (!expired) {
+      if (!sched_wait(YieldPoint::SatisfactionWait, [&] {
+            return w.satisfied.load(std::memory_order_acquire);
+          })) {
+        if constexpr (!Wait::kUsesCv) {
+          SpinBackoff backoff;
+          while (!w.satisfied.load(std::memory_order_acquire)) {
+            if (Clock::now() >= deadline) {
+              expired = true;
+              break;
+            }
+            backoff.pause();
+          }
+        } else {
+          for (int i = 0; i < Wait::kSpinBudget; ++i) {
+            if (w.satisfied.load(std::memory_order_acquire) ||
+                Clock::now() >= deadline)
+              break;
+            cpu_relax();
+          }
+          std::unique_lock<Mutex> lk(mutex_);
+          if (!w.satisfied.load(std::memory_order_acquire)) {
+            ++blocked_waiters_;
+            w.sleeping = true;
+            while (!w.satisfied.load(std::memory_order_acquire)) {
+              if (cv_.wait_until(lk, deadline) == std::cv_status::timeout)
+                break;
+              ++wakeup_count_;
+            }
+            w.sleeping = false;
+            --blocked_waiters_;
+          }
+        }
+      }
+    }
+    if constexpr (Wait::kUsesCv)
+      return true;
+    else
+      return expired && !w.satisfied.load(std::memory_order_acquire);
+  }
+
+  // --- issue / slow paths --------------------------------------------------
+
+  /// Issues the request under the internal mutex (choosing the invocation
+  /// kind exactly like acquire()), appends the log record, and registers
+  /// `waiter` when unsatisfied.  Returns kNoRequest iff load shedding
+  /// rejected the request.  `*satisfied_out` reports R1/W1 satisfaction.
+  rsm::RequestId issue_request(const ResourceSet& reads,
+                               const ResourceSet& writes, Waiter* waiter,
+                               bool* satisfied_out) {
+    mutex_.lock();
+    if constexpr (!Wait::kYieldBeforeMutex)
+      sched_yield_point(YieldPoint::EngineInvoke);
+    if (robust_.max_incomplete != 0 &&
+        engine_.incomplete_count() >= robust_.max_incomplete) {
+      mutex_.unlock();
+      counters_.shed.fetch_add(1, std::memory_order_relaxed);
+      *satisfied_out = false;
+      return rsm::kNoRequest;
+    }
+    const double t = static_cast<double>(++logical_time_);
+    rsm::RequestId id;
+    InvocationKind kind;
+    if (reads_as_writes_) {
+      ResourceSet all = reads | writes;
+      id = engine_.issue_write(t, all);
+      kind = InvocationKind::IssueWrite;
+    } else if (writes.empty()) {
+      // Uncontended-read fast path: satisfied in one step, no fixpoint
+      // (provably the same outcome as Rule R1; see engine.hpp).
+      id = read_fast_path_ ? engine_.try_issue_read_fast(t, reads)
+                           : rsm::kNoRequest;
+      kind = InvocationKind::IssueReadFast;
+      if (id == rsm::kNoRequest) {
+        id = engine_.issue_read(t, reads);
+        kind = InvocationKind::IssueRead;
+      }
+    } else if (reads.empty()) {
+      id = engine_.issue_write(t, writes);
+      kind = InvocationKind::IssueWrite;
+    } else {
+      id = engine_.issue_mixed(t, reads, writes);
+      kind = InvocationKind::IssueMixed;
+    }
+    const bool satisfied = engine_.is_satisfied(id);
+    if (invocation_log_ != nullptr) {
+      const bool as_write = reads_as_writes_ && !(reads | writes).empty();
+      invocation_log_->push_back(InvocationRecord{
+          kind, static_cast<rsm::Time>(logical_time_), id, satisfied,
+          kind != InvocationKind::IssueRead &&
+              kind != InvocationKind::IssueReadFast,
+          as_write ? ResourceSet(q_) : reads,
+          as_write ? (reads | writes) : writes});
+    }
+    if (!satisfied) register_waiter(id, waiter);
+    const bool wake = consume_wake_locked();
+    mutex_.unlock();
+    broadcast(wake);
+    *satisfied_out = satisfied;
+    return id;
+  }
+
+  LockToken acquire_slow(const ResourceSet& reads, const ResourceSet& writes) {
+    // Schedule-test seam.  On cv cells the yield sits *before* the mutex:
+    // no virtual thread ever parks while holding a std::mutex, so the
+    // running thread always acquires it without blocking in the OS.  Spin
+    // cells yield inside the mutex sections instead (a TicketMutex holder
+    // may legally park at a yield point).
+    if constexpr (Wait::kYieldBeforeMutex)
+      sched_yield_point(YieldPoint::EngineInvoke);
+    if (broker_ != nullptr) {
+      // The uncontended-read fast path composes with combining: when the
+      // mutex is free there is nothing to combine *with*, so take it and
+      // run the one-step R1 check directly (exactly the classic fast path —
+      // same shed gate, same log record).  A failed try_lock or a
+      // conflicted read falls through to the broker, where batching pays
+      // off.
+      if (read_fast_path_ && !reads_as_writes_ && writes.empty() &&
+          mutex_.try_lock()) {
+        if constexpr (!Wait::kYieldBeforeMutex)
+          sched_yield_point(YieldPoint::EngineInvoke);
+        if (robust_.max_incomplete != 0 &&
+            engine_.incomplete_count() >= robust_.max_incomplete) {
+          mutex_.unlock();
+          counters_.shed.fetch_add(1, std::memory_order_relaxed);
+          throw OverloadShed(shed_message());
+        }
+        const double t = static_cast<double>(++logical_time_);
+        const rsm::RequestId id = engine_.try_issue_read_fast(t, reads);
+        if (id != rsm::kNoRequest) {
+          if (invocation_log_ != nullptr) {
+            invocation_log_->push_back(InvocationRecord{
+                InvocationKind::IssueReadFast,
+                static_cast<rsm::Time>(logical_time_), id, true, false, reads,
+                ResourceSet(q_)});
+          }
+          pending_satisfied_.fetch_sub(1, std::memory_order_relaxed);
+          const bool wake = consume_wake_locked();
+          mutex_.unlock();
+          broadcast(wake);
+          counters_.acquired.fetch_add(1, std::memory_order_relaxed);
+          return LockToken{id, nullptr};
+        }
+        const bool wake = consume_wake_locked();
+        mutex_.unlock();
+        broadcast(wake);
+      }
+      // Flat-combining path; falls through to the classic path only if
+      // every announcement slot is taken (always legal — the two paths
+      // serialize through the same mutex).
+      if (typename Broker::Slot* slot = broker_->claim_slot())
+        return acquire_combined(reads, writes, slot);
+    }
+    Waiter waiter;  // lives on this stack frame until satisfaction
+    bool satisfied;
+    const rsm::RequestId id = issue_request(reads, writes, &waiter, &satisfied);
+    if (id == rsm::kNoRequest) throw OverloadShed(shed_message());
+    if (!satisfied) wait_satisfaction(waiter);
+    pending_satisfied_.fetch_sub(1, std::memory_order_relaxed);
+    counters_.acquired.fetch_add(1, std::memory_order_relaxed);
+    return LockToken{id, nullptr};
+  }
+
+  std::optional<LockToken> try_lock_until_slow(
+      const ResourceSet& reads, const ResourceSet& writes,
+      std::chrono::steady_clock::time_point deadline) {
+    if constexpr (Wait::kYieldBeforeMutex)
+      sched_yield_point(YieldPoint::EngineInvoke);
+    Waiter waiter;
+    bool satisfied;
+    const rsm::RequestId id = issue_request(reads, writes, &waiter, &satisfied);
+    if (id == rsm::kNoRequest) return std::nullopt;  // load shedding
+    if (!satisfied && wait_until_deadline(waiter, deadline)) {
+      // Resolve the timeout-vs-grant race: the grant may still land while
+      // we reacquire the mutex, and satisfaction only ever happens under
+      // it, so the flag re-check below is final — if set, the grant won
+      // and the lock is acquired; otherwise the request is withdrawn
+      // atomically (Engine::cancel) and nothing is held.
+      sched_yield_point(YieldPoint::Cancel);
+      mutex_.lock();
+      if constexpr (!Wait::kYieldBeforeMutex)
+        sched_yield_point(YieldPoint::EngineInvoke);
+      if (!waiter.satisfied.load(std::memory_order_acquire)) {
+        const double t = static_cast<double>(++logical_time_);
+        const bool was_write = engine_.request(id).is_write;
+        engine_.cancel(t, id);
+        drop_waiter(id);
+        if (invocation_log_ != nullptr) {
+          invocation_log_->push_back(InvocationRecord{
+              InvocationKind::Cancel, static_cast<rsm::Time>(logical_time_),
+              id, false, was_write, ResourceSet(q_), ResourceSet(q_)});
+        }
+        const bool wake = consume_wake_locked();
+        mutex_.unlock();
+        broadcast(wake);
+        counters_.timeouts.fetch_add(1, std::memory_order_relaxed);
+        counters_.cancels.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      const bool wake = consume_wake_locked();
+      mutex_.unlock();  // grant won the race: report as acquired
+      broadcast(wake);
+    }
+    pending_satisfied_.fetch_sub(1, std::memory_order_relaxed);
+    counters_.acquired.fetch_add(1, std::memory_order_relaxed);
+    return LockToken{id, nullptr};
+  }
+
+  LockToken acquire_incremental_slow(const ResourceSet& potential_reads,
+                                     const ResourceSet& potential_writes,
+                                     const ResourceSet& initial) {
+    if constexpr (Wait::kYieldBeforeMutex)
+      sched_yield_point(YieldPoint::EngineInvoke);
+    Waiter waiter;
+    mutex_.lock();
+    if constexpr (!Wait::kYieldBeforeMutex)
+      sched_yield_point(YieldPoint::EngineInvoke);
+    if (robust_.max_incomplete != 0 &&
+        engine_.incomplete_count() >= robust_.max_incomplete) {
+      mutex_.unlock();
+      counters_.shed.fetch_add(1, std::memory_order_relaxed);
+      throw OverloadShed(shed_message());
+    }
+    const double t = static_cast<double>(++logical_time_);
+    const rsm::RequestId id = engine_.issue_incremental(
+        t, potential_reads, potential_writes, initial);
+    mark_inc_live(id);
+    const bool done = initial.is_subset_of(engine_.holds(id));
+    if (!done) inc_waiters_.insert_or_assign(id, IncWait{&waiter, initial});
+    const bool wake = consume_wake_locked();
+    mutex_.unlock();
+    broadcast(wake);
+    if (!done) wait_satisfaction(waiter);
+    counters_.acquired.fetch_add(1, std::memory_order_relaxed);
+    return LockToken{id, nullptr};
+  }
+
+  std::optional<LockToken> try_incremental_until_slow(
+      const ResourceSet& potential_reads, const ResourceSet& potential_writes,
+      const ResourceSet& initial,
+      std::chrono::steady_clock::time_point deadline) {
+    if constexpr (Wait::kYieldBeforeMutex)
+      sched_yield_point(YieldPoint::EngineInvoke);
+    Waiter waiter;
+    mutex_.lock();
+    if constexpr (!Wait::kYieldBeforeMutex)
+      sched_yield_point(YieldPoint::EngineInvoke);
+    if (robust_.max_incomplete != 0 &&
+        engine_.incomplete_count() >= robust_.max_incomplete) {
+      mutex_.unlock();
+      counters_.shed.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    const double t = static_cast<double>(++logical_time_);
+    const rsm::RequestId id = engine_.issue_incremental(
+        t, potential_reads, potential_writes, initial);
+    mark_inc_live(id);
+    const bool done = initial.is_subset_of(engine_.holds(id));
+    if (!done) inc_waiters_.insert_or_assign(id, IncWait{&waiter, initial});
+    const bool wake = consume_wake_locked();
+    mutex_.unlock();
+    broadcast(wake);
+    if (!done && wait_until_deadline(waiter, deadline)) {
+      sched_yield_point(YieldPoint::Cancel);
+      mutex_.lock();
+      if constexpr (!Wait::kYieldBeforeMutex)
+        sched_yield_point(YieldPoint::EngineInvoke);
+      if (!waiter.satisfied.load(std::memory_order_acquire)) {
+        const double tc = static_cast<double>(++logical_time_);
+        inc_waiters_.erase(id);
+        inc_live_[id] = 0;
+        // Withdraws the whole request atomically, releasing the partial
+        // grant an entitled incremental may already hold.
+        engine_.cancel(tc, id);
+        const bool cwake = consume_wake_locked();
+        mutex_.unlock();
+        broadcast(cwake);
+        counters_.timeouts.fetch_add(1, std::memory_order_relaxed);
+        counters_.cancels.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      const bool cwake = consume_wake_locked();
+      mutex_.unlock();  // grant won the race: report as acquired
+      broadcast(cwake);
+    }
+    counters_.acquired.fetch_add(1, std::memory_order_relaxed);
+    return LockToken{id, nullptr};
+  }
+
+  /// Marks a freshly issued incremental request live (mutex_ held, directly
+  /// after issue_incremental).
+  void mark_inc_live(rsm::RequestId id) {
+    if (id >= inc_live_.size()) inc_live_.resize(id + 1, 0);
+    inc_live_[id] = 1;
+    // The issuing invocation's callbacks ran before the mark: an
+    // incremental satisfied at issue (initial == the whole potential set)
+    // took the non-incremental callback path and bumped
+    // pending_satisfied_; rebalance, since its acquirer consumes nothing.
+    if (engine_.is_satisfied(id))
+      pending_satisfied_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // --- flat-combining path -------------------------------------------------
+
+  /// BatchSink run by whichever thread combines a batch (mutex_ held).  It
+  /// is the combined counterpart of issue_request()/release(): same
+  /// load-shedding gate, same logical-clock assignment, same log records,
+  /// same waiter registration — just executed by the combiner on behalf of
+  /// the publisher.
+  struct CombineSink final : rsm::BatchSink {
+    FrontEnd& fe;
+    typename Broker::Slot* const* slots;
+    CombineSink(FrontEnd& f, typename Broker::Slot* const* s)
+        : fe(f), slots(s) {}
+
+    bool before(rsm::Invocation& inv, std::size_t i) override {
+      if constexpr (Wait::kCombinerYield) {
+        // Combiner preemption point (spin cells only: TicketMutex waits
+        // stay cooperative under the virtual scheduler, so parking the
+        // combiner here cannot OS-block other virtual threads; a
+        // std::mutex-holding combiner must never park — see
+        // YieldPoint::CombineApply).
+        sched_yield_point(YieldPoint::CombineApply);
+      }
+      const bool is_issue = inv.kind != rsm::Invocation::Kind::Complete &&
+                            inv.kind != rsm::Invocation::Kind::Cancel;
+      if (is_issue && fe.robust_.max_incomplete != 0 &&
+          fe.engine_.incomplete_count() >= fe.robust_.max_incomplete) {
+        slots[i]->shed = true;
+        fe.counters_.shed.fetch_add(1, std::memory_order_relaxed);
+        Broker::retire(slots[i]);  // vetoed: the engine never touches it
+        return false;
+      }
+      inv.t = static_cast<double>(++fe.logical_time_);
+      return true;
+    }
+
+    void after(rsm::Invocation& inv, std::size_t i) override {
+      // Retirement (the last statement of every branch) must be per-slot
+      // and immediate: a publisher promoted by a *later* invocation of this
+      // very batch may wake, run its critical section, and republish this
+      // slot for its release while the batch is still being applied — so
+      // after the retire() the slot is off limits.
+      if (inv.kind == rsm::Invocation::Kind::Complete) {
+        if (fe.invocation_log_ != nullptr) {
+          fe.invocation_log_->push_back(InvocationRecord{
+              InvocationKind::Complete, inv.t, inv.id, false,
+              fe.engine_.request(inv.id).is_write, ResourceSet(fe.q_),
+              ResourceSet(fe.q_)});
+        }
+        // Writer guard depart on behalf of the publisher: looking the
+        // request up requires the mutex (the deque grows concurrently),
+        // and we hold it — the releasing thread does not.  depart() is a
+        // handful of atomic decrements, safe under the mutex.
+        if (fe.indicator_ != nullptr) {
+          const rsm::Request& r = fe.engine_.request(inv.id);
+          if (r.is_write)
+            fe.indicator_->writer_depart(
+                fe.guard_domain(r.need_read, r.need_write));
+        }
+        Broker::retire(slots[i]);
+        return;
+      }
+      if (inv.kind == rsm::Invocation::Kind::Cancel) {  // not routed
+        Broker::retire(slots[i]);
+        return;
+      }
+      if (fe.invocation_log_ != nullptr) {
+        InvocationKind kind = InvocationKind::IssueRead;
+        if (inv.kind == rsm::Invocation::Kind::IssueWrite)
+          kind = InvocationKind::IssueWrite;
+        else if (inv.kind == rsm::Invocation::Kind::IssueMixed)
+          kind = InvocationKind::IssueMixed;
+        fe.invocation_log_->push_back(
+            InvocationRecord{kind, inv.t, inv.id, inv.satisfied,
+                             kind != InvocationKind::IssueRead, inv.reads,
+                             inv.writes});
+      }
+      if (!inv.satisfied) fe.register_waiter(inv.id, &slots[i]->waiter);
+      Broker::retire(slots[i]);
+    }
+  };
+  friend struct CombineSink;
+
+  void submit_combined(typename Broker::Slot* slot) {
+    bool wake = false;
+    broker_->submit(
+        mutex_, slot,
+        [this, &wake](typename Broker::Slot* const* slots, std::size_t n) {
+          rsm::Invocation* invs[Broker::kSlots];
+          for (std::size_t i = 0; i < n; ++i) invs[i] = &slots[i]->inv;
+          CombineSink sink(*this, slots);
+          engine_.apply_batch(invs, n, &sink);
+          // Propagate the batch's wakeups exactly like a classic invoking
+          // thread: consume wake_pending_ under the mutex, broadcast after
+          // dropping it (the broker unlocks before submit() returns).
+          if (consume_wake_locked()) wake = true;
+        });
+    broadcast(wake);
+  }
+
+  LockToken acquire_combined(const ResourceSet& reads,
+                             const ResourceSet& writes,
+                             typename Broker::Slot* slot) {
+    rsm::Invocation& inv = slot->inv;
+    if (reads_as_writes_) {
+      inv.kind = rsm::Invocation::Kind::IssueWrite;
+      inv.reads = ResourceSet(q_);
+      inv.writes = reads | writes;
+    } else {
+      inv.reads = reads;
+      inv.writes = writes;
+      if (writes.empty())
+        inv.kind = rsm::Invocation::Kind::IssueRead;
+      else if (reads.empty())
+        inv.kind = rsm::Invocation::Kind::IssueWrite;
+      else
+        inv.kind = rsm::Invocation::Kind::IssueMixed;
+    }
+    inv.id = rsm::kNoRequest;
+    inv.satisfied = false;
+    slot->shed = false;
+    slot->waiter.satisfied.store(false, std::memory_order_relaxed);
+    slot->waiter.sleeping = false;  // pre-publish; the slot is ours alone
+    submit_combined(slot);
+    if (slot->shed) throw OverloadShed(shed_message());
+    if (!inv.satisfied) wait_satisfaction(slot->waiter);
+    pending_satisfied_.fetch_sub(1, std::memory_order_relaxed);
+    counters_.acquired.fetch_add(1, std::memory_order_relaxed);
+    return LockToken{inv.id, nullptr};
+  }
+
+  // --- reader-indicator fast path -----------------------------------------
+
+  void release_indicator(ReaderIndicator::GrantSlot* g) {
+    sched_yield_point(YieldPoint::Release);
+    if (g->engine_id != rsm::kNoRequest) {
+      // Log mode: complete the engine-visible grant before withdrawing the
+      // published presence, so a sweeping writer that proceeds on our
+      // zeroed cell finds the engine already clear of this reader.
+      mutex_.lock();
+      if constexpr (!Wait::kYieldBeforeMutex)
+        sched_yield_point(YieldPoint::EngineInvoke);
+      const double t = static_cast<double>(++logical_time_);
+      engine_.complete(t, g->engine_id);
+      if (invocation_log_ != nullptr) {
+        invocation_log_->push_back(InvocationRecord{
+            InvocationKind::Complete, static_cast<rsm::Time>(logical_time_),
+            g->engine_id, false, false, ResourceSet(q_), ResourceSet(q_)});
+      }
+      const bool wake = consume_wake_locked();
+      mutex_.unlock();
+      broadcast(wake);
+    }
+    indicator_->exit(g);
+  }
+
+  std::size_t q_;
+  bool reads_as_writes_;
+  bool read_fast_path_;
+  // Gates the indicator fast-path *attempt* in acquire().  Separate from
+  // read_fast_path_ so Classic cells (no engine fast path) still serve
+  // indicator reads; set_read_fast_path() toggles both, preserving the
+  // historical spin behaviour.
+  bool indicator_fast_path_ = true;
+  mutable Mutex mutex_;  // serializes engine invocations (Rule G4)
+  std::condition_variable cv_;  // cv cells only; idle member on spin cells
+  rsm::Engine engine_;
+  std::uint64_t logical_time_ = 0;
+  // Flat waiter slot table indexed by RequestId (slots recycle, ids stay
+  // dense).  Guarded by mutex_.
+  std::vector<Waiter*> waiters_;
+  InvocationLog* invocation_log_ = nullptr;  // guarded by mutex_
+  RobustnessOptions robust_;                 // guarded by mutex_
+  std::vector<std::chrono::steady_clock::time_point> hold_since_;
+  std::unique_ptr<Broker> broker_;
+  std::unique_ptr<ReaderIndicator> indicator_;
+  // Incremental requests in flight: inc_live_[id] marks ids whose
+  // satisfaction events are routed to grant-target waits; inc_waiters_
+  // holds the active grant-target wait per request.  Guarded by mutex_.
+  struct IncWait {
+    Waiter* waiter = nullptr;
+    ResourceSet target;
+  };
+  std::vector<char> inc_live_;
+  std::unordered_map<rsm::RequestId, IncWait> inc_waiters_;
+  // cv bookkeeping (all guarded by mutex_; stay zero on spin cells).
+  bool wake_pending_ = false;
+  std::uint64_t wakeup_count_ = 0;
+  std::uint64_t notify_count_ = 0;
+  std::size_t blocked_waiters_ = 0;
+  // Engine satisfactions minus acquirer consumptions (idle => 0).
+  std::atomic<std::uint64_t> pending_satisfied_{0};
+  struct alignas(64) Counters {
+    std::atomic<std::uint64_t> acquired{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<std::uint64_t> cancels{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> indicator_fast_hits{0};
+    std::atomic<std::uint64_t> indicator_retractions{0};
+    std::atomic<std::uint64_t> indicator_sweeps{0};
+  };
+  static_assert(sizeof(Counters) == 64 && alignof(Counters) == 64,
+                "hot counters must fill exactly one cache line");
+  Counters counters_;
+};
+
+// ---------------------------------------------------------------------------
+// Sharded topology: one flat cell per read-share-closed component
+// ---------------------------------------------------------------------------
+//
+// Under rules G1-G4 two requests interact only if their domains share a
+// resource: every entitlement check (Defs. 3-4), blocking set, and queue in
+// the RSM is local to the resources a request enqueues on.  If the resource
+// universe is partitioned into *components* that are closed under the
+// read-share relation (S(l) stays inside l's component for every l), then
+// requests confined to one component can never interact with requests in
+// another, so the global RSM decomposes exactly into one independent RSM per
+// component — same transitions, same satisfaction order, same Thm. 1/Thm. 2
+// bounds per component (see DESIGN.md §"Hot-path engineering").
+//
+// Each component gets its own flat cell (mutex + engine), so protocol
+// invocations touching disjoint components proceed in parallel instead of
+// serializing on one global lock.  The partition is declared statically at
+// construction, which validates that components are pairwise disjoint and
+// closure-respecting; acquire() rejects requests spanning more than one
+// component (such request shapes must be declared differently, e.g. by
+// merging their components).
+
+template <class Wait, class Path>
+class FrontEnd<Wait, Path, topo::Sharded> final : public MultiResourceLock {
+ public:
+  using Shard = FrontEnd<Wait, Path, topo::Flat>;
+  using Mutex = typename Wait::Mutex;
+  using Broker = CombiningBroker<Mutex>;
+
+  /// `components` are pairwise-disjoint resource sets over `num_resources`;
+  /// resources not covered by any declared component become singleton
+  /// components.  `shares` must respect the partition: closure(C) == C for
+  /// every component C (violations throw std::invalid_argument, since a
+  /// cross-component write domain would need two shards' locks at once).
+  /// `combining` enables the flat-combining broker *per shard* (each
+  /// component's cell gets its own broker, so combining never crosses the
+  /// component boundary the decomposition argument relies on).
+  FrontEnd(std::size_t num_resources, std::vector<ResourceSet> components,
+           rsm::ReadShareTable shares,
+           rsm::WriteExpansion expansion = Wait::kDefaultExpansion,
+           bool combining = Path::kCombining)
+      : q_(num_resources),
+        component_sets_(std::move(components)),
+        component_of_(num_resources, UINT32_MAX) {
+    RWRNLP_REQUIRE(shares.num_resources() == num_resources,
+                   "read-share table size (" << shares.num_resources()
+                                             << ") != resource count ("
+                                             << num_resources << ")");
+    // Disjointness + coverage map.
+    for (std::size_t c = 0; c < component_sets_.size(); ++c) {
+      const ResourceSet& rs = component_sets_[c];
+      RWRNLP_REQUIRE(!rs.empty(), "component " << c << " is empty");
+      rs.for_each([&](ResourceId l) {
+        RWRNLP_REQUIRE(l < num_resources,
+                       "component " << c << " resource l" << l
+                                    << " outside universe (q=" << num_resources
+                                    << ")");
+        RWRNLP_REQUIRE(component_of_[l] == UINT32_MAX,
+                       "components overlap on l" << l);
+        component_of_[l] = static_cast<std::uint32_t>(c);
+      });
+    }
+    // Uncovered resources become singleton components.
+    for (ResourceId l = 0; l < num_resources; ++l) {
+      if (component_of_[l] == UINT32_MAX) {
+        component_of_[l] = static_cast<std::uint32_t>(component_sets_.size());
+        component_sets_.push_back(ResourceSet(num_resources, {l}));
+      }
+    }
+    // The partition must be closed under the read-share relation: a write
+    // needing l claims (or placeholders over) closure({l}), and a domain
+    // that crossed components would need two shards' state in one atomic
+    // invocation.  Rejecting such share tables here is what preserves the
+    // per-component Thm. 1/Thm. 2 bounds verbatim.
+    for (std::size_t c = 0; c < component_sets_.size(); ++c) {
+      const ResourceSet closure = shares.closure(component_sets_[c]);
+      RWRNLP_REQUIRE(closure.is_subset_of(component_sets_[c]),
+                     "read-share relation crosses component "
+                         << c << ": closure " << closure.to_string()
+                         << " escapes " << component_sets_[c].to_string());
+    }
+    // Each shard runs over the full (global) resource numbering; it only
+    // ever sees requests confined to its component, so cross-shard state
+    // stays untouched by construction.
+    shards_.reserve(component_sets_.size());
+    for (std::size_t c = 0; c < component_sets_.size(); ++c) {
+      if constexpr (Wait::kExposesReadsAsWrites) {
+        shards_.push_back(std::make_unique<Shard>(num_resources, shares,
+                                                  expansion,
+                                                  /*reads_as_writes=*/false,
+                                                  combining));
+      } else {
+        shards_.push_back(
+            std::make_unique<Shard>(num_resources, shares, expansion,
+                                    combining));
+      }
+    }
+  }
+  FrontEnd(std::size_t num_resources, std::vector<ResourceSet> components,
+           rsm::WriteExpansion expansion = Wait::kDefaultExpansion,
+           bool combining = Path::kCombining)
+      : FrontEnd(num_resources, std::move(components),
+                 rsm::ReadShareTable(num_resources), expansion, combining) {}
+
+  bool combining_enabled() const {
+    return !shards_.empty() && shards_.front()->combining_enabled();
+  }
+
+  /// Enables the distributed reader indicator on every shard (see the flat
+  /// cell's enable_reader_indicator): read-only requests routed to a shard
+  /// are granted mutex-free through that shard's indicator.  Not
+  /// thread-safe against traffic: configure before the first acquisition.
+  void enable_reader_indicators() {
+    for (auto& s : shards_) s->enable_reader_indicator();
+  }
+  bool reader_indicators_enabled() const {
+    return !shards_.empty() && shards_.front()->reader_indicator_enabled();
+  }
+
+  /// Enables the cross-shard combining broker.  Slow-path acquisitions from
+  /// *all* components are published to one global announcement board tagged
+  /// with their component index; whichever thread wins the global mutex
+  /// partitions the ts-ordered batch by tag and applies each sub-batch
+  /// against the owning shard in a single Engine::apply_batch pass — so
+  /// write-queue fixpoints for independent components are coalesced into
+  /// one combiner tour instead of one mutex tour per shard, and the
+  /// combiner thread amortizes its cache misses across components.  The
+  /// per-component RSM decomposition is untouched: tagged sub-batches never
+  /// mix shards, and per-shard ticket order is preserved (the partition is
+  /// a stable scan).  Not thread-safe against traffic: configure before
+  /// the first acquisition.
+  void enable_cross_shard_combining() {
+    if (global_broker_ == nullptr) global_broker_ = std::make_unique<Broker>();
+  }
+  bool cross_shard_combining_enabled() const {
+    return global_broker_ != nullptr;
+  }
+
+  /// Routes to the owning shard.  Throws std::invalid_argument if
+  /// reads|writes spans more than one component.
+  LockToken acquire(const ResourceSet& reads,
+                    const ResourceSet& writes) override {
+    std::size_t c = 0;
+    Shard& shard = route(reads, writes, &c);
+    if (global_broker_ != nullptr) {
+      // Read-only requests try the shard's indicator first: a fast grant
+      // needs neither a broker slot nor any mutex.
+      if (shard.reader_indicator_enabled() &&
+          !shard.classifies_as_writer(reads, writes)) {
+        LockToken tok;
+        if (shard.try_indicator_acquire(reads, &tok))
+          return tok;  // token.data is the grant slot — must NOT be replaced
+      }
+      if (typename Broker::Slot* slot = global_broker_->claim_slot())
+        return acquire_cross(shard, c, reads, writes, slot);
+      // Announcement board full: fall through to the shard-local path
+      // (always legal — both paths serialize through the shard's mutex).
+    }
+    LockToken token = shard.acquire(reads, writes);
+    // Remember the owning shard for release() — except for indicator
+    // grants, whose data field is the grant slot (the slot's owner points
+    // back at the shard).
+    if (token.id != kIndicatorToken) token.data = &shard;
+    return token;
+  }
+
+  /// Timed acquisition, delegated to the owning shard (same routing rules
+  /// and the same timeout-vs-grant semantics as the flat cell).
+  std::optional<LockToken> try_lock_until(
+      const ResourceSet& reads, const ResourceSet& writes,
+      std::chrono::steady_clock::time_point deadline) override {
+    std::size_t c = 0;
+    Shard& shard = route(reads, writes, &c);
+    std::optional<LockToken> token =
+        shard.try_lock_until(reads, writes, deadline);
+    if (token && token->id != kIndicatorToken)
+      token->data = &shard;  // remembers the owning shard
+    return token;
+  }
+
+  void release(LockToken token) override {
+    RWRNLP_REQUIRE(token.data != nullptr, "release of foreign token");
+    if (token.id == kIndicatorToken) {
+      // Indicator grants carry the grant slot in data; the slot's owner
+      // field points back at the issuing shard.
+      auto* g = static_cast<ReaderIndicator::GrantSlot*>(token.data);
+      RWRNLP_REQUIRE(g->owner != nullptr, "release of foreign indicator token");
+      static_cast<Shard*>(g->owner)->release(token);
+      return;
+    }
+    static_cast<Shard*>(token.data)->release(token);
+  }
+
+  // --- incremental requests (Sec. 3.7), routed like acquire() -------------
+
+  LockToken acquire_incremental(const ResourceSet& potential_reads,
+                                const ResourceSet& potential_writes,
+                                const ResourceSet& initial) {
+    std::size_t c = 0;
+    Shard& shard = route(potential_reads, potential_writes, &c);
+    LockToken token =
+        shard.acquire_incremental(potential_reads, potential_writes, initial);
+    token.data = &shard;
+    return token;
+  }
+
+  std::optional<LockToken> try_incremental_until(
+      const ResourceSet& potential_reads, const ResourceSet& potential_writes,
+      const ResourceSet& initial,
+      std::chrono::steady_clock::time_point deadline) {
+    std::size_t c = 0;
+    Shard& shard = route(potential_reads, potential_writes, &c);
+    std::optional<LockToken> token = shard.try_incremental_until(
+        potential_reads, potential_writes, initial, deadline);
+    if (token) token->data = &shard;
+    return token;
+  }
+
+  void request_more(const LockToken& token, const ResourceSet& extra) {
+    RWRNLP_REQUIRE(token.data != nullptr, "request_more on foreign token");
+    static_cast<Shard*>(token.data)->request_more(token, extra);
+  }
+
+  void release_incremental(LockToken token) {
+    RWRNLP_REQUIRE(token.data != nullptr,
+                   "release_incremental of foreign token");
+    static_cast<Shard*>(token.data)->release_incremental(token);
+  }
+
+  std::string name() const override {
+    std::ostringstream os;
+    os << "sharded-" << shards_.front()->name() << "(" << shards_.size()
+       << ")";
+    return os.str();
+  }
+  std::size_t num_resources() const override { return q_; }
+
+  /// Propagates robustness knobs to every shard.  Note that the
+  /// load-shedding ceiling then applies *per component*, matching the
+  /// per-component decomposition of the P2 bound.
+  void set_robustness_options(const RobustnessOptions& opt) {
+    for (auto& s : shards_) s->set_robustness_options(opt);
+  }
+
+  /// Merged health snapshot across all shards (counters summed, queue
+  /// depths maxed, stuck lists concatenated), plus the cross-shard path's
+  /// own acquisitions and the global combiner's stats.
+  HealthReport health_report() const {
+    HealthReport hr;
+    for (const auto& s : shards_) hr.merge(s->health_report());
+    hr.acquired += cross_acquired_.load(std::memory_order_relaxed);
+    if (global_broker_ != nullptr) {
+      // Global combiner stats mutate only under global_mutex_, held here.
+      global_mutex_.lock();
+      const CombinerStats& cs = global_broker_->stats();
+      hr.batches_combined += cs.batches;
+      hr.combined_invocations += cs.invocations;
+      hr.combiner_handoffs += cs.handoffs;
+      hr.max_batch_combined = std::max(hr.max_batch_combined, cs.max_batch);
+      global_mutex_.unlock();
+    }
+    return hr;
+  }
+
+  std::size_t num_components() const { return shards_.size(); }
+  std::size_t component_of(ResourceId l) const {
+    RWRNLP_REQUIRE(l < q_, "resource l" << l << " outside universe (q=" << q_
+                                        << ")");
+    return component_of_[l];
+  }
+  const ResourceSet& component_resources(std::size_t c) const {
+    RWRNLP_REQUIRE(c < component_sets_.size(), "bad component index " << c);
+    return component_sets_[c];
+  }
+
+  /// Direct access to a shard (tests and benchmarks).
+  Shard& shard(std::size_t c) { return *shards_[c]; }
+
+  /// Propagates the fast-path toggle to every shard.
+  void set_read_fast_path(bool enabled) {
+    for (auto& s : shards_) s->set_read_fast_path(enabled);
+  }
+
+ private:
+  Shard& route(const ResourceSet& reads, const ResourceSet& writes,
+               std::size_t* component_out) {
+    const ResourceSet footprint = reads | writes;
+    RWRNLP_REQUIRE(!footprint.empty(), "request needs at least one resource");
+    const ResourceId lead = footprint.first();
+    RWRNLP_REQUIRE(lead < q_, "resource l" << lead << " outside universe (q="
+                                           << q_ << ")");
+    const std::size_t c = component_of_[lead];
+    RWRNLP_REQUIRE(footprint.is_subset_of(component_sets_[c]),
+                   "request " << footprint.to_string()
+                              << " spans multiple components; declare a "
+                                 "merged component for this request shape");
+    if (component_out) *component_out = c;
+    return *shards_[c];
+  }
+
+  LockToken acquire_cross(Shard& shard, std::size_t c, const ResourceSet& reads,
+                          const ResourceSet& writes,
+                          typename Broker::Slot* slot) {
+    // Writer-side indicator revocation, strictly before the slot becomes
+    // visible: once published, a combiner may apply the invocation at any
+    // moment, and the sweep must have quiesced in-flight fast readers
+    // before the engine sees the write (same discipline as the flat cell's
+    // acquire).
+    ResourceSet guard;
+    bool guarded = false;
+    if (shard.reader_indicator_enabled() &&
+        shard.classifies_as_writer(reads, writes)) {
+      guard = shard.guard_domain(reads, writes);
+      shard.indicator()->writer_arrive(guard);
+      shard.indicator()->writer_sweep(guard);
+      shard.count_indicator_sweep();
+      guarded = true;
+    }
+    rsm::Invocation& inv = slot->inv;
+    inv.reads = reads;
+    inv.writes = writes;
+    if (writes.empty())
+      inv.kind = rsm::Invocation::Kind::IssueRead;
+    else if (reads.empty())
+      inv.kind = rsm::Invocation::Kind::IssueWrite;
+    else
+      inv.kind = rsm::Invocation::Kind::IssueMixed;
+    inv.id = rsm::kNoRequest;
+    inv.satisfied = false;
+    slot->shed = false;
+    slot->tag = static_cast<std::uint32_t>(c);
+    slot->waiter.satisfied.store(false, std::memory_order_relaxed);
+    slot->waiter.sleeping = false;  // pre-publish; the slot is ours alone
+    submit_cross(slot);
+    if (slot->shed) {
+      // No token was produced, so the matching depart happens here (the
+      // success path transfers it to release() via the shard).
+      if (guarded) shard.indicator()->writer_depart(guard);
+      throw OverloadShed(shard.shed_message());
+    }
+    // Policy-appropriate wait + satisfaction consumption, run by the shard
+    // (whose cv/mutex the combiner's broadcast targets).
+    shard.finish_cross_acquire(slot);
+    cross_acquired_.fetch_add(1, std::memory_order_relaxed);
+    return LockToken{inv.id, &shard};
+  }
+
+  void submit_cross(typename Broker::Slot* slot) {
+    global_broker_->submit(
+        global_mutex_, slot,
+        [this](typename Broker::Slot* const* slots, std::size_t n) {
+          // Partition the ts-ordered batch by component tag with a stable
+          // scan: each shard receives its invocations in global ticket
+          // order, which is exactly the order a per-shard combiner would
+          // have chosen — so cross-shard combining is trace-equivalent per
+          // component.  Tags of not-yet-applied slots are stable (their
+          // publishers are blocked in submit/wait); applied slots are
+          // skipped via done[], never re-read.
+          bool done[Broker::kSlots] = {};
+          for (std::size_t i = 0; i < n; ++i) {
+            if (done[i]) continue;
+            const std::uint32_t tag = slots[i]->tag;
+            typename Broker::Slot* run[Broker::kSlots];
+            std::size_t cnt = 0;
+            for (std::size_t j = i; j < n; ++j) {
+              if (!done[j] && slots[j]->tag == tag) {
+                done[j] = true;
+                run[cnt++] = slots[j];
+              }
+            }
+            shards_[tag]->apply_published_slots(run, cnt);
+          }
+        });
+  }
+
+  std::size_t q_;
+  std::vector<ResourceSet> component_sets_;
+  std::vector<std::uint32_t> component_of_;  // resource -> component index
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Cross-shard combining state; broker null when disabled (the default).
+  // The global mutex serializes only combiner election and batch dispatch —
+  // protocol state stays per shard, and the lock order is strictly
+  // global -> shard.
+  mutable Mutex global_mutex_;
+  std::unique_ptr<Broker> global_broker_;
+  // Acquisitions completed through the cross-shard path (the shard-local
+  // `acquired` counters only see shard-entered acquisitions).
+  std::atomic<std::uint64_t> cross_acquired_{0};
+};
+
+// ---------------------------------------------------------------------------
+// The matrix.  The historical classes are cells; the cell aliases below name
+// every enabled cell for the conformance suite (tests/matrix_conformance_
+// test.cpp).  Adding a policy = writing the policy struct + one alias here +
+// registering the cell in src/testing/cell_registry.cpp.
+// ---------------------------------------------------------------------------
+
+/// Historical front-end classes (exact public API preserved).
+using SpinRwRnlp = FrontEnd<SpinWaitPolicy, path::Fast, topo::Flat>;
+using SuspendRwRnlp = FrontEnd<SuspendWaitPolicy, path::Classic, topo::Flat>;
+using ShardedRwRnlp = FrontEnd<SpinWaitPolicy, path::Fast, topo::Sharded>;
+/// The new cell: bounded spin, then suspend.  A policy + alias, nothing else.
+using AdaptiveRwRnlp = FrontEnd<AdaptiveWaitPolicy, path::Fast, topo::Flat>;
+
+/// Cell aliases, one per enabled matrix cell.
+using SpinClassicCell = FrontEnd<SpinWaitPolicy, path::Classic, topo::Flat>;
+using SpinFastCell = FrontEnd<SpinWaitPolicy, path::Fast, topo::Flat>;
+using SpinCombiningCell = FrontEnd<SpinWaitPolicy, path::Combining, topo::Flat>;
+using SuspendClassicCell =
+    FrontEnd<SuspendWaitPolicy, path::Classic, topo::Flat>;
+using SuspendFastCell = FrontEnd<SuspendWaitPolicy, path::Fast, topo::Flat>;
+using SuspendCombiningCell =
+    FrontEnd<SuspendWaitPolicy, path::Combining, topo::Flat>;
+using AdaptiveFastCell = FrontEnd<AdaptiveWaitPolicy, path::Fast, topo::Flat>;
+using AdaptiveCombiningCell =
+    FrontEnd<AdaptiveWaitPolicy, path::Combining, topo::Flat>;
+using ShardedSpinCell = FrontEnd<SpinWaitPolicy, path::Fast, topo::Sharded>;
+using ShardedSuspendCell =
+    FrontEnd<SuspendWaitPolicy, path::Classic, topo::Sharded>;
+
+}  // namespace rwrnlp::locks

@@ -1,139 +1,8 @@
-// Component-sharded R/W RNLP front end.
-//
-// Under rules G1-G4 two requests interact only if their domains share a
-// resource: every entitlement check (Defs. 3-4), blocking set, and queue in
-// the RSM is local to the resources a request enqueues on.  If the resource
-// universe is partitioned into *components* that are closed under the
-// read-share relation (S(l) stays inside l's component for every l), then
-// requests confined to one component can never interact with requests in
-// another, so the global RSM decomposes exactly into one independent RSM per
-// component — same transitions, same satisfaction order, same Thm. 1/Thm. 2
-// bounds per component (see DESIGN.md §"Hot-path engineering").
-//
-// ShardedRwRnlp exploits that: each component gets its own TicketMutex +
-// engine (a private SpinRwRnlp shard), so protocol invocations touching
-// disjoint components proceed in parallel instead of serializing on one
-// global lock.  The partition is declared statically at construction, which
-// validates that components are pairwise disjoint and closure-respecting;
-// acquire() rejects requests spanning more than one component (such request
-// shapes must be declared differently, e.g. by merging their components).
+// Component-sharded R/W RNLP front end — now a cell of the policy-based
+// front-end matrix.  ShardedRwRnlp is a type alias for
+// FrontEnd<SpinWaitPolicy, path::Fast, topo::Sharded> with its historical
+// public API intact; see front_end.hpp for the matrix and the
+// per-component RSM decomposition argument.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
-#include <memory>
-#include <vector>
-
-#include "locks/multi_lock.hpp"
-#include "locks/spin_rw_rnlp.hpp"
-
-namespace rwrnlp::locks {
-
-class ShardedRwRnlp final : public MultiResourceLock {
- public:
-  /// `components` are pairwise-disjoint resource sets over `num_resources`;
-  /// resources not covered by any declared component become singleton
-  /// components.  `shares` must respect the partition: closure(C) == C for
-  /// every component C (violations throw std::invalid_argument, since a
-  /// cross-component write domain would need two shards' locks at once).
-  /// `combining` enables the flat-combining broker *per shard* (each
-  /// component's SpinRwRnlp gets its own broker, so combining never crosses
-  /// the component boundary the decomposition argument relies on).
-  ShardedRwRnlp(std::size_t num_resources,
-                std::vector<ResourceSet> components,
-                rsm::ReadShareTable shares,
-                rsm::WriteExpansion expansion = rsm::WriteExpansion::ExpandDomain,
-                bool combining = false);
-  ShardedRwRnlp(std::size_t num_resources,
-                std::vector<ResourceSet> components,
-                rsm::WriteExpansion expansion = rsm::WriteExpansion::ExpandDomain,
-                bool combining = false);
-
-  bool combining_enabled() const {
-    return !shards_.empty() && shards_.front()->combining_enabled();
-  }
-
-  /// Enables the distributed reader indicator on every shard (see
-  /// SpinRwRnlp::enable_reader_indicator): read-only requests routed to a
-  /// shard are granted mutex-free through that shard's indicator.  Not
-  /// thread-safe against traffic: configure before the first acquisition.
-  void enable_reader_indicators();
-  bool reader_indicators_enabled() const {
-    return !shards_.empty() && shards_.front()->reader_indicator_enabled();
-  }
-
-  /// Enables the cross-shard combining broker.  Slow-path acquisitions from
-  /// *all* components are published to one global announcement board tagged
-  /// with their component index; whichever thread wins the global mutex
-  /// partitions the ts-ordered batch by tag and applies each sub-batch
-  /// against the owning shard in a single Engine::apply_batch pass — so
-  /// write-queue fixpoints for independent components are coalesced into
-  /// one combiner tour instead of one mutex tour per shard, and the
-  /// combiner thread amortizes its cache misses across components.  The
-  /// per-component RSM decomposition is untouched: tagged sub-batches never
-  /// mix shards, and per-shard ticket order is preserved (the partition is
-  /// a stable scan).  Not thread-safe against traffic: configure before
-  /// the first acquisition.
-  void enable_cross_shard_combining();
-  bool cross_shard_combining_enabled() const {
-    return global_broker_ != nullptr;
-  }
-
-  /// Routes to the owning shard.  Throws std::invalid_argument if
-  /// reads|writes spans more than one component.
-  LockToken acquire(const ResourceSet& reads,
-                    const ResourceSet& writes) override;
-  /// Timed acquisition, delegated to the owning shard (same routing rules
-  /// and the same timeout-vs-grant semantics as SpinRwRnlp).
-  std::optional<LockToken> try_lock_until(
-      const ResourceSet& reads, const ResourceSet& writes,
-      std::chrono::steady_clock::time_point deadline) override;
-  void release(LockToken token) override;
-  std::string name() const override;
-  std::size_t num_resources() const override { return q_; }
-
-  /// Propagates robustness knobs to every shard.  Note that the
-  /// load-shedding ceiling then applies *per component*, matching the
-  /// per-component decomposition of the P2 bound.
-  void set_robustness_options(const RobustnessOptions& opt);
-  /// Merged health snapshot across all shards (counters summed, queue
-  /// depths maxed, stuck lists concatenated).
-  HealthReport health_report() const;
-
-  std::size_t num_components() const { return shards_.size(); }
-  std::size_t component_of(ResourceId l) const;
-  const ResourceSet& component_resources(std::size_t c) const;
-
-  /// Direct access to a shard (tests and benchmarks).
-  SpinRwRnlp& shard(std::size_t c) { return *shards_[c]; }
-
-  /// Propagates the fast-path toggle to every shard.
-  void set_read_fast_path(bool enabled);
-
- private:
-  using Broker = CombiningBroker<TicketMutex>;
-
-  SpinRwRnlp& route(const ResourceSet& reads, const ResourceSet& writes,
-                    std::size_t* component_out);
-
-  LockToken acquire_cross(SpinRwRnlp& shard, std::size_t c,
-                          const ResourceSet& reads, const ResourceSet& writes,
-                          Broker::Slot* slot);
-  void submit_cross(Broker::Slot* slot);
-
-  std::size_t q_;
-  std::vector<ResourceSet> component_sets_;
-  std::vector<std::uint32_t> component_of_;  // resource -> component index
-  std::vector<std::unique_ptr<SpinRwRnlp>> shards_;
-  // Cross-shard combining state; broker null when disabled (the default).
-  // The global mutex serializes only combiner election and batch dispatch —
-  // protocol state stays per shard, and the lock order is strictly
-  // global -> shard.
-  mutable TicketMutex global_mutex_;
-  std::unique_ptr<Broker> global_broker_;
-  // Acquisitions completed through the cross-shard path (the shard-local
-  // `acquired` counters only see shard-entered acquisitions).
-  std::atomic<std::uint64_t> cross_acquired_{0};
-};
-
-}  // namespace rwrnlp::locks
+#include "locks/front_end.hpp"

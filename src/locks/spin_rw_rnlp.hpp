@@ -1,245 +1,7 @@
-// Concurrent (real-thread) spin-based R/W RNLP.
-//
-// The RSM engine is a sequential state machine whose invocations the paper
-// assumes to be atomic (Rule G4).  This wrapper realizes that assumption in
-// user space: a short internal ticket lock serializes protocol invocations
-// (issue / complete), and waiters spin on a per-request flag that the
-// engine's satisfaction callback sets from within whichever invocation
-// satisfies the request.  Logical time is a monotonically increasing
-// invocation counter.
-//
-// This mirrors how the RNLP family is implemented in LITMUS^RT (protocol
-// state updated under a short spinlock, waiters spinning on private flags);
-// the spinning itself is the paper's Rule S1 progress mechanism, with
-// thread pinning standing in for non-preemptive execution (see DESIGN.md).
+// Busy-wait R/W RNLP front end — now a cell of the policy-based front-end
+// matrix.  SpinRwRnlp is a type alias for
+// FrontEnd<SpinWaitPolicy, path::Fast, topo::Flat> with its historical
+// public API intact; see front_end.hpp for the matrix.
 #pragma once
 
-#include <atomic>
-#include <chrono>
-#include <memory>
-#include <optional>
-#include <vector>
-
-#include "locks/combining_broker.hpp"
-#include "locks/health.hpp"
-#include "locks/invocation_log.hpp"
-#include "locks/multi_lock.hpp"
-#include "locks/reader_indicator.hpp"
-#include "locks/ticket_mutex.hpp"
-#include "rsm/engine.hpp"
-
-namespace rwrnlp::locks {
-
-class SpinRwRnlp final : public MultiResourceLock {
- public:
-  /// `reads_as_writes` turns the lock into the original mutex RNLP [19]
-  /// under Assumption 1 (used as a baseline).  `combining` routes
-  /// acquire()/release() through the flat-combining broker
-  /// (combining_broker.hpp): invocations are published to per-thread slots
-  /// and whichever thread wins the internal mutex applies the whole pending
-  /// batch via Engine::apply_batch().  Off by default so the classic
-  /// one-invocation-per-mutex-transfer path stays available for A/B runs;
-  /// either way the protocol semantics are identical (the equivalence tests
-  /// replay both through the same sequential oracle).
-  SpinRwRnlp(std::size_t num_resources, rsm::ReadShareTable shares,
-             rsm::WriteExpansion expansion = rsm::WriteExpansion::ExpandDomain,
-             bool reads_as_writes = false, bool combining = false);
-  SpinRwRnlp(std::size_t num_resources,
-             rsm::WriteExpansion expansion = rsm::WriteExpansion::ExpandDomain,
-             bool reads_as_writes = false, bool combining = false);
-
-  bool combining_enabled() const { return broker_ != nullptr; }
-
-  /// Enables the distributed reader-indicator fast path
-  /// (reader_indicator.hpp): read-only requests are granted without the
-  /// engine mutex or a broker slot, and every writer-classified request
-  /// raises writer-present over its guard domain and sweeps the stripes
-  /// before entering admission.  Not thread-safe against traffic: configure
-  /// before the first acquisition, like set_robustness_options().
-  void enable_reader_indicator();
-  bool reader_indicator_enabled() const { return indicator_ != nullptr; }
-  ReaderIndicator* indicator() { return indicator_.get(); }
-
-  /// Attempts the indicator fast path for a read-only footprint; on success
-  /// fills `*out` with a kIndicatorToken token releasable through release().
-  /// Returns false (leaving protocol state untouched — a retracted publish
-  /// is invisible) when the fast path must not or cannot be taken.  Public
-  /// because ShardedRwRnlp routes its read fast path here.
-  bool try_indicator_acquire(const ResourceSet& reads, LockToken* out);
-
-  /// The indicator guard domain of a request: the read-set closure of its
-  /// needed set, which equals the engine footprint its queues occupy in
-  /// both expansion modes.  Mutex-free (the share table is immutable after
-  /// construction); used by the sharded composition's cross-shard path.
-  ResourceSet guard_domain(const ResourceSet& reads,
-                           const ResourceSet& writes) const {
-    return engine_.shares().closure(reads | writes);
-  }
-
-  /// True when `reads`/`writes` will be issued as a writer-classified
-  /// request (and must therefore arrive/sweep/depart on the indicator).
-  bool classifies_as_writer(const ResourceSet& reads,
-                            const ResourceSet& writes) const {
-    return reads_as_writes_ ? !(reads | writes).empty() : !writes.empty();
-  }
-
-  /// Applies a ts-sorted run of published broker slots against this front
-  /// end's engine under its own mutex — the per-shard half of the
-  /// cross-shard combiner (ShardedRwRnlp::enable_cross_shard_combining).
-  /// Same sink as the local combining path: shed gate, log records, waiter
-  /// registration, per-slot retirement.
-  void apply_published_slots(CombiningBroker<TicketMutex>::Slot* const* slots,
-                             std::size_t n);
-
-  /// Bumps the writer-sweep counter (the sharded cross path runs the sweep
-  /// itself but the per-shard counters live here).
-  void count_indicator_sweep() {
-    counters_.indicator_sweeps.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  LockToken acquire(const ResourceSet& reads,
-                    const ResourceSet& writes) override;
-  /// Timed acquisition with RSM-level cancellation on timeout: the waiter
-  /// spins with bounded exponential backoff until satisfaction or the
-  /// deadline; on expiry it re-enters the internal mutex and *re-checks* the
-  /// satisfaction flag before invoking Engine::cancel — a grant that landed
-  /// meanwhile wins and the call reports the lock as acquired.
-  std::optional<LockToken> try_lock_until(
-      const ResourceSet& reads, const ResourceSet& writes,
-      std::chrono::steady_clock::time_point deadline) override;
-  void release(LockToken token) override;
-  std::string name() const override;
-  std::size_t num_resources() const override { return q_; }
-
-  // --- robustness layer (health.hpp) --------------------------------------
-
-  /// Installs watchdog/shedding knobs.  Not thread-safe against concurrent
-  /// acquisitions: configure before traffic starts.
-  void set_robustness_options(const RobustnessOptions& opt) { robust_ = opt; }
-  /// Snapshot of counters, queue depths and (with a stuck budget set) every
-  /// satisfied holder whose critical section has outlived the budget.  Safe
-  /// to call from any thread, including a Watchdog probe.
-  HealthReport health_report() const;
-
-  // --- upgradeable requests (Sec. 3.6), used by the STM layer -------------
-
-  /// Outcome of acquire_upgradeable(): either the optimistic read half was
-  /// satisfied (write_mode == false: the caller runs its read-only segment
-  /// and then calls upgrade() or abandon()) or the write half won the race
-  /// (write_mode == true: the caller holds write locks and finishes with
-  /// release_upgraded()).
-  struct UpgradeToken {
-    rsm::UpgradeablePair pair;
-    bool write_mode = false;
-  };
-
-  /// Enables/disables the uncontended-read fast path (on by default; the
-  /// hot-path benchmark turns it off to measure the full-fixpoint baseline).
-  void set_read_fast_path(bool enabled) { read_fast_path_ = enabled; }
-
-  // --- schedule-testing seam (src/testing) --------------------------------
-
-  /// Installs (or clears) an invocation log; every engine invocation is
-  /// appended under the internal mutex, in engine order.  Test-only.
-  void set_invocation_log(InvocationLog* log) { invocation_log_ = log; }
-
-  /// Direct engine access for the schedule-exploration oracle (to enable
-  /// trace recording and read the live trace).  Test-only: any invocation
-  /// made through this reference bypasses the wrapper's serialization.
-  rsm::Engine& engine_for_test() { return engine_; }
-
-  UpgradeToken acquire_upgradeable(const ResourceSet& resources);
-  /// Ends the read segment and blocks until the write half is satisfied.
-  /// Data may have changed in between (the paper's Sec. 3.6 caveat): the
-  /// caller must re-read.  Only valid when write_mode == false.
-  void upgrade(UpgradeToken& token);
-  /// Ends the read segment without upgrading.  Only when !write_mode.
-  void abandon(const UpgradeToken& token);
-  /// Releases the write half (after upgrade(), or when write_mode is true).
-  void release_upgraded(const UpgradeToken& token);
-
- private:
-  // Per-request satisfaction flag, one cache line each (false-sharing
-  // audit: a spinning waiter must not share its polled line with another
-  // waiter, the mutex, or the counters).
-  using Waiter = SatisfactionFlag;
-  using Broker = CombiningBroker<TicketMutex>;
-
-  struct CombineSink;
-  friend struct CombineSink;
-
-  static rsm::EngineOptions make_options(rsm::WriteExpansion expansion);
-
-  void register_waiter(rsm::RequestId id, Waiter* w);
-  void drop_waiter(rsm::RequestId id);
-
-  LockToken acquire_combined(const ResourceSet& reads,
-                             const ResourceSet& writes, Broker::Slot* slot);
-  void submit_combined(Broker::Slot* slot);
-
-  LockToken acquire_slow(const ResourceSet& reads, const ResourceSet& writes);
-  std::optional<LockToken> try_lock_until_slow(
-      const ResourceSet& reads, const ResourceSet& writes,
-      std::chrono::steady_clock::time_point deadline);
-  void release_indicator(ReaderIndicator::GrantSlot* g);
-
-  /// Writer-side indicator revocation: raise writer-present over `guard`
-  /// and quiesce in-flight fast readers.  Must run BEFORE admission (mutex
-  /// or broker slot); the matching writer_depart runs at completion.
-  void writer_guard_enter(const ResourceSet& guard) {
-    indicator_->writer_arrive(guard);
-    indicator_->writer_sweep(guard);
-    counters_.indicator_sweeps.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  /// Issues the request under the internal mutex (choosing the invocation
-  /// kind exactly like acquire()), appends the log record, and registers
-  /// `waiter` when unsatisfied.  Returns kNoRequest iff load shedding
-  /// rejected the request.  `*satisfied_out` reports R1/W1 satisfaction.
-  rsm::RequestId issue_request(const ResourceSet& reads,
-                               const ResourceSet& writes, Waiter* waiter,
-                               bool* satisfied_out);
-
-  std::size_t q_;
-  bool reads_as_writes_;
-  bool read_fast_path_ = true;
-  mutable TicketMutex mutex_;  // serializes engine invocations (Rule G4)
-  rsm::Engine engine_;
-  std::uint64_t logical_time_ = 0;
-  // Flat waiter slot table indexed by RequestId.  The engine recycles request
-  // slots (retain_history = false), so ids stay dense and bounded by the peak
-  // number of in-flight requests: after warm-up, registration is two stores
-  // with no hashing and no allocation.  Guarded by mutex_.
-  std::vector<Waiter*> waiters_;
-  InvocationLog* invocation_log_ = nullptr;  // guarded by mutex_
-  // Robustness layer.  hold_since_[id] is the satisfaction wall-clock of the
-  // request currently occupying slot id (stale entries of recycled slots are
-  // ignored because health_report() only consults satisfied incomplete
-  // requests).  Guarded by mutex_; counters are atomics so the hot paths
-  // can bump them outside the mutex.
-  RobustnessOptions robust_;
-  std::vector<std::chrono::steady_clock::time_point> hold_since_;
-  // Flat-combining broker; null when combining is off.  Heap-allocated so
-  // the (large, line-aligned) slot table is only paid for when enabled.
-  std::unique_ptr<Broker> broker_;
-  // Distributed reader indicator; null when disabled (the default).  Also
-  // heap-allocated: the striped cell table is kStripes lines per resource.
-  std::unique_ptr<ReaderIndicator> indicator_;
-  // Counters bumped with relaxed atomics outside the mutex: give them a
-  // dedicated cache line so those stores never contend with mutex_ or
-  // engine state (false-sharing audit).
-  struct alignas(64) Counters {
-    std::atomic<std::uint64_t> acquired{0};
-    std::atomic<std::uint64_t> timeouts{0};
-    std::atomic<std::uint64_t> cancels{0};
-    std::atomic<std::uint64_t> shed{0};
-    std::atomic<std::uint64_t> indicator_fast_hits{0};
-    std::atomic<std::uint64_t> indicator_retractions{0};
-    std::atomic<std::uint64_t> indicator_sweeps{0};
-  };
-  static_assert(sizeof(Counters) == 64 && alignof(Counters) == 64,
-                "hot counters must fill exactly one cache line");
-  Counters counters_;
-};
-
-}  // namespace rwrnlp::locks
+#include "locks/front_end.hpp"

@@ -1,193 +1,7 @@
-// Suspension-based user-space R/W RNLP (Sec. 3.8 flavour).
-//
-// Same RSM engine as the spin variant, but blocked threads sleep on a
-// condition variable instead of burning cycles — the user-space analogue of
-// the paper's suspension-based protocol (where the kernel scheduler plus
-// priority donation provide Properties P1/P2; in a plain user-space process
-// the OS scheduler stands in, so this variant trades the paper's analytical
-// guarantees for CPU efficiency on oversubscribed hosts).  Useful as the
-// default choice whenever threads outnumber cores.
-//
-// Wakeup discipline: a completion broadcasts on the condition variable only
-// when it actually satisfied a *blocked* request.  Releases that satisfy
-// nobody (the common case under read-mostly workloads) wake no one, so a
-// herd of unrelated waiters is never stampeded through the mutex just to
-// re-check a predicate that cannot have changed for them.
+// Suspension-based R/W RNLP front end — now a cell of the policy-based
+// front-end matrix.  SuspendRwRnlp is a type alias for
+// FrontEnd<SuspendWaitPolicy, path::Classic, topo::Flat> with its historical
+// public API intact; see front_end.hpp for the matrix.
 #pragma once
 
-#include <atomic>
-#include <chrono>
-#include <condition_variable>
-#include <memory>
-#include <mutex>
-#include <optional>
-#include <unordered_map>
-#include <unordered_set>
-
-#include "locks/combining_broker.hpp"
-#include "locks/health.hpp"
-#include "locks/invocation_log.hpp"
-#include "locks/multi_lock.hpp"
-#include "locks/reader_indicator.hpp"
-#include "rsm/engine.hpp"
-
-namespace rwrnlp::locks {
-
-class SuspendRwRnlp final : public MultiResourceLock {
- public:
-  /// `combining` routes acquire()/release() through the flat-combining
-  /// broker (combining_broker.hpp); see SpinRwRnlp for the contract.  The
-  /// suspension variant's combiner never yields mid-batch under the virtual
-  /// scheduler — it holds a real std::mutex (see YieldPoint::CombineApply).
-  SuspendRwRnlp(std::size_t num_resources, rsm::ReadShareTable shares,
-                rsm::WriteExpansion expansion =
-                    rsm::WriteExpansion::Placeholders,
-                bool combining = false);
-  explicit SuspendRwRnlp(std::size_t num_resources,
-                         rsm::WriteExpansion expansion =
-                             rsm::WriteExpansion::Placeholders,
-                         bool combining = false);
-
-  bool combining_enabled() const { return broker_ != nullptr; }
-
-  /// Enables the distributed reader-indicator fast path (see SpinRwRnlp and
-  /// reader_indicator.hpp): read-only requests complete without touching the
-  /// std::mutex at all — particularly valuable here, where an uncontended
-  /// mutex acquisition can still cost a futex round trip.  Configure before
-  /// the first acquisition.
-  void enable_reader_indicator();
-  bool reader_indicator_enabled() const { return indicator_ != nullptr; }
-  ReaderIndicator* indicator() { return indicator_.get(); }
-
-  /// Attempts the indicator fast path for a read-only footprint; see
-  /// SpinRwRnlp::try_indicator_acquire for the contract.
-  bool try_indicator_acquire(const ResourceSet& reads, LockToken* out);
-
-  /// The indicator guard domain (read-share closure of the needed set);
-  /// equals the engine queue footprint in both expansion modes.
-  ResourceSet guard_domain(const ResourceSet& reads,
-                           const ResourceSet& writes) const {
-    return engine_.shares().closure(reads | writes);
-  }
-
-  bool classifies_as_writer(const ResourceSet& reads,
-                            const ResourceSet& writes) const {
-    (void)reads;
-    return !writes.empty();
-  }
-
-  LockToken acquire(const ResourceSet& reads,
-                    const ResourceSet& writes) override;
-  /// Timed acquisition: sleeps on the condition variable until satisfaction
-  /// or the deadline, then withdraws the request with Engine::cancel under
-  /// the internal mutex.  Satisfaction only ever happens under that mutex,
-  /// so the final re-check makes a late grant win — the call then reports
-  /// the lock as acquired instead of leaking a held token.
-  std::optional<LockToken> try_lock_until(
-      const ResourceSet& reads, const ResourceSet& writes,
-      std::chrono::steady_clock::time_point deadline) override;
-  void release(LockToken token) override;
-  std::string name() const override { return "rw-rnlp-suspend"; }
-  std::size_t num_resources() const override { return q_; }
-
-  // --- robustness layer (health.hpp) --------------------------------------
-
-  /// Installs watchdog/shedding knobs.  Configure before traffic starts.
-  void set_robustness_options(const RobustnessOptions& opt);
-  /// Counter/queue-depth/stuck-holder snapshot; Watchdog-probe safe.
-  HealthReport health_report() const;
-
-  // --- observability (tests) ----------------------------------------------
-
-  /// Times a sleeping waiter returned from cv wait (includes spurious
-  /// wakeups; excludes the initial blocking).  With the targeted-broadcast
-  /// discipline this stays proportional to the number of satisfactions, not
-  /// the number of releases.
-  std::uint64_t wakeup_count() const;
-  /// Broadcasts actually issued (releases that satisfied a blocked waiter).
-  std::uint64_t notify_count() const;
-  /// Requests marked satisfied whose waiter has not yet consumed the mark.
-  /// Zero whenever the lock is idle — the regression guard against unbounded
-  /// growth of the satisfied set.
-  std::size_t pending_satisfied_count() const;
-  /// Waiters currently blocked on the condition variable.
-  std::size_t blocked_waiters() const;
-
-  // --- schedule-testing seam (src/testing) --------------------------------
-
-  /// Installs (or clears) an invocation log; records are appended under the
-  /// internal mutex, in engine order.  Test-only.
-  void set_invocation_log(InvocationLog* log);
-  /// Direct engine access for the schedule-exploration oracle.  Test-only.
-  rsm::Engine& engine_for_test() { return engine_; }
-
- private:
-  using Broker = CombiningBroker<std::mutex>;
-
-  struct CombineSink;
-  friend struct CombineSink;
-
-  /// Shed-check + issue + log under mutex_ (held by the caller).  Returns
-  /// kNoRequest iff load shedding rejected the request.
-  rsm::RequestId issue_locked(const ResourceSet& reads,
-                              const ResourceSet& writes, bool* satisfied_out);
-
-  LockToken acquire_combined(const ResourceSet& reads,
-                             const ResourceSet& writes, Broker::Slot* slot);
-  void submit_combined(Broker::Slot* slot);
-
-  LockToken acquire_slow(const ResourceSet& reads, const ResourceSet& writes);
-  std::optional<LockToken> try_lock_until_slow(
-      const ResourceSet& reads, const ResourceSet& writes,
-      std::chrono::steady_clock::time_point deadline);
-  void release_indicator(ReaderIndicator::GrantSlot* g);
-
-  /// Writer-side indicator revocation; must run BEFORE the mutex/broker
-  /// (see SpinRwRnlp::writer_guard_enter), departs at completion.
-  void writer_guard_enter(const ResourceSet& guard) {
-    indicator_->writer_arrive(guard);
-    indicator_->writer_sweep(guard);
-    indicator_sweeps_.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  std::size_t q_;
-  mutable std::mutex mutex_;    // guards the engine (Rule G4) + all state below
-  std::condition_variable cv_;  // broadcast when a blocked waiter is satisfied
-  rsm::Engine engine_;
-  std::uint64_t logical_time_ = 0;
-  // Requests satisfied but whose waiter has not yet observed it.
-  std::unordered_set<rsm::RequestId> satisfied_;
-  // Requests with a waiter asleep on cv_.
-  std::unordered_set<rsm::RequestId> waiting_;
-  // Set by the satisfaction callback when a member of waiting_ becomes
-  // satisfied; consumed (and reset) by the invoking thread, which broadcasts
-  // after dropping the mutex.
-  bool wake_pending_ = false;
-  std::uint64_t wakeup_count_ = 0;
-  std::uint64_t notify_count_ = 0;
-  InvocationLog* invocation_log_ = nullptr;
-  // Robustness layer (all guarded by mutex_).  hold_since_ maps a request
-  // slot to its satisfaction wall-clock; entries of recycled slots are
-  // overwritten at the next satisfaction and ignored in between because
-  // health_report() only consults satisfied incomplete requests.
-  RobustnessOptions robust_;
-  std::unordered_map<rsm::RequestId, std::chrono::steady_clock::time_point>
-      hold_since_;
-  // Flat-combining broker; null when combining is off.
-  std::unique_ptr<Broker> broker_;
-  // Distributed reader indicator; null when disabled (the default).
-  std::unique_ptr<ReaderIndicator> indicator_;
-  std::uint64_t acquired_count_ = 0;
-  std::uint64_t timeout_count_ = 0;
-  std::uint64_t cancel_count_ = 0;
-  std::uint64_t shed_count_ = 0;
-  // Indicator counters are atomics, unlike the mutex-guarded counts above:
-  // the fast path must not touch mutex_ (that is its whole point), and
-  // writer sweeps run before the mutex is taken.
-  std::atomic<std::uint64_t> indicator_fast_hits_{0};
-  std::atomic<std::uint64_t> indicator_retractions_{0};
-  std::atomic<std::uint64_t> indicator_sweeps_{0};
-  std::atomic<std::uint64_t> indicator_acquired_{0};
-};
-
-}  // namespace rwrnlp::locks
+#include "locks/front_end.hpp"

@@ -1,0 +1,167 @@
+#include "testing/cell_registry.hpp"
+
+namespace rwrnlp::testing {
+namespace {
+
+using locks::AdaptiveCombiningCell;
+using locks::AdaptiveFastCell;
+using locks::ShardedSpinCell;
+using locks::ShardedSuspendCell;
+using locks::SpinClassicCell;
+using locks::SpinCombiningCell;
+using locks::SpinFastCell;
+using locks::SuspendClassicCell;
+using locks::SuspendCombiningCell;
+using locks::SuspendFastCell;
+
+/// Flat cell instance: one engine, one log.
+template <class L>
+class FlatCell final : public CellInstance {
+ public:
+  explicit FlatCell(std::unique_ptr<L> lock) : lock_(std::move(lock)) {
+    lock_->engine_for_test().set_trace_recording(true);
+    lock_->set_invocation_log(&log_);
+  }
+  locks::MultiResourceLock& lock() override { return *lock_; }
+  CorpusStats run_corpus(const CorpusOptions& opt) override {
+    return run_scenario_corpus(*lock_, opt);
+  }
+  std::vector<EnginePair> engines() override {
+    return {{&lock_->engine_for_test(), &log_}};
+  }
+  locks::HealthReport health() const override {
+    return lock_->health_report();
+  }
+  std::size_t pending_satisfied() const override {
+    return lock_->pending_satisfied_count();
+  }
+  std::string serialized_log() const override { return serialize_log(log_); }
+
+ private:
+  std::unique_ptr<L> lock_;
+  locks::InvocationLog log_;
+};
+
+/// Sharded cell instance: one engine + log per shard.
+template <class L>
+class ShardedCell final : public CellInstance {
+ public:
+  explicit ShardedCell(std::unique_ptr<L> lock)
+      : lock_(std::move(lock)), logs_(lock_->num_components()) {
+    for (std::size_t c = 0; c < lock_->num_components(); ++c) {
+      lock_->shard(c).engine_for_test().set_trace_recording(true);
+      lock_->shard(c).set_invocation_log(&logs_[c]);
+    }
+  }
+  locks::MultiResourceLock& lock() override { return *lock_; }
+  CorpusStats run_corpus(const CorpusOptions& opt) override {
+    return run_scenario_corpus(*lock_, opt);
+  }
+  std::vector<EnginePair> engines() override {
+    std::vector<EnginePair> out;
+    out.reserve(logs_.size());
+    for (std::size_t c = 0; c < logs_.size(); ++c)
+      out.push_back({&lock_->shard(c).engine_for_test(), &logs_[c]});
+    return out;
+  }
+  locks::HealthReport health() const override {
+    return lock_->health_report();
+  }
+  std::size_t pending_satisfied() const override {
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < lock_->num_components(); ++c)
+      total += lock_->shard(c).pending_satisfied_count();
+    return total;
+  }
+  std::string serialized_log() const override {
+    std::string out;
+    for (const locks::InvocationLog& log : logs_) out += serialize_log(log);
+    return out;
+  }
+
+ private:
+  std::unique_ptr<L> lock_;
+  std::vector<locks::InvocationLog> logs_;
+};
+
+std::vector<ResourceSet> corpus_components() {
+  return {ResourceSet(kCorpusResources, {0, 1, 2, 3}),
+          ResourceSet(kCorpusResources, {4, 5, 6, 7})};
+}
+
+template <class L, class Config>
+std::function<std::unique_ptr<CellInstance>()> flat(Config config) {
+  return [config] {
+    auto lock = std::make_unique<L>(kCorpusResources);
+    config(*lock);
+    return std::make_unique<FlatCell<L>>(std::move(lock));
+  };
+}
+
+template <class L>
+std::function<std::unique_ptr<CellInstance>()> flat() {
+  return flat<L>([](L&) {});
+}
+
+template <class L, class Config>
+std::function<std::unique_ptr<CellInstance>()> sharded(Config config) {
+  return [config] {
+    auto lock = std::make_unique<L>(kCorpusResources, corpus_components());
+    config(*lock);
+    return std::make_unique<ShardedCell<L>>(std::move(lock));
+  };
+}
+
+template <class L>
+std::function<std::unique_ptr<CellInstance>()> sharded() {
+  return sharded<L>([](L&) {});
+}
+
+}  // namespace
+
+const std::vector<CellInfo>& all_cells() {
+  static const std::vector<CellInfo> cells = [] {
+    std::vector<CellInfo> v;
+    // Spin column.  The first four configurations are pinned byte-equal
+    // against the pre-refactor SpinRwRnlp (tools/gen_golden_logs.cpp).
+    v.push_back({"spin-classic", "spin", "classic", "flat", false,
+                 "spin-classic", flat<SpinClassicCell>()});
+    v.push_back({"spin-fast", "spin", "fast", "flat", false, "spin-fast",
+                 flat<SpinFastCell>()});
+    v.push_back({"spin-combining", "spin", "combining", "flat", false,
+                 "spin-combining", flat<SpinCombiningCell>()});
+    v.push_back({"spin-indicator", "spin", "fast", "flat", true,
+                 "spin-indicator", flat<SpinFastCell>([](SpinFastCell& l) {
+                   l.enable_reader_indicator();
+                 })});
+    // Suspension column.
+    v.push_back({"suspend-classic", "suspend", "classic", "flat", false,
+                 nullptr, flat<SuspendClassicCell>()});
+    v.push_back({"suspend-fast", "suspend", "fast", "flat", false, nullptr,
+                 flat<SuspendFastCell>()});
+    v.push_back({"suspend-combining", "suspend", "combining", "flat", false,
+                 nullptr, flat<SuspendCombiningCell>()});
+    v.push_back({"suspend-indicator", "suspend", "classic", "flat", true,
+                 nullptr, flat<SuspendClassicCell>([](SuspendClassicCell& l) {
+                   l.enable_reader_indicator();
+                 })});
+    // Adaptive column (the new cell: a policy + alias, nothing else).
+    v.push_back({"adaptive-fast", "adaptive", "fast", "flat", false, nullptr,
+                 flat<AdaptiveFastCell>()});
+    v.push_back({"adaptive-combining", "adaptive", "combining", "flat", false,
+                 nullptr, flat<AdaptiveCombiningCell>()});
+    // Sharded topology.
+    v.push_back({"sharded-spin", "spin", "fast", "sharded", false, nullptr,
+                 sharded<ShardedSpinCell>()});
+    v.push_back({"sharded-spin-cross", "spin", "fast", "sharded", false,
+                 nullptr, sharded<ShardedSpinCell>([](ShardedSpinCell& l) {
+                   l.enable_cross_shard_combining();
+                 })});
+    v.push_back({"sharded-suspend", "suspend", "classic", "sharded", false,
+                 nullptr, sharded<ShardedSuspendCell>()});
+    return v;
+  }();
+  return cells;
+}
+
+}  // namespace rwrnlp::testing

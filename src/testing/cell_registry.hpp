@@ -1,0 +1,72 @@
+// Census of the enabled front-end matrix cells (front_end.hpp), for the
+// differential conformance suite.
+//
+// Each registry entry names one cell configuration — a (WaitPolicy,
+// PathPolicy, TopologyPolicy) instantiation plus the runtime toggles that
+// define a distinct conformance target (reader indicator on/off, cross-shard
+// combining) — and provides a factory for a live, instrumented instance:
+// trace recording enabled from construction and an invocation log installed
+// on every engine, so the matrix suite can replay each cell's corpus run
+// through the RSM oracle and byte-compare the spin cells against
+// tests/golden/.
+//
+// Adding a matrix cell = writing the policy struct + alias in front_end.hpp
+// and registering it here; the conformance suite picks it up automatically.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "locks/front_end.hpp"
+#include "locks/invocation_log.hpp"
+#include "testing/scenario_corpus.hpp"
+
+namespace rwrnlp::testing {
+
+/// One engine of a live cell plus the invocation log it records.  Flat
+/// cells expose exactly one pair; sharded cells one per shard (each shard's
+/// log replays against that shard's engine — the per-component RSM
+/// decomposition in test form).
+struct EnginePair {
+  rsm::Engine* engine = nullptr;
+  locks::InvocationLog* log = nullptr;
+};
+
+/// A live, instrumented instance of one matrix cell.  run_corpus() drives
+/// the canonical scenario corpus through the concrete (non-virtual) cell
+/// type, so per-cell extensions like set_robustness_options participate.
+class CellInstance {
+ public:
+  virtual ~CellInstance() = default;
+  virtual locks::MultiResourceLock& lock() = 0;
+  virtual CorpusStats run_corpus(const CorpusOptions& opt) = 0;
+  virtual std::vector<EnginePair> engines() = 0;
+  virtual locks::HealthReport health() const = 0;
+  /// Engine satisfactions not yet consumed by an acquirer, summed over all
+  /// engines; zero whenever the cell is idle.
+  virtual std::size_t pending_satisfied() const = 0;
+  /// The cell's invocation log in golden-file text form (flat cells only
+  /// meaningfully; sharded cells concatenate shard logs in shard order).
+  virtual std::string serialized_log() const = 0;
+};
+
+struct CellInfo {
+  std::string name;  ///< unique cell id, e.g. "spin-fast"
+  std::string wait;  ///< "spin" | "suspend" | "adaptive"
+  std::string path;  ///< "classic" | "fast" | "combining"
+  std::string topo;  ///< "flat" | "sharded"
+  bool indicator = false;  ///< reader indicator enabled on this instance
+  /// Golden log stem under tests/golden/ (spin cells pinned byte-equal
+  /// against the pre-refactor front ends), or nullptr when unpinned.
+  const char* golden = nullptr;
+  std::function<std::unique_ptr<CellInstance>()> make;
+};
+
+/// Every enabled cell, in a stable order.  All instances span
+/// kCorpusResources resources; sharded instances use the corpus component
+/// partition {l0..l3} | {l4..l7}.
+const std::vector<CellInfo>& all_cells();
+
+}  // namespace rwrnlp::testing

@@ -1,0 +1,180 @@
+// Canonical scenario corpus for the front-end matrix conformance suite.
+//
+// One deterministic, single-threaded sequence of lock operations — reads,
+// writes, mixed requests, overlapping read sharing, a deterministic
+// timeout-cancel, a deterministic grant-wins timed acquisition, and a
+// load-shed rejection — expressed purely through the public
+// MultiResourceLock surface (acquire / release / try_lock_until /
+// set_robustness_options).  Because it is single-threaded, every operation
+// either satisfies at issue or uses an already-expired deadline, so the
+// sequence of engine invocations (and therefore the invocation log) is a
+// pure function of the cell's configuration: running the corpus twice on
+// identically configured cells yields byte-identical logs.
+//
+// The corpus is the shared half of two checks:
+//  * differential conformance — the per-cell invocation log is replayed
+//    through the RSM oracle (tests/matrix_conformance_test.cpp), and
+//  * golden pinning — for the spin cells the serialized log is compared
+//    byte-equal against tests/golden/*.log, generated from the
+//    pre-refactor front ends by tools/gen_golden_logs.cpp.
+//
+// Resource universe: q = 8, with every footprint confined to {l0..l3} or
+// {l4..l7} so the same ops route cleanly through the sharded topology
+// (components {l0..l3} | {l4..l7}).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "locks/health.hpp"
+#include "locks/invocation_log.hpp"
+#include "locks/multi_lock.hpp"
+
+namespace rwrnlp::testing {
+
+constexpr std::size_t kCorpusResources = 8;
+
+struct CorpusOptions {
+  /// Op: hold a read lock while a timed writer on the same resource runs
+  /// into an expired deadline and cancels.  Must be skipped on cells with
+  /// the reader indicator enabled: the writer's pre-admission stripe sweep
+  /// would wait for the held read to depart, which never happens on one
+  /// thread.
+  bool blocked_writer_cancel = true;
+};
+
+/// Expected health-counter deltas produced by one corpus run; the matrix
+/// suite asserts these are *identical* for every cell (the counter-semantics
+/// contract across front ends).
+struct CorpusStats {
+  std::uint64_t acquired = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t canceled = 0;
+  std::uint64_t shed = 0;
+};
+
+/// Runs the corpus on `lock` (which must span kCorpusResources resources)
+/// and returns the expected counter deltas.  The caller installs any
+/// invocation log before calling.
+template <class Lock>
+CorpusStats run_scenario_corpus(Lock& lock, const CorpusOptions& opt = {}) {
+  using rwrnlp::ResourceSet;
+  const std::size_t q = lock.num_resources();
+  CorpusStats st;
+  const auto expired = std::chrono::steady_clock::time_point{};
+  const auto none = ResourceSet(q);
+
+  // 1. Plain read.
+  lock.release(lock.acquire(ResourceSet(q, {0}), none));
+  ++st.acquired;
+
+  // 2. Plain write.
+  lock.release(lock.acquire(none, ResourceSet(q, {1})));
+  ++st.acquired;
+
+  // 3. Mixed request (disjoint read and write sets, one component).
+  lock.release(lock.acquire(ResourceSet(q, {0, 2}), ResourceSet(q, {1})));
+  ++st.acquired;
+
+  // 4. Overlapping concurrent reads: both grants coexist.
+  {
+    const locks::LockToken r1 = lock.acquire(ResourceSet(q, {0, 1}), none);
+    const locks::LockToken r2 = lock.acquire(ResourceSet(q, {0}), none);
+    st.acquired += 2;
+    lock.release(r2);
+    lock.release(r1);
+  }
+
+  // 5. Read in the second component.
+  lock.release(lock.acquire(ResourceSet(q, {4, 5}), none));
+  ++st.acquired;
+
+  // 6. Write in the second component.
+  lock.release(lock.acquire(none, ResourceSet(q, {6})));
+  ++st.acquired;
+
+  // 7. Deterministic timeout: a timed write behind a held write lock with
+  // an already-expired deadline cancels without waiting.
+  {
+    const locks::LockToken held = lock.acquire(none, ResourceSet(q, {2}));
+    ++st.acquired;
+    const std::optional<locks::LockToken> timed =
+        lock.try_lock_until(none, ResourceSet(q, {2}), expired);
+    if (timed) {  // cannot happen; keep the corpus exception-free
+      lock.release(*timed);
+      ++st.acquired;
+    } else {
+      ++st.timeouts;
+      ++st.canceled;
+    }
+    lock.release(held);
+  }
+
+  // 8. Deterministic grant-wins: an expired deadline on an uncontended
+  // footprint is satisfied at issue, so the grant beats the timeout and the
+  // call reports the lock as acquired.
+  {
+    const std::optional<locks::LockToken> tok =
+        lock.try_lock_until(none, ResourceSet(q, {5}), expired);
+    if (tok) {
+      ++st.acquired;
+      lock.release(*tok);
+    }
+  }
+
+  // 9. Load shedding: with the incomplete-request ceiling at 1 and a write
+  // held, the next writer in the same component is vetoed before touching
+  // engine state (no invocation, no log record).
+  {
+    locks::RobustnessOptions ro;
+    ro.max_incomplete = 1;
+    lock.set_robustness_options(ro);
+    const locks::LockToken held = lock.acquire(none, ResourceSet(q, {3}));
+    ++st.acquired;
+    try {
+      lock.release(lock.acquire(none, ResourceSet(q, {2})));
+      ++st.acquired;  // cannot happen
+    } catch (const locks::OverloadShed&) {
+      ++st.shed;
+    }
+    lock.release(held);
+    lock.set_robustness_options(locks::RobustnessOptions{});
+  }
+
+  // 10. Writer blocked behind a held read cancels on its expired deadline.
+  if (opt.blocked_writer_cancel) {
+    const locks::LockToken rd = lock.acquire(ResourceSet(q, {0}), none);
+    ++st.acquired;
+    const std::optional<locks::LockToken> timed =
+        lock.try_lock_until(none, ResourceSet(q, {0}), expired);
+    if (timed) {
+      lock.release(*timed);
+      ++st.acquired;
+    } else {
+      ++st.timeouts;
+      ++st.canceled;
+    }
+    lock.release(rd);
+  }
+
+  return st;
+}
+
+/// Serializes an invocation log into the golden-file text format: one line
+/// per record, every field spelled out.  Any change to what the front ends
+/// record shows up as a byte diff against tests/golden/.
+inline std::string serialize_log(const locks::InvocationLog& log) {
+  std::ostringstream os;
+  for (const locks::InvocationRecord& rec : log) {
+    os << to_string(rec.kind) << " t=" << rec.t << " id=" << rec.id
+       << " sat=" << (rec.satisfied_at_invocation ? 1 : 0)
+       << " w=" << (rec.is_write ? 1 : 0) << " r=" << rec.reads.to_string()
+       << " wr=" << rec.writes.to_string() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rwrnlp::testing

@@ -19,27 +19,15 @@
 #include "locks/invocation_log.hpp"
 #include "locks/spin_rw_rnlp.hpp"
 #include "locks/suspend_rw_rnlp.hpp"
+#include "support/harness.hpp"
 #include "testing/oracle.hpp"
 
 namespace rwrnlp::locks {
 namespace {
 
 using namespace std::chrono_literals;
-
-int fault_scale() {
-  const char* env = std::getenv("RWRNLP_CANCEL_FAULTS");
-  return (env != nullptr && env[0] != '\0' && env[0] != '0') ? 4 : 1;
-}
-
-void expect_engine_drained(rsm::Engine& engine, std::size_t q) {
-  EXPECT_EQ(engine.incomplete_count(), 0u);
-  for (ResourceId l = 0; l < q; ++l) {
-    EXPECT_TRUE(engine.read_holders(l).empty()) << "resource " << l;
-    EXPECT_FALSE(engine.write_locked(l)) << "resource " << l;
-    EXPECT_TRUE(engine.write_queue(l).empty()) << "resource " << l;
-    EXPECT_EQ(engine.read_queue_depth(l), 0u) << "resource " << l;
-  }
-}
+using support::expect_engine_drained;
+using support::fault_scale;
 
 // Two threads, one resource, strict oracle caps: thread 0 holds-and-releases
 // the write lock in a loop; thread 1 races timed writes with a deadline so

@@ -19,68 +19,28 @@
 #include "locks/invocation_log.hpp"
 #include "locks/spin_rw_rnlp.hpp"
 #include "locks/suspend_rw_rnlp.hpp"
+#include "support/harness.hpp"
 #include "testing/oracle.hpp"
 
 namespace rwrnlp::locks {
 namespace {
 
 using namespace std::chrono_literals;
+using support::expect_engine_drained;
 
 constexpr std::size_t kResources = 4;
 constexpr std::size_t kThreads = 4;
 constexpr int kIters = 60;
 
-void expect_engine_drained(rsm::Engine& engine, std::size_t q) {
-  EXPECT_EQ(engine.incomplete_count(), 0u);
-  for (ResourceId l = 0; l < q; ++l) {
-    EXPECT_TRUE(engine.read_holders(l).empty()) << "resource " << l;
-    EXPECT_FALSE(engine.write_locked(l)) << "resource " << l;
-    EXPECT_TRUE(engine.write_queue(l).empty()) << "resource " << l;
-    EXPECT_EQ(engine.read_queue_depth(l), 0u) << "resource " << l;
-  }
-}
-
-/// Random mixed workload (reads, writes, mixed requests, and a timed subset
-/// that cancels under contention) against any front end.
+// The shared mixed workload with this suite's historical shape: coin over
+// [0, 6), every op drawing the timed coin.
 template <typename Lock>
 void run_workload(Lock& lock, unsigned seed_base) {
-  std::vector<std::thread> threads;
-  threads.reserve(kThreads);
-  for (std::size_t tid = 0; tid < kThreads; ++tid) {
-    threads.emplace_back([&, tid] {
-      std::mt19937 rng(seed_base + static_cast<unsigned>(tid));
-      std::uniform_int_distribution<int> coin(0, 5);
-      std::uniform_int_distribution<std::size_t> pick(0, kResources - 1);
-      for (int k = 0; k < kIters; ++k) {
-        ResourceSet reads(kResources);
-        ResourceSet writes(kResources);
-        const int c = coin(rng);
-        if (c < 3) {
-          reads.set(pick(rng));
-          reads.set(pick(rng));
-        } else if (c < 5) {
-          writes.set(pick(rng));
-        } else {  // mixed, disjoint by construction
-          const std::size_t w = pick(rng);
-          writes.set(w);
-          const std::size_t r = pick(rng);
-          if (r != w) reads.set(r);
-        }
-        if (coin(rng) == 0) {  // timed: some of these cancel
-          auto tok = lock.try_lock_for(reads, writes, 30us);
-          if (tok) {
-            std::this_thread::sleep_for(5us);
-            lock.release(*tok);
-          }
-        } else {
-          const LockToken tok = lock.acquire(reads, writes);
-          std::this_thread::sleep_for(5us);
-          lock.release(tok);
-        }
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
+  support::MixedWorkloadOptions o;
+  o.resources = kResources;
+  o.threads = kThreads;
+  o.iters = kIters;
+  support::run_mixed_timed_workload(lock, seed_base, o);
 }
 
 testing::OracleOptions oracle_options() {

@@ -15,99 +15,24 @@
 #include "locks/sharded_rw_rnlp.hpp"
 #include "locks/spin_rw_rnlp.hpp"
 #include "locks/suspend_rw_rnlp.hpp"
+#include "support/harness.hpp"
 #include "util/rng.hpp"
 
 namespace rwrnlp::locks {
 namespace {
 
+using support::expect_census_clean;
+using support::random_set;
+using support::SharedState;
+using support::worker;
+
 constexpr std::size_t kQ = 8;
-
-struct SharedState {
-  std::atomic<int> writers[kQ] = {};
-  std::atomic<int> readers[kQ] = {};
-  std::atomic<bool> violated{false};
-  // Plain cells for TSan: written under write locks, compared under read
-  // locks.  A protocol bug shows up as a torn pair or a TSan race report.
-  std::uint64_t cells[kQ][2] = {};
-
-  void enter_write(const ResourceSet& writes) {
-    writes.for_each([&](ResourceId l) {
-      if (writers[l].fetch_add(1) != 0 || readers[l].load() != 0)
-        violated = true;
-      ++cells[l][0];
-      ++cells[l][1];
-    });
-  }
-  void exit_write(const ResourceSet& writes) {
-    writes.for_each([&](ResourceId l) { writers[l].fetch_sub(1); });
-  }
-  void enter_read(const ResourceSet& reads) {
-    reads.for_each([&](ResourceId l) {
-      readers[l].fetch_add(1);
-      if (writers[l].load() != 0) violated = true;
-      if (cells[l][0] != cells[l][1]) violated = true;
-    });
-  }
-  void exit_read(const ResourceSet& reads) {
-    reads.for_each([&](ResourceId l) { readers[l].fetch_sub(1); });
-  }
-};
-
-ResourceSet random_set(Rng& rng, std::size_t q, ResourceId base,
-                       std::size_t span, std::size_t max_size) {
-  ResourceSet rs(q);
-  const std::size_t n = 1 + rng.next_below(max_size);
-  for (std::size_t i = 0; i < n; ++i)
-    rs.set(base + static_cast<ResourceId>(rng.next_below(span)));
-  return rs;
-}
-
-void worker(MultiResourceLock& lock, SharedState& st, std::uint64_t seed,
-            ResourceId base, std::size_t span, int ops) {
-  Rng rng(seed);
-  const std::size_t q = lock.num_resources();
-  for (int i = 0; i < ops; ++i) {
-    const std::uint64_t kind = rng.next_below(10);
-    if (kind < 5) {  // read
-      const ResourceSet rs = random_set(rng, q, base, span, 3);
-      LockToken t = lock.acquire(rs, ResourceSet(q));
-      st.enter_read(rs);
-      st.exit_read(rs);
-      lock.release(t);
-    } else if (kind < 8) {  // write
-      const ResourceSet rs = random_set(rng, q, base, span, 2);
-      LockToken t = lock.acquire(ResourceSet(q), rs);
-      st.enter_write(rs);
-      st.exit_write(rs);
-      lock.release(t);
-    } else {  // mixed (disjoint read and write sets)
-      const ResourceSet writes = random_set(rng, q, base, span, 2);
-      ResourceSet reads = random_set(rng, q, base, span, 2);
-      reads -= writes;
-      LockToken t = lock.acquire(reads, writes);
-      st.enter_read(reads);
-      st.enter_write(writes);
-      st.exit_write(writes);
-      st.exit_read(reads);
-      lock.release(t);
-    }
-  }
-}
-
-void expect_census_clean(const SharedState& st) {
-  EXPECT_FALSE(st.violated.load()) << "mutual exclusion violated";
-  for (std::size_t l = 0; l < kQ; ++l) {
-    EXPECT_EQ(st.writers[l].load(), 0);
-    EXPECT_EQ(st.readers[l].load(), 0);
-    EXPECT_EQ(st.cells[l][0], st.cells[l][1]);
-  }
-}
 
 TEST(CombiningSpinStress, MixedReadersWriters) {
   SpinRwRnlp lock(kQ, rsm::WriteExpansion::ExpandDomain,
                   /*reads_as_writes=*/false, /*combining=*/true);
   ASSERT_TRUE(lock.combining_enabled());
-  SharedState st;
+  SharedState st(kQ);
   std::vector<std::thread> pool;
   for (int i = 0; i < 6; ++i)
     pool.emplace_back([&, i] {
@@ -129,7 +54,7 @@ TEST(CombiningSpinStress, AllTrafficThroughBroker) {
   SpinRwRnlp lock(kQ, rsm::WriteExpansion::Placeholders,
                   /*reads_as_writes=*/false, /*combining=*/true);
   lock.set_read_fast_path(false);
-  SharedState st;
+  SharedState st(kQ);
   std::vector<std::thread> pool;
   for (int i = 0; i < 4; ++i)
     pool.emplace_back([&, i] {
@@ -146,7 +71,7 @@ TEST(CombiningSuspendStress, MixedReadersWriters) {
   SuspendRwRnlp lock(kQ, rsm::WriteExpansion::ExpandDomain,
                      /*combining=*/true);
   ASSERT_TRUE(lock.combining_enabled());
-  SharedState st;
+  SharedState st(kQ);
   std::vector<std::thread> pool;
   for (int i = 0; i < 6; ++i)
     pool.emplace_back([&, i] {
@@ -169,7 +94,7 @@ TEST(CombiningShardedStress, PerComponentWorkers) {
   ShardedRwRnlp lock(kQ, {lo, hi}, rsm::WriteExpansion::ExpandDomain,
                      /*combining=*/true);
   ASSERT_TRUE(lock.combining_enabled());
-  SharedState st;
+  SharedState st(kQ);
   std::vector<std::thread> pool;
   for (int i = 0; i < 4; ++i) {
     const ResourceId base = (i % 2 == 0) ? 0 : 4;
@@ -247,7 +172,7 @@ TEST(CombiningBroker, SelfCombiningSingleThread) {
 TEST(CombiningBroker, ReadsAsWritesCombine) {
   SpinRwRnlp lock(kQ, rsm::WriteExpansion::ExpandDomain,
                   /*reads_as_writes=*/true, /*combining=*/true);
-  SharedState st;
+  SharedState st(kQ);
   std::vector<std::thread> pool;
   for (int i = 0; i < 4; ++i)
     pool.emplace_back([&, i] {

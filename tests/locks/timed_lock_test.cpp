@@ -13,13 +13,13 @@
 #include "locks/sharded_rw_rnlp.hpp"
 #include "locks/spin_rw_rnlp.hpp"
 #include "locks/suspend_rw_rnlp.hpp"
+#include "support/harness.hpp"
 
 namespace rwrnlp::locks {
 namespace {
 
 using namespace std::chrono_literals;
-
-ResourceSet none(std::size_t q) { return ResourceSet(q); }
+using support::none;
 
 TEST(TimedLock, UncontendedTimedAcquireSucceedsSpin) {
   SpinRwRnlp lock(2);

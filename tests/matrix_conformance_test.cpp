@@ -1,0 +1,386 @@
+// Differential conformance suite over every cell of the front-end matrix.
+//
+// One canonical scenario corpus (src/testing/scenario_corpus.hpp) runs on
+// every enabled cell from the registry (src/testing/cell_registry.hpp), and
+// each cell must agree with every other cell — and with the sequential RSM —
+// on everything observable:
+//
+//  * the corpus health-counter deltas are identical across cells (the
+//    counter-semantics contract: acquired/timeouts/canceled/shed mean the
+//    same thing on every front end, including the combining and indicator
+//    routes),
+//  * every engine's invocation log replays cleanly through the RSM oracle,
+//  * every engine drains to empty and no satisfaction is left pending,
+//  * re-running the corpus on a second identically configured instance
+//    yields a byte-identical invocation log (determinism),
+//  * the four pinned spin cells reproduce tests/golden/*.log byte-equal
+//    (differential against the pre-refactor front ends), and
+//  * combining / indicator counters appear exactly on the cells whose
+//    configuration routes traffic through those paths.
+//
+// On top of the per-cell corpus sweep, the suite covers the races that used
+// to be tested spin-only on the suspend and sharded cells: the grant-wins
+// timeout race under a live writer, and cancellation of a partially granted
+// incremental request.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "locks/front_end.hpp"
+#include "support/harness.hpp"
+#include "testing/cell_registry.hpp"
+#include "testing/oracle.hpp"
+#include "testing/scenario_corpus.hpp"
+
+namespace rwrnlp::testing {
+namespace {
+
+namespace support = rwrnlp::locks::support;
+using rwrnlp::ResourceSet;
+using rwrnlp::locks::LockToken;
+
+CorpusOptions options_for(const CellInfo& cell) {
+  CorpusOptions opt;
+  // The blocked-writer-cancel op holds a read lock while a writer on the
+  // same resource cancels; with the indicator enabled the writer's stripe
+  // sweep would spin on the held read forever on one thread.
+  opt.blocked_writer_cancel = !cell.indicator;
+  return opt;
+}
+
+std::string read_golden(const char* stem) {
+  const std::string path =
+      std::string(RWRNLP_GOLDEN_DIR) + "/" + stem + ".log";
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden log: " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// The registry spans every axis value and cell names are unique.
+TEST(MatrixCensus, CoversEveryAxis) {
+  const std::vector<CellInfo>& cells = all_cells();
+  ASSERT_GE(cells.size(), 13u);
+  std::set<std::string> names, waits, paths, topos;
+  std::size_t pinned = 0;
+  for (const CellInfo& cell : cells) {
+    EXPECT_TRUE(names.insert(cell.name).second)
+        << "duplicate cell name: " << cell.name;
+    waits.insert(cell.wait);
+    paths.insert(cell.path);
+    topos.insert(cell.topo);
+    if (cell.golden != nullptr) ++pinned;
+  }
+  EXPECT_EQ(waits, (std::set<std::string>{"spin", "suspend", "adaptive"}));
+  EXPECT_EQ(paths, (std::set<std::string>{"classic", "fast", "combining"}));
+  EXPECT_EQ(topos, (std::set<std::string>{"flat", "sharded"}));
+  EXPECT_EQ(pinned, 4u) << "exactly the four spin cells are golden-pinned";
+}
+
+// The heart of the suite: corpus + counter contract + oracle replay +
+// drain + determinism, on every cell.
+TEST(MatrixConformance, CorpusOnEveryCell) {
+  for (const CellInfo& cell : all_cells()) {
+    SCOPED_TRACE(cell.name);
+    const CorpusOptions opt = options_for(cell);
+    std::unique_ptr<CellInstance> inst = cell.make();
+    const CorpusStats expected = inst->run_corpus(opt);
+
+    // Counter-semantics contract: the health deltas equal the corpus
+    // expectations on every cell, regardless of which path (classic,
+    // fast, combining, indicator, cross-shard) the operations took.
+    const locks::HealthReport hr = inst->health();
+    EXPECT_EQ(hr.acquired, expected.acquired);
+    EXPECT_EQ(hr.timeouts, expected.timeouts);
+    EXPECT_EQ(hr.canceled, expected.canceled);
+    EXPECT_EQ(hr.shed, expected.shed);
+    EXPECT_EQ(hr.incomplete, 0u);
+    EXPECT_EQ(inst->pending_satisfied(), 0u);
+
+    // Path-attribution contract: combining counters appear exactly on the
+    // cells that route through a broker, indicator counters exactly on the
+    // indicator cells.
+    const bool combines =
+        cell.path == "combining" || cell.name == "sharded-spin-cross";
+    if (combines) {
+      EXPECT_GT(hr.combined_invocations, 0u);
+      EXPECT_GT(hr.batches_combined, 0u);
+    } else {
+      EXPECT_EQ(hr.combined_invocations, 0u);
+      EXPECT_EQ(hr.batches_combined, 0u);
+    }
+    if (cell.indicator) {
+      EXPECT_GT(hr.indicator_fast_hits, 0u);
+      EXPECT_GT(hr.indicator_sweeps, 0u);
+    } else {
+      EXPECT_EQ(hr.indicator_fast_hits, 0u);
+      EXPECT_EQ(hr.indicator_sweeps, 0u);
+    }
+
+    // Every engine drained, every log oracle-clean.
+    OracleOptions oo;
+    oo.num_threads = 3;  // corpus never waits; avoid the strict m=2 caps
+    oo.ops_per_thread = 8;
+    for (const EnginePair& ep : inst->engines()) {
+      support::expect_engine_drained(*ep.engine, kCorpusResources);
+      verify_replay(*ep.engine, *ep.log, oo);
+    }
+
+    // Determinism: a second identically configured instance produces a
+    // byte-identical invocation log.
+    std::unique_ptr<CellInstance> again = cell.make();
+    again->run_corpus(opt);
+    EXPECT_EQ(inst->serialized_log(), again->serialized_log())
+        << "corpus run is not deterministic";
+  }
+}
+
+// Differential pinning: the spin cells reproduce the pre-refactor front
+// ends' logs byte-equal (tests/golden/, generated by
+// tools/gen_golden_logs.cpp from the code before the matrix refactor).
+TEST(MatrixConformance, SpinCellsMatchGoldenLogs) {
+  for (const CellInfo& cell : all_cells()) {
+    if (cell.golden == nullptr) continue;
+    SCOPED_TRACE(cell.name);
+    std::unique_ptr<CellInstance> inst = cell.make();
+    inst->run_corpus(options_for(cell));
+    EXPECT_EQ(inst->serialized_log(), read_golden(cell.golden))
+        << "log diverged from the pre-refactor golden trace";
+  }
+}
+
+// --- races that used to be covered spin-only ------------------------------
+
+// Grant-wins timeout race: a timed writer races its deadline against a
+// holder that releases at unpredictable times.  Whatever side wins, the
+// counters must reconcile exactly and the engine must drain.
+template <class Lock>
+void grant_wins_race(Lock& lock, rsm::Engine& engine, int iters) {
+  const std::size_t q = lock.num_resources();
+  const ResourceSet none(q);
+  const ResourceSet target(q, {0});
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> holder_acquires{0};
+  std::thread holder([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const LockToken t = lock.acquire(none, target);
+      holder_acquires.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::microseconds(2));
+      lock.release(t);
+    }
+  });
+  std::uint64_t granted = 0, timeouts = 0;
+  std::mt19937 rng(0xFACE);
+  std::uniform_int_distribution<int> wait_us(0, 20);
+  for (int i = 0; i < iters; ++i) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(wait_us(rng));
+    const std::optional<LockToken> tok =
+        lock.try_lock_until(none, target, deadline);
+    if (tok) {
+      ++granted;
+      lock.release(*tok);
+    } else {
+      ++timeouts;
+    }
+  }
+  stop = true;
+  holder.join();
+
+  EXPECT_EQ(granted + timeouts, static_cast<std::uint64_t>(iters));
+  const locks::HealthReport hr = lock.health_report();
+  EXPECT_EQ(hr.acquired, holder_acquires.load() + granted);
+  EXPECT_EQ(hr.timeouts, timeouts);
+  EXPECT_EQ(hr.canceled, timeouts);
+  EXPECT_EQ(hr.incomplete, 0u);
+  support::expect_engine_drained(engine, q);
+}
+
+TEST(MatrixRaces, GrantWinsTimeoutSuspend) {
+  locks::SuspendRwRnlp lock(2);
+  grant_wins_race(lock, lock.engine_for_test(),
+                  200 * support::fault_scale());
+  EXPECT_EQ(lock.blocked_waiters(), 0u);
+}
+
+TEST(MatrixRaces, GrantWinsTimeoutAdaptive) {
+  locks::AdaptiveRwRnlp lock(2);
+  grant_wins_race(lock, lock.engine_for_test(),
+                  200 * support::fault_scale());
+  EXPECT_EQ(lock.blocked_waiters(), 0u);
+}
+
+TEST(MatrixRaces, GrantWinsTimeoutSharded) {
+  locks::ShardedRwRnlp lock(kCorpusResources,
+                            {ResourceSet(kCorpusResources, {0, 1, 2, 3}),
+                             ResourceSet(kCorpusResources, {4, 5, 6, 7})});
+  grant_wins_race(lock, lock.shard(0).engine_for_test(),
+                  200 * support::fault_scale());
+  support::expect_engine_drained(lock.shard(1).engine_for_test(),
+                                 kCorpusResources);
+}
+
+// Cancel of a partially granted incremental request: a held read blocks one
+// of the initially wanted resources, so the entitled incremental request is
+// granted the other and then withdraws the partial hold on its expired
+// deadline.  Deterministic (single-threaded) — the deadline is already
+// expired at issue.
+template <class Lock>
+void cancel_partial_incremental(Lock& lock) {
+  const std::size_t q = lock.num_resources();
+  const ResourceSet none(q);
+  const LockToken rd = lock.acquire(ResourceSet(q, {1}), none);
+  const std::optional<LockToken> inc = lock.try_incremental_until(
+      none, ResourceSet(q, {0, 1, 2}), ResourceSet(q, {0, 1}),
+      std::chrono::steady_clock::time_point{});
+  EXPECT_FALSE(inc.has_value()) << "blocked incremental beat a held read";
+  lock.release(rd);
+  const locks::HealthReport hr = lock.health_report();
+  EXPECT_EQ(hr.timeouts, 1u);
+  EXPECT_EQ(hr.canceled, 1u);
+  EXPECT_EQ(hr.incomplete, 0u);
+}
+
+TEST(MatrixRaces, CancelPartialIncrementalSpin) {
+  locks::SpinRwRnlp lock(4);
+  cancel_partial_incremental(lock);
+  support::expect_engine_drained(lock.engine_for_test(), 4);
+}
+
+TEST(MatrixRaces, CancelPartialIncrementalSuspend) {
+  locks::SuspendRwRnlp lock(4);
+  cancel_partial_incremental(lock);
+  support::expect_engine_drained(lock.engine_for_test(), 4);
+  EXPECT_EQ(lock.blocked_waiters(), 0u);
+}
+
+TEST(MatrixRaces, CancelPartialIncrementalSharded) {
+  locks::ShardedRwRnlp lock(kCorpusResources,
+                            {ResourceSet(kCorpusResources, {0, 1, 2, 3}),
+                             ResourceSet(kCorpusResources, {4, 5, 6, 7})});
+  cancel_partial_incremental(lock);
+  support::expect_engine_drained(lock.shard(0).engine_for_test(),
+                                 kCorpusResources);
+}
+
+// --- phase-2 API parity across the matrix ---------------------------------
+
+// Upgradeable requests behave identically on every flat wait policy:
+// read half first, upgrade-to-write, and the abandon path — with no
+// satisfaction left pending afterwards.
+template <class Lock>
+void upgrade_corpus(Lock& lock) {
+  const ResourceSet rs(lock.num_resources(), {0, 1});
+  {
+    typename Lock::UpgradeToken t = lock.acquire_upgradeable(rs);
+    ASSERT_FALSE(t.write_mode) << "uncontended read half must win";
+    lock.upgrade(t);
+    EXPECT_TRUE(t.write_mode);
+    lock.release_upgraded(t);
+  }
+  {
+    typename Lock::UpgradeToken t = lock.acquire_upgradeable(rs);
+    ASSERT_FALSE(t.write_mode);
+    lock.abandon(t);
+  }
+  EXPECT_EQ(lock.pending_satisfied_count(), 0u);
+}
+
+TEST(MatrixPhase2, UpgradeableOnEveryFlatWaitPolicy) {
+  {
+    SCOPED_TRACE("spin");
+    locks::SpinRwRnlp lock(4);
+    upgrade_corpus(lock);
+    support::expect_engine_drained(lock.engine_for_test(), 4);
+  }
+  {
+    SCOPED_TRACE("suspend");
+    locks::SuspendRwRnlp lock(4);
+    upgrade_corpus(lock);
+    support::expect_engine_drained(lock.engine_for_test(), 4);
+    EXPECT_EQ(lock.blocked_waiters(), 0u);
+  }
+  {
+    SCOPED_TRACE("adaptive");
+    locks::AdaptiveRwRnlp lock(4);
+    upgrade_corpus(lock);
+    support::expect_engine_drained(lock.engine_for_test(), 4);
+  }
+}
+
+// Incremental requests grow and complete identically on every front end,
+// including through the sharded delegation.
+template <class Lock>
+void incremental_corpus(Lock& lock) {
+  const std::size_t q = lock.num_resources();
+  const LockToken tok = lock.acquire_incremental(
+      ResourceSet(q, {0, 1}), ResourceSet(q, {2}), ResourceSet(q, {0}));
+  lock.request_more(tok, ResourceSet(q, {1, 2}));
+  lock.release_incremental(tok);
+}
+
+TEST(MatrixPhase2, IncrementalOnEveryTopology) {
+  {
+    SCOPED_TRACE("spin");
+    locks::SpinRwRnlp lock(4);
+    incremental_corpus(lock);
+    support::expect_engine_drained(lock.engine_for_test(), 4);
+  }
+  {
+    SCOPED_TRACE("suspend");
+    locks::SuspendRwRnlp lock(4);
+    incremental_corpus(lock);
+    support::expect_engine_drained(lock.engine_for_test(), 4);
+  }
+  {
+    SCOPED_TRACE("adaptive");
+    locks::AdaptiveRwRnlp lock(4);
+    incremental_corpus(lock);
+    support::expect_engine_drained(lock.engine_for_test(), 4);
+  }
+  {
+    SCOPED_TRACE("sharded");
+    locks::ShardedRwRnlp lock(kCorpusResources,
+                              {ResourceSet(kCorpusResources, {0, 1, 2, 3}),
+                               ResourceSet(kCorpusResources, {4, 5, 6, 7})});
+    incremental_corpus(lock);
+    support::expect_engine_drained(lock.shard(0).engine_for_test(),
+                                   kCorpusResources);
+  }
+}
+
+// --- matrix-wide mixed stress ---------------------------------------------
+
+// The shared random workload runs clean on every registry cell: mutual
+// exclusion census plus a drained engine afterwards.  This is the
+// multi-threaded complement to the single-threaded corpus sweep.
+TEST(MatrixStress, MixedWorkloadOnEveryCell) {
+  for (const CellInfo& cell : all_cells()) {
+    SCOPED_TRACE(cell.name);
+    std::unique_ptr<CellInstance> inst = cell.make();
+    support::MixedWorkloadOptions wo;
+    wo.resources = kCorpusResources;
+    wo.threads = 4;
+    wo.iters = 25 * support::fault_scale();
+    // Sharded cells only accept single-component footprints; confine the
+    // picks to component 0.  Indicator cells gate the timed coin to
+    // write-carrying ops (the read-heavy replay shape).
+    wo.pick_span = cell.topo == "sharded" ? 4 : 0;
+    wo.timed_writers_only = cell.indicator;
+    support::run_mixed_timed_workload(inst->lock(), 0xBADA55, wo);
+    EXPECT_EQ(inst->pending_satisfied(), 0u);
+    const locks::HealthReport hr = inst->health();
+    EXPECT_EQ(hr.incomplete, 0u);
+    for (const EnginePair& ep : inst->engines())
+      support::expect_engine_drained(*ep.engine, kCorpusResources);
+  }
+}
+
+}  // namespace
+}  // namespace rwrnlp::testing

@@ -1,0 +1,225 @@
+// Shared test harness for the lock front-end suites.
+//
+// One copy of the fixtures that used to be duplicated across
+// cancel_stress_test, timed_lock_test, the combining tests, and the replay
+// tests — and that the matrix conformance suite drives over every cell:
+//
+//  * fault_scale()            — CI fault-injection iteration multiplier
+//  * none(q)                  — the empty resource set
+//  * expect_engine_drained()  — post-run engine census (nothing held/queued)
+//  * SharedState / worker / expect_census_clean
+//                             — mutual-exclusion census stress fixture
+//  * run_mixed_timed_workload — random mixed read/write/timed thread pool
+//
+// Header-only; include from tests with `#include "support/harness.hpp"`.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "locks/multi_lock.hpp"
+#include "rsm/engine.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace rwrnlp::locks::support {
+
+/// Iteration multiplier for the CI fault-injection leg: set
+/// RWRNLP_CANCEL_FAULTS=1 in the environment to scale stress loops ~4x.
+inline int fault_scale() {
+  const char* env = std::getenv("RWRNLP_CANCEL_FAULTS");
+  return (env != nullptr && env[0] != '\0' && env[0] != '0') ? 4 : 1;
+}
+
+/// The empty resource set over a q-resource universe.
+inline ResourceSet none(std::size_t q) { return ResourceSet(q); }
+
+/// Post-run census: the engine holds nothing, queues nothing, and has no
+/// incomplete request.  Every stress/replay test ends with this.
+inline void expect_engine_drained(rsm::Engine& engine, std::size_t q) {
+  EXPECT_EQ(engine.incomplete_count(), 0u);
+  for (ResourceId l = 0; l < q; ++l) {
+    EXPECT_TRUE(engine.read_holders(l).empty()) << "resource " << l;
+    EXPECT_FALSE(engine.write_locked(l)) << "resource " << l;
+    EXPECT_TRUE(engine.write_queue(l).empty()) << "resource " << l;
+    EXPECT_EQ(engine.read_queue_depth(l), 0u) << "resource " << l;
+  }
+}
+
+/// Mutual-exclusion census shared by the stress workers: per-resource
+/// reader/writer presence counters plus TSan-visible data cells (written
+/// under write locks, compared under read locks — a protocol bug shows up
+/// as a torn pair or a TSan race report).
+struct SharedState {
+  static constexpr std::size_t kMaxResources = 16;
+
+  explicit SharedState(std::size_t q) : q(q) {
+    RWRNLP_REQUIRE(q <= kMaxResources,
+                   "SharedState supports at most " << kMaxResources
+                                                   << " resources");
+  }
+
+  std::size_t q;
+  std::atomic<int> writers[kMaxResources] = {};
+  std::atomic<int> readers[kMaxResources] = {};
+  std::atomic<bool> violated{false};
+  std::uint64_t cells[kMaxResources][2] = {};
+
+  void enter_write(const ResourceSet& writes) {
+    writes.for_each([&](ResourceId l) {
+      if (writers[l].fetch_add(1) != 0 || readers[l].load() != 0)
+        violated = true;
+      ++cells[l][0];
+      ++cells[l][1];
+    });
+  }
+  void exit_write(const ResourceSet& writes) {
+    writes.for_each([&](ResourceId l) { writers[l].fetch_sub(1); });
+  }
+  void enter_read(const ResourceSet& reads) {
+    reads.for_each([&](ResourceId l) {
+      readers[l].fetch_add(1);
+      if (writers[l].load() != 0) violated = true;
+      if (cells[l][0] != cells[l][1]) violated = true;
+    });
+  }
+  void exit_read(const ResourceSet& reads) {
+    reads.for_each([&](ResourceId l) { readers[l].fetch_sub(1); });
+  }
+};
+
+inline ResourceSet random_set(Rng& rng, std::size_t q, ResourceId base,
+                              std::size_t span, std::size_t max_size) {
+  ResourceSet rs(q);
+  const std::size_t n = 1 + rng.next_below(max_size);
+  for (std::size_t i = 0; i < n; ++i)
+    rs.set(base + static_cast<ResourceId>(rng.next_below(span)));
+  return rs;
+}
+
+/// Census stress worker: random reads / writes / mixed requests confined to
+/// [base, base + span), each validated against the shared census.
+inline void worker(MultiResourceLock& lock, SharedState& st,
+                   std::uint64_t seed, ResourceId base, std::size_t span,
+                   int ops) {
+  Rng rng(seed);
+  const std::size_t q = lock.num_resources();
+  for (int i = 0; i < ops; ++i) {
+    const std::uint64_t kind = rng.next_below(10);
+    if (kind < 5) {  // read
+      const ResourceSet rs = random_set(rng, q, base, span, 3);
+      LockToken t = lock.acquire(rs, ResourceSet(q));
+      st.enter_read(rs);
+      st.exit_read(rs);
+      lock.release(t);
+    } else if (kind < 8) {  // write
+      const ResourceSet rs = random_set(rng, q, base, span, 2);
+      LockToken t = lock.acquire(ResourceSet(q), rs);
+      st.enter_write(rs);
+      st.exit_write(rs);
+      lock.release(t);
+    } else {  // mixed (disjoint read and write sets)
+      const ResourceSet writes = random_set(rng, q, base, span, 2);
+      ResourceSet reads = random_set(rng, q, base, span, 2);
+      reads -= writes;
+      LockToken t = lock.acquire(reads, writes);
+      st.enter_read(reads);
+      st.enter_write(writes);
+      st.exit_write(writes);
+      st.exit_read(reads);
+      lock.release(t);
+    }
+  }
+}
+
+inline void expect_census_clean(const SharedState& st) {
+  EXPECT_FALSE(st.violated.load()) << "mutual exclusion violated";
+  for (std::size_t l = 0; l < st.q; ++l) {
+    EXPECT_EQ(st.writers[l].load(), 0);
+    EXPECT_EQ(st.readers[l].load(), 0);
+    EXPECT_EQ(st.cells[l][0], st.cells[l][1]);
+  }
+}
+
+/// Shape of the random mixed workload the replay tests drive: a per-op coin
+/// in [0, coin_sides) picks read pair / single write / disjoint mixed, and a
+/// subset of operations goes through the timed API (some of which cancel
+/// under contention).
+struct MixedWorkloadOptions {
+  std::size_t resources = 4;
+  /// Resources actually touched: picks are uniform over [0, pick_span).
+  /// 0 means the whole universe.  Lets the workload span a universe wider
+  /// than the footprints (e.g. one component of a sharded lock).
+  std::size_t pick_span = 0;
+  std::size_t threads = 4;
+  int iters = 60;
+  int coin_sides = 6;   ///< coin is uniform over [0, coin_sides)
+  int read_below = 3;   ///< coin < read_below        -> two-resource read
+  int write_below = 5;  ///< coin in [read_below, ..) -> single write;
+                        ///< coin >= write_below      -> disjoint mixed
+  /// When true, only write-carrying requests draw the timed coin (the
+  /// read-heavy indicator workload); when false every request does.
+  bool timed_writers_only = false;
+  std::chrono::nanoseconds timeout = std::chrono::microseconds(30);
+  std::chrono::nanoseconds hold = std::chrono::microseconds(5);
+};
+
+/// Random mixed workload (reads, writes, mixed requests, and a timed subset
+/// that cancels under contention) against any front end.
+template <typename Lock>
+void run_mixed_timed_workload(Lock& lock, unsigned seed_base,
+                              const MixedWorkloadOptions& o = {}) {
+  std::vector<std::thread> threads;
+  threads.reserve(o.threads);
+  for (std::size_t tid = 0; tid < o.threads; ++tid) {
+    threads.emplace_back([&, tid] {
+      std::mt19937 rng(seed_base + static_cast<unsigned>(tid));
+      std::uniform_int_distribution<int> coin(0, o.coin_sides - 1);
+      const std::size_t span = o.pick_span == 0 ? o.resources : o.pick_span;
+      std::uniform_int_distribution<std::size_t> pick(0, span - 1);
+      for (int k = 0; k < o.iters; ++k) {
+        ResourceSet reads(o.resources);
+        ResourceSet writes(o.resources);
+        const int c = coin(rng);
+        if (c < o.read_below) {
+          reads.set(pick(rng));
+          reads.set(pick(rng));
+        } else if (c < o.write_below) {
+          writes.set(pick(rng));
+        } else {  // mixed, disjoint by construction
+          const std::size_t w = pick(rng);
+          writes.set(w);
+          const std::size_t r = pick(rng);
+          if (r != w) reads.set(r);
+        }
+        // Note the short-circuit in writers-only mode: read-only ops do not
+        // draw the timed coin, keeping per-thread RNG streams identical to
+        // the historical read-heavy workload.
+        const bool timed = o.timed_writers_only
+                               ? (!writes.empty() && coin(rng) == 0)
+                               : coin(rng) == 0;
+        if (timed) {
+          auto tok = lock.try_lock_for(reads, writes, o.timeout);
+          if (tok) {
+            std::this_thread::sleep_for(o.hold);
+            lock.release(*tok);
+          }
+        } else {
+          const LockToken tok = lock.acquire(reads, writes);
+          std::this_thread::sleep_for(o.hold);
+          lock.release(tok);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace rwrnlp::locks::support

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -36,28 +37,40 @@ ResourceSet make_set(std::size_t q, const std::vector<ResourceId>& ids) {
   return s;
 }
 
-// ---------------------------------------------------------------- spin ----
+// ------------------------------------------------- generic cell factory ----
 
-struct SpinState {
-  locks::SpinRwRnlp lock;
+/// Live instrumented state for any flat matrix cell: the lock, its
+/// invocation log (installed from construction), and a scratch flag the
+/// fault-injection scenarios use for cross-thread signalling.
+template <class L>
+struct CellState {
+  L lock;
   locks::InvocationLog log;
   std::atomic<bool> flag{false};
-  SpinState(std::size_t q, rsm::WriteExpansion exp, bool combining = false)
-      : lock(q, exp, /*reads_as_writes=*/false, combining) {}
+  template <class... A>
+  explicit CellState(A&&... a) : lock(std::forward<A>(a)...) {
+    lock.engine_for_test().set_trace_recording(true);
+    lock.set_invocation_log(&log);
+  }
 };
 
-/// Scenario: each thread performs its ops (acquire + release); the post-run
-/// check replays the invocation log through the oracle.  With `combining`
-/// the flat-combining broker is in front of the engine, adding the
-/// CombinePublish / CombineWait / CombineApply yield points to the explored
-/// space — including schedules where the combiner is preempted mid-batch.
-ScenarioFactory spin_factory(std::size_t q,
+using SpinState = CellState<locks::SpinRwRnlp>;
+using SuspendState = CellState<locks::SuspendRwRnlp>;
+
+/// Scenario generic over any flat matrix cell: each thread performs its ops
+/// (acquire + release); the post-run check replays the invocation log
+/// through the oracle.  The wait policy decides which yield points the
+/// schedule space contains (spin cells wait in place, cv cells park), and a
+/// combining configuration adds the CombinePublish / CombineWait /
+/// CombineApply points — including schedules where the combiner is
+/// preempted mid-batch.
+template <class L>
+ScenarioFactory cell_factory(std::size_t q,
                              std::vector<std::vector<Op>> per_thread,
-                             rsm::WriteExpansion exp, bool combining = false) {
+                             std::function<std::shared_ptr<CellState<L>>()>
+                                 make) {
   return [=] {
-    auto st = std::make_shared<SpinState>(q, exp, combining);
-    st->lock.engine_for_test().set_trace_recording(true);
-    st->lock.set_invocation_log(&st->log);
+    std::shared_ptr<CellState<L>> st = make();
     ScenarioRun run;
     std::size_t max_ops = 0;
     for (const std::vector<Op>& ops : per_thread) {
@@ -82,44 +95,22 @@ ScenarioFactory spin_factory(std::size_t q,
   };
 }
 
-// ------------------------------------------------------------- suspend ----
-
-struct SuspendState {
-  locks::SuspendRwRnlp lock;
-  locks::InvocationLog log;
-  explicit SuspendState(std::size_t q, bool combining = false)
-      : lock(q, rsm::WriteExpansion::ExpandDomain, combining) {}
-};
+ScenarioFactory spin_factory(std::size_t q,
+                             std::vector<std::vector<Op>> per_thread,
+                             rsm::WriteExpansion exp, bool combining = false) {
+  return cell_factory<locks::SpinRwRnlp>(q, std::move(per_thread), [=] {
+    return std::make_shared<SpinState>(q, exp, /*reads_as_writes=*/false,
+                                       combining);
+  });
+}
 
 ScenarioFactory suspend_factory(std::size_t q,
                                 std::vector<std::vector<Op>> per_thread,
                                 bool combining = false) {
-  return [=] {
-    auto st = std::make_shared<SuspendState>(q, combining);
-    st->lock.engine_for_test().set_trace_recording(true);
-    st->lock.set_invocation_log(&st->log);
-    ScenarioRun run;
-    std::size_t max_ops = 0;
-    for (const std::vector<Op>& ops : per_thread) {
-      max_ops = std::max(max_ops, ops.size());
-      run.bodies.push_back([st, ops, q] {
-        for (const Op& op : ops) {
-          const ResourceSet rs = make_set(q, op.res);
-          const ResourceSet none(q);
-          const locks::LockToken tok = op.write ? st->lock.acquire(none, rs)
-                                                : st->lock.acquire(rs, none);
-          st->lock.release(tok);
-        }
-      });
-    }
-    OracleOptions oo;
-    oo.num_threads = per_thread.size();
-    oo.ops_per_thread = max_ops;
-    run.check = [st, oo] {
-      verify_replay(st->lock.engine_for_test(), st->log, oo);
-    };
-    return run;
-  };
+  return cell_factory<locks::SuspendRwRnlp>(q, std::move(per_thread), [=] {
+    return std::make_shared<SuspendState>(
+        q, rsm::WriteExpansion::ExpandDomain, combining);
+  });
 }
 
 // ---------------------------------------------------------------- tests ---
@@ -306,8 +297,6 @@ TEST(Explorer, InjectedFastPathOverHolderIsCaughtAndReplayable) {
   const ScenarioFactory factory = [] {
     auto st =
         std::make_shared<SpinState>(2, rsm::WriteExpansion::ExpandDomain);
-    st->lock.engine_for_test().set_trace_recording(true);
-    st->lock.set_invocation_log(&st->log);
     st->lock.engine_for_test().test_set_force_read_fast(true);
     ScenarioRun run;
     run.bodies.push_back([st] {  // writer: hold l0 until the reader issued
@@ -360,8 +349,6 @@ TEST(Explorer, InjectedFastPathPastEntitledWriterIsCaughtByOracle) {
   const ScenarioFactory factory = [] {
     auto st =
         std::make_shared<SpinState>(2, rsm::WriteExpansion::ExpandDomain);
-    st->lock.engine_for_test().set_trace_recording(true);
-    st->lock.set_invocation_log(&st->log);
     st->lock.engine_for_test().test_set_force_read_fast(true);
     ScenarioRun run;
     run.bodies.push_back([st] {  // A: read-hold l0 until B queued behind it
@@ -416,8 +403,6 @@ TEST(Explorer, EntitledWriterScenarioPassesWithoutInjection) {
   const ScenarioFactory factory = [] {
     auto st =
         std::make_shared<SpinState>(2, rsm::WriteExpansion::ExpandDomain);
-    st->lock.engine_for_test().set_trace_recording(true);
-    st->lock.set_invocation_log(&st->log);
     ScenarioRun run;
     run.bodies.push_back([st] {
       const locks::LockToken tok =
@@ -537,6 +522,48 @@ TEST(ExplorerCombining, ExhaustiveSuspendLock) {
   EXPECT_GT(res.schedules, 5u);
 }
 
+// ------------------------------------------------- matrix cell sweep ------
+
+// The canonical writer/reader collision swept across matrix cells through
+// the one generic factory — notably the adaptive spin-then-suspend cell,
+// whose pre-park spin budget has no other explorer coverage.  Every cell
+// must pass its full exhaustive sweep with byte-equal oracle replays.
+TEST(ExplorerMatrix, ExhaustiveCanonicalScenarioAcrossCells) {
+  const std::vector<std::vector<Op>> scenario = {
+      {Op{true, {0}}},       // A: write l0
+      {Op{false, {0, 1}}}};  // B: read {l0, l1}
+  struct Sweep {
+    const char* label;
+    ScenarioFactory factory;
+  };
+  const std::vector<Sweep> sweeps = {
+      {"spin-classic", cell_factory<locks::SpinClassicCell>(2, scenario, [] {
+         return std::make_shared<CellState<locks::SpinClassicCell>>(2);
+       })},
+      {"suspend-fast", cell_factory<locks::SuspendFastCell>(2, scenario, [] {
+         return std::make_shared<CellState<locks::SuspendFastCell>>(2);
+       })},
+      {"adaptive-fast", cell_factory<locks::AdaptiveRwRnlp>(2, scenario, [] {
+         return std::make_shared<CellState<locks::AdaptiveRwRnlp>>(2);
+       })},
+      {"adaptive-combining",
+       cell_factory<locks::AdaptiveCombiningCell>(2, scenario, [] {
+         return std::make_shared<CellState<locks::AdaptiveCombiningCell>>(2);
+       })},
+  };
+  for (const Sweep& s : sweeps) {
+    SCOPED_TRACE(s.label);
+    ExhaustiveStrategy strategy;
+    ExploreOptions opt;
+    opt.max_schedules = 400000;
+    const ExploreResult res = explore(s.factory, strategy, opt);
+    EXPECT_FALSE(res.failure_found)
+        << res.failure << " (token " << res.token << ")";
+    EXPECT_TRUE(res.exhausted) << "state space not fully enumerated";
+    EXPECT_GT(res.schedules, 5u);
+  }
+}
+
 // ------------------------------------------------- cancellation faults ----
 
 // Cancellation as fault injection: thread B withdraws a queued writer
@@ -552,8 +579,6 @@ TEST(Explorer, CancellationAtEveryYieldPointSpin) {
   const ScenarioFactory factory = [] {
     auto st =
         std::make_shared<SpinState>(1, rsm::WriteExpansion::ExpandDomain);
-    st->lock.engine_for_test().set_trace_recording(true);
-    st->lock.set_invocation_log(&st->log);
     ScenarioRun run;
     run.bodies.push_back([st] {  // A: hold l0 until B's request is issued
       const locks::LockToken tok =
@@ -598,8 +623,6 @@ TEST(Explorer, CancellationAtEveryYieldPointSpin) {
 TEST(Explorer, CancellationAtEveryYieldPointSuspend) {
   const ScenarioFactory factory = [] {
     auto st = std::make_shared<SuspendState>(1);
-    st->lock.engine_for_test().set_trace_recording(true);
-    st->lock.set_invocation_log(&st->log);
     ScenarioRun run;
     run.bodies.push_back([st] {
       const locks::LockToken tok =
@@ -643,8 +666,6 @@ TEST(Explorer, InjectedViolationAfterCancellationIsReplayable) {
   const ScenarioFactory factory = [] {
     auto st =
         std::make_shared<SpinState>(1, rsm::WriteExpansion::ExpandDomain);
-    st->lock.engine_for_test().set_trace_recording(true);
-    st->lock.set_invocation_log(&st->log);
     st->lock.engine_for_test().test_set_force_read_fast(true);
     const auto canceled = [st] {
       return std::any_of(st->log.begin(), st->log.end(),
@@ -719,8 +740,6 @@ TEST(ExplorerIndicator, ExhaustiveRetractRaceReplaysByteEqual) {
     auto st =
         std::make_shared<SpinState>(2, rsm::WriteExpansion::ExpandDomain);
     st->lock.enable_reader_indicator();
-    st->lock.engine_for_test().set_trace_recording(true);
-    st->lock.set_invocation_log(&st->log);
     ScenarioRun run;
     run.bodies.push_back([st] {  // A: write l0 (arrive -> sweep -> admit)
       const locks::LockToken tok =
@@ -770,8 +789,6 @@ TEST(ExplorerIndicator, ExhaustiveSuspendRetractRace) {
   const ScenarioFactory factory = [retractions] {
     auto st = std::make_shared<SuspendState>(2);
     st->lock.enable_reader_indicator();
-    st->lock.engine_for_test().set_trace_recording(true);
-    st->lock.set_invocation_log(&st->log);
     ScenarioRun run;
     run.bodies.push_back([st] {
       const locks::LockToken tok =
@@ -815,8 +832,6 @@ TEST(ExplorerIndicator, PreemptionBoundedWriterPairWithReader) {
     auto st =
         std::make_shared<SpinState>(2, rsm::WriteExpansion::Placeholders);
     st->lock.enable_reader_indicator();
-    st->lock.engine_for_test().set_trace_recording(true);
-    st->lock.set_invocation_log(&st->log);
     ScenarioRun run;
     run.bodies.push_back([st] {
       const locks::LockToken tok =

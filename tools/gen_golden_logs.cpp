@@ -1,0 +1,74 @@
+// Generates the golden invocation logs for the spin cells of the front-end
+// matrix (tests/golden/*.log).  The matrix conformance suite compares each
+// spin cell's corpus log byte-equal against these files, so they pin the
+// exact engine-invocation sequence of the spin front end: regenerate them
+// only for a deliberate, reviewed behavior change.
+//
+// Usage: gen_golden_logs <output-dir>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "locks/spin_rw_rnlp.hpp"
+#include "testing/scenario_corpus.hpp"
+
+namespace {
+
+void write_file(const std::string& dir, const std::string& name,
+                const std::string& contents) {
+  const std::string path = dir + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "cannot open " << path << "\n";
+    std::exit(1);
+  }
+  out << contents;
+  std::cout << "wrote " << path << " (" << contents.size() << " bytes)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rwrnlp;
+  if (argc != 2) {
+    std::cerr << "usage: gen_golden_logs <output-dir>\n";
+    return 1;
+  }
+  const std::string dir = argv[1];
+
+  {  // spin-classic: full-fixpoint reads, no fast path.
+    locks::SpinRwRnlp lock(testing::kCorpusResources);
+    lock.set_read_fast_path(false);
+    locks::InvocationLog log;
+    lock.set_invocation_log(&log);
+    testing::run_scenario_corpus(lock);
+    write_file(dir, "spin-classic.log", testing::serialize_log(log));
+  }
+  {  // spin-fast: default configuration (uncontended-read fast path on).
+    locks::SpinRwRnlp lock(testing::kCorpusResources);
+    locks::InvocationLog log;
+    lock.set_invocation_log(&log);
+    testing::run_scenario_corpus(lock);
+    write_file(dir, "spin-fast.log", testing::serialize_log(log));
+  }
+  {  // spin-combining: acquire/release routed through the broker.
+    locks::SpinRwRnlp lock(testing::kCorpusResources,
+                           rsm::WriteExpansion::ExpandDomain,
+                           /*reads_as_writes=*/false, /*combining=*/true);
+    locks::InvocationLog log;
+    lock.set_invocation_log(&log);
+    testing::run_scenario_corpus(lock);
+    write_file(dir, "spin-combining.log", testing::serialize_log(log));
+  }
+  {  // spin-indicator: mutex-free reader fast path, log mode.
+    locks::SpinRwRnlp lock(testing::kCorpusResources);
+    lock.enable_reader_indicator();
+    locks::InvocationLog log;
+    lock.set_invocation_log(&log);
+    testing::CorpusOptions opt;
+    opt.blocked_writer_cancel = false;  // writer sweep over a held read
+    testing::run_scenario_corpus(lock, opt);
+    write_file(dir, "spin-indicator.log", testing::serialize_log(log));
+  }
+  return 0;
+}
