@@ -1,0 +1,79 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "rwrnlp::rwrnlp_util" for configuration "RelWithDebInfo"
+set_property(TARGET rwrnlp::rwrnlp_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rwrnlp::rwrnlp_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librwrnlp_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets rwrnlp::rwrnlp_util )
+list(APPEND _cmake_import_check_files_for_rwrnlp::rwrnlp_util "${_IMPORT_PREFIX}/lib/librwrnlp_util.a" )
+
+# Import target "rwrnlp::rwrnlp_rsm" for configuration "RelWithDebInfo"
+set_property(TARGET rwrnlp::rwrnlp_rsm APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rwrnlp::rwrnlp_rsm PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librwrnlp_rsm.a"
+  )
+
+list(APPEND _cmake_import_check_targets rwrnlp::rwrnlp_rsm )
+list(APPEND _cmake_import_check_files_for_rwrnlp::rwrnlp_rsm "${_IMPORT_PREFIX}/lib/librwrnlp_rsm.a" )
+
+# Import target "rwrnlp::rwrnlp_sched" for configuration "RelWithDebInfo"
+set_property(TARGET rwrnlp::rwrnlp_sched APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rwrnlp::rwrnlp_sched PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librwrnlp_sched.a"
+  )
+
+list(APPEND _cmake_import_check_targets rwrnlp::rwrnlp_sched )
+list(APPEND _cmake_import_check_files_for_rwrnlp::rwrnlp_sched "${_IMPORT_PREFIX}/lib/librwrnlp_sched.a" )
+
+# Import target "rwrnlp::rwrnlp_locks" for configuration "RelWithDebInfo"
+set_property(TARGET rwrnlp::rwrnlp_locks APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rwrnlp::rwrnlp_locks PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librwrnlp_locks.a"
+  )
+
+list(APPEND _cmake_import_check_targets rwrnlp::rwrnlp_locks )
+list(APPEND _cmake_import_check_files_for_rwrnlp::rwrnlp_locks "${_IMPORT_PREFIX}/lib/librwrnlp_locks.a" )
+
+# Import target "rwrnlp::rwrnlp_analysis" for configuration "RelWithDebInfo"
+set_property(TARGET rwrnlp::rwrnlp_analysis APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rwrnlp::rwrnlp_analysis PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librwrnlp_analysis.a"
+  )
+
+list(APPEND _cmake_import_check_targets rwrnlp::rwrnlp_analysis )
+list(APPEND _cmake_import_check_files_for_rwrnlp::rwrnlp_analysis "${_IMPORT_PREFIX}/lib/librwrnlp_analysis.a" )
+
+# Import target "rwrnlp::rwrnlp_tasksys" for configuration "RelWithDebInfo"
+set_property(TARGET rwrnlp::rwrnlp_tasksys APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rwrnlp::rwrnlp_tasksys PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librwrnlp_tasksys.a"
+  )
+
+list(APPEND _cmake_import_check_targets rwrnlp::rwrnlp_tasksys )
+list(APPEND _cmake_import_check_files_for_rwrnlp::rwrnlp_tasksys "${_IMPORT_PREFIX}/lib/librwrnlp_tasksys.a" )
+
+# Import target "rwrnlp::rwrnlp_stm" for configuration "RelWithDebInfo"
+set_property(TARGET rwrnlp::rwrnlp_stm APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(rwrnlp::rwrnlp_stm PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/librwrnlp_stm.a"
+  )
+
+list(APPEND _cmake_import_check_targets rwrnlp::rwrnlp_stm )
+list(APPEND _cmake_import_check_files_for_rwrnlp::rwrnlp_stm "${_IMPORT_PREFIX}/lib/librwrnlp_stm.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bounds_table.dir/bench_bounds_table.cpp.o"
+  "CMakeFiles/bench_bounds_table.dir/bench_bounds_table.cpp.o.d"
+  "bench_bounds_table"
+  "bench_bounds_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bounds_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cancellation.dir/bench_cancellation.cpp.o"
+  "CMakeFiles/bench_cancellation.dir/bench_cancellation.cpp.o.d"
+  "bench_cancellation"
+  "bench_cancellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cancellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_example.dir/bench_fig2_example.cpp.o"
+  "CMakeFiles/bench_fig2_example.dir/bench_fig2_example.cpp.o.d"
+  "bench_fig2_example"
+  "bench_fig2_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

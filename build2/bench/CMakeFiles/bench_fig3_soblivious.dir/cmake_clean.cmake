@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_soblivious.dir/bench_fig3_soblivious.cpp.o"
+  "CMakeFiles/bench_fig3_soblivious.dir/bench_fig3_soblivious.cpp.o.d"
+  "bench_fig3_soblivious"
+  "bench_fig3_soblivious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_soblivious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpi_ablation.dir/bench_mpi_ablation.cpp.o"
+  "CMakeFiles/bench_mpi_ablation.dir/bench_mpi_ablation.cpp.o.d"
+  "bench_mpi_ablation"
+  "bench_mpi_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpi_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

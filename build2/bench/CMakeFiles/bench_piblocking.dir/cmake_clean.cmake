@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_piblocking.dir/bench_piblocking.cpp.o"
+  "CMakeFiles/bench_piblocking.dir/bench_piblocking.cpp.o.d"
+  "bench_piblocking"
+  "bench_piblocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_piblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

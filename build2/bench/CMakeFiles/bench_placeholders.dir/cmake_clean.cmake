@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_placeholders.dir/bench_placeholders.cpp.o"
+  "CMakeFiles/bench_placeholders.dir/bench_placeholders.cpp.o.d"
+  "bench_placeholders"
+  "bench_placeholders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_placeholders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

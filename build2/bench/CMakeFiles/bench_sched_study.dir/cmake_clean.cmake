@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_study.dir/bench_sched_study.cpp.o"
+  "CMakeFiles/bench_sched_study.dir/bench_sched_study.cpp.o.d"
+  "bench_sched_study"
+  "bench_sched_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sched_sweeps.dir/bench_sched_sweeps.cpp.o"
+  "CMakeFiles/bench_sched_sweeps.dir/bench_sched_sweeps.cpp.o.d"
+  "bench_sched_sweeps"
+  "bench_sched_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

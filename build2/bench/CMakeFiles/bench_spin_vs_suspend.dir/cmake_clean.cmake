@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spin_vs_suspend.dir/bench_spin_vs_suspend.cpp.o"
+  "CMakeFiles/bench_spin_vs_suspend.dir/bench_spin_vs_suspend.cpp.o.d"
+  "bench_spin_vs_suspend"
+  "bench_spin_vs_suspend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spin_vs_suspend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_spin_vs_suspend.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_taskfair_vs_phasefair.dir/bench_taskfair_vs_phasefair.cpp.o"
+  "CMakeFiles/bench_taskfair_vs_phasefair.dir/bench_taskfair_vs_phasefair.cpp.o.d"
+  "bench_taskfair_vs_phasefair"
+  "bench_taskfair_vs_phasefair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_taskfair_vs_phasefair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_taskfair_vs_phasefair.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_taskfair_vs_phasefair.
+# This may be replaced when dependencies are built.

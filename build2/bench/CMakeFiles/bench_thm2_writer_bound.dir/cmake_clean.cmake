@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_writer_bound.dir/bench_thm2_writer_bound.cpp.o"
+  "CMakeFiles/bench_thm2_writer_bound.dir/bench_thm2_writer_bound.cpp.o.d"
+  "bench_thm2_writer_bound"
+  "bench_thm2_writer_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_writer_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm2_writer_bound.
+# This may be replaced when dependencies are built.

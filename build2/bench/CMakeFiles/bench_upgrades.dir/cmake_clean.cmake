@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_upgrades.dir/bench_upgrades.cpp.o"
+  "CMakeFiles/bench_upgrades.dir/bench_upgrades.cpp.o.d"
+  "bench_upgrades"
+  "bench_upgrades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_upgrades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_refresh.dir/cache_refresh.cpp.o"
+  "CMakeFiles/cache_refresh.dir/cache_refresh.cpp.o.d"
+  "cache_refresh"
+  "cache_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fig2_schedule.cpp" "examples/CMakeFiles/fig2_schedule.dir/fig2_schedule.cpp.o" "gcc" "examples/CMakeFiles/fig2_schedule.dir/fig2_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/sched/CMakeFiles/rwrnlp_sched.dir/DependInfo.cmake"
+  "/root/repo/build2/src/rsm/CMakeFiles/rwrnlp_rsm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/rwrnlp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_schedule.dir/fig2_schedule.cpp.o"
+  "CMakeFiles/fig2_schedule.dir/fig2_schedule.cpp.o.d"
+  "fig2_schedule"
+  "fig2_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_walk.dir/incremental_walk.cpp.o"
+  "CMakeFiles/incremental_walk.dir/incremental_walk.cpp.o.d"
+  "incremental_walk"
+  "incremental_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_trace.dir/sched_trace.cpp.o"
+  "CMakeFiles/sched_trace.dir/sched_trace.cpp.o.d"
+  "sched_trace"
+  "sched_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

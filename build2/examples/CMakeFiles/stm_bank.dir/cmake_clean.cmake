@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_bank.dir/stm_bank.cpp.o"
+  "CMakeFiles/stm_bank.dir/stm_bank.cpp.o.d"
+  "stm_bank"
+  "stm_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskgen_cli.dir/taskgen_cli.cpp.o"
+  "CMakeFiles/taskgen_cli.dir/taskgen_cli.cpp.o.d"
+  "taskgen_cli"
+  "taskgen_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskgen_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

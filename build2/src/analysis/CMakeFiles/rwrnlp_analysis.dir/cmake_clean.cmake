@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwrnlp_analysis.dir/blocking.cpp.o"
+  "CMakeFiles/rwrnlp_analysis.dir/blocking.cpp.o.d"
+  "CMakeFiles/rwrnlp_analysis.dir/schedulability.cpp.o"
+  "CMakeFiles/rwrnlp_analysis.dir/schedulability.cpp.o.d"
+  "CMakeFiles/rwrnlp_analysis.dir/study.cpp.o"
+  "CMakeFiles/rwrnlp_analysis.dir/study.cpp.o.d"
+  "librwrnlp_analysis.a"
+  "librwrnlp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwrnlp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwrnlp_locks.dir/front_end.cpp.o"
+  "CMakeFiles/rwrnlp_locks.dir/front_end.cpp.o.d"
+  "librwrnlp_locks.a"
+  "librwrnlp_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwrnlp_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rsm/engine.cpp" "src/rsm/CMakeFiles/rwrnlp_rsm.dir/engine.cpp.o" "gcc" "src/rsm/CMakeFiles/rwrnlp_rsm.dir/engine.cpp.o.d"
+  "/root/repo/src/rsm/invariants.cpp" "src/rsm/CMakeFiles/rwrnlp_rsm.dir/invariants.cpp.o" "gcc" "src/rsm/CMakeFiles/rwrnlp_rsm.dir/invariants.cpp.o.d"
+  "/root/repo/src/rsm/read_shares.cpp" "src/rsm/CMakeFiles/rwrnlp_rsm.dir/read_shares.cpp.o" "gcc" "src/rsm/CMakeFiles/rwrnlp_rsm.dir/read_shares.cpp.o.d"
+  "/root/repo/src/rsm/request.cpp" "src/rsm/CMakeFiles/rwrnlp_rsm.dir/request.cpp.o" "gcc" "src/rsm/CMakeFiles/rwrnlp_rsm.dir/request.cpp.o.d"
+  "/root/repo/src/rsm/trace.cpp" "src/rsm/CMakeFiles/rwrnlp_rsm.dir/trace.cpp.o" "gcc" "src/rsm/CMakeFiles/rwrnlp_rsm.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/util/CMakeFiles/rwrnlp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwrnlp_rsm.dir/engine.cpp.o"
+  "CMakeFiles/rwrnlp_rsm.dir/engine.cpp.o.d"
+  "CMakeFiles/rwrnlp_rsm.dir/invariants.cpp.o"
+  "CMakeFiles/rwrnlp_rsm.dir/invariants.cpp.o.d"
+  "CMakeFiles/rwrnlp_rsm.dir/read_shares.cpp.o"
+  "CMakeFiles/rwrnlp_rsm.dir/read_shares.cpp.o.d"
+  "CMakeFiles/rwrnlp_rsm.dir/request.cpp.o"
+  "CMakeFiles/rwrnlp_rsm.dir/request.cpp.o.d"
+  "CMakeFiles/rwrnlp_rsm.dir/trace.cpp.o"
+  "CMakeFiles/rwrnlp_rsm.dir/trace.cpp.o.d"
+  "librwrnlp_rsm.a"
+  "librwrnlp_rsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwrnlp_rsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

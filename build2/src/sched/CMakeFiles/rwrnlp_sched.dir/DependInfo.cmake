@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/gantt.cpp" "src/sched/CMakeFiles/rwrnlp_sched.dir/gantt.cpp.o" "gcc" "src/sched/CMakeFiles/rwrnlp_sched.dir/gantt.cpp.o.d"
+  "/root/repo/src/sched/protocol.cpp" "src/sched/CMakeFiles/rwrnlp_sched.dir/protocol.cpp.o" "gcc" "src/sched/CMakeFiles/rwrnlp_sched.dir/protocol.cpp.o.d"
+  "/root/repo/src/sched/simulator.cpp" "src/sched/CMakeFiles/rwrnlp_sched.dir/simulator.cpp.o" "gcc" "src/sched/CMakeFiles/rwrnlp_sched.dir/simulator.cpp.o.d"
+  "/root/repo/src/sched/task.cpp" "src/sched/CMakeFiles/rwrnlp_sched.dir/task.cpp.o" "gcc" "src/sched/CMakeFiles/rwrnlp_sched.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/rsm/CMakeFiles/rwrnlp_rsm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/rwrnlp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

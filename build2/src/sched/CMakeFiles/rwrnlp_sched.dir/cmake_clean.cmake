@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwrnlp_sched.dir/gantt.cpp.o"
+  "CMakeFiles/rwrnlp_sched.dir/gantt.cpp.o.d"
+  "CMakeFiles/rwrnlp_sched.dir/protocol.cpp.o"
+  "CMakeFiles/rwrnlp_sched.dir/protocol.cpp.o.d"
+  "CMakeFiles/rwrnlp_sched.dir/simulator.cpp.o"
+  "CMakeFiles/rwrnlp_sched.dir/simulator.cpp.o.d"
+  "CMakeFiles/rwrnlp_sched.dir/task.cpp.o"
+  "CMakeFiles/rwrnlp_sched.dir/task.cpp.o.d"
+  "librwrnlp_sched.a"
+  "librwrnlp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwrnlp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

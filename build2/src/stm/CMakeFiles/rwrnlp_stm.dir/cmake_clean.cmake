@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwrnlp_stm.dir/stm.cpp.o"
+  "CMakeFiles/rwrnlp_stm.dir/stm.cpp.o.d"
+  "librwrnlp_stm.a"
+  "librwrnlp_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwrnlp_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

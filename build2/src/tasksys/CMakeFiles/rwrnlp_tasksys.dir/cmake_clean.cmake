@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwrnlp_tasksys.dir/generator.cpp.o"
+  "CMakeFiles/rwrnlp_tasksys.dir/generator.cpp.o.d"
+  "CMakeFiles/rwrnlp_tasksys.dir/serialize.cpp.o"
+  "CMakeFiles/rwrnlp_tasksys.dir/serialize.cpp.o.d"
+  "librwrnlp_tasksys.a"
+  "librwrnlp_tasksys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwrnlp_tasksys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

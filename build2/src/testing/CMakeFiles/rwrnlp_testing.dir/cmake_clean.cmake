@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwrnlp_testing.dir/cell_registry.cpp.o"
+  "CMakeFiles/rwrnlp_testing.dir/cell_registry.cpp.o.d"
+  "CMakeFiles/rwrnlp_testing.dir/explore.cpp.o"
+  "CMakeFiles/rwrnlp_testing.dir/explore.cpp.o.d"
+  "CMakeFiles/rwrnlp_testing.dir/oracle.cpp.o"
+  "CMakeFiles/rwrnlp_testing.dir/oracle.cpp.o.d"
+  "CMakeFiles/rwrnlp_testing.dir/strategy.cpp.o"
+  "CMakeFiles/rwrnlp_testing.dir/strategy.cpp.o.d"
+  "CMakeFiles/rwrnlp_testing.dir/virtual_scheduler.cpp.o"
+  "CMakeFiles/rwrnlp_testing.dir/virtual_scheduler.cpp.o.d"
+  "librwrnlp_testing.a"
+  "librwrnlp_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwrnlp_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

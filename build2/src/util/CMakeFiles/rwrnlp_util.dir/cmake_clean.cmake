@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwrnlp_util.dir/resource_set.cpp.o"
+  "CMakeFiles/rwrnlp_util.dir/resource_set.cpp.o.d"
+  "CMakeFiles/rwrnlp_util.dir/rng.cpp.o"
+  "CMakeFiles/rwrnlp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rwrnlp_util.dir/stats.cpp.o"
+  "CMakeFiles/rwrnlp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rwrnlp_util.dir/table.cpp.o"
+  "CMakeFiles/rwrnlp_util.dir/table.cpp.o.d"
+  "librwrnlp_util.a"
+  "librwrnlp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwrnlp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cancel_stress.dir/locks/cancel_stress_test.cpp.o"
+  "CMakeFiles/test_cancel_stress.dir/locks/cancel_stress_test.cpp.o.d"
+  "test_cancel_stress"
+  "test_cancel_stress.pdb"
+  "test_cancel_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cancel_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

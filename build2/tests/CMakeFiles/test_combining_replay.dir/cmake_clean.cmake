@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combining_replay.dir/locks/combining_replay_test.cpp.o"
+  "CMakeFiles/test_combining_replay.dir/locks/combining_replay_test.cpp.o.d"
+  "test_combining_replay"
+  "test_combining_replay.pdb"
+  "test_combining_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combining_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_explorer.dir/testing/explorer_test.cpp.o"
+  "CMakeFiles/test_explorer.dir/testing/explorer_test.cpp.o.d"
+  "test_explorer"
+  "test_explorer.pdb"
+  "test_explorer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

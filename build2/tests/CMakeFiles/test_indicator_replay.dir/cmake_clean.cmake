@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_indicator_replay.dir/locks/indicator_replay_test.cpp.o"
+  "CMakeFiles/test_indicator_replay.dir/locks/indicator_replay_test.cpp.o.d"
+  "test_indicator_replay"
+  "test_indicator_replay.pdb"
+  "test_indicator_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_indicator_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/locks/combining_test.cpp" "tests/CMakeFiles/test_locks.dir/locks/combining_test.cpp.o" "gcc" "tests/CMakeFiles/test_locks.dir/locks/combining_test.cpp.o.d"
+  "/root/repo/tests/locks/multi_lock_test.cpp" "tests/CMakeFiles/test_locks.dir/locks/multi_lock_test.cpp.o" "gcc" "tests/CMakeFiles/test_locks.dir/locks/multi_lock_test.cpp.o.d"
+  "/root/repo/tests/locks/primitives_test.cpp" "tests/CMakeFiles/test_locks.dir/locks/primitives_test.cpp.o" "gcc" "tests/CMakeFiles/test_locks.dir/locks/primitives_test.cpp.o.d"
+  "/root/repo/tests/locks/reader_indicator_test.cpp" "tests/CMakeFiles/test_locks.dir/locks/reader_indicator_test.cpp.o" "gcc" "tests/CMakeFiles/test_locks.dir/locks/reader_indicator_test.cpp.o.d"
+  "/root/repo/tests/locks/sharded_lock_test.cpp" "tests/CMakeFiles/test_locks.dir/locks/sharded_lock_test.cpp.o" "gcc" "tests/CMakeFiles/test_locks.dir/locks/sharded_lock_test.cpp.o.d"
+  "/root/repo/tests/locks/stress_test.cpp" "tests/CMakeFiles/test_locks.dir/locks/stress_test.cpp.o" "gcc" "tests/CMakeFiles/test_locks.dir/locks/stress_test.cpp.o.d"
+  "/root/repo/tests/locks/suspend_lock_test.cpp" "tests/CMakeFiles/test_locks.dir/locks/suspend_lock_test.cpp.o" "gcc" "tests/CMakeFiles/test_locks.dir/locks/suspend_lock_test.cpp.o.d"
+  "/root/repo/tests/locks/timed_lock_test.cpp" "tests/CMakeFiles/test_locks.dir/locks/timed_lock_test.cpp.o" "gcc" "tests/CMakeFiles/test_locks.dir/locks/timed_lock_test.cpp.o.d"
+  "/root/repo/tests/locks/upgradeable_lock_test.cpp" "tests/CMakeFiles/test_locks.dir/locks/upgradeable_lock_test.cpp.o" "gcc" "tests/CMakeFiles/test_locks.dir/locks/upgradeable_lock_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/rsm/CMakeFiles/rwrnlp_rsm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/rwrnlp_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/locks/CMakeFiles/rwrnlp_locks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

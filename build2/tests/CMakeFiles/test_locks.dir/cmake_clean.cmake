@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locks.dir/locks/combining_test.cpp.o"
+  "CMakeFiles/test_locks.dir/locks/combining_test.cpp.o.d"
+  "CMakeFiles/test_locks.dir/locks/multi_lock_test.cpp.o"
+  "CMakeFiles/test_locks.dir/locks/multi_lock_test.cpp.o.d"
+  "CMakeFiles/test_locks.dir/locks/primitives_test.cpp.o"
+  "CMakeFiles/test_locks.dir/locks/primitives_test.cpp.o.d"
+  "CMakeFiles/test_locks.dir/locks/reader_indicator_test.cpp.o"
+  "CMakeFiles/test_locks.dir/locks/reader_indicator_test.cpp.o.d"
+  "CMakeFiles/test_locks.dir/locks/sharded_lock_test.cpp.o"
+  "CMakeFiles/test_locks.dir/locks/sharded_lock_test.cpp.o.d"
+  "CMakeFiles/test_locks.dir/locks/stress_test.cpp.o"
+  "CMakeFiles/test_locks.dir/locks/stress_test.cpp.o.d"
+  "CMakeFiles/test_locks.dir/locks/suspend_lock_test.cpp.o"
+  "CMakeFiles/test_locks.dir/locks/suspend_lock_test.cpp.o.d"
+  "CMakeFiles/test_locks.dir/locks/timed_lock_test.cpp.o"
+  "CMakeFiles/test_locks.dir/locks/timed_lock_test.cpp.o.d"
+  "CMakeFiles/test_locks.dir/locks/upgradeable_lock_test.cpp.o"
+  "CMakeFiles/test_locks.dir/locks/upgradeable_lock_test.cpp.o.d"
+  "test_locks"
+  "test_locks.pdb"
+  "test_locks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

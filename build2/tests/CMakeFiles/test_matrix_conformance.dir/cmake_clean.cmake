@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_conformance.dir/matrix_conformance_test.cpp.o"
+  "CMakeFiles/test_matrix_conformance.dir/matrix_conformance_test.cpp.o.d"
+  "test_matrix_conformance"
+  "test_matrix_conformance.pdb"
+  "test_matrix_conformance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

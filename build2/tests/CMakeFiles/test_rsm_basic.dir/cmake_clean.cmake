@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsm_basic.dir/rsm/engine_basic_test.cpp.o"
+  "CMakeFiles/test_rsm_basic.dir/rsm/engine_basic_test.cpp.o.d"
+  "CMakeFiles/test_rsm_basic.dir/rsm/paper_example_test.cpp.o"
+  "CMakeFiles/test_rsm_basic.dir/rsm/paper_example_test.cpp.o.d"
+  "CMakeFiles/test_rsm_basic.dir/rsm/read_shares_test.cpp.o"
+  "CMakeFiles/test_rsm_basic.dir/rsm/read_shares_test.cpp.o.d"
+  "test_rsm_basic"
+  "test_rsm_basic.pdb"
+  "test_rsm_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsm_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rsm/api_robustness_test.cpp" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/api_robustness_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/api_robustness_test.cpp.o.d"
+  "/root/repo/tests/rsm/combined_features_test.cpp" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/combined_features_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/combined_features_test.cpp.o.d"
+  "/root/repo/tests/rsm/determinism_test.cpp" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/determinism_test.cpp.o.d"
+  "/root/repo/tests/rsm/incremental_test.cpp" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/incremental_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/incremental_test.cpp.o.d"
+  "/root/repo/tests/rsm/mutex_differential_test.cpp" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/mutex_differential_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/mutex_differential_test.cpp.o.d"
+  "/root/repo/tests/rsm/observer_test.cpp" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/observer_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/observer_test.cpp.o.d"
+  "/root/repo/tests/rsm/phase_fair_differential_test.cpp" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/phase_fair_differential_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/phase_fair_differential_test.cpp.o.d"
+  "/root/repo/tests/rsm/placeholder_ordering_test.cpp" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/placeholder_ordering_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/placeholder_ordering_test.cpp.o.d"
+  "/root/repo/tests/rsm/upgrade_test.cpp" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/upgrade_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsm_extensions.dir/rsm/upgrade_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/rsm/CMakeFiles/rwrnlp_rsm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/rwrnlp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsm_extensions.dir/rsm/api_robustness_test.cpp.o"
+  "CMakeFiles/test_rsm_extensions.dir/rsm/api_robustness_test.cpp.o.d"
+  "CMakeFiles/test_rsm_extensions.dir/rsm/combined_features_test.cpp.o"
+  "CMakeFiles/test_rsm_extensions.dir/rsm/combined_features_test.cpp.o.d"
+  "CMakeFiles/test_rsm_extensions.dir/rsm/determinism_test.cpp.o"
+  "CMakeFiles/test_rsm_extensions.dir/rsm/determinism_test.cpp.o.d"
+  "CMakeFiles/test_rsm_extensions.dir/rsm/incremental_test.cpp.o"
+  "CMakeFiles/test_rsm_extensions.dir/rsm/incremental_test.cpp.o.d"
+  "CMakeFiles/test_rsm_extensions.dir/rsm/mutex_differential_test.cpp.o"
+  "CMakeFiles/test_rsm_extensions.dir/rsm/mutex_differential_test.cpp.o.d"
+  "CMakeFiles/test_rsm_extensions.dir/rsm/observer_test.cpp.o"
+  "CMakeFiles/test_rsm_extensions.dir/rsm/observer_test.cpp.o.d"
+  "CMakeFiles/test_rsm_extensions.dir/rsm/phase_fair_differential_test.cpp.o"
+  "CMakeFiles/test_rsm_extensions.dir/rsm/phase_fair_differential_test.cpp.o.d"
+  "CMakeFiles/test_rsm_extensions.dir/rsm/placeholder_ordering_test.cpp.o"
+  "CMakeFiles/test_rsm_extensions.dir/rsm/placeholder_ordering_test.cpp.o.d"
+  "CMakeFiles/test_rsm_extensions.dir/rsm/upgrade_test.cpp.o"
+  "CMakeFiles/test_rsm_extensions.dir/rsm/upgrade_test.cpp.o.d"
+  "test_rsm_extensions"
+  "test_rsm_extensions.pdb"
+  "test_rsm_extensions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsm_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rsm/batch_equivalence_test.cpp" "tests/CMakeFiles/test_rsm_hotpath.dir/rsm/batch_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsm_hotpath.dir/rsm/batch_equivalence_test.cpp.o.d"
+  "/root/repo/tests/rsm/fast_path_equivalence_test.cpp" "tests/CMakeFiles/test_rsm_hotpath.dir/rsm/fast_path_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsm_hotpath.dir/rsm/fast_path_equivalence_test.cpp.o.d"
+  "/root/repo/tests/rsm/lemma6_erratum_test.cpp" "tests/CMakeFiles/test_rsm_hotpath.dir/rsm/lemma6_erratum_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsm_hotpath.dir/rsm/lemma6_erratum_test.cpp.o.d"
+  "/root/repo/tests/rsm/shard_equivalence_test.cpp" "tests/CMakeFiles/test_rsm_hotpath.dir/rsm/shard_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/test_rsm_hotpath.dir/rsm/shard_equivalence_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/rsm/CMakeFiles/rwrnlp_rsm.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/rwrnlp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

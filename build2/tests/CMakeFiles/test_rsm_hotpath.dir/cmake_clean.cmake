@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsm_hotpath.dir/rsm/batch_equivalence_test.cpp.o"
+  "CMakeFiles/test_rsm_hotpath.dir/rsm/batch_equivalence_test.cpp.o.d"
+  "CMakeFiles/test_rsm_hotpath.dir/rsm/fast_path_equivalence_test.cpp.o"
+  "CMakeFiles/test_rsm_hotpath.dir/rsm/fast_path_equivalence_test.cpp.o.d"
+  "CMakeFiles/test_rsm_hotpath.dir/rsm/lemma6_erratum_test.cpp.o"
+  "CMakeFiles/test_rsm_hotpath.dir/rsm/lemma6_erratum_test.cpp.o.d"
+  "CMakeFiles/test_rsm_hotpath.dir/rsm/shard_equivalence_test.cpp.o"
+  "CMakeFiles/test_rsm_hotpath.dir/rsm/shard_equivalence_test.cpp.o.d"
+  "test_rsm_hotpath"
+  "test_rsm_hotpath.pdb"
+  "test_rsm_hotpath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsm_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

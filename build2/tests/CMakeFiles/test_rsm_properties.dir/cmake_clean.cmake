@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsm_properties.dir/rsm/property_test.cpp.o"
+  "CMakeFiles/test_rsm_properties.dir/rsm/property_test.cpp.o.d"
+  "test_rsm_properties"
+  "test_rsm_properties.pdb"
+  "test_rsm_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsm_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

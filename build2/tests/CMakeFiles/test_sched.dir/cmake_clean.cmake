@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/fig3_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/fig3_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/gantt_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/gantt_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/incremental_sim_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/incremental_sim_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/metrics_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/metrics_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/mpi_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/mpi_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/protocol_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/protocol_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/simulator_basic_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/simulator_basic_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/upgradeable_sim_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/upgradeable_sim_test.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

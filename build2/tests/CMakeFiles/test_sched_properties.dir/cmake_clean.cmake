@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_properties.dir/sched/sim_property_test.cpp.o"
+  "CMakeFiles/test_sched_properties.dir/sched/sim_property_test.cpp.o.d"
+  "test_sched_properties"
+  "test_sched_properties.pdb"
+  "test_sched_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

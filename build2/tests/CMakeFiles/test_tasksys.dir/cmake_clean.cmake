@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tasksys.dir/tasksys/generator_test.cpp.o"
+  "CMakeFiles/test_tasksys.dir/tasksys/generator_test.cpp.o.d"
+  "CMakeFiles/test_tasksys.dir/tasksys/serialize_test.cpp.o"
+  "CMakeFiles/test_tasksys.dir/tasksys/serialize_test.cpp.o.d"
+  "test_tasksys"
+  "test_tasksys.pdb"
+  "test_tasksys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tasksys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/test_util[1]_include.cmake")
+include("/root/repo/build2/tests/test_rsm_basic[1]_include.cmake")
+include("/root/repo/build2/tests/test_rsm_extensions[1]_include.cmake")
+include("/root/repo/build2/tests/test_rsm_properties[1]_include.cmake")
+include("/root/repo/build2/tests/test_rsm_hotpath[1]_include.cmake")
+include("/root/repo/build2/tests/test_sched[1]_include.cmake")
+include("/root/repo/build2/tests/test_sched_properties[1]_include.cmake")
+include("/root/repo/build2/tests/test_tasksys[1]_include.cmake")
+include("/root/repo/build2/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build2/tests/test_locks[1]_include.cmake")
+include("/root/repo/build2/tests/test_explorer[1]_include.cmake")
+include("/root/repo/build2/tests/test_cancel_stress[1]_include.cmake")
+include("/root/repo/build2/tests/test_combining_replay[1]_include.cmake")
+include("/root/repo/build2/tests/test_indicator_replay[1]_include.cmake")
+include("/root/repo/build2/tests/test_matrix_conformance[1]_include.cmake")
+include("/root/repo/build2/tests/test_stm[1]_include.cmake")
+include("/root/repo/build2/tests/test_integration[1]_include.cmake")

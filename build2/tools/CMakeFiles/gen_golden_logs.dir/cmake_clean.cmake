@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_golden_logs.dir/gen_golden_logs.cpp.o"
+  "CMakeFiles/gen_golden_logs.dir/gen_golden_logs.cpp.o.d"
+  "gen_golden_logs"
+  "gen_golden_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_golden_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
