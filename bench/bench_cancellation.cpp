@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "bench/common.hpp"
 #include "locks/health.hpp"
 #include "locks/spin_rw_rnlp.hpp"
@@ -185,6 +187,89 @@ RunResult run_forced_abandonment(locks::MultiResourceLock& lock) {
   lock.release(held);
   r.abandon_p50_ns = percentile(lat, 0.50);
   r.abandon_p99_ns = percentile(lat, 0.99);
+  return r;
+}
+
+// Forced-release recovery phase (crash recovery): a victim acquires a
+// full-pool write hold and "dies" (its thread exits with the token live);
+// a successor blocks behind the orphaned grant; recovery_sweep() under
+// RecoveryPolicy::ForceRelease revokes the victim and the successor is
+// granted.  Reported: detect -> successor-granted latency percentiles
+// (clock starts at the sweep that performs the revocation, ends when the
+// successor's acquire returns) and recoveries/s over the recovery-path
+// work alone.  The victim's zombie token is released afterwards and must
+// fence: forced_releases == fenced_zombies == iterations at the end.
+struct RecoveryResult {
+  std::uint64_t recoveries = 0;
+  double p50_ns = 0, p99_ns = 0;
+  double ops_per_sec = 0;
+};
+
+RecoveryResult run_forced_release_recovery(locks::MultiResourceLock& lock,
+                                           locks::SpinRwRnlp* spin,
+                                           locks::SuspendRwRnlp* susp) {
+  constexpr std::size_t kRecoveries = 200;
+  locks::RobustnessOptions opt;
+  opt.stuck_budget = std::chrono::microseconds(50);
+  opt.recovery = locks::RecoveryPolicy::ForceRelease;
+  opt.confirm_sweeps = 1;
+  if (spin != nullptr) spin->set_robustness_options(opt);
+  if (susp != nullptr) susp->set_robustness_options(opt);
+
+  ResourceSet all(kQ);
+  for (std::size_t l = 0; l < kQ; ++l) all.set(l);
+
+  RecoveryResult r;
+  std::vector<double> lat;
+  lat.reserve(kRecoveries);
+  double total_ns = 0;
+  for (std::size_t k = 0; k < kRecoveries; ++k) {
+    locks::LockToken victim_token;
+    std::thread victim(
+        [&] { victim_token = lock.acquire(ResourceSet(kQ), all); });
+    victim.join();  // the holder is now dead; its token is orphaned
+
+    Clock::time_point granted;
+    std::thread successor([&] {
+      const locks::LockToken tok = lock.acquire(ResourceSet(kQ), all);
+      granted = Clock::now();
+      lock.release(tok);
+    });
+    // Let the successor queue and the orphaned hold age past the budget.
+    busy_wait(std::chrono::microseconds(100));
+
+    const auto t0 = Clock::now();
+    const std::uint64_t target = r.recoveries + 1;
+    locks::HealthReport hr;
+    do {
+      hr = spin != nullptr ? spin->recovery_sweep() : susp->recovery_sweep();
+    } while (hr.forced_releases < target);
+    successor.join();
+    ++r.recoveries;
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(granted - t0)
+            .count());
+    lat.push_back(ns);
+    total_ns += ns;
+
+    lock.release(victim_token);  // zombie: must fence, not double-release
+  }
+  r.p50_ns = percentile(lat, 0.50);
+  r.p99_ns = percentile(lat, 0.99);
+  r.ops_per_sec = total_ns > 0
+                      ? 1e9 * static_cast<double>(r.recoveries) / total_ns
+                      : 0.0;
+
+  const locks::HealthReport hr =
+      spin != nullptr ? spin->health_report() : susp->health_report();
+  check(hr.forced_releases == kRecoveries,
+        "recovery: every orphaned hold was revoked exactly once");
+  check(hr.fenced_zombies == kRecoveries,
+        "recovery: every zombie release was fenced exactly once");
+  check(hr.incomplete == 0,
+        "recovery: zero incomplete requests after the recovery phase");
+  if (spin != nullptr) spin->set_robustness_options({});
+  if (susp != nullptr) susp->set_robustness_options({});
   return r;
 }
 
@@ -353,16 +438,60 @@ int main(int argc, char** argv) {
               << "}";
   }
 
+  header("forced-release recovery: orphaned full-pool hold -> successor grant");
+  std::ostringstream recovery_json, workloads_json;
+  bool first_recovery = true;
+  for (const char* key : {"spin", "suspend"}) {
+    std::unique_ptr<locks::SpinRwRnlp> spin;
+    std::unique_ptr<locks::SuspendRwRnlp> susp;
+    locks::MultiResourceLock* lock;
+    if (std::string(key) == "spin") {
+      spin = std::make_unique<locks::SpinRwRnlp>(kQ);
+      lock = spin.get();
+    } else {
+      susp = std::make_unique<locks::SuspendRwRnlp>(kQ);
+      lock = susp.get();
+    }
+    const RecoveryResult r =
+        run_forced_release_recovery(*lock, spin.get(), susp.get());
+    std::printf("  %-8s %6llu recoveries, detect->grant p50 %8.0fns p99 "
+                "%8.0fns, %10.0f/s\n",
+                key, static_cast<unsigned long long>(r.recoveries), r.p50_ns,
+                r.p99_ns, r.ops_per_sec);
+    if (!first_recovery) {
+      recovery_json << ",\n";
+      workloads_json << ",\n";
+    }
+    first_recovery = false;
+    recovery_json << "    {\"lock\": \"" << key
+                  << "\", \"recoveries\": " << r.recoveries
+                  << ", \"detect_to_grant_p50_ns\": " << r.p50_ns
+                  << ", \"detect_to_grant_p99_ns\": " << r.p99_ns
+                  << ", \"recoveries_per_sec\": " << r.ops_per_sec << "}";
+    // bench_check.py-compatible row shape, so two runs of this bench can be
+    // gated against each other exactly like bench_hotpath reports.
+    workloads_json << "    {\"lock\": \"" << key
+                   << "\", \"workload\": \"forced-release-recovery\""
+                   << ", \"threads\": 2, \"ops_per_sec\": " << r.ops_per_sec
+                   << ", \"p99_ns\": " << r.p99_ns << "}";
+  }
+
+  const long cpus = sysconf(_SC_NPROCESSORS_ONLN);
   std::ofstream js(json_path);
   js << "{\n  \"bench\": \"cancellation\",\n"
      << "  \"q\": " << kQ << ",\n  \"threads\": " << kThreads
      << ",\n  \"ops_per_thread\": " << kOpsPerThread << ",\n"
+     << "  \"cpus\": " << cpus << ",\n"
      << "  \"runs\": [\n"
      << rows.str() << "\n  ],\n"
      << "  \"forced_abandonment\": [\n"
      << forced_json.str() << "\n  ],\n"
      << "  \"shedding\": [\n"
-     << shed_json.str() << "\n  ]\n}\n";
+     << shed_json.str() << "\n  ],\n"
+     << "  \"recovery\": [\n"
+     << recovery_json.str() << "\n  ],\n"
+     << "  \"workloads\": [\n"
+     << workloads_json.str() << "\n  ]\n}\n";
   js.close();
   check(js.good(), "json written to " + json_path);
 

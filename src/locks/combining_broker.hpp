@@ -115,6 +115,10 @@ class CombiningBroker {
     std::uint64_t seq = 0;
     std::uint32_t tag = 0;  ///< front-end routing tag (cross-shard combiner:
                             ///< which shard this invocation belongs to)
+    std::uint32_t gen = 0;  ///< fence generation (crash recovery): in on a
+                            ///< Complete (the releasing token's gen, checked
+                            ///< by the sink), out on an issue (the granted
+                            ///< token's gen, read by the publisher)
     bool shed = false;  ///< out: the front end's sink vetoed the invocation
     rsm::Invocation inv;
     SatisfactionFlag waiter;  ///< spin front ends park here post-batch

@@ -148,6 +148,51 @@ struct Flat {};
 struct Sharded {};
 }  // namespace topo
 
+// ---------------------------------------------------------------------------
+// Token fence packing (crash recovery)
+// ---------------------------------------------------------------------------
+//
+// LockToken::id packs the engine request id into the low 32 bits and the
+// request's *fence generation* into the high 32.  The generation is bumped
+// only when crash recovery forcibly revokes a holder (force_release), so a
+// zombie — a thread whose grant was revoked while it was wedged — presents a
+// stale generation on its late release/request_more and is fenced off
+// instead of corrupting a recycled slot's state.  Tokens of never-revoked
+// requests carry generation 0, i.e. token.id == request id, which is the
+// historical encoding.
+//
+// Indicator fast grants keep their reserved encoding: the low 32 bits are
+// all ones (kNoRequest is reserved, so no engine request collides) and the
+// high 32 bits carry the *bitwise complement* of the grant slot's
+// generation — a fresh slot (gen 0) therefore still produces exactly
+// kIndicatorToken (~0), preserving the historical constant.
+
+inline constexpr std::uint64_t pack_token_id(rsm::RequestId id,
+                                             std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(gen) << 32) |
+         static_cast<std::uint64_t>(id);
+}
+inline constexpr rsm::RequestId token_request(std::uint64_t token_id) {
+  return static_cast<rsm::RequestId>(token_id & 0xFFFFFFFFull);
+}
+inline constexpr std::uint32_t token_generation(std::uint64_t token_id) {
+  return static_cast<std::uint32_t>(token_id >> 32);
+}
+/// True for tokens granted by the reader-indicator fast path (low word all
+/// ones; rsm::kNoRequest is reserved, so real requests never collide).
+inline constexpr bool is_indicator_token_id(std::uint64_t token_id) {
+  return token_request(token_id) == rsm::kNoRequest;
+}
+inline constexpr std::uint64_t pack_indicator_token_id(std::uint32_t gen) {
+  return ~(static_cast<std::uint64_t>(gen) << 32);
+}
+inline constexpr std::uint32_t indicator_token_generation(
+    std::uint64_t token_id) {
+  return static_cast<std::uint32_t>((~token_id) >> 32);
+}
+static_assert(pack_indicator_token_id(0) == kIndicatorToken,
+              "a fresh indicator grant must keep the historical token id");
+
 template <class Wait, class Path, class Topo>
 class FrontEnd;
 
@@ -341,12 +386,13 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
   }
 
   void release(LockToken token) override {
-    if (token.id == kIndicatorToken) {
-      release_indicator(static_cast<ReaderIndicator::GrantSlot*>(token.data));
+    if (is_indicator_token_id(token.id)) {
+      release_indicator(static_cast<ReaderIndicator::GrantSlot*>(token.data),
+                        indicator_token_generation(token.id));
       return;
     }
     sched_yield_point(YieldPoint::Release);
-    const rsm::RequestId id = static_cast<rsm::RequestId>(token.id);
+    const rsm::RequestId id = token_request(token.id);
     if (broker_ != nullptr) {
       if (typename Broker::Slot* slot = broker_->claim_slot()) {
         rsm::Invocation& inv = slot->inv;
@@ -354,6 +400,9 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
         inv.id = id;
         inv.satisfied = false;
         slot->shed = false;
+        // Fence generation rides in the slot; the combiner's sink checks it
+        // under the mutex and vetoes a revoked holder's late release.
+        slot->gen = token_generation(token.id);
         // Writer guard depart happens inside the combiner's sink: looking
         // the request up to recover its guard domain requires the mutex
         // (the deque grows concurrently), which the combiner holds and
@@ -367,6 +416,15 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
     mutex_.lock();
     if constexpr (!Wait::kYieldBeforeMutex)
       sched_yield_point(YieldPoint::EngineInvoke);
+    if (fenced_locked(token.id)) {
+      // Zombie fencing: this holder was revoked by crash recovery (and its
+      // slot may already belong to a new request).  The release is a
+      // counted no-op — teardown paths run from destructors and must not
+      // throw, and recovery already departed any writer guard.
+      mutex_.unlock();
+      fenced_zombies_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     const double t = static_cast<double>(++logical_time_);
     // Recover the writer guard domain under the mutex (request lookup walks
     // the deque, which concurrent issuance grows); depart after the
@@ -409,6 +467,8 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
         counters_.indicator_retractions.load(std::memory_order_relaxed);
     hr.indicator_sweeps =
         counters_.indicator_sweeps.load(std::memory_order_relaxed);
+    hr.forced_releases = forced_releases_.load(std::memory_order_relaxed);
+    hr.fenced_zombies = fenced_zombies_.load(std::memory_order_relaxed);
     const auto now = std::chrono::steady_clock::now();
     mutex_.lock();
     hr.incomplete = engine_.incomplete_count();
@@ -428,17 +488,112 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
     }
     if (robust_.stuck_budget.count() > 0) {
       for (rsm::RequestId id : engine_.incomplete_requests()) {
-        if (!engine_.is_satisfied(id) || id >= hold_since_.size()) continue;
+        if (!revocable_holder_locked(id) || id >= hold_since_.size())
+          continue;
         const auto age = now - hold_since_[id];
         if (age > robust_.stuck_budget) {
           hr.stuck.push_back(StuckHolder{
               id, engine_.request(id).is_write,
               std::chrono::duration_cast<std::chrono::nanoseconds>(age)});
+          // Quarantine policy: surface the blast radius (resources held by
+          // stuck holders) as a gauge; it drops back to zero when the
+          // holders release or are revoked.
+          if (robust_.recovery == RecoveryPolicy::Quarantine)
+            hr.quarantined += engine_.holds(id).count();
         }
       }
     }
     mutex_.unlock();
     return hr;
+  }
+
+  // --- crash recovery (forced release + zombie fencing) -------------------
+
+  /// Applies the configured RecoveryPolicy to every holder past the stuck
+  /// budget and returns the post-sweep health snapshot.  DetectOnly and
+  /// Quarantine touch nothing (the snapshot itself carries the stuck list
+  /// and the quarantine gauge); ForceRelease revokes holders that have
+  /// stayed stuck for `confirm_sweeps` consecutive sweeps, spacing
+  /// successive revocations by `recovery_backoff`.  Wiring it as a Watchdog
+  /// probe makes the watchdog the recovery driver.  Safe to call from any
+  /// thread; concurrent with lock traffic.
+  HealthReport recovery_sweep() {
+    if (robust_.stuck_budget.count() > 0 &&
+        robust_.recovery == RecoveryPolicy::ForceRelease) {
+      const auto now = std::chrono::steady_clock::now();
+      std::vector<ResourceSet> departs;
+      mutex_.lock();
+      std::vector<rsm::RequestId> stuck_now;
+      for (rsm::RequestId id : engine_.incomplete_requests()) {
+        if (!revocable_holder_locked(id) || id >= hold_since_.size())
+          continue;
+        if (now - hold_since_[id] > robust_.stuck_budget)
+          stuck_now.push_back(id);
+      }
+      // Debounce: a holder that left the stuck set (released, or a recycled
+      // slot whose new critical section is young) re-arms its streak.
+      for (auto it = stuck_streak_.begin(); it != stuck_streak_.end();) {
+        if (std::find(stuck_now.begin(), stuck_now.end(), it->first) ==
+            stuck_now.end())
+          it = stuck_streak_.erase(it);
+        else
+          ++it;
+      }
+      for (rsm::RequestId id : stuck_now) {
+        const unsigned streak = ++stuck_streak_[id];
+        if (streak < std::max(1u, robust_.confirm_sweeps)) continue;
+        if (robust_.recovery_backoff.count() > 0 && has_last_forced_ &&
+            now - last_forced_ < robust_.recovery_backoff)
+          continue;
+        ResourceSet guard(q_);
+        bool guarded = false;
+        if (force_release_locked(id, rsm::Engine::RevokeReason::StuckBudget,
+                                 &guard, &guarded)) {
+          stuck_streak_.erase(id);
+          last_forced_ = now;
+          has_last_forced_ = true;
+          if (guarded) departs.push_back(guard);
+        }
+      }
+      const bool wake = consume_wake_locked();
+      mutex_.unlock();
+      broadcast(wake);
+      for (const ResourceSet& g : departs) indicator_->writer_depart(g);
+      // Held *indicator* grants have no engine request outside log mode, so
+      // the engine-side scan above cannot see them — sweep them separately.
+      if (indicator_ != nullptr) sweep_indicator_grants(now);
+    }
+    return health_report();
+  }
+
+  /// Manual revocation of the holder behind `token` (operator tooling and
+  /// tests; the sweep-driven path is recovery_sweep()).  Returns true when
+  /// the revocation happened; false when the token is stale — already
+  /// released, already revoked, or pointing at a request that is not a
+  /// revocable holder.  After a successful revocation the token's owner is
+  /// a zombie: its release is fenced to a counted no-op and its mutating
+  /// calls throw Fenced.
+  bool force_release(const LockToken& token,
+                     rsm::Engine::RevokeReason reason =
+                         rsm::Engine::RevokeReason::Manual) {
+    if (is_indicator_token_id(token.id)) {
+      return revoke_indicator_grant(
+          static_cast<ReaderIndicator::GrantSlot*>(token.data),
+          indicator_token_generation(token.id), reason);
+    }
+    ResourceSet guard(q_);
+    bool guarded = false;
+    mutex_.lock();
+    bool ok = false;
+    if (!fenced_locked(token.id)) {
+      ok = force_release_locked(token_request(token.id), reason, &guard,
+                                &guarded);
+    }
+    const bool wake = consume_wake_locked();
+    mutex_.unlock();
+    broadcast(wake);
+    if (ok && guarded) indicator_->writer_depart(guard);
+    return ok;
   }
 
   // --- upgradeable requests (Sec. 3.6), used by the STM layer -------------
@@ -451,6 +606,11 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
   struct UpgradeToken {
     rsm::UpgradeablePair pair;
     bool write_mode = false;
+    // Fence generations of the two halves at issuance (crash recovery): a
+    // forced release of the read half cancels the write half in the same
+    // step and bumps both, so every later call through this token fences.
+    std::uint32_t read_gen = 0;
+    std::uint32_t write_gen = 0;
   };
 
   UpgradeToken acquire_upgradeable(const ResourceSet& resources) {
@@ -463,10 +623,13 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
     Waiter read_waiter, write_waiter;
     rsm::UpgradeablePair pair;
     bool read_done, write_done;
+    std::uint32_t read_gen = 0, write_gen = 0;
     {
       mutex_.lock();
       const double t = static_cast<double>(++logical_time_);
       pair = engine_.issue_upgradeable(t, resources);
+      read_gen = fence_gen_locked(pair.read_part);
+      write_gen = fence_gen_locked(pair.write_part);
       read_done = engine_.is_satisfied(pair.read_part);
       write_done = engine_.is_satisfied(pair.write_part);
       if (!read_done && !write_done) {
@@ -494,7 +657,7 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
     }
     // Exactly one half was satisfied on every path to here.
     pending_satisfied_.fetch_sub(1, std::memory_order_relaxed);
-    return UpgradeToken{pair, write_done};
+    return UpgradeToken{pair, write_done, read_gen, write_gen};
   }
 
   /// Ends the read segment and blocks until the write half is satisfied.
@@ -506,6 +669,15 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
     bool satisfied;
     {
       mutex_.lock();
+      if (upgrade_fenced_locked(token)) {
+        // Mutating call from a zombie: throw (unlike the silent release
+        // fences — the caller is about to enter a write section it must
+        // not run).
+        mutex_.unlock();
+        fenced_zombies_.fetch_add(1, std::memory_order_relaxed);
+        throw Fenced(name() +
+                     ": upgrade() from a holder revoked by crash recovery");
+      }
       const double t = static_cast<double>(++logical_time_);
       engine_.finish_read_segment(t, token.pair, /*upgrade=*/true);
       satisfied = engine_.is_satisfied(token.pair.write_part);
@@ -523,6 +695,13 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
   void abandon(const UpgradeToken& token) {
     RWRNLP_REQUIRE(!token.write_mode, "abandon() after the write half won");
     mutex_.lock();
+    if (upgrade_fenced_locked(token)) {
+      // Teardown path: fenced silently (recovery already scrubbed the pair
+      // and departed the writer guard).
+      mutex_.unlock();
+      fenced_zombies_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     // Recompute the guard domain from the still-live request before the
     // invocation retires the slot (the needed sets are immutable until
     // then).
@@ -545,6 +724,12 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
   void release_upgraded(const UpgradeToken& token) {
     RWRNLP_REQUIRE(token.write_mode, "release_upgraded() without write mode");
     mutex_.lock();
+    if (fence_gen_locked(token.pair.write_part) != token.write_gen) {
+      // Zombie teardown after the satisfied write half was revoked.
+      mutex_.unlock();
+      fenced_zombies_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     ResourceSet guard;
     bool guarded = false;
     if (indicator_ != nullptr) {
@@ -619,13 +804,24 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
   /// for a held incremental token and blocks until the grown wanted set is
   /// held.
   void request_more(const LockToken& token, const ResourceSet& extra) {
-    const rsm::RequestId id = static_cast<rsm::RequestId>(token.id);
+    const rsm::RequestId id = token_request(token.id);
     Waiter waiter;
     if constexpr (Wait::kYieldBeforeMutex)
       sched_yield_point(YieldPoint::EngineInvoke);
     mutex_.lock();
     if constexpr (!Wait::kYieldBeforeMutex)
       sched_yield_point(YieldPoint::EngineInvoke);
+    if (fenced_locked(token.id)) {
+      // Mutating call from a zombie: the revoked slot may already belong
+      // to a new request, so growing "its" held set would corrupt a
+      // stranger.  Unlike the silent release fences this throws — the
+      // caller must learn it holds nothing.
+      mutex_.unlock();
+      fenced_zombies_.fetch_add(1, std::memory_order_relaxed);
+      throw Fenced(name() +
+                   ": request_more() from a holder revoked by crash "
+                   "recovery");
+    }
     const double t = static_cast<double>(++logical_time_);
     engine_.request_more(t, id, extra);
     const ResourceSet want = engine_.request(id).wanted;
@@ -640,12 +836,18 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
   /// Completes an incremental request: every held resource is unlocked.
   void release_incremental(LockToken token) {
     sched_yield_point(YieldPoint::Release);
-    const rsm::RequestId id = static_cast<rsm::RequestId>(token.id);
+    const rsm::RequestId id = token_request(token.id);
     ResourceSet guard;
     bool guarded = false;
     mutex_.lock();
     if constexpr (!Wait::kYieldBeforeMutex)
       sched_yield_point(YieldPoint::EngineInvoke);
+    if (fenced_locked(token.id)) {
+      // Zombie teardown: counted no-op (see release()).
+      mutex_.unlock();
+      fenced_zombies_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     const double t = static_cast<double>(++logical_time_);
     if (indicator_ != nullptr) {
       const rsm::Request& r = engine_.request(id);
@@ -699,7 +901,7 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
               << reads.to_string()
               << " but the engine's R1 precondition fails — a writer entered "
                  "admission without raising/sweeping writer-present");
-      g->engine_id = id;
+      g->engine_id.store(id, std::memory_order_relaxed);
       invocation_log_->push_back(InvocationRecord{
           InvocationKind::IssueReadIndicator,
           static_cast<rsm::Time>(logical_time_), id, true, false, reads,
@@ -714,7 +916,15 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
     }
     counters_.indicator_fast_hits.fetch_add(1, std::memory_order_relaxed);
     counters_.acquired.fetch_add(1, std::memory_order_relaxed);
-    *out = LockToken{kIndicatorToken, g};
+    // Capture the fence generation *before* publishing the grant as ready:
+    // recovery only revokes ready grants, so the token can never carry a
+    // post-revocation generation (which would un-fence the zombie).
+    const std::uint32_t gen = g->gen.load(std::memory_order_relaxed);
+    g->enter_tick.store(
+        std::chrono::steady_clock::now().time_since_epoch().count(),
+        std::memory_order_relaxed);
+    g->ready.store(true, std::memory_order_release);
+    *out = LockToken{pack_indicator_token_id(gen), g};
     return true;
   }
 
@@ -790,7 +1000,15 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
     engine_.set_granted_callback(
         [this](rsm::RequestId id, const ResourceSet&, rsm::Time) {
           // Partial grant of an incremental request (mutex_ held): the
-          // waiter may only need a subset of the potential set.
+          // waiter may only need a subset of the potential set.  The grant
+          // (re)stamps the stuck clock — an entitled incremental pins real
+          // resources long before full satisfaction, so crash recovery must
+          // age it from its latest grant, not from a satisfaction that may
+          // never come.
+          if (robust_.stuck_budget.count() > 0) {
+            if (id >= hold_since_.size()) hold_since_.resize(id + 1);
+            hold_since_[id] = std::chrono::steady_clock::now();
+          }
           if (id < inc_live_.size() && inc_live_[id] != 0)
             finish_inc_wait(id);
         });
@@ -810,6 +1028,180 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
 
   void drop_waiter(rsm::RequestId id) {
     if (id < waiters_.size()) waiters_[id] = nullptr;
+  }
+
+  // --- zombie fencing (crash recovery) ------------------------------------
+  //
+  // fence_gen_[id] is the generation of request slot `id`'s *current*
+  // lifetime; every token carries the generation current when it was
+  // granted, captured under mutex_ at issuance.  force_release_locked bumps
+  // the generation, so a revoked holder's late call — release, upgrade,
+  // request_more, anything — compares unequal and is fenced even if the
+  // slot has been recycled to a successor by then.  Generations start at 0
+  // and bump only on revocation, so a never-revoked lock's token ids stay
+  // numerically identical to the pre-recovery encoding.  All helpers
+  // require mutex_ held.
+
+  std::uint32_t fence_gen_locked(rsm::RequestId id) const {
+    return id < fence_gen_.size() ? fence_gen_[id] : 0;
+  }
+
+  bool fenced_locked(std::uint64_t token_id) const {
+    return token_generation(token_id) !=
+           fence_gen_locked(token_request(token_id));
+  }
+
+  bool upgrade_fenced_locked(const UpgradeToken& t) const {
+    return fence_gen_locked(t.pair.read_part) != t.read_gen ||
+           fence_gen_locked(t.pair.write_part) != t.write_gen;
+  }
+
+  void bump_fence_locked(rsm::RequestId id) {
+    if (id >= fence_gen_.size()) fence_gen_.resize(id + 1, 0);
+    ++fence_gen_[id];
+  }
+
+  /// A holder the stuck scan (and force_release_locked) may revoke: a
+  /// satisfied request, or an entitled incremental pinning a partial grant
+  /// — the one non-satisfied state that holds real resources, so a crashed
+  /// incremental holder must be recoverable from it (mutex_ held).
+  bool revocable_holder_locked(rsm::RequestId id) const {
+    if (engine_.is_satisfied(id)) return true;
+    return id < inc_live_.size() && inc_live_[id] != 0 &&
+           engine_.is_entitled(id) && !engine_.holds(id).empty();
+  }
+
+  /// Revokes holder `id` (mutex_ held).  Returns false when `id` is not a
+  /// revocable holder — unknown, waiting, or already finished — mirroring
+  /// Engine::force_release's REQUIRE as a soft predicate so stale manual
+  /// tokens and lost sweep races degrade to no-ops.  On success the engine
+  /// revocation and every promotion it enables run as one invocation, the
+  /// slot's fence generation is bumped (plus the canceled upgrade partner's,
+  /// which shares the revocation's fate), waiter bookkeeping is scrubbed,
+  /// and a pending incremental grant-target wait is released so a slow but
+  /// alive victim wakes now and fences later instead of hanging forever.
+  /// `*guard`/`*guarded` return the writer guard domain the caller must
+  /// depart via indicator_->writer_depart after unlocking.
+  bool force_release_locked(rsm::RequestId id,
+                            rsm::Engine::RevokeReason reason,
+                            ResourceSet* guard, bool* guarded) {
+    const std::vector<rsm::RequestId> live = engine_.incomplete_requests();
+    if (std::find(live.begin(), live.end(), id) == live.end()) return false;
+    const rsm::Request& r = engine_.request(id);
+    const bool revocable =
+        r.state == rsm::RequestState::Satisfied ||
+        (r.incremental && r.state == rsm::RequestState::Entitled);
+    if (!revocable) return false;
+    const bool was_write = r.is_write;
+    rsm::RequestId partner = rsm::kNoRequest;
+    if (r.upgrade_read && r.partner != rsm::kNoRequest) {
+      const rsm::Request& p = engine_.request(r.partner);
+      if (p.incomplete() && p.state != rsm::RequestState::Satisfied)
+        partner = r.partner;  // engine cancels it inside force_release
+    }
+    if (indicator_ != nullptr && was_write) {
+      *guard = guard_domain(r.need_read, r.need_write);
+      *guarded = true;
+    }
+    // `r` dangles past this point (the invocation may recycle slots).
+    const double t = static_cast<double>(++logical_time_);
+    engine_.force_release(t, id, reason);
+    bump_fence_locked(id);
+    drop_waiter(id);
+    if (partner != rsm::kNoRequest) {
+      bump_fence_locked(partner);
+      drop_waiter(partner);
+    }
+    if (id < inc_live_.size()) inc_live_[id] = 0;
+    const auto iw = inc_waiters_.find(id);
+    if (iw != inc_waiters_.end()) {
+      // The victim may be alive-but-slow, parked on a grant-target wait.
+      // Release it as if the target were granted; everything it does with
+      // the token afterwards hits the fence.
+      if constexpr (Wait::kUsesCv) {
+        if (iw->second.waiter->sleeping) wake_pending_ = true;
+      }
+      iw->second.waiter->satisfied.store(true, std::memory_order_release);
+      inc_waiters_.erase(iw);
+    }
+    if (invocation_log_ != nullptr) {
+      invocation_log_->push_back(InvocationRecord{
+          InvocationKind::ForcedRelease, static_cast<rsm::Time>(logical_time_),
+          id, false, was_write, ResourceSet(q_), ResourceSet(q_)});
+    }
+    forced_releases_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// ForceRelease sweep over held *indicator* grants (no engine request
+  /// outside log mode, so the engine-side stuck scan cannot see them).
+  /// Runs the same confirm_sweeps/backoff debounce as the engine-side
+  /// sweep, keyed by slot pointer + generation so a slot recycled to a new
+  /// reader restarts its streak.
+  void sweep_indicator_grants(std::chrono::steady_clock::time_point now) {
+    using Clock = std::chrono::steady_clock;
+    mutex_.lock();
+    indicator_->for_each_held_grant([&](ReaderIndicator::GrantSlot* g) {
+      const std::uint32_t gen = g->gen.load(std::memory_order_acquire);
+      const auto age = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::duration(now.time_since_epoch().count() -
+                          g->enter_tick.load(std::memory_order_relaxed)));
+      if (age <= robust_.stuck_budget) {
+        grant_streak_.erase(g);
+        return;
+      }
+      auto it = grant_streak_.find(g);
+      if (it == grant_streak_.end() || it->second.first != gen)
+        it = grant_streak_.insert_or_assign(g, std::make_pair(gen, 0u)).first;
+      if (++it->second.second < std::max(1u, robust_.confirm_sweeps)) return;
+      if (robust_.recovery_backoff.count() > 0 && has_last_forced_ &&
+          now - last_forced_ < robust_.recovery_backoff)
+        return;
+      // Read the engine id before the CAS: log-mode transitions (store at
+      // issue, clear at release) all run under mutex_, which we hold.
+      const rsm::RequestId eid = g->engine_id.load(std::memory_order_acquire);
+      if (!indicator_->try_revoke(g, gen)) {
+        grant_streak_.erase(g);  // owner exited between scan and CAS
+        return;
+      }
+      if (eid != rsm::kNoRequest) {
+        ResourceSet guard(q_);
+        bool guarded = false;
+        force_release_locked(eid, rsm::Engine::RevokeReason::StuckBudget,
+                             &guard, &guarded);  // a reader: never guarded
+      } else {
+        forced_releases_.fetch_add(1, std::memory_order_relaxed);
+      }
+      grant_streak_.erase(g);
+      last_forced_ = now;
+      has_last_forced_ = true;
+    });
+    const bool wake = consume_wake_locked();
+    mutex_.unlock();
+    broadcast(wake);
+  }
+
+  /// Manual revocation of one indicator grant (force_release(token) on an
+  /// indicator token).  The generation CAS arbitrates against the owner's
+  /// own exit — exactly one of the two retracts the stripes.
+  bool revoke_indicator_grant(ReaderIndicator::GrantSlot* g, std::uint32_t gen,
+                              rsm::Engine::RevokeReason reason) {
+    mutex_.lock();
+    const rsm::RequestId eid = g->engine_id.load(std::memory_order_acquire);
+    const bool ok = indicator_->try_revoke(g, gen);
+    if (ok) {
+      if (eid != rsm::kNoRequest) {
+        ResourceSet guard(q_);
+        bool guarded = false;
+        force_release_locked(eid, reason, &guard, &guarded);
+      } else {
+        forced_releases_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    const bool wake = consume_wake_locked();
+    mutex_.unlock();
+    broadcast(wake);
+    return ok;
   }
 
   /// Consumes wake_pending_ (mutex_ held); the caller broadcasts after
@@ -985,10 +1377,13 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
   /// Issues the request under the internal mutex (choosing the invocation
   /// kind exactly like acquire()), appends the log record, and registers
   /// `waiter` when unsatisfied.  Returns kNoRequest iff load shedding
-  /// rejected the request.  `*satisfied_out` reports R1/W1 satisfaction.
+  /// rejected the request.  `*satisfied_out` reports R1/W1 satisfaction;
+  /// `*gen_out` is the request's fence generation at issuance (the token
+  /// must carry the generation of *this* lifetime of the slot, captured
+  /// while the mutex still pins it).
   rsm::RequestId issue_request(const ResourceSet& reads,
                                const ResourceSet& writes, Waiter* waiter,
-                               bool* satisfied_out) {
+                               bool* satisfied_out, std::uint32_t* gen_out) {
     mutex_.lock();
     if constexpr (!Wait::kYieldBeforeMutex)
       sched_yield_point(YieldPoint::EngineInvoke);
@@ -997,6 +1392,7 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
       mutex_.unlock();
       counters_.shed.fetch_add(1, std::memory_order_relaxed);
       *satisfied_out = false;
+      *gen_out = 0;
       return rsm::kNoRequest;
     }
     const double t = static_cast<double>(++logical_time_);
@@ -1034,6 +1430,7 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
           as_write ? (reads | writes) : writes});
     }
     if (!satisfied) register_waiter(id, waiter);
+    *gen_out = fence_gen_locked(id);
     const bool wake = consume_wake_locked();
     mutex_.unlock();
     broadcast(wake);
@@ -1076,11 +1473,12 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
                 ResourceSet(q_)});
           }
           pending_satisfied_.fetch_sub(1, std::memory_order_relaxed);
+          const std::uint32_t gen = fence_gen_locked(id);
           const bool wake = consume_wake_locked();
           mutex_.unlock();
           broadcast(wake);
           counters_.acquired.fetch_add(1, std::memory_order_relaxed);
-          return LockToken{id, nullptr};
+          return LockToken{pack_token_id(id, gen), nullptr};
         }
         const bool wake = consume_wake_locked();
         mutex_.unlock();
@@ -1094,12 +1492,14 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
     }
     Waiter waiter;  // lives on this stack frame until satisfaction
     bool satisfied;
-    const rsm::RequestId id = issue_request(reads, writes, &waiter, &satisfied);
+    std::uint32_t gen;
+    const rsm::RequestId id =
+        issue_request(reads, writes, &waiter, &satisfied, &gen);
     if (id == rsm::kNoRequest) throw OverloadShed(shed_message());
     if (!satisfied) wait_satisfaction(waiter);
     pending_satisfied_.fetch_sub(1, std::memory_order_relaxed);
     counters_.acquired.fetch_add(1, std::memory_order_relaxed);
-    return LockToken{id, nullptr};
+    return LockToken{pack_token_id(id, gen), nullptr};
   }
 
   std::optional<LockToken> try_lock_until_slow(
@@ -1109,7 +1509,9 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
       sched_yield_point(YieldPoint::EngineInvoke);
     Waiter waiter;
     bool satisfied;
-    const rsm::RequestId id = issue_request(reads, writes, &waiter, &satisfied);
+    std::uint32_t gen;
+    const rsm::RequestId id =
+        issue_request(reads, writes, &waiter, &satisfied, &gen);
     if (id == rsm::kNoRequest) return std::nullopt;  // load shedding
     if (!satisfied && wait_until_deadline(waiter, deadline)) {
       // Resolve the timeout-vs-grant race: the grant may still land while
@@ -1144,7 +1546,7 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
     }
     pending_satisfied_.fetch_sub(1, std::memory_order_relaxed);
     counters_.acquired.fetch_add(1, std::memory_order_relaxed);
-    return LockToken{id, nullptr};
+    return LockToken{pack_token_id(id, gen), nullptr};
   }
 
   LockToken acquire_incremental_slow(const ResourceSet& potential_reads,
@@ -1166,6 +1568,7 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
     const rsm::RequestId id = engine_.issue_incremental(
         t, potential_reads, potential_writes, initial);
     mark_inc_live(id);
+    const std::uint32_t gen = fence_gen_locked(id);
     const bool done = initial.is_subset_of(engine_.holds(id));
     if (!done) inc_waiters_.insert_or_assign(id, IncWait{&waiter, initial});
     const bool wake = consume_wake_locked();
@@ -1173,7 +1576,7 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
     broadcast(wake);
     if (!done) wait_satisfaction(waiter);
     counters_.acquired.fetch_add(1, std::memory_order_relaxed);
-    return LockToken{id, nullptr};
+    return LockToken{pack_token_id(id, gen), nullptr};
   }
 
   std::optional<LockToken> try_incremental_until_slow(
@@ -1196,6 +1599,7 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
     const rsm::RequestId id = engine_.issue_incremental(
         t, potential_reads, potential_writes, initial);
     mark_inc_live(id);
+    const std::uint32_t gen = fence_gen_locked(id);
     const bool done = initial.is_subset_of(engine_.holds(id));
     if (!done) inc_waiters_.insert_or_assign(id, IncWait{&waiter, initial});
     const bool wake = consume_wake_locked();
@@ -1225,7 +1629,7 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
       broadcast(cwake);
     }
     counters_.acquired.fetch_add(1, std::memory_order_relaxed);
-    return LockToken{id, nullptr};
+    return LockToken{pack_token_id(id, gen), nullptr};
   }
 
   /// Marks a freshly issued incremental request live (mutex_ held, directly
@@ -1262,6 +1666,17 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
         // std::mutex-holding combiner must never park — see
         // YieldPoint::CombineApply).
         sched_yield_point(YieldPoint::CombineApply);
+      }
+      if (inv.kind == rsm::Invocation::Kind::Complete &&
+          slots[i]->gen != fe.fence_gen_locked(inv.id)) {
+        // Zombie fencing on the combined path: the publisher's holder was
+        // revoked by crash recovery between grant and release, so its late
+        // Complete must not reach the engine (the slot may already belong
+        // to a successor).  Veto exactly like a shed: the engine leaves the
+        // invocation untouched.  Recovery already departed any writer guard.
+        fe.fenced_zombies_.fetch_add(1, std::memory_order_relaxed);
+        Broker::retire(slots[i]);
+        return false;
       }
       const bool is_issue = inv.kind != rsm::Invocation::Kind::Complete &&
                             inv.kind != rsm::Invocation::Kind::Cancel;
@@ -1318,6 +1733,11 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
                              inv.writes});
       }
       if (!inv.satisfied) fe.register_waiter(inv.id, &slots[i]->waiter);
+      // Fence generation rides out through the slot (the publisher packs it
+      // into its token after retire; the slot is its own again by then).
+      // Captured here, under the mutex, so a revocation landing after the
+      // batch cannot hand the publisher a post-bump generation.
+      slots[i]->gen = fe.fence_gen_locked(inv.id);
       Broker::retire(slots[i]);
     }
   };
@@ -1368,32 +1788,47 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
     if (!inv.satisfied) wait_satisfaction(slot->waiter);
     pending_satisfied_.fetch_sub(1, std::memory_order_relaxed);
     counters_.acquired.fetch_add(1, std::memory_order_relaxed);
-    return LockToken{inv.id, nullptr};
+    return LockToken{pack_token_id(inv.id, slot->gen), nullptr};
   }
 
   // --- reader-indicator fast path -----------------------------------------
 
-  void release_indicator(ReaderIndicator::GrantSlot* g) {
+  void release_indicator(ReaderIndicator::GrantSlot* g, std::uint32_t tok_gen) {
     sched_yield_point(YieldPoint::Release);
-    if (g->engine_id != rsm::kNoRequest) {
-      // Log mode: complete the engine-visible grant before withdrawing the
-      // published presence, so a sweeping writer that proceeds on our
-      // zeroed cell finds the engine already clear of this reader.
-      mutex_.lock();
-      if constexpr (!Wait::kYieldBeforeMutex)
-        sched_yield_point(YieldPoint::EngineInvoke);
-      const double t = static_cast<double>(++logical_time_);
-      engine_.complete(t, g->engine_id);
-      if (invocation_log_ != nullptr) {
-        invocation_log_->push_back(InvocationRecord{
-            InvocationKind::Complete, static_cast<rsm::Time>(logical_time_),
-            g->engine_id, false, false, ResourceSet(q_), ResourceSet(q_)});
-      }
-      const bool wake = consume_wake_locked();
-      mutex_.unlock();
-      broadcast(wake);
+    const rsm::RequestId eid = g->engine_id.load(std::memory_order_acquire);
+    if (eid == rsm::kNoRequest) {
+      // Non-log grant: the slot generation arbitrates release vs recovery
+      // revocation lock-free — exactly one of them retracts the stripes.
+      if (!indicator_->try_exit(g, tok_gen))
+        fenced_zombies_.fetch_add(1, std::memory_order_relaxed);
+      return;
     }
-    indicator_->exit(g);
+    // Log mode: fence check, engine completion and slot retraction all run
+    // under mutex_ (revocation of log-mode grants takes the same mutex), so
+    // the engine Complete and the stripe retraction are atomic against a
+    // concurrent recovery sweep.  Completing the engine before withdrawing
+    // the published presence also keeps the historical ordering: a sweeping
+    // writer that proceeds on our zeroed cell finds the engine already
+    // clear of this reader.
+    mutex_.lock();
+    if constexpr (!Wait::kYieldBeforeMutex)
+      sched_yield_point(YieldPoint::EngineInvoke);
+    if (g->gen.load(std::memory_order_relaxed) != tok_gen) {
+      mutex_.unlock();
+      fenced_zombies_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const double t = static_cast<double>(++logical_time_);
+    engine_.complete(t, eid);
+    if (invocation_log_ != nullptr) {
+      invocation_log_->push_back(InvocationRecord{
+          InvocationKind::Complete, static_cast<rsm::Time>(logical_time_),
+          eid, false, false, ResourceSet(q_), ResourceSet(q_)});
+    }
+    const bool wake = consume_wake_locked();
+    indicator_->try_exit(g, tok_gen);  // cannot fail: gen checked under mutex_
+    mutex_.unlock();
+    broadcast(wake);
   }
 
   std::size_t q_;
@@ -1432,6 +1867,20 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
   std::size_t blocked_waiters_ = 0;
   // Engine satisfactions minus acquirer consumptions (idle => 0).
   std::atomic<std::uint64_t> pending_satisfied_{0};
+  // --- crash recovery state ---
+  // Fence generations per request slot (see fence_gen_locked); sweep
+  // debounce streaks for engine-side holders (id -> consecutive stuck
+  // sweeps) and indicator grants (slot -> (generation, streak)); and the
+  // bounded-retry backoff stamp.  All guarded by mutex_.
+  std::vector<std::uint32_t> fence_gen_;
+  std::unordered_map<rsm::RequestId, unsigned> stuck_streak_;
+  std::unordered_map<const void*, std::pair<std::uint32_t, unsigned>>
+      grant_streak_;
+  std::chrono::steady_clock::time_point last_forced_{};
+  bool has_last_forced_ = false;
+  // Recovery counters live outside Counters (its cache line is byte-full).
+  std::atomic<std::uint64_t> forced_releases_{0};
+  std::atomic<std::uint64_t> fenced_zombies_{0};
   struct alignas(64) Counters {
     std::atomic<std::uint64_t> acquired{0};
     std::atomic<std::uint64_t> timeouts{0};
@@ -1608,7 +2057,7 @@ class FrontEnd<Wait, Path, topo::Sharded> final : public MultiResourceLock {
     // Remember the owning shard for release() — except for indicator
     // grants, whose data field is the grant slot (the slot's owner points
     // back at the shard).
-    if (token.id != kIndicatorToken) token.data = &shard;
+    if (!is_indicator_token_id(token.id)) token.data = &shard;
     return token;
   }
 
@@ -1621,14 +2070,14 @@ class FrontEnd<Wait, Path, topo::Sharded> final : public MultiResourceLock {
     Shard& shard = route(reads, writes, &c);
     std::optional<LockToken> token =
         shard.try_lock_until(reads, writes, deadline);
-    if (token && token->id != kIndicatorToken)
+    if (token && !is_indicator_token_id(token->id))
       token->data = &shard;  // remembers the owning shard
     return token;
   }
 
   void release(LockToken token) override {
     RWRNLP_REQUIRE(token.data != nullptr, "release of foreign token");
-    if (token.id == kIndicatorToken) {
+    if (is_indicator_token_id(token.id)) {
       // Indicator grants carry the grant slot in data; the slot's owner
       // field points back at the issuing shard.
       auto* g = static_cast<ReaderIndicator::GrantSlot*>(token.data);
@@ -1708,6 +2157,40 @@ class FrontEnd<Wait, Path, topo::Sharded> final : public MultiResourceLock {
       global_mutex_.unlock();
     }
     return hr;
+  }
+
+  /// Runs every shard's recovery sweep and merges the post-sweep snapshots
+  /// (recovery policy and debounce state are per shard, matching the
+  /// per-component analysis).  Wire as a single Watchdog probe for the
+  /// whole sharded lock.
+  HealthReport recovery_sweep() {
+    HealthReport hr;
+    for (auto& s : shards_) hr.merge(s->recovery_sweep());
+    hr.acquired += cross_acquired_.load(std::memory_order_relaxed);
+    if (global_broker_ != nullptr) {
+      global_mutex_.lock();
+      const CombinerStats& cs = global_broker_->stats();
+      hr.batches_combined += cs.batches;
+      hr.combined_invocations += cs.invocations;
+      hr.combiner_handoffs += cs.handoffs;
+      hr.max_batch_combined = std::max(hr.max_batch_combined, cs.max_batch);
+      global_mutex_.unlock();
+    }
+    return hr;
+  }
+
+  /// Manual revocation, routed to the owning shard exactly like release().
+  bool force_release(const LockToken& token,
+                     rsm::Engine::RevokeReason reason =
+                         rsm::Engine::RevokeReason::Manual) {
+    RWRNLP_REQUIRE(token.data != nullptr, "force_release of foreign token");
+    if (is_indicator_token_id(token.id)) {
+      auto* g = static_cast<ReaderIndicator::GrantSlot*>(token.data);
+      RWRNLP_REQUIRE(g->owner != nullptr,
+                     "force_release of foreign indicator token");
+      return static_cast<Shard*>(g->owner)->force_release(token, reason);
+    }
+    return static_cast<Shard*>(token.data)->force_release(token, reason);
   }
 
   std::size_t num_components() const { return shards_.size(); }
@@ -1790,7 +2273,9 @@ class FrontEnd<Wait, Path, topo::Sharded> final : public MultiResourceLock {
     // (whose cv/mutex the combiner's broadcast targets).
     shard.finish_cross_acquire(slot);
     cross_acquired_.fetch_add(1, std::memory_order_relaxed);
-    return LockToken{inv.id, &shard};
+    // The shard's sink wrote the fence generation into the slot under its
+    // mutex (same contract as the local combining path).
+    return LockToken{pack_token_id(inv.id, slot->gen), &shard};
   }
 
   void submit_cross(typename Broker::Slot* slot) {

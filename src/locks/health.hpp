@@ -38,6 +38,20 @@
 
 namespace rwrnlp::locks {
 
+/// What a recovery sweep does about a holder past its stuck budget.
+enum class RecoveryPolicy : std::uint8_t {
+  DetectOnly,  ///< Report the stuck holder; touch nothing (the default).
+  Quarantine,  ///< Report, and mark the holder's resources quarantined in
+               ///< HealthReport (cleared when the holder finally releases
+               ///< or is revoked) — operators see the blast radius without
+               ///< the lock taking any destructive action.
+  ForceRelease,  ///< After `confirm_sweeps` consecutive sightings, revoke
+                 ///< the holder via Engine::force_release and fence its
+                 ///< zombie; successive revocations are spaced by at least
+                 ///< `backoff` (bounded retry: recovery itself must not
+                 ///< become a tight loop if holders keep wedging).
+};
+
 /// Knobs for the robustness layer; all default to "off".
 struct RobustnessOptions {
   /// Critical-section age budget: health_report() lists every satisfied
@@ -48,11 +62,30 @@ struct RobustnessOptions {
   /// setting.  On the sharded front end the ceiling applies per component,
   /// matching the per-component analysis.
   std::size_t max_incomplete = 0;
+  /// What recovery_sweep() does about holders past the stuck budget.
+  RecoveryPolicy recovery = RecoveryPolicy::DetectOnly;
+  /// ForceRelease only: consecutive sweeps a holder must stay stuck before
+  /// it is revoked (1 = revoke on first sighting).  Debounces a slow but
+  /// alive holder that releases between detection and revocation.
+  unsigned confirm_sweeps = 2;
+  /// ForceRelease only: minimum spacing between successive forced releases
+  /// (bounded-retry backoff; zero = no spacing).
+  std::chrono::nanoseconds recovery_backoff{0};
 };
 
 /// Thrown by a blocking acquire() that the load-shedding policy rejected.
 /// The timed calls report the same condition as std::nullopt instead.
 class OverloadShed : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a *zombie* — a holder whose grant was revoked by crash
+/// recovery — calls an API that would mutate lock state (request_more,
+/// upgrade, ...).  Plain release()/release_incremental()/release_upgraded()
+/// from a zombie are fenced silently (counted, no-op) instead: teardown
+/// paths run from destructors and must not throw.
+class Fenced : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
@@ -90,6 +123,15 @@ struct HealthReport {
   std::uint64_t indicator_fast_hits = 0;
   std::uint64_t indicator_retractions = 0;
   std::uint64_t indicator_sweeps = 0;
+  // Crash-recovery observability (all zero under RecoveryPolicy::DetectOnly
+  // with no manual revocations): holders revoked via Engine::force_release,
+  // late calls from revoked holders that were fenced off instead of
+  // corrupting state, and the number of resources currently held by
+  // quarantined stuck holders (a gauge, not a counter — it drops back to
+  // zero when the holders release or are revoked).
+  std::uint64_t forced_releases = 0;
+  std::uint64_t fenced_zombies = 0;
+  std::size_t quarantined = 0;
   std::vector<StuckHolder> stuck;
 
   void merge(const HealthReport& o) {
@@ -109,6 +151,9 @@ struct HealthReport {
     indicator_fast_hits += o.indicator_fast_hits;
     indicator_retractions += o.indicator_retractions;
     indicator_sweeps += o.indicator_sweeps;
+    forced_releases += o.forced_releases;
+    fenced_zombies += o.fenced_zombies;
+    quarantined += o.quarantined;
     stuck.insert(stuck.end(), o.stuck.begin(), o.stuck.end());
   }
 };
@@ -119,6 +164,17 @@ struct HealthReport {
 /// safe to call concurrently with lock traffic — the front ends'
 /// health_report() is (it takes the same internal mutex as the protocol
 /// invocations, briefly).
+///
+/// Stuck holders are reported once per *episode*: a holder that stays past
+/// its budget across many sweeps appears in the first report only, and is
+/// re-armed when it leaves the probe's stuck list (released or revoked).
+/// The dedupe keys on (id, age): a recycled request id whose new critical
+/// section wedges again shows a smaller age than the previous sighting and
+/// is correctly reported as a fresh episode.  Counters and gauges pass
+/// through undeduped — only the `stuck` list is filtered.  Wiring recovery
+/// through the watchdog is one lambda: probe = front end's
+/// recovery_sweep() (which applies the configured RecoveryPolicy and
+/// returns the post-sweep report).
 class Watchdog {
  public:
   struct Options {
@@ -152,13 +208,40 @@ class Watchdog {
     if (thread_.joinable()) thread_.join();
   }
 
+  /// The per-episode stuck filter, exposed statically so the dedupe
+  /// behaviour is unit-testable without threads: rewrites `report.stuck`
+  /// to only the holders not yet reported this episode and updates
+  /// `seen` (id -> age at last sighting) for the next sweep.
+  static void dedupe_stuck(
+      HealthReport& report,
+      std::vector<std::pair<rsm::RequestId, std::chrono::nanoseconds>>&
+          seen) {
+    std::vector<StuckHolder> fresh;
+    std::vector<std::pair<rsm::RequestId, std::chrono::nanoseconds>> next;
+    fresh.reserve(report.stuck.size());
+    next.reserve(report.stuck.size());
+    for (const StuckHolder& s : report.stuck) {
+      const auto it =
+          std::find_if(seen.begin(), seen.end(),
+                       [&](const auto& p) { return p.first == s.id; });
+      // Same id with a smaller age is a *new* critical section on a
+      // recycled slot — a fresh episode, not a continuation.
+      if (it == seen.end() || s.age < it->second) fresh.push_back(s);
+      next.emplace_back(s.id, s.age);
+    }
+    seen = std::move(next);
+    report.stuck = std::move(fresh);
+  }
+
  private:
   void run() {
     std::unique_lock<std::mutex> lk(m_);
     while (!stop_) {
       if (cv_.wait_for(lk, opt_.period, [this] { return stop_; })) break;
       lk.unlock();
-      on_report_(probe_());
+      HealthReport report = probe_();
+      dedupe_stuck(report, seen_stuck_);
+      on_report_(report);
       lk.lock();
     }
   }
@@ -169,6 +252,10 @@ class Watchdog {
   std::mutex m_;
   std::condition_variable cv_;
   bool stop_ = false;
+  /// (id, age at last sighting) for every holder currently past budget;
+  /// only touched from the poller thread.
+  std::vector<std::pair<rsm::RequestId, std::chrono::nanoseconds>>
+      seen_stuck_;
   std::thread thread_;
 };
 

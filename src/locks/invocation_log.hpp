@@ -29,6 +29,8 @@ enum class InvocationKind : std::uint8_t {
   IssueMixed,     ///< Engine::issue_mixed
   Complete,       ///< Engine::complete
   Cancel,         ///< Engine::cancel (timed acquisition gave up)
+  ForcedRelease,  ///< Engine::force_release (crash recovery revoked a
+                  ///< satisfied holder; its zombie is fenced thereafter)
 };
 
 inline const char* to_string(InvocationKind k) {
@@ -40,6 +42,7 @@ inline const char* to_string(InvocationKind k) {
     case InvocationKind::IssueMixed: return "issue-mixed";
     case InvocationKind::Complete: return "complete";
     case InvocationKind::Cancel: return "cancel";
+    case InvocationKind::ForcedRelease: return "forced-release";
   }
   return "?";
 }

@@ -46,6 +46,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -93,15 +94,30 @@ class ReaderIndicator {
   /// fall back to the slow path, which is always legal).
   static constexpr std::uint32_t kSlots = 64;
 
-  /// One held fast grant.  in_use/stripe/engine_id/owner/reads are touched
-  /// only by the owning thread (claimed is the cross-thread claim bit, same
-  /// protocol as the broker slots).
+  /// One held fast grant.  stripe and reads are written by the owning
+  /// thread before `ready` is published (claimed is the cross-thread claim
+  /// bit, same protocol as the broker slots); the atomics exist because
+  /// crash recovery inspects and revokes held grants from another thread.
   struct alignas(64) GrantSlot {
     std::atomic<bool> claimed{false};
-    bool in_use = false;
+    std::atomic<bool> in_use{false};
     std::uint32_t stripe = 0;
-    rsm::RequestId engine_id = rsm::kNoRequest;  ///< set in log mode only
-    void* owner = nullptr;  ///< the front end that granted (sharded routing)
+    /// Fence generation: bumped by whichever side — owner exit or crash
+    /// recovery — wins the retraction CAS.  A LockToken carries the gen it
+    /// was granted under, so a revoked holder's late exit loses the CAS
+    /// and is fenced instead of double-retracting the stripes.
+    std::atomic<std::uint32_t> gen{0};
+    /// Published (by the front end) once the grant is fully set up and the
+    /// token generation has been captured; recovery only considers ready
+    /// slots, so a half-constructed grant can never be revoked out from
+    /// under its own setup.
+    std::atomic<bool> ready{false};
+    /// steady_clock tick at grant, for the stuck-grant recovery scan.
+    std::atomic<std::chrono::steady_clock::rep> enter_tick{0};
+    std::atomic<rsm::RequestId> engine_id{rsm::kNoRequest};  ///< log mode only
+    void* owner = nullptr;  ///< the front end that granted (sharded routing;
+                            ///< sticky across revocation, so a zombie's
+                            ///< release still routes home)
     ResourceSet reads;      ///< published footprint, needed for exit()
   };
   static_assert(sizeof(GrantSlot) % 64 == 0 && alignof(GrantSlot) == 64,
@@ -126,7 +142,8 @@ class ReaderIndicator {
   GrantSlot* try_enter(const ResourceSet& reads, bool* retracted) {
     *retracted = false;
     GrantSlot* g = claim_grant_slot();
-    if (g == nullptr || g->in_use) return nullptr;
+    if (g == nullptr || g->in_use.load(std::memory_order_acquire))
+      return nullptr;
     // Uncounted pre-check: declining before publishing costs the writer
     // nothing and keeps retraction (the expensive, counted case) rare.
     if (writer_visible(reads, std::memory_order_relaxed)) return nullptr;
@@ -142,24 +159,57 @@ class ReaderIndicator {
       *retracted = true;
       return nullptr;
     }
-    g->in_use = true;
-    g->engine_id = rsm::kNoRequest;
-    g->owner = nullptr;
+    g->in_use.store(true, std::memory_order_relaxed);
+    g->engine_id.store(rsm::kNoRequest, std::memory_order_relaxed);
     g->reads = reads;
     return g;
   }
 
   /// Reader exit: withdraw the published presence.  Release ordering makes
   /// the critical section happen-before any writer sweep that observes the
-  /// cell at zero.
+  /// cell at zero.  Implemented as a fence-aware exit against the slot's
+  /// current generation, which makes it idempotent against a concurrent
+  /// crash-recovery revocation: whichever side wins retracts exactly once.
   void exit(GrantSlot* g) {
+    try_exit(g, g->gen.load(std::memory_order_acquire));
+  }
+
+  /// Fence-aware exit: retracts the published stripes iff the slot
+  /// generation still matches the generation the caller's token was granted
+  /// under, bumping it so nobody else can.  Returns false — and touches
+  /// nothing — for a revoked holder's late exit (the zombie case).
+  bool try_exit(GrantSlot* g, std::uint32_t expected_gen) {
+    std::uint32_t e = expected_gen;
+    if (!g->gen.compare_exchange_strong(e, expected_gen + 1,
+                                        std::memory_order_acq_rel))
+      return false;
     const std::uint32_t stripe = g->stripe;
     g->reads.for_each([&](ResourceId l) {
       cell(l, stripe).fetch_sub(1, std::memory_order_release);
     });
-    g->engine_id = rsm::kNoRequest;
-    g->owner = nullptr;
-    g->in_use = false;
+    g->ready.store(false, std::memory_order_relaxed);
+    g->engine_id.store(rsm::kNoRequest, std::memory_order_relaxed);
+    g->in_use.store(false, std::memory_order_release);
+    return true;
+  }
+
+  /// Crash-recovery revocation of a held grant: the same generation CAS as
+  /// try_exit, named separately for intent at call sites.  On success the
+  /// stripes are retracted and the slot is returned to its owner's free
+  /// state; the dead holder's late exit then loses the CAS and is fenced.
+  bool try_revoke(GrantSlot* g, std::uint32_t expected_gen) {
+    return try_exit(g, expected_gen);
+  }
+
+  /// Recovery scan: calls `f(GrantSlot*)` for every fully-established held
+  /// grant.  `ready` gates half-constructed grants out (see GrantSlot).
+  template <typename F>
+  void for_each_held_grant(F&& f) {
+    for (GrantSlot& s : slots_) {
+      if (!s.claimed.load(std::memory_order_acquire)) continue;
+      if (!s.ready.load(std::memory_order_acquire)) continue;
+      f(&s);
+    }
   }
 
   /// Writer-side revocation, called BEFORE the writer enters admission

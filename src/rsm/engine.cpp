@@ -418,6 +418,50 @@ void Engine::cancel(Time t, RequestId id) {
   if (options_.validate) check_structure();
 }
 
+void Engine::force_release(Time t, RequestId id, RevokeReason reason) {
+  (void)reason;  // identical transition for every reason; kept for the API
+  begin_invocation(t);
+  Request& r = req(id);
+  // Valid targets hold resources their (dead) owner can never release: a
+  // satisfied holder, or an entitled incremental request with partial
+  // grants.  Everything else is either cancel()'s job or already finished.
+  RWRNLP_REQUIRE(r.state == RequestState::Satisfied ||
+                     (r.incremental && r.state == RequestState::Entitled),
+                 "force_release() on request R"
+                     << id << " in state " << to_string(r.state)
+                     << " (only satisfied holders and entitled incremental "
+                        "requests with partial grants are revocable; use "
+                        "cancel() for an unsatisfied request)");
+  // An upgradeable pair shares fate: revoking the satisfied read half
+  // withdraws the still-live write half too, exactly as
+  // finish_read_segment(upgrade=false) would have.  (A satisfied upgrade
+  // write half has no live partner — the read half completed when the
+  // upgrade was granted — and satisfy() already canceled the write half of
+  // any pair that resolved the other way.)
+  if (r.upgrade_read && r.partner != kNoRequest &&
+      creq(r.partner).incomplete() &&
+      creq(r.partner).state != RequestState::Satisfied) {
+    cancel_request(t, r.partner);
+  }
+  unlock_resources(r);
+  if (r.state == RequestState::Entitled) {
+    // Entitled incremental: still enqueued (G2 dequeues at satisfaction
+    // only) — scrub the queue entries like cancel() would.
+    dequeue_from_queues(r);
+  }
+  remove_placeholders(r);
+  r.state = RequestState::ForceReleased;
+  r.complete_time = t;
+  live_.erase(std::remove(live_.begin(), live_.end(), id), live_.end());
+  record(t, TraceKind::ForcedRelease, r, r.domain);
+  // One atomic invocation: the revocation plus every promotion it enables.
+  // Structurally this is complete()'s fixpoint — successors cannot tell a
+  // forced release from a voluntary one.
+  fixpoint(t);
+  maybe_recycle(id);
+  if (options_.validate) check_structure();
+}
+
 // ---------------------------------------------------------------------------
 // Batched invocations (the flat-combining engine half)
 // ---------------------------------------------------------------------------

@@ -209,6 +209,43 @@ class Engine {
   /// satisfied (use finish_read_segment()/complete() instead).
   void cancel(Time t, RequestId id);
 
+  /// Why a holder is being forcibly revoked (recorded for diagnostics; the
+  /// transition itself is identical for every reason).
+  enum class RevokeReason : std::uint8_t {
+    StuckBudget,  ///< Watchdog: critical section outlived its stuck budget.
+    Manual,       ///< Operator / test-driven revocation.
+    Shutdown,     ///< Teardown of a lock with live holders.
+  };
+
+  /// Forcibly revokes a *satisfied* holder (crash recovery): its read
+  /// shares / write grants are unlocked, upgrade pairs and the partial
+  /// grants of an entitled incremental request are scrubbed, a
+  /// ForcedRelease trace event is emitted, and the fixpoint promotes
+  /// successors in the same atomic invocation.  This is the dual of
+  /// cancel(): cancel() withdraws a request whose critical section never
+  /// started, force_release() revokes one whose critical section started
+  /// but will never finish (holder crashed, hung, or abandoned).
+  ///
+  /// Valid targets are Satisfied requests and Entitled *incremental*
+  /// requests holding partial grants (both hold resources a dead owner can
+  /// never release).  Anything else throws std::invalid_argument: a
+  /// Waiting/Entitled non-incremental request holds nothing — cancel() is
+  /// the right tool — and a finished request has nothing to revoke.
+  ///
+  /// Revoking the satisfied read half of an upgradeable pair also cancels
+  /// its still-live write half (the pair shares fate, exactly as
+  /// finish_read_segment(upgrade=false) would have resolved it); revoking
+  /// a satisfied upgrade write half needs no partner action (the read half
+  /// already completed when the upgrade was granted).
+  ///
+  /// Unlike complete(), this transition is NOT Rule G3 — the critical
+  /// section may have been mid-flight, so the caller owns any protected-
+  /// state repair.  What the engine guarantees is purely structural: after
+  /// the invocation the revoked request holds nothing, appears in no
+  /// queue, and successors are promoted exactly as if it had completed.
+  void force_release(Time t, RequestId id,
+                     RevokeReason reason = RevokeReason::Manual);
+
   /// Applies a timestamp-ordered batch of invocations (issue/complete/
   /// cancel) in one call — the engine half of the flat-combining broker
   /// (locks/combining_broker.hpp).  `invs` are applied strictly in array

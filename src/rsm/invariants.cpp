@@ -45,11 +45,12 @@ void ProtocolObserver::after_invocation(InvocationKind kind) {
                        "R" << id << " regressed from satisfied");
     }
 
-    // Cancel invocations are excluded from the per-kind E-property
-    // attribution for the same reason Mixed ones are: a cancel may promote
-    // successors of either class in one step (see InvocationKind::Cancel).
+    // Cancel and ForcedRelease invocations are excluded from the per-kind
+    // E-property attribution for the same reason Mixed ones are: both may
+    // promote successors of either class in one step (see the enum docs).
     if (opt_.check_e_properties && kind != InvocationKind::Mixed &&
-        kind != InvocationKind::Cancel) {
+        kind != InvocationKind::Cancel &&
+        kind != InvocationKind::ForcedRelease) {
       const bool newly_entitled =
           now.state == RequestState::Entitled &&
           before != RequestState::Entitled;
@@ -212,6 +213,47 @@ void ProtocolObserver::after_invocation(InvocationKind kind) {
   }
 
   prev_ = std::move(cur);
+}
+
+void check_recovered_state(const Engine& engine, RequestId released) {
+  const Request& r = engine.request(released);
+  RWRNLP_CHECK_MSG(r.state == RequestState::ForceReleased,
+                   "recovered R" << released << " is " << to_string(r.state)
+                                 << ", not force-released");
+  RWRNLP_CHECK_MSG(r.held.empty(),
+                   "recovered R" << released << " still holds resources");
+  RWRNLP_CHECK_MSG(r.placeholders.empty(),
+                   "recovered R" << released << " kept placeholders");
+  // No residue anywhere: the revoked id must be absent from every holder
+  // set and queue (check_structure() can't see this — a stale entry for a
+  // finished request would just look like a different request's slot).
+  for (ResourceId l = 0; l < engine.num_resources(); ++l) {
+    const auto holders = engine.read_holders(l);
+    RWRNLP_CHECK_MSG(
+        std::find(holders.begin(), holders.end(), released) == holders.end(),
+        "recovered R" << released << " still a read holder of l" << l);
+    const auto wh = engine.write_holder(l);
+    RWRNLP_CHECK_MSG(!wh.has_value() || *wh != released,
+                     "recovered R" << released << " still write-holds l" << l);
+    for (const auto& e : engine.write_queue(l)) {
+      RWRNLP_CHECK_MSG(e.req != released, "recovered R"
+                                              << released
+                                              << " still queued in WQ(l" << l
+                                              << ")");
+    }
+    for (const auto rid : engine.read_queue(l)) {
+      RWRNLP_CHECK_MSG(rid != released, "recovered R"
+                                            << released
+                                            << " still queued in RQ(l" << l
+                                            << ")");
+    }
+  }
+  // E-properties on the recovered state: a fresh observer runs the full
+  // structural sweep (R/W exclusion, E10, queue order, satisfied-holds-all)
+  // plus the corrected Lemma 6 and write-FIFO checks.  ForcedRelease kind:
+  // no per-kind attribution, exactly as in the streaming observer.
+  ProtocolObserver fresh(engine);
+  fresh.after_invocation(InvocationKind::ForcedRelease);
 }
 
 }  // namespace rwrnlp::rsm

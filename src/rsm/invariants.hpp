@@ -45,6 +45,12 @@ enum class InvocationKind : std::uint8_t {
            ///< the per-kind E1-E4/E8/E9 attribution does not apply; every
            ///< cross-invocation check (persistence, Cor. 1/2, Lemma 6, write
            ///< FIFO) still runs.
+  ForcedRelease,  ///< Engine::force_release.  Revoking a satisfied holder
+                  ///< releases reads and writes at once (a mixed or read
+                  ///< holder's shares plus a write grant may vanish in the
+                  ///< same step), so — like Cancel — no per-kind E1-E4/E8/E9
+                  ///< attribution applies; persistence, Cor. 1/2, Lemma 6,
+                  ///< and write FIFO still run across it.
 };
 
 struct ObserverOptions {
@@ -78,5 +84,16 @@ class ProtocolObserver {
   std::uint64_t last_satisfied_write_ts_ = 0;
   std::size_t invocations_ = 0;
 };
+
+/// Post-recovery invariant re-check: asserts the E-properties hold on the
+/// state Engine::force_release left behind.  Verifies that the revoked
+/// request is fully scrubbed (terminal ForceReleased state, no held
+/// resources, no residual queue or holder entries) and then runs the full
+/// structural sweep plus the cross-invocation protocol checks (E10, the
+/// corrected Lemma 6, write FIFO) on the recovered engine via a fresh
+/// ProtocolObserver.  Call immediately after force_release(), before the
+/// revoked slot can be recycled by a new issuance.  Throws on any
+/// violation.
+void check_recovered_state(const Engine& engine, RequestId released);
 
 }  // namespace rwrnlp::rsm

@@ -14,6 +14,8 @@ const char* to_string(RequestState s) {
       return "complete";
     case RequestState::Canceled:
       return "canceled";
+    case RequestState::ForceReleased:
+      return "force-released";
   }
   return "?";
 }

@@ -37,6 +37,7 @@ enum class RequestState : std::uint8_t {
   Satisfied,  ///< Holds all resources in D; critical section in progress.
   Complete,   ///< Critical section finished; resources released (G3).
   Canceled,   ///< Removed without being run (upgrade partner cancellation).
+  ForceReleased,  ///< Satisfied holder revoked by crash recovery (not G3).
 };
 
 const char* to_string(RequestState s);

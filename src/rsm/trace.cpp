@@ -19,6 +19,8 @@ const char* to_string(TraceKind k) {
       return "complete";
     case TraceKind::Canceled:
       return "canceled";
+    case TraceKind::ForcedRelease:
+      return "forced-release";
   }
   return "?";
 }

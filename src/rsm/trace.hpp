@@ -17,6 +17,7 @@ enum class TraceKind : std::uint8_t {
   GrantedIncrement,  ///< Incremental request locked additional resources.
   Complete,
   Canceled,
+  ForcedRelease,  ///< Satisfied holder revoked by crash recovery.
 };
 
 const char* to_string(TraceKind k);

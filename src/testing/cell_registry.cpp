@@ -36,6 +36,15 @@ class FlatCell final : public CellInstance {
     return lock_->pending_satisfied_count();
   }
   std::string serialized_log() const override { return serialize_log(log_); }
+  void set_robustness(const locks::RobustnessOptions& opt) override {
+    lock_->set_robustness_options(opt);
+  }
+  locks::HealthReport recovery_sweep() override {
+    return lock_->recovery_sweep();
+  }
+  bool force_release(const locks::LockToken& token) override {
+    return lock_->force_release(token);
+  }
 
  private:
   std::unique_ptr<L> lock_;
@@ -77,6 +86,15 @@ class ShardedCell final : public CellInstance {
     std::string out;
     for (const locks::InvocationLog& log : logs_) out += serialize_log(log);
     return out;
+  }
+  void set_robustness(const locks::RobustnessOptions& opt) override {
+    lock_->set_robustness_options(opt);
+  }
+  locks::HealthReport recovery_sweep() override {
+    return lock_->recovery_sweep();
+  }
+  bool force_release(const locks::LockToken& token) override {
+    return lock_->force_release(token);
   }
 
  private:

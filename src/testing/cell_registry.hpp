@@ -50,6 +50,17 @@ class CellInstance {
   /// The cell's invocation log in golden-file text form (flat cells only
   /// meaningfully; sharded cells concatenate shard logs in shard order).
   virtual std::string serialized_log() const = 0;
+  // --- crash recovery seam (the fault-injection campaign drives every
+  // cell through these three, so recovery conformance is a per-cell
+  // property exactly like protocol conformance) ---
+  /// Propagates RobustnessOptions (stuck budget, recovery policy, debounce)
+  /// to the cell — per shard on sharded topologies.
+  virtual void set_robustness(const locks::RobustnessOptions& opt) = 0;
+  /// One recovery sweep (the Watchdog probe), returning the post-sweep
+  /// merged health snapshot.
+  virtual locks::HealthReport recovery_sweep() = 0;
+  /// Manual revocation of the holder behind `token`.
+  virtual bool force_release(const locks::LockToken& token) = 0;
 };
 
 struct CellInfo {

@@ -1,0 +1,91 @@
+// Crash fault plans for the holder-recovery campaign.
+//
+// The cancellation suite injects *cooperative* faults (timeouts the victim
+// itself resolves); crash recovery needs the opposite — a holder that stops
+// cooperating entirely.  A FaultPlan names one way a lock holder can die
+// with state still pinned:
+//
+//  * DieAtYieldPoint — the victim thread stops at a protocol yield point
+//    (schedule-explorer runs place the death at *every* reachable point in
+//    turn, so recovery is verified against each interleaving of death and
+//    protocol progress);
+//  * AbandonWhileHolding — the victim acquires, then drops its token on the
+//    floor and exits cleanly (the classic leaked-token crash: no thread
+//    left to release, nothing stuck in the protocol itself);
+//  * CombinerCrashMidBatch — the victim dies while holding a *combined*
+//    grant whose release would have gone through the flat-combining broker,
+//    so the forced release must coexist with live combiner traffic over the
+//    same announcement board;
+//  * ReaderDiesBetweenPublishAndComplete — the victim dies holding an
+//    indicator fast grant: presence is published in the stripes but no
+//    engine request exists (outside log mode), so only the indicator-grant
+//    sweep can find it.
+//
+// The plan is a pure description; the campaign (tests/locks/
+// crash_recovery_test.cpp) interprets it against a live cell, because
+// "dying" is by construction nothing but *not making the calls* — a dead
+// thread needs no seam in the lock.  What the lock must then get right is
+// the tentpole: recovery_sweep() revokes the orphaned holder, successors
+// are promoted, and every late call from a victim that turns out to be
+// slow-but-alive is fenced.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rwrnlp::testing {
+
+enum class FaultKind : int {
+  DieAtYieldPoint,
+  AbandonWhileHolding,
+  CombinerCrashMidBatch,
+  ReaderDiesBetweenPublishAndComplete,
+};
+
+inline const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::DieAtYieldPoint: return "die-at-yield-point";
+    case FaultKind::AbandonWhileHolding: return "abandon-while-holding";
+    case FaultKind::CombinerCrashMidBatch: return "combiner-crash-mid-batch";
+    case FaultKind::ReaderDiesBetweenPublishAndComplete:
+      return "reader-dies-between-publish-and-complete";
+  }
+  return "?";
+}
+
+/// One injected crash.  `victim_writes` selects the victim's footprint
+/// class (a writer pins write locks and a writer guard; a reader pins read
+/// shares); `contenders` is how many live threads keep requesting the
+/// victim's resources while it is dead — they are the successors whose
+/// promotion proves the forced release actually freed the state.
+struct FaultPlan {
+  FaultKind kind = FaultKind::AbandonWhileHolding;
+  bool victim_writes = true;
+  std::size_t contenders = 2;
+
+  std::string name() const {
+    std::string n = to_string(kind);
+    n += victim_writes ? "/writer" : "/reader";
+    return n;
+  }
+};
+
+/// The canonical campaign: every fault kind against both victim classes
+/// where the combination is meaningful.  CombinerCrashMidBatch keeps a
+/// writer victim only (reads on combining cells are served by the engine
+/// fast path before they reach a broker slot); the indicator fault is
+/// reader-only by definition.
+inline std::vector<FaultPlan> canonical_fault_plans() {
+  return {
+      {FaultKind::AbandonWhileHolding, /*victim_writes=*/true, 2},
+      {FaultKind::AbandonWhileHolding, /*victim_writes=*/false, 2},
+      {FaultKind::DieAtYieldPoint, /*victim_writes=*/true, 2},
+      {FaultKind::DieAtYieldPoint, /*victim_writes=*/false, 2},
+      {FaultKind::CombinerCrashMidBatch, /*victim_writes=*/true, 2},
+      {FaultKind::ReaderDiesBetweenPublishAndComplete,
+       /*victim_writes=*/false, 2},
+  };
+}
+
+}  // namespace rwrnlp::testing

@@ -128,10 +128,24 @@ void verify_replay(const rsm::Engine& live, const locks::InvocationLog& log,
                       pending.end());
         break;
       }
+      case locks::InvocationKind::ForcedRelease: {
+        oracle.force_release(rec.t, rec.id);
+        okind = rsm::InvocationKind::ForcedRelease;
+        rsm::check_recovered_state(oracle, rec.id);
+        // Like a cancel, a forcibly released request leaves the bound
+        // accounting — its critical section was revoked, not run to
+        // completion, so it must not consume any survivor's Thm. 1/2
+        // budget.  (A satisfied holder was never in `pending`, but an
+        // entitled incremental target may be.)
+        pending.erase(std::remove(pending.begin(), pending.end(), rec.id),
+                      pending.end());
+        break;
+      }
     }
 
     if (rec.kind != locks::InvocationKind::Complete &&
-        rec.kind != locks::InvocationKind::Cancel) {
+        rec.kind != locks::InvocationKind::Cancel &&
+        rec.kind != locks::InvocationKind::ForcedRelease) {
       RWRNLP_CHECK_MSG(rid == rec.id,
                        "replay divergence: live lock assigned request id "
                            << rec.id << " but the oracle assigned " << rid

@@ -1,0 +1,853 @@
+// Crash-tolerant holder recovery: the fault-injection campaign.
+//
+// Every cell of the front-end matrix (testing/cell_registry.hpp) is driven
+// through every canonical crash plan (testing/fault_plan.hpp): a victim
+// acquires, stops cooperating, and the cell must (1) detect and revoke the
+// orphaned holder through recovery_sweep() under RecoveryPolicy::ForceRelease,
+// (2) promote the blocked successors, and (3) fence every late call from the
+// victim's token — silently for release paths, throwing locks::Fenced for
+// mutating calls — so exactly one effect lands per grant no matter how the
+// revocation races the owner.
+//
+// Four layers:
+//  * the threaded campaign over all_cells() x canonical_fault_plans(),
+//    oracle-replaying every engine's invocation log afterwards (a forced
+//    release is a first-class protocol invocation, so the log must still
+//    describe a legal sequential history);
+//  * schedule-explorer scenarios that place the victim's death and the
+//    recovery sweep at *every* reachable yield point (exhaustive /
+//    preemption-bounded), including the zombie-fencing race where a
+//    slow-but-alive victim's release contends with its own revocation;
+//  * a TSan stress race of manual force_release(token) against the owner's
+//    normal release on every cell — the generation CAS must arbitrate so
+//    that forced_releases == successful revocations == fenced_zombies;
+//  * unit coverage of the policy layer: DetectOnly / Quarantine semantics,
+//    OverloadShed interaction (recovery reopens admission at the P2
+//    ceiling), Watchdog stuck-report dedupe, and HealthReport::merge over
+//    the new recovery counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "locks/front_end.hpp"
+#include "locks/health.hpp"
+#include "locks/spin_rw_rnlp.hpp"
+#include "locks/suspend_rw_rnlp.hpp"
+#include "locks/yield_point.hpp"
+#include "support/harness.hpp"
+#include "testing/cell_registry.hpp"
+#include "testing/explore.hpp"
+#include "testing/fault_plan.hpp"
+#include "testing/oracle.hpp"
+
+namespace rwrnlp::testing {
+namespace {
+
+namespace support = rwrnlp::locks::support;
+using namespace std::chrono_literals;
+using rwrnlp::ResourceSet;
+using rwrnlp::locks::LockToken;
+
+locks::RobustnessOptions force_release_options(
+    std::chrono::nanoseconds budget = 1ms, unsigned confirm = 1) {
+  locks::RobustnessOptions opt;
+  opt.stuck_budget = budget;
+  opt.recovery = locks::RecoveryPolicy::ForceRelease;
+  opt.confirm_sweeps = confirm;
+  return opt;
+}
+
+/// Sweeps until at least `target` forced releases happened; fails the test
+/// (and returns the last report) if recovery never converges.
+locks::HealthReport sweep_until_forced(CellInstance& cell,
+                                       std::uint64_t target) {
+  locks::HealthReport hr;
+  for (int i = 0; i < 4000; ++i) {
+    hr = cell.recovery_sweep();
+    if (hr.forced_releases >= target) return hr;
+    std::this_thread::sleep_for(500us);
+  }
+  ADD_FAILURE() << "recovery sweep never revoked the stuck holder "
+                << "(forced_releases=" << hr.forced_releases << ")";
+  return hr;
+}
+
+bool cell_combines(const CellInfo& info) {
+  return info.path == "combining" || info.name == "sharded-spin-cross";
+}
+
+bool plan_applies(const CellInfo& info, const FaultPlan& plan) {
+  switch (plan.kind) {
+    case FaultKind::CombinerCrashMidBatch:
+      return cell_combines(info);
+    case FaultKind::ReaderDiesBetweenPublishAndComplete:
+      return info.indicator;
+    default:
+      return true;
+  }
+}
+
+// ------------------------------------------------ the threaded campaign ---
+
+// One cell x one plan.  The victim runs on its own thread so its death is a
+// real thread exit with lock state still pinned; "dying" is nothing but not
+// making the release call.  The saved token is replayed *after* recovery to
+// prove the zombie fence: the late release must be a counted no-op.
+void run_campaign(const CellInfo& info, const FaultPlan& plan) {
+  std::unique_ptr<CellInstance> cell = info.make();
+  cell->set_robustness(force_release_options());
+  locks::MultiResourceLock& lock = cell->lock();
+  const std::size_t q = lock.num_resources();
+  const ResourceSet none(q);
+  const ResourceSet footprint(q, {0});
+
+  LockToken victim_token;
+  std::atomic<bool> holding{false};
+  std::atomic<bool> die{false};
+  std::thread victim([&] {
+    victim_token = plan.victim_writes ? lock.acquire(none, footprint)
+                                      : lock.acquire(footprint, none);
+    holding.store(true, std::memory_order_release);
+    while (!die.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(100us);
+    // Death: the thread exits with the token still live.
+  });
+  while (!holding.load(std::memory_order_acquire))
+    std::this_thread::sleep_for(100us);
+
+  const bool die_with_waiters_queued =
+      plan.kind == FaultKind::DieAtYieldPoint ||
+      plan.kind == FaultKind::CombinerCrashMidBatch;
+  if (!die_with_waiters_queued) {
+    die.store(true, std::memory_order_release);
+    victim.join();
+  }
+
+  // Successors: writers over the victim's footprint (a writer conflicts
+  // with both victim classes).  The combiner-crash plan keeps broker
+  // traffic flowing while the forced release lands mid-stream.
+  std::atomic<std::uint64_t> successor_acquires{0};
+  std::vector<std::thread> contenders;
+  for (std::size_t i = 0; i < plan.contenders; ++i) {
+    contenders.emplace_back([&] {
+      const int ops = plan.kind == FaultKind::CombinerCrashMidBatch ? 6 : 1;
+      for (int k = 0; k < ops; ++k) {
+        const LockToken t = lock.acquire(none, footprint);
+        successor_acquires.fetch_add(1, std::memory_order_relaxed);
+        lock.release(t);
+      }
+    });
+  }
+
+  if (die_with_waiters_queued) {
+    // Let the successors actually queue behind the live holder first, so
+    // the death happens with the wait queues populated.
+    std::this_thread::sleep_for(2ms);
+    die.store(true, std::memory_order_release);
+    victim.join();
+  }
+
+  std::this_thread::sleep_for(2ms);  // let the hold age past the budget
+  sweep_until_forced(*cell, 1);
+  for (std::thread& t : contenders) t.join();
+
+  // The zombie fence: the dead victim's token surfaces later (an operator
+  // replaying a core dump, a destructor on a recovered object) and must be
+  // a counted no-op, not a double release of a successor's grant.
+  lock.release(victim_token);
+
+  const locks::HealthReport hr = cell->health();
+  EXPECT_GE(hr.forced_releases, 1u);
+  EXPECT_GE(hr.fenced_zombies, 1u);
+  // Exactly one effect per grant: every revoked holder's one late release
+  // was fenced, every normal release kept its grant un-revoked.
+  EXPECT_EQ(hr.fenced_zombies, hr.forced_releases);
+  EXPECT_EQ(hr.incomplete, 0u);
+  EXPECT_EQ(successor_acquires.load(),
+            static_cast<std::uint64_t>(plan.contenders) *
+                (plan.kind == FaultKind::CombinerCrashMidBatch ? 6 : 1));
+  EXPECT_EQ(cell->pending_satisfied(), 0u);
+
+  OracleOptions oo;
+  oo.num_threads = plan.contenders + 2;
+  oo.ops_per_thread = 16;
+  for (const EnginePair& ep : cell->engines()) {
+    support::expect_engine_drained(*ep.engine, kCorpusResources);
+    verify_replay(*ep.engine, *ep.log, oo);
+  }
+}
+
+TEST(CrashCampaign, EveryCellRecoversFromEveryApplicablePlan) {
+  for (const CellInfo& info : all_cells()) {
+    for (const FaultPlan& plan : canonical_fault_plans()) {
+      if (!plan_applies(info, plan)) continue;
+      SCOPED_TRACE(info.name + " / " + plan.name());
+      run_campaign(info, plan);
+    }
+  }
+}
+
+// The reader-dies-between-publish-and-complete plan must actually travel
+// the indicator route: the victim's token is an indicator token (no engine
+// mutex on the way in), and recovery finds it through the grant sweep.
+TEST(CrashCampaign, IndicatorReaderDeathIsFoundByTheGrantSweep) {
+  for (const CellInfo& info : all_cells()) {
+    if (!info.indicator) continue;
+    SCOPED_TRACE(info.name);
+    std::unique_ptr<CellInstance> cell = info.make();
+    cell->set_robustness(force_release_options());
+    locks::MultiResourceLock& lock = cell->lock();
+    const std::size_t q = lock.num_resources();
+
+    LockToken tok;
+    std::thread victim(
+        [&] { tok = lock.acquire(ResourceSet(q, {0}), ResourceSet(q)); });
+    victim.join();
+    EXPECT_TRUE(locks::is_indicator_token_id(tok.id))
+        << "uncontended read did not take the indicator fast path";
+
+    std::thread writer([&] {
+      const LockToken w = lock.acquire(ResourceSet(q), ResourceSet(q, {0}));
+      lock.release(w);
+    });
+    std::this_thread::sleep_for(2ms);
+    sweep_until_forced(*cell, 1);
+    writer.join();
+
+    lock.release(tok);  // zombie: the revoked grant's late release
+    const locks::HealthReport hr = cell->health();
+    EXPECT_EQ(hr.forced_releases, 1u);
+    EXPECT_EQ(hr.fenced_zombies, 1u);
+    EXPECT_EQ(hr.incomplete, 0u);
+    for (const EnginePair& ep : cell->engines())
+      support::expect_engine_drained(*ep.engine, kCorpusResources);
+  }
+}
+
+// Manual revocation (operator tooling): force_release(token) unblocks the
+// successors without any sweep, refuses stale tokens — already-revoked,
+// already-released — and never lets the stale victim token reach a
+// recycled request.
+TEST(CrashCampaign, ManualForceReleaseUnblocksAndRefusesStaleTokens) {
+  for (const CellInfo& info : all_cells()) {
+    SCOPED_TRACE(info.name);
+    std::unique_ptr<CellInstance> cell = info.make();
+    locks::MultiResourceLock& lock = cell->lock();
+    const std::size_t q = lock.num_resources();
+    const ResourceSet none(q);
+    const ResourceSet footprint(q, {0});
+
+    LockToken victim_token;
+    std::thread victim(
+        [&] { victim_token = lock.acquire(none, footprint); });
+    victim.join();
+
+    std::thread successor([&] {
+      const LockToken t = lock.acquire(none, footprint);
+      lock.release(t);
+    });
+    EXPECT_TRUE(cell->force_release(victim_token));
+    successor.join();
+
+    // Stale: the same token again (already revoked)...
+    EXPECT_FALSE(cell->force_release(victim_token));
+    // ...and a normally released token (nothing to revoke).
+    const LockToken done = lock.acquire(none, footprint);
+    lock.release(done);
+    EXPECT_FALSE(cell->force_release(done));
+
+    lock.release(victim_token);  // zombie release: fenced no-op
+    const locks::HealthReport hr = cell->health();
+    EXPECT_EQ(hr.forced_releases, 1u);
+    EXPECT_EQ(hr.fenced_zombies, 1u);
+    EXPECT_EQ(hr.incomplete, 0u);
+    for (const EnginePair& ep : cell->engines())
+      support::expect_engine_drained(*ep.engine, kCorpusResources);
+  }
+}
+
+// ------------------------------------------- zombie fencing (API surface) --
+
+// A revoked incremental holder: request_more must throw Fenced (the caller
+// is alive and must learn it lost its grants); release_incremental is a
+// teardown path and fences silently.
+TEST(ZombieFencing, RevokedIncrementalThrowsOnGrowFencesOnRelease) {
+  locks::SpinRwRnlp lock(4);
+  lock.set_robustness_options(
+      force_release_options(std::chrono::nanoseconds(1)));
+  const LockToken tok = lock.acquire_incremental(
+      ResourceSet(4, {0, 1}), ResourceSet(4, {2}), ResourceSet(4, {0}));
+  const locks::HealthReport hr = lock.recovery_sweep();
+  ASSERT_EQ(hr.forced_releases, 1u);
+  EXPECT_THROW(lock.request_more(tok, ResourceSet(4, {1})), locks::Fenced);
+  lock.release_incremental(tok);  // must not throw (destructor-safe)
+  EXPECT_GE(lock.health_report().fenced_zombies, 1u);
+  support::expect_engine_drained(lock.engine_for_test(), 4);
+}
+
+// A revoked upgradeable read half: the write half is canceled in the same
+// invocation (shared fate), upgrade() throws Fenced, abandon() fences
+// silently.
+TEST(ZombieFencing, RevokedUpgradeableSharesFateAndFences) {
+  locks::SpinRwRnlp lock(4);
+  lock.set_robustness_options(
+      force_release_options(std::chrono::nanoseconds(1)));
+  locks::SpinRwRnlp::UpgradeToken t =
+      lock.acquire_upgradeable(ResourceSet(4, {0, 1}));
+  ASSERT_FALSE(t.write_mode);
+  const locks::HealthReport hr = lock.recovery_sweep();
+  ASSERT_EQ(hr.forced_releases, 1u);
+  EXPECT_THROW(lock.upgrade(t), locks::Fenced);
+  lock.abandon(t);  // must not throw
+  EXPECT_GE(lock.health_report().fenced_zombies, 1u);
+  EXPECT_EQ(lock.pending_satisfied_count(), 0u);
+  support::expect_engine_drained(lock.engine_for_test(), 4);
+}
+
+// ------------------------------------------------- recovery policy layer ---
+
+// DetectOnly: the stuck holder is reported, nothing is touched.
+TEST(RecoveryPolicy, DetectOnlyReportsWithoutRevoking) {
+  locks::SpinRwRnlp lock(2);
+  locks::RobustnessOptions opt;
+  opt.stuck_budget = std::chrono::nanoseconds(1);
+  lock.set_robustness_options(opt);  // recovery defaults to DetectOnly
+  const LockToken t = lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+  const locks::HealthReport hr = lock.recovery_sweep();
+  ASSERT_EQ(hr.stuck.size(), 1u);
+  EXPECT_TRUE(hr.stuck[0].is_write);
+  EXPECT_EQ(hr.forced_releases, 0u);
+  EXPECT_EQ(hr.quarantined, 0u);
+  lock.release(t);  // still a normal release — nothing was revoked
+  EXPECT_EQ(lock.health_report().fenced_zombies, 0u);
+  support::expect_engine_drained(lock.engine_for_test(), 2);
+}
+
+// Quarantine: the blast radius (resources pinned by stuck holders) shows in
+// the report as a gauge, and drops back to zero on release — still no
+// destructive action.
+TEST(RecoveryPolicy, QuarantineGaugesBlastRadiusWithoutRevoking) {
+  locks::SpinRwRnlp lock(4);
+  locks::RobustnessOptions opt;
+  opt.stuck_budget = std::chrono::nanoseconds(1);
+  opt.recovery = locks::RecoveryPolicy::Quarantine;
+  lock.set_robustness_options(opt);
+  const LockToken t =
+      lock.acquire(ResourceSet(4, {2}), ResourceSet(4, {0, 1}));
+  const locks::HealthReport hr = lock.recovery_sweep();
+  ASSERT_EQ(hr.stuck.size(), 1u);
+  EXPECT_EQ(hr.quarantined, 3u) << "gauge = resources held by stuck holders";
+  EXPECT_EQ(hr.forced_releases, 0u);
+  lock.release(t);
+  EXPECT_EQ(lock.health_report().quarantined, 0u);
+  support::expect_engine_drained(lock.engine_for_test(), 4);
+}
+
+// Debounce: with confirm_sweeps = 2 the first sighting must NOT revoke —
+// a slow-but-alive holder that releases between sweeps is spared.
+TEST(RecoveryPolicy, ConfirmSweepsDebouncesSlowButAliveHolders) {
+  locks::SpinRwRnlp lock(2);
+  lock.set_robustness_options(
+      force_release_options(std::chrono::nanoseconds(1), /*confirm=*/2));
+  const LockToken t = lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+  EXPECT_EQ(lock.recovery_sweep().forced_releases, 0u);  // first sighting
+  lock.release(t);                                       // ...owner wakes up
+  EXPECT_EQ(lock.recovery_sweep().forced_releases, 0u);  // streak re-armed
+  EXPECT_EQ(lock.health_report().fenced_zombies, 0u);
+  support::expect_engine_drained(lock.engine_for_test(), 2);
+
+  // Control: a holder that stays stuck across both sweeps is revoked on
+  // the second.
+  const LockToken s = lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+  EXPECT_EQ(lock.recovery_sweep().forced_releases, 0u);
+  EXPECT_EQ(lock.recovery_sweep().forced_releases, 1u);
+  lock.release(s);  // fenced
+  EXPECT_EQ(lock.health_report().fenced_zombies, 1u);
+  support::expect_engine_drained(lock.engine_for_test(), 2);
+}
+
+// Backoff: two simultaneously stuck holders are not revoked in one burst —
+// the second revocation waits out recovery_backoff (bounded retry).
+TEST(RecoveryPolicy, BackoffSpacesSuccessiveRevocations) {
+  locks::SpinRwRnlp lock(2);
+  locks::RobustnessOptions opt = force_release_options(1us);
+  opt.recovery_backoff = 50ms;
+  lock.set_robustness_options(opt);
+  const LockToken a = lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+  const LockToken b = lock.acquire(ResourceSet(2), ResourceSet(2, {1}));
+  std::this_thread::sleep_for(1ms);
+  EXPECT_EQ(lock.recovery_sweep().forced_releases, 1u)
+      << "one revocation per backoff window";
+  EXPECT_EQ(lock.recovery_sweep().forced_releases, 1u)
+      << "second sweep inside the window must not revoke";
+  std::this_thread::sleep_for(60ms);
+  EXPECT_EQ(lock.recovery_sweep().forced_releases, 2u);
+  lock.release(a);
+  lock.release(b);
+  EXPECT_EQ(lock.health_report().fenced_zombies, 2u);
+  support::expect_engine_drained(lock.engine_for_test(), 2);
+}
+
+// OverloadShed x recovery: a crashed holder pins the P2 admission ceiling;
+// shedding keeps rejecting new work (no deadlock, no double count), and the
+// forced release reopens admission.
+TEST(RecoveryPolicy, ForcedReleaseReopensAdmissionAfterShed) {
+  locks::SpinRwRnlp lock(2);
+  locks::RobustnessOptions opt = force_release_options();
+  opt.max_incomplete = 1;  // P2 ceiling for a 1-processor client
+  lock.set_robustness_options(opt);
+
+  LockToken victim_token;
+  std::thread victim([&] {
+    victim_token = lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+  });
+  victim.join();  // crashed with the only admission slot held
+
+  // At the ceiling: blocking acquire sheds, timed acquire reports nullopt.
+  EXPECT_THROW(lock.acquire(ResourceSet(2), ResourceSet(2, {1})),
+               locks::OverloadShed);
+  EXPECT_FALSE(
+      lock.try_lock_for(ResourceSet(2), ResourceSet(2, {1}), 1ms).has_value());
+
+  std::this_thread::sleep_for(2ms);
+  locks::HealthReport hr;
+  for (int i = 0; i < 4000 && hr.forced_releases < 1; ++i) {
+    hr = lock.recovery_sweep();
+    std::this_thread::sleep_for(500us);
+  }
+  ASSERT_EQ(hr.forced_releases, 1u);
+
+  // Admission is open again; counters reconcile exactly.
+  const LockToken t = lock.acquire(ResourceSet(2), ResourceSet(2, {1}));
+  lock.release(t);
+  lock.release(victim_token);  // zombie
+  const locks::HealthReport end = lock.health_report();
+  EXPECT_EQ(end.shed, 2u);
+  EXPECT_EQ(end.acquired, 2u);  // victim + post-recovery acquire, no doubles
+  EXPECT_EQ(end.fenced_zombies, 1u);
+  EXPECT_EQ(end.incomplete, 0u);
+  support::expect_engine_drained(lock.engine_for_test(), 2);
+}
+
+// ------------------------------------------------ watchdog + report unit ---
+
+locks::StuckHolder stuck(rsm::RequestId id, std::chrono::nanoseconds age) {
+  locks::StuckHolder s;
+  s.id = id;
+  s.age = age;
+  return s;
+}
+
+// A holder is reported once per episode: repeat sightings are filtered, and
+// leaving the stuck list re-arms the id.
+TEST(WatchdogDedupe, ReportsOncePerEpisodeAndRearmsOnLeave) {
+  std::vector<std::pair<rsm::RequestId, std::chrono::nanoseconds>> seen;
+  locks::HealthReport r1;
+  r1.stuck = {stuck(3, 10ms), stuck(5, 12ms)};
+  locks::Watchdog::dedupe_stuck(r1, seen);
+  ASSERT_EQ(r1.stuck.size(), 2u);  // first sightings pass through
+
+  locks::HealthReport r2;
+  r2.stuck = {stuck(3, 20ms), stuck(5, 22ms)};
+  locks::Watchdog::dedupe_stuck(r2, seen);
+  EXPECT_TRUE(r2.stuck.empty()) << "same episode must not re-report";
+
+  locks::HealthReport r3;  // id 5 released; id 3 still stuck
+  r3.stuck = {stuck(3, 30ms)};
+  locks::Watchdog::dedupe_stuck(r3, seen);
+  EXPECT_TRUE(r3.stuck.empty());
+
+  locks::HealthReport r4;  // id 5 wedges again: fresh episode
+  r4.stuck = {stuck(3, 40ms), stuck(5, 9ms)};
+  locks::Watchdog::dedupe_stuck(r4, seen);
+  ASSERT_EQ(r4.stuck.size(), 1u);
+  EXPECT_EQ(r4.stuck[0].id, 5u);
+}
+
+// A recycled request id whose new critical section wedges shows a smaller
+// age than the last sighting — that is a fresh episode, not a duplicate.
+TEST(WatchdogDedupe, RecycledSlotSmallerAgeIsAFreshEpisode) {
+  std::vector<std::pair<rsm::RequestId, std::chrono::nanoseconds>> seen;
+  locks::HealthReport r1;
+  r1.stuck = {stuck(7, 50ms)};
+  locks::Watchdog::dedupe_stuck(r1, seen);
+  ASSERT_EQ(r1.stuck.size(), 1u);
+
+  locks::HealthReport r2;  // same id, younger hold: a recycled slot
+  r2.stuck = {stuck(7, 5ms)};
+  locks::Watchdog::dedupe_stuck(r2, seen);
+  ASSERT_EQ(r2.stuck.size(), 1u);
+  EXPECT_EQ(r2.stuck[0].age, 5ms);
+}
+
+// merge() must sum the recovery counters and the quarantine gauge exactly
+// like the pre-existing counters (regression for the sharded roll-up).
+TEST(HealthReportMerge, SumsRecoveryCountersAndConcatenatesStuck) {
+  locks::HealthReport a;
+  a.forced_releases = 2;
+  a.fenced_zombies = 1;
+  a.quarantined = 3;
+  a.stuck = {stuck(1, 1ms)};
+  locks::HealthReport b;
+  b.forced_releases = 5;
+  b.fenced_zombies = 4;
+  b.quarantined = 2;
+  b.stuck = {stuck(9, 2ms)};
+  a.merge(b);
+  EXPECT_EQ(a.forced_releases, 7u);
+  EXPECT_EQ(a.fenced_zombies, 5u);
+  EXPECT_EQ(a.quarantined, 5u);
+  ASSERT_EQ(a.stuck.size(), 2u);
+  EXPECT_EQ(a.stuck[1].id, 9u);
+}
+
+// -------------------------------------- TSan race: revoke vs release ------
+
+// Manual force_release races the owner's own release over many grants, on
+// every cell: the token-generation CAS must hand exactly one of the two the
+// grant, so at the end forced_releases == successful revocations and every
+// revocation produced exactly one fenced zombie.  Run under TSan in the
+// tsan-crash-faults CI leg (RWRNLP_CRASH_FAULTS=1 scales the iterations).
+TEST(CrashRecoveryStress, ForceReleaseVsReleaseRaceOnEveryCell) {
+  const int iters = 60 * support::crash_fault_scale();
+  for (const CellInfo& info : all_cells()) {
+    SCOPED_TRACE(info.name);
+    std::unique_ptr<CellInstance> cell = info.make();
+    locks::MultiResourceLock& lock = cell->lock();
+    const std::size_t q = lock.num_resources();
+    const ResourceSet none(q);
+
+    std::atomic<int> round{-1};
+    std::atomic<bool> done{false};
+    LockToken shared_token;
+    std::atomic<int> ack{-1};
+    std::uint64_t revoked = 0;
+
+    std::thread revoker([&] {
+      int seen = -1;
+      while (true) {
+        while (round.load(std::memory_order_acquire) == seen) {
+          if (done.load(std::memory_order_acquire)) return;
+          std::this_thread::yield();
+        }
+        seen = round.load(std::memory_order_acquire);
+        if (cell->force_release(shared_token)) ++revoked;
+        ack.store(seen, std::memory_order_release);
+      }
+    });
+
+    std::uint64_t acquired = 0;
+    for (int i = 0; i < iters; ++i) {
+      // Alternate victim classes so indicator cells race the grant-slot
+      // CAS too, not only the engine-token fence.
+      const bool write = !info.indicator || (i % 2 == 0);
+      shared_token = write ? lock.acquire(none, ResourceSet(q, {0}))
+                           : lock.acquire(ResourceSet(q, {0}), none);
+      ++acquired;
+      round.store(i, std::memory_order_release);
+      lock.release(shared_token);  // races the revoker
+      while (ack.load(std::memory_order_acquire) != i)
+        std::this_thread::yield();
+    }
+    done.store(true, std::memory_order_release);
+    revoker.join();
+
+    const locks::HealthReport hr = cell->health();
+    EXPECT_EQ(hr.forced_releases, revoked);
+    EXPECT_EQ(hr.fenced_zombies, hr.forced_releases)
+        << "every won revocation must fence exactly the one late release";
+    EXPECT_EQ(hr.acquired, acquired);
+    EXPECT_EQ(hr.incomplete, 0u);
+    EXPECT_EQ(cell->pending_satisfied(), 0u);
+    for (const EnginePair& ep : cell->engines())
+      support::expect_engine_drained(*ep.engine, kCorpusResources);
+  }
+}
+
+// ------------------------------- explorer: death at every yield point -----
+
+/// Instrumented flat spin cell with crash recovery armed (1 ns budget,
+/// revoke on first confirmed sighting) for the schedule-explorer scenarios.
+struct RecoveryState {
+  locks::SpinRwRnlp lock;
+  locks::InvocationLog log;
+  std::atomic<bool> flag{false};
+  RecoveryState(std::size_t q, bool combining, bool indicator = false)
+      : lock(q, rsm::WriteExpansion::ExpandDomain,
+             /*reads_as_writes=*/false, combining) {
+    if (indicator) lock.enable_reader_indicator();
+    lock.engine_for_test().set_trace_recording(true);
+    lock.set_invocation_log(&log);
+    lock.set_robustness_options(
+        force_release_options(std::chrono::nanoseconds(1)));
+  }
+};
+
+/// Abandoned-holder scenario: the victim acquires and never releases; the
+/// sweeper recovers it; a contender must get the lock.  The explorer places
+/// the victim's death (= its last yield point) against every reachable
+/// position of the contender's issue and the sweep.
+ScenarioFactory abandoned_holder_factory(bool combining,
+                                         bool victim_writes) {
+  return [=] {
+    auto st = std::make_shared<RecoveryState>(2, combining);
+    ScenarioRun run;
+    run.bodies.push_back([st, victim_writes] {  // victim: acquire, die
+      const ResourceSet rs(2, {0});
+      const ResourceSet none(2);
+      (void)(victim_writes ? st->lock.acquire(none, rs)
+                           : st->lock.acquire(rs, none));
+      st->flag.store(true);
+      // No release: the token is dropped on the floor.
+    });
+    run.bodies.push_back([st] {  // sweeper: recover once the victim holds
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait,
+                        [st] { return st->flag.load(); });
+      locks::HealthReport hr;
+      do {
+        hr = st->lock.recovery_sweep();
+      } while (hr.forced_releases < 1);
+    });
+    run.bodies.push_back([st] {  // contender: must eventually get the lock
+      const locks::LockToken t =
+          st->lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+      st->lock.release(t);
+    });
+    OracleOptions oo;
+    oo.num_threads = 3;
+    run.check = [st, oo] {
+      const locks::HealthReport hr = st->lock.health_report();
+      if (hr.forced_releases != 1)
+        throw std::logic_error("expected exactly one forced release, got " +
+                               std::to_string(hr.forced_releases));
+      if (hr.fenced_zombies != 0)
+        throw std::logic_error("abandoned victim never calls release");
+      if (hr.incomplete != 0)
+        throw std::logic_error("engine not drained after recovery");
+      verify_replay(st->lock.engine_for_test(), st->log, oo);
+    };
+    return run;
+  };
+}
+
+/// Zombie-fencing scenario: the victim is slow-but-alive — it DOES release,
+/// racing one recovery sweep.  Whoever wins the fence arbitration, exactly
+/// one effect lands: fenced_zombies == forced_releases on every schedule.
+ScenarioFactory slow_but_alive_factory(bool combining) {
+  return [=] {
+    auto st = std::make_shared<RecoveryState>(2, combining);
+    ScenarioRun run;
+    run.bodies.push_back([st] {  // victim: acquire, stall, release late
+      const locks::LockToken t =
+          st->lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+      st->flag.store(true);
+      st->lock.release(t);  // may be fenced if the sweep won
+    });
+    run.bodies.push_back([st] {  // sweeper: exactly one sweep
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait,
+                        [st] { return st->flag.load(); });
+      st->lock.recovery_sweep();
+    });
+    run.bodies.push_back([st] {  // contender
+      const locks::LockToken t =
+          st->lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+      st->lock.release(t);
+    });
+    OracleOptions oo;
+    oo.num_threads = 3;
+    run.check = [st, oo] {
+      const locks::HealthReport hr = st->lock.health_report();
+      if (hr.forced_releases > 1)
+        throw std::logic_error("a single sweep revoked more than once");
+      if (hr.fenced_zombies != hr.forced_releases)
+        throw std::logic_error(
+            "revocation and release both took effect on one grant "
+            "(forced=" +
+            std::to_string(hr.forced_releases) +
+            " fenced=" + std::to_string(hr.fenced_zombies) + ")");
+      if (hr.incomplete != 0)
+        throw std::logic_error("engine not drained");
+      verify_replay(st->lock.engine_for_test(), st->log, oo);
+    };
+    return run;
+  };
+}
+
+TEST(CrashExplorer, ExhaustiveAbandonedWriterRecovery) {
+  ExhaustiveStrategy strategy;
+  ExploreOptions opt;
+  opt.max_schedules = 400000;
+  const ExploreResult res =
+      explore(abandoned_holder_factory(/*combining=*/false,
+                                       /*victim_writes=*/true),
+              strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_TRUE(res.exhausted) << "state space not fully enumerated";
+  EXPECT_GT(res.schedules, 10u);
+}
+
+TEST(CrashExplorer, ExhaustiveAbandonedReaderRecovery) {
+  ExhaustiveStrategy strategy;
+  ExploreOptions opt;
+  opt.max_schedules = 400000;
+  const ExploreResult res =
+      explore(abandoned_holder_factory(/*combining=*/false,
+                                       /*victim_writes=*/false),
+              strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GT(res.schedules, 10u);
+}
+
+TEST(CrashExplorer, ExhaustiveZombieFencingRace) {
+  ExhaustiveStrategy strategy;
+  ExploreOptions opt;
+  opt.max_schedules = 400000;
+  const ExploreResult res =
+      explore(slow_but_alive_factory(/*combining=*/false), strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GT(res.schedules, 10u);
+}
+
+// Combining: the forced release and the fence veto must coexist with live
+// broker traffic (the combiner may be preempted mid-batch while the sweep
+// revokes the publisher of a pending Complete).
+TEST(CrashExplorer, CombinerCrashMidBatchRecovery) {
+  PreemptionBoundedStrategy strategy(1);
+  ExploreOptions opt;
+  opt.max_schedules = 400000;
+  const ExploreResult res =
+      explore(abandoned_holder_factory(/*combining=*/true,
+                                       /*victim_writes=*/true),
+              strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_GT(res.schedules, 10u);
+}
+
+TEST(CrashExplorer, CombiningZombieFencingRace) {
+  PreemptionBoundedStrategy strategy(1);
+  ExploreOptions opt;
+  opt.max_schedules = 400000;
+  const ExploreResult res =
+      explore(slow_but_alive_factory(/*combining=*/true), strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_GT(res.schedules, 10u);
+}
+
+// Indicator: the reader dies between publish and complete; only the grant
+// sweep can find it, and the blocked writer's stripe wait must be released
+// by the revocation.
+TEST(CrashExplorer, IndicatorReaderDeathRecovery) {
+  const ScenarioFactory factory = [] {
+    auto st = std::make_shared<RecoveryState>(2, /*combining=*/false,
+                                              /*indicator=*/true);
+    ScenarioRun run;
+    run.bodies.push_back([st] {  // victim: fast read, then death
+      (void)st->lock.acquire(ResourceSet(2, {0}), ResourceSet(2));
+      st->flag.store(true);
+    });
+    run.bodies.push_back([st] {  // sweeper
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait,
+                        [st] { return st->flag.load(); });
+      locks::HealthReport hr;
+      do {
+        hr = st->lock.recovery_sweep();
+      } while (hr.forced_releases < 1);
+    });
+    run.bodies.push_back([st] {  // writer blocked on the dead reader
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait,
+                        [st] { return st->flag.load(); });
+      const locks::LockToken t =
+          st->lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+      st->lock.release(t);
+    });
+    OracleOptions oo;
+    oo.num_threads = 3;
+    run.check = [st, oo] {
+      const locks::HealthReport hr = st->lock.health_report();
+      if (hr.forced_releases != 1)
+        throw std::logic_error("dead reader not recovered (forced=" +
+                               std::to_string(hr.forced_releases) + ")");
+      if (hr.incomplete != 0)
+        throw std::logic_error("engine not drained");
+      verify_replay(st->lock.engine_for_test(), st->log, oo);
+    };
+    return run;
+  };
+  PreemptionBoundedStrategy strategy(1);
+  ExploreOptions opt;
+  opt.max_schedules = 400000;
+  const ExploreResult res = explore(factory, strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_GT(res.schedules, 5u);
+}
+
+// The suspension wait policy under the same abandoned-holder microscope:
+// the revocation must wake parked waiters through the condition variable.
+TEST(CrashExplorer, SuspendAbandonedWriterRecovery) {
+  const ScenarioFactory factory = [] {
+    struct SuspendRecoveryState {
+      locks::SuspendRwRnlp lock;
+      locks::InvocationLog log;
+      std::atomic<bool> flag{false};
+      SuspendRecoveryState()
+          : lock(2, rsm::WriteExpansion::ExpandDomain, /*combining=*/false) {
+        lock.engine_for_test().set_trace_recording(true);
+        lock.set_invocation_log(&log);
+        lock.set_robustness_options(
+            force_release_options(std::chrono::nanoseconds(1)));
+      }
+    };
+    auto st = std::make_shared<SuspendRecoveryState>();
+    ScenarioRun run;
+    run.bodies.push_back([st] {
+      (void)st->lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+      st->flag.store(true);
+    });
+    run.bodies.push_back([st] {
+      locks::sched_wait(locks::YieldPoint::SatisfactionWait,
+                        [st] { return st->flag.load(); });
+      locks::HealthReport hr;
+      do {
+        hr = st->lock.recovery_sweep();
+      } while (hr.forced_releases < 1);
+    });
+    run.bodies.push_back([st] {
+      const locks::LockToken t =
+          st->lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+      st->lock.release(t);
+    });
+    OracleOptions oo;
+    oo.num_threads = 3;
+    run.check = [st, oo] {
+      const locks::HealthReport hr = st->lock.health_report();
+      if (hr.forced_releases != 1)
+        throw std::logic_error("victim not recovered");
+      if (hr.incomplete != 0) throw std::logic_error("engine not drained");
+      verify_replay(st->lock.engine_for_test(), st->log, oo);
+    };
+    return run;
+  };
+  ExhaustiveStrategy strategy;
+  ExploreOptions opt;
+  opt.max_schedules = 400000;
+  const ExploreResult res = explore(factory, strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_GT(res.schedules, 5u);
+}
+
+}  // namespace
+}  // namespace rwrnlp::testing

@@ -85,7 +85,7 @@ TEST(IndicatorSpin, FastGrantBypassesEngineAndCounts) {
   lock.enable_reader_indicator();
   EXPECT_TRUE(lock.reader_indicator_enabled());
   const LockToken tok = lock.acquire(ResourceSet(4, {0, 1}), ResourceSet(4));
-  EXPECT_EQ(tok.id, kIndicatorToken);
+  EXPECT_TRUE(is_indicator_token_id(tok.id));
   // Production grants are engine-invisible: exclusion is enforced at the
   // indicator layer, not by engine queues.
   EXPECT_EQ(lock.engine_for_test().incomplete_count(), 0u);
@@ -99,18 +99,18 @@ TEST(IndicatorSpin, WriterSweepCountsAndReadFallsBack) {
   SpinRwRnlp lock(4);
   lock.enable_reader_indicator();
   const LockToken w = lock.acquire(ResourceSet(4), ResourceSet(4, {2}));
-  EXPECT_NE(w.id, kIndicatorToken);
+  EXPECT_FALSE(is_indicator_token_id(w.id));
   // Reader overlapping the writer's guard domain: declined at the pre-check
   // (writer present), served through the classic engine path instead.
   const LockToken r = lock.acquire(ResourceSet(4, {3}), ResourceSet(4));
-  EXPECT_EQ(r.id, kIndicatorToken);  // disjoint resource: still fast
+  EXPECT_TRUE(is_indicator_token_id(r.id));  // disjoint resource: still fast
   lock.release(r);
   lock.release(w);
   const HealthReport hr = lock.health_report();
   EXPECT_GE(hr.indicator_sweeps, 1u);
   // After the writer departs, the same footprint is fast again.
   const LockToken r2 = lock.acquire(ResourceSet(4, {2}), ResourceSet(4));
-  EXPECT_EQ(r2.id, kIndicatorToken);
+  EXPECT_TRUE(is_indicator_token_id(r2.id));
   lock.release(r2);
 }
 
@@ -139,7 +139,7 @@ TEST(IndicatorSpin, TimedWriterDepartsOnTimeout) {
   holder.join();
   // Both writers gone: the fast path must work again.
   const LockToken r = lock.acquire(ResourceSet(2, {0}), ResourceSet(2));
-  EXPECT_EQ(r.id, kIndicatorToken);
+  EXPECT_TRUE(is_indicator_token_id(r.id));
   lock.release(r);
 }
 
@@ -161,7 +161,7 @@ TEST(IndicatorSpin, UpgradeableQuartetGuards) {
   lock.release_upgraded(u2);
   // The guard departed both times: read fast path must succeed.
   const LockToken r = lock.acquire(ResourceSet(2, {0}), ResourceSet(2));
-  EXPECT_EQ(r.id, kIndicatorToken);
+  EXPECT_TRUE(is_indicator_token_id(r.id));
   lock.release(r);
   EXPECT_GE(lock.health_report().indicator_sweeps, 2u);
 }
@@ -256,7 +256,7 @@ TEST(IndicatorSuspend, FastGrantAndCounters) {
   SuspendRwRnlp lock(4);
   lock.enable_reader_indicator();
   const LockToken tok = lock.acquire(ResourceSet(4, {1}), ResourceSet(4));
-  EXPECT_EQ(tok.id, kIndicatorToken);
+  EXPECT_TRUE(is_indicator_token_id(tok.id));
   lock.release(tok);
   const HealthReport hr = lock.health_report();
   EXPECT_EQ(hr.indicator_fast_hits, 1u);
@@ -330,8 +330,8 @@ TEST(IndicatorSharded, IndicatorTokenRoutesThroughOwningShard) {
   // grant-slot pointer in the token.
   const LockToken r0 = lock.acquire(ResourceSet(4, {0}), ResourceSet(4));
   const LockToken r1 = lock.acquire(ResourceSet(4, {3}), ResourceSet(4));
-  EXPECT_EQ(r0.id, kIndicatorToken);
-  EXPECT_EQ(r1.id, kIndicatorToken);
+  EXPECT_TRUE(is_indicator_token_id(r0.id));
+  EXPECT_TRUE(is_indicator_token_id(r1.id));
   lock.release(r0);
   lock.release(r1);
   EXPECT_EQ(lock.health_report().indicator_fast_hits, 2u);

@@ -274,6 +274,38 @@ TEST(ApiRobustness, CancelPathIsDeterministic) {
   EXPECT_FALSE(format_trace(e1.trace()).empty());
 }
 
+// --- force_release() edge cases --------------------------------------------
+
+TEST(ApiRobustness, ForceReleaseInvalidTargetsRejected) {
+  Engine e(1, validated());
+  const RequestId a = e.issue_write(1, ResourceSet(1, {0}));
+  const RequestId b = e.issue_write(2, ResourceSet(1, {0}));
+  ASSERT_EQ(e.state(b), RequestState::Waiting);
+  // Unknown id; waiting request (cancel()'s job); canceled request;
+  // completed request.
+  EXPECT_THROW(e.force_release(3, 42), std::invalid_argument);
+  EXPECT_THROW(e.force_release(3, b), std::invalid_argument);
+  e.cancel(3, b);
+  EXPECT_THROW(e.force_release(4, b), std::invalid_argument);
+  e.complete(4, a);
+  EXPECT_THROW(e.force_release(5, a), std::invalid_argument);
+  // Engine still works after the misuse barrage.
+  const RequestId c = e.issue_write(6, ResourceSet(1, {0}));
+  e.force_release(7, c);
+  EXPECT_THROW(e.force_release(8, c), std::invalid_argument);  // double
+  e.check_structure();
+  EXPECT_EQ(e.incomplete_count(), 0u);
+}
+
+TEST(ApiRobustness, ForceReleaseTimeMustNotGoBackwards) {
+  Engine e(1, validated());
+  const RequestId a = e.issue_write(5, ResourceSet(1, {0}));
+  EXPECT_THROW(e.force_release(4.9, a), std::invalid_argument);
+  EXPECT_TRUE(e.is_satisfied(a));  // rejected invocation changed nothing
+  e.force_release(5, a);
+  EXPECT_EQ(e.state(a), RequestState::ForceReleased);
+}
+
 TEST(ApiRobustness, EngineUsableAfterManyErrors) {
   Engine e(2, validated());
   for (int i = 0; i < 50; ++i) {

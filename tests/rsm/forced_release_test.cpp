@@ -1,0 +1,172 @@
+// Engine::force_release unit tests: revocation of satisfied holders and
+// entitled incremental requests, shared-fate upgrade pairs, successor
+// promotion in the same invocation, rejection of non-revocable targets, and
+// the recovered-state invariant (check_recovered_state) after every
+// revocation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "rsm/engine.hpp"
+#include "rsm/invariants.hpp"
+#include "rsm/trace.hpp"
+
+namespace rwrnlp::rsm {
+namespace {
+
+EngineOptions validated() {
+  EngineOptions o;
+  o.validate = true;
+  o.record_trace = true;
+  return o;
+}
+
+TEST(ForcedRelease, RevokedWriterPromotesSuccessorInSameInvocation) {
+  Engine e(2, validated());
+  ProtocolObserver obs(e);
+  const RequestId w1 = e.issue_write(1, ResourceSet(2, {0, 1}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  const RequestId w2 = e.issue_write(2, ResourceSet(2, {0, 1}));
+  obs.after_invocation(InvocationKind::WriteIssue);
+  ASSERT_TRUE(e.is_satisfied(w1));
+  ASSERT_EQ(e.state(w2), RequestState::Waiting);
+
+  e.force_release(3, w1, Engine::RevokeReason::StuckBudget);
+  obs.after_invocation(InvocationKind::ForcedRelease);
+  check_recovered_state(e, w1);
+  // The revocation and the promotion it enables are one atomic invocation.
+  EXPECT_EQ(e.state(w1), RequestState::ForceReleased);
+  EXPECT_TRUE(e.is_satisfied(w2));
+  e.complete(4, w2);
+}
+
+TEST(ForcedRelease, RevokedReaderUnblocksWaitingWriter) {
+  Engine e(1, validated());
+  const RequestId r = e.issue_read(1, ResourceSet(1, {0}));
+  const RequestId w = e.issue_write(2, ResourceSet(1, {0}));
+  ASSERT_TRUE(e.is_satisfied(r));
+  ASSERT_FALSE(e.is_satisfied(w));
+
+  e.force_release(3, r);
+  check_recovered_state(e, r);
+  EXPECT_TRUE(e.is_satisfied(w));
+  EXPECT_FALSE(e.read_locked(0));
+  e.complete(4, w);
+}
+
+TEST(ForcedRelease, TraceRecordsForcedReleaseKind) {
+  Engine e(1, validated());
+  const RequestId w = e.issue_write(1, ResourceSet(1, {0}));
+  e.force_release(2, w);
+  bool seen = false;
+  for (const TraceEvent& ev : e.trace())
+    if (ev.kind == TraceKind::ForcedRelease && ev.request == w) seen = true;
+  EXPECT_TRUE(seen);
+}
+
+TEST(ForcedRelease, WaitingAndUnknownAndDoubleRevocationsRejected) {
+  Engine e(1, validated());
+  const RequestId w1 = e.issue_write(1, ResourceSet(1, {0}));
+  const RequestId w2 = e.issue_write(2, ResourceSet(1, {0}));
+  ASSERT_EQ(e.state(w2), RequestState::Waiting);
+  // A waiting request is cancel()'s job, not force_release()'s.
+  EXPECT_THROW(e.force_release(3, w2), std::invalid_argument);
+  // Unknown id.
+  EXPECT_THROW(e.force_release(3, 42), std::invalid_argument);
+  e.force_release(3, w1);
+  // Double revocation (the slot may by now belong to a successor, but w1's
+  // state is terminal until recycled).
+  EXPECT_THROW(e.force_release(4, w1), std::invalid_argument);
+  e.complete(5, w2);
+}
+
+TEST(ForcedRelease, UpgradePairSharesFate) {
+  Engine e(1, validated());
+  const UpgradeablePair p = e.issue_upgradeable(1, ResourceSet(1, {0}));
+  ASSERT_TRUE(e.is_satisfied(p.read_part));
+  ASSERT_FALSE(e.is_satisfied(p.write_part));
+  const RequestId w = e.issue_write(2, ResourceSet(1, {0}));
+
+  // Revoking the satisfied read half withdraws the still-live write half
+  // too — exactly as finish_read_segment(upgrade=false) would have.
+  e.force_release(3, p.read_part);
+  check_recovered_state(e, p.read_part);
+  EXPECT_FALSE(e.request(p.write_part).incomplete());
+  EXPECT_TRUE(e.is_satisfied(w));
+  e.complete(4, w);
+}
+
+TEST(ForcedRelease, EntitledIncrementalPartialGrantReleased) {
+  Engine e(2, validated());
+  const RequestId w = e.issue_read(1, ResourceSet(2, {1}));
+  // Incremental on initial {0} is satisfied; growing to {1} blocks behind
+  // the reader, so the request sits Entitled holding a partial grant on l0.
+  const RequestId inc = e.issue_incremental(2, ResourceSet(2),
+                                            ResourceSet(2, {0, 1}),
+                                            ResourceSet(2, {0}));
+  e.request_more(3, inc, ResourceSet(2, {1}));
+  ASSERT_EQ(e.state(inc), RequestState::Entitled);
+  ASSERT_TRUE(e.holds(inc).test(0));
+
+  const RequestId w0 = e.issue_write(3, ResourceSet(2, {0}));
+  ASSERT_FALSE(e.is_satisfied(w0));
+
+  e.force_release(4, inc);
+  check_recovered_state(e, inc);
+  // The partial grant on l0 is gone and its successor promoted.
+  EXPECT_TRUE(e.is_satisfied(w0));
+  e.complete(5, w0);
+  e.complete(6, w);
+}
+
+TEST(ForcedRelease, NotCountedAsConflictingCompletionByObserver) {
+  // The observer treats ForcedRelease like Cancel: excluded from the E8/E9
+  // per-kind attribution but still subject to every cross-invocation check.
+  Engine e(1, validated());
+  ProtocolObserver obs(e);
+  std::vector<RequestId> writers;
+  for (int i = 0; i < 4; ++i) {
+    writers.push_back(e.issue_write(i + 1, ResourceSet(1, {0})));
+    obs.after_invocation(InvocationKind::WriteIssue);
+  }
+  for (int i = 0; i < 4; ++i) {
+    e.force_release(10 + i, writers[i]);
+    obs.after_invocation(InvocationKind::ForcedRelease);
+    check_recovered_state(e, writers[i]);
+  }
+  EXPECT_EQ(e.incomplete_count(), 0u);
+}
+
+TEST(ForcedRelease, DeterministicAcrossRuns) {
+  auto run = [] {
+    Engine e(3, validated());
+    const RequestId w = e.issue_write(1, ResourceSet(3, {0, 1}));
+    e.issue_read(2, ResourceSet(3, {1, 2}));
+    e.issue_write(3, ResourceSet(3, {0}));
+    e.force_release(4, w);
+    return e.trace().size();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ForcedRelease, MixedHolderReleasesReadAndWriteSidesAtOnce) {
+  Engine e(2, validated());
+  const RequestId m = e.issue_mixed(1, ResourceSet(2, {0}),
+                                    ResourceSet(2, {1}));
+  ASSERT_TRUE(e.is_satisfied(m));
+  const RequestId r = e.issue_read(2, ResourceSet(2, {1}));
+  const RequestId w = e.issue_write(3, ResourceSet(2, {0}));
+  ASSERT_FALSE(e.is_satisfied(r));
+  ASSERT_FALSE(e.is_satisfied(w));
+
+  e.force_release(4, m);
+  check_recovered_state(e, m);
+  EXPECT_TRUE(e.is_satisfied(r));
+  EXPECT_TRUE(e.is_satisfied(w));
+  e.complete(5, r);
+  e.complete(6, w);
+}
+
+}  // namespace
+}  // namespace rwrnlp::rsm

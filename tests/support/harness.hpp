@@ -38,6 +38,15 @@ inline int fault_scale() {
   return (env != nullptr && env[0] != '\0' && env[0] != '0') ? 4 : 1;
 }
 
+/// Iteration multiplier for the crash-recovery fault-injection leg: set
+/// RWRNLP_CRASH_FAULTS=1 to scale the crash campaign's stress loops ~4x
+/// (mirrors fault_scale()/RWRNLP_CANCEL_FAULTS for the tsan-crash-faults
+/// CI leg).
+inline int crash_fault_scale() {
+  const char* env = std::getenv("RWRNLP_CRASH_FAULTS");
+  return (env != nullptr && env[0] != '\0' && env[0] != '0') ? 4 : 1;
+}
+
 /// The empty resource set over a q-resource universe.
 inline ResourceSet none(std::size_t q) { return ResourceSet(q); }
 
