@@ -9,6 +9,13 @@
 //   adaptive   AdaptiveRwRnlp: the same fast path over the spin-then-park
 //              wait policy (bounded pre-park spin, then the cv path) — the
 //              new matrix cell, benchmarked against its pure-spin sibling.
+//   writefast  AdaptiveRwRnlp with the optimistic mutex-free writer
+//              admission path enabled: an uncontended writer validates the
+//              engine epoch and its guard domain's summary words lock-free,
+//              claims the mutex with try_lock, and issues through the
+//              authoritative closure-idle check (DESIGN.md §14).  Built on
+//              the spin-then-park policy so fast-path *misses* park instead
+//              of convoying — the ablation partner is `adaptive`.
 //   combined   SpinRwRnlp routing invocations through the flat-combining
 //              broker: contending threads publish to per-thread slots and
 //              the mutex winner applies the whole batch in one critical
@@ -27,10 +34,14 @@
 //              every component are published to one board and the global
 //              mutex winner applies each component's sub-batch in a single
 //              combiner tour.
+//   sharded-writefast  the adaptive-sharded cell with the optimistic
+//              writer admission enabled on every shard (shard-local fast
+//              writes over the spin-then-park policy).
 //
 // Workloads (requests confined to per-thread home components so every
-// configuration can run them): read-only (uncontended), write-heavy, and
-// 90/10 mixed, each at 1/2/4/8 threads.  Measurement fidelity: every bench
+// configuration can run them): read-only (uncontended), write-heavy, 90/10
+// mixed, and write-only (disjoint single-resource writers — the writer
+// mirror of read-only), each at 1/2/4/8 threads.  Measurement fidelity: every bench
 // thread is pinned to a core (bench/common.hpp), each thread runs a warm-up
 // stream before the timed section, and every (lock, workload, threads) cell
 // is the median-throughput trial of three runs on a fresh lock.  Reported
@@ -97,13 +108,14 @@ constexpr std::size_t kQ = 32;
 constexpr std::size_t kComponents = 4;
 constexpr std::size_t kCompSize = kQ / kComponents;
 
-enum class Workload { ReadOnly, WriteHeavy, Mixed };
+enum class Workload { ReadOnly, WriteHeavy, Mixed, WriteOnly };
 
 const char* to_string(Workload w) {
   switch (w) {
     case Workload::ReadOnly: return "read-only";
     case Workload::WriteHeavy: return "write-heavy";
     case Workload::Mixed: return "mixed-90-10";
+    case Workload::WriteOnly: return "write-only";
   }
   return "?";
 }
@@ -124,6 +136,20 @@ std::vector<Op> make_ops(std::size_t thread_id, Workload w, std::size_t n,
   const ResourceId base = static_cast<ResourceId>(comp * kCompSize);
   std::vector<Op> ops;
   ops.reserve(n);
+  if (w == Workload::WriteOnly) {
+    // Disjoint single-resource writes: each thread owns one resource of its
+    // home component, so writers never conflict.  This is the writer mirror
+    // of the read-only workload — the best case for the optimistic
+    // admission path (the guard domain's summary words are always zero).
+    const ResourceId l =
+        base + static_cast<ResourceId>((thread_id / kComponents) % kCompSize);
+    for (std::size_t i = 0; i < n; ++i) {
+      Op op{ResourceSet(kQ), ResourceSet(kQ)};
+      op.writes = ResourceSet(kQ, {l});
+      ops.push_back(std::move(op));
+    }
+    return ops;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const ResourceId a = base + static_cast<ResourceId>(rng.next_below(kCompSize));
     ResourceId b = base + static_cast<ResourceId>(rng.next_below(kCompSize));
@@ -248,6 +274,12 @@ std::unique_ptr<MultiResourceLock> make_adaptive() {
   return std::make_unique<locks::AdaptiveRwRnlp>(kQ);
 }
 
+std::unique_ptr<MultiResourceLock> make_writefast() {
+  auto lock = std::make_unique<locks::AdaptiveRwRnlp>(kQ);
+  lock->set_write_fast_path(true);
+  return lock;
+}
+
 std::unique_ptr<MultiResourceLock> make_combined() {
   return std::make_unique<SpinRwRnlp>(kQ, rsm::WriteExpansion::ExpandDomain,
                                       /*reads_as_writes=*/false,
@@ -290,6 +322,15 @@ std::unique_ptr<MultiResourceLock> make_sharded_readfast() {
   return lock;
 }
 
+std::unique_ptr<MultiResourceLock> make_sharded_writefast() {
+  using AdaptiveSharded =
+      locks::FrontEnd<locks::AdaptiveWaitPolicy, locks::path::Fast,
+                      locks::topo::Sharded>;
+  auto lock = std::make_unique<AdaptiveSharded>(kQ, make_components());
+  lock->set_write_fast_path(true);
+  return lock;
+}
+
 /// Median-of-`trials` by throughput, each trial on a freshly built lock so
 /// no trial inherits another's cache/queue state.  The p50/p99 reported are
 /// the median trial's, keeping the row internally consistent.
@@ -322,16 +363,18 @@ int main(int argc, char** argv) {
       argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 3;
   const std::size_t kThreadCounts[] = {1, 2, 4, 8};
   const Workload kWorkloads[] = {Workload::ReadOnly, Workload::WriteHeavy,
-                                 Workload::Mixed};
+                                 Workload::Mixed, Workload::WriteOnly};
   const LockConfig kConfigs[] = {
       {"baseline", make_baseline},
       {"fastpath", make_fastpath},
       {"adaptive", make_adaptive},
+      {"writefast", make_writefast},
       {"combined", make_combined},
       {"readfast", make_readfast},
       {"sharded", make_sharded},
       {"sharded-combined", make_sharded_combined},
       {"sharded-readfast", make_sharded_readfast},
+      {"sharded-writefast", make_sharded_writefast},
   };
 
   std::ostringstream rows;
@@ -363,8 +406,7 @@ int main(int argc, char** argv) {
   };
 
   for (const LockConfig& cfg : kConfigs) {
-    for (std::size_t wi = 0; wi < 3; ++wi) {
-      const Workload w = kWorkloads[wi];
+    for (const Workload w : kWorkloads) {
       for (std::size_t threads : kThreadCounts) {
         const RunResult r = run_trials(cfg, w, threads, kOps, kTrials);
         std::printf("  %-17s %-12s %8zu %12.1f %12.1f %14.0f\n",
@@ -403,6 +445,36 @@ int main(int argc, char** argv) {
                              : 0;
     std::printf("  %-12s readfast/combined %.2fx   sharded-readfast/sharded-combined %.2fx\n",
                 to_string(w), spin_ratio, sharded_ratio);
+  }
+  header("optimistic writer admission at 8 threads (ops/s ratio)");
+  for (const Workload w : {Workload::WriteHeavy, Workload::WriteOnly}) {
+    const double adaptive = ops_at("adaptive", w, 8);
+    const double sharded = ops_at("sharded", w, 8);
+    const double flat_ratio =
+        adaptive > 0 ? ops_at("writefast", w, 8) / adaptive : 0;
+    const double sharded_ratio =
+        sharded > 0 ? ops_at("sharded-writefast", w, 8) / sharded : 0;
+    std::printf("  %-12s writefast/adaptive %.2fx   sharded-writefast/sharded %.2fx\n",
+                to_string(w), flat_ratio, sharded_ratio);
+  }
+  {
+    // Sanity check: disjoint single-resource writers must actually ride the
+    // optimistic path (idle summary words, mutex won by try_lock), and every
+    // writer acquisition must land in exactly one of hits/misses.
+    auto lock = make_writefast();
+    const std::size_t n = 2000;
+    const RunResult r =
+        run_workload(*lock, Workload::WriteOnly, /*threads=*/8, n);
+    (void)r;
+    const auto hr =
+        static_cast<locks::AdaptiveRwRnlp*>(lock.get())->health_report();
+    check(hr.write_fast_hits > 0,
+          "optimistic writer admission carried traffic on write-only");
+    check(hr.write_fast_hits + hr.write_fast_misses >= 8 * n,
+          "every timed writer acquisition attributed to hits or misses");
+    std::printf("  writefast stats: %llu fast hits, %llu misses\n",
+                static_cast<unsigned long long>(hr.write_fast_hits),
+                static_cast<unsigned long long>(hr.write_fast_misses));
   }
   {
     // Sanity check (not a hard perf gate — absolute ratios are

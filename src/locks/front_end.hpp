@@ -263,10 +263,34 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
     return reads_as_writes_ ? !(reads | writes).empty() : !writes.empty();
   }
 
-  /// Bumps the writer-sweep counter (the sharded cross path runs the sweep
-  /// itself but the per-shard counters live here).
+  /// Bumps the per-writer guard-entry counter (one per writer acquisition
+  /// over a guard domain; the sharded cross path arrives itself but the
+  /// per-shard counters live here).
   void count_indicator_sweep() {
     counters_.indicator_sweeps.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Accounts one writer sweep *pass* that examined `words` root surplus
+  /// words.  Distinct from indicator_sweeps: the amortized cross-shard
+  /// combiner runs one pass per batch, so writer_sweeps can fall below the
+  /// writer acquisition count while every writer still gets quiesced.
+  void count_sweep(std::size_t words) {
+    write_counters_.writer_sweeps.fetch_add(1, std::memory_order_relaxed);
+    write_counters_.sweep_words_read.fetch_add(
+        static_cast<std::uint64_t>(words), std::memory_order_relaxed);
+  }
+
+  /// Amortized cross-shard quiescing: one sweep over the union of a
+  /// combined batch's writer guard domains, run by the global combiner
+  /// before it takes this shard's mutex (a log-mode fast reader needs that
+  /// mutex to record its grant, so sweeping under it would deadlock).
+  /// Every batched writer arrived before publishing its slot, so the
+  /// single union sweep quiesces in-flight fast readers for all of them —
+  /// and for every later invocation in the (ticket-ordered) batch, which
+  /// is strictly earlier than the per-writer sweep it replaces.
+  void sweep_batch(const ResourceSet& domain_union) {
+    if (indicator_ == nullptr || domain_union.empty()) return;
+    count_sweep(indicator_->writer_sweep(domain_union));
   }
 
   /// Enables/disables the uncontended-read fast path *and* the indicator
@@ -275,6 +299,15 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
     read_fast_path_ = enabled;
     indicator_fast_path_ = enabled;
   }
+
+  /// Enables/disables the optimistic mutex-free writer admission path
+  /// (DESIGN.md §14): validate the guard domain idle from the engine's
+  /// published summary words, claim admission with a mutex try_lock,
+  /// re-validate the epoch, then run the authoritative one-step issue.
+  /// Off by default; independent of set_read_fast_path so existing cell
+  /// configurations keep their historical invocation traces.
+  void set_write_fast_path(bool enabled) { write_fast_path_ = enabled; }
+  bool write_fast_path_enabled() const { return write_fast_path_; }
 
   /// Installs watchdog/shedding knobs.  Configure before traffic starts.
   void set_robustness_options(const RobustnessOptions& opt) {
@@ -346,12 +379,21 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
         const ResourceSet guard = guard_domain(reads, writes);
         writer_guard_enter(guard);
         try {
+          if (write_fast_path_) {
+            LockToken tok;
+            if (try_write_fast_acquire(reads, writes, &tok)) return tok;
+          }
           return acquire_slow(reads, writes);
         } catch (...) {
           indicator_->writer_depart(guard);
           throw;
         }
       }
+    }
+    if (write_fast_path_ && indicator_ == nullptr &&
+        classifies_as_writer(reads, writes)) {
+      LockToken tok;
+      if (try_write_fast_acquire(reads, writes, &tok)) return tok;
     }
     return acquire_slow(reads, writes);
   }
@@ -467,6 +509,14 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
         counters_.indicator_retractions.load(std::memory_order_relaxed);
     hr.indicator_sweeps =
         counters_.indicator_sweeps.load(std::memory_order_relaxed);
+    hr.writer_sweeps =
+        write_counters_.writer_sweeps.load(std::memory_order_relaxed);
+    hr.sweep_words_read =
+        write_counters_.sweep_words_read.load(std::memory_order_relaxed);
+    hr.write_fast_hits =
+        write_counters_.write_fast_hits.load(std::memory_order_relaxed);
+    hr.write_fast_misses =
+        write_counters_.write_fast_misses.load(std::memory_order_relaxed);
     hr.forced_releases = forced_releases_.load(std::memory_order_relaxed);
     hr.fenced_zombies = fenced_zombies_.load(std::memory_order_relaxed);
     const auto now = std::chrono::steady_clock::now();
@@ -1230,8 +1280,8 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
   /// or broker slot); the matching writer_depart runs at completion.
   void writer_guard_enter(const ResourceSet& guard) {
     indicator_->writer_arrive(guard);
-    indicator_->writer_sweep(guard);
-    counters_.indicator_sweeps.fetch_add(1, std::memory_order_relaxed);
+    count_indicator_sweep();
+    count_sweep(indicator_->writer_sweep(guard));
   }
 
   /// Completes a grant-target wait of a live incremental request if its
@@ -1436,6 +1486,99 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
     broadcast(wake);
     *satisfied_out = satisfied;
     return id;
+  }
+
+  /// Optimistic mutex-free writer admission (DESIGN.md §14).  Three stages,
+  /// each with its own yield point so the explorer can interleave a reader
+  /// publish or an engine invocation at every step:
+  ///
+  ///   1. validate  - snapshot the engine epoch, then read the per-resource
+  ///                  summary words of the guard domain lock-free; any
+  ///                  occupancy => miss.
+  ///   2. claim     - mutex_.try_lock(): the CAS-claim.  A held mutex means
+  ///                  contention, so the batching/queueing paths pay off —
+  ///                  miss, never spin.
+  ///   3. re-check  - epoch unchanged since the snapshot means no invocation
+  ///                  ran; the authoritative engine-side precondition scan
+  ///                  inside try_issue_write_fast re-verifies regardless
+  ///                  (the summary words are a hint only — a stale read can
+  ///                  cost a fallback, never correctness).
+  ///
+  /// On a hit the request is entitled and satisfied at issuance (Def. 4
+  /// with an empty blocking set; Rule-W equivalent — see engine.cpp), the
+  /// IssueWriteFast record replays byte-equal through the oracle, and the
+  /// token is indistinguishable from a classic grant.  On a miss nothing
+  /// observable happened and the caller falls back to the classic path.
+  /// Caller holds the writer indicator guard when an indicator is enabled.
+  bool try_write_fast_acquire(const ResourceSet& reads,
+                              const ResourceSet& writes, LockToken* out) {
+    sched_yield_point(YieldPoint::WriteFastValidate);
+    const std::uint64_t epoch = engine_.epoch();
+    const ResourceSet domain = guard_domain(reads, writes);
+    bool idle = true;
+    domain.for_each([&](ResourceId l) {
+      if (engine_.resource_summary(l) != 0) idle = false;
+    });
+    if (!idle) {
+      write_counters_.write_fast_misses.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      return false;
+    }
+    sched_yield_point(YieldPoint::WriteFastClaim);
+    if (!mutex_.try_lock()) {
+      write_counters_.write_fast_misses.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      return false;
+    }
+    if constexpr (Wait::kCombinerYield)
+      sched_yield_point(YieldPoint::WriteFastRecheck);
+    if (engine_.epoch() != epoch) {
+      const bool wake = consume_wake_locked();
+      mutex_.unlock();
+      broadcast(wake);
+      write_counters_.write_fast_misses.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      return false;
+    }
+    // From here on this is the classic fast issue under the mutex — same
+    // shed gate, same log record shape as issue_request.
+    if (robust_.max_incomplete != 0 &&
+        engine_.incomplete_count() >= robust_.max_incomplete) {
+      mutex_.unlock();
+      counters_.shed.fetch_add(1, std::memory_order_relaxed);
+      throw OverloadShed(shed_message());
+    }
+    const double t = static_cast<double>(++logical_time_);
+    const bool as_write = reads_as_writes_;
+    const rsm::RequestId id =
+        as_write ? engine_.try_issue_write_fast(t, ResourceSet(q_),
+                                                reads | writes)
+                 : engine_.try_issue_write_fast(t, reads, writes);
+    if (id == rsm::kNoRequest) {
+      // The epoch matched but the summary snapshot predates it (the reads
+      // are not atomic with the snapshot); the authoritative scan is final.
+      const bool wake = consume_wake_locked();
+      mutex_.unlock();
+      broadcast(wake);
+      write_counters_.write_fast_misses.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      return false;
+    }
+    if (invocation_log_ != nullptr) {
+      invocation_log_->push_back(InvocationRecord{
+          InvocationKind::IssueWriteFast, static_cast<rsm::Time>(logical_time_),
+          id, true, true, as_write ? ResourceSet(q_) : reads,
+          as_write ? (reads | writes) : writes});
+    }
+    pending_satisfied_.fetch_sub(1, std::memory_order_relaxed);
+    const std::uint32_t gen = fence_gen_locked(id);
+    const bool wake = consume_wake_locked();
+    mutex_.unlock();
+    broadcast(wake);
+    counters_.acquired.fetch_add(1, std::memory_order_relaxed);
+    write_counters_.write_fast_hits.fetch_add(1, std::memory_order_relaxed);
+    *out = LockToken{pack_token_id(id, gen), nullptr};
+    return true;
   }
 
   LockToken acquire_slow(const ResourceSet& reads, const ResourceSet& writes) {
@@ -1839,6 +1982,10 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
   // indicator reads; set_read_fast_path() toggles both, preserving the
   // historical spin behaviour.
   bool indicator_fast_path_ = true;
+  // Gates the optimistic mutex-free writer admission (try_write_fast_acquire;
+  // DESIGN.md §14).  Off by default so historical cell configurations keep
+  // their golden invocation traces.
+  bool write_fast_path_ = false;
   mutable Mutex mutex_;  // serializes engine invocations (Rule G4)
   std::condition_variable cv_;  // cv cells only; idle member on spin cells
   rsm::Engine engine_;
@@ -1893,6 +2040,17 @@ class FrontEnd<Wait, Path, topo::Flat> final : public MultiResourceLock {
   static_assert(sizeof(Counters) == 64 && alignof(Counters) == 64,
                 "hot counters must fill exactly one cache line");
   Counters counters_;
+  // Writer-side scaling counters on their own line (Counters is byte-full,
+  // see the static_assert above).
+  struct alignas(64) WriteCounters {
+    std::atomic<std::uint64_t> writer_sweeps{0};
+    std::atomic<std::uint64_t> sweep_words_read{0};
+    std::atomic<std::uint64_t> write_fast_hits{0};
+    std::atomic<std::uint64_t> write_fast_misses{0};
+  };
+  static_assert(sizeof(WriteCounters) == 64 && alignof(WriteCounters) == 64,
+                "writer counters must fill exactly one cache line");
+  WriteCounters write_counters_;
 };
 
 // ---------------------------------------------------------------------------
@@ -2212,6 +2370,14 @@ class FrontEnd<Wait, Path, topo::Sharded> final : public MultiResourceLock {
     for (auto& s : shards_) s->set_read_fast_path(enabled);
   }
 
+  /// Propagates the optimistic writer-admission toggle to every shard.
+  /// Effective on the shard-local path; cross-shard-combined writers skip
+  /// the optimistic attempt (publishing to the global board is the
+  /// contended regime the fallback exists for).
+  void set_write_fast_path(bool enabled) {
+    for (auto& s : shards_) s->set_write_fast_path(enabled);
+  }
+
  private:
   Shard& route(const ResourceSet& reads, const ResourceSet& writes,
                std::size_t* component_out) {
@@ -2232,18 +2398,22 @@ class FrontEnd<Wait, Path, topo::Sharded> final : public MultiResourceLock {
   LockToken acquire_cross(Shard& shard, std::size_t c, const ResourceSet& reads,
                           const ResourceSet& writes,
                           typename Broker::Slot* slot) {
-    // Writer-side indicator revocation, strictly before the slot becomes
-    // visible: once published, a combiner may apply the invocation at any
-    // moment, and the sweep must have quiesced in-flight fast readers
-    // before the engine sees the write (same discipline as the flat cell's
-    // acquire).
+    // Writer-present is raised strictly before the slot becomes visible:
+    // once published, a combiner may apply the invocation at any moment,
+    // and fast readers must already be declining the guard domain by then.
+    // The *sweep* is amortized: the combiner quiesces the union of its
+    // batch's writer guard domains in one pass (see submit_cross) instead
+    // of one sweep per writer here.  Ordering is preserved — the arrive
+    // below precedes the publish, the publish precedes the combiner's
+    // collection, and the union sweep precedes every engine application in
+    // the batch, so each writer's readers are quiesced strictly before its
+    // invocation applies (earlier, in fact, than the per-writer sweep was).
     ResourceSet guard;
     bool guarded = false;
     if (shard.reader_indicator_enabled() &&
         shard.classifies_as_writer(reads, writes)) {
       guard = shard.guard_domain(reads, writes);
       shard.indicator()->writer_arrive(guard);
-      shard.indicator()->writer_sweep(guard);
       shard.count_indicator_sweep();
       guarded = true;
     }
@@ -2301,7 +2471,28 @@ class FrontEnd<Wait, Path, topo::Sharded> final : public MultiResourceLock {
                 run[cnt++] = slots[j];
               }
             }
-            shards_[tag]->apply_published_slots(run, cnt);
+            // Amortized writer sweep: quiesce the union of this sub-batch's
+            // writer guard domains in ONE indicator pass, before taking the
+            // shard mutex (apply_published_slots takes it, and a log-mode
+            // fast reader needs that mutex to exit — sweeping under it
+            // would deadlock).  Each batched writer arrived before
+            // publishing its slot, so readers have been declining the
+            // union since before collection; the single sweep therefore
+            // quiesces every writer's domain strictly before any engine
+            // application in the run.
+            Shard& target = *shards_[tag];
+            if (target.reader_indicator_enabled()) {
+              ResourceSet domain_union(q_);
+              for (std::size_t k = 0; k < cnt; ++k) {
+                const rsm::Invocation& inv = run[k]->inv;
+                if (inv.kind == rsm::Invocation::Kind::Complete) continue;
+                if (!target.classifies_as_writer(inv.reads, inv.writes))
+                  continue;
+                domain_union |= target.guard_domain(inv.reads, inv.writes);
+              }
+              target.sweep_batch(domain_union);
+            }
+            target.apply_published_slots(run, cnt);
           }
         });
   }

@@ -123,6 +123,17 @@ struct HealthReport {
   std::uint64_t indicator_fast_hits = 0;
   std::uint64_t indicator_retractions = 0;
   std::uint64_t indicator_sweeps = 0;
+  // Writer-side scaling observability (all zero when neither the indicator
+  // nor the write fast path is on): writer sweeps actually executed (the
+  // amortized cross-shard path runs fewer sweeps than indicator_sweeps
+  // counts acquisitions), root surplus words examined across those sweeps
+  // (O(|domain|) per sweep with the SNZI trees — the regression gauge for
+  // the per-stripe scan this replaced), and optimistic mutex-free writer
+  // admissions that validated/claimed successfully vs fell back.
+  std::uint64_t writer_sweeps = 0;
+  std::uint64_t sweep_words_read = 0;
+  std::uint64_t write_fast_hits = 0;
+  std::uint64_t write_fast_misses = 0;
   // Crash-recovery observability (all zero under RecoveryPolicy::DetectOnly
   // with no manual revocations): holders revoked via Engine::force_release,
   // late calls from revoked holders that were fenced off instead of
@@ -151,6 +162,10 @@ struct HealthReport {
     indicator_fast_hits += o.indicator_fast_hits;
     indicator_retractions += o.indicator_retractions;
     indicator_sweeps += o.indicator_sweeps;
+    writer_sweeps += o.writer_sweeps;
+    sweep_words_read += o.sweep_words_read;
+    write_fast_hits += o.write_fast_hits;
+    write_fast_misses += o.write_fast_misses;
     forced_releases += o.forced_releases;
     fenced_zombies += o.fenced_zombies;
     quarantined += o.quarantined;

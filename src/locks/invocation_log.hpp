@@ -26,6 +26,9 @@ enum class InvocationKind : std::uint8_t {
                        ///< engine call is try_issue_read_fast, reached
                        ///< without broker slot or mutex contention)
   IssueWrite,     ///< Engine::issue_write
+  IssueWriteFast,  ///< Engine::try_issue_write_fast, and it accepted (the
+                   ///< optimistic mutex-free writer admission validated an
+                   ///< empty guard domain; Rule-W equivalent, DESIGN.md §14)
   IssueMixed,     ///< Engine::issue_mixed
   Complete,       ///< Engine::complete
   Cancel,         ///< Engine::cancel (timed acquisition gave up)
@@ -39,6 +42,7 @@ inline const char* to_string(InvocationKind k) {
     case InvocationKind::IssueReadFast: return "issue-read-fast";
     case InvocationKind::IssueReadIndicator: return "issue-read-indicator";
     case InvocationKind::IssueWrite: return "issue-write";
+    case InvocationKind::IssueWriteFast: return "issue-write-fast";
     case InvocationKind::IssueMixed: return "issue-mixed";
     case InvocationKind::Complete: return "complete";
     case InvocationKind::Cancel: return "cancel";

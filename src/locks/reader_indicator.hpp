@@ -9,33 +9,68 @@
 // style distributed indicator (Dice & Kogan, USENIX ATC 2019; Ellen et al.,
 // PPoPP 2007; LEFT-RS in PAPERS.md is the multi-resource design reference):
 //
-//  * readers publish presence into a cache-line-striped per-resource counter
-//    cell (one stripe per thread group, so concurrent readers touch
-//    *different* lines), re-check a per-resource writer-present counter, and
-//    — when no writer is active on any requested resource — are granted
+//  * readers publish presence into a per-resource *SNZI tree*: a cache-line-
+//    striped leaf counter (one stripe per thread group, so concurrent
+//    readers touch *different* lines) whose zero/nonzero transitions are
+//    propagated into a single per-resource *root surplus word*.  After
+//    publishing, the reader re-checks a per-resource writer-present counter
+//    and — when no writer is active on any requested resource — is granted
 //    without touching the engine mutex or a broker slot;
-//  * a reader that loses the publish/re-check race *retracts* its stripe
-//    increments and falls back to the classic slow path, leaving no trace —
-//    which is what makes the fast grant provably equivalent to Rule R1
-//    (DESIGN.md §11);
+//  * a reader that loses the publish/re-check race *retracts* its leaf
+//    increments (and the root contributions they carried) and falls back to
+//    the classic slow path, leaving no trace — which is what makes the fast
+//    grant provably equivalent to Rule R1 (DESIGN.md §11);
 //  * writers raise writer-present over their *guard domain* — the read-set
 //    closure of their needed set, which equals the engine footprint their
-//    write queues will occupy in both expansion modes — then sweep the
-//    stripes until every in-flight fast reader has drained, and only then
-//    enter admission (mutex or broker).  Revocation is thus writer-side
-//    work, off the reader hot path entirely.
+//    write queues will occupy in both expansion modes — then wait for the
+//    ONE root word of each domain resource to drain to zero, and only then
+//    enter admission (mutex or broker).  The sweep is O(|domain|) words
+//    instead of the flat indicator's O(kStripes x |domain|); revocation
+//    stays writer-side work, off the reader hot path entirely.
 //
-// Memory-ordering argument (the store-buffering / Dekker core):
-// publish is `fetch_add(cell, seq_cst)` followed by a seq_cst load of
-// writer-present; arrival is `fetch_add(writer_present, seq_cst)` followed
-// by seq_cst sweep loads of the cells.  In the single total order S that
-// seq_cst guarantees, one side's increment precedes the other side's load,
-// so either the reader observes the writer (and retracts) or the writer's
-// sweep observes the reader (and waits for it to exit).  Corollary: once a
-// writer's sweep has observed a cell at zero, any *later* increment of that
-// cell is by a reader whose own re-check is ordered after the writer's
-// arrival in S — that reader retracts, never holds — so the sweep may wait
-// out each cell one at a time without revisiting earlier cells.
+// SNZI arrive/depart (the half-token protocol of Ellen et al.): a leaf
+// holds 0 (empty), kLeafHalf (a reader is mid-arrive: it owns the leaf's
+// root contribution but has not finished installing it), or v >= 2 meaning
+// v-1 readers present.  Arrive loops:
+//
+//   v == 0        : CAS(0 -> kLeafHalf); on success fetch_add the root
+//                   (seq_cst), then store v = 2.  The root contribution is
+//                   installed BEFORE the arrive completes.
+//   v == kLeafHalf: another reader on this stripe is between its root
+//                   increment and its leaf store; spin (the window is two
+//                   instructions and holds no lock).
+//   v >= 2        : CAS(v -> v+1).  The leaf was nonzero, so its root
+//                   contribution was installed by an earlier arriver and
+//                   cannot be withdrawn while the leaf stays >= 2.
+//
+// Depart CASes v -> v-1 (or 2 -> 0) and, on the 2 -> 0 transition only,
+// fetch_subs the root.  The root therefore counts exactly the leaves whose
+// contribution is installed; it can transiently OVER-count (a departer
+// between its leaf CAS and its root decrement, overlapping a fresh
+// arriver's increment) but never under-counts a completed arrive.  An
+// over-count only makes a sweeping writer wait longer — never miss a
+// reader.
+//
+// Memory-ordering argument (the store-buffering / Dekker core, lifted from
+// leaves to roots): a completing arrive guarantees a root fetch_add
+// (seq_cst) ordered before the reader's seq_cst load of writer-present —
+// either its own (the kLeafHalf setter) or, for a piggy-backed CAS(v->v+1),
+// the setter's: in the seq_cst total order S the setter's root increment
+// precedes its leaf store of 2, which precedes the piggy-backer's leaf load
+// of a value >= 2, which precedes the piggy-backer's writer-present load.
+// Writer arrival is `fetch_add(writer_present, seq_cst)` followed by a
+// seq_cst load of each domain root.  So in S, one side's increment precedes
+// the other side's load: either the reader observes the writer (and
+// retracts, removing its root contribution) or the writer's sweep observes
+// the reader's root surplus (and waits for it to drain).  Corollary: once a
+// writer's sweep has observed a root at zero, any *later* increment of that
+// root is on behalf of a reader whose own re-check is ordered after the
+// writer's arrival in S — that reader retracts, never holds — so the sweep
+// may wait out each root once, in order, without revisiting earlier ones.
+// The reader-exit edge: the last departer's root fetch_sub(release) is
+// ordered after its critical section, and intermediate departers chain into
+// it through acq_rel leaf CASes, so a sweep that loads the root at zero
+// happens-after every departed reader's critical section.
 //
 // Grant bookkeeping lives in per-thread claimed GrantSlots (same claim
 // discipline as the combining broker's announcement slots, with a separate
@@ -85,14 +120,18 @@ inline std::uint32_t tl_stripe_seed() {
 
 class ReaderIndicator {
  public:
-  /// Stripes per resource.  Each stripe cell owns a cache line, so up to
-  /// kStripes concurrent readers of one resource publish without a single
-  /// contended line; more threads share stripes (still correct, just
+  /// Leaf stripes per resource.  Each stripe cell owns a cache line, so up
+  /// to kStripes concurrent readers of one resource publish without a
+  /// single contended line; more threads share stripes (still correct, just
   /// occasionally sharing a line).
   static constexpr std::uint32_t kStripes = 8;
   /// Grant slots (= max concurrently *held* fast grants; excess readers
   /// fall back to the slow path, which is always legal).
   static constexpr std::uint32_t kSlots = 64;
+  /// Leaf mid-arrive sentinel (the SNZI half token): the arriver that CASed
+  /// the leaf from 0 owns installing the root contribution; leaf values
+  /// >= 2 encode (value - 1) present readers.
+  static constexpr std::uint64_t kLeafHalf = 1;
 
   /// One held fast grant.  stripe and reads are written by the owning
   /// thread before `ready` is published (claimed is the cross-thread claim
@@ -127,17 +166,18 @@ class ReaderIndicator {
       : q_(q),
         uid_(detail::next_broker_uid()),
         cells_(q * kStripes),
+        roots_(q),
         writers_(q) {}
 
   ReaderIndicator(const ReaderIndicator&) = delete;
   ReaderIndicator& operator=(const ReaderIndicator&) = delete;
 
-  /// Reader fast path: publish into this thread's stripe on every resource
-  /// in `reads`, re-check writer-present, and return the grant slot on
-  /// success.  Returns nullptr when the fast path must not be taken (no
-  /// slot, slot busy, writer visible); `*retracted` is set only when the
-  /// publish actually had to be rolled back (a writer arrived inside the
-  /// publish/re-check window) — the caller counts those separately from
+  /// Reader fast path: publish into this thread's stripe of every requested
+  /// resource's SNZI tree, re-check writer-present, and return the grant
+  /// slot on success.  Returns nullptr when the fast path must not be taken
+  /// (no slot, slot busy, writer visible); `*retracted` is set only when
+  /// the publish actually had to be rolled back (a writer arrived inside
+  /// the publish/re-check window) — the caller counts those separately from
   /// plain declines.
   GrantSlot* try_enter(const ResourceSet& reads, bool* retracted) {
     *retracted = false;
@@ -148,14 +188,10 @@ class ReaderIndicator {
     // nothing and keeps retraction (the expensive, counted case) rare.
     if (writer_visible(reads, std::memory_order_relaxed)) return nullptr;
     const std::uint32_t stripe = g->stripe;
-    reads.for_each([&](ResourceId l) {
-      cell(l, stripe).fetch_add(1, std::memory_order_seq_cst);
-    });
+    reads.for_each([&](ResourceId l) { snzi_arrive(l, stripe); });
     sched_yield_point(YieldPoint::IndicatorPublish);
     if (writer_visible(reads, std::memory_order_seq_cst)) {
-      reads.for_each([&](ResourceId l) {
-        cell(l, stripe).fetch_sub(1, std::memory_order_seq_cst);
-      });
+      reads.for_each([&](ResourceId l) { snzi_depart(l, stripe); });
       *retracted = true;
       return nullptr;
     }
@@ -165,16 +201,17 @@ class ReaderIndicator {
     return g;
   }
 
-  /// Reader exit: withdraw the published presence.  Release ordering makes
-  /// the critical section happen-before any writer sweep that observes the
-  /// cell at zero.  Implemented as a fence-aware exit against the slot's
-  /// current generation, which makes it idempotent against a concurrent
+  /// Reader exit: withdraw the published presence.  The last departer's
+  /// root decrement carries release ordering, so the critical section
+  /// happens-before any writer sweep that observes the root at zero.
+  /// Implemented as a fence-aware exit against the slot's current
+  /// generation, which makes it idempotent against a concurrent
   /// crash-recovery revocation: whichever side wins retracts exactly once.
   void exit(GrantSlot* g) {
     try_exit(g, g->gen.load(std::memory_order_acquire));
   }
 
-  /// Fence-aware exit: retracts the published stripes iff the slot
+  /// Fence-aware exit: retracts the published presence iff the slot
   /// generation still matches the generation the caller's token was granted
   /// under, bumping it so nobody else can.  Returns false — and touches
   /// nothing — for a revoked holder's late exit (the zombie case).
@@ -184,9 +221,7 @@ class ReaderIndicator {
                                         std::memory_order_acq_rel))
       return false;
     const std::uint32_t stripe = g->stripe;
-    g->reads.for_each([&](ResourceId l) {
-      cell(l, stripe).fetch_sub(1, std::memory_order_release);
-    });
+    g->reads.for_each([&](ResourceId l) { snzi_depart(l, stripe); });
     g->ready.store(false, std::memory_order_relaxed);
     g->engine_id.store(rsm::kNoRequest, std::memory_order_relaxed);
     g->in_use.store(false, std::memory_order_release);
@@ -195,8 +230,9 @@ class ReaderIndicator {
 
   /// Crash-recovery revocation of a held grant: the same generation CAS as
   /// try_exit, named separately for intent at call sites.  On success the
-  /// stripes are retracted and the slot is returned to its owner's free
-  /// state; the dead holder's late exit then loses the CAS and is fenced.
+  /// published presence is retracted and the slot is returned to its
+  /// owner's free state; the dead holder's late exit then loses the CAS and
+  /// is fenced.
   bool try_revoke(GrantSlot* g, std::uint32_t expected_gen) {
     return try_exit(g, expected_gen);
   }
@@ -223,22 +259,26 @@ class ReaderIndicator {
     });
   }
 
-  /// Waits until every in-flight fast reader on `domain` has drained.  Per
-  /// the corollary above, each cell is waited out once, in order.
-  void writer_sweep(const ResourceSet& domain) {
+  /// Waits until every in-flight fast reader on `domain` has drained, by
+  /// watching the ONE root surplus word per domain resource.  Per the
+  /// corollary above, each root is waited out once, in order.  Returns the
+  /// number of indicator words examined — O(|domain|), the sweep-cost
+  /// evidence surfaced through HealthReport::sweep_words_read.
+  std::size_t writer_sweep(const ResourceSet& domain) {
+    std::size_t words = 0;
     domain.for_each([&](ResourceId l) {
-      for (std::uint32_t s = 0; s < kStripes; ++s) {
-        std::atomic<std::uint64_t>& c = cell(l, s);
-        if (c.load(std::memory_order_seq_cst) == 0) continue;
-        if (sched_wait(YieldPoint::IndicatorSweep, [&c] {
-              return c.load(std::memory_order_acquire) == 0;
-            })) {
-          continue;
-        }
-        SpinBackoff backoff;
-        while (c.load(std::memory_order_seq_cst) != 0) backoff.pause();
+      ++words;
+      std::atomic<std::uint64_t>& r = roots_[l].count;
+      if (r.load(std::memory_order_seq_cst) == 0) return;
+      if (sched_wait(YieldPoint::IndicatorSweep, [&r] {
+            return r.load(std::memory_order_acquire) == 0;
+          })) {
+        return;
       }
+      SpinBackoff backoff;
+      while (r.load(std::memory_order_seq_cst) != 0) backoff.pause();
     });
+    return words;
   }
 
   /// Lowered at the writer's COMPLETION (not at issuance: the engine grant
@@ -260,12 +300,32 @@ class ReaderIndicator {
     return seen;
   }
 
-  /// Census for tests: total published presence across all cells (zero when
-  /// no fast grant is held and no publish is in flight).
+  /// Census for tests: total published presence across all leaf cells
+  /// (zero when no fast grant is held and no publish is in flight).  A
+  /// kLeafHalf leaf counts as one in-flight arrive.
   std::uint64_t published_total() const {
     std::uint64_t n = 0;
-    for (const Cell& c : cells_) n += c.count.load(std::memory_order_acquire);
+    for (const Cell& c : cells_) {
+      const std::uint64_t v = c.count.load(std::memory_order_acquire);
+      if (v == 0) continue;
+      n += (v == kLeafHalf) ? 1 : v - 1;
+    }
     return n;
+  }
+
+  /// Census for tests: sum of the per-resource root surplus words.  Zero
+  /// exactly when every leaf's contribution has been withdrawn; may
+  /// transiently exceed the number of distinct nonzero leaves (a departer
+  /// between its leaf CAS and root decrement), never the reverse.
+  std::uint64_t root_total() const {
+    std::uint64_t n = 0;
+    for (const Cell& c : roots_) n += c.count.load(std::memory_order_acquire);
+    return n;
+  }
+
+  /// One resource's root surplus word (tests / diagnostics).
+  std::uint64_t root_surplus(ResourceId l) const {
+    return roots_[l].count.load(std::memory_order_acquire);
   }
 
   std::size_t num_resources() const { return q_; }
@@ -274,14 +334,54 @@ class ReaderIndicator {
   struct alignas(64) Cell {
     std::atomic<std::uint64_t> count{0};
   };
-  static_assert(sizeof(Cell) == 64, "stripe cells must own their cache line");
+  static_assert(sizeof(Cell) == 64, "indicator cells must own their cache line");
 
   std::atomic<std::uint64_t>& cell(ResourceId l, std::uint32_t stripe) {
     return cells_[static_cast<std::size_t>(l) * kStripes + stripe].count;
   }
-  const std::atomic<std::uint64_t>& cell(ResourceId l,
-                                         std::uint32_t stripe) const {
-    return cells_[static_cast<std::size_t>(l) * kStripes + stripe].count;
+
+  /// SNZI arrive on resource `l`'s tree through leaf `stripe` (half-token
+  /// protocol; see the header comment).  On return this reader's presence
+  /// is reflected in the root surplus word.
+  void snzi_arrive(ResourceId l, std::uint32_t stripe) {
+    std::atomic<std::uint64_t>& leaf = cell(l, stripe);
+    SpinBackoff backoff;
+    for (;;) {
+      std::uint64_t v = leaf.load(std::memory_order_seq_cst);
+      if (v == 0) {
+        if (leaf.compare_exchange_weak(v, kLeafHalf,
+                                       std::memory_order_seq_cst)) {
+          roots_[l].count.fetch_add(1, std::memory_order_seq_cst);
+          leaf.store(2, std::memory_order_seq_cst);
+          return;
+        }
+      } else if (v == kLeafHalf) {
+        // The half-token owner is between its root increment and its leaf
+        // store — a two-instruction lock-free window.  No yield point here:
+        // under the virtual scheduler the window is atomic, so this branch
+        // is reachable only under true preemption.
+        backoff.pause();
+      } else {
+        if (leaf.compare_exchange_weak(v, v + 1, std::memory_order_seq_cst))
+          return;
+      }
+    }
+  }
+
+  /// SNZI depart: the 2 -> 0 transition withdraws the leaf's root
+  /// contribution.  The leaf CAS is acq_rel-or-stronger so intermediate
+  /// departers chain their critical sections into the last departer's
+  /// root release-decrement (see the header comment's exit edge).
+  void snzi_depart(ResourceId l, std::uint32_t stripe) {
+    std::atomic<std::uint64_t>& leaf = cell(l, stripe);
+    for (;;) {
+      std::uint64_t v = leaf.load(std::memory_order_relaxed);
+      const std::uint64_t next = (v == 2) ? 0 : v - 1;
+      if (leaf.compare_exchange_weak(v, next, std::memory_order_seq_cst)) {
+        if (v == 2) roots_[l].count.fetch_sub(1, std::memory_order_release);
+        return;
+      }
+    }
   }
 
   /// Same first-fit / never-released claim discipline as the broker slots
@@ -308,7 +408,8 @@ class ReaderIndicator {
 
   std::size_t q_;
   std::uint64_t uid_;
-  std::vector<Cell> cells_;    ///< [l * kStripes + stripe]
+  std::vector<Cell> cells_;    ///< SNZI leaves, [l * kStripes + stripe]
+  std::vector<Cell> roots_;    ///< SNZI root surplus word per resource
   std::vector<Cell> writers_;  ///< writer-present count per resource
   std::array<GrantSlot, kSlots> slots_;
 };

@@ -58,8 +58,21 @@
 //                      window a concurrent writer arrival must force into
 //                      the retract path.
 //   IndicatorSweep   - a writer has raised writer-present on its guard
-//                      domain and is waiting for a stripe cell to drain to
-//                      zero (quiescing in-flight fast readers).
+//                      domain and is waiting for a root surplus word to
+//                      drain to zero (quiescing in-flight fast readers).
+//   WriteFastValidate- an optimistic writer has read the engine epoch and
+//                      is about to validate the per-resource summary words
+//                      of its guard domain lock-free; a reader publish or
+//                      any engine invocation landing here must force the
+//                      validation (or the later re-check) to fail.
+//   WriteFastClaim   - summary validation passed; the writer is about to
+//                      try_lock the internal mutex (the CAS-claim of the
+//                      optimistic admission).  Exposes the window where the
+//                      validated snapshot can go stale before the claim.
+//   WriteFastRecheck - internal mutex held via the optimistic claim; about
+//                      to re-validate the epoch and re-run the authoritative
+//                      engine-side precondition.  A mutation observed here
+//                      must drop the writer to the classic path.
 //   Start            - virtual-thread startup (emitted by the scheduler
 //                      itself, never by lock code).
 #pragma once
@@ -85,6 +98,9 @@ enum class YieldPoint : std::uint8_t {
   CombineApply,
   IndicatorPublish,
   IndicatorSweep,
+  WriteFastValidate,
+  WriteFastClaim,
+  WriteFastRecheck,
 };
 
 inline const char* to_string(YieldPoint p) {
@@ -100,6 +116,9 @@ inline const char* to_string(YieldPoint p) {
     case YieldPoint::CombineApply: return "combine-apply";
     case YieldPoint::IndicatorPublish: return "indicator-publish";
     case YieldPoint::IndicatorSweep: return "indicator-sweep";
+    case YieldPoint::WriteFastValidate: return "write-fast-validate";
+    case YieldPoint::WriteFastClaim: return "write-fast-claim";
+    case YieldPoint::WriteFastRecheck: return "write-fast-recheck";
   }
   return "?";
 }

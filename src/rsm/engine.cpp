@@ -10,7 +10,10 @@ Engine::Engine(std::size_t num_resources, ReadShareTable shares,
                EngineOptions options)
     : options_(options),
       shares_(std::move(shares)),
-      resources_(num_resources) {
+      resources_(num_resources),
+      summary_(new std::atomic<std::uint64_t>[num_resources + 1]) {
+  for (std::size_t l = 0; l <= num_resources; ++l)
+    summary_[l].store(0, std::memory_order_relaxed);
   RWRNLP_REQUIRE(shares_.num_resources() == num_resources,
                  "read-share table size (" << shares_.num_resources()
                                            << ") != resource count ("
@@ -89,6 +92,10 @@ void Engine::begin_invocation(Time t) {
   RWRNLP_REQUIRE(t >= now_, "invocation times must be non-decreasing ("
                                 << t << " < " << now_ << ")");
   now_ = t;
+  // Seqlock-style epoch for the optimistic writer admission: any invocation
+  // that runs between a writer's lock-free validation and its mutex claim
+  // is visible as an epoch change, forcing the classic fallback.
+  epoch_word().fetch_add(1, std::memory_order_release);
 }
 
 void Engine::record(Time t, TraceKind kind, const Request& r,
@@ -175,6 +182,62 @@ RequestId Engine::try_issue_read_fast(Time t, const ResourceSet& reads) {
 
 RequestId Engine::issue_write(Time t, const ResourceSet& writes) {
   return issue_mixed(t, ResourceSet(num_resources()), writes);
+}
+
+RequestId Engine::try_issue_write_fast(Time t, const ResourceSet& reads,
+                                       const ResourceSet& writes) {
+  RWRNLP_REQUIRE(!writes.empty(),
+                 "write/mixed request needs at least one written resource");
+  check_resources(reads);
+  check_resources(writes);
+  // Precondition scan over the full read-set closure: in both expansion
+  // modes the request's own enqueue touches exactly the closure (domain
+  // entries plus, under Placeholders, placeholder entries on the closure
+  // remainder), so "every closure resource idle" means the fresh entries
+  // are sole heads (Def. 4a), no entitled read exists (4b), and no holder
+  // conflicts (4c/4d, empty blocking set) — Def. 4 entitles and W1
+  // satisfies at issuance.  Any occupancy at all and we change nothing.
+  const ResourceSet needed = reads | writes;
+  const ResourceSet closure = shares_.closure(needed);
+  bool uncontended = true;
+  closure.for_each([&](ResourceId l) {
+    const ResourceInfo& info = resources_[l];
+    if (!info.wq.empty() || !info.rq.empty() ||
+        info.write_holder != kNoRequest || !info.read_holders.empty())
+      uncontended = false;
+  });
+#ifdef RWRNLP_SCHED_TEST
+  if (test_force_write_fast_) uncontended = true;  // fault injection
+#endif
+  if (!uncontended) return kNoRequest;
+
+  begin_invocation(t);
+  Request r;
+  r.is_write = true;
+  r.need_read = reads;
+  r.need_write = writes;
+  if (options_.expansion == WriteExpansion::ExpandDomain) {
+    r.domain = closure;
+    r.domain_write = closure - reads;
+  } else {
+    r.domain = needed;
+    r.domain_write = writes;
+    r.placeholders = closure - needed;
+  }
+  r.wanted = r.domain;
+  const RequestId id = issue_common(t, std::move(r));
+  // Def. 4 holds by the precondition; entitle-then-satisfy emits the same
+  // trace events in the same order as the fixpoint's pass 1 + pass 3 would.
+  // Skipping the fixpoint is the issuance-locality lemma: locking
+  // previously idle resources is antitone for every other request's
+  // entitlement/satisfaction conditions, and the previous invocation
+  // already ran its fixpoint to quiescence.
+  Request& stored = req(id);
+  entitle(t, stored);
+  satisfy(t, stored);
+  assert_fixpoint_quiescent(t, "issue_write_fast");
+  if (options_.validate) check_structure();
+  return id;
 }
 
 RequestId Engine::issue_mixed(Time t, const ResourceSet& reads,
@@ -695,14 +758,18 @@ void Engine::enqueue(Request& r) {
     // an append maintains the order.
     r.domain.for_each([&](ResourceId l) {
       resources_[l].wq.push_back(WqEntry{r.id, false});
+      summary_add(l, 1);
     });
     r.placeholders.for_each([&](ResourceId l) {
       resources_[l].wq.push_back(WqEntry{r.id, true});
+      summary_add(l, 1);
     });
   } else {
     // Rule R1: enqueued in every read queue of D.
-    r.domain.for_each(
-        [&](ResourceId l) { resources_[l].rq.push_back(r.id); });
+    r.domain.for_each([&](ResourceId l) {
+      resources_[l].rq.push_back(r.id);
+      summary_add(l, 1);
+    });
   }
 }
 
@@ -710,16 +777,20 @@ void Engine::dequeue_from_queues(Request& r) {
   if (r.is_write) {
     r.domain.for_each([&](ResourceId l) {
       auto& wq = resources_[l].wq;
+      const std::size_t before = wq.size();
       wq.erase(std::remove_if(wq.begin(), wq.end(),
                               [&](const WqEntry& e) {
                                 return e.req == r.id && !e.placeholder;
                               }),
                wq.end());
+      summary_sub(l, before - wq.size());
     });
   } else {
     r.domain.for_each([&](ResourceId l) {
       auto& rq = resources_[l].rq;
+      const std::size_t before = rq.size();
       rq.erase(std::remove(rq.begin(), rq.end(), r.id), rq.end());
+      summary_sub(l, before - rq.size());
     });
   }
 }
@@ -727,11 +798,13 @@ void Engine::dequeue_from_queues(Request& r) {
 void Engine::remove_placeholders(Request& r) {
   r.placeholders.for_each([&](ResourceId l) {
     auto& wq = resources_[l].wq;
+    const std::size_t before = wq.size();
     wq.erase(std::remove_if(wq.begin(), wq.end(),
                             [&](const WqEntry& e) {
                               return e.req == r.id && e.placeholder;
                             }),
              wq.end());
+    summary_sub(l, before - wq.size());
   });
   r.placeholders = ResourceSet(num_resources());
 }
@@ -750,6 +823,7 @@ void Engine::lock_resources(Request& r, const ResourceSet& rs) {
                        "read lock over writer on l" << l);
       info.read_holders.push_back(r.id);
     }
+    summary_add(l, 1);
   });
   r.held |= rs;
 }
@@ -759,9 +833,12 @@ void Engine::unlock_resources(Request& r) {
     ResourceInfo& info = resources_[l];
     if (info.write_holder == r.id) {
       info.write_holder = kNoRequest;
+      summary_sub(l, 1);
     } else {
       auto& rh = info.read_holders;
+      const std::size_t before = rh.size();
       rh.erase(std::remove(rh.begin(), rh.end(), r.id), rh.end());
+      summary_sub(l, before - rh.size());
     }
   });
   r.held.clear();
@@ -1143,6 +1220,15 @@ void Engine::check_structure() const {
                            r.state == RequestState::Entitled,
                        "stale RQ entry in RQ(l" << l << ")");
     }
+    // Published summary word matches the real occupancy (the optimistic
+    // writer admission's lock-free hint must never drift).
+    const std::uint64_t expect =
+        static_cast<std::uint64_t>(info.rq.size()) + info.wq.size() +
+        info.read_holders.size() + (info.write_holder != kNoRequest ? 1 : 0);
+    RWRNLP_CHECK_MSG(summary_[l].load(std::memory_order_relaxed) == expect,
+                     "summary word for l" << l << " drifted ("
+                         << summary_[l].load(std::memory_order_relaxed)
+                         << " != " << expect << ")");
   }
   // Property E10: conflicting read/write requests never both entitled.
   for (RequestId a : live_) {

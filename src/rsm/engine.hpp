@@ -48,9 +48,11 @@
 //     the one that preserves both optimality and property E10.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -151,6 +153,52 @@ class Engine {
 
   /// Issues a write request R^w for `writes` (Rule W1 applies immediately).
   RequestId issue_write(Time t, const ResourceSet& writes);
+
+  /// Uncontended-write fast path (the write-side mirror of
+  /// try_issue_read_fast): if every resource in the read-set closure of
+  /// `reads | writes` has an empty write queue, an empty read queue, no
+  /// write holder, and no read holders, issues, *entitles*, and *satisfies*
+  /// the write/mixed request in one step without running the entitlement/
+  /// satisfaction fixpoint, and returns its id.  Otherwise returns
+  /// kNoRequest and changes nothing; the caller falls back to
+  /// issue_write()/issue_mixed() with the same `t`.
+  ///
+  /// Equivalence to Rule W1 / Def. 4 (DESIGN.md §14): with the whole
+  /// closure empty, the freshly enqueued entries are the only ones, so the
+  /// request is head of WQ(l) for every domain resource (Def. 4a), no
+  /// entitled read exists anywhere (4b), no write holder (4c) and no read
+  /// holder (4d) conflicts — Def. 4 entitles it, and its blocking set is
+  /// empty, so W1 satisfies it at issuance.  Skipping the fixpoint is sound
+  /// by the same issuance-locality lemma the batched paths rely on: an
+  /// issuance decides only its own entitlement/satisfaction, and this one
+  /// locks previously idle resources, which is antitone for every other
+  /// request's conditions.  In both expansion modes the emptiness check
+  /// covers the full closure, so placeholder entries (Sec. 3.4) are the
+  /// request's own tail appends and remove cleanly on entitlement.
+  RequestId try_issue_write_fast(Time t, const ResourceSet& reads,
+                                 const ResourceSet& writes);
+
+  /// Seqlock-style engine epoch: bumped at the start of every state-
+  /// changing invocation (begin_invocation).  The optimistic writer
+  /// admission in the lock front ends snapshots it before validating the
+  /// per-resource summary words lock-free and re-validates it after
+  /// claiming the internal mutex; a mismatch means some invocation ran in
+  /// between and the writer falls back to the classic path.  Reading it
+  /// never blocks and never changes state.
+  std::uint64_t epoch() const {
+    return epoch_word().load(std::memory_order_acquire);
+  }
+
+  /// Lock-free per-resource occupancy summary: |RQ(l)| + |WQ(l)| (including
+  /// placeholder entries) + |read holders| + (1 if write-locked).  Zero
+  /// means the resource is idle.  This is a *hint* published for the
+  /// optimistic writer admission's pre-validation — the authoritative
+  /// re-check is try_issue_write_fast()'s own precondition scan under the
+  /// front end's mutex, so a racy read here can only cost a fallback, never
+  /// correctness.
+  std::uint64_t resource_summary(ResourceId l) const {
+    return summary_[l].load(std::memory_order_acquire);
+  }
 
   /// Issues a mixed request (Sec. 3.5): write access to `writes`, read
   /// access to `reads`.  Classified as a write request.
@@ -349,6 +397,10 @@ class Engine {
   /// unconditionally — a deliberate protocol violation that the replay
   /// oracle must detect.  Never set outside tests.
   void test_set_force_read_fast(bool on) { test_force_read_fast_ = on; }
+  /// Write-side twin: makes try_issue_write_fast() skip its Def. 4
+  /// precondition and grant the write unconditionally — a deliberate
+  /// protocol violation that the replay oracle must detect.
+  void test_set_force_write_fast(bool on) { test_force_write_fast_ = on; }
 #endif
 
   /// Structural invariant sweep (queues consistent, locks consistent, E10,
@@ -404,6 +456,16 @@ class Engine {
   void record(Time t, TraceKind kind, const Request& r,
               const ResourceSet& rs);
 
+  /// Published-summary maintenance (see resource_summary()).  Called from
+  /// exactly the five queue/lock bookkeeping helpers, with the delta each
+  /// actually applied, so the words can never drift from the real state.
+  void summary_add(ResourceId l, std::uint64_t d) {
+    if (d != 0) summary_[l].fetch_add(d, std::memory_order_release);
+  }
+  void summary_sub(ResourceId l, std::uint64_t d) {
+    if (d != 0) summary_[l].fetch_sub(d, std::memory_order_release);
+  }
+
   EngineOptions options_;
   ReadShareTable shares_;
   std::vector<ResourceInfo> resources_;
@@ -420,8 +482,19 @@ class Engine {
   std::vector<TraceEvent> trace_;
   std::function<void(RequestId, Time)> on_satisfied_;
   std::function<void(RequestId, const ResourceSet&, Time)> on_granted_;
+  /// Per-resource occupancy words [0, q) plus the seqlock-style invocation
+  /// epoch at index q, for the optimistic writer admission (see epoch() /
+  /// resource_summary()).  One heap array rather than an atomic member so
+  /// the Engine stays implicitly movable (tests hold Engines in vectors);
+  /// mutated only with the owning front end's mutex held, read lock-free.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> summary_;
+
+  std::atomic<std::uint64_t>& epoch_word() const {
+    return summary_[resources_.size()];
+  }
 #ifdef RWRNLP_SCHED_TEST
   bool test_force_read_fast_ = false;
+  bool test_force_write_fast_ = false;
 #endif
 };
 

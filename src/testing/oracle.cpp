@@ -96,6 +96,21 @@ void verify_replay(const rsm::Engine& live, const locks::InvocationLog& log,
         rid = oracle.issue_write(rec.t, rec.writes);
         okind = rsm::InvocationKind::WriteIssue;
         break;
+      case locks::InvocationKind::IssueWriteFast:
+        rid = oracle.try_issue_write_fast(rec.t, rec.reads, rec.writes);
+        RWRNLP_CHECK_MSG(
+            rid != rsm::kNoRequest,
+            "replay divergence: live lock took the optimistic writer "
+            "admission for reads="
+                << rec.reads.to_string() << " writes="
+                << rec.writes.to_string()
+                << " but the closure-idle precondition does not hold in the "
+                   "replayed state — the epoch/summary validation admitted a "
+                   "writer over a non-quiescent domain (request "
+                << rec.id << ", t=" << rec.t << ")");
+        okind = rec.reads.empty() ? rsm::InvocationKind::WriteIssue
+                                  : rsm::InvocationKind::Mixed;
+        break;
       case locks::InvocationKind::IssueMixed:
         rid = oracle.issue_mixed(rec.t, rec.reads, rec.writes);
         okind = rsm::InvocationKind::Mixed;

@@ -1,0 +1,375 @@
+// Byte-equal oracle replay and schedule exploration of the optimistic
+// mutex-free writer admission (DESIGN.md §14).
+//
+// With an invocation log installed, every optimistic admission lands as an
+// IssueWriteFast record in the sequential history; replaying it through a
+// fresh validating engine must reproduce the live trace byte-for-byte, and
+// every IssueWriteFast must satisfy the engine's closure-idle precondition
+// at its point in the history — the Rule-W equivalence claim: the epoch and
+// summary-word validation can admit a writer only into a domain the
+// authoritative engine state agrees is quiescent.
+//
+// The explorer scenarios enumerate every interleaving of a reader (both the
+// indicator-published and the classic-engine kind) against the optimistic
+// writer, so a publish or engine invocation lands at each of the
+// WriteFastValidate / WriteFastClaim / WriteFastRecheck yield points; both
+// the hit and the miss outcome must be reached and every schedule must
+// replay with the E-properties intact.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "locks/invocation_log.hpp"
+#include "locks/sharded_rw_rnlp.hpp"
+#include "locks/spin_rw_rnlp.hpp"
+#include "locks/suspend_rw_rnlp.hpp"
+#include "support/harness.hpp"
+#include "testing/explore.hpp"
+#include "testing/oracle.hpp"
+
+namespace rwrnlp::locks {
+namespace {
+
+using namespace std::chrono_literals;
+using support::expect_engine_drained;
+
+constexpr std::size_t kResources = 4;
+constexpr std::size_t kThreads = 4;
+constexpr int kIters = 60;
+
+/// Write-heavy shape of the shared mixed workload: most requests carry a
+/// write (fast-path candidates), with enough reads that the summary words
+/// go nonzero and the optimistic path actually misses sometimes.
+template <typename Lock>
+void run_workload(Lock& lock, unsigned seed_base) {
+  support::MixedWorkloadOptions o;
+  o.resources = kResources;
+  o.threads = kThreads;
+  o.iters = kIters;
+  o.coin_sides = 8;
+  o.read_below = 2;
+  o.write_below = 6;
+  support::run_mixed_timed_workload(lock, seed_base, o);
+}
+
+testing::OracleOptions oracle_options() {
+  testing::OracleOptions oo;
+  oo.num_threads = kThreads;
+  oo.ops_per_thread = kIters;
+  return oo;
+}
+
+TEST(WriteFastReplay, SpinWriteFastReplaysByteEqual) {
+  SpinRwRnlp lock(kResources);
+  lock.set_write_fast_path(true);
+  InvocationLog log;
+  lock.engine_for_test().set_trace_recording(true);
+  lock.set_invocation_log(&log);
+  run_workload(lock, 0xFA57);
+  expect_engine_drained(lock.engine_for_test(), kResources);
+  // The optimistic path really carried traffic in this run, and its
+  // records are present in the history.
+  EXPECT_GT(lock.health_report().write_fast_hits, 0u);
+  std::size_t fast_records = 0;
+  for (const InvocationRecord& rec : log)
+    if (rec.kind == InvocationKind::IssueWriteFast) ++fast_records;
+  EXPECT_EQ(fast_records, lock.health_report().write_fast_hits);
+  testing::verify_replay(lock.engine_for_test(), log, oracle_options());
+}
+
+TEST(WriteFastReplay, SpinWriteFastWithIndicatorReplays) {
+  SpinRwRnlp lock(kResources);
+  lock.enable_reader_indicator();
+  lock.set_write_fast_path(true);
+  InvocationLog log;
+  lock.engine_for_test().set_trace_recording(true);
+  lock.set_invocation_log(&log);
+  run_workload(lock, 0xB1D5);
+  expect_engine_drained(lock.engine_for_test(), kResources);
+  testing::verify_replay(lock.engine_for_test(), log, oracle_options());
+}
+
+TEST(WriteFastReplay, SpinWriteFastPlaceholdersReplay) {
+  SpinRwRnlp lock(kResources, rsm::WriteExpansion::Placeholders);
+  lock.set_write_fast_path(true);
+  InvocationLog log;
+  lock.engine_for_test().set_trace_recording(true);
+  lock.set_invocation_log(&log);
+  run_workload(lock, 0xAB1E);
+  expect_engine_drained(lock.engine_for_test(), kResources);
+  testing::verify_replay(lock.engine_for_test(), log, oracle_options());
+}
+
+TEST(WriteFastReplay, SuspendWriteFastReplays) {
+  SuspendRwRnlp lock(kResources);
+  lock.set_write_fast_path(true);
+  InvocationLog log;
+  lock.engine_for_test().set_trace_recording(true);
+  lock.set_invocation_log(&log);
+  run_workload(lock, 0x5AFE);
+  EXPECT_EQ(lock.blocked_waiters(), 0u);
+  expect_engine_drained(lock.engine_for_test(), kResources);
+  testing::verify_replay(lock.engine_for_test(), log, oracle_options());
+}
+
+// Control: identical workload and seed through the classic front end — the
+// optimistic admission changes the concurrency structure, never the
+// protocol history's legality.
+TEST(WriteFastReplay, ClassicControlReplays) {
+  SpinRwRnlp lock(kResources);
+  InvocationLog log;
+  lock.engine_for_test().set_trace_recording(true);
+  lock.set_invocation_log(&log);
+  run_workload(lock, 0xFA57);
+  expect_engine_drained(lock.engine_for_test(), kResources);
+  testing::verify_replay(lock.engine_for_test(), log, oracle_options());
+}
+
+// ----------------------- amortized cross-shard sweep, replay-certified ----
+
+/// Cross-shard workload for the sharded replay pair: indicator readers and
+/// cross-combined writers over both components, footprints always inside
+/// one component (routing requirement).
+void run_sharded_workload(ShardedRwRnlp& lock) {
+  constexpr int kShardedIters = 120;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kShardedIters; ++k) {
+        const std::size_t c = (t + static_cast<std::size_t>(k)) % 2;
+        const std::size_t l0 = 2 * c, l1 = 2 * c + 1;
+        if ((t + static_cast<std::size_t>(k)) % 3 == 0) {
+          const LockToken tok =
+              lock.acquire(ResourceSet(4), ResourceSet(4, {l0}));
+          lock.release(tok);
+        } else {
+          ResourceSet reads(4, {l0});
+          reads.set(l1);
+          const LockToken tok = lock.acquire(reads, ResourceSet(4));
+          lock.release(tok);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+/// The amortized-vs-per-writer pair: the same workload shape with the
+/// cross-shard combiner on (one deduplicated union sweep per tag run) and
+/// off (one sweep per writer at guard entry).  Both runs must earn the same
+/// per-shard byte-equal replay certificate — the amortization changes how
+/// often the indicator is swept, never which histories are legal.
+void run_sharded_replay(bool cross_combining) {
+  ShardedRwRnlp lock(4, {ResourceSet(4, {0, 1}), ResourceSet(4, {2, 3})});
+  lock.enable_reader_indicators();
+  if (cross_combining) lock.enable_cross_shard_combining();
+  InvocationLog logs[2];
+  for (std::size_t c = 0; c < 2; ++c) {
+    lock.shard(c).engine_for_test().set_trace_recording(true);
+    lock.shard(c).set_invocation_log(&logs[c]);
+  }
+  run_sharded_workload(lock);
+  const HealthReport hr = lock.health_report();
+  EXPECT_GT(hr.indicator_sweeps, 0u);
+  EXPECT_GT(hr.writer_sweeps, 0u);
+  // Executed sweep passes never exceed per-writer guard entries; without
+  // batching they match exactly.
+  EXPECT_LE(hr.writer_sweeps, hr.indicator_sweeps);
+  if (!cross_combining) EXPECT_EQ(hr.writer_sweeps, hr.indicator_sweeps);
+  testing::OracleOptions oo;
+  oo.num_threads = kThreads;
+  oo.ops_per_thread = 120;
+  for (std::size_t c = 0; c < 2; ++c) {
+    expect_engine_drained(lock.shard(c).engine_for_test(), 4);
+    testing::verify_replay(lock.shard(c).engine_for_test(), logs[c], oo);
+  }
+}
+
+TEST(WriteFastReplay, ShardedPerWriterSweepControlReplays) {
+  run_sharded_replay(/*cross_combining=*/false);
+}
+
+TEST(WriteFastReplay, ShardedAmortizedSweepReplays) {
+  run_sharded_replay(/*cross_combining=*/true);
+}
+
+// ------------------------------------------------ schedule exploration ----
+
+/// Exhaustive enumeration of one optimistic writer against one reader.
+/// The reader lands at every yield point of the writer's validate window
+/// (WriteFastValidate / WriteFastClaim / WriteFastRecheck), forcing every
+/// outcome: summary validation fails, the mutex claim fails, the epoch
+/// re-check fails, or the admission goes through.  Every schedule must
+/// replay byte-identically with zero E-property violations.
+void explore_writer_reader(bool indicator_reader) {
+  auto hits = std::make_shared<std::atomic<std::uint64_t>>(0);
+  auto misses = std::make_shared<std::atomic<std::uint64_t>>(0);
+  const testing::ScenarioFactory factory = [hits, misses, indicator_reader] {
+    struct State {
+      SpinRwRnlp lock{2};
+      InvocationLog log;
+    };
+    auto st = std::make_shared<State>();
+    if (indicator_reader) st->lock.enable_reader_indicator();
+    st->lock.set_write_fast_path(true);
+    st->lock.engine_for_test().set_trace_recording(true);
+    st->lock.set_invocation_log(&st->log);
+    testing::ScenarioRun run;
+    run.bodies.push_back([st] {  // A: optimistic writer on l0
+      const LockToken tok =
+          st->lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+      st->lock.release(tok);
+    });
+    run.bodies.push_back([st] {  // B: reader over {l0, l1}
+      const LockToken tok =
+          st->lock.acquire(ResourceSet(2, {0, 1}), ResourceSet(2));
+      st->lock.release(tok);
+    });
+    testing::OracleOptions oo;
+    oo.num_threads = 2;
+    oo.ops_per_thread = 1;
+    run.check = [st, oo, hits, misses] {
+      testing::verify_replay(st->lock.engine_for_test(), st->log, oo);
+      const HealthReport hr = st->lock.health_report();
+      hits->fetch_add(hr.write_fast_hits);
+      misses->fetch_add(hr.write_fast_misses);
+      if (st->lock.engine_for_test().incomplete_count() != 0)
+        throw std::logic_error("engine not drained after the schedule");
+      if (st->lock.pending_satisfied_count() != 0)
+        throw std::logic_error("pending satisfaction leaked");
+    };
+    return run;
+  };
+  testing::ExhaustiveStrategy strategy;
+  testing::ExploreOptions opt;
+  opt.max_schedules = 400000;
+  const testing::ExploreResult res = testing::explore(factory, strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_TRUE(res.exhausted) << "state space not fully enumerated";
+  EXPECT_GT(res.schedules, 10u);
+  // Both outcomes of the validate window were explored: schedules where
+  // the writer admitted optimistically and schedules where the reader's
+  // occupancy (summary word, mutex, or epoch) forced the classic fallback.
+  EXPECT_GT(hits->load(), 0u);
+  EXPECT_GT(misses->load(), 0u);
+}
+
+TEST(ExplorerWriteFast, ExhaustiveClassicReaderValidateWindow) {
+  explore_writer_reader(/*indicator_reader=*/false);
+}
+
+TEST(ExplorerWriteFast, ExhaustiveIndicatorReaderValidateWindow) {
+  explore_writer_reader(/*indicator_reader=*/true);
+}
+
+/// Two optimistic writers racing for the same domain: exactly one can win
+/// the claim per admission, misses must fall back classically, and every
+/// schedule replays.  Preemption-bounded to keep the space tractable with
+/// the third (reader) thread present.
+TEST(ExplorerWriteFast, PreemptionBoundedWriterPairWithReader) {
+  auto hits = std::make_shared<std::atomic<std::uint64_t>>(0);
+  const testing::ScenarioFactory factory = [hits] {
+    struct State {
+      SpinRwRnlp lock{2};
+      InvocationLog log;
+    };
+    auto st = std::make_shared<State>();
+    st->lock.set_write_fast_path(true);
+    st->lock.engine_for_test().set_trace_recording(true);
+    st->lock.set_invocation_log(&st->log);
+    testing::ScenarioRun run;
+    for (int w = 0; w < 2; ++w) {
+      run.bodies.push_back([st] {
+        const LockToken tok =
+            st->lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+        st->lock.release(tok);
+      });
+    }
+    run.bodies.push_back([st] {
+      const LockToken tok =
+          st->lock.acquire(ResourceSet(2, {0}), ResourceSet(2));
+      st->lock.release(tok);
+    });
+    testing::OracleOptions oo;
+    oo.num_threads = 3;
+    oo.ops_per_thread = 1;
+    run.check = [st, oo, hits] {
+      testing::verify_replay(st->lock.engine_for_test(), st->log, oo);
+      hits->fetch_add(st->lock.health_report().write_fast_hits);
+    };
+    return run;
+  };
+  testing::PreemptionBoundedStrategy strategy(1);
+  testing::ExploreOptions opt;
+  opt.max_schedules = 400000;
+  const testing::ExploreResult res = testing::explore(factory, strategy, opt);
+  EXPECT_FALSE(res.failure_found) << res.failure << " (token " << res.token
+                                  << ")";
+  EXPECT_GT(res.schedules, 10u);
+  EXPECT_GT(hits->load(), 0u);
+}
+
+/// Fault injection: force the engine-side precondition to pass even though
+/// the domain is occupied (test_set_force_write_fast) — the detect ->
+/// minimize -> replay pipeline must catch the resulting protocol violation
+/// in every offending schedule, proving the oracle actually guards the
+/// optimistic path rather than rubber-stamping it.
+TEST(ExplorerWriteFast, InjectedFastPathOverOccupiedDomainIsCaught) {
+  const testing::ScenarioFactory factory = [] {
+    struct State {
+      SpinRwRnlp lock{2};
+      InvocationLog log;
+      std::atomic<bool> reader_in{false};
+      std::atomic<bool> writer_done{false};
+    };
+    auto st = std::make_shared<State>();
+    st->lock.set_write_fast_path(true);
+    st->lock.engine_for_test().set_trace_recording(true);
+    st->lock.set_invocation_log(&st->log);
+    testing::ScenarioRun run;
+    run.bodies.push_back([st] {  // reader holds l0 across the writer's run
+      const LockToken tok =
+          st->lock.acquire(ResourceSet(2, {0}), ResourceSet(2));
+      st->reader_in.store(true, std::memory_order_release);
+      sched_wait(YieldPoint::SatisfactionWait, [st] {
+        return st->writer_done.load(std::memory_order_acquire);
+      });
+      st->lock.release(tok);
+    });
+    run.bodies.push_back([st] {  // writer forced past the precondition
+      sched_wait(YieldPoint::SatisfactionWait, [st] {
+        return st->reader_in.load(std::memory_order_acquire);
+      });
+      st->lock.engine_for_test().test_set_force_write_fast(true);
+      const LockToken tok =
+          st->lock.acquire(ResourceSet(2), ResourceSet(2, {0}));
+      st->lock.engine_for_test().test_set_force_write_fast(false);
+      st->writer_done.store(true, std::memory_order_release);
+      st->lock.release(tok);
+    });
+    testing::OracleOptions oo;
+    oo.num_threads = 2;
+    oo.ops_per_thread = 1;
+    run.check = [st, oo] {
+      testing::verify_replay(st->lock.engine_for_test(), st->log, oo);
+    };
+    return run;
+  };
+  testing::ExhaustiveStrategy strategy;
+  testing::ExploreOptions opt;
+  opt.max_schedules = 400000;
+  const testing::ExploreResult res = testing::explore(factory, strategy, opt);
+  EXPECT_TRUE(res.failure_found)
+      << "forcing the precondition must produce a detectable violation";
+  EXPECT_FALSE(res.token.empty());
+  // The failing schedule reproduces deterministically.
+  EXPECT_FALSE(testing::replay(factory, res.original_token).empty());
+}
+
+}  // namespace
+}  // namespace rwrnlp::locks

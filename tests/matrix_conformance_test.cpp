@@ -118,10 +118,24 @@ TEST(MatrixConformance, CorpusOnEveryCell) {
     if (cell.indicator) {
       EXPECT_GT(hr.indicator_fast_hits, 0u);
       EXPECT_GT(hr.indicator_sweeps, 0u);
+      // Writer-side sweep accounting: passes actually executed, each
+      // reading one root word per domain resource.  Amortization (the
+      // cross-shard combiner) can only merge passes, never add them, so
+      // executed passes never exceed per-writer guard entries.
+      EXPECT_GT(hr.writer_sweeps, 0u);
+      EXPECT_GT(hr.sweep_words_read, 0u);
+      EXPECT_LE(hr.writer_sweeps, hr.indicator_sweeps);
     } else {
       EXPECT_EQ(hr.indicator_fast_hits, 0u);
       EXPECT_EQ(hr.indicator_sweeps, 0u);
+      EXPECT_EQ(hr.writer_sweeps, 0u);
+      EXPECT_EQ(hr.sweep_words_read, 0u);
     }
+    // The optimistic writer admission is an explicit opt-in
+    // (set_write_fast_path); no registry cell enables it, so its counters
+    // must stay zero — the toggle default cannot perturb existing cells.
+    EXPECT_EQ(hr.write_fast_hits, 0u);
+    EXPECT_EQ(hr.write_fast_misses, 0u);
 
     // Every engine drained, every log oracle-clean.
     OracleOptions oo;

@@ -17,6 +17,15 @@ failures too (a silently dropped configuration is the worst regression).
 Points only in the fresh report (new lock configs) are reported but never
 fail the gate.
 
+Beyond the relative gates, the fresh report must clear an absolute
+write-side throughput floor: the best write-heavy 8-thread cell across
+all configs must reach --write-floor ops/s (default 1,000,000).  Relative
+gates catch drift between two runs; the absolute floor catches the
+baseline itself rotting (both reports slow is "no regression" to a ratio
+check).  On a 1-cpu host — where writers cannot run in parallel and the
+floor is unmeetable by construction — the floor demotes to a warning, as
+it does when the fresh report lacks a cpus field.
+
 After the point-by-point listing a per-config delta table summarizes the
 worst throughput and tail movement for each lock config, so a regression
 confined to one front end is visible at a glance.
@@ -74,6 +83,10 @@ def main():
     ap.add_argument("--p99-threshold", type=float, default=0.30,
                     help="max allowed fractional p99 latency increase "
                          "(default 0.30)")
+    ap.add_argument("--write-floor", type=float, default=1_000_000.0,
+                    help="absolute ops/s floor for the best write-heavy "
+                         "8-thread cell of the fresh report; warn-only on "
+                         "1-cpu hosts (default 1,000,000)")
     args = ap.parse_args()
     if not 0.0 <= args.threshold < 1.0:
         print("bench_check: --threshold must be in [0, 1)", file=sys.stderr)
@@ -155,6 +168,31 @@ def main():
             worst_ops, worst_p99, n = deltas[lock]
             p99_s = f"{worst_p99:.2f}x" if worst_p99 > 0 else "n/a"
             print(f"  {lock:<18} {worst_ops:>9.2f}x {p99_s:>10} {n:>7}")
+
+    if args.write_floor > 0:
+        wh8 = {lock: ops for (lock, workload, threads), (ops, _) in
+               fresh.items() if workload == "write-heavy" and threads == 8}
+        if wh8:
+            best_lock = max(wh8, key=wh8.get)
+            best = wh8[best_lock]
+            line = (f"write floor: best write-heavy/8t is {best_lock} at "
+                    f"{best:,.0f} ops/s (floor {args.write_floor:,.0f})")
+            if best >= args.write_floor:
+                print(f"\n{line} — ok")
+            elif fresh_cpus == 1:
+                print(f"\n{line} — WARN only: 1-cpu host, writers cannot "
+                      "run in parallel", file=sys.stderr)
+            elif fresh_cpus is None:
+                print(f"\n{line} — WARN only: no cpus field, machine shape "
+                      "unknown", file=sys.stderr)
+            else:
+                failures.append(
+                    f"FLOOR    write-heavy/8t: best config {best_lock} at "
+                    f"{best:,.0f} ops/s is below the absolute floor "
+                    f"{args.write_floor:,.0f} on a {fresh_cpus}-cpu host")
+        else:
+            failures.append("FLOOR    fresh report has no write-heavy "
+                            "8-thread cells to hold to the floor")
 
     if failures:
         print(f"\nbench_check: {len(failures)} failure(s) at thresholds "
