@@ -1,0 +1,344 @@
+// Network lock service benchmark: many-client throughput/latency over TCP
+// plus detect-to-successor-grant recovery timing (DESIGN.md §15).
+//
+// Throughput/latency: each cell boots a fresh in-process LockService on an
+// ephemeral loopback port and drives it with N concurrent ServiceClient
+// sessions, each running a synchronous acquire+release stream against a
+// random single resource out of kQ.  Workloads: read-only, 90/10 mixed, and
+// write-heavy, at 1/2/4/8 clients.  Reported per cell: p50/p99 ns per
+// acquire+release round trip (two wire round trips each) and aggregate
+// ops/s, median-throughput trial of kTrials runs.  Unlike bench_hotpath the
+// client threads are NOT core-pinned: the daemon's event loop, worker pool,
+// and watchdog share the host, and pinning clients on top of them measures
+// scheduler placement, not the service.
+//
+// The daemon executes blocking acquires on its worker pool, and a blocked
+// acquire occupies a worker for its whole slice-polled wait — so a cell's
+// service is sized with workers = clients + 4, guaranteeing a holder's
+// Release frame always finds a free worker (with workers <= clients, N
+// blocked acquires can starve the releases that would unblock them until
+// their deadlines).
+//
+// Recovery: a victim connection write-holds resource 0, a contender client
+// parks on the same resource, and the victim dies with a real RST (RawConn::
+// abort — the closest a live process gets to kill -9 as seen by the
+// server).  The sample is the time from the RST to the contender's Granted
+// reply: EOF/RST detection, Watchdog-free immediate reap, force_release,
+// successor promotion, and the contender's next poll slice.  p50/p99 over
+// kRecoveryIters fresh victim sessions, reported both as a workloads row
+// (lock "service", workload "recovery", clients 2 — gated like any other
+// cell) and as a standalone summary block.
+//
+// Output: human-readable table on stdout plus machine-readable JSON written
+// to argv[1] (default "BENCH_service.json"); rows carry "clients" where the
+// thread-based reports carry "threads", and tools/bench_check.py accepts
+// either.  argv[2]/argv[3]/argv[4] override ops-per-client, trial count,
+// and recovery iterations for quick CI runs (e.g.
+// `bench_service out.json 300 1 10`).
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "tests/service/raw_conn.hpp"
+#include "util/rng.hpp"
+
+namespace rwrnlp::bench {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kQ = 16;  ///< resources served per daemon
+
+enum class Workload { ReadOnly, Mixed, WriteHeavy };
+
+const char* to_string(Workload w) {
+  switch (w) {
+    case Workload::ReadOnly: return "read-only";
+    case Workload::Mixed: return "mixed-90-10";
+    case Workload::WriteHeavy: return "write-heavy";
+  }
+  return "?";
+}
+
+/// Write probability in percent.
+int write_pct(Workload w) {
+  switch (w) {
+    case Workload::ReadOnly: return 0;
+    case Workload::Mixed: return 10;
+    case Workload::WriteHeavy: return 100;
+  }
+  return 0;
+}
+
+service::ServiceOptions cell_options(std::size_t clients) {
+  service::ServiceOptions opt;
+  opt.workers = clients + 4;  // see header comment: releases must not starve
+  opt.slice = 5ms;
+  opt.lease_ms = 2000;  // heartbeats are free; leases must never fire here
+  return opt;
+}
+
+struct RunResult {
+  double p50_ns = 0;
+  double p99_ns = 0;
+  double ops_per_sec = 0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+RunResult run_workload(Workload w, std::size_t clients,
+                       std::size_t ops_per_client) {
+  service::LockService svc(kQ, cell_options(clients));
+  svc.start();
+  const std::uint16_t port = svc.port();
+
+  constexpr std::size_t kWarmup = 64;
+  std::atomic<std::size_t> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::vector<double>> lat(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+
+  for (std::size_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      service::ClientOptions copt;
+      copt.port = port;
+      copt.jitter_seed = 0x5eed + t;
+      service::ServiceClient cli(copt);
+      check(cli.connect(), "client " + std::to_string(t) + " connected");
+      Rng rng(0xbe7c + 131 * t);
+      lat[t].reserve(ops_per_client);
+      auto one_op = [&]() -> double {
+        const std::uint64_t bit = 1ull << rng.next_below(kQ);
+        const bool wr =
+            static_cast<int>(rng.next_below(100)) < write_pct(w);
+        const auto t0 = Clock::now();
+        // 5 s deadline: a safety valve, not a workload knob — every acquire
+        // in this bench is expected to be granted.
+        const service::CallResult r =
+            cli.acquire(wr ? 0 : bit, wr ? bit : 0, 5000ms);
+        if (r.status != service::CallStatus::Granted) return -1;
+        cli.release(r.handle);
+        const auto t1 = Clock::now();
+        return static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+      };
+      for (std::size_t i = 0; i < kWarmup; ++i) (void)one_op();
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::size_t i = 0; i < ops_per_client; ++i) {
+        const double ns = one_op();
+        if (ns >= 0) lat[t].push_back(ns);
+      }
+      cli.disconnect();
+    });
+  }
+
+  while (ready.load() < clients) std::this_thread::yield();
+  const auto start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (std::thread& th : threads) th.join();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  all.reserve(clients * ops_per_client);
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  check(all.size() == clients * ops_per_client,
+        std::string(to_string(w)) + "/" + std::to_string(clients) +
+            "c: every acquire granted (" + std::to_string(all.size()) + "/" +
+            std::to_string(clients * ops_per_client) + ")");
+  std::sort(all.begin(), all.end());
+
+  svc.stop();
+
+  RunResult r;
+  r.p50_ns = percentile(all, 0.50);
+  r.p99_ns = percentile(all, 0.99);
+  r.ops_per_sec = secs > 0 ? static_cast<double>(all.size()) / secs : 0;
+  return r;
+}
+
+RunResult run_trials(Workload w, std::size_t clients,
+                     std::size_t ops_per_client, std::size_t trials) {
+  std::vector<RunResult> results;
+  results.reserve(trials);
+  for (std::size_t i = 0; i < trials; ++i)
+    results.push_back(run_workload(w, clients, ops_per_client));
+  std::sort(results.begin(), results.end(),
+            [](const RunResult& a, const RunResult& b) {
+              return a.ops_per_sec < b.ops_per_sec;
+            });
+  return results[results.size() / 2];
+}
+
+/// One recovery sample: victim write-holds r0, contender parks on r0,
+/// victim dies by RST; returns ns from the RST to the contender's grant.
+/// -1 on any setup/grant failure (checked by the caller's tally).
+double one_recovery(service::ServiceClient& contender, std::uint16_t port) {
+  service::testing::RawConn victim;
+  if (!victim.connect(port) || victim.hello() == 0) return -1;
+  const std::uint64_t held = victim.acquire(/*reads=*/0, /*writes=*/1);
+  if (held == 0) return -1;
+
+  std::atomic<bool> granted{false};
+  Clock::time_point t_grant;
+  std::uint64_t handle = 0;
+  std::thread waiter([&] {
+    const service::CallResult r = contender.acquire(0, 1, 5000ms);
+    t_grant = Clock::now();
+    if (r.status == service::CallStatus::Granted) {
+      granted.store(true);
+      handle = r.handle;
+    }
+  });
+  // Let the contender reach the server and park behind the victim before
+  // the death: the sample must time promotion, not connection setup.
+  std::this_thread::sleep_for(30ms);
+  const auto t0 = Clock::now();
+  victim.abort();  // RST: kill -9 as seen by the server
+  waiter.join();
+  if (!granted.load()) return -1;
+  contender.release(handle);
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t_grant - t0)
+          .count());
+}
+
+}  // namespace
+}  // namespace rwrnlp::bench
+
+int main(int argc, char** argv) {
+  using namespace rwrnlp;
+  using namespace rwrnlp::bench;
+  using namespace std::chrono_literals;
+
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_service.json";
+  const std::size_t kOps =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 2000;
+  const std::size_t kTrials =
+      argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 3;
+  const std::size_t kRecoveryIters =
+      argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 30;
+  const std::size_t kClientCounts[] = {1, 2, 4, 8};
+  const Workload kWorkloads[] = {Workload::ReadOnly, Workload::Mixed,
+                                 Workload::WriteHeavy};
+
+  std::ostringstream rows;
+  bool first_row = true;
+
+  header("lock service over TCP: ns per acquire+release round trip "
+         "(p50/p99) and ops/s, median of " +
+         std::to_string(kTrials) + " trial(s)");
+  std::printf("  %-10s %-12s %8s %12s %12s %14s\n", "lock", "workload",
+              "clients", "p50 ns", "p99 ns", "ops/s");
+
+  for (const Workload w : kWorkloads) {
+    for (const std::size_t clients : kClientCounts) {
+      const RunResult r = run_trials(w, clients, kOps, kTrials);
+      std::printf("  %-10s %-12s %8zu %12.1f %12.1f %14.0f\n", "service",
+                  to_string(w), clients, r.p50_ns, r.p99_ns, r.ops_per_sec);
+      if (!first_row) rows << ",\n";
+      first_row = false;
+      rows << "    {\"lock\": \"service\", \"workload\": \"" << to_string(w)
+           << "\", \"clients\": " << clients << ", \"p50_ns\": " << r.p50_ns
+           << ", \"p99_ns\": " << r.p99_ns
+           << ", \"ops_per_sec\": " << r.ops_per_sec << "}";
+    }
+  }
+
+  header("recovery: RST death of a write holder -> successor grant, " +
+         std::to_string(kRecoveryIters) + " victim sessions");
+  std::vector<double> rec;
+  {
+    service::ServiceOptions opt = cell_options(/*clients=*/2);
+    // Lease deliberately long: RST detection, not the lease sweep, must be
+    // what reaps the victim — a lease-fired reap would hide a regression in
+    // the EOF/RST path behind the watchdog period.
+    opt.lease_ms = 10'000;
+    service::LockService svc(kQ, opt);
+    svc.start();
+    service::ClientOptions copt;
+    copt.port = svc.port();
+    service::ServiceClient contender(copt);
+    check(contender.connect(), "recovery contender connected");
+    rec.reserve(kRecoveryIters);
+    for (std::size_t i = 0; i < kRecoveryIters; ++i) {
+      const double ns = one_recovery(contender, svc.port());
+      if (ns >= 0) rec.push_back(ns);
+    }
+    check(rec.size() == kRecoveryIters,
+          "every victim death promoted a successor (" +
+              std::to_string(rec.size()) + "/" +
+              std::to_string(kRecoveryIters) + ")");
+    check(svc.stats().tokens_force_released.load() == kRecoveryIters,
+          "every death was a forced release (" +
+              std::to_string(svc.stats().tokens_force_released.load()) +
+              "/" + std::to_string(kRecoveryIters) + ")");
+    contender.disconnect();
+    svc.stop();
+  }
+  std::sort(rec.begin(), rec.end());
+  const double rec_p50 = percentile(rec, 0.50);
+  const double rec_p99 = percentile(rec, 0.99);
+  double rec_sum = 0;
+  for (const double ns : rec) rec_sum += ns;
+  const double rec_per_sec =
+      rec_sum > 0 ? static_cast<double>(rec.size()) * 1e9 / rec_sum : 0;
+  std::printf("  detect -> grant: p50 %.2f ms, p99 %.2f ms (%.1f "
+              "recoveries/s)\n",
+              rec_p50 / 1e6, rec_p99 / 1e6, rec_per_sec);
+  // RST detection is epoll-immediate and promotion is one poll slice, so a
+  // second is already pathological — this bounds brokenness, not speed.
+  check(rec.empty() || rec_p99 < 1e9, "recovery p99 under 1 s");
+  if (!first_row) rows << ",\n";
+  rows << "    {\"lock\": \"service\", \"workload\": \"recovery\", "
+       << "\"clients\": 2, \"p50_ns\": " << rec_p50
+       << ", \"p99_ns\": " << rec_p99 << ", \"ops_per_sec\": " << rec_per_sec
+       << "}";
+
+  // Machine shape matters: client threads and the daemon's pool share the
+  // host, so ops/s across differing cpu counts are not comparable —
+  // tools/bench_check.py refuses to gate across differing "cpus".
+  const long cpus = sysconf(_SC_NPROCESSORS_ONLN);
+  std::printf("  host cpus: %ld\n", cpus);
+
+  std::ofstream js(json_path);
+  js << "{\n"
+     << "  \"bench\": \"service\",\n"
+     << "  \"q\": " << kQ << ",\n"
+     << "  \"cpus\": " << cpus << ",\n"
+     << "  \"ops_per_client\": " << kOps << ",\n"
+     << "  \"trials\": " << kTrials << ",\n"
+     << "  \"recovery_iters\": " << kRecoveryIters << ",\n"
+     << "  \"workloads\": [\n"
+     << rows.str() << "\n  ],\n"
+     << "  \"recovery\": {\"p50_ms\": " << rec_p50 / 1e6
+     << ", \"p99_ms\": " << rec_p99 / 1e6
+     << ", \"per_sec\": " << rec_per_sec << "}\n"
+     << "}\n";
+  js.close();
+  check(js.good(), "json written to " + json_path);
+
+  return finish();
+}

@@ -1,0 +1,389 @@
+// ServiceClient implementation.  See client.hpp for semantics.
+
+#include "service/client.hpp"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace rwrnlp::service {
+
+const char* to_string(CallStatus s) {
+  switch (s) {
+    case CallStatus::Ok: return "ok";
+    case CallStatus::Granted: return "granted";
+    case CallStatus::Busy: return "busy";
+    case CallStatus::Timeout: return "timeout";
+    case CallStatus::Canceled: return "canceled";
+    case CallStatus::Fenced: return "fenced";
+    case CallStatus::Error: return "error";
+    case CallStatus::ConnLost: return "conn-lost";
+  }
+  return "?";
+}
+
+/// One blocked caller, registered in waiters_ by seq until its Reply (or a
+/// connection drop) completes it.
+struct ServiceClient::Waiter {
+  bool done = false;
+  CallResult result;
+};
+
+ServiceClient::ServiceClient(ClientOptions opt)
+    : opt_(opt), jitter_state_(opt.jitter_seed | 1) {}
+
+ServiceClient::~ServiceClient() {
+  stopping_.store(true);
+  drop_connection();
+  join_threads();
+}
+
+std::uint64_t ServiceClient::jitter_next() {
+  // xorshift64* — deterministic per-client jitter, no global RNG state.
+  std::uint64_t x = jitter_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  jitter_state_ = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+std::chrono::milliseconds ServiceClient::retry_after(unsigned attempt) {
+  const std::uint64_t base = static_cast<std::uint64_t>(
+      std::min(opt_.retry_cap.count(),
+               opt_.retry_base.count() << std::min(attempt, 20u)));
+  // ±50% jitter, never below 1ms: decorrelates clients that shed together.
+  const std::uint64_t span = std::max<std::uint64_t>(1, base);
+  const std::uint64_t jittered = span / 2 + jitter_next() % (span + 1);
+  return std::chrono::milliseconds(std::max<std::uint64_t>(1, jittered));
+}
+
+bool ServiceClient::connect() {
+  drop_connection();
+  join_threads();
+  stopping_.store(false);
+  for (unsigned attempt = 0; attempt < std::max(1u, opt_.max_attempts);
+       ++attempt) {
+    if (attempt > 0) std::this_thread::sleep_for(retry_after(attempt - 1));
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) continue;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(opt_.port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    fd_ = fd;
+    connected_.store(true, std::memory_order_release);
+    receiver_thread_ = std::thread([this] { receiver(); });
+
+    std::vector<std::uint8_t> hello;
+    wire::put_u32(hello, wire::kProtocolVersion);
+    wire::put_u32(hello, opt_.lease_ms);
+    wire::put_u64(hello, session_id_);  // previous session, informational
+    const CallResult r =
+        request(wire::Op::Hello, hello, std::chrono::milliseconds(2000));
+    if (r.status == CallStatus::Ok && r.handle != 0) {
+      session_id_ = r.handle;  // HelloOk body rides in `handle`
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+      heartbeat_thread_ = std::thread([this] { heartbeater(); });
+      return true;
+    }
+    drop_connection();
+    join_threads();
+  }
+  return false;
+}
+
+void ServiceClient::disconnect() {
+  if (connected_.load(std::memory_order_acquire)) {
+    request(wire::Op::Goodbye, {}, std::chrono::milliseconds(1000));
+  }
+  stopping_.store(true);
+  drop_connection();
+  join_threads();
+  stopping_.store(false);
+}
+
+void ServiceClient::drop_connection() {
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> g(send_mu_);
+    fd = fd_;
+    fd_ = -1;
+  }
+  connected_.store(false, std::memory_order_release);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  // Fail everyone still blocked.
+  {
+    std::lock_guard<std::mutex> g(waiters_mu_);
+    for (auto& [seq, w] : waiters_) {
+      (void)seq;
+      if (!w->done) {
+        w->done = true;
+        w->result.status = CallStatus::ConnLost;
+      }
+    }
+  }
+  waiters_cv_.notify_all();
+  if (fd >= 0) ::close(fd);
+}
+
+void ServiceClient::join_threads() {
+  if (receiver_thread_.joinable()) receiver_thread_.join();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+}
+
+bool ServiceClient::send_frame(wire::Op op, std::uint64_t seq,
+                               const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> frame;
+  wire::encode_frame(frame, op, seq, payload);
+  std::lock_guard<std::mutex> g(send_mu_);
+  if (fd_ < 0) return false;
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void ServiceClient::heartbeat() {
+  send_frame(wire::Op::Heartbeat, next_seq_.fetch_add(1), {});
+}
+
+void ServiceClient::heartbeater() {
+  const std::uint32_t lease =
+      granted_lease_ms_ != 0 ? granted_lease_ms_ : 1000;
+  const std::uint32_t period_ms =
+      opt_.heartbeat_ms != 0 ? opt_.heartbeat_ms : std::max(1u, lease / 3);
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         connected_.load(std::memory_order_acquire)) {
+    heartbeat();
+    // Sleep in small steps so disconnect() is prompt.
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(period_ms);
+    while (std::chrono::steady_clock::now() < until &&
+           !stopping_.load(std::memory_order_relaxed) &&
+           connected_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min<std::uint32_t>(10, period_ms)));
+    }
+  }
+}
+
+void ServiceClient::receiver() {
+  std::vector<std::uint8_t> buf;
+  std::uint8_t chunk[4096];
+  for (;;) {
+    int fd;
+    {
+      std::lock_guard<std::mutex> g(send_mu_);
+      fd = fd_;
+    }
+    if (fd < 0) return;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      drop_connection();
+      return;
+    }
+    buf.insert(buf.end(), chunk, chunk + n);
+    wire::Frame f;
+    for (;;) {
+      const wire::DecodeResult dr = wire::decode_frame(buf, &f);
+      if (dr == wire::DecodeResult::NeedMore) break;
+      if (dr == wire::DecodeResult::Bad) {
+        drop_connection();
+        return;
+      }
+      if (f.op != wire::Op::Reply || f.payload.empty()) continue;
+      CallResult r;
+      const wire::Status st = static_cast<wire::Status>(f.payload[0]);
+      switch (st) {
+        case wire::Status::Ok:
+          r.status = CallStatus::Ok;
+          r.write_mode = f.u8_at(1) != 0;
+          break;
+        case wire::Status::Granted:
+          r.status = CallStatus::Granted;
+          r.handle = f.u64_at(1);
+          r.write_mode = f.u8_at(9) != 0;
+          break;
+        case wire::Status::HelloOk:
+          r.status = CallStatus::Ok;
+          r.handle = f.u64_at(1);  // session id
+          break;
+        case wire::Status::Busy: r.status = CallStatus::Busy; break;
+        case wire::Status::Timeout: r.status = CallStatus::Timeout; break;
+        case wire::Status::Canceled: r.status = CallStatus::Canceled; break;
+        case wire::Status::Fenced: r.status = CallStatus::Fenced; break;
+        case wire::Status::StatsOk:
+          r.status = CallStatus::Ok;
+          r.stats = wire::StatsBody::decode(f.payload.data() + 1,
+                                            f.payload.size() - 1);
+          break;
+        case wire::Status::Error:
+          r.status = CallStatus::Error;
+          r.error = static_cast<wire::ErrorCode>(f.u32_at(1));
+          break;
+        default: r.status = CallStatus::Error; break;
+      }
+      if (st == wire::Status::HelloOk)
+        granted_lease_ms_ = f.u32_at(9);  // {u64 sid}{u32 lease}{u32 q}
+      {
+        std::lock_guard<std::mutex> g(waiters_mu_);
+        const auto it = waiters_.find(f.seq);
+        if (it != waiters_.end() && !it->second->done) {
+          it->second->result = r;
+          it->second->done = true;
+        }
+      }
+      waiters_cv_.notify_all();
+    }
+  }
+}
+
+CallResult ServiceClient::request(wire::Op op,
+                                  const std::vector<std::uint8_t>& payload,
+                                  std::chrono::milliseconds reply_budget,
+                                  std::atomic<std::uint64_t>* inflight_seq) {
+  CallResult lost;
+  lost.status = CallStatus::ConnLost;
+  if (!connected_.load(std::memory_order_acquire)) return lost;
+  const std::uint64_t seq = next_seq_.fetch_add(1);
+  if (inflight_seq != nullptr)
+    inflight_seq->store(seq, std::memory_order_release);
+  Waiter w;
+  {
+    std::lock_guard<std::mutex> g(waiters_mu_);
+    waiters_.emplace(seq, &w);
+  }
+  const auto unregister = [&] {
+    std::lock_guard<std::mutex> g(waiters_mu_);
+    waiters_.erase(seq);
+  };
+  if (!send_frame(op, seq, payload)) {
+    unregister();
+    return lost;
+  }
+  std::unique_lock<std::mutex> lk(waiters_mu_);
+  if (reply_budget.count() > 0) {
+    // Bounded wait: the server answers by the request's own deadline, so a
+    // budget miss means the connection (or server) is gone.
+    if (!waiters_cv_.wait_for(lk, reply_budget, [&] { return w.done; })) {
+      waiters_.erase(seq);
+      lk.unlock();
+      drop_connection();
+      return lost;
+    }
+  } else {
+    waiters_cv_.wait(lk, [&] { return w.done; });
+  }
+  waiters_.erase(seq);
+  return w.result;
+}
+
+namespace {
+/// Client-side wait budget for a deadline-carrying request: the server
+/// replies by the deadline, so anything well past it means a dead peer.
+std::chrono::milliseconds reply_budget_for(std::chrono::milliseconds deadline) {
+  if (deadline.count() == 0) return std::chrono::milliseconds(0);  // infinite
+  return deadline + std::chrono::milliseconds(5000);
+}
+}  // namespace
+
+CallResult ServiceClient::acquire(std::uint64_t reads, std::uint64_t writes,
+                                  std::chrono::milliseconds deadline,
+                                  std::atomic<std::uint64_t>* inflight_seq) {
+  std::vector<std::uint8_t> p;
+  wire::put_u64(p, reads);
+  wire::put_u64(p, writes);
+  wire::put_u64(p, static_cast<std::uint64_t>(deadline.count()));
+  return request(wire::Op::Acquire, p, reply_budget_for(deadline),
+                 inflight_seq);
+}
+
+CallResult ServiceClient::release(std::uint64_t handle) {
+  std::vector<std::uint8_t> p;
+  wire::put_u64(p, handle);
+  return request(wire::Op::Release, p, std::chrono::milliseconds(10'000));
+}
+
+CallResult ServiceClient::cancel(std::uint64_t target_seq) {
+  std::vector<std::uint8_t> p;
+  wire::put_u64(p, target_seq);
+  return request(wire::Op::Cancel, p, std::chrono::milliseconds(10'000));
+}
+
+CallResult ServiceClient::acquire_incremental(
+    std::uint64_t potential_reads, std::uint64_t potential_writes,
+    std::uint64_t initial, std::chrono::milliseconds deadline,
+    std::atomic<std::uint64_t>* inflight_seq) {
+  std::vector<std::uint8_t> p;
+  wire::put_u64(p, potential_reads);
+  wire::put_u64(p, potential_writes);
+  wire::put_u64(p, initial);
+  wire::put_u64(p, static_cast<std::uint64_t>(deadline.count()));
+  return request(wire::Op::AcquireInc, p, reply_budget_for(deadline),
+                 inflight_seq);
+}
+
+CallResult ServiceClient::request_more(std::uint64_t handle,
+                                       std::uint64_t extra) {
+  std::vector<std::uint8_t> p;
+  wire::put_u64(p, handle);
+  wire::put_u64(p, extra);
+  return request(wire::Op::RequestMore, p);
+}
+
+CallResult ServiceClient::release_incremental(std::uint64_t handle) {
+  std::vector<std::uint8_t> p;
+  wire::put_u64(p, handle);
+  return request(wire::Op::ReleaseInc, p, std::chrono::milliseconds(10'000));
+}
+
+CallResult ServiceClient::acquire_upgradeable(std::uint64_t resources) {
+  std::vector<std::uint8_t> p;
+  wire::put_u64(p, resources);
+  return request(wire::Op::AcquireUp, p);
+}
+
+CallResult ServiceClient::upgrade(std::uint64_t handle) {
+  std::vector<std::uint8_t> p;
+  wire::put_u64(p, handle);
+  return request(wire::Op::Upgrade, p);
+}
+
+CallResult ServiceClient::abandon(std::uint64_t handle) {
+  std::vector<std::uint8_t> p;
+  wire::put_u64(p, handle);
+  return request(wire::Op::Abandon, p, std::chrono::milliseconds(10'000));
+}
+
+CallResult ServiceClient::release_upgraded(std::uint64_t handle) {
+  std::vector<std::uint8_t> p;
+  wire::put_u64(p, handle);
+  return request(wire::Op::ReleaseUp, p, std::chrono::milliseconds(10'000));
+}
+
+CallResult ServiceClient::stats() {
+  return request(wire::Op::Stats, {}, std::chrono::milliseconds(10'000));
+}
+
+}  // namespace rwrnlp::service

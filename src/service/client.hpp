@@ -1,0 +1,163 @@
+// C++ client for the network lock service (DESIGN.md §15).
+//
+// One ServiceClient owns one TCP connection / one server-side session and
+// is safe to share between threads: a receiver thread correlates Reply
+// frames to blocked callers by seq (replies may interleave), a heartbeat
+// thread keeps the lease refreshed while every caller is blocked or idle,
+// and calls serialize only on the send path.
+//
+// Failure semantics
+// -----------------
+//  * connect() retries with bounded exponential backoff + jitter; every
+//    successful (re)connect opens a FRESH session and bumps `epoch()`.
+//    Handles from an older epoch are dead: the server revoked them when the
+//    old session died, and a late release through them is fenced to a
+//    counted no-op server-side (CallStatus::Fenced here).  The client never
+//    retries a mutating call transparently — ownership is not exactly-once,
+//    so the caller decides.
+//  * A request's deadline travels in the frame and maps onto the server's
+//    try_lock_until slices; CallStatus::Timeout means the request was
+//    withdrawn through the cancel path, holding nothing.
+//  * CallStatus::Busy is the backpressure answer (P2 ceiling or worker
+//    queue cap): back off and retry — retry_after() provides the next
+//    jittered bounded-exponential delay.
+//  * A dropped connection fails every in-flight call with ConnLost and
+//    marks the client disconnected; the server reaps the session (at once
+//    on RST/EOF, within the lease otherwise).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "service/wire.hpp"
+
+namespace rwrnlp::service {
+
+struct ClientOptions {
+  std::uint16_t port = 0;  ///< server port on 127.0.0.1
+  std::uint32_t lease_ms = 0;  ///< requested lease (0 = server default)
+  /// Heartbeat period (0 = granted lease / 3).
+  std::uint32_t heartbeat_ms = 0;
+  /// connect(): attempts before giving up, with bounded exponential
+  /// backoff in [retry_base, retry_cap] and ±50% jitter.
+  unsigned max_attempts = 5;
+  std::chrono::milliseconds retry_base{10};
+  std::chrono::milliseconds retry_cap{500};
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
+enum class CallStatus : std::uint8_t {
+  Ok,
+  Granted,
+  Busy,      ///< shed (retry with backoff)
+  Timeout,   ///< per-request deadline expired; request withdrawn
+  Canceled,  ///< withdrawn by cancel()
+  Fenced,    ///< stale handle: this holder was revoked (zombie)
+  Error,     ///< protocol-level error (see error code)
+  ConnLost,  ///< connection dropped while the call was in flight
+};
+
+const char* to_string(CallStatus s);
+
+struct CallResult {
+  CallStatus status = CallStatus::ConnLost;
+  std::uint64_t handle = 0;  ///< Granted only
+  bool write_mode = false;   ///< acquire_upgradeable / upgrade
+  wire::ErrorCode error = wire::ErrorCode::None;
+  wire::StatsBody stats;  ///< stats() only
+};
+
+class ServiceClient {
+ public:
+  explicit ServiceClient(ClientOptions opt);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Connects (or reconnects) and opens a fresh session.  Returns false
+  /// after max_attempts failures.  On reconnect the previous epoch's
+  /// handles are permanently dead (see header comment).
+  bool connect();
+  /// Graceful Goodbye (held tokens released server-side) + close.
+  void disconnect();
+
+  bool connected() const { return connected_.load(std::memory_order_acquire); }
+  std::uint64_t session_id() const { return session_id_; }
+  std::uint32_t lease_ms() const { return granted_lease_ms_; }
+  /// Bumped on every successful connect(); stale-epoch handles are fenced.
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // --- lock operations (resource sets as bit masks over [0, q)) ----------
+  /// `inflight_seq`, when non-null, receives the request's seq *before*
+  /// the call blocks, so another thread can cancel() it.
+  CallResult acquire(std::uint64_t reads, std::uint64_t writes,
+                     std::chrono::milliseconds deadline =
+                         std::chrono::milliseconds(0),
+                     std::atomic<std::uint64_t>* inflight_seq = nullptr);
+  CallResult release(std::uint64_t handle);
+  CallResult cancel(std::uint64_t target_seq);
+
+  CallResult acquire_incremental(std::uint64_t potential_reads,
+                                 std::uint64_t potential_writes,
+                                 std::uint64_t initial,
+                                 std::chrono::milliseconds deadline =
+                                     std::chrono::milliseconds(0),
+                                 std::atomic<std::uint64_t>* inflight_seq = nullptr);
+  CallResult request_more(std::uint64_t handle, std::uint64_t extra);
+  CallResult release_incremental(std::uint64_t handle);
+
+  CallResult acquire_upgradeable(std::uint64_t resources);
+  CallResult upgrade(std::uint64_t handle);
+  CallResult abandon(std::uint64_t handle);
+  CallResult release_upgraded(std::uint64_t handle);
+
+  CallResult stats();
+  /// Fire-and-forget lease refresh (also sent by the heartbeat thread).
+  void heartbeat();
+
+  /// Next bounded-exponential backoff delay with jitter, for retrying a
+  /// Busy answer; `attempt` counts from 0.
+  std::chrono::milliseconds retry_after(unsigned attempt);
+
+ private:
+  struct Waiter;
+
+  CallResult request(wire::Op op, const std::vector<std::uint8_t>& payload,
+                     std::chrono::milliseconds reply_budget =
+                         std::chrono::milliseconds(0),
+                     std::atomic<std::uint64_t>* inflight_seq = nullptr);
+  bool send_frame(wire::Op op, std::uint64_t seq,
+                  const std::vector<std::uint8_t>& payload);
+  void receiver();
+  void heartbeater();
+  void drop_connection();  ///< fail in-flight calls, mark disconnected
+  void join_threads();
+  std::uint64_t jitter_next();
+
+  ClientOptions opt_;
+  int fd_ = -1;
+  std::atomic<bool> connected_{false};
+  std::atomic<bool> stopping_{false};
+  std::uint64_t session_id_ = 0;
+  std::uint32_t granted_lease_ms_ = 0;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::uint64_t jitter_state_;
+
+  std::mutex send_mu_;
+
+  std::mutex waiters_mu_;
+  std::condition_variable waiters_cv_;
+  std::map<std::uint64_t, Waiter*> waiters_;
+
+  std::thread receiver_thread_;
+  std::thread heartbeat_thread_;
+};
+
+}  // namespace rwrnlp::service

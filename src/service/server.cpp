@@ -1,0 +1,1190 @@
+// LockService implementation.  See server.hpp for the threading and
+// robustness model; DESIGN.md §15 for the protocol.
+
+#include "service/server.hpp"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace rwrnlp::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Builds a ResourceSet from a wire mask (caller validated the mask).
+ResourceSet set_from_mask(std::uint64_t mask, std::size_t q) {
+  ResourceSet s(q);
+  for (std::size_t i = 0; i < q; ++i)
+    if ((mask >> i) & 1u) s.set(i);
+  return s;
+}
+
+/// A mask is valid when it only names resources below q.
+bool mask_valid(std::uint64_t mask, std::size_t q) {
+  return q >= 64 || (mask >> q) == 0;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Private aggregates
+// --------------------------------------------------------------------------
+
+/// One TCP connection.  The read side (fd, rbuf, saw_hello) belongs to the
+/// loop thread exclusively.  The write side (wbuf/woff/closing flags) is
+/// shared: workers append replies under wmu, only the loop thread flushes
+/// and only the loop thread ever closes the fd — `closed` tells late
+/// workers to drop their reply instead of touching a recycled descriptor.
+struct LockService::Conn {
+  int fd = -1;
+  bool saw_hello = false;
+  std::vector<std::uint8_t> rbuf;
+  std::shared_ptr<Session> session;
+
+  std::mutex wmu;
+  std::vector<std::uint8_t> wbuf;
+  std::size_t woff = 0;
+  bool closed = false;
+  bool close_when_drained = false;
+  bool epollout = false;  // loop thread only: current mask includes OUT
+};
+
+/// One queued worker op.
+struct LockService::Job {
+  std::shared_ptr<Conn> conn;
+  std::shared_ptr<Session> session;
+  wire::Frame frame;
+  std::shared_ptr<PendingOp> pending;  // Acquire/AcquireInc only
+};
+
+// --------------------------------------------------------------------------
+// Construction / lifecycle
+// --------------------------------------------------------------------------
+
+LockService::LockService(std::size_t num_resources, ServiceOptions opt)
+    : q_(num_resources), opt_(opt) {
+  RWRNLP_REQUIRE(num_resources >= 1 && num_resources <= wire::kMaxResources,
+                 "LockService: num_resources must be in [1, 64]");
+  lock_ = std::make_unique<ServiceLock>(q_, opt_.expansion);
+  locks::RobustnessOptions ro;
+  ro.max_incomplete = opt_.max_incomplete;
+  ro.stuck_budget = opt_.stuck_budget;
+  ro.recovery = opt_.stuck_recovery;
+  lock_->set_robustness_options(ro);
+}
+
+LockService::~LockService() { stop(); }
+
+void LockService::start() {
+  RWRNLP_REQUIRE(!running_.load(), "LockService::start() called twice");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) throw std::runtime_error("LockService: socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opt_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("LockService: bind/listen failed");
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0)
+    throw std::runtime_error("LockService: epoll/eventfd setup failed");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = &listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.ptr = &wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  stopping_.store(false);
+  running_.store(true);
+  loop_thread_ = std::thread([this] { loop(); });
+  const std::size_t nw = std::max<std::size_t>(1, opt_.workers);
+  worker_threads_.reserve(nw);
+  for (std::size_t i = 0; i < nw; ++i)
+    worker_threads_.emplace_back([this] { worker(); });
+
+  std::chrono::milliseconds period = opt_.watchdog_period;
+  if (period.count() == 0) {
+    period = std::chrono::milliseconds(
+        std::clamp<std::int64_t>(opt_.lease_ms / 4, 5, 250));
+  }
+  locks::Watchdog::Options wopt;
+  wopt.period = period;
+  watchdog_ = std::make_unique<locks::Watchdog>(
+      [this] { return watchdog_probe(); },
+      [](const locks::HealthReport&) {}, wopt);
+}
+
+void LockService::stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+
+  // Stop the lease sweeper first so reaping cannot race teardown.
+  watchdog_.reset();
+
+  // The loop thread notices stopping_ on its next wake and exits.
+  wake_loop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+
+  // Workers drain the remaining queue (slice loops bail on stopping_).
+  jobs_cv_.notify_all();
+  for (std::thread& t : worker_threads_)
+    if (t.joinable()) t.join();
+  worker_threads_.clear();
+
+  // Release everything still held — normally, not forcibly: the service is
+  // shutting down, the holders did not crash, and a clean engine drain is
+  // part of the oracle-replay contract for tests.
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> g(sessions_mu_);
+    sessions.swap(sessions_);
+  }
+  for (const std::shared_ptr<Session>& s : sessions) {
+    std::unordered_map<std::uint64_t, HeldToken> held;
+    {
+      std::lock_guard<std::mutex> g(s->mu);
+      s->alive.store(false);
+      held.swap(s->handles);
+      s->pending.clear();
+    }
+    for (auto& [handle, h] : held) {
+      (void)handle;
+      switch (h.kind) {
+        case HeldToken::Kind::Plain: lock_->release(h.tok); break;
+        case HeldToken::Kind::Incremental:
+          lock_->release_incremental(h.tok);
+          break;
+        case HeldToken::Kind::Upgrade:
+          if (h.utok.write_mode)
+            lock_->release_upgraded(h.utok);
+          else
+            lock_->abandon(h.utok);
+          break;
+      }
+    }
+  }
+
+  // fds: loop thread has exited, nobody else touches them.
+  for (const std::shared_ptr<Conn>& c : conns_) {
+    if (c->fd >= 0) ::close(c->fd);
+    c->fd = -1;
+    std::lock_guard<std::mutex> g(c->wmu);
+    c->closed = true;
+  }
+  conns_.clear();
+  {
+    std::lock_guard<std::mutex> g(closes_mu_);
+    deferred_closes_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> g(jobs_mu_);
+    jobs_.clear();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  running_.store(false);
+}
+
+// --------------------------------------------------------------------------
+// Event loop
+// --------------------------------------------------------------------------
+
+void LockService::loop() {
+  epoll_event evs[64];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int n = ::epoll_wait(epoll_fd_, evs, 64, 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      void* tag = evs[i].data.ptr;
+      if (tag == &listen_fd_) {
+        handle_accept();
+        continue;
+      }
+      if (tag == &wake_fd_) {
+        std::uint64_t tick;
+        while (::read(wake_fd_, &tick, sizeof(tick)) > 0) {
+        }
+        continue;  // deferred work runs below, every iteration
+      }
+      // Find the connection: epoll hands back a raw Conn*, valid because
+      // only this thread removes it from epoll (in close_conn) and the
+      // shared_ptr in conns_ outlives the registration.
+      Conn* raw = static_cast<Conn*>(tag);
+      std::shared_ptr<Conn> c;
+      for (const std::shared_ptr<Conn>& cand : conns_)
+        if (cand.get() == raw) {
+          c = cand;
+          break;
+        }
+      if (!c || c->fd < 0) continue;
+      if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
+        close_conn(c, /*reap=*/true, &stats_.sessions_dropped);
+        continue;
+      }
+      if (evs[i].events & EPOLLIN) handle_readable(c);
+      if (c->fd >= 0 && (evs[i].events & EPOLLOUT)) flush_writes(c);
+    }
+    // Deferred work queued by workers / the watchdog since the last pass:
+    // closes first (their sessions are already dead), then write flushes.
+    drain_deferred_closes();
+    // Snapshot first: flush_writes may close_conn(), which erases from
+    // conns_ and would invalidate a live iterator.
+    std::vector<std::shared_ptr<Conn>> to_flush;
+    for (const std::shared_ptr<Conn>& c : conns_) {
+      bool has_data;
+      {
+        std::lock_guard<std::mutex> g(c->wmu);
+        has_data = c->woff < c->wbuf.size() || c->close_when_drained;
+      }
+      if (has_data && c->fd >= 0 && !c->epollout) to_flush.push_back(c);
+    }
+    for (const std::shared_ptr<Conn>& c : to_flush)
+      if (c->fd >= 0) flush_writes(c);
+  }
+}
+
+void LockService::handle_accept() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: back to epoll
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto c = std::make_shared<Conn>();
+    c->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = c.get();
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.push_back(std::move(c));
+  }
+}
+
+void LockService::handle_readable(const std::shared_ptr<Conn>& c) {
+  std::uint8_t chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(c->fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      c->rbuf.insert(c->rbuf.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // EOF or hard error: the session died mid-stream.  A half-written
+    // frame still sitting in rbuf is simply abandoned — recovery does not
+    // depend on the stream being frame-aligned at death.
+    close_conn(c, /*reap=*/true, &stats_.sessions_dropped);
+    return;
+  }
+  wire::Frame f;
+  for (;;) {
+    if (c->fd < 0) return;  // a frame handler dropped the connection
+    {
+      // A handler marked the conn for close-after-flush: anything else the
+      // client pipelined behind the offending frame is dead input.
+      std::lock_guard<std::mutex> g(c->wmu);
+      if (c->close_when_drained) return;
+    }
+    switch (wire::decode_frame(c->rbuf, &f)) {
+      case wire::DecodeResult::NeedMore:
+        // Cap a desynced stream that never yields a valid header.
+        if (c->rbuf.size() > wire::kMaxFrame + 4) {
+          stats_.bad_frames.fetch_add(1);
+          close_conn(c, /*reap=*/true, &stats_.sessions_dropped);
+        }
+        return;
+      case wire::DecodeResult::Bad:
+        stats_.bad_frames.fetch_add(1);
+        reply_then_close(c, 0, wire::reply_error(wire::ErrorCode::BadFrame),
+                         /*reap=*/true, &stats_.sessions_dropped);
+        return;
+      case wire::DecodeResult::Frame: handle_frame(c, std::move(f)); break;
+    }
+  }
+}
+
+void LockService::handle_frame(const std::shared_ptr<Conn>& c,
+                               wire::Frame&& f) {
+  if (!c->saw_hello) {
+    if (f.op != wire::Op::Hello) {
+      stats_.bad_frames.fetch_add(1);
+      reply_then_close(c, f.seq,
+                       wire::reply_error(wire::ErrorCode::NoSession),
+                       /*reap=*/true, &stats_.sessions_dropped);
+      return;
+    }
+    op_hello(c, f);
+    return;
+  }
+  const std::shared_ptr<Session>& s = c->session;
+  s->refresh_lease();  // ANY frame is a heartbeat
+
+  switch (f.op) {
+    case wire::Op::Hello:
+      stats_.bad_frames.fetch_add(1);
+      send_reply(c, f.seq, wire::reply_error(wire::ErrorCode::BadOp));
+      return;
+    case wire::Op::Heartbeat:
+      stats_.heartbeats.fetch_add(1);
+      return;  // fire-and-forget
+    case wire::Op::Cancel: op_cancel(c, f); return;
+    case wire::Op::Stats: op_stats(c, f); return;
+    case wire::Op::Acquire:
+    case wire::Op::AcquireInc:
+    case wire::Op::Release:
+    case wire::Op::ReleaseInc:
+    case wire::Op::ReleaseUp:
+    case wire::Op::RequestMore:
+    case wire::Op::AcquireUp:
+    case wire::Op::Upgrade:
+    case wire::Op::Abandon:
+    case wire::Op::Goodbye: break;
+    default:
+      stats_.bad_frames.fetch_add(1);
+      send_reply(c, f.seq, wire::reply_error(wire::ErrorCode::BadOp));
+      return;
+  }
+
+  // Blocking op: hand it to the worker pool.
+  Job j;
+  j.conn = c;
+  j.session = s;
+  const wire::Op op = f.op;
+  const std::uint64_t seq = f.seq;
+  j.frame = std::move(f);
+  if (op == wire::Op::Acquire || op == wire::Op::AcquireInc) {
+    if (s->quarantined.load(std::memory_order_relaxed)) {
+      // Lease overdue under RecoveryPolicy::Quarantine: existing holds
+      // stand, new admissions shed until a frame refreshes the lease —
+      // which this very frame just did, so only the sweep-vs-frame race
+      // lands here.  Answer BUSY; the client retries.
+      stats_.busy.fetch_add(1);
+      send_reply(c, seq, wire::reply_payload(wire::Status::Busy));
+      return;
+    }
+    j.pending = std::make_shared<PendingOp>();
+    j.pending->seq = seq;
+    std::lock_guard<std::mutex> g(s->mu);
+    if (!s->alive.load(std::memory_order_relaxed)) return;
+    s->pending.emplace(seq, j.pending);
+  }
+  if (!enqueue_job(std::move(j))) {
+    // Worker-queue ceiling: shed from the event loop without touching the
+    // lock at all.
+    if (op == wire::Op::Acquire || op == wire::Op::AcquireInc) {
+      std::lock_guard<std::mutex> g(s->mu);
+      s->pending.erase(seq);
+    }
+    stats_.busy.fetch_add(1);
+    send_reply(c, seq, wire::reply_payload(wire::Status::Busy));
+  }
+}
+
+void LockService::op_hello(const std::shared_ptr<Conn>& c,
+                           const wire::Frame& f) {
+  const std::uint32_t version = f.u32_at(0);
+  if (version != wire::kProtocolVersion) {
+    stats_.bad_frames.fetch_add(1);
+    reply_then_close(c, f.seq,
+                     wire::reply_error(wire::ErrorCode::BadVersion),
+                     /*reap=*/false, nullptr);
+    return;
+  }
+  const std::uint32_t req_lease = f.u32_at(4);
+  auto s = std::make_shared<Session>();
+  s->lease_ms = std::clamp(req_lease == 0 ? opt_.lease_ms : req_lease,
+                           opt_.min_lease_ms, opt_.max_lease_ms);
+  s->conn = c;
+  s->refresh_lease();
+  {
+    std::lock_guard<std::mutex> g(sessions_mu_);
+    if (sessions_.size() >= opt_.max_sessions) {
+      stats_.busy.fetch_add(1);
+      reply_then_close(c, f.seq,
+                       wire::reply_error(wire::ErrorCode::Overloaded),
+                       /*reap=*/false, nullptr);
+      return;
+    }
+    s->id = next_session_id_++;
+    sessions_.push_back(s);
+  }
+  c->session = s;
+  c->saw_hello = true;
+  stats_.sessions_opened.fetch_add(1);
+  std::vector<std::uint8_t> p = wire::reply_payload(wire::Status::HelloOk);
+  wire::put_u64(p, s->id);
+  wire::put_u32(p, s->lease_ms);
+  wire::put_u32(p, static_cast<std::uint32_t>(q_));
+  send_reply(c, f.seq, p);
+}
+
+void LockService::op_cancel(const std::shared_ptr<Conn>& c,
+                            const wire::Frame& f) {
+  const std::uint64_t target = f.u64_at(0);
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> g(c->session->mu);
+    const auto it = c->session->pending.find(target);
+    if (it != c->session->pending.end()) {
+      it->second->canceled.store(true, std::memory_order_relaxed);
+      found = true;
+    }
+  }
+  if (found) {
+    stats_.cancels.fetch_add(1);
+    send_reply(c, f.seq, wire::reply_payload(wire::Status::Ok));
+  } else {
+    send_reply(c, f.seq, wire::reply_error(wire::ErrorCode::NoSuchTarget));
+  }
+}
+
+void LockService::op_stats(const std::shared_ptr<Conn>& c,
+                           const wire::Frame& f) {
+  send_reply(c, f.seq, stats_body().encode());
+}
+
+wire::StatsBody LockService::stats_body() const {
+  wire::StatsBody b;
+  b.sessions_opened = stats_.sessions_opened.load();
+  b.sessions_expired = stats_.sessions_expired.load();
+  b.sessions_dropped = stats_.sessions_dropped.load();
+  b.sessions_closed = stats_.sessions_closed.load();
+  b.acquires_granted = stats_.acquires_granted.load();
+  b.releases = stats_.releases.load();
+  b.timeouts = stats_.timeouts.load();
+  b.cancels = stats_.cancels.load();
+  b.busy = stats_.busy.load();
+  b.tokens_force_released = stats_.tokens_force_released.load();
+  b.posthumous_grants = stats_.posthumous_grants.load();
+  b.zombies_fenced = stats_.zombies_fenced.load();
+  b.heartbeats = stats_.heartbeats.load();
+  b.bad_frames = stats_.bad_frames.load();
+  {
+    auto* self = const_cast<LockService*>(this);
+    std::lock_guard<std::mutex> g(self->sessions_mu_);
+    for (const std::shared_ptr<Session>& s : sessions_) {
+      if (!s->alive.load(std::memory_order_relaxed)) continue;
+      ++b.open_sessions;
+      std::lock_guard<std::mutex> h(s->mu);
+      b.held_handles += s->handles.size();
+    }
+  }
+  const locks::HealthReport hr = lock_->health_report();
+  b.lock_forced_releases = hr.forced_releases;
+  b.lock_fenced_zombies = hr.fenced_zombies;
+  b.lock_canceled = hr.canceled;
+  b.lock_shed = hr.shed;
+  b.lock_incomplete = hr.incomplete;
+  return b;
+}
+
+// --------------------------------------------------------------------------
+// Worker pool
+// --------------------------------------------------------------------------
+
+bool LockService::enqueue_job(Job&& j) {
+  {
+    std::lock_guard<std::mutex> g(jobs_mu_);
+    if (jobs_.size() >= opt_.max_queued_jobs) return false;
+    jobs_.push_back(std::move(j));
+  }
+  jobs_cv_.notify_one();
+  return true;
+}
+
+void LockService::worker() {
+  for (;;) {
+    Job j;
+    {
+      std::unique_lock<std::mutex> lk(jobs_mu_);
+      jobs_cv_.wait(lk, [this] {
+        return stopping_.load(std::memory_order_relaxed) || !jobs_.empty();
+      });
+      if (jobs_.empty()) {
+        if (stopping_.load(std::memory_order_relaxed)) return;
+        continue;
+      }
+      j = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    try {
+      exec_job(j);
+    } catch (const std::invalid_argument&) {
+      // A malformed payload slipped past validation into an RWRNLP_REQUIRE:
+      // answer the one client instead of taking the daemon down.
+      stats_.bad_frames.fetch_add(1);
+      send_reply(j.conn, j.frame.seq,
+                 wire::reply_error(wire::ErrorCode::BadFrame));
+    }
+  }
+}
+
+void LockService::exec_job(Job& j) {
+  switch (j.frame.op) {
+    case wire::Op::Acquire: exec_acquire(j); break;
+    case wire::Op::AcquireInc: exec_acquire_inc(j); break;
+    case wire::Op::RequestMore: exec_request_more(j); break;
+    case wire::Op::Release: exec_release(j, HeldToken::Kind::Plain); break;
+    case wire::Op::ReleaseInc:
+      exec_release(j, HeldToken::Kind::Incremental);
+      break;
+    case wire::Op::ReleaseUp: exec_release(j, HeldToken::Kind::Upgrade); break;
+    case wire::Op::AcquireUp: exec_acquire_up(j); break;
+    case wire::Op::Upgrade: exec_upgrade(j); break;
+    case wire::Op::Abandon: exec_abandon(j); break;
+    case wire::Op::Goodbye: exec_goodbye(j); break;
+    default: break;
+  }
+}
+
+namespace {
+
+/// Outcome of the slice-polled blocking acquisition loop.
+enum class AcquireOutcome { Granted, Timeout, Canceled, Busy, Dead };
+
+}  // namespace
+
+/// Polls `try_once(slice_end)` in bounded slices until grant, deadline,
+/// cancellation, session death, or shed.  The front end's timed wait is not
+/// externally interruptible, so the slice width bounds how stale a Cancel
+/// or a session death can go unnoticed; each slice expiry goes through
+/// Engine::cancel inside the front end (the issued-unsatisfied withdrawal
+/// path) and the next slice re-issues.  Re-issuing forfeits the original
+/// timestamp position — bounded recovery latency is deliberately preferred
+/// over FIFO fidelity for blocked remote clients (server.hpp).
+///
+/// Shed-vs-timeout disambiguation: the timed front-end path returns nullopt
+/// *immediately* when OverloadShed would fire (P2 ceiling) but only *at the
+/// deadline* on a plain timeout, so a nullopt with >1ms of slice left is a
+/// shed.
+template <class TryFn>
+static AcquireOutcome acquire_slices(const std::atomic<bool>& stopping,
+                                     Session& session, PendingOp* pending,
+                                     Clock::time_point deadline,
+                                     std::chrono::milliseconds slice,
+                                     TryFn&& try_once,
+                                     locks::LockToken* out) {
+  for (;;) {
+    if (stopping.load(std::memory_order_relaxed))
+      return AcquireOutcome::Dead;
+    if (!session.alive.load(std::memory_order_acquire))
+      return AcquireOutcome::Dead;
+    if (pending != nullptr &&
+        pending->canceled.load(std::memory_order_acquire))
+      return AcquireOutcome::Canceled;
+    const Clock::time_point now = Clock::now();
+    if (now >= deadline) return AcquireOutcome::Timeout;
+    const Clock::time_point slice_end = std::min(deadline, now + slice);
+    std::optional<locks::LockToken> tok;
+    try {
+      tok = try_once(slice_end);
+    } catch (const locks::OverloadShed&) {
+      return AcquireOutcome::Busy;
+    }
+    if (tok) {
+      *out = *tok;
+      return AcquireOutcome::Granted;
+    }
+    if (slice_end - Clock::now() > std::chrono::milliseconds(1))
+      return AcquireOutcome::Busy;  // early nullopt = load shed
+  }
+}
+
+void LockService::exec_acquire(Job& j) {
+  const std::uint64_t rmask = j.frame.u64_at(0);
+  const std::uint64_t wmask = j.frame.u64_at(8);
+  const std::uint64_t deadline_ms = j.frame.u64_at(16);
+  const auto finish = [&](wire::Status st) {
+    {
+      std::lock_guard<std::mutex> g(j.session->mu);
+      j.session->pending.erase(j.frame.seq);
+    }
+    if (st != wire::Status::Ok)  // Ok is the "no reply" sentinel here
+      send_reply(j.conn, j.frame.seq, wire::reply_payload(st));
+  };
+  if (!mask_valid(rmask, q_) || !mask_valid(wmask, q_) ||
+      (rmask | wmask) == 0) {
+    {
+      std::lock_guard<std::mutex> g(j.session->mu);
+      j.session->pending.erase(j.frame.seq);
+    }
+    stats_.bad_frames.fetch_add(1);
+    send_reply(j.conn, j.frame.seq,
+               wire::reply_error(wire::ErrorCode::BadFrame));
+    return;
+  }
+  const ResourceSet reads = set_from_mask(rmask & ~wmask, q_);
+  const ResourceSet writes = set_from_mask(wmask, q_);
+  const Clock::time_point deadline =
+      deadline_ms == 0 ? Clock::time_point::max()
+                       : Clock::now() + std::chrono::milliseconds(deadline_ms);
+  locks::LockToken tok{};
+  const AcquireOutcome out = acquire_slices(
+      stopping_, *j.session, j.pending.get(), deadline, opt_.slice,
+      [&](Clock::time_point slice_end) {
+        return lock_->try_lock_until(reads, writes, slice_end);
+      },
+      &tok);
+  switch (out) {
+    case AcquireOutcome::Granted: {
+      const std::uint64_t handle =
+          j.session->try_install(HeldToken{HeldToken::Kind::Plain, tok, {}});
+      if (handle == 0) {
+        // Posthumous grant: the session died while the grant was landing.
+        // Not a crash of a *holder* — release normally, count it.
+        lock_->release(tok);
+        stats_.posthumous_grants.fetch_add(1);
+        finish(wire::Status::Ok);
+        return;
+      }
+      stats_.acquires_granted.fetch_add(1);
+      std::vector<std::uint8_t> p =
+          wire::reply_payload(wire::Status::Granted);
+      wire::put_u64(p, handle);
+      {
+        std::lock_guard<std::mutex> g(j.session->mu);
+        j.session->pending.erase(j.frame.seq);
+      }
+      send_reply(j.conn, j.frame.seq, p);
+      return;
+    }
+    case AcquireOutcome::Timeout:
+      stats_.timeouts.fetch_add(1);
+      finish(wire::Status::Timeout);
+      return;
+    case AcquireOutcome::Canceled: finish(wire::Status::Canceled); return;
+    case AcquireOutcome::Busy:
+      stats_.busy.fetch_add(1);
+      finish(wire::Status::Busy);
+      return;
+    case AcquireOutcome::Dead: finish(wire::Status::Ok); return;
+  }
+}
+
+void LockService::exec_acquire_inc(Job& j) {
+  const std::uint64_t prmask = j.frame.u64_at(0);
+  const std::uint64_t pwmask = j.frame.u64_at(8);
+  const std::uint64_t imask = j.frame.u64_at(16);
+  const std::uint64_t deadline_ms = j.frame.u64_at(24);
+  const auto fail = [&](const std::vector<std::uint8_t>& p) {
+    {
+      std::lock_guard<std::mutex> g(j.session->mu);
+      j.session->pending.erase(j.frame.seq);
+    }
+    send_reply(j.conn, j.frame.seq, p);
+  };
+  if (!mask_valid(prmask, q_) || !mask_valid(pwmask, q_) ||
+      (prmask | pwmask) == 0 || (imask & ~(prmask | pwmask)) != 0 ||
+      imask == 0) {
+    stats_.bad_frames.fetch_add(1);
+    fail(wire::reply_error(wire::ErrorCode::BadFrame));
+    return;
+  }
+  const ResourceSet preads = set_from_mask(prmask & ~pwmask, q_);
+  const ResourceSet pwrites = set_from_mask(pwmask, q_);
+  const ResourceSet initial = set_from_mask(imask, q_);
+  const Clock::time_point deadline =
+      deadline_ms == 0 ? Clock::time_point::max()
+                       : Clock::now() + std::chrono::milliseconds(deadline_ms);
+  locks::LockToken tok{};
+  const AcquireOutcome out = acquire_slices(
+      stopping_, *j.session, j.pending.get(), deadline, opt_.slice,
+      [&](Clock::time_point slice_end) {
+        return lock_->try_incremental_until(preads, pwrites, initial,
+                                            slice_end);
+      },
+      &tok);
+  const auto finish = [&](wire::Status st) {
+    {
+      std::lock_guard<std::mutex> g(j.session->mu);
+      j.session->pending.erase(j.frame.seq);
+    }
+    if (st != wire::Status::Ok)
+      send_reply(j.conn, j.frame.seq, wire::reply_payload(st));
+  };
+  switch (out) {
+    case AcquireOutcome::Granted: {
+      HeldToken held;
+      held.kind = HeldToken::Kind::Incremental;
+      held.tok = tok;
+      held.inc_potential = prmask | pwmask;
+      const std::uint64_t handle = j.session->try_install(std::move(held));
+      if (handle == 0) {
+        lock_->release_incremental(tok);
+        stats_.posthumous_grants.fetch_add(1);
+        finish(wire::Status::Ok);
+        return;
+      }
+      stats_.acquires_granted.fetch_add(1);
+      std::vector<std::uint8_t> p =
+          wire::reply_payload(wire::Status::Granted);
+      wire::put_u64(p, handle);
+      {
+        std::lock_guard<std::mutex> g(j.session->mu);
+        j.session->pending.erase(j.frame.seq);
+      }
+      send_reply(j.conn, j.frame.seq, p);
+      return;
+    }
+    case AcquireOutcome::Timeout:
+      stats_.timeouts.fetch_add(1);
+      finish(wire::Status::Timeout);
+      return;
+    case AcquireOutcome::Canceled: finish(wire::Status::Canceled); return;
+    case AcquireOutcome::Busy:
+      stats_.busy.fetch_add(1);
+      finish(wire::Status::Busy);
+      return;
+    case AcquireOutcome::Dead: finish(wire::Status::Ok); return;
+  }
+}
+
+void LockService::exec_request_more(Job& j) {
+  const std::uint64_t handle = j.frame.u64_at(0);
+  const std::uint64_t extra_mask = j.frame.u64_at(8);
+  if (!mask_valid(extra_mask, q_) || extra_mask == 0) {
+    stats_.bad_frames.fetch_add(1);
+    send_reply(j.conn, j.frame.seq,
+               wire::reply_error(wire::ErrorCode::BadFrame));
+    return;
+  }
+  // The handle STAYS in the table while the grow blocks: an entitled
+  // incremental holder is revocable, and reaping the session while this
+  // worker is parked inside request_more() must be able to find the token
+  // and force-release it (which releases this very waiter — the PR 8
+  // slow-but-alive path).
+  HeldToken h;
+  bool found = false, right_kind = false;
+  {
+    std::lock_guard<std::mutex> g(j.session->mu);
+    const auto it = j.session->handles.find(handle);
+    if (it != j.session->handles.end()) {
+      found = true;
+      right_kind = it->second.kind == HeldToken::Kind::Incremental;
+      if (right_kind) h = it->second;
+    }
+  }
+  if (!found) {
+    stats_.zombies_fenced.fetch_add(1);
+    send_reply(j.conn, j.frame.seq, wire::reply_payload(wire::Status::Fenced));
+    return;
+  }
+  if (!right_kind || (extra_mask & ~h.inc_potential) != 0) {
+    // Wrong token kind, or growing outside the declared potential set.
+    send_reply(j.conn, j.frame.seq,
+               wire::reply_error(wire::ErrorCode::BadState));
+    return;
+  }
+  const ResourceSet extra = set_from_mask(extra_mask, q_);
+  try {
+    lock_->request_more(h.tok, extra);
+  } catch (const locks::Fenced&) {
+    // Revoked between lookup and the engine call (or while parked): the
+    // front end already counted the zombie; answer the frame as fenced.
+    if (j.session->alive.load(std::memory_order_acquire))
+      send_reply(j.conn, j.frame.seq,
+                 wire::reply_payload(wire::Status::Fenced));
+    return;
+  }
+  if (!j.session->alive.load(std::memory_order_acquire)) return;
+  send_reply(j.conn, j.frame.seq, wire::reply_payload(wire::Status::Ok));
+}
+
+void LockService::exec_release(Job& j, HeldToken::Kind expected) {
+  const std::uint64_t handle = j.frame.u64_at(0);
+  HeldToken h;
+  if (!j.session->take(handle, &h)) {
+    // Unknown handle: released already, revoked by recovery, or a replay
+    // from a previous generation — the zombie fence.
+    stats_.zombies_fenced.fetch_add(1);
+    send_reply(j.conn, j.frame.seq, wire::reply_payload(wire::Status::Fenced));
+    return;
+  }
+  if (h.kind != expected ||
+      (expected == HeldToken::Kind::Upgrade && !h.utok.write_mode)) {
+    j.session->put_back(handle, std::move(h));
+    send_reply(j.conn, j.frame.seq,
+               wire::reply_error(wire::ErrorCode::BadState));
+    return;
+  }
+  switch (h.kind) {
+    case HeldToken::Kind::Plain: lock_->release(h.tok); break;
+    case HeldToken::Kind::Incremental: lock_->release_incremental(h.tok); break;
+    case HeldToken::Kind::Upgrade: lock_->release_upgraded(h.utok); break;
+  }
+  stats_.releases.fetch_add(1);
+  send_reply(j.conn, j.frame.seq, wire::reply_payload(wire::Status::Ok));
+}
+
+void LockService::exec_acquire_up(Job& j) {
+  const std::uint64_t mask = j.frame.u64_at(0);
+  if (!mask_valid(mask, q_) || mask == 0) {
+    stats_.bad_frames.fetch_add(1);
+    send_reply(j.conn, j.frame.seq,
+               wire::reply_error(wire::ErrorCode::BadFrame));
+    return;
+  }
+  const ResourceSet rs = set_from_mask(mask, q_);
+  ServiceLock::UpgradeToken utok = lock_->acquire_upgradeable(rs);
+  HeldToken h;
+  h.kind = HeldToken::Kind::Upgrade;
+  h.utok = utok;
+  const std::uint64_t handle = j.session->try_install(std::move(h));
+  if (handle == 0) {
+    if (utok.write_mode)
+      lock_->release_upgraded(utok);
+    else
+      lock_->abandon(utok);
+    stats_.posthumous_grants.fetch_add(1);
+    return;
+  }
+  stats_.acquires_granted.fetch_add(1);
+  std::vector<std::uint8_t> p = wire::reply_payload(wire::Status::Granted);
+  wire::put_u64(p, handle);
+  p.push_back(utok.write_mode ? 1 : 0);
+  send_reply(j.conn, j.frame.seq, p);
+}
+
+void LockService::exec_upgrade(Job& j) {
+  const std::uint64_t handle = j.frame.u64_at(0);
+  HeldToken h;
+  if (!j.session->take(handle, &h)) {
+    stats_.zombies_fenced.fetch_add(1);
+    send_reply(j.conn, j.frame.seq, wire::reply_payload(wire::Status::Fenced));
+    return;
+  }
+  if (h.kind != HeldToken::Kind::Upgrade || h.utok.write_mode) {
+    j.session->put_back(handle, std::move(h));
+    send_reply(j.conn, j.frame.seq,
+               wire::reply_error(wire::ErrorCode::BadState));
+    return;
+  }
+  // The token is out of the table for the duration of the blocking
+  // upgrade: a concurrent reap cannot revoke a half the engine is mutating.
+  // If the session dies meanwhile, put_back fails and the write lock is
+  // torn down as a posthumous grant.
+  try {
+    lock_->upgrade(h.utok);
+  } catch (const locks::Fenced&) {
+    // Revoked before the call entered the engine (stuck-budget backstop).
+    if (j.session->alive.load(std::memory_order_acquire))
+      send_reply(j.conn, j.frame.seq,
+                 wire::reply_payload(wire::Status::Fenced));
+    return;
+  }
+  if (!j.session->put_back(handle, std::move(h))) {
+    lock_->release_upgraded(h.utok);
+    stats_.posthumous_grants.fetch_add(1);
+    return;
+  }
+  std::vector<std::uint8_t> p = wire::reply_payload(wire::Status::Ok);
+  p.push_back(1);  // write_mode now
+  send_reply(j.conn, j.frame.seq, p);
+}
+
+void LockService::exec_abandon(Job& j) {
+  const std::uint64_t handle = j.frame.u64_at(0);
+  HeldToken h;
+  if (!j.session->take(handle, &h)) {
+    stats_.zombies_fenced.fetch_add(1);
+    send_reply(j.conn, j.frame.seq, wire::reply_payload(wire::Status::Fenced));
+    return;
+  }
+  if (h.kind != HeldToken::Kind::Upgrade || h.utok.write_mode) {
+    j.session->put_back(handle, std::move(h));
+    send_reply(j.conn, j.frame.seq,
+               wire::reply_error(wire::ErrorCode::BadState));
+    return;
+  }
+  lock_->abandon(h.utok);  // fences internally if revoked meanwhile
+  stats_.releases.fetch_add(1);
+  send_reply(j.conn, j.frame.seq, wire::reply_payload(wire::Status::Ok));
+}
+
+void LockService::exec_goodbye(Job& j) {
+  std::unordered_map<std::uint64_t, HeldToken> held;
+  {
+    std::lock_guard<std::mutex> g(j.session->mu);
+    if (j.session->alive.exchange(false)) {
+      held.swap(j.session->handles);
+      for (auto& [seq, op] : j.session->pending)
+        op->canceled.store(true, std::memory_order_relaxed);
+    }
+  }
+  for (auto& [handle, h] : held) {
+    (void)handle;
+    switch (h.kind) {
+      case HeldToken::Kind::Plain: lock_->release(h.tok); break;
+      case HeldToken::Kind::Incremental:
+        lock_->release_incremental(h.tok);
+        break;
+      case HeldToken::Kind::Upgrade:
+        if (h.utok.write_mode)
+          lock_->release_upgraded(h.utok);
+        else
+          lock_->abandon(h.utok);
+        break;
+    }
+    stats_.releases.fetch_add(1);
+  }
+  {
+    std::lock_guard<std::mutex> g(sessions_mu_);
+    sessions_.erase(std::remove(sessions_.begin(), sessions_.end(),
+                                j.session),
+                    sessions_.end());
+  }
+  stats_.sessions_closed.fetch_add(1);
+  send_reply(j.conn, j.frame.seq, wire::reply_payload(wire::Status::Ok));
+  // Let the reply flush, then have the loop thread close the socket.
+  {
+    std::lock_guard<std::mutex> g(j.conn->wmu);
+    j.conn->close_when_drained = true;
+  }
+  wake_loop();
+}
+
+// --------------------------------------------------------------------------
+// Session reaping (the crash-recovery path)
+// --------------------------------------------------------------------------
+
+void LockService::reap_session(const std::shared_ptr<Session>& s,
+                               std::atomic<std::uint64_t>& death_counter) {
+  std::vector<HeldToken> held;
+  {
+    std::lock_guard<std::mutex> g(s->mu);
+    if (!s->alive.exchange(false)) return;  // already reaped / closed
+    held.reserve(s->handles.size());
+    for (auto& [handle, h] : s->handles) {
+      (void)handle;
+      held.push_back(std::move(h));
+    }
+    s->handles.clear();
+    for (auto& [seq, op] : s->pending)
+      op->canceled.store(true, std::memory_order_relaxed);
+    s->pending.clear();
+  }
+  death_counter.fetch_add(1);
+  for (HeldToken& h : held) force_release_held(h);
+  std::lock_guard<std::mutex> g(sessions_mu_);
+  sessions_.erase(std::remove(sessions_.begin(), sessions_.end(), s),
+                  sessions_.end());
+}
+
+void LockService::force_release_held(HeldToken& h) {
+  bool revoked = false;
+  switch (h.kind) {
+    case HeldToken::Kind::Plain:
+    case HeldToken::Kind::Incremental:
+      revoked = lock_->force_release(h.tok);
+      break;
+    case HeldToken::Kind::Upgrade: {
+      // Craft the token for the half the session actually holds; revoking
+      // the read half cancels the pending write half in the same engine
+      // step (the shared-fate rule for mid-upgrade deaths).
+      const std::uint64_t packed =
+          h.utok.write_mode
+              ? locks::pack_token_id(h.utok.pair.write_part, h.utok.write_gen)
+              : locks::pack_token_id(h.utok.pair.read_part, h.utok.read_gen);
+      revoked = lock_->force_release(locks::LockToken{packed, nullptr});
+      break;
+    }
+  }
+  if (revoked) stats_.tokens_force_released.fetch_add(1);
+}
+
+locks::HealthReport LockService::watchdog_probe() {
+  const Clock::time_point now = Clock::now();
+  std::vector<std::shared_ptr<Session>> expired;
+  {
+    std::lock_guard<std::mutex> g(sessions_mu_);
+    for (const std::shared_ptr<Session>& s : sessions_) {
+      if (!s->alive.load(std::memory_order_relaxed)) continue;
+      if (s->lease_expired(now)) expired.push_back(s);
+    }
+  }
+  for (const std::shared_ptr<Session>& s : expired) {
+    switch (opt_.lease_recovery) {
+      case locks::RecoveryPolicy::DetectOnly:
+        stats_.leases_overdue.fetch_add(1);
+        break;
+      case locks::RecoveryPolicy::Quarantine:
+        if (!s->quarantined.exchange(true)) stats_.leases_overdue.fetch_add(1);
+        break;
+      case locks::RecoveryPolicy::ForceRelease: {
+        stats_.leases_overdue.fetch_add(1);
+        reap_session(s, stats_.sessions_expired);
+        // The fd belongs to the loop thread: queue a deferred close.
+        if (auto conn = s->conn.lock()) {
+          std::lock_guard<std::mutex> g(closes_mu_);
+          deferred_closes_.push_back(
+              std::static_pointer_cast<Conn>(std::move(conn)));
+        }
+        wake_loop();
+        break;
+      }
+    }
+  }
+  // Engine-side backstop: the stuck-holder sweep (sessions alive, critical
+  // sections wedged) plus the health snapshot the Watchdog reports.
+  return lock_->recovery_sweep();
+}
+
+// --------------------------------------------------------------------------
+// Replies and loop plumbing
+// --------------------------------------------------------------------------
+
+void LockService::send_reply(const std::shared_ptr<Conn>& c,
+                             std::uint64_t seq,
+                             const std::vector<std::uint8_t>& payload) {
+  if (!c) return;
+  std::vector<std::uint8_t> frame;
+  wire::encode_frame(frame, wire::Op::Reply, seq, payload);
+  {
+    std::lock_guard<std::mutex> g(c->wmu);
+    if (c->closed) return;
+    c->wbuf.insert(c->wbuf.end(), frame.begin(), frame.end());
+  }
+  wake_loop();  // the loop thread flushes on its next pass
+}
+
+void LockService::reply_then_close(const std::shared_ptr<Conn>& c,
+                                   std::uint64_t seq,
+                                   const std::vector<std::uint8_t>& payload,
+                                   bool reap,
+                                   std::atomic<std::uint64_t>* death_counter) {
+  send_reply(c, seq, payload);
+  {
+    std::lock_guard<std::mutex> g(c->wmu);
+    c->close_when_drained = true;
+  }
+  if (reap && c->session)
+    reap_session(c->session, death_counter != nullptr
+                                 ? *death_counter
+                                 : stats_.sessions_dropped);
+  // Best-effort immediate flush; closes on drain.  If the socket buffer is
+  // full the loop's per-iteration flush pass finishes the job.
+  if (c->fd >= 0) flush_writes(c);
+}
+
+void LockService::wake_loop() {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void LockService::flush_writes(const std::shared_ptr<Conn>& c) {
+  bool error = false, drained = false, close_after = false;
+  {
+    std::lock_guard<std::mutex> g(c->wmu);
+    while (c->woff < c->wbuf.size()) {
+      const ssize_t n =
+          ::send(c->fd, c->wbuf.data() + c->woff, c->wbuf.size() - c->woff,
+                 MSG_NOSIGNAL);
+      if (n > 0) {
+        c->woff += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      error = true;
+      break;
+    }
+    if (c->woff == c->wbuf.size()) {
+      c->wbuf.clear();
+      c->woff = 0;
+      drained = true;
+      close_after = c->close_when_drained;
+    }
+  }
+  if (error) {
+    close_conn(c, /*reap=*/true, &stats_.sessions_dropped);
+    return;
+  }
+  if (drained && close_after) {
+    close_conn(c, /*reap=*/false, nullptr);
+    return;
+  }
+  update_epoll_mask(c);
+}
+
+void LockService::update_epoll_mask(const std::shared_ptr<Conn>& c) {
+  bool want_out;
+  {
+    std::lock_guard<std::mutex> g(c->wmu);
+    want_out = c->woff < c->wbuf.size();
+  }
+  if (want_out == c->epollout) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_out ? EPOLLOUT : 0u);
+  ev.data.ptr = c.get();
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev) == 0)
+    c->epollout = want_out;
+}
+
+void LockService::close_conn(const std::shared_ptr<Conn>& c, bool reap,
+                             std::atomic<std::uint64_t>* death_counter) {
+  if (c->fd < 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
+  ::close(c->fd);
+  c->fd = -1;
+  {
+    std::lock_guard<std::mutex> g(c->wmu);
+    c->closed = true;
+  }
+  if (reap && c->session)
+    reap_session(c->session, death_counter != nullptr
+                                 ? *death_counter
+                                 : stats_.sessions_dropped);
+  conns_.erase(std::remove(conns_.begin(), conns_.end(), c), conns_.end());
+}
+
+void LockService::drain_deferred_closes() {
+  std::deque<std::weak_ptr<Conn>> pending;
+  {
+    std::lock_guard<std::mutex> g(closes_mu_);
+    pending.swap(deferred_closes_);
+  }
+  for (std::weak_ptr<Conn>& w : pending) {
+    if (std::shared_ptr<Conn> c = w.lock()) {
+      // The session was already reaped by whoever queued the close.
+      close_conn(c, /*reap=*/false, nullptr);
+    }
+  }
+}
+
+}  // namespace rwrnlp::service

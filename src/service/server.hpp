@@ -1,0 +1,244 @@
+// Network-facing lock daemon (DESIGN.md §15): an epoll event loop exposing
+// the R/W RNLP over the compact wire protocol of wire.hpp, with
+// per-connection *sessions* that own their outstanding tokens.
+//
+// Robustness model
+// ----------------
+// A session is the unit of crash tolerance.  Every token the service hands
+// out is owned by exactly one session; when the session dies — EOF, RST, a
+// protocol error, or a missed lease heartbeat — every token it still holds
+// is revoked through the PR 8 recovery machinery (Engine::force_release via
+// the front end, successors promoted in the same invocation) and every
+// acquisition it still has pending is withdrawn through the cancellation
+// path.  A revoked holder that turns out to be slow-but-alive is a zombie:
+// its late frames reference a dead session or a revoked handle and are
+// fenced — counted, answered with Status::Fenced, state untouched.
+//
+// Lease heartbeats feed the existing Watchdog: the service's watchdog probe
+// runs the lease sweep (sessions whose deadline passed are reaped per the
+// configured RecoveryPolicy) and the engine-side recovery_sweep() backstop,
+// so the PR 3/8 health plumbing is the recovery driver here too.  ANY frame
+// from a client refreshes its lease — an explicit Heartbeat is only needed
+// while idle or blocked.
+//
+// Threading
+// ---------
+//  * one event-loop thread: accept, frame parsing, cheap ops (Hello,
+//    Heartbeat, Cancel, Stats), write flushing, deferred closes;
+//  * a small worker pool: every op that can block on the lock (Acquire*,
+//    Release*, RequestMore, Upgrade, Abandon, Goodbye).  Pending
+//    acquisitions poll in bounded slices (Options::slice) so a session
+//    death or a Cancel frame takes effect within one slice even though the
+//    front end's timed wait is not externally interruptible — the slice
+//    expiry IS the issued-unsatisfied -> Engine::cancel path, re-entering
+//    the queue loses the request's timestamp position, and that trade
+//    (bounded recovery latency over FIFO fidelity for blocked *remote*
+//    clients) is deliberate and documented;
+//  * the Watchdog thread: lease sweep + engine recovery backstop.
+//
+// Backpressure is graceful, not fatal: admission feeds the front end's
+// OverloadShed at the configured P2 ceiling (Options::max_incomplete) and
+// the worker queue has its own cap; both shed with an explicit BUSY reply
+// instead of queueing unboundedly.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "locks/front_end.hpp"
+#include "locks/health.hpp"
+#include "service/session.hpp"
+#include "service/wire.hpp"
+
+namespace rwrnlp::service {
+
+/// The front-end cell the daemon serves.  Adaptive spin-then-park: workers
+/// blocked on a remote client's critical section park instead of convoying
+/// the pool.
+using ServiceLock = locks::AdaptiveRwRnlp;
+
+struct ServiceOptions {
+  /// TCP port on 127.0.0.1 (0 = ephemeral; read it back with port()).
+  std::uint16_t port = 0;
+  /// Default lease granted to sessions that request 0; client requests are
+  /// clamped to [min_lease_ms, max_lease_ms].
+  std::uint32_t lease_ms = 1000;
+  std::uint32_t min_lease_ms = 20;
+  std::uint32_t max_lease_ms = 60'000;
+  /// Pending-acquisition poll granularity: the bound on how stale a session
+  /// death or Cancel can go unnoticed by a blocked worker.
+  std::chrono::milliseconds slice{20};
+  /// Worker threads executing blocking lock ops.
+  std::size_t workers = 4;
+  /// Session-table ceiling (Hello beyond it -> Error{Overloaded}).
+  std::size_t max_sessions = 1024;
+  /// P2 ceiling handed to the front end (locks::RobustnessOptions::
+  /// max_incomplete): 0 = no shedding.  When the engine sheds, the client
+  /// sees BUSY.
+  std::size_t max_incomplete = 0;
+  /// Worker-queue ceiling: jobs beyond it are answered BUSY from the event
+  /// loop without touching the lock.
+  std::size_t max_queued_jobs = 256;
+  /// What the lease sweep does about an expired session.  ForceRelease
+  /// (default) reaps it: connection dropped, held tokens revoked,
+  /// successors promoted.  Quarantine keeps the session's tokens but fails
+  /// its new acquisitions BUSY until a frame refreshes the lease.
+  /// DetectOnly only counts (ServiceStats::leases_overdue).
+  locks::RecoveryPolicy lease_recovery = locks::RecoveryPolicy::ForceRelease;
+  /// Watchdog poll period (0 = lease_ms / 4, clamped to [5ms, 250ms]).
+  std::chrono::milliseconds watchdog_period{0};
+  /// Engine-side stuck-holder backstop, independent of leases (a holder
+  /// whose *session* is alive but whose critical section wedged).  0 = off.
+  std::chrono::nanoseconds stuck_budget{0};
+  locks::RecoveryPolicy stuck_recovery = locks::RecoveryPolicy::DetectOnly;
+  rsm::WriteExpansion expansion = rsm::WriteExpansion::ExpandDomain;
+};
+
+/// Monotonic service counters (see wire::StatsBody for the on-wire form).
+struct ServiceStats {
+  std::atomic<std::uint64_t> sessions_opened{0};
+  std::atomic<std::uint64_t> sessions_expired{0};
+  std::atomic<std::uint64_t> sessions_dropped{0};
+  std::atomic<std::uint64_t> sessions_closed{0};
+  std::atomic<std::uint64_t> leases_overdue{0};  ///< DetectOnly sightings
+  std::atomic<std::uint64_t> acquires_granted{0};
+  std::atomic<std::uint64_t> releases{0};
+  std::atomic<std::uint64_t> timeouts{0};
+  std::atomic<std::uint64_t> cancels{0};
+  std::atomic<std::uint64_t> busy{0};
+  std::atomic<std::uint64_t> tokens_force_released{0};
+  std::atomic<std::uint64_t> posthumous_grants{0};
+  std::atomic<std::uint64_t> zombies_fenced{0};
+  std::atomic<std::uint64_t> heartbeats{0};
+  std::atomic<std::uint64_t> bad_frames{0};
+};
+
+class LockService {
+ public:
+  /// Builds the daemon around a fresh ServiceLock over `num_resources`
+  /// (<= wire::kMaxResources) and binds 127.0.0.1:opt.port.  Nothing runs
+  /// until start().
+  LockService(std::size_t num_resources, ServiceOptions opt = {});
+  ~LockService();
+
+  LockService(const LockService&) = delete;
+  LockService& operator=(const LockService&) = delete;
+
+  /// Binds, listens, and spawns the event loop, workers, and watchdog.
+  void start();
+  /// Stops every thread, drops every connection, and releases (normally,
+  /// RevokeReason::Shutdown-style: the service is going away, holders are
+  /// not crashed) everything still held.  Idempotent.
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+  std::size_t num_resources() const { return q_; }
+
+  const ServiceStats& stats() const { return stats_; }
+  wire::StatsBody stats_body() const;
+
+  /// The embedded front end.  Tests attach invocation logs / trace
+  /// recording before start() and oracle-replay after stop(); operators
+  /// read health_report().
+  ServiceLock& lock() { return *lock_; }
+
+ private:
+  struct Conn;
+  struct Job;
+
+  // --- event loop ---------------------------------------------------------
+  void loop();
+  void handle_accept();
+  void handle_readable(const std::shared_ptr<Conn>& c);
+  void handle_frame(const std::shared_ptr<Conn>& c, wire::Frame&& f);
+  void flush_writes(const std::shared_ptr<Conn>& c);
+  void update_epoll_mask(const std::shared_ptr<Conn>& c);
+  void close_conn(const std::shared_ptr<Conn>& c, bool reap,
+                  std::atomic<std::uint64_t>* death_counter);
+  void drain_deferred_closes();
+
+  // --- cheap (loop-thread) ops -------------------------------------------
+  void op_hello(const std::shared_ptr<Conn>& c, const wire::Frame& f);
+  void op_cancel(const std::shared_ptr<Conn>& c, const wire::Frame& f);
+  void op_stats(const std::shared_ptr<Conn>& c, const wire::Frame& f);
+
+  // --- worker pool --------------------------------------------------------
+  void worker();
+  bool enqueue_job(Job&& j);  ///< false = queue cap hit (caller sends BUSY)
+  void exec_job(Job& j);
+  void exec_acquire(Job& j);
+  void exec_acquire_inc(Job& j);
+  void exec_request_more(Job& j);
+  void exec_release(Job& j, HeldToken::Kind expected);
+  void exec_acquire_up(Job& j);
+  void exec_upgrade(Job& j);
+  void exec_abandon(Job& j);
+  void exec_goodbye(Job& j);
+
+  // --- session lifecycle --------------------------------------------------
+  /// Kills `s` and revokes everything it holds.  Every held token goes
+  /// through ServiceLock::force_release (successor promotion included);
+  /// pending ops observe the death at their next slice.  Idempotent.
+  void reap_session(const std::shared_ptr<Session>& s,
+                    std::atomic<std::uint64_t>& death_counter);
+  void force_release_held(HeldToken& h);
+  /// Watchdog probe: lease sweep + engine-side recovery backstop.
+  locks::HealthReport watchdog_probe();
+
+  // --- replies ------------------------------------------------------------
+  void send_reply(const std::shared_ptr<Conn>& c, std::uint64_t seq,
+                  const std::vector<std::uint8_t>& payload);
+  /// Protocol-error path (loop thread only): enqueue the reply, reap the
+  /// session immediately if asked, then flush before closing so the client
+  /// actually sees the answer (close_conn alone would discard the wbuf).
+  void reply_then_close(const std::shared_ptr<Conn>& c, std::uint64_t seq,
+                        const std::vector<std::uint8_t>& payload, bool reap,
+                        std::atomic<std::uint64_t>* death_counter);
+  void wake_loop();
+
+  std::size_t q_;
+  ServiceOptions opt_;
+  std::unique_ptr<ServiceLock> lock_;
+  ServiceStats stats_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread loop_thread_;
+  std::vector<std::thread> worker_threads_;
+  std::unique_ptr<locks::Watchdog> watchdog_;
+
+  // Connections are owned by the loop thread; the map itself is only
+  // touched there.  Conn objects are shared with workers (replies) and
+  // outlive the map entry until the last reference drops.
+  std::vector<std::shared_ptr<Conn>> conns_;
+
+  // Sessions, shared between the loop thread (creation, frame-driven lease
+  // refresh) and the watchdog (lease sweep).
+  std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_session_id_ = 1;
+
+  // Worker job queue.
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::deque<Job> jobs_;
+
+  // Conns the watchdog (or a worker) wants closed; the loop thread owns
+  // every fd, so closes are deferred through this queue + wake_fd_.
+  std::mutex closes_mu_;
+  std::deque<std::weak_ptr<Conn>> deferred_closes_;
+};
+
+}  // namespace rwrnlp::service

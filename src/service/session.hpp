@@ -1,0 +1,122 @@
+// Per-connection session state of the lock service (DESIGN.md §15).
+//
+// A Session is the crash-tolerance unit: it owns every token granted over
+// its connection (the handle table) and every acquisition still in flight
+// (the pending table).  Death — EOF, RST, protocol error, missed lease —
+// flips `alive` exactly once under `mu`, after which
+//
+//  * workers refuse to install new grants (a grant that lands after death
+//    is a *posthumous grant*: released immediately, never exposed);
+//  * pending ops observe the flag at their next poll slice and withdraw;
+//  * the reaper drains the handle table and force-releases every entry.
+//
+// Handles are per-session u64s, never recycled within a session; a handle
+// that is not in the table is either already released or revoked — both
+// answer Status::Fenced, which is what makes a zombie's late release a
+// counted no-op instead of a corruption.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "locks/front_end.hpp"
+
+namespace rwrnlp::service {
+
+/// One granted token owned by a session.  `kind` picks the release path;
+/// Upgrade tokens carry the front end's UpgradeToken (the pair + fence
+/// generations force_release needs to revoke the right half).
+struct HeldToken {
+  enum class Kind : std::uint8_t { Plain, Incremental, Upgrade };
+  Kind kind = Kind::Plain;
+  locks::LockToken tok{};
+  locks::AdaptiveRwRnlp::UpgradeToken utok{};
+  /// Incremental only: the declared potential mask.  request_more frames
+  /// are validated against it server-side (growing outside the potential
+  /// set is a protocol error, answered BadState — never handed to the
+  /// engine, whose REQUIRE would fire under its own mutex).
+  std::uint64_t inc_potential = 0;
+};
+
+/// A client op a worker may still be blocked on.  Cancel frames and session
+/// death only *flag* it; the worker polls the flag at slice granularity.
+struct PendingOp {
+  std::uint64_t seq = 0;
+  std::atomic<bool> canceled{false};
+};
+
+struct Session {
+  std::uint64_t id = 0;
+  std::uint32_t lease_ms = 0;
+
+  std::mutex mu;
+  /// Guarded by mu for writers; atomic so poll loops read it lock-free.
+  std::atomic<bool> alive{true};
+  /// Quarantined (lease overdue under RecoveryPolicy::Quarantine): new
+  /// acquisitions shed BUSY until a frame refreshes the lease.
+  std::atomic<bool> quarantined{false};
+  std::uint64_t next_handle = 1;
+  std::unordered_map<std::uint64_t, HeldToken> handles;
+  std::unordered_map<std::uint64_t, std::shared_ptr<PendingOp>> pending;
+
+  /// Lease deadline, as steady_clock ticks (atomic: the loop thread stamps
+  /// it on every frame, the watchdog sweep reads it).
+  std::atomic<std::int64_t> lease_deadline_ticks{0};
+
+  /// Weak back-pointer to the owning connection (type-erased: Conn is
+  /// private to LockService).  The watchdog uses it to queue a deferred
+  /// close when a lease expiry reaps the session.
+  std::weak_ptr<void> conn;
+
+  void refresh_lease() {
+    lease_deadline_ticks.store(
+        (std::chrono::steady_clock::now() +
+         std::chrono::milliseconds(lease_ms))
+            .time_since_epoch()
+            .count(),
+        std::memory_order_relaxed);
+    quarantined.store(false, std::memory_order_relaxed);
+  }
+
+  bool lease_expired(std::chrono::steady_clock::time_point now) const {
+    return now.time_since_epoch().count() >
+           lease_deadline_ticks.load(std::memory_order_relaxed);
+  }
+
+  /// Installs a grant unless the session died meanwhile.  Returns the new
+  /// handle, or 0 when dead (the caller owns the token again and must
+  /// dispose of it as a posthumous grant).
+  std::uint64_t try_install(HeldToken&& h) {
+    std::lock_guard<std::mutex> g(mu);
+    if (!alive.load(std::memory_order_relaxed)) return 0;
+    const std::uint64_t handle = next_handle++;
+    handles.emplace(handle, std::move(h));
+    return handle;
+  }
+
+  /// Removes and returns the handle's token; false when unknown (already
+  /// released, revoked, or never granted) — the Fenced answer.
+  bool take(std::uint64_t handle, HeldToken* out) {
+    std::lock_guard<std::mutex> g(mu);
+    const auto it = handles.find(handle);
+    if (it == handles.end()) return false;
+    *out = std::move(it->second);
+    handles.erase(it);
+    return true;
+  }
+
+  /// Re-inserts a token taken for an in-flight blocking op (upgrade), under
+  /// the same liveness rule as try_install.  Returns false when dead.
+  bool put_back(std::uint64_t handle, HeldToken&& h) {
+    std::lock_guard<std::mutex> g(mu);
+    if (!alive.load(std::memory_order_relaxed)) return false;
+    handles.emplace(handle, std::move(h));
+    return true;
+  }
+};
+
+}  // namespace rwrnlp::service

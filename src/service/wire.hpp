@@ -1,0 +1,264 @@
+// Wire protocol of the network lock service (DESIGN.md §15).
+//
+// Frames are compact length-prefixed binary records over a byte stream:
+//
+//   [u32 length][u8 op][u64 seq][payload ...]
+//
+// `length` counts every byte after the length field itself (op + seq +
+// payload), so a reader needs exactly one 4-byte peek to know how much to
+// buffer.  All integers are little-endian, encoded byte-by-byte (the
+// helpers below never type-pun, so the encoding is identical on any host).
+// Resource sets travel as one u64 bit mask — the service caps q at 64,
+// matching the engine's inline ResourceSet word; the dynamic-namespace
+// roadmap item owns lifting that.
+//
+// Every client frame carries a client-chosen `seq`; the server answers with
+// exactly one Reply frame echoing it (Heartbeat is the one fire-and-forget
+// exception).  Replies may interleave across outstanding requests — `seq`
+// is the correlation key, not arrival order.  A Reply's payload starts with
+// a one-byte Status; Granted/HelloOk/StatsOk carry a body after it.
+//
+// Robustness rules (enforced server-side, tested in tests/service/):
+//  * the first frame on a connection must be Hello; anything else is a
+//    protocol error — Error reply, connection dropped, session reaped;
+//  * a declared length of 0 or > kMaxFrame is a protocol error (a stream
+//    desync must not make the server buffer unbounded garbage);
+//  * a half-written frame followed by EOF/RST/lease expiry is a session
+//    death like any other: held tokens are force-released.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace rwrnlp::service::wire {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Hard ceiling on `length` (op + seq + payload).  Generous for every
+/// defined frame; tiny enough that a desynced stream cannot balloon a
+/// connection's read buffer.
+inline constexpr std::uint32_t kMaxFrame = 512;
+/// Resource sets travel as one u64 mask.
+inline constexpr std::size_t kMaxResources = 64;
+
+enum class Op : std::uint8_t {
+  // client -> server
+  Hello = 1,        ///< {u32 version, u32 lease_ms, u64 prev_session}
+  Heartbeat = 2,    ///< {} — lease refresh; the one op with no reply
+  Acquire = 3,      ///< {u64 reads, u64 writes, u64 deadline_ms (0 = none)}
+  Release = 4,      ///< {u64 handle}
+  Cancel = 5,       ///< {u64 target_seq} — withdraw a pending Acquire*
+  AcquireInc = 6,   ///< {u64 pot_reads, u64 pot_writes, u64 initial,
+                    ///<  u64 deadline_ms}
+  RequestMore = 7,  ///< {u64 handle, u64 extra}
+  ReleaseInc = 8,   ///< {u64 handle}
+  AcquireUp = 9,    ///< {u64 resources}
+  Upgrade = 10,     ///< {u64 handle}
+  Abandon = 11,     ///< {u64 handle}
+  ReleaseUp = 12,   ///< {u64 handle}
+  Stats = 13,       ///< {}
+  Goodbye = 14,     ///< {} — graceful close: held tokens released normally
+  // server -> client
+  Reply = 64,  ///< {u8 status, body ...}
+};
+
+enum class Status : std::uint8_t {
+  Ok = 0,
+  Granted = 1,   ///< body {u64 handle} (+ u8 write_mode for AcquireUp)
+  HelloOk = 2,   ///< body {u64 session_id, u32 lease_ms, u32 q}
+  Busy = 3,      ///< admission shed at the P2 ceiling — retry later
+  Timeout = 4,   ///< the per-request deadline expired; request withdrawn
+  Canceled = 5,  ///< a Cancel frame withdrew this pending request
+  Fenced = 6,    ///< stale session/handle: the holder was revoked (zombie)
+  StatsOk = 7,   ///< body {u32 n, u64 counters[n]} — see StatsBody
+  Error = 8,     ///< body {u32 code} — protocol violation / unknown target
+};
+
+enum class ErrorCode : std::uint32_t {
+  None = 0,
+  BadFrame = 1,      ///< malformed length/payload
+  BadOp = 2,         ///< unknown opcode
+  NoSession = 3,     ///< non-Hello frame before Hello
+  BadVersion = 4,    ///< protocol version mismatch
+  NoSuchTarget = 5,  ///< Cancel of an unknown pending seq
+  BadState = 6,      ///< op invalid for the handle's kind (e.g. Upgrade of
+                     ///< a plain token)
+  Overloaded = 7,    ///< session table full
+};
+
+inline const char* to_string(Status s) {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::Granted: return "granted";
+    case Status::HelloOk: return "hello-ok";
+    case Status::Busy: return "busy";
+    case Status::Timeout: return "timeout";
+    case Status::Canceled: return "canceled";
+    case Status::Fenced: return "fenced";
+    case Status::StatsOk: return "stats-ok";
+    case Status::Error: return "error";
+  }
+  return "?";
+}
+
+// --------------------------------------------------------------------------
+// Little-endian primitives (byte-wise: no punning, host-order independent)
+// --------------------------------------------------------------------------
+
+inline void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v >> 16));
+  b.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+inline void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  put_u32(b, static_cast<std::uint32_t>(v));
+  put_u32(b, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+// --------------------------------------------------------------------------
+// Frames
+// --------------------------------------------------------------------------
+
+/// One decoded frame.  `payload` excludes op and seq.
+struct Frame {
+  Op op = Op::Heartbeat;
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload;
+
+  std::uint64_t u64_at(std::size_t off) const {
+    return off + 8 <= payload.size() ? get_u64(payload.data() + off) : 0;
+  }
+  std::uint32_t u32_at(std::size_t off) const {
+    return off + 4 <= payload.size() ? get_u32(payload.data() + off) : 0;
+  }
+  std::uint8_t u8_at(std::size_t off) const {
+    return off < payload.size() ? payload[off] : 0;
+  }
+};
+
+/// Serializes a frame (header + payload) onto `out`.
+inline void encode_frame(std::vector<std::uint8_t>& out, Op op,
+                         std::uint64_t seq,
+                         const std::vector<std::uint8_t>& payload) {
+  put_u32(out, static_cast<std::uint32_t>(1 + 8 + payload.size()));
+  out.push_back(static_cast<std::uint8_t>(op));
+  put_u64(out, seq);
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+enum class DecodeResult { NeedMore, Frame, Bad };
+
+/// Pops one frame off the front of `buf` if a complete, well-formed one is
+/// buffered.  On Frame the consumed bytes are erased from `buf`; on Bad the
+/// stream is unrecoverable (desync / oversized length) and the connection
+/// must be dropped; on NeedMore `buf` is untouched.
+inline DecodeResult decode_frame(std::vector<std::uint8_t>& buf, Frame* out) {
+  if (buf.size() < 4) return DecodeResult::NeedMore;
+  const std::uint32_t len = get_u32(buf.data());
+  if (len < 1 + 8 || len > kMaxFrame) return DecodeResult::Bad;
+  if (buf.size() < 4 + len) return DecodeResult::NeedMore;
+  out->op = static_cast<Op>(buf[4]);
+  out->seq = get_u64(buf.data() + 5);
+  out->payload.assign(buf.begin() + 13, buf.begin() + 4 + len);
+  buf.erase(buf.begin(), buf.begin() + 4 + len);
+  return DecodeResult::Frame;
+}
+
+// --------------------------------------------------------------------------
+// Reply payload helpers
+// --------------------------------------------------------------------------
+
+inline std::vector<std::uint8_t> reply_payload(Status s) {
+  return {static_cast<std::uint8_t>(s)};
+}
+
+inline std::vector<std::uint8_t> reply_error(ErrorCode code) {
+  std::vector<std::uint8_t> p = reply_payload(Status::Error);
+  put_u32(p, static_cast<std::uint32_t>(code));
+  return p;
+}
+
+/// Service-level counter snapshot carried by a StatsOk reply.  The body is
+/// `u32 n` followed by n u64 values in declaration order, so adding fields
+/// at the END keeps old clients working (they read a prefix).  The lock_*
+/// fields are lifted from the embedded front end's HealthReport so a remote
+/// operator sees the engine-side recovery balance without shell access.
+struct StatsBody {
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_expired = 0;  ///< lease missed -> reaped
+  std::uint64_t sessions_dropped = 0;  ///< EOF/RST/protocol error -> reaped
+  std::uint64_t sessions_closed = 0;   ///< graceful Goodbye
+  std::uint64_t open_sessions = 0;     ///< gauge
+  std::uint64_t acquires_granted = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t cancels = 0;
+  std::uint64_t busy = 0;  ///< BUSY replies (queue cap + OverloadShed)
+  std::uint64_t tokens_force_released = 0;  ///< revoked by session reaping
+  std::uint64_t posthumous_grants = 0;  ///< grant landed after session death
+  std::uint64_t zombies_fenced = 0;     ///< late frames for revoked holders
+  std::uint64_t heartbeats = 0;
+  std::uint64_t bad_frames = 0;
+  std::uint64_t held_handles = 0;  ///< gauge
+  std::uint64_t lock_forced_releases = 0;
+  std::uint64_t lock_fenced_zombies = 0;
+  std::uint64_t lock_canceled = 0;
+  std::uint64_t lock_shed = 0;
+  std::uint64_t lock_incomplete = 0;  ///< gauge (P2: <= ceiling)
+
+  static constexpr std::size_t kFields = 21;
+
+  std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> p = reply_payload(Status::StatsOk);
+    put_u32(p, static_cast<std::uint32_t>(kFields));
+    const std::uint64_t vals[kFields] = {
+        sessions_opened, sessions_expired, sessions_dropped, sessions_closed,
+        open_sessions, acquires_granted, releases, timeouts, cancels, busy,
+        tokens_force_released, posthumous_grants, zombies_fenced, heartbeats,
+        bad_frames, held_handles, lock_forced_releases, lock_fenced_zombies,
+        lock_canceled, lock_shed, lock_incomplete};
+    for (std::uint64_t v : vals) put_u64(p, v);
+    return p;
+  }
+
+  /// Decodes from a Reply payload (after the status byte).  Tolerates a
+  /// longer body (future fields) and a shorter one (older server): missing
+  /// fields stay zero.
+  static StatsBody decode(const std::uint8_t* p, std::size_t n) {
+    StatsBody s;
+    if (n < 4) return s;
+    const std::uint32_t count = get_u32(p);
+    std::uint64_t* fields[kFields] = {
+        &s.sessions_opened, &s.sessions_expired, &s.sessions_dropped,
+        &s.sessions_closed, &s.open_sessions, &s.acquires_granted,
+        &s.releases, &s.timeouts, &s.cancels, &s.busy,
+        &s.tokens_force_released, &s.posthumous_grants, &s.zombies_fenced,
+        &s.heartbeats, &s.bad_frames, &s.held_handles,
+        &s.lock_forced_releases, &s.lock_fenced_zombies, &s.lock_canceled,
+        &s.lock_shed, &s.lock_incomplete};
+    for (std::size_t i = 0; i < kFields && i < count; ++i) {
+      const std::size_t off = 4 + i * 8;
+      if (off + 8 > n) break;
+      *fields[i] = get_u64(p + off);
+    }
+    return s;
+  }
+};
+
+}  // namespace rwrnlp::service::wire

@@ -88,4 +88,82 @@ inline std::vector<FaultPlan> canonical_fault_plans() {
   };
 }
 
+// --------------------------------------------------------------------------
+// Service-layer fault plans (tests/service/service_recovery_test.cpp)
+// --------------------------------------------------------------------------
+//
+// The network lock service adds a second fault axis: *where in the protocol
+// lifecycle* the session dies, and *how* death manifests on the wire.  A
+// ServiceFaultPlan is the cross product of one protocol state and one death
+// mode; the campaign drives each plan against a live daemon and asserts the
+// state-specific recovery path fired (issued-unsatisfied -> cancel;
+// satisfied -> force_release with successor promotion; entitled incremental
+// -> revocation releasing the blocked grow; mid-upgrade -> shared fate of
+// both halves), that the engine trace replays oracle-clean, and that the
+// zombie/forced-release balance holds at drain.
+
+/// Protocol state the victim session is in when it dies.
+enum class SessionState : int {
+  PendingAcquire,       ///< issued, unsatisfied: death -> cancel path
+  Holding,              ///< satisfied holder: death -> force_release path
+  EntitledIncremental,  ///< partial grant, blocked in request_more:
+                        ///< death -> revocation releases the grow
+  MidUpgrade,           ///< holds the read half of an upgradeable pair:
+                        ///< death -> revoking it cancels the write half too
+};
+
+inline const char* to_string(SessionState s) {
+  switch (s) {
+    case SessionState::PendingAcquire: return "pending-acquire";
+    case SessionState::Holding: return "holding";
+    case SessionState::EntitledIncremental: return "entitled-incremental";
+    case SessionState::MidUpgrade: return "mid-upgrade";
+  }
+  return "?";
+}
+
+/// How the death shows up on the wire.
+enum class SessionDeath : int {
+  HardDrop,     ///< RST/abort (SO_LINGER 0) — or a kill -9'd process
+  SilentStall,  ///< socket stays open, frames stop: only the lease notices;
+                ///< the victim is later a zombie (its late frames fence)
+  HalfFrame,    ///< dies mid-frame: a partial header/payload then EOF
+};
+
+inline const char* to_string(SessionDeath d) {
+  switch (d) {
+    case SessionDeath::HardDrop: return "hard-drop";
+    case SessionDeath::SilentStall: return "silent-stall";
+    case SessionDeath::HalfFrame: return "half-frame";
+  }
+  return "?";
+}
+
+struct ServiceFaultPlan {
+  SessionState state = SessionState::Holding;
+  SessionDeath death = SessionDeath::HardDrop;
+  std::size_t contenders = 2;
+
+  std::string name() const {
+    return std::string(to_string(state)) + "/" + to_string(death);
+  }
+};
+
+/// Every protocol state crossed with every death mode.  The campaign runs
+/// all of them; none is redundant — the state picks the recovery path, the
+/// death mode picks the detector (EOF vs lease sweep) and whether a zombie
+/// survives to send late frames.
+inline std::vector<ServiceFaultPlan> canonical_service_fault_plans() {
+  std::vector<ServiceFaultPlan> plans;
+  for (SessionState st :
+       {SessionState::PendingAcquire, SessionState::Holding,
+        SessionState::EntitledIncremental, SessionState::MidUpgrade}) {
+    for (SessionDeath d : {SessionDeath::HardDrop, SessionDeath::SilentStall,
+                           SessionDeath::HalfFrame}) {
+      plans.push_back({st, d, 2});
+    }
+  }
+  return plans;
+}
+
 }  // namespace rwrnlp::testing

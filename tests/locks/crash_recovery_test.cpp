@@ -506,6 +506,95 @@ TEST(HealthReportMerge, SumsRecoveryCountersAndConcatenatesStuck) {
   EXPECT_EQ(a.stuck[1].id, 9u);
 }
 
+// Full-surface round trip: EVERY counter must survive merge() — summed,
+// maxed, or concatenated according to its kind.  Each field gets a distinct
+// prime-ish value so a transposed assignment inside merge() cannot cancel
+// out.  The sizeof tripwire at the end fails this test the moment a field
+// is added to HealthReport without teaching merge() (and this test) about
+// it.
+TEST(HealthReportMerge, EveryCounterSurvivesMerge) {
+  locks::HealthReport a;
+  a.acquired = 3;
+  a.timeouts = 5;
+  a.canceled = 7;
+  a.shed = 11;
+  a.incomplete = 13;
+  a.max_read_queue_depth = 17;
+  a.max_write_queue_depth = 19;
+  a.batches_combined = 23;
+  a.combined_invocations = 29;
+  a.combiner_handoffs = 31;
+  a.max_batch_combined = 37;
+  a.indicator_fast_hits = 41;
+  a.indicator_retractions = 43;
+  a.indicator_sweeps = 47;
+  a.writer_sweeps = 53;
+  a.sweep_words_read = 59;
+  a.write_fast_hits = 61;
+  a.write_fast_misses = 67;
+  a.forced_releases = 71;
+  a.fenced_zombies = 73;
+  a.quarantined = 79;
+  a.stuck = {stuck(1, 1ms)};
+
+  locks::HealthReport b;
+  b.acquired = 100;
+  b.timeouts = 101;
+  b.canceled = 102;
+  b.shed = 103;
+  b.incomplete = 104;
+  b.max_read_queue_depth = 3;    // smaller: max keeps a's
+  b.max_write_queue_depth = 105; // larger: max takes b's
+  b.batches_combined = 106;
+  b.combined_invocations = 107;
+  b.combiner_handoffs = 108;
+  b.max_batch_combined = 109;
+  b.indicator_fast_hits = 110;
+  b.indicator_retractions = 111;
+  b.indicator_sweeps = 112;
+  b.writer_sweeps = 113;
+  b.sweep_words_read = 114;
+  b.write_fast_hits = 115;
+  b.write_fast_misses = 116;
+  b.forced_releases = 117;
+  b.fenced_zombies = 118;
+  b.quarantined = 119;
+  b.stuck = {stuck(9, 2ms)};
+
+  a.merge(b);
+  EXPECT_EQ(a.acquired, 103u);
+  EXPECT_EQ(a.timeouts, 106u);
+  EXPECT_EQ(a.canceled, 109u);
+  EXPECT_EQ(a.shed, 114u);
+  EXPECT_EQ(a.incomplete, 117u);
+  EXPECT_EQ(a.max_read_queue_depth, 17u);   // max, not sum
+  EXPECT_EQ(a.max_write_queue_depth, 105u); // max, not sum
+  EXPECT_EQ(a.batches_combined, 129u);
+  EXPECT_EQ(a.combined_invocations, 136u);
+  EXPECT_EQ(a.combiner_handoffs, 139u);
+  EXPECT_EQ(a.max_batch_combined, 109u);    // max, not sum
+  EXPECT_EQ(a.indicator_fast_hits, 151u);
+  EXPECT_EQ(a.indicator_retractions, 154u);
+  EXPECT_EQ(a.indicator_sweeps, 159u);
+  EXPECT_EQ(a.writer_sweeps, 166u);
+  EXPECT_EQ(a.sweep_words_read, 173u);
+  EXPECT_EQ(a.write_fast_hits, 176u);
+  EXPECT_EQ(a.write_fast_misses, 183u);
+  EXPECT_EQ(a.forced_releases, 188u);
+  EXPECT_EQ(a.fenced_zombies, 191u);
+  EXPECT_EQ(a.quarantined, 198u);
+  ASSERT_EQ(a.stuck.size(), 2u);
+  EXPECT_EQ(a.stuck[0].id, 1u);
+  EXPECT_EQ(a.stuck[1].id, 9u);
+
+  // Tripwire: 21 scalar counters + the stuck vector.  If this fires you
+  // added a HealthReport field — teach merge() about it, assert it above,
+  // then bump the count here.
+  EXPECT_EQ(sizeof(locks::HealthReport),
+            21 * sizeof(std::uint64_t) + sizeof(std::vector<locks::StuckHolder>))
+      << "HealthReport gained a field: update merge() and this test";
+}
+
 // -------------------------------------- TSan race: revoke vs release ------
 
 // Manual force_release races the owner's own release over many grants, on

@@ -1,0 +1,187 @@
+// Frame-level test client for the lock service.
+//
+// ServiceClient is the well-behaved client; the fault campaign needs a
+// misbehaving one — a connection that can send half a frame, stall with the
+// socket open, abort with a real RST, or replay a stale handle from a dead
+// session's generation.  RawConn is that: a blocking socket plus manual
+// frame encode/decode, nothing else.
+#pragma once
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "service/wire.hpp"
+
+namespace rwrnlp::service::testing {
+
+class RawConn {
+ public:
+  RawConn() = default;
+  ~RawConn() { close(); }
+  RawConn(const RawConn&) = delete;
+  RawConn& operator=(const RawConn&) = delete;
+
+  bool connect(std::uint16_t port) {
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    rbuf_.clear();
+    return true;
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Graceful FIN close.
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  /// Hard close: SO_LINGER{on, 0} turns close() into a real RST — the
+  /// closest a live process gets to a kill -9 as seen by the server.
+  void abort() {
+    if (fd_ < 0) return;
+    linger lg{1, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool send_bytes(const void* data, std::size_t n) {
+    const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::send(fd_, p + off, n - off, MSG_NOSIGNAL);
+      if (w > 0) {
+        off += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  bool send_frame(wire::Op op, std::uint64_t seq,
+                  const std::vector<std::uint8_t>& payload) {
+    std::vector<std::uint8_t> f;
+    wire::encode_frame(f, op, seq, payload);
+    return send_bytes(f.data(), f.size());
+  }
+
+  /// Sends only the first `n` bytes of the encoded frame (the half-frame
+  /// fault).
+  bool send_partial_frame(wire::Op op, std::uint64_t seq,
+                          const std::vector<std::uint8_t>& payload,
+                          std::size_t n) {
+    std::vector<std::uint8_t> f;
+    wire::encode_frame(f, op, seq, payload);
+    return send_bytes(f.data(), std::min(n, f.size()));
+  }
+
+  /// Blocks (up to `timeout`) for the next complete frame.
+  std::optional<wire::Frame> recv_frame(
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000)) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      wire::Frame f;
+      if (wire::decode_frame(rbuf_, &f) == wire::DecodeResult::Frame)
+        return f;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0 || fd_ < 0) return std::nullopt;
+      pollfd pfd{fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (pr <= 0) {
+        if (pr < 0 && errno == EINTR) continue;
+        return std::nullopt;
+      }
+      std::uint8_t chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return std::nullopt;
+      }
+      rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+    }
+  }
+
+  /// Hello handshake; returns the session id (0 on failure).
+  std::uint64_t hello(std::uint32_t lease_ms = 0) {
+    std::vector<std::uint8_t> p;
+    wire::put_u32(p, wire::kProtocolVersion);
+    wire::put_u32(p, lease_ms);
+    wire::put_u64(p, 0);
+    if (!send_frame(wire::Op::Hello, next_seq_++, p)) return 0;
+    const auto r = recv_frame();
+    if (!r || r->payload.empty() ||
+        static_cast<wire::Status>(r->payload[0]) != wire::Status::HelloOk)
+      return 0;
+    return r->u64_at(1);
+  }
+
+  /// Request/reply round trip; returns the reply status (Error status with
+  /// code None when no reply arrived).
+  wire::Status call(wire::Op op, const std::vector<std::uint8_t>& payload,
+                    std::uint64_t* handle_out = nullptr,
+                    std::chrono::milliseconds timeout =
+                        std::chrono::milliseconds(5000)) {
+    const std::uint64_t seq = next_seq_++;
+    if (!send_frame(op, seq, payload)) return wire::Status::Error;
+    for (;;) {
+      const auto r = recv_frame(timeout);
+      if (!r || r->payload.empty()) return wire::Status::Error;
+      if (r->seq != seq) continue;  // someone else's interleaved reply
+      if (handle_out != nullptr) *handle_out = r->u64_at(1);
+      return static_cast<wire::Status>(r->payload[0]);
+    }
+  }
+
+  /// Acquire helper (masks, optional deadline); returns handle or 0.
+  std::uint64_t acquire(std::uint64_t reads, std::uint64_t writes,
+                        std::uint64_t deadline_ms = 0) {
+    std::vector<std::uint8_t> p;
+    wire::put_u64(p, reads);
+    wire::put_u64(p, writes);
+    wire::put_u64(p, deadline_ms);
+    std::uint64_t handle = 0;
+    const wire::Status st = wire::Status(call(wire::Op::Acquire, p, &handle));
+    return st == wire::Status::Granted ? handle : 0;
+  }
+
+  wire::Status release(std::uint64_t handle) {
+    std::vector<std::uint8_t> p;
+    wire::put_u64(p, handle);
+    return call(wire::Op::Release, p);
+  }
+
+  std::uint64_t next_seq() { return next_seq_++; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t next_seq_ = 1;
+  std::vector<std::uint8_t> rbuf_;
+};
+
+}  // namespace rwrnlp::service::testing

@@ -1,0 +1,484 @@
+// Crash-tolerance campaign for the network lock service (DESIGN.md §15).
+//
+// Every canonical ServiceFaultPlan — protocol state (pending-acquire /
+// holding / entitled-incremental / mid-upgrade) crossed with death mode
+// (hard-drop RST / silent stall / half-frame EOF) — runs against a live
+// daemon.  For each plan the campaign asserts the full recovery contract:
+//
+//  * every token the dead session held is force-released and a conflicting
+//    contender is granted within the lease deadline (successor promotion);
+//  * a zombie replaying a stale handle from the dead generation is fenced
+//    to a counted no-op, and at drain the service-level balance holds:
+//    zombies_fenced == tokens_force_released;
+//  * the engine drains clean (health_report().incomplete == 0);
+//  * for the classic-op states the whole history — forced releases
+//    included — replays byte-equal through the validating oracle.  The
+//    incremental/upgradeable states are excluded from replay by design:
+//    their holders are not invocation-logged, so their ForcedRelease
+//    records would reference ids the oracle never saw issued.
+//
+// On top of the matrix: a real kill -9 (forked child process holding a
+// write lock over its own TCP connection), the heartbeat keep-alive
+// negative control, and the DetectOnly lease policy.
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "locks/invocation_log.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "service/wire.hpp"
+#include "service/raw_conn.hpp"
+#include "testing/fault_plan.hpp"
+#include "testing/oracle.hpp"
+
+namespace rwrnlp::service {
+namespace {
+
+using namespace std::chrono_literals;
+using rwrnlp::service::testing::RawConn;
+namespace ft = ::rwrnlp::testing;
+
+std::uint64_t mask(std::initializer_list<unsigned> bits) {
+  std::uint64_t m = 0;
+  for (unsigned b : bits) m |= 1ull << b;
+  return m;
+}
+
+constexpr std::uint32_t kLeaseMs = 300;
+
+/// Tight timing so stall plans reap within a second: a short lease, a
+/// watchdog sweeping many times per lease, and fine poll slices.
+ServiceOptions campaign_opts() {
+  ServiceOptions o;
+  o.lease_ms = kLeaseMs;
+  o.slice = 10ms;
+  o.watchdog_period = 20ms;
+  return o;
+}
+
+bool poll_until(const std::function<bool()>& pred,
+                std::chrono::milliseconds budget) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+// ------------------------------ the campaign ------------------------------
+
+void run_plan(const ft::ServiceFaultPlan& plan) {
+  SCOPED_TRACE(plan.name());
+  LockService svc(4, campaign_opts());
+  locks::InvocationLog log;
+  const bool with_oracle = plan.state == ft::SessionState::PendingAcquire ||
+                           plan.state == ft::SessionState::Holding;
+  if (with_oracle) {
+    svc.lock().engine_for_test().set_trace_recording(true);
+    svc.lock().set_invocation_log(&log);
+  }
+  svc.start();
+
+  ClientOptions copt;
+  copt.port = svc.port();
+  ServiceClient blocker(copt);
+  std::uint64_t blocker_handle = 0;
+
+  RawConn victim;
+  ASSERT_TRUE(victim.connect(svc.port()));
+  ASSERT_NE(victim.hello(), 0u);
+
+  std::uint64_t victim_handle = 0;
+  bool victim_holds = false;  // death must trigger exactly one force_release
+  wire::Op stale_release_op = wire::Op::Release;
+  // The set a contender write-acquires to prove the revocation landed.
+  std::uint64_t contended = mask({0});
+
+  switch (plan.state) {
+    case ft::SessionState::PendingAcquire: {
+      // The victim dies *blocked*: its acquire is issued but unsatisfied
+      // (the blocker write-holds r0).  Death goes through the withdrawal
+      // path — nothing is ever force-released.
+      ASSERT_TRUE(blocker.connect());
+      const CallResult b = blocker.acquire(0, mask({0}));
+      ASSERT_EQ(b.status, CallStatus::Granted);
+      blocker_handle = b.handle;
+      std::vector<std::uint8_t> p;
+      wire::put_u64(p, 0);
+      wire::put_u64(p, mask({0}));
+      wire::put_u64(p, 0);  // infinite deadline: only death ends this
+      ASSERT_TRUE(victim.send_frame(wire::Op::Acquire, victim.next_seq(), p));
+      std::this_thread::sleep_for(50ms);  // let a worker enter the slice loop
+      break;
+    }
+    case ft::SessionState::Holding: {
+      victim_handle = victim.acquire(0, mask({0}));
+      ASSERT_NE(victim_handle, 0u);
+      victim_holds = true;
+      stale_release_op = wire::Op::Release;
+      break;
+    }
+    case ft::SessionState::EntitledIncremental: {
+      // The victim is an *entitled* incremental writer: the blocker READS
+      // r1, so the victim's initial {r0} is granted (entitled) while its
+      // request_more({r1}) parks behind the reader.  (A write-holder on r1
+      // would keep the whole request Waiting and the initial ungranted —
+      // see rsm/incremental_test.cpp BlockedInitialSubsetGrantsAt-
+      // Entitlement.)  Death revokes the entitled holder, releasing both
+      // the held set and the parked grow.
+      ASSERT_TRUE(blocker.connect());
+      const CallResult b = blocker.acquire(mask({1}), 0);
+      ASSERT_EQ(b.status, CallStatus::Granted);
+      blocker_handle = b.handle;
+      std::vector<std::uint8_t> p;
+      wire::put_u64(p, 0);             // potential reads
+      wire::put_u64(p, mask({0, 1}));  // potential writes
+      wire::put_u64(p, mask({0}));     // initial
+      wire::put_u64(p, 0);
+      std::uint64_t h = 0;
+      ASSERT_EQ(victim.call(wire::Op::AcquireInc, p, &h),
+                wire::Status::Granted);
+      victim_handle = h;
+      std::vector<std::uint8_t> g;
+      wire::put_u64(g, victim_handle);
+      wire::put_u64(g, mask({1}));
+      ASSERT_TRUE(
+          victim.send_frame(wire::Op::RequestMore, victim.next_seq(), g));
+      std::this_thread::sleep_for(50ms);  // let the grow park in the engine
+      victim_holds = true;
+      stale_release_op = wire::Op::ReleaseInc;
+      break;
+    }
+    case ft::SessionState::MidUpgrade: {
+      // The victim holds the read half of an upgradeable pair and dies
+      // before ever upgrading: revoking the read half cancels the write
+      // half too (shared fate), or the whole pair stays wedged.
+      std::vector<std::uint8_t> p;
+      wire::put_u64(p, mask({0, 1}));
+      std::uint64_t h = 0;
+      ASSERT_EQ(victim.call(wire::Op::AcquireUp, p, &h),
+                wire::Status::Granted);
+      victim_handle = h;
+      victim_holds = true;
+      stale_release_op = wire::Op::ReleaseUp;
+      contended = mask({0, 1});
+      break;
+    }
+  }
+
+  // --- the death ----------------------------------------------------------
+  const auto death_at = std::chrono::steady_clock::now();
+  switch (plan.death) {
+    case ft::SessionDeath::HardDrop:
+      victim.abort();  // RST: the loop sees EPOLLHUP/read error at once
+      break;
+    case ft::SessionDeath::SilentStall:
+      break;  // frames just stop; only the lease sweep notices
+    case ft::SessionDeath::HalfFrame: {
+      // Die mid-frame: 7 bytes of a valid Acquire header, then EOF.  The
+      // abandoned prefix must not confuse recovery.
+      std::vector<std::uint8_t> p;
+      wire::put_u64(p, 0);
+      wire::put_u64(p, mask({2}));
+      wire::put_u64(p, 0);
+      victim.send_partial_frame(wire::Op::Acquire, victim.next_seq(), p, 7);
+      victim.close();
+      break;
+    }
+  }
+
+  // --- recovery: the session must be reaped within the lease deadline ----
+  ASSERT_TRUE(poll_until(
+      [&] {
+        return svc.stats().sessions_dropped.load() +
+                   svc.stats().sessions_expired.load() >=
+               1;
+      },
+      std::chrono::milliseconds(kLeaseMs * 4)));
+
+  if (victim_holds) {
+    // A conflicting contender must be granted: successors are promoted
+    // when the dead session's tokens are force-released.
+    if (plan.state == ft::SessionState::EntitledIncremental) {
+      EXPECT_EQ(blocker.release(blocker_handle).status, CallStatus::Ok);
+      blocker_handle = 0;
+    }
+    ServiceClient contender(copt);
+    ASSERT_TRUE(contender.connect());
+    const CallResult c = contender.acquire(
+        0, contended, std::chrono::milliseconds(kLeaseMs * 5));
+    ASSERT_EQ(c.status, CallStatus::Granted);
+    const auto took = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - death_at);
+    EXPECT_LE(took.count(), kLeaseMs * 4) << "recovery exceeded the lease "
+                                             "deadline for " << plan.name();
+    EXPECT_EQ(svc.stats().tokens_force_released.load(), 1u);
+    EXPECT_EQ(contender.release(c.handle).status, CallStatus::Ok);
+    contender.disconnect();
+
+    // --- zombie fencing: the dead generation's handle is a counted no-op.
+    // (The reap closed the victim's socket, so the late replay arrives on a
+    // fresh connection — exactly how a restarted client would misbehave.)
+    RawConn zombie;
+    ASSERT_TRUE(zombie.connect(svc.port()));
+    ASSERT_NE(zombie.hello(), 0u);
+    std::vector<std::uint8_t> p;
+    wire::put_u64(p, victim_handle);
+    EXPECT_EQ(zombie.call(stale_release_op, p), wire::Status::Fenced);
+    zombie.close();
+  } else {
+    // pending-acquire: nothing was held, nothing may be force-released;
+    // the blocker still legitimately owns r0 and a successor gets it only
+    // the normal way.
+    EXPECT_EQ(svc.stats().tokens_force_released.load(), 0u);
+    EXPECT_EQ(blocker.release(blocker_handle).status, CallStatus::Ok);
+    blocker_handle = 0;
+    ServiceClient contender(copt);
+    ASSERT_TRUE(contender.connect());
+    const CallResult c = contender.acquire(
+        0, mask({0}), std::chrono::milliseconds(kLeaseMs * 5));
+    ASSERT_EQ(c.status, CallStatus::Granted);
+    EXPECT_EQ(contender.release(c.handle).status, CallStatus::Ok);
+    contender.disconnect();
+  }
+
+  if (blocker_handle != 0) {
+    EXPECT_EQ(blocker.release(blocker_handle).status, CallStatus::Ok);
+  }
+  if (blocker.connected()) blocker.disconnect();
+  svc.stop();
+
+  // --- drain invariants ---------------------------------------------------
+  EXPECT_EQ(svc.stats().zombies_fenced.load(),
+            svc.stats().tokens_force_released.load())
+      << "fence/force-release balance broken for " << plan.name();
+  EXPECT_EQ(svc.lock().health_report().incomplete, 0u);
+  if (with_oracle) {
+    ft::OracleOptions oo;
+    oo.num_threads = 4;
+    oo.ops_per_thread = 8;
+    oo.check_bounds = false;  // strict caps are only sound at m == 2
+    ft::verify_replay(svc.lock().engine_for_test(), log, oo);
+  }
+}
+
+TEST(ServiceRecoveryCampaign, EveryStateCrossedWithEveryDeathMode) {
+  for (const ft::ServiceFaultPlan& plan : ft::canonical_service_fault_plans())
+    run_plan(plan);
+}
+
+// ------------------------------ kill -9 -----------------------------------
+
+namespace {
+
+/// Child-side helpers: raw syscalls and stack buffers only — the parent is
+/// multi-threaded, so the forked child must never touch malloc or stdio.
+bool read_exact(int fd, std::size_t want) {
+  std::uint8_t buf[64];
+  std::size_t got = 0;
+  while (got < want) {
+    const ssize_t n =
+        ::read(fd, buf, want - got < sizeof(buf) ? want - got : sizeof(buf));
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::uint8_t* p, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, p + off, n - off);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST(ServiceRecovery, KillNineOnAHoldingClientForcesReleaseAndPromotes) {
+  LockService svc(4, campaign_opts());
+  svc.start();
+  const std::uint16_t port = svc.port();
+
+  // Frames are encoded BEFORE the fork; the child only writes bytes.
+  std::vector<std::uint8_t> hello_p;
+  wire::put_u32(hello_p, wire::kProtocolVersion);
+  wire::put_u32(hello_p, 0);
+  wire::put_u64(hello_p, 0);
+  std::vector<std::uint8_t> hello_f;
+  wire::encode_frame(hello_f, wire::Op::Hello, 1, hello_p);
+
+  std::vector<std::uint8_t> acq_p;
+  wire::put_u64(acq_p, 0);
+  wire::put_u64(acq_p, mask({0}));
+  wire::put_u64(acq_p, 0);  // infinite deadline
+  std::vector<std::uint8_t> acq_f;
+  wire::encode_frame(acq_f, wire::Op::Acquire, 2, acq_p);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // CHILD: connect, handshake, take the write lock on r0, then hang
+    // forever holding it.  Raw syscalls only.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) _exit(1);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+      _exit(1);
+    if (!write_all(fd, hello_f.data(), hello_f.size())) _exit(1);
+    if (!read_exact(fd, 4 + 9 + 17)) _exit(1);  // HelloOk reply frame
+    if (!write_all(fd, acq_f.data(), acq_f.size())) _exit(1);
+    if (!read_exact(fd, 4 + 9 + 9)) _exit(1);  // Granted reply frame
+    for (;;) ::pause();  // hold the lock until SIGKILL
+  }
+
+  // PARENT: wait until the child's grant landed, then kill -9.
+  ASSERT_TRUE(poll_until(
+      [&] { return svc.stats().acquires_granted.load() >= 1; }, 5000ms));
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+  // The kernel RSTs the dead process's socket: the daemon must reap the
+  // session, force-release the write token, and promote the contender.
+  ClientOptions copt;
+  copt.port = port;
+  ServiceClient contender(copt);
+  ASSERT_TRUE(contender.connect());
+  const CallResult c = contender.acquire(
+      0, mask({0}), std::chrono::milliseconds(kLeaseMs * 5));
+  ASSERT_EQ(c.status, CallStatus::Granted);
+  EXPECT_EQ(svc.stats().tokens_force_released.load(), 1u);
+  EXPECT_EQ(contender.release(c.handle).status, CallStatus::Ok);
+  contender.disconnect();
+  svc.stop();
+  EXPECT_EQ(svc.lock().health_report().incomplete, 0u);
+}
+
+// ------------------------- lease policy behaviors --------------------------
+
+TEST(ServiceRecovery, HeartbeatsKeepAStalledSessionAliveUntilTheyStop) {
+  LockService svc(4, campaign_opts());
+  svc.start();
+
+  RawConn rc;
+  ASSERT_TRUE(rc.connect(svc.port()));
+  ASSERT_NE(rc.hello(), 0u);
+  const std::uint64_t h = rc.acquire(0, mask({0}));
+  ASSERT_NE(h, 0u);
+
+  // Negative control: heartbeats (and nothing else) flow for ~3 lease
+  // periods — the session must stay alive and keep its token.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(rc.send_frame(wire::Op::Heartbeat, rc.next_seq(), {}));
+    std::this_thread::sleep_for(std::chrono::milliseconds(kLeaseMs / 4));
+  }
+  EXPECT_EQ(svc.stats().sessions_expired.load(), 0u);
+  EXPECT_EQ(svc.stats().tokens_force_released.load(), 0u);
+  EXPECT_GE(svc.stats().heartbeats.load(), 12u);
+
+  // Now the heartbeats stop: the lease sweep reaps within ~a lease.
+  ASSERT_TRUE(poll_until(
+      [&] { return svc.stats().tokens_force_released.load() >= 1; },
+      std::chrono::milliseconds(kLeaseMs * 4)));
+  EXPECT_EQ(svc.stats().sessions_expired.load(), 1u);
+  svc.stop();
+  EXPECT_EQ(svc.lock().health_report().incomplete, 0u);
+}
+
+TEST(ServiceRecovery, DetectOnlyPolicyCountsOverdueLeasesButNeverReaps) {
+  ServiceOptions o = campaign_opts();
+  o.lease_recovery = locks::RecoveryPolicy::DetectOnly;
+  LockService svc(4, o);
+  svc.start();
+
+  RawConn rc;
+  ASSERT_TRUE(rc.connect(svc.port()));
+  ASSERT_NE(rc.hello(), 0u);
+  const std::uint64_t h = rc.acquire(0, mask({0}));
+  ASSERT_NE(h, 0u);
+
+  // Stall well past the lease: the sweep must *observe* but not act.
+  ASSERT_TRUE(poll_until(
+      [&] { return svc.stats().leases_overdue.load() >= 1; },
+      std::chrono::milliseconds(kLeaseMs * 4)));
+  EXPECT_EQ(svc.stats().tokens_force_released.load(), 0u);
+  EXPECT_EQ(svc.stats().sessions_expired.load(), 0u);
+
+  // The slow-but-alive session is still fully functional (its release
+  // frame doubles as the lease refresh).
+  EXPECT_EQ(rc.release(h), wire::Status::Ok);
+  rc.close();
+  svc.stop();
+  EXPECT_EQ(svc.lock().health_report().incomplete, 0u);
+}
+
+// ---------------------- many clients, oracle-clean ------------------------
+
+TEST(ServiceRecovery, ManyClientTrafficReplaysCleanThroughTheOracle) {
+  constexpr std::size_t kClients = 4;
+  constexpr int kRounds = 25;
+  LockService svc(4, campaign_opts());
+  locks::InvocationLog log;
+  svc.lock().engine_for_test().set_trace_recording(true);
+  svc.lock().set_invocation_log(&log);
+  svc.start();
+
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> granted{0};
+  for (std::size_t t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      ClientOptions copt;
+      copt.port = svc.port();
+      ServiceClient cli(copt);
+      ASSERT_TRUE(cli.connect());
+      for (int r = 0; r < kRounds; ++r) {
+        const std::uint64_t target = mask({static_cast<unsigned>((t + r) % 4)});
+        const bool write = ((t + r) & 1) != 0;
+        const CallResult cr = write ? cli.acquire(0, target)
+                                    : cli.acquire(target, 0);
+        ASSERT_EQ(cr.status, CallStatus::Granted);
+        granted.fetch_add(1);
+        std::this_thread::yield();
+        ASSERT_EQ(cli.release(cr.handle).status, CallStatus::Ok);
+      }
+      cli.disconnect();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  svc.stop();
+
+  EXPECT_EQ(granted.load(), kClients * kRounds);
+  EXPECT_EQ(svc.lock().health_report().incomplete, 0u);
+  ft::OracleOptions oo;
+  oo.num_threads = kClients;
+  oo.ops_per_thread = kRounds;
+  oo.check_bounds = false;  // strict caps are only sound at m == 2
+  ft::verify_replay(svc.lock().engine_for_test(), log, oo);
+}
+
+}  // namespace
+}  // namespace rwrnlp::service

@@ -1,5 +1,12 @@
 #!/usr/bin/env python3
-"""Bench regression gate for BENCH_hotpath.json-style reports.
+"""Bench regression gate for BENCH_*.json reports.
+
+Accepted inputs are JSON objects with a top-level "cpus" field (required —
+reports from unknown machine shapes are not gateable) and a "workloads"
+array of rows carrying "lock", "workload", "ops_per_sec", optional
+"p99_ns", and a concurrency key: "threads" (BENCH_hotpath.json,
+BENCH_cancellation.json) or "clients" (BENCH_service.json, where each
+actor is a TCP client session rather than a thread on the lock).
 
 Compares a fresh benchmark report against a baseline (typically the
 committed BENCH_hotpath.json) and fails if, at ANY (lock, workload,
@@ -23,8 +30,9 @@ all configs must reach --write-floor ops/s (default 1,000,000).  Relative
 gates catch drift between two runs; the absolute floor catches the
 baseline itself rotting (both reports slow is "no regression" to a ratio
 check).  On a 1-cpu host — where writers cannot run in parallel and the
-floor is unmeetable by construction — the floor demotes to a warning, as
-it does when the fresh report lacks a cpus field.
+floor is unmeetable by construction — the floor demotes to a warning.
+Reports without write-heavy cells (BENCH_service.json) gate with
+--write-floor 0.
 
 After the point-by-point listing a per-config delta table summarizes the
 worst throughput and tail movement for each lock config, so a regression
@@ -47,12 +55,17 @@ import sys
 
 
 def load_report(path):
-    """Returns ({(lock, workload, threads): (ops_per_sec, p99_ns|None)}, cpus|None)."""
+    """Returns ({(lock, workload, threads): (ops_per_sec, p99_ns|None)}, cpus)."""
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, ValueError) as e:
         print(f"bench_check: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict):
+        print(f"bench_check: {path} is not a JSON object "
+              f"(got {type(doc).__name__}); expected a BENCH_*.json report",
+              file=sys.stderr)
         sys.exit(2)
     rows = doc.get("workloads")
     if not isinstance(rows, list) or not rows:
@@ -61,7 +74,10 @@ def load_report(path):
     points = {}
     for row in rows:
         try:
-            key = (row["lock"], row["workload"], int(row["threads"]))
+            # BENCH_service.json keys its rows by "clients" (TCP sessions);
+            # the thread-based reports use "threads".  Either works.
+            concurrency = row["threads"] if "threads" in row else row["clients"]
+            key = (row["lock"], row["workload"], int(concurrency))
             p99 = row.get("p99_ns")
             points[key] = (float(row["ops_per_sec"]),
                            float(p99) if p99 is not None else None)
@@ -70,7 +86,17 @@ def load_report(path):
                   file=sys.stderr)
             sys.exit(2)
     cpus = doc.get("cpus")
-    return points, (int(cpus) if cpus is not None else None)
+    if cpus is None:
+        print(f"bench_check: {path} lacks the 'cpus' field — reports from "
+              "unknown machine shapes are not gateable; regenerate it with "
+              "a bench binary that stamps cpus", file=sys.stderr)
+        sys.exit(2)
+    try:
+        return points, int(cpus)
+    except (TypeError, ValueError):
+        print(f"bench_check: {path} has a non-integer 'cpus' field: "
+              f"{cpus!r}", file=sys.stderr)
+        sys.exit(2)
 
 
 def main():
@@ -98,17 +124,12 @@ def main():
     base, base_cpus = load_report(args.baseline)
     fresh, fresh_cpus = load_report(args.fresh)
 
-    if base_cpus is not None and fresh_cpus is not None:
-        if base_cpus != fresh_cpus:
-            print(f"bench_check: baseline ran on {base_cpus} cpu(s) but "
-                  f"fresh report ran on {fresh_cpus} — cross-machine "
-                  "numbers are not gateable; regenerate the baseline on "
-                  "this host", file=sys.stderr)
-            return 2
-    elif base_cpus is None or fresh_cpus is None:
-        print("bench_check: warning: report(s) lack a 'cpus' field; "
-              "cannot confirm both ran on the same machine shape",
-              file=sys.stderr)
+    if base_cpus != fresh_cpus:
+        print(f"bench_check: baseline ran on {base_cpus} cpu(s) but "
+              f"fresh report ran on {fresh_cpus} — cross-machine "
+              "numbers are not gateable; regenerate the baseline on "
+              "this host", file=sys.stderr)
+        return 2
 
     failures = []
     # Per-config worst-case movement: config -> [worst ops ratio, worst p99
@@ -182,9 +203,6 @@ def main():
             elif fresh_cpus == 1:
                 print(f"\n{line} — WARN only: 1-cpu host, writers cannot "
                       "run in parallel", file=sys.stderr)
-            elif fresh_cpus is None:
-                print(f"\n{line} — WARN only: no cpus field, machine shape "
-                      "unknown", file=sys.stderr)
             else:
                 failures.append(
                     f"FLOOR    write-heavy/8t: best config {best_lock} at "
